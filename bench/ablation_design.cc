@@ -1,0 +1,138 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  (1) scavenger signal: RTT deviation (Proteus-S) vs "same metric,
+//      greater penalty" (a Proteus-P variant with 4x gradient penalty);
+//  (2) deviation coefficient d sweep: yielding vs scavenger-only
+//      utilization trade-off;
+//  (3) majority rule: 3-pair vs Vivace's 2-pair probing on a noisy path;
+//  (4) noise filters on/off on clean and wireless paths.
+#include "bench/bench_util.h"
+#include "harness/wifi_paths.h"
+
+using namespace proteus;
+
+namespace {
+
+double scavenger_yield(const ScenarioConfig& cfg, const std::string& prim) {
+  const PairResult r = run_pair(prim, "proteus-s", cfg, from_sec(70),
+                                from_sec(25));
+  return r.primary_ratio;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "Design-choice ablations");
+
+  // ---- (1) deviation penalty vs inflated-gradient penalty -------------
+  std::printf("(1) Scavenger signal: deviation vs 4x gradient penalty\n");
+  {
+    Table t({"primary", "proteus-s(dev)", "4x-gradient-penalty"});
+    for (const char* prim : {"bbr", "copa", "proteus-p"}) {
+      ScenarioConfig cfg = bench::emulab_link(201);
+      const double dev = scavenger_yield(cfg, prim);
+
+      ScenarioConfig cfg2 = cfg;
+      cfg2.tuning.utility.d = 0.0;      // no deviation term...
+      cfg2.tuning.utility.b = 3600.0;   // ...same-metric, greater penalty
+      const PairResult r = run_pair(prim, "proteus-s", cfg2, from_sec(70),
+                                    from_sec(25));
+      t.add_row({prim, fmt(dev, 2), fmt(r.primary_ratio, 2)});
+    }
+    t.print();
+    std::printf("  -> the deviation signal yields where an inflated "
+                "gradient penalty does not (section 2.2 argument).\n\n");
+  }
+
+  // ---- (2) d sweep ------------------------------------------------------
+  std::printf("(2) Deviation coefficient d: yielding vs solo utilization\n");
+  {
+    Table t({"d", "yield_vs_bbr", "yield_vs_proteus-p", "solo_utilization"});
+    for (double d : {0.0, 500.0, 1000.0, 2000.0, 4000.0}) {
+      ScenarioConfig cfg = bench::emulab_link(211);
+      cfg.tuning.utility.d = d;
+      const double y_bbr = scavenger_yield(cfg, "bbr");
+      const double y_pp = scavenger_yield(cfg, "proteus-p");
+      const SingleFlowResult solo =
+          run_single_flow("proteus-s", cfg, from_sec(60), from_sec(20));
+      t.add_row({fmt(d, 0), fmt(y_bbr, 2), fmt(y_pp, 2),
+                 fmt(solo.utilization, 2)});
+    }
+    t.print();
+    std::printf("  -> larger d yields harder but costs solo utilization; "
+                "d = 2000 is the calibrated balance.\n\n");
+  }
+
+  // ---- (3) majority rule on a noisy path ---------------------------------
+  std::printf("(3) Probing: 3-pair majority vs 2-pair unanimous (wireless)\n");
+  {
+    const ScenarioConfig wifi = wifi_path_set()[40].scenario;  // harsh-ish
+    Table t({"probe_pairs", "wifi_throughput_mbps", "clean_throughput_mbps"});
+    for (int pairs : {2, 3}) {
+      ScenarioConfig cfg = wifi;
+      // probe_pairs rides on the rate-control config; route via tuning by
+      // building a custom sender.
+      Scenario sc(cfg);
+      PccSender::Config pc = default_proteus_config(7);
+      pc.rate_control.probe_pairs = pairs;
+      Flow& f = sc.add_flow_with_cc(
+          std::make_unique<PccSender>(
+              std::make_shared<ProteusPrimaryUtility>(), pc, "p"),
+          0);
+      sc.run_until(from_sec(50));
+      const double wifi_tput =
+          f.mean_throughput_mbps(from_sec(20), from_sec(50));
+
+      ScenarioConfig clean = bench::emulab_link(221);
+      Scenario sc2(clean);
+      PccSender::Config pc2 = default_proteus_config(7);
+      pc2.rate_control.probe_pairs = pairs;
+      Flow& f2 = sc2.add_flow_with_cc(
+          std::make_unique<PccSender>(
+              std::make_shared<ProteusPrimaryUtility>(), pc2, "p"),
+          0);
+      sc2.run_until(from_sec(50));
+      const double clean_tput =
+          f2.mean_throughput_mbps(from_sec(20), from_sec(50));
+      t.add_row({std::to_string(pairs), fmt(wifi_tput, 1),
+                 fmt(clean_tput, 1)});
+    }
+    t.print();
+    std::printf("  -> the paper motivates the majority rule as a faster "
+                "ramp under noise; on this simulator's harsh wireless "
+                "model the 2-pair unanimity requirement acts as an extra "
+                "noise filter instead. An honest divergence, recorded in "
+                "EXPERIMENTS.md.\n\n");
+  }
+
+  // ---- (4) noise filters on/off -----------------------------------------
+  std::printf("(4) Noise-tolerance mechanisms on/off\n");
+  {
+    Table t({"filters", "clean_solo_util", "wifi_solo_mbps",
+             "yield_vs_proteus-p"});
+    for (bool enabled : {true, false}) {
+      ScenarioConfig clean = bench::emulab_link(231);
+      ScenarioConfig wifi = wifi_path_set()[40].scenario;
+      for (ScenarioConfig* c : {&clean, &wifi}) {
+        if (!enabled) {
+          c->tuning.noise.ack_filter = false;
+          c->tuning.noise.mi_regression_tolerance = false;
+          c->tuning.noise.trending = false;
+          c->tuning.noise.deviation_filter = DeviationFilterMode::kOff;
+        }
+      }
+      const SingleFlowResult solo =
+          run_single_flow("proteus-s", clean, from_sec(60), from_sec(20));
+      const SingleFlowResult wifi_solo =
+          run_single_flow("proteus-s", wifi, from_sec(50), from_sec(20));
+      const double yield_pp = scavenger_yield(clean, "proteus-p");
+      t.add_row({enabled ? "on" : "off", fmt(solo.utilization, 2),
+                 fmt(wifi_solo.throughput_mbps, 1), fmt(yield_pp, 2)});
+    }
+    t.print();
+    std::printf("  -> compare columns: the filters trade a little clean-"
+                "path utilization for competition sensitivity; on the "
+                "harshest wireless path every variant struggles (the "
+                "per-path numbers in fig09 tell the fuller story).\n");
+  }
+  return 0;
+}

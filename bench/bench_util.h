@@ -1,0 +1,44 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table/figure from the paper and prints
+// the same rows/series the paper reports. Runs are shorter than the
+// paper's (simulated single-core budget); EXPERIMENTS.md records the
+// paper-vs-measured comparison produced from these outputs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/table.h"
+
+namespace proteus::bench {
+
+// Mean of `trials` runs of `fn(seed)`.
+template <typename Fn>
+double mean_over_trials(int trials, uint64_t base_seed, Fn fn) {
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    sum += fn(base_seed + static_cast<uint64_t>(t) * 1000);
+  }
+  return sum / trials;
+}
+
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline ScenarioConfig emulab_link(uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 50.0;
+  cfg.rtt_ms = 30.0;
+  cfg.buffer_bytes = 375'000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace proteus::bench

@@ -1,0 +1,115 @@
+// Fig 2: PDF of RTT deviation / |RTT gradient| observed by a 20 Mbps
+// fixed-rate UDP probe under Poisson-arriving short CUBIC flows, plus the
+// confusion probability between the congested and idle conditions.
+//
+// Paper setup: 100 Mbps, 60 ms RTT, 1500 KB (2 BDP) buffer; flow sizes
+// uniform in [20, 100] KB; arrival rates 0/3/6/9 flows/s; 1.5 RTT windows.
+// Paper result: RTT deviation separates cleanly (confusion 0.6%) while
+// RTT gradient does not (8.0%).
+#include <memory>
+
+#include "app/bulk.h"
+#include "app/shortflow.h"
+#include "bench/bench_util.h"
+#include "harness/scenario.h"
+#include "stats/histogram.h"
+
+using namespace proteus;
+
+namespace {
+
+struct ProbeResult {
+  Samples deviations_ms;
+  Samples gradients;
+};
+
+ProbeResult run_probe(double arrival_rate, uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 100.0;
+  cfg.rtt_ms = 60.0;
+  cfg.buffer_bytes = 1'500'000;
+  cfg.seed = seed;
+  // Light ambient channel noise, as on the paper's real Emulab testbed:
+  // without it the idle condition's deviation is exactly zero and the
+  // confusion metric degenerates.
+  cfg.wifi_noise = true;
+  cfg.wifi.jitter_stddev = from_us(60);
+  cfg.wifi.spike_probability = 0.0;
+  Scenario sc(cfg);
+
+  ShortFlowGenerator::Config sfc;
+  sfc.arrival_rate_per_sec = arrival_rate;
+  sfc.min_bytes = 20'000;
+  sfc.max_bytes = 100'000;
+  sfc.seed = seed ^ 0x5f5f;
+  ShortFlowGenerator cross(&sc.sim(), &sc.dumbbell(), sfc, [](uint64_t s) {
+    return make_protocol("cubic", s);
+  });
+
+  Flow& probe = sc.add_flow_with_cc(
+      std::make_unique<FixedRateController>(Bandwidth::from_mbps(20)), 0);
+  RttWindowAnalyzer analyzer(from_ms(90));  // 1.5 * RTT
+  probe.sender().set_on_ack([&](const AckInfo& info) {
+    if (info.ack_time > from_sec(5)) {
+      analyzer.add_sample(info.ack_time, info.rtt);
+    }
+  });
+
+  sc.run_until(from_sec(120));
+  ProbeResult r;
+  r.deviations_ms = analyzer.deviations_ms();
+  r.gradients = analyzer.gradient_magnitudes();
+  return r;
+}
+
+void print_pdf(const char* title, const Samples& samples, double lo,
+               double hi, int bins) {
+  Histogram h(lo, hi, bins);
+  for (double v : samples.raw()) h.add(v);
+  std::printf("  %s (n=%lld): ", title,
+              static_cast<long long>(samples.count()));
+  for (double p : h.pdf()) std::printf("%5.1f%% ", p * 100.0);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 2",
+                      "RTT deviation vs gradient as competition signal");
+
+  ProbeResult idle;
+  ProbeResult loaded[3];
+  const double rates[] = {3.0, 6.0, 9.0};
+  idle = run_probe(0.0, 42);
+  for (int i = 0; i < 3; ++i) loaded[i] = run_probe(rates[i], 42);
+
+  std::printf("(a) RTT deviation PDF, bins over [0, 1.4] ms\n");
+  print_pdf("0 flows/s", idle.deviations_ms, 0.0, 1.4, 7);
+  for (int i = 0; i < 3; ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f flows/s", rates[i]);
+    print_pdf(label, loaded[i].deviations_ms, 0.0, 1.4, 7);
+  }
+
+  std::printf("(b) |RTT gradient| PDF, bins over [0, 0.02]\n");
+  print_pdf("0 flows/s", idle.gradients, 0.0, 0.02, 7);
+  for (int i = 0; i < 3; ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f flows/s", rates[i]);
+    print_pdf(label, loaded[i].gradients, 0.0, 0.02, 7);
+  }
+
+  const double conf_dev =
+      confusion_probability(loaded[2].deviations_ms, idle.deviations_ms);
+  const double conf_grad =
+      confusion_probability(loaded[2].gradients, idle.gradients);
+  std::printf("\nConfusion probability (9 flows/s vs 0 flows/s):\n");
+  std::printf("  RTT deviation : %5.2f%%   (paper: 0.6%%)\n",
+              conf_dev * 100.0);
+  std::printf("  RTT gradient  : %5.2f%%   (paper: 8.0%%)\n",
+              conf_grad * 100.0);
+  std::printf("  deviation is the earlier/cleaner signal: %s\n",
+              conf_dev < conf_grad ? "YES" : "NO");
+  return 0;
+}

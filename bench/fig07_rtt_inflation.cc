@@ -1,0 +1,36 @@
+// Fig 7 (and Fig 20 with LEDBAT-25): ratio of the primary flow's
+// 95th-percentile RTT with a scavenger present vs running alone
+// (375 KB buffer).
+//
+// Paper result: LEDBAT roughly doubles latency-aware primaries' p95 RTT
+// (COPA sees 2.3x); Proteus-S leaves RTT essentially untouched.
+#include "bench/bench_util.h"
+
+using namespace proteus;
+
+int main() {
+  bench::print_header("Figure 7 / Figure 20",
+                      "95th-percentile RTT ratio under competition");
+
+  const std::vector<std::string> scavengers = {"proteus-s", "ledbat",
+                                               "ledbat-25", "proteus-p",
+                                               "copa"};
+  const std::vector<std::string>& primaries = primary_protocol_names();
+
+  Table t({"primary", "proteus-s", "ledbat", "ledbat-25", "proteus-p",
+           "copa"});
+  for (const std::string& prim : primaries) {
+    std::vector<std::string> row{prim};
+    for (const std::string& scav : scavengers) {
+      const PairResult r = run_pair(prim, scav, bench::emulab_link(47),
+                                    from_sec(90), from_sec(30));
+      row.push_back(fmt(r.rtt_ratio, 2));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  std::printf(
+      "\nPaper shape check: ledbat columns ~2x for latency-aware "
+      "primaries; proteus-s column ~1.0.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig 9 (and Fig 21 with LEDBAT-25): single-flow throughput over the
+// 64-path wireless set, normalized per path by the best protocol on that
+// path; reported as a CDF.
+//
+// Paper result: CUBIC and BBR sit near 1.0 (aggressive), COPA and Vivace
+// at the bottom (noise-sensitive), Proteus-P and Proteus-S near the top
+// of their classes thanks to the noise-tolerance machinery; LEDBAT-25 is
+// worse than LEDBAT-100.
+#include <map>
+
+#include "bench/bench_util.h"
+#include "harness/wifi_paths.h"
+#include "stats/percentile.h"
+
+using namespace proteus;
+
+int main() {
+  bench::print_header("Figure 9 / Figure 21",
+                      "Single-flow normalized throughput on 64 WiFi paths");
+
+  const std::vector<std::string> protocols = {
+      "proteus-s", "ledbat", "ledbat-25", "cubic",
+      "bbr",       "proteus-p", "copa",   "vivace"};
+  const auto paths = wifi_path_set();
+
+  std::map<std::string, Samples> normalized;
+  for (const WifiPath& path : paths) {
+    std::map<std::string, double> tput;
+    double best = 0.0;
+    for (const std::string& proto : protocols) {
+      const SingleFlowResult r =
+          run_single_flow(proto, path.scenario, from_sec(40), from_sec(15));
+      tput[proto] = r.throughput_mbps;
+      best = std::max(best, r.throughput_mbps);
+    }
+    for (const auto& [proto, v] : tput) {
+      normalized[proto].add(best > 0 ? v / best : 0.0);
+    }
+  }
+
+  Table t({"protocol", "p10", "p25", "median", "p75", "p90", "mean"});
+  for (const std::string& proto : protocols) {
+    const Samples& s = normalized[proto];
+    t.add_row({proto, fmt(s.percentile(10), 2), fmt(s.percentile(25), 2),
+               fmt(s.median(), 2), fmt(s.percentile(75), 2),
+               fmt(s.percentile(90), 2), fmt(s.mean(), 2)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper shape check: cubic/bbr near the top; copa/vivace at the "
+      "bottom; proteus-p/-s competitive within their classes; ledbat-25 "
+      "below ledbat.\n");
+  return 0;
+}

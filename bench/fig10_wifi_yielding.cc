@@ -1,0 +1,73 @@
+// Fig 10 (and Fig 22 with LEDBAT-25): primary throughput ratio CDFs on
+// the 64 wireless paths, five primaries x scavengers {Proteus-S, LEDBAT,
+// LEDBAT-25}.
+//
+// Paper result (medians): with Proteus-S, BBR and CUBIC gain 17.6% and
+// 19.2% over LEDBAT; the latency-aware primaries gain 39-44%.
+#include <map>
+
+#include "bench/bench_util.h"
+#include "harness/wifi_paths.h"
+#include "stats/percentile.h"
+
+using namespace proteus;
+
+int main() {
+  bench::print_header(
+      "Figure 10 / Figure 22",
+      "Primary throughput ratio on 64 WiFi paths (per scavenger)");
+
+  const std::vector<std::string>& primaries = primary_protocol_names();
+  const std::vector<std::string> scavengers = {"proteus-s", "ledbat",
+                                               "ledbat-25"};
+  const auto paths = wifi_path_set();
+
+  std::map<std::string, std::map<std::string, Samples>> ratios;
+  const TimeNs duration = from_sec(40);
+  const TimeNs warmup = from_sec(15);
+
+  for (const WifiPath& path : paths) {
+    for (const std::string& prim : primaries) {
+      double alone;
+      {
+        Scenario sc(path.scenario);
+        Flow& p = sc.add_flow(prim, 0);
+        sc.run_until(duration);
+        alone = p.mean_throughput_mbps(warmup, duration);
+      }
+      if (alone <= 0.0) continue;
+      for (const std::string& scav : scavengers) {
+        ScenarioConfig cfg = path.scenario;
+        cfg.seed += 0x51;
+        Scenario sc(cfg);
+        Flow& p = sc.add_flow(prim, 0);
+        sc.add_flow(scav, from_sec(3));
+        sc.run_until(duration);
+        ratios[prim][scav].add(p.mean_throughput_mbps(warmup, duration) /
+                               alone);
+      }
+    }
+  }
+
+  Table t({"primary", "scavenger", "p25", "median", "p75",
+           "frac_ratio>=0.9"});
+  for (const std::string& prim : primaries) {
+    for (const std::string& scav : scavengers) {
+      const Samples& s = ratios[prim][scav];
+      t.add_row({prim, scav, fmt(s.percentile(25), 2), fmt(s.median(), 2),
+                 fmt(s.percentile(75), 2),
+                 fmt(1.0 - s.cdf_at(0.9 - 1e-12), 2)});
+    }
+  }
+  t.print();
+
+  std::printf("\nMedian gain of Proteus-S over LEDBAT-100 per primary:\n");
+  for (const std::string& prim : primaries) {
+    const double a = ratios[prim]["proteus-s"].median();
+    const double b = ratios[prim]["ledbat"].median();
+    std::printf("  %-10s %+5.1f%%  (paper: bbr +17.6%%, cubic +19.2%%, "
+                "copa +39.3%%, proteus-p +41.0%%, vivace +44.1%%)\n",
+                prim.c_str(), (a / std::max(b, 1e-9) - 1.0) * 100.0);
+  }
+  return 0;
+}

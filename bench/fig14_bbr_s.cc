@@ -1,0 +1,48 @@
+// Fig 14: extending RTT deviation beyond PCC — BBR-S (kernel BBR forced
+// into min-RTT probing when smoothed RTT deviation spikes) competing with
+// BBR, CUBIC, and itself. Throughput-vs-time on the 50 Mbps Emulab link.
+//
+// Paper result: BBR-S yields to BBR and CUBIC but shares fairly with
+// another BBR-S.
+#include "bench/bench_util.h"
+
+using namespace proteus;
+
+namespace {
+
+void run_scene(const char* title, const std::string& first,
+               const std::string& second) {
+  ScenarioConfig cfg = bench::emulab_link(83);
+  const auto series = run_time_series({first, second}, cfg, from_sec(10),
+                                      from_sec(200));
+  std::printf("\n%s (10 s bins, Mbps)\n", title);
+  Table t({"t_sec", first + "(0s)", second + "(10s)"});
+  for (size_t bin = 0; bin + 10 <= series[0].size(); bin += 10) {
+    double a = 0, b = 0;
+    for (size_t i = bin; i < bin + 10; ++i) {
+      a += series[0][i] / 10.0;
+      b += series[1][i] / 10.0;
+    }
+    t.add_row({std::to_string(bin), fmt(a, 1), fmt(b, 1)});
+  }
+  t.print();
+  double a_mean = 0, b_mean = 0;
+  for (size_t i = 50; i < series[0].size(); ++i) {
+    a_mean += series[0][i];
+    b_mean += series[1][i];
+  }
+  a_mean /= (series[0].size() - 50);
+  b_mean /= (series[1].size() - 50);
+  std::printf("steady-state means: %s %.1f Mbps, %s %.1f Mbps\n",
+              first.c_str(), a_mean, second.c_str(), b_mean);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 14", "BBR-S: RTT deviation beyond PCC");
+  run_scene("BBR vs BBR-S (BBR-S should yield)", "bbr", "bbr-s");
+  run_scene("CUBIC vs BBR-S (BBR-S should yield)", "cubic", "bbr-s");
+  run_scene("BBR-S vs BBR-S (fair share)", "bbr-s", "bbr-s");
+  return 0;
+}

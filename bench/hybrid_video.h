@@ -1,0 +1,111 @@
+// Shared implementation for the Proteus-H video figures (12 and 13).
+#pragma once
+
+#include <memory>
+
+#include "app/bola.h"
+#include "app/video.h"
+#include "bench/bench_util.h"
+
+using namespace proteus;
+
+namespace {
+
+struct ClassMetrics {
+  double bitrate_4k = 0.0;
+  double rebuffer_4k = 0.0;
+  double bitrate_1080 = 0.0;
+  double rebuffer_1080 = 0.0;
+};
+
+ClassMetrics run_videos(const std::string& protocol, double bw_mbps,
+                        bool force_highest, uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = bw_mbps;
+  cfg.rtt_ms = 30.0;
+  cfg.buffer_bytes = 900'000;
+  cfg.seed = seed;
+  Scenario sc(cfg);
+
+  struct Client {
+    std::unique_ptr<VideoClient> client;
+    std::unique_ptr<HybridThresholdPolicy> policy;
+    bool is_4k;
+  };
+  std::vector<Client> clients;
+
+  for (int i = 0; i < 4; ++i) {
+    const bool is_4k = i == 0;
+    VideoClientConfig vc;
+    vc.video = is_4k ? make_4k_video(60) : make_1080p_video(60);
+    vc.id = sc.allocate_flow_id();
+    vc.start_time = 0;
+
+    std::unique_ptr<BitrateAdaptation> abr;
+    if (force_highest) {
+      abr = std::make_unique<FixedBitrateAdaptation>(
+          static_cast<int>(vc.video.bitrates_mbps.size()) - 1);
+    } else {
+      abr = std::make_unique<BolaAdaptation>(
+          vc.video.bitrates_mbps,
+          vc.buffer_capacity_sec / vc.video.chunk_duration_sec);
+    }
+
+    Client c;
+    c.is_4k = is_4k;
+    if (protocol == "proteus-h") {
+      auto state = std::make_shared<HybridThresholdState>();
+      c.policy = std::make_unique<HybridThresholdPolicy>(state);
+      c.client = std::make_unique<VideoClient>(
+          &sc.sim(), &sc.dumbbell(), vc,
+          make_protocol("proteus-h", sc.flow_seed(vc.id), state,
+                        &sc.config().tuning),
+          std::move(abr), c.policy.get());
+    } else {
+      c.client = std::make_unique<VideoClient>(
+          &sc.sim(), &sc.dumbbell(), vc,
+          make_protocol(protocol, sc.flow_seed(vc.id), nullptr,
+                        &sc.config().tuning),
+          std::move(abr));
+    }
+    clients.push_back(std::move(c));
+  }
+
+  sc.run_until(from_sec(185));
+
+  ClassMetrics m;
+  int n1080 = 0;
+  for (const Client& c : clients) {
+    const VideoMetrics vm = c.client->metrics();
+    if (c.is_4k) {
+      m.bitrate_4k = vm.average_chunk_bitrate_mbps;
+      m.rebuffer_4k = vm.rebuffer_ratio;
+    } else {
+      m.bitrate_1080 += vm.average_chunk_bitrate_mbps;
+      m.rebuffer_1080 += vm.rebuffer_ratio;
+      ++n1080;
+    }
+  }
+  m.bitrate_1080 /= n1080;
+  m.rebuffer_1080 /= n1080;
+  return m;
+}
+
+void run_figure(bool force_highest, const std::vector<double>& bandwidths) {
+  Table t({"bw_mbps", "4k_bitrate_H", "4k_bitrate_P", "4k_rebuf_H%",
+           "4k_rebuf_P%", "1080_bitrate_H", "1080_bitrate_P",
+           "1080_rebuf_H%", "1080_rebuf_P%"});
+  for (double bw : bandwidths) {
+    const ClassMetrics h = run_videos("proteus-h", bw, force_highest, 71);
+    const ClassMetrics p = run_videos("proteus-p", bw, force_highest, 71);
+    t.add_row({fmt(bw, 0), fmt(h.bitrate_4k, 1), fmt(p.bitrate_4k, 1),
+               fmt(h.rebuffer_4k * 100, 1), fmt(p.rebuffer_4k * 100, 1),
+               fmt(h.bitrate_1080, 1), fmt(p.bitrate_1080, 1),
+               fmt(h.rebuffer_1080 * 100, 1),
+               fmt(p.rebuffer_1080 * 100, 1)});
+  }
+  t.print();
+}
+
+}  // namespace
+

@@ -1,0 +1,102 @@
+// Google-benchmark micro-benchmarks for the hot paths: utility
+// evaluation, MI metric computation, the noise filters, regression, and
+// raw simulator throughput. These guard the "400x real time" simulation
+// speed the macro benches depend on.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/monitor_interval.h"
+#include "core/noise_filter.h"
+#include "core/utility.h"
+#include "harness/scenario.h"
+#include "stats/regression.h"
+
+namespace proteus {
+namespace {
+
+MiMetrics sample_metrics() {
+  MiMetrics m;
+  m.send_rate_mbps = 42.0;
+  m.rtt_gradient = 0.003;
+  m.loss_rate = 0.01;
+  m.rtt_dev_sec = 3e-4;
+  return m;
+}
+
+void BM_UtilityEvalScavenger(benchmark::State& state) {
+  ProteusScavengerUtility u;
+  const MiMetrics m = sample_metrics();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(u.eval(m));
+  }
+}
+BENCHMARK(BM_UtilityEvalScavenger);
+
+void BM_MonitorIntervalCompute(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  MonitorInterval mi(1, 40.0, 0, from_ms(30));
+  for (uint64_t i = 0; i < n; ++i) {
+    const TimeNs sent = static_cast<TimeNs>(i) * from_us(300);
+    mi.on_packet_sent(i, kMtuBytes, sent);
+    mi.on_ack(i, kMtuBytes, sent, from_ms(30) + from_us(i % 7 * 100), true);
+  }
+  mi.seal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mi.compute());
+  }
+}
+BENCHMARK(BM_MonitorIntervalCompute)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_LinearRegression(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 0.03 + 1e-4 * static_cast<double>(i % 11);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear_regression(x, y));
+  }
+}
+BENCHMARK(BM_LinearRegression)->Arg(64)->Arg(512);
+
+void BM_NoiseControlPipeline(benchmark::State& state) {
+  NoiseControlConfig cfg;
+  TrendingTolerance trend(cfg);
+  DeviationFloor floor(cfg);
+  MiMetrics m = sample_metrics();
+  m.rtt_gradient_raw = 0.002;
+  m.rtt_dev_raw_sec = 2e-4;
+  m.regression_error = 0.003;
+  m.avg_rtt_sec = 0.031;
+  m.rtt_samples = 40;
+  for (auto _ : state) {
+    MiMetrics copy = m;
+    apply_noise_control(cfg, copy, &trend, &floor);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_NoiseControlPipeline);
+
+// End-to-end simulation speed: one saturated 50 Mbps flow, cost per
+// simulated second.
+void BM_SimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScenarioConfig cfg;
+    cfg.seed = 5;
+    auto sc = std::make_unique<Scenario>(cfg);
+    sc->add_flow("proteus-p", 0);
+    sc->run_until(from_sec(2));  // warm
+    state.ResumeTiming();
+    sc->run_until(from_sec(3));  // measured simulated second
+    benchmark::DoNotOptimize(sc->flows().front()->sender().stats());
+  }
+}
+BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace proteus
+
+BENCHMARK_MAIN();

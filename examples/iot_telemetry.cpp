@@ -1,0 +1,70 @@
+// IoT sensor aggregation for offline analytics (one of the paper's
+// motivating workloads): a fleet of sensors periodically uploads batches
+// through a shared gateway uplink that also carries interactive web
+// traffic. Scavenger transport keeps the telemetry from disturbing the
+// interactive flows while still draining the queue of batches.
+#include <cstdio>
+#include <string>
+
+#include "app/shortflow.h"
+#include "app/web.h"
+#include "harness/scenario.h"
+
+using namespace proteus;
+
+namespace {
+
+void run_gateway(const std::string& telemetry_protocol) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 20.0;  // site uplink
+  cfg.rtt_ms = 40.0;
+  cfg.buffer_bytes = 250'000;
+  cfg.seed = 12;
+  Scenario scenario(cfg);
+
+  // Telemetry: batches of 0.5-2 MB arriving every ~4 s on average.
+  ShortFlowGenerator::Config tcfg;
+  tcfg.arrival_rate_per_sec = 0.25;
+  tcfg.min_bytes = 500'000;
+  tcfg.max_bytes = 2'000'000;
+  tcfg.stop_time = from_sec(240);
+  tcfg.first_flow_id = 1000;
+  ShortFlowGenerator telemetry(
+      &scenario.sim(), &scenario.dumbbell(), tcfg,
+      [&](uint64_t seed) { return make_protocol(telemetry_protocol, seed); });
+
+  // Interactive traffic: operators loading dashboards.
+  WebWorkload::Config wcfg;
+  wcfg.page_arrival_rate_per_sec = 0.2;
+  wcfg.stop_time = from_sec(240);
+  wcfg.first_flow_id = 50'000;
+  WebWorkload web(&scenario.sim(), &scenario.dumbbell(), wcfg,
+                  [](uint64_t seed) { return make_protocol("cubic", seed); });
+
+  scenario.run_until(from_sec(300));
+
+  const Samples plt = web.page_load_times_sec();
+  const Samples batches = telemetry.completion_times_sec();
+  std::printf("--- telemetry over %s ---\n", telemetry_protocol.c_str());
+  std::printf("  dashboard loads : median %5.2f s, p90 %5.2f s (%lld pages)\n",
+              plt.median(), plt.percentile(90),
+              static_cast<long long>(plt.count()));
+  std::printf("  telemetry batch : median %5.2f s to upload, %lld/%lld "
+              "delivered\n\n",
+              batches.median(),
+              static_cast<long long>(telemetry.flows_completed()),
+              static_cast<long long>(telemetry.flows_started()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("20 Mbps site uplink: sensor batches + operator dashboards.\n\n");
+  run_gateway("cubic");
+  run_gateway("proteus-s");
+  std::printf(
+      "With Proteus-S telemetry, dashboards stay fast; the batches take "
+      "longer\n— which nobody watching an offline analytics pipeline will "
+      "ever notice.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Quickstart: run one Proteus-P flow and one Proteus-S scavenger on an
+// emulated 50 Mbps bottleneck and watch the scavenger yield.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/scenario.h"
+
+using namespace proteus;
+
+int main() {
+  // 1. Describe the bottleneck (the emulated network path).
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 50.0;
+  cfg.rtt_ms = 30.0;
+  cfg.buffer_bytes = 375'000;  // 2 bandwidth-delay products
+  cfg.seed = 1;
+
+  // 2. Build the scenario and add flows by protocol name.
+  Scenario scenario(cfg);
+  Flow& primary = scenario.add_flow("proteus-p", /*start=*/0);
+  Flow& scavenger = scenario.add_flow("proteus-s", /*start=*/from_sec(10));
+
+  // 3. Run and report per-10-second throughput.
+  std::printf("time   primary   scavenger   (Mbps)\n");
+  for (int t = 10; t <= 60; t += 10) {
+    scenario.run_until(from_sec(t));
+    std::printf("%3ds   %7.1f   %9.1f\n", t,
+                primary.mean_throughput_mbps(from_sec(t - 10), from_sec(t)),
+                scavenger.mean_throughput_mbps(from_sec(t - 10),
+                                               from_sec(t)));
+  }
+
+  std::printf(
+      "\nThe scavenger detects the primary's probing through RTT "
+      "deviation\nand keeps its rate minimal; the primary is barely "
+      "affected.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Proteus-H end to end: a 4K stream and three 1080p streams share a
+// 100 Mbps link. Each client runs BOLA and drives the cross-layer
+// threshold policy (sufficient-rate, buffer-limit, and emergency rules),
+// so a flow only competes while its own video actually needs bandwidth.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "app/bola.h"
+#include "app/video.h"
+#include "harness/scenario.h"
+
+using namespace proteus;
+
+namespace {
+
+struct StreamingSession {
+  std::unique_ptr<HybridThresholdPolicy> policy;
+  std::unique_ptr<VideoClient> client;
+  const char* label;
+};
+
+StreamingSession make_session(Scenario& scenario, bool is_4k,
+                              const std::string& protocol,
+                              const char* label) {
+  VideoClientConfig vc;
+  vc.video = is_4k ? make_4k_video(60) : make_1080p_video(60);
+  vc.id = scenario.allocate_flow_id();
+
+  StreamingSession s;
+  s.label = label;
+  auto abr = std::make_unique<BolaAdaptation>(
+      vc.video.bitrates_mbps,
+      vc.buffer_capacity_sec / vc.video.chunk_duration_sec);
+
+  if (protocol == "proteus-h") {
+    auto state = std::make_shared<HybridThresholdState>();
+    s.policy = std::make_unique<HybridThresholdPolicy>(state);
+    s.client = std::make_unique<VideoClient>(
+        &scenario.sim(), &scenario.dumbbell(), vc,
+        make_protocol("proteus-h", scenario.flow_seed(vc.id), state,
+                      &scenario.config().tuning),
+        std::move(abr), s.policy.get());
+  } else {
+    s.client = std::make_unique<VideoClient>(
+        &scenario.sim(), &scenario.dumbbell(), vc,
+        make_protocol(protocol, scenario.flow_seed(vc.id), nullptr,
+                      &scenario.config().tuning),
+        std::move(abr));
+  }
+  return s;
+}
+
+void run_experiment(const std::string& protocol) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 90.0;  // contended: aggregate top-rung demand
+                              // (~77 Mbps) plus probing overhead
+  cfg.rtt_ms = 30.0;
+  cfg.buffer_bytes = 900'000;
+  cfg.seed = 71;
+  Scenario scenario(cfg);
+
+  std::vector<StreamingSession> sessions;
+  sessions.push_back(make_session(scenario, true, protocol, "4K"));
+  for (int i = 0; i < 3; ++i) {
+    sessions.push_back(make_session(scenario, false, protocol, "1080p"));
+  }
+
+  scenario.run_until(from_sec(185));
+
+  std::printf("--- all flows on %s ---\n", protocol.c_str());
+  for (const StreamingSession& s : sessions) {
+    const VideoMetrics m = s.client->metrics();
+    std::printf("  %-6s bitrate %5.1f Mbps, rebuffering %4.1f%%\n", s.label,
+                m.average_chunk_bitrate_mbps, m.rebuffer_ratio * 100.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("One 4K + three 1080p BOLA streams on a 90 Mbps link.\n\n");
+  run_experiment("proteus-p");
+  run_experiment("proteus-h");
+  std::printf(
+      "Proteus-H lets the 1080p flows yield once their ladders are "
+      "satisfied,\nfreeing headroom for the 4K stream without hurting "
+      "anyone's playback.\n");
+  return 0;
+}

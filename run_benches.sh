@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every paper figure; fig08 (the 180-config sweep) runs last.
+set -u
+cd "$(dirname "$0")"
+others=""
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  case "$b" in *fig08*) ;; *) others="$others $b";; esac
+done
+for b in $others build/bench/fig08_config_sweep; do
+  echo
+  echo "##### $b #####"
+  "$b"
+done

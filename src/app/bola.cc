@@ -1,0 +1,49 @@
+#include "app/bola.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace proteus {
+
+BolaAdaptation::BolaAdaptation(std::vector<double> bitrates_mbps,
+                               double buffer_capacity_chunks, double gamma_p)
+    : gamma_p_(gamma_p) {
+  if (bitrates_mbps.empty()) {
+    throw std::invalid_argument("BolaAdaptation: empty ladder");
+  }
+  if (!std::is_sorted(bitrates_mbps.begin(), bitrates_mbps.end())) {
+    throw std::invalid_argument("BolaAdaptation: ladder must ascend");
+  }
+  const double s1 = bitrates_mbps.front();
+  for (double b : bitrates_mbps) {
+    sizes_.push_back(b / s1);
+    utilities_.push_back(std::log(b / s1));
+  }
+  // Choose V so that the top rung becomes optimal before the buffer is
+  // full: V*(v_M + gamma_p) == Q_max - 1 (BOLA's standard calibration).
+  v_ = (buffer_capacity_chunks - 1.0) / (utilities_.back() + gamma_p_);
+}
+
+int BolaAdaptation::choose(double buffer_chunks) {
+  int best = 0;
+  double best_score = -1e300;
+  bool any_positive = false;
+  for (size_t m = 0; m < sizes_.size(); ++m) {
+    const double score =
+        (v_ * (utilities_[m] + gamma_p_) - buffer_chunks) / sizes_[m];
+    if (score >= 0.0 && score > best_score) {
+      best = static_cast<int>(m);
+      best_score = score;
+      any_positive = true;
+    }
+  }
+  if (!any_positive) {
+    // Buffer beyond the pause point: keep the highest quality.
+    return static_cast<int>(sizes_.size()) - 1;
+  }
+  return best;
+}
+
+}  // namespace proteus

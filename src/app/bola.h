@@ -1,0 +1,52 @@
+// Bitrate adaptation for the emulated DASH client.
+//
+// BolaAdaptation implements BOLA (Spiteri, Urgaonkar, Sitaraman 2016), the
+// buffer-based algorithm the paper's Proteus-H experiments run: pick the
+// bitrate maximizing (V*(v_m + gamma_p) - Q) / s_m, where Q is the buffer
+// level in chunks, s_m the relative chunk size, and v_m = ln(s_m/s_1) the
+// utility. V is derived from the buffer capacity so the top bitrate is
+// reachable when the buffer is comfortably full.
+//
+// FixedBitrateAdaptation pins the highest (or any) ladder rung — the
+// "force the agent at the highest bitrates" experiment (paper Fig 13).
+#pragma once
+
+#include <vector>
+
+namespace proteus {
+
+class BitrateAdaptation {
+ public:
+  virtual ~BitrateAdaptation() = default;
+  // `buffer_chunks`: current playback buffer in chunk durations.
+  // Returns an index into the bitrate ladder.
+  virtual int choose(double buffer_chunks) = 0;
+};
+
+class BolaAdaptation final : public BitrateAdaptation {
+ public:
+  // `bitrates_mbps` ascending; `buffer_capacity_chunks` = Q_max.
+  BolaAdaptation(std::vector<double> bitrates_mbps,
+                 double buffer_capacity_chunks, double gamma_p = 5.0);
+
+  int choose(double buffer_chunks) override;
+
+  double v_parameter() const { return v_; }
+
+ private:
+  std::vector<double> sizes_;      // relative chunk sizes s_m
+  std::vector<double> utilities_;  // v_m = ln(s_m / s_1)
+  double gamma_p_;
+  double v_ = 0.0;
+};
+
+class FixedBitrateAdaptation final : public BitrateAdaptation {
+ public:
+  explicit FixedBitrateAdaptation(int index) : index_(index) {}
+  int choose(double) override { return index_; }
+
+ private:
+  int index_;
+};
+
+}  // namespace proteus

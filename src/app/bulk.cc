@@ -1,0 +1,31 @@
+#include "app/bulk.h"
+
+#include "stats/regression.h"
+#include "stats/welford.h"
+
+namespace proteus {
+
+void RttWindowAnalyzer::add_sample(TimeNs when, TimeNs rtt) {
+  if (window_start_ < 0) window_start_ = when;
+  while (when >= window_start_ + window_) {
+    flush_window();
+    window_start_ += window_;
+  }
+  times_sec_.push_back(to_sec(when - window_start_));
+  rtts_sec_.push_back(to_sec(rtt));
+}
+
+void RttWindowAnalyzer::flush_window() {
+  // The paper's windows need a handful of samples to be meaningful.
+  if (times_sec_.size() >= 4) {
+    Welford w;
+    for (double r : rtts_sec_) w.add(r);
+    deviations_ms_.add(w.stddev() * 1e3);
+    const RegressionResult reg = linear_regression(times_sec_, rtts_sec_);
+    if (reg.valid) gradients_.add(std::abs(reg.slope));
+  }
+  times_sec_.clear();
+  rtts_sec_.clear();
+}
+
+}  // namespace proteus

@@ -1,0 +1,55 @@
+// Bulk/probe traffic helpers.
+//
+// FixedRateController is the 20 Mbps constant-rate UDP probe from the
+// paper's Fig 2 methodology; RttWindowAnalyzer reproduces that figure's
+// measurement: RTT deviation and RTT-gradient magnitude computed over
+// consecutive fixed-length windows (1.5 RTT in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/percentile.h"
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+// Constant-pacing-rate "controller": no congestion reaction at all.
+class FixedRateController final : public CongestionController {
+ public:
+  explicit FixedRateController(Bandwidth rate) : rate_(rate) {}
+
+  void on_ack(const AckInfo&) override {}
+  Bandwidth pacing_rate() const override { return rate_; }
+  int64_t cwnd_bytes() const override { return kNoCwndLimit; }
+  std::string name() const override { return "fixed-rate"; }
+
+  void set_rate(Bandwidth rate) { rate_ = rate; }
+
+ private:
+  Bandwidth rate_;
+};
+
+// Splits an RTT sample stream into consecutive windows and emits each
+// window's RTT deviation (ms) and |RTT gradient| (s/s).
+class RttWindowAnalyzer {
+ public:
+  explicit RttWindowAnalyzer(TimeNs window) : window_(window) {}
+
+  void add_sample(TimeNs when, TimeNs rtt);
+
+  const Samples& deviations_ms() const { return deviations_ms_; }
+  const Samples& gradient_magnitudes() const { return gradients_; }
+
+ private:
+  void flush_window();
+
+  TimeNs window_;
+  TimeNs window_start_ = -1;
+  std::vector<double> times_sec_;
+  std::vector<double> rtts_sec_;
+  Samples deviations_ms_;
+  Samples gradients_;
+};
+
+}  // namespace proteus

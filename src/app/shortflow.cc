@@ -1,0 +1,68 @@
+#include "app/shortflow.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace proteus {
+
+ShortFlowGenerator::ShortFlowGenerator(Simulator* sim, Dumbbell* dumbbell,
+                                       Config cfg, CcFactory factory)
+    : sim_(sim),
+      dumbbell_(dumbbell),
+      cfg_(cfg),
+      factory_(std::move(factory)),
+      rng_(cfg.seed),
+      next_id_(cfg.first_flow_id),
+      alive_(std::make_shared<bool>(true)) {
+  if (cfg_.arrival_rate_per_sec > 0.0) {
+    std::weak_ptr<bool> alive = alive_;
+    sim_->schedule_at(cfg_.start_time, [this, alive] {
+      if (alive.expired()) return;
+      schedule_next_arrival();
+    });
+  }
+}
+
+ShortFlowGenerator::~ShortFlowGenerator() { *alive_ = false; }
+
+void ShortFlowGenerator::schedule_next_arrival() {
+  const double mean_gap_sec = 1.0 / cfg_.arrival_rate_per_sec;
+  const TimeNs gap = from_sec(rng_.exponential(mean_gap_sec));
+  std::weak_ptr<bool> alive = alive_;
+  sim_->schedule_in(gap, [this, alive] {
+    if (alive.expired()) return;
+    if (sim_->now() >= cfg_.stop_time) return;
+    start_flow();
+    schedule_next_arrival();
+  });
+}
+
+void ShortFlowGenerator::start_flow() {
+  FlowConfig fc;
+  fc.id = next_id_++;
+  fc.start_time = sim_->now();
+  fc.unlimited = false;
+  fc.total_bytes = rng_.uniform_int(cfg_.min_bytes, cfg_.max_bytes);
+  fc.collect_rtt = false;
+  flows_.push_back(std::make_unique<Flow>(
+      sim_, dumbbell_, fc, factory_(cfg_.seed + static_cast<uint64_t>(fc.id))));
+  ++flows_started_;
+}
+
+int64_t ShortFlowGenerator::flows_completed() const {
+  return static_cast<int64_t>(
+      std::count_if(flows_.begin(), flows_.end(),
+                    [](const auto& f) { return f->completed(); }));
+}
+
+Samples ShortFlowGenerator::completion_times_sec() const {
+  Samples s;
+  for (const auto& f : flows_) {
+    if (f->completed()) {
+      s.add(to_sec(f->completion_time() - f->config().start_time));
+    }
+  }
+  return s;
+}
+
+}  // namespace proteus

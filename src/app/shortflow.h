@@ -1,0 +1,56 @@
+// Poisson cross-traffic generator: short flows with random sizes, each on
+// its own congestion controller. Used as the "impending congestion" load
+// in Fig 2 (CUBIC flows, 20-100 KB, Poisson arrivals) and reusable for any
+// workload of arriving-and-departing flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "stats/percentile.h"
+#include "transport/flow.h"
+
+namespace proteus {
+
+class ShortFlowGenerator {
+ public:
+  using CcFactory =
+      std::function<std::unique_ptr<CongestionController>(uint64_t seed)>;
+
+  struct Config {
+    double arrival_rate_per_sec = 3.0;  // Poisson rate; 0 = no flows
+    int64_t min_bytes = 20'000;
+    int64_t max_bytes = 100'000;
+    TimeNs start_time = 0;
+    TimeNs stop_time = kTimeInfinite;  // no new arrivals after this
+    FlowId first_flow_id = 1000;       // ids are allocated upward
+    uint64_t seed = 0x5f;
+  };
+
+  ShortFlowGenerator(Simulator* sim, Dumbbell* dumbbell, Config cfg,
+                     CcFactory factory);
+  ~ShortFlowGenerator();
+
+  int64_t flows_started() const { return flows_started_; }
+  int64_t flows_completed() const;
+  // Flow completion times (seconds) for completed flows.
+  Samples completion_times_sec() const;
+
+ private:
+  void schedule_next_arrival();
+  void start_flow();
+
+  Simulator* sim_;
+  Dumbbell* dumbbell_;
+  Config cfg_;
+  CcFactory factory_;
+  Rng rng_;
+  FlowId next_id_;
+  int64_t flows_started_ = 0;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace proteus

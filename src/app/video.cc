@@ -1,0 +1,165 @@
+#include "app/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus {
+
+namespace {
+constexpr TimeNs kTick = from_ms(100);
+}
+
+VideoDefinition make_4k_video(int total_chunks) {
+  VideoDefinition v;
+  v.bitrates_mbps = {1.0, 2.5, 5.0, 8.0, 16.0, 25.0, 45.0};
+  v.chunk_duration_sec = 3.0;
+  v.total_chunks = total_chunks;
+  return v;
+}
+
+VideoDefinition make_1080p_video(int total_chunks) {
+  VideoDefinition v;
+  v.bitrates_mbps = {0.5, 1.0, 2.0, 3.0, 4.5, 7.0, 10.5};
+  v.chunk_duration_sec = 3.0;
+  v.total_chunks = total_chunks;
+  return v;
+}
+
+VideoClient::VideoClient(Simulator* sim, Dumbbell* dumbbell,
+                         VideoClientConfig cfg,
+                         std::unique_ptr<CongestionController> cc,
+                         std::unique_ptr<BitrateAdaptation> abr,
+                         HybridThresholdPolicy* threshold_policy)
+    : sim_(sim),
+      dumbbell_(dumbbell),
+      cfg_(cfg),
+      abr_(std::move(abr)),
+      threshold_policy_(threshold_policy),
+      alive_(std::make_shared<bool>(true)) {
+  sender_ = std::make_unique<Sender>(sim, dumbbell, cfg_.id, std::move(cc));
+  receiver_ = std::make_unique<Receiver>(sim, dumbbell, cfg_.id);
+  dumbbell_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
+  sender_->set_on_all_delivered([this] { on_chunk_complete(); });
+
+  std::weak_ptr<bool> alive = alive_;
+  sim_->schedule_at(std::max(cfg_.start_time, sim_->now()), [this, alive] {
+    if (alive.expired()) return;
+    last_advance_ = sim_->now();
+    sender_->start();
+    maybe_request_chunk();
+    tick();
+  });
+}
+
+VideoClient::~VideoClient() {
+  *alive_ = false;
+  dumbbell_->detach_flow(cfg_.id);
+}
+
+void VideoClient::tick() {
+  advance_playback();
+  maybe_request_chunk();
+  std::weak_ptr<bool> alive = alive_;
+  sim_->schedule_in(kTick, [this, alive] {
+    if (alive.expired()) return;
+    tick();
+  });
+}
+
+void VideoClient::advance_playback() {
+  const TimeNs now = sim_->now();
+  const double elapsed = to_sec(now - last_advance_);
+  last_advance_ = now;
+  if (elapsed <= 0.0) return;
+
+  if (!started_playing_) {
+    if (buffer_sec_ >= cfg_.startup_buffer_sec) {
+      started_playing_ = true;
+    } else {
+      return;  // startup delay is not counted as rebuffering
+    }
+  }
+
+  if (rebuffering_) {
+    stall_time_sec_ += elapsed;
+    return;
+  }
+
+  const double consumed = std::min(buffer_sec_, elapsed);
+  buffer_sec_ -= consumed;
+  play_time_sec_ += consumed;
+  const double starved = elapsed - consumed;
+  const bool video_done =
+      next_chunk_ >= cfg_.video.total_chunks && !chunk_in_flight_;
+  if (starved > 0.0 && !video_done) {
+    rebuffering_ = true;
+    ++rebuffer_events_;
+    stall_time_sec_ += starved;
+    if (threshold_policy_ != nullptr) threshold_policy_->on_rebuffer_start();
+  }
+}
+
+double VideoClient::free_chunks() const {
+  return (cfg_.buffer_capacity_sec - buffer_sec_) /
+         cfg_.video.chunk_duration_sec;
+}
+
+void VideoClient::maybe_request_chunk() {
+  if (chunk_in_flight_ || next_chunk_ >= cfg_.video.total_chunks) return;
+  // Client-side flow control: only request when there is room for the
+  // next chunk in the playback buffer.
+  if (buffer_sec_ + cfg_.video.chunk_duration_sec >
+      cfg_.buffer_capacity_sec) {
+    return;
+  }
+
+  const double buffer_chunks = buffer_sec_ / cfg_.video.chunk_duration_sec;
+  current_bitrate_index_ = std::clamp(
+      abr_->choose(buffer_chunks), 0,
+      static_cast<int>(cfg_.video.bitrates_mbps.size()) - 1);
+  const double bitrate =
+      cfg_.video.bitrates_mbps[static_cast<size_t>(current_bitrate_index_)];
+
+  if (threshold_policy_ != nullptr) {
+    threshold_policy_->on_chunk_request(cfg_.video.bitrates_mbps.back(),
+                                        bitrate, free_chunks());
+  }
+
+  const auto bytes = static_cast<int64_t>(
+      bitrate * 1e6 / 8.0 * cfg_.video.chunk_duration_sec);
+  chunk_in_flight_ = true;
+  sender_->offer_bytes(bytes);
+}
+
+void VideoClient::on_chunk_complete() {
+  advance_playback();
+  chunk_in_flight_ = false;
+  downloaded_bitrates_.push_back(
+      cfg_.video.bitrates_mbps[static_cast<size_t>(current_bitrate_index_)]);
+  ++next_chunk_;
+  buffer_sec_ += cfg_.video.chunk_duration_sec;
+
+  if (rebuffering_ && buffer_sec_ >= cfg_.resume_buffer_sec) {
+    rebuffering_ = false;
+    if (threshold_policy_ != nullptr) threshold_policy_->on_rebuffer_end();
+  }
+  maybe_request_chunk();
+}
+
+VideoMetrics VideoClient::metrics() const {
+  VideoMetrics m;
+  m.chunks_downloaded = static_cast<int>(downloaded_bitrates_.size());
+  for (double b : downloaded_bitrates_) m.average_chunk_bitrate_mbps += b;
+  if (m.chunks_downloaded > 0) {
+    m.average_chunk_bitrate_mbps /= m.chunks_downloaded;
+  }
+  m.play_time_sec = play_time_sec_;
+  m.stall_time_sec = stall_time_sec_;
+  const double denom = play_time_sec_ + stall_time_sec_;
+  m.rebuffer_ratio = denom > 0.0 ? stall_time_sec_ / denom : 0.0;
+  m.rebuffer_events = rebuffer_events_;
+  m.finished_download = next_chunk_ >= cfg_.video.total_chunks;
+  return m;
+}
+
+}  // namespace proteus

@@ -1,0 +1,99 @@
+// Emulated DASH video client (paper section 6, Figs 11-13).
+//
+// Mirrors the paper's setup: the receiver-side agent consumes delivered
+// bytes to maintain an emulated playback buffer, requests chunks through a
+// side channel (here: direct calls into the sender), and optionally feeds
+// the Proteus-H switching-threshold policy with (1) the requested bitrate,
+// (2) stop/resume on buffer limits, and (3) rebuffer emergencies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/bola.h"
+#include "core/hybrid_threshold.h"
+#include "sim/dumbbell.h"
+#include "transport/receiver.h"
+#include "transport/sender.h"
+
+namespace proteus {
+
+struct VideoDefinition {
+  std::vector<double> bitrates_mbps;  // ascending ladder
+  double chunk_duration_sec = 3.0;
+  int total_chunks = 60;  // 3 minutes at 3 s/chunk
+};
+
+// Ladders matching the paper's corpus: 4K tops out above 40 Mbps, 1080P
+// above 10 Mbps, 3-second chunks, >= 3 minutes long.
+VideoDefinition make_4k_video(int total_chunks = 60);
+VideoDefinition make_1080p_video(int total_chunks = 60);
+
+struct VideoClientConfig {
+  VideoDefinition video;
+  double buffer_capacity_sec = 30.0;
+  double startup_buffer_sec = 3.0;  // begin playback at one chunk
+  double resume_buffer_sec = 3.0;   // leave a stall at one chunk
+  FlowId id = 1;
+  TimeNs start_time = 0;
+};
+
+struct VideoMetrics {
+  double average_chunk_bitrate_mbps = 0.0;
+  double rebuffer_ratio = 0.0;  // stall / (stall + play)
+  double play_time_sec = 0.0;
+  double stall_time_sec = 0.0;
+  int chunks_downloaded = 0;
+  int rebuffer_events = 0;
+  bool finished_download = false;
+};
+
+class VideoClient {
+ public:
+  VideoClient(Simulator* sim, Dumbbell* dumbbell, VideoClientConfig cfg,
+              std::unique_ptr<CongestionController> cc,
+              std::unique_ptr<BitrateAdaptation> abr,
+              HybridThresholdPolicy* threshold_policy = nullptr);
+  ~VideoClient();
+
+  VideoClient(const VideoClient&) = delete;
+  VideoClient& operator=(const VideoClient&) = delete;
+
+  VideoMetrics metrics() const;
+  double buffer_level_sec() const { return buffer_sec_; }
+  bool rebuffering() const { return rebuffering_; }
+  Sender& sender() { return *sender_; }
+
+ private:
+  void tick();
+  void advance_playback();
+  void maybe_request_chunk();
+  void on_chunk_complete();
+  double free_chunks() const;
+
+  Simulator* sim_;
+  Dumbbell* dumbbell_;
+  VideoClientConfig cfg_;
+  std::unique_ptr<Sender> sender_;
+  std::unique_ptr<Receiver> receiver_;
+  std::unique_ptr<BitrateAdaptation> abr_;
+  HybridThresholdPolicy* threshold_policy_;
+
+  int next_chunk_ = 0;
+  bool chunk_in_flight_ = false;
+  int current_bitrate_index_ = 0;
+  std::vector<double> downloaded_bitrates_;
+
+  bool started_playing_ = false;
+  bool rebuffering_ = false;
+  double buffer_sec_ = 0.0;
+  double play_time_sec_ = 0.0;
+  double stall_time_sec_ = 0.0;
+  int rebuffer_events_ = 0;
+  TimeNs last_advance_ = 0;
+
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,93 @@
+#include "app/web.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace proteus {
+
+WebWorkload::WebWorkload(Simulator* sim, Dumbbell* dumbbell, Config cfg,
+                         CcFactory factory)
+    : sim_(sim),
+      dumbbell_(dumbbell),
+      cfg_(cfg),
+      factory_(std::move(factory)),
+      rng_(cfg.seed),
+      next_id_(cfg.first_flow_id),
+      alive_(std::make_shared<bool>(true)) {
+  std::weak_ptr<bool> alive = alive_;
+  sim_->schedule_at(cfg_.start_time, [this, alive] {
+    if (alive.expired()) return;
+    schedule_next_page();
+  });
+}
+
+WebWorkload::~WebWorkload() { *alive_ = false; }
+
+void WebWorkload::schedule_next_page() {
+  const double gap_sec =
+      rng_.exponential(1.0 / cfg_.page_arrival_rate_per_sec);
+  std::weak_ptr<bool> alive = alive_;
+  sim_->schedule_in(from_sec(gap_sec), [this, alive] {
+    if (alive.expired()) return;
+    if (sim_->now() >= cfg_.stop_time) return;
+    start_page();
+    schedule_next_page();
+  });
+}
+
+void WebWorkload::start_page() {
+  Page page;
+  page.start = sim_->now();
+
+  // Log-uniform page weight: heavy pages exist but are not the norm.
+  const double lo = std::log(static_cast<double>(cfg_.min_page_bytes));
+  const double hi = std::log(static_cast<double>(cfg_.max_page_bytes));
+  const auto total_bytes =
+      static_cast<int64_t>(std::exp(rng_.uniform(lo, hi)));
+  const int n_flows = static_cast<int>(rng_.uniform_int(
+      cfg_.min_flows_per_page, cfg_.max_flows_per_page));
+
+  for (int i = 0; i < n_flows; ++i) {
+    FlowConfig fc;
+    fc.id = next_id_++;
+    fc.start_time = sim_->now();
+    fc.unlimited = false;
+    fc.total_bytes = std::max<int64_t>(total_bytes / n_flows, 10'000);
+    fc.collect_rtt = false;
+    page.flows.push_back(std::make_unique<Flow>(
+        sim_, dumbbell_, fc,
+        factory_(cfg_.seed + static_cast<uint64_t>(fc.id))));
+  }
+  pages_.push_back(std::move(page));
+  ++pages_started_;
+}
+
+int64_t WebWorkload::pages_completed() const {
+  return static_cast<int64_t>(std::count_if(
+      pages_.begin(), pages_.end(), [](const Page& p) {
+        return std::all_of(p.flows.begin(), p.flows.end(),
+                           [](const auto& f) { return f->completed(); });
+      }));
+}
+
+Samples WebWorkload::page_load_times_sec() const {
+  Samples s;
+  for (const Page& p : pages_) {
+    TimeNs latest = 0;
+    bool complete = true;
+    for (const auto& f : p.flows) {
+      if (!f->completed()) {
+        complete = false;
+        break;
+      }
+      latest = std::max(latest, f->completion_time());
+    }
+    if (complete && !p.flows.empty()) {
+      s.add(to_sec(latest - p.start));
+    }
+  }
+  return s;
+}
+
+}  // namespace proteus

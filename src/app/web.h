@@ -1,0 +1,64 @@
+// Web page-load workload (paper Fig 11(b)).
+//
+// Pages arrive as a Poisson process; each page is a handful of parallel
+// flows whose total size is sampled log-uniformly (matching the weight
+// spread of popular landing pages). Page load time (PLT) is the latest
+// completion among the page's flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "stats/percentile.h"
+#include "transport/flow.h"
+
+namespace proteus {
+
+class WebWorkload {
+ public:
+  using CcFactory =
+      std::function<std::unique_ptr<CongestionController>(uint64_t seed)>;
+
+  struct Config {
+    double page_arrival_rate_per_sec = 0.1;  // 1 request / 10 s
+    TimeNs start_time = 0;
+    TimeNs stop_time = kTimeInfinite;
+    int min_flows_per_page = 1;
+    int max_flows_per_page = 4;
+    int64_t min_page_bytes = 200'000;   // light landing page
+    int64_t max_page_bytes = 4'000'000; // heavy landing page
+    FlowId first_flow_id = 50'000;
+    uint64_t seed = 0x3e8;
+  };
+
+  WebWorkload(Simulator* sim, Dumbbell* dumbbell, Config cfg,
+              CcFactory factory);
+  ~WebWorkload();
+
+  int64_t pages_started() const { return pages_started_; }
+  int64_t pages_completed() const;
+  Samples page_load_times_sec() const;
+
+ private:
+  struct Page {
+    TimeNs start;
+    std::vector<std::unique_ptr<Flow>> flows;
+  };
+
+  void schedule_next_page();
+  void start_page();
+
+  Simulator* sim_;
+  Dumbbell* dumbbell_;
+  Config cfg_;
+  CcFactory factory_;
+  Rng rng_;
+  FlowId next_id_;
+  int64_t pages_started_ = 0;
+  std::vector<Page> pages_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,223 @@
+#include "cc/bbr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus {
+
+namespace {
+constexpr double kProbeBwGains[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr int kProbeBwPhases = 8;
+constexpr double kDrainGain = 1.0 / 2.885;
+}  // namespace
+
+BbrSender::BbrSender(Config cfg) : cfg_(cfg) {
+  pacing_gain_ = cfg_.startup_gain;
+}
+
+void BbrSender::on_start(TimeNs now) {
+  delivered_time_ = now;
+  min_rtt_timestamp_ = now;
+}
+
+Bandwidth BbrSender::max_bandwidth() const {
+  return Bandwidth::from_bps(bw_samples_.empty() ? 0.0
+                                                 : bw_samples_.front().second);
+}
+
+double BbrSender::bdp_bytes() const {
+  const Bandwidth bw = max_bandwidth();
+  if (!bw.positive() || min_rtt_ == kTimeInfinite) {
+    return static_cast<double>(cfg_.initial_cwnd_packets * cfg_.mss);
+  }
+  return bw.bdp_bytes(min_rtt_);
+}
+
+Bandwidth BbrSender::pacing_rate() const {
+  const Bandwidth bw = max_bandwidth();
+  if (!bw.positive()) {
+    // No samples yet: pace the initial window over the (unknown) RTT guess.
+    const double bytes = static_cast<double>(cfg_.initial_cwnd_packets *
+                                             cfg_.mss);
+    return Bandwidth::from_bps(pacing_gain_ * bytes * 8.0 / 0.1);
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    // Minimal probing rate: 4 packets per min RTT.
+    const double bytes = static_cast<double>(cfg_.min_cwnd_packets *
+                                             cfg_.mss);
+    const double rtt_sec =
+        min_rtt_ == kTimeInfinite ? 0.1 : to_sec(std::max<TimeNs>(min_rtt_, kNsPerMs));
+    return Bandwidth::from_bps(bytes * 8.0 / rtt_sec);
+  }
+  return Bandwidth::from_bps(pacing_gain_ * bw.bps);
+}
+
+int64_t BbrSender::cwnd_bytes() const {
+  if (mode_ == Mode::kProbeRtt) return cfg_.min_cwnd_packets * cfg_.mss;
+  const double cwnd = cfg_.cwnd_gain * bdp_bytes();
+  return std::max(static_cast<int64_t>(cwnd),
+                  cfg_.min_cwnd_packets * cfg_.mss);
+}
+
+void BbrSender::on_packet_sent(const SentPacketInfo& info) {
+  snapshots_.emplace(
+      info.seq, SendSnapshot{delivered_bytes_, delivered_time_,
+                             info.sent_time});
+  bytes_in_flight_ = info.bytes_in_flight;
+}
+
+void BbrSender::update_round(const AckInfo& info) {
+  auto it = snapshots_.find(info.seq);
+  if (it == snapshots_.end()) return;
+  if (it->second.delivered >= next_round_delivered_) {
+    ++round_count_;
+    next_round_delivered_ = delivered_bytes_;
+  }
+}
+
+void BbrSender::update_bandwidth(const AckInfo& info) {
+  auto it = snapshots_.find(info.seq);
+  if (it == snapshots_.end()) return;
+  const SendSnapshot snap = it->second;
+  snapshots_.erase(it);
+
+  const TimeNs interval = info.ack_time - snap.delivered_time;
+  if (interval <= 0) return;
+  const double bw = static_cast<double>(delivered_bytes_ - snap.delivered) *
+                    8.0 / to_sec(interval);
+  // Monotonic max-queue: drop dominated candidates, then expire old rounds.
+  while (!bw_samples_.empty() && bw_samples_.back().second <= bw) {
+    bw_samples_.pop_back();
+  }
+  bw_samples_.emplace_back(round_count_, bw);
+  while (!bw_samples_.empty() &&
+         bw_samples_.front().first < round_count_ - cfg_.bw_window_rounds) {
+    bw_samples_.pop_front();
+  }
+}
+
+void BbrSender::update_min_rtt(const AckInfo& info) {
+  if (mode_ == Mode::kProbeRtt) {
+    probe_rtt_min_ = std::min(probe_rtt_min_, info.rtt);
+  }
+  if (info.rtt <= min_rtt_) {
+    min_rtt_ = info.rtt;
+    min_rtt_timestamp_ = info.ack_time;
+  }
+}
+
+void BbrSender::check_full_bandwidth() {
+  if (full_bw_reached_ || round_count_ == last_round_checked_) return;
+  last_round_checked_ = round_count_;
+  const double bw = max_bandwidth().bps;
+  if (bw >= full_bw_ * 1.25) {
+    full_bw_ = bw;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  if (++full_bw_rounds_ >= 3) full_bw_reached_ = true;
+}
+
+void BbrSender::enter_probe_rtt(TimeNs now, TimeNs duration) {
+  mode_ = Mode::kProbeRtt;
+  probe_rtt_done_ = now + duration;
+  probe_rtt_min_ = kTimeInfinite;
+}
+
+void BbrSender::advance_mode(const AckInfo& info) {
+  const TimeNs now = info.ack_time;
+
+  // BBR-S: high smoothed RTT deviation signals competition; stop and probe
+  // for the clean-channel RTT (paper section 7.1).
+  if (cfg_.scavenger && mode_ != Mode::kProbeRtt &&
+      rtt_tracker_.count() >= 4 &&  // past the estimator's warm-up
+      rtt_tracker_.deviation() >
+          static_cast<double>(cfg_.rtt_dev_threshold)) {
+    enter_probe_rtt(now, cfg_.forced_probe_duration);
+    return;
+  }
+
+  switch (mode_) {
+    case Mode::kStartup:
+      check_full_bandwidth();
+      if (full_bw_reached_) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = kDrainGain;
+      }
+      break;
+    case Mode::kDrain:
+      if (static_cast<double>(bytes_in_flight_) <= bdp_bytes()) {
+        mode_ = Mode::kProbeBw;
+        cycle_index_ = 2;  // start in a cruise phase
+        cycle_start_ = now;
+        pacing_gain_ = kProbeBwGains[cycle_index_];
+      }
+      break;
+    case Mode::kProbeBw: {
+      const TimeNs phase_len =
+          min_rtt_ == kTimeInfinite ? from_ms(100) : min_rtt_;
+      bool advance = now - cycle_start_ > phase_len;
+      // Leave the 0.75 phase only once the queue we built has drained.
+      if (advance && kProbeBwGains[cycle_index_] < 1.0 &&
+          static_cast<double>(bytes_in_flight_) > bdp_bytes()) {
+        advance = false;
+      }
+      if (advance) {
+        cycle_index_ = (cycle_index_ + 1) % kProbeBwPhases;
+        cycle_start_ = now;
+        pacing_gain_ = kProbeBwGains[cycle_index_];
+      }
+      // Stale min RTT: schedule a PROBE_RTT.
+      if (now - min_rtt_timestamp_ > cfg_.min_rtt_window) {
+        enter_probe_rtt(now, cfg_.probe_rtt_duration);
+      }
+      break;
+    }
+    case Mode::kProbeRtt:
+      if (now >= probe_rtt_done_) {
+        if (probe_rtt_min_ != kTimeInfinite) {
+          min_rtt_ = probe_rtt_min_;
+        }
+        min_rtt_timestamp_ = now;
+        if (full_bw_reached_) {
+          mode_ = Mode::kProbeBw;
+          cycle_index_ = 2;
+          cycle_start_ = now;
+          pacing_gain_ = kProbeBwGains[cycle_index_];
+        } else {
+          mode_ = Mode::kStartup;
+          pacing_gain_ = cfg_.startup_gain;
+        }
+      }
+      break;
+  }
+}
+
+void BbrSender::on_ack(const AckInfo& info) {
+  delivered_bytes_ += info.bytes;
+  delivered_time_ = info.ack_time;
+  bytes_in_flight_ = info.bytes_in_flight;
+  // Sample the deviation tracker once per RTT, not per ACK: consecutive
+  // ACKs carry nearly identical RTTs, so per-ACK deltas would hide the
+  // RTT-scale swings BBR-S keys on.
+  const TimeNs spacing =
+      min_rtt_ == kTimeInfinite ? from_ms(25) : min_rtt_;
+  if (info.ack_time - last_rtt_tracker_update_ >= spacing) {
+    last_rtt_tracker_update_ = info.ack_time;
+    rtt_tracker_.add(static_cast<double>(info.rtt));
+  }
+
+  update_round(info);
+  update_bandwidth(info);
+  update_min_rtt(info);
+  advance_mode(info);
+}
+
+void BbrSender::on_loss(const LossInfo& info) {
+  // BBR v1 does not react to individual losses; just track inflight and
+  // drop the stale snapshot.
+  bytes_in_flight_ = info.bytes_in_flight;
+  snapshots_.erase(info.seq);
+}
+
+}  // namespace proteus

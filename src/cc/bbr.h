@@ -1,0 +1,116 @@
+// BBR v1 (Cardwell et al. 2016) — model-based primary protocol.
+//
+// Maintains a windowed-max delivery-rate estimate and a windowed-min RTT,
+// paces at gain * max_bw and caps inflight at cwnd_gain * BDP, cycling
+// through STARTUP / DRAIN / PROBE_BW / PROBE_RTT.
+//
+// The `scavenger` flag implements the paper's BBR-S (section 7.1): when
+// the smoothed RTT deviation exceeds rtt_dev_threshold the sender is
+// forced into PROBE_RTT for at least forced_probe_duration, which
+// effectively stops transmission while competition is present.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "stats/ewma.h"
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+class BbrSender final : public CongestionController {
+ public:
+  struct Config {
+    int64_t mss = kMtuBytes;
+    int64_t initial_cwnd_packets = 10;
+    int64_t min_cwnd_packets = 4;
+    double startup_gain = 2.885;
+    double cwnd_gain = 2.0;
+    int bw_window_rounds = 10;
+    TimeNs min_rtt_window = from_sec(10);
+    TimeNs probe_rtt_duration = from_ms(200);
+
+    // BBR-S (paper section 7.1). The paper's kernel prototype uses a
+    // 20 ms deviation threshold against live-Internet RTT scales; 8 ms is
+    // the calibrated equivalent for this simulator's noise model
+    // (DESIGN.md, "Calibration").
+    bool scavenger = false;
+    TimeNs rtt_dev_threshold = from_ms(8);
+    TimeNs forced_probe_duration = from_ms(40);
+  };
+
+  BbrSender() : BbrSender(Config{}) {}
+  explicit BbrSender(Config cfg);
+
+  void on_start(TimeNs now) override;
+  void on_packet_sent(const SentPacketInfo& info) override;
+  void on_ack(const AckInfo& info) override;
+  void on_loss(const LossInfo& info) override;
+  Bandwidth pacing_rate() const override;
+  int64_t cwnd_bytes() const override;
+  std::string name() const override {
+    return cfg_.scavenger ? "bbr-s" : "bbr";
+  }
+
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+  Mode mode() const { return mode_; }
+  Bandwidth max_bandwidth() const;
+  TimeNs min_rtt() const { return min_rtt_; }
+
+ private:
+  struct SendSnapshot {
+    int64_t delivered;
+    TimeNs delivered_time;
+    TimeNs sent_time;
+  };
+
+  void update_bandwidth(const AckInfo& info);
+  void update_round(const AckInfo& info);
+  void update_min_rtt(const AckInfo& info);
+  void check_full_bandwidth();
+  void advance_mode(const AckInfo& info);
+  void enter_probe_rtt(TimeNs now, TimeNs duration);
+  double bdp_bytes() const;
+
+  Config cfg_;
+  Mode mode_ = Mode::kStartup;
+  double pacing_gain_ = 2.885;
+
+  // Delivery-rate sampling.
+  int64_t delivered_bytes_ = 0;
+  TimeNs delivered_time_ = 0;
+  std::unordered_map<uint64_t, SendSnapshot> snapshots_;
+
+  // Windowed max-bandwidth filter: monotonically decreasing (round, bps)
+  // candidates; front is the current max, back absorbs dominated samples.
+  std::deque<std::pair<int64_t, double>> bw_samples_;
+  int64_t round_count_ = 0;
+  int64_t next_round_delivered_ = 0;
+
+  // Min-RTT tracking.
+  TimeNs min_rtt_ = kTimeInfinite;
+  TimeNs min_rtt_timestamp_ = 0;
+  TimeNs probe_rtt_done_ = 0;
+  TimeNs probe_rtt_min_ = kTimeInfinite;
+
+  // STARTUP full-pipe detection.
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+  bool full_bw_reached_ = false;
+  int64_t last_round_checked_ = -1;
+
+  // PROBE_BW gain cycling.
+  int cycle_index_ = 0;
+  TimeNs cycle_start_ = 0;
+
+  int64_t bytes_in_flight_ = 0;
+
+  // BBR-S RTT-deviation tracking (kernel-style srtt/mdev), sampled once
+  // per RTT.
+  MeanDeviationTracker rtt_tracker_;
+  TimeNs last_rtt_tracker_update_ = 0;
+};
+
+}  // namespace proteus

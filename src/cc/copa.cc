@@ -1,0 +1,147 @@
+#include "cc/copa.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus {
+
+CopaSender::CopaSender(Config cfg) : cfg_(cfg) {
+  cwnd_bytes_ = cfg_.initial_cwnd_packets * cfg_.mss;
+  cwnd_at_last_update_ = cwnd_bytes_;
+}
+
+void CopaSender::on_start(TimeNs /*now*/) {}
+
+double CopaSender::delta() const {
+  return competitive_ ? 1.0 / std::max(k_, 1.0) : cfg_.default_delta;
+}
+
+TimeNs CopaSender::windowed_min_rtt() const {
+  return rtt_window_.empty() ? kTimeInfinite : rtt_window_.front().second;
+}
+
+TimeNs CopaSender::standing_rtt() const {
+  return standing_window_.empty() ? kTimeInfinite
+                                  : standing_window_.front().second;
+}
+
+void CopaSender::update_velocity(TimeNs now) {
+  if (srtt_ == 0) return;
+  if (now - last_velocity_update_ < srtt_) return;
+  const int direction = cwnd_bytes_ > cwnd_at_last_update_   ? 1
+                        : cwnd_bytes_ < cwnd_at_last_update_ ? -1
+                                                             : 0;
+  if (direction != 0 && direction == last_direction_) {
+    velocity_ = std::min(velocity_ * 2.0, cfg_.velocity_cap);
+  } else {
+    velocity_ = 1.0;
+  }
+  last_direction_ = direction;
+  cwnd_at_last_update_ = cwnd_bytes_;
+  last_velocity_update_ = now;
+}
+
+void CopaSender::update_mode(TimeNs now) {
+  if (!cfg_.enable_competitive_mode || srtt_ == 0) return;
+  // Mode detection is a per-RTT-scale decision; no need to scan per ack.
+  if (now - last_mode_check_ < srtt_ / 4) return;
+  last_mode_check_ = now;
+  // Keep ~5 srtt of queueing-delay history.
+  while (!queue_delay_window_.empty() &&
+         now - queue_delay_window_.front().first > 5 * srtt_) {
+    queue_delay_window_.pop_front();
+  }
+  if (queue_delay_window_.size() < 8) return;
+  TimeNs dq_min = kTimeInfinite, dq_max = 0;
+  for (const auto& [t, dq] : queue_delay_window_) {
+    dq_min = std::min(dq_min, dq);
+    dq_max = std::max(dq_max, dq);
+  }
+  const bool queue_drains =
+      static_cast<double>(dq_min) <=
+      cfg_.empty_queue_fraction * static_cast<double>(dq_max);
+  if (queue_drains || dq_max == 0) {
+    if (competitive_) {
+      competitive_ = false;
+    }
+  } else if (!competitive_) {
+    competitive_ = true;
+    k_ = 2.0;
+  }
+}
+
+void CopaSender::on_ack(const AckInfo& info) {
+  const TimeNs now = info.ack_time;
+  srtt_ = srtt_ == 0 ? info.rtt : (7 * srtt_ + info.rtt) / 8;
+
+  while (!rtt_window_.empty() && rtt_window_.back().second >= info.rtt) {
+    rtt_window_.pop_back();
+  }
+  rtt_window_.emplace_back(now, info.rtt);
+  while (now - rtt_window_.front().first > cfg_.min_rtt_window) {
+    rtt_window_.pop_front();
+  }
+  while (!standing_window_.empty() &&
+         standing_window_.back().second >= info.rtt) {
+    standing_window_.pop_back();
+  }
+  standing_window_.emplace_back(now, info.rtt);
+  while (now - standing_window_.front().first >
+         std::max(srtt_ / 2, kNsPerMs)) {
+    standing_window_.pop_front();
+  }
+
+  const TimeNs min_rtt = windowed_min_rtt();
+  const TimeNs standing = standing_rtt();
+  const TimeNs dq = std::max<TimeNs>(0, standing - min_rtt);
+  queue_delay_window_.emplace_back(now, dq);
+  update_mode(now);
+  update_velocity(now);
+
+  const double mss = static_cast<double>(cfg_.mss);
+  const double cwnd_pkts = static_cast<double>(cwnd_bytes_) / mss;
+  const double d = delta();
+
+  // Target rate in packets/sec; infinite when the queue is empty.
+  double target_rate;
+  if (dq <= 0) {
+    target_rate = 1e18;
+  } else {
+    target_rate = 1.0 / (d * to_sec(dq));
+  }
+  const double current_rate =
+      standing > 0 ? cwnd_pkts / to_sec(standing) : 0.0;
+
+  const double step = velocity_ * static_cast<double>(info.bytes) /
+                      (d * cwnd_pkts);
+  if (current_rate <= target_rate) {
+    cwnd_bytes_ += static_cast<int64_t>(step);
+  } else {
+    cwnd_bytes_ -= static_cast<int64_t>(step);
+  }
+  cwnd_bytes_ = std::max(cwnd_bytes_, cfg_.min_cwnd_packets * cfg_.mss);
+
+  // Competitive mode: additive increase of k (1/delta) per RTT's worth of
+  // acked data.
+  if (competitive_) {
+    k_ += static_cast<double>(info.bytes) /
+          std::max(cwnd_pkts * mss, mss);
+    k_ = std::min(k_, 200.0);
+  }
+}
+
+void CopaSender::on_loss(const LossInfo& info) {
+  if (!competitive_) return;  // default mode: delay handles congestion
+  if (info.detected_time - last_loss_reaction_ < srtt_) return;
+  last_loss_reaction_ = info.detected_time;
+  k_ = std::max(k_ / 2.0, 1.0);
+}
+
+Bandwidth CopaSender::pacing_rate() const {
+  if (srtt_ == 0) return Bandwidth{0.0};  // unpaced until first RTT
+  // Pace at 2x the window rate to smooth bursts (as in the COPA paper).
+  return Bandwidth::from_bps(2.0 * static_cast<double>(cwnd_bytes_) * 8.0 /
+                             to_sec(srtt_));
+}
+
+}  // namespace proteus

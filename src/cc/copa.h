@@ -1,0 +1,75 @@
+// COPA (Arun & Balakrishnan, NSDI 2018) — delay-based primary protocol.
+//
+// Targets rate 1/(delta * d_q) where d_q is the standing queueing delay
+// (standing RTT minus windowed min RTT), adjusting cwnd toward the target
+// with a velocity parameter that doubles on consistent movement. Mode
+// switching: when the queue never drains (a buffer-filling competitor is
+// present) COPA turns "competitive" and adapts 1/delta by AIMD, restoring
+// rough TCP-fairness.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+class CopaSender final : public CongestionController {
+ public:
+  struct Config {
+    double default_delta = 0.5;
+    int64_t mss = kMtuBytes;
+    int64_t initial_cwnd_packets = 10;
+    int64_t min_cwnd_packets = 2;
+    TimeNs min_rtt_window = from_sec(10);
+    double velocity_cap = 64.0;
+    bool enable_competitive_mode = true;
+    // Queue considered "nearly empty" below this fraction of the recent
+    // max queueing delay.
+    double empty_queue_fraction = 0.1;
+  };
+
+  CopaSender() : CopaSender(Config{}) {}
+  explicit CopaSender(Config cfg);
+
+  void on_start(TimeNs now) override;
+  void on_ack(const AckInfo& info) override;
+  void on_loss(const LossInfo& info) override;
+  Bandwidth pacing_rate() const override;
+  int64_t cwnd_bytes() const override { return cwnd_bytes_; }
+  std::string name() const override { return "copa"; }
+
+  bool competitive() const { return competitive_; }
+  double delta() const;
+
+ private:
+  TimeNs windowed_min_rtt() const;
+  TimeNs standing_rtt() const;
+  void update_velocity(TimeNs now);
+  void update_mode(TimeNs now);
+
+  Config cfg_;
+  int64_t cwnd_bytes_ = 0;
+  TimeNs srtt_ = 0;
+
+  // Monotonic min-queues of (time, rtt): fronts are the windowed minima.
+  std::deque<std::pair<TimeNs, TimeNs>> rtt_window_;       // min_rtt_window
+  std::deque<std::pair<TimeNs, TimeNs>> standing_window_;  // srtt/2
+
+  // Velocity state.
+  double velocity_ = 1.0;
+  TimeNs last_velocity_update_ = 0;
+  int64_t cwnd_at_last_update_ = 0;
+  int last_direction_ = 0;
+
+  // Competitive-mode state.
+  bool competitive_ = false;
+  double k_ = 2.0;  // delta = 1/k in competitive mode
+  std::deque<std::pair<TimeNs, TimeNs>> queue_delay_window_;  // ~5 srtt
+  TimeNs last_mode_check_ = 0;
+  TimeNs last_loss_reaction_ = kTimeLongAgo;
+};
+
+}  // namespace proteus

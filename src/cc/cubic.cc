@@ -1,0 +1,93 @@
+#include "cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus {
+
+CubicSender::CubicSender(Config cfg) : cfg_(cfg) {
+  cwnd_bytes_ = cfg_.initial_cwnd_packets * cfg_.mss;
+}
+
+void CubicSender::on_start(TimeNs /*now*/) {}
+
+double CubicSender::cubic_window_packets(double t_sec) const {
+  const double dt = t_sec - k_sec_;
+  return cfg_.c * dt * dt * dt + w_max_packets_;
+}
+
+void CubicSender::on_ack(const AckInfo& info) {
+  srtt_ = (7 * srtt_ + info.rtt) / 8;
+
+  if (in_slow_start()) {
+    cwnd_bytes_ += info.bytes;
+    return;
+  }
+
+  if (!epoch_started_) {
+    epoch_started_ = true;
+    epoch_start_ = info.ack_time;
+    const double cwnd_pkts =
+        static_cast<double>(cwnd_bytes_) / static_cast<double>(cfg_.mss);
+    if (w_max_packets_ < cwnd_pkts) {
+      // No prior loss reference: treat the current window as the plateau.
+      w_max_packets_ = cwnd_pkts;
+      k_sec_ = 0.0;
+    } else {
+      k_sec_ = std::cbrt(w_max_packets_ * (1.0 - cfg_.beta) / cfg_.c);
+    }
+    w_est_packets_ = cwnd_pkts;
+    acked_bytes_accum_ = 0;
+  }
+
+  const double t_sec = to_sec(info.ack_time - epoch_start_);
+  double target_pkts = cubic_window_packets(t_sec);
+
+  if (cfg_.tcp_friendliness) {
+    // Reno-equivalent growth: 3*(1-beta)/(1+beta) packets per RTT.
+    acked_bytes_accum_ += info.bytes;
+    const double alpha = 3.0 * (1.0 - cfg_.beta) / (1.0 + cfg_.beta);
+    const double cwnd_pkts =
+        static_cast<double>(cwnd_bytes_) / static_cast<double>(cfg_.mss);
+    w_est_packets_ += alpha * static_cast<double>(info.bytes) /
+                      (static_cast<double>(cfg_.mss) * cwnd_pkts);
+    target_pkts = std::max(target_pkts, w_est_packets_);
+  }
+
+  const double cwnd_pkts =
+      static_cast<double>(cwnd_bytes_) / static_cast<double>(cfg_.mss);
+  if (target_pkts > cwnd_pkts) {
+    // Standard CUBIC pacing of growth: (target - cwnd)/cwnd per ACK.
+    const double inc_pkts = (target_pkts - cwnd_pkts) / cwnd_pkts;
+    cwnd_bytes_ += static_cast<int64_t>(
+        inc_pkts * static_cast<double>(info.bytes));
+  } else {
+    // At or above target: grow very slowly (1 pkt per 100 RTT equivalent).
+    cwnd_bytes_ += info.bytes / 100;
+  }
+}
+
+void CubicSender::enter_loss_epoch(TimeNs now) {
+  const double cwnd_pkts =
+      static_cast<double>(cwnd_bytes_) / static_cast<double>(cfg_.mss);
+  // Fast convergence: release bandwidth faster when the plateau shrinks.
+  if (cwnd_pkts < w_max_packets_) {
+    w_max_packets_ = cwnd_pkts * (1.0 + cfg_.beta) / 2.0;
+  } else {
+    w_max_packets_ = cwnd_pkts;
+  }
+  cwnd_bytes_ = std::max(
+      static_cast<int64_t>(static_cast<double>(cwnd_bytes_) * cfg_.beta),
+      cfg_.min_cwnd_packets * cfg_.mss);
+  ssthresh_bytes_ = cwnd_bytes_;
+  epoch_started_ = false;
+  last_decrease_time_ = now;
+}
+
+void CubicSender::on_loss(const LossInfo& info) {
+  // One decrease per loss episode (~1 RTT).
+  if (info.detected_time - last_decrease_time_ < srtt_) return;
+  enter_loss_epoch(info.detected_time);
+}
+
+}  // namespace proteus

@@ -1,0 +1,59 @@
+// TCP CUBIC (Ha, Rhee, Xu 2008; RFC 8312) — window-based, loss-driven.
+//
+// The reference loss-based primary protocol in the paper's evaluation, and
+// the transport under the DASH/web application benchmarks. ACK-clocked
+// (no pacing): the window governs, the bottleneck spaces the ACKs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+class CubicSender final : public CongestionController {
+ public:
+  struct Config {
+    double beta = 0.7;          // multiplicative decrease factor
+    double c = 0.4;             // cubic scaling constant (MSS^3/sec^3)
+    int64_t mss = kMtuBytes;
+    int64_t initial_cwnd_packets = 10;
+    int64_t min_cwnd_packets = 2;
+    bool tcp_friendliness = true;
+  };
+
+  CubicSender() : CubicSender(Config{}) {}
+  explicit CubicSender(Config cfg);
+
+  void on_start(TimeNs now) override;
+  void on_ack(const AckInfo& info) override;
+  void on_loss(const LossInfo& info) override;
+  Bandwidth pacing_rate() const override { return Bandwidth{0.0}; }
+  int64_t cwnd_bytes() const override { return cwnd_bytes_; }
+  std::string name() const override { return "cubic"; }
+
+  bool in_slow_start() const { return cwnd_bytes_ < ssthresh_bytes_; }
+
+ private:
+  void enter_loss_epoch(TimeNs now);
+  double cubic_window_packets(double t_sec) const;
+
+  Config cfg_;
+  int64_t cwnd_bytes_ = 0;
+  int64_t ssthresh_bytes_ = kNoCwndLimit;
+
+  // Cubic epoch state (packet units, as in the paper's formulation).
+  bool epoch_started_ = false;
+  TimeNs epoch_start_ = 0;
+  double w_max_packets_ = 0.0;
+  double k_sec_ = 0.0;
+  TimeNs last_decrease_time_ = kTimeLongAgo;
+  TimeNs srtt_ = from_ms(100);
+
+  // TCP-friendly (Reno-tracking) estimate.
+  double w_est_packets_ = 0.0;
+  int64_t acked_bytes_accum_ = 0;
+};
+
+}  // namespace proteus

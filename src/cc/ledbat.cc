@@ -1,0 +1,98 @@
+#include "cc/ledbat.h"
+
+#include <algorithm>
+
+namespace proteus {
+
+namespace {
+constexpr TimeNs kMinuteNs = 60 * kNsPerSec;
+}
+
+LedbatSender::LedbatSender(Config cfg) : cfg_(cfg) {
+  cwnd_bytes_ = cfg_.initial_cwnd_packets * cfg_.mss;
+}
+
+std::string LedbatSender::name() const {
+  return cfg_.target == from_ms(25) ? "ledbat-25" : "ledbat";
+}
+
+void LedbatSender::on_start(TimeNs now) { current_minute_start_ = now; }
+
+TimeNs LedbatSender::base_delay() const {
+  if (base_history_.empty()) return 0;
+  TimeNs best = kTimeInfinite;
+  for (TimeNs v : base_history_) best = std::min(best, v);
+  return best;
+}
+
+void LedbatSender::update_base_delay(TimeNs owd, TimeNs now) {
+  if (base_history_.empty()) {
+    base_history_.push_back(owd);
+    current_minute_start_ = now;
+    return;
+  }
+  if (now - current_minute_start_ >= kMinuteNs) {
+    // Start a new minute bucket (RFC 6817 section 3.4.2).
+    base_history_.push_back(owd);
+    current_minute_start_ = now;
+    while (static_cast<int>(base_history_.size()) >
+           cfg_.base_history_minutes) {
+      base_history_.pop_front();
+    }
+  } else {
+    base_history_.back() = std::min(base_history_.back(), owd);
+  }
+}
+
+TimeNs LedbatSender::filtered_current_delay() const {
+  TimeNs best = kTimeInfinite;
+  for (TimeNs v : current_samples_) best = std::min(best, v);
+  return best;
+}
+
+void LedbatSender::on_ack(const AckInfo& info) {
+  srtt_ = (7 * srtt_ + info.rtt) / 8;
+
+  update_base_delay(info.one_way_delay, info.ack_time);
+  current_samples_.push_back(info.one_way_delay);
+  while (static_cast<int>(current_samples_.size()) >
+         cfg_.current_filter_samples) {
+    current_samples_.pop_front();
+  }
+
+  const TimeNs queuing = filtered_current_delay() - base_delay();
+  last_queuing_delay_ = queuing;
+  const double off_target =
+      static_cast<double>(cfg_.target - queuing) /
+      static_cast<double>(cfg_.target);
+
+  if (slow_start_) {
+    if (queuing >= cfg_.target / 2) {
+      slow_start_ = false;  // delay signal reached: go linear
+    } else {
+      cwnd_bytes_ += info.bytes;
+      return;
+    }
+  }
+
+  const double cwnd = static_cast<double>(cwnd_bytes_);
+  double delta = cfg_.gain * off_target * static_cast<double>(info.bytes) *
+                 static_cast<double>(cfg_.mss) / cwnd;
+  // Cap the per-ack ramp (RFC's ALLOWED_INCREASE guard).
+  const double max_delta = cfg_.max_ramp_packets_per_rtt *
+                           static_cast<double>(cfg_.mss) *
+                           static_cast<double>(info.bytes) / cwnd;
+  delta = std::min(delta, max_delta);
+  cwnd_bytes_ += static_cast<int64_t>(delta);
+  cwnd_bytes_ = std::max(cwnd_bytes_, cfg_.min_cwnd_packets * cfg_.mss);
+}
+
+void LedbatSender::on_loss(const LossInfo& info) {
+  // At most one halving per RTT (RFC 6817 section 3.4.1).
+  if (info.detected_time - last_decrease_time_ < srtt_) return;
+  last_decrease_time_ = info.detected_time;
+  slow_start_ = false;
+  cwnd_bytes_ = std::max(cwnd_bytes_ / 2, cfg_.min_cwnd_packets * cfg_.mss);
+}
+
+}  // namespace proteus

@@ -1,0 +1,71 @@
+// LEDBAT (RFC 6817) — the existing scavenger baseline.
+//
+// One-way-delay target controller: it measures queuing delay as the
+// difference between the current one-way delay and a base-delay history
+// (per-minute minima), and steers cwnd so the flow adds exactly TARGET of
+// extra queueing. The paper evaluates the 100 ms IETF target and the 25 ms
+// early-draft target (Appendix B); both are one constructor argument here.
+//
+// Two well-known pathologies reproduce naturally: the latecomer advantage
+// (a newcomer measures base delay over an already-inflated buffer) and
+// fragility to random loss (it halves like TCP).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+class LedbatSender final : public CongestionController {
+ public:
+  struct Config {
+    TimeNs target = from_ms(100);  // 25 ms for the early-draft variant
+    double gain = 1.0;
+    int64_t mss = kMtuBytes;
+    int64_t initial_cwnd_packets = 2;
+    int64_t min_cwnd_packets = 2;
+    int base_history_minutes = 10;  // RFC: BASE_HISTORY = 10
+    int current_filter_samples = 4; // min over the last few OWD samples
+    double max_ramp_packets_per_rtt = 1.0;  // ALLOWED_INCREASE-ish cap
+  };
+
+  LedbatSender() : LedbatSender(Config{}) {}
+  explicit LedbatSender(Config cfg);
+
+  void on_start(TimeNs now) override;
+  void on_ack(const AckInfo& info) override;
+  void on_loss(const LossInfo& info) override;
+  Bandwidth pacing_rate() const override { return Bandwidth{0.0}; }
+  int64_t cwnd_bytes() const override { return cwnd_bytes_; }
+  std::string name() const override;
+
+  TimeNs base_delay() const;
+  TimeNs queuing_delay() const { return last_queuing_delay_; }
+
+ private:
+  void update_base_delay(TimeNs owd, TimeNs now);
+  TimeNs filtered_current_delay() const;
+
+  Config cfg_;
+  int64_t cwnd_bytes_ = 0;
+  // RFC 6817 / libutp slow start: exponential growth until the queuing
+  // delay approaches the target or a loss occurs.
+  bool slow_start_ = true;
+
+  // Base-delay history: minimum OWD per minute bucket, newest last.
+  std::deque<TimeNs> base_history_;
+  TimeNs current_minute_start_ = 0;
+
+  // Current-delay filter: last few OWD samples.
+  std::deque<TimeNs> current_samples_;
+
+  TimeNs last_queuing_delay_ = 0;
+  TimeNs srtt_ = from_ms(100);
+  TimeNs last_decrease_time_ = kTimeLongAgo;
+};
+
+}  // namespace proteus

@@ -1,0 +1,112 @@
+#include "core/equilibrium.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus {
+
+namespace {
+
+double congestion_term(const EquilibriumModel& m, double total) {
+  return std::max(0.0, (total - m.capacity_mbps) / m.capacity_mbps);
+}
+
+// One-dimensional maximization of the sender's utility in its own rate,
+// holding the others' total fixed. The utilities are strictly concave in
+// x, so golden-section search suffices.
+template <typename U>
+double best_response(U utility, double others_total, double capacity) {
+  double lo = 0.0;
+  double hi = std::max(capacity * 2.0, capacity - others_total + capacity);
+  constexpr double kPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = utility(x1), f2 = utility(x2);
+  for (int i = 0; i < 200; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = utility(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = utility(x1);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace
+
+double model_primary_utility(const EquilibriumModel& m, double x,
+                             double total) {
+  return std::pow(std::max(x, 0.0), m.params.t) -
+         m.params.b * x * congestion_term(m, total);
+}
+
+double model_scavenger_utility(const EquilibriumModel& m, double x,
+                               double total) {
+  return std::pow(std::max(x, 0.0), m.params.t) -
+         (m.params.b + m.params.d * m.deviation_factor) * x *
+             congestion_term(m, total);
+}
+
+EquilibriumResult solve_equilibrium(const EquilibriumModel& m, int n_primary,
+                                    int n_scavenger, double tol,
+                                    int max_iterations) {
+  EquilibriumResult r;
+  const int n = n_primary + n_scavenger;
+  if (n == 0) {
+    r.converged = true;
+    return r;
+  }
+  // Start from an equal split of capacity.
+  const double x0 = m.capacity_mbps / static_cast<double>(n);
+  r.primary_rates.assign(static_cast<size_t>(n_primary), x0);
+  r.scavenger_rates.assign(static_cast<size_t>(n_scavenger), x0);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    double max_change = 0.0;
+    auto total = [&] {
+      double s = 0.0;
+      for (double v : r.primary_rates) s += v;
+      for (double v : r.scavenger_rates) s += v;
+      return s;
+    };
+    for (double& x : r.primary_rates) {
+      const double others = total() - x;
+      const double nx = best_response(
+          [&](double y) { return model_primary_utility(m, y, others + y); },
+          others, m.capacity_mbps);
+      // Damping stabilizes the simultaneous best-response dynamics.
+      const double updated = x + 0.5 * (nx - x);
+      max_change = std::max(max_change, std::abs(updated - x));
+      x = updated;
+    }
+    for (double& x : r.scavenger_rates) {
+      const double others = total() - x;
+      const double nx = best_response(
+          [&](double y) { return model_scavenger_utility(m, y, others + y); },
+          others, m.capacity_mbps);
+      const double updated = x + 0.5 * (nx - x);
+      max_change = std::max(max_change, std::abs(updated - x));
+      x = updated;
+    }
+    r.iterations = it + 1;
+    if (max_change < tol) {
+      r.converged = true;
+      break;
+    }
+  }
+  r.total_rate = 0.0;
+  for (double v : r.primary_rates) r.total_rate += v;
+  for (double v : r.scavenger_rates) r.total_rate += v;
+  return r;
+}
+
+}  // namespace proteus

@@ -1,0 +1,48 @@
+// Numeric equilibrium solver for the Appendix A game model.
+//
+// Models n Proteus-P and m Proteus-S senders on one bottleneck of capacity
+// C (Mbps) with the simplified utilities (loss terms omitted, S >= C):
+//   u_P(x_i) = x_i^t − b·x_i·(S−C)/C
+//   u_S(x_i) = x_i^t − (b + d·A)·x_i·(S−C)/C
+// where S is the total rate and A folds the MTU/sample-count factor of the
+// RTT-deviation expression. Best-response iteration on this strictly
+// socially concave game converges to its unique equilibrium, which the
+// tests compare against the theorems (fairness in homogeneous populations,
+// scavengers yielding in mixed ones).
+#pragma once
+
+#include <vector>
+
+#include "core/utility.h"
+
+namespace proteus {
+
+struct EquilibriumModel {
+  double capacity_mbps = 50.0;
+  UtilityParams params;
+  // A: constant factor multiplying d in the scavenger's deviation penalty
+  // (paper Appendix A.1). With an RTT-long MI the sample count is roughly
+  // linear in rate, making A approximately rate-independent.
+  double deviation_factor = 1.0e-3;
+};
+
+struct EquilibriumResult {
+  std::vector<double> primary_rates;    // Mbps
+  std::vector<double> scavenger_rates;  // Mbps
+  double total_rate = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Model utility of a single sender given its own rate and everyone's total.
+double model_primary_utility(const EquilibriumModel& m, double x,
+                             double total);
+double model_scavenger_utility(const EquilibriumModel& m, double x,
+                               double total);
+
+// Best-response dynamics to within `tol` Mbps per sender.
+EquilibriumResult solve_equilibrium(const EquilibriumModel& m, int n_primary,
+                                    int n_scavenger, double tol = 1e-4,
+                                    int max_iterations = 20'000);
+
+}  // namespace proteus

@@ -1,0 +1,70 @@
+#include "core/hybrid_threshold.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace proteus {
+
+HybridThresholdPolicy::HybridThresholdPolicy(
+    std::shared_ptr<HybridThresholdState> state, Config cfg)
+    : state_(std::move(state)), cfg_(cfg) {}
+
+void HybridThresholdPolicy::on_chunk_request(double max_bitrate_mbps,
+                                             double current_bitrate_mbps,
+                                             double free_chunks) {
+  max_bitrate_mbps_ = max_bitrate_mbps;
+  current_bitrate_mbps_ = current_bitrate_mbps;
+  free_chunks_ = free_chunks;
+  recompute();
+}
+
+void HybridThresholdPolicy::on_rebuffer_start() {
+  rebuffering_ = true;
+  recompute();
+}
+
+void HybridThresholdPolicy::on_rebuffer_end() {
+  rebuffering_ = false;
+  recompute();
+}
+
+DeadlineThresholdPolicy::DeadlineThresholdPolicy(
+    std::shared_ptr<HybridThresholdState> state, int64_t total_bytes,
+    TimeNs deadline, Config cfg)
+    : state_(std::move(state)),
+      total_bytes_(total_bytes),
+      deadline_(deadline),
+      cfg_(cfg) {
+  state_->set_threshold_mbps(cfg_.min_threshold_mbps);
+}
+
+double DeadlineThresholdPolicy::required_rate_mbps(int64_t bytes_delivered,
+                                                   TimeNs now) const {
+  const int64_t remaining = total_bytes_ - bytes_delivered;
+  if (remaining <= 0) return 0.0;
+  if (now >= deadline_) return 1e9;
+  return static_cast<double>(remaining) * 8.0 / 1e6 /
+         to_sec(deadline_ - now);
+}
+
+void DeadlineThresholdPolicy::on_progress(int64_t bytes_delivered,
+                                          TimeNs now) {
+  const double required = required_rate_mbps(bytes_delivered, now);
+  state_->set_threshold_mbps(
+      std::max(cfg_.min_threshold_mbps, cfg_.margin * required));
+}
+
+void HybridThresholdPolicy::recompute() {
+  if (rebuffering_) {
+    state_->set_threshold_mbps(cfg_.emergency_threshold_mbps);
+    return;
+  }
+  double thr = cfg_.sufficient_rate_margin * max_bitrate_mbps_;
+  if (free_chunks_ < 2.0) {
+    const double denom = std::max(2.0 - free_chunks_, 1e-6);
+    thr = std::min(thr, current_bitrate_mbps_ / denom);
+  }
+  state_->set_threshold_mbps(std::max(thr, 0.0));
+}
+
+}  // namespace proteus

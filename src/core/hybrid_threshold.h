@@ -1,0 +1,85 @@
+// Cross-layer switching-threshold policy for Proteus-H (paper section 4.4).
+//
+// For adaptive video the threshold is the largest value satisfying:
+//  (1) sufficient-rate rule:  thr <= G * bitrate_max        (G = 1.5)
+//  (2) buffer-limit rule:     thr <= bitrate_cur / (2 - f)  when f < 2,
+//      where f is the (fractional) number of chunks of free buffer space,
+//      checked on each chunk request;
+//  (3) emergency rule: thr = infinity while rebuffering.
+#pragma once
+
+#include <memory>
+
+#include "core/utility.h"
+
+namespace proteus {
+
+class HybridThresholdPolicy {
+ public:
+  struct Config {
+    double sufficient_rate_margin = 1.5;  // G
+    double emergency_threshold_mbps = 1e9;
+  };
+
+  explicit HybridThresholdPolicy(std::shared_ptr<HybridThresholdState> state)
+      : HybridThresholdPolicy(std::move(state), Config{}) {}
+  HybridThresholdPolicy(std::shared_ptr<HybridThresholdState> state,
+                        Config cfg);
+
+  // Called when the client requests a chunk. Rates in Mbps; `free_chunks`
+  // is the free playback-buffer space measured in chunk durations.
+  void on_chunk_request(double max_bitrate_mbps, double current_bitrate_mbps,
+                        double free_chunks);
+
+  void on_rebuffer_start();
+  void on_rebuffer_end();
+
+  double current_threshold_mbps() const { return state_->threshold_mbps(); }
+  bool rebuffering() const { return rebuffering_; }
+
+ private:
+  void recompute();
+
+  std::shared_ptr<HybridThresholdState> state_;
+  Config cfg_;
+  bool rebuffering_ = false;
+  double max_bitrate_mbps_ = 0.0;
+  double current_bitrate_mbps_ = 0.0;
+  double free_chunks_ = 1e9;
+};
+
+// Deadline-driven threshold policy (paper section 2.3: "when a software
+// update has a deadline requirement, it may want to yield dynamically,
+// only after reaching a certain throughput"). The flow behaves as a
+// primary up to the rate needed to finish by the deadline and scavenges
+// beyond it; as the deadline nears (or progress lags), the threshold —
+// and hence the flow's entitlement — rises automatically.
+class DeadlineThresholdPolicy {
+ public:
+  struct Config {
+    double margin = 1.5;  // safety factor (same spirit as the video G)
+    double min_threshold_mbps = 0.1;
+  };
+
+  DeadlineThresholdPolicy(std::shared_ptr<HybridThresholdState> state,
+                          int64_t total_bytes, TimeNs deadline)
+      : DeadlineThresholdPolicy(std::move(state), total_bytes, deadline,
+                                Config{}) {}
+  DeadlineThresholdPolicy(std::shared_ptr<HybridThresholdState> state,
+                          int64_t total_bytes, TimeNs deadline, Config cfg);
+
+  // Feed transfer progress; recomputes the switching threshold.
+  void on_progress(int64_t bytes_delivered, TimeNs now);
+
+  // Rate needed to finish the remaining bytes by the deadline (Mbps);
+  // infinite once the deadline has passed with bytes outstanding.
+  double required_rate_mbps(int64_t bytes_delivered, TimeNs now) const;
+
+ private:
+  std::shared_ptr<HybridThresholdState> state_;
+  int64_t total_bytes_;
+  TimeNs deadline_;
+  Config cfg_;
+};
+
+}  // namespace proteus

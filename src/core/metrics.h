@@ -1,0 +1,36 @@
+// Per-monitor-interval performance summary fed into utility functions.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/units.h"
+
+namespace proteus {
+
+struct MiMetrics {
+  // Rates in Mbps (the unit the paper's utility coefficients assume).
+  double target_rate_mbps = 0.0;  // rate the controller asked for
+  double send_rate_mbps = 0.0;    // bytes actually sent / duration
+  double throughput_mbps = 0.0;   // bytes acked / duration
+
+  double loss_rate = 0.0;  // lost packets / sent packets
+
+  // Latency statistics over the MI's accepted RTT samples.
+  double avg_rtt_sec = 0.0;
+  double rtt_gradient = 0.0;      // after noise filtering (s/s)
+  double rtt_gradient_raw = 0.0;  // straight from regression
+  double rtt_dev_sec = 0.0;       // after noise filtering
+  double rtt_dev_raw_sec = 0.0;   // sigma(RTT) straight from samples
+  double regression_error = 0.0;  // residual RMS / MI duration (s/s)
+
+  int64_t packets_sent = 0;
+  int64_t packets_acked = 0;
+  int64_t packets_lost = 0;
+  int64_t rtt_samples = 0;  // samples surviving the per-ACK filter
+  TimeNs duration = 0;
+
+  // True when the MI carried enough traffic to be meaningful.
+  bool useful = false;
+};
+
+}  // namespace proteus

@@ -1,0 +1,81 @@
+#include "core/monitor_interval.h"
+
+#include "stats/regression.h"
+#include "stats/welford.h"
+
+namespace proteus {
+
+MonitorInterval::MonitorInterval(uint64_t id, double target_rate_mbps,
+                                 TimeNs start, TimeNs duration)
+    : id_(id),
+      target_rate_mbps_(target_rate_mbps),
+      start_(start),
+      duration_(duration) {}
+
+void MonitorInterval::on_packet_sent(uint64_t seq, int64_t bytes,
+                                     TimeNs /*sent_time*/) {
+  if (!has_packets_) {
+    first_seq_ = seq;
+    has_packets_ = true;
+  }
+  last_seq_ = seq;
+  ++sent_packets_;
+  sent_bytes_ += bytes;
+}
+
+void MonitorInterval::on_ack(uint64_t /*seq*/, int64_t bytes, TimeNs sent_time,
+                             TimeNs rtt, bool rtt_accepted) {
+  ++resolved_packets_;
+  ++acked_packets_;
+  acked_bytes_ += bytes;
+  if (rtt_accepted) {
+    sample_send_time_sec_.push_back(to_sec(sent_time - start_));
+    sample_rtt_sec_.push_back(to_sec(rtt));
+  }
+}
+
+void MonitorInterval::on_loss(uint64_t /*seq*/) {
+  ++resolved_packets_;
+  ++lost_packets_;
+}
+
+MiMetrics MonitorInterval::compute() const {
+  MiMetrics m;
+  m.target_rate_mbps = target_rate_mbps_;
+  m.duration = duration_;
+  m.packets_sent = sent_packets_;
+  m.packets_acked = acked_packets_;
+  m.packets_lost = lost_packets_;
+  m.rtt_samples = static_cast<int64_t>(sample_rtt_sec_.size());
+
+  const double dur_sec = to_sec(duration_);
+  if (dur_sec > 0.0) {
+    m.send_rate_mbps = static_cast<double>(sent_bytes_) * 8.0 / 1e6 / dur_sec;
+    m.throughput_mbps = static_cast<double>(acked_bytes_) * 8.0 / 1e6 / dur_sec;
+  }
+  if (sent_packets_ > 0) {
+    m.loss_rate = static_cast<double>(lost_packets_) /
+                  static_cast<double>(sent_packets_);
+  }
+
+  Welford rtts;
+  for (double r : sample_rtt_sec_) rtts.add(r);
+  m.avg_rtt_sec = rtts.mean();
+  m.rtt_dev_raw_sec = rtts.stddev();
+  m.rtt_dev_sec = m.rtt_dev_raw_sec;
+
+  const RegressionResult reg =
+      linear_regression(sample_send_time_sec_, sample_rtt_sec_);
+  if (reg.valid) {
+    m.rtt_gradient_raw = reg.slope;
+    m.rtt_gradient = reg.slope;
+    m.regression_error = dur_sec > 0.0 ? reg.residual_rms / dur_sec : 0.0;
+  }
+
+  // An MI needs a handful of delivered packets before its statistics mean
+  // anything; below that the controller holds its rate.
+  m.useful = sent_packets_ >= 2 && acked_packets_ >= 1;
+  return m;
+}
+
+}  // namespace proteus

@@ -1,0 +1,75 @@
+// Monitor interval (MI) accounting for the PCC family.
+//
+// A sender transmits at one target rate for the MI's duration; the MI
+// closes once every packet sent inside it has been acknowledged or declared
+// lost, at which point its MiMetrics (throughput, loss, RTT regression
+// gradient, RTT deviation) are computed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.h"
+#include "sim/units.h"
+
+namespace proteus {
+
+class MonitorInterval {
+ public:
+  MonitorInterval(uint64_t id, double target_rate_mbps, TimeNs start,
+                  TimeNs duration);
+
+  uint64_t id() const { return id_; }
+  TimeNs start() const { return start_; }
+  TimeNs end() const { return start_ + duration_; }
+  double target_rate_mbps() const { return target_rate_mbps_; }
+
+  // True if a packet sent at `t` belongs to this MI.
+  bool contains_time(TimeNs t) const { return t >= start_ && t < end(); }
+  bool contains_seq(uint64_t seq) const {
+    return has_packets_ && seq >= first_seq_ && seq <= last_seq_;
+  }
+
+  void on_packet_sent(uint64_t seq, int64_t bytes, TimeNs sent_time);
+  // `rtt_accepted` is false when the per-ACK noise filter rejected the
+  // sample; the ack still counts toward throughput.
+  void on_ack(uint64_t seq, int64_t bytes, TimeNs sent_time, TimeNs rtt,
+              bool rtt_accepted);
+  void on_loss(uint64_t seq);
+
+  // Sending phase over (sender moved to the next MI).
+  void seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
+  // All sent packets resolved and the sending phase is over.
+  bool complete() const {
+    return sealed_ && resolved_packets_ == sent_packets_;
+  }
+  int64_t packets_sent() const { return sent_packets_; }
+
+  // Computes the raw metrics. Precondition: complete().
+  MiMetrics compute() const;
+
+ private:
+  uint64_t id_;
+  double target_rate_mbps_;
+  TimeNs start_;
+  TimeNs duration_;
+  bool sealed_ = false;
+
+  bool has_packets_ = false;
+  uint64_t first_seq_ = 0;
+  uint64_t last_seq_ = 0;
+
+  int64_t sent_packets_ = 0;
+  int64_t resolved_packets_ = 0;
+  int64_t acked_packets_ = 0;
+  int64_t lost_packets_ = 0;
+  int64_t sent_bytes_ = 0;
+  int64_t acked_bytes_ = 0;
+
+  // Accepted RTT samples paired with send times, for the regression.
+  std::vector<double> sample_send_time_sec_;
+  std::vector<double> sample_rtt_sec_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,197 @@
+#include "core/noise_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/regression.h"
+#include "stats/welford.h"
+
+namespace proteus {
+
+bool AckIntervalFilter::accept(TimeNs rtt, TimeNs ack_time,
+                               TimeNs prev_ack_time) {
+  if (!cfg_.ack_filter) return true;
+
+  // Spike rejection first: heavy-tailed one-off delays must not reach the
+  // per-MI statistics at all.
+  if (cfg_.ack_spike_rejection && rtt_tracker_.count() >= 8) {
+    const double gate =
+        rtt_tracker_.average() +
+        std::max(cfg_.spike_gate * rtt_tracker_.deviation(),
+                 static_cast<double>(cfg_.spike_gate_floor));
+    // A spike is a short-lived outlier; a *run* of high samples is real
+    // congestion and must reach the MI statistics.
+    if (static_cast<double>(rtt) > gate && reject_streak_ < 4) {
+      ++reject_streak_;
+      // Winsorize: feed the capped value so a persistent RTT shift raises
+      // the gate within a few samples instead of blinding us.
+      rtt_tracker_.add(gate);
+      return false;
+    }
+  }
+  reject_streak_ = 0;
+  rtt_tracker_.add(static_cast<double>(rtt));
+
+  const TimeNs interval = prev_ack_time > 0 ? ack_time - prev_ack_time : 0;
+  bool triggered = false;
+  if (interval > 0 && last_interval_ > 0) {
+    const double a = static_cast<double>(interval);
+    const double b = static_cast<double>(last_interval_);
+    const double ratio = a > b ? a / b : b / a;
+    triggered = ratio > cfg_.ack_interval_ratio;
+  }
+  if (interval > 0) last_interval_ = interval;
+
+  if (triggered) suppressing_ = true;
+
+  if (suppressing_) {
+    // Resume once an RTT below the exponentially weighted moving average
+    // shows the burst has drained.
+    if (rtt_avg_.initialized() &&
+        static_cast<double>(rtt) < rtt_avg_.value()) {
+      suppressing_ = false;
+    } else {
+      return false;
+    }
+  }
+  rtt_avg_.add(static_cast<double>(rtt));
+  return true;
+}
+
+TrendingTolerance::Decision TrendingTolerance::update(double mi_avg_rtt_sec,
+                                                      double mi_dev_sec) {
+  Decision d;
+  avg_rtts_.push_back(mi_avg_rtt_sec);
+  devs_.push_back(mi_dev_sec);
+  const auto k = static_cast<size_t>(cfg_.history_mis);
+  while (avg_rtts_.size() > k) avg_rtts_.pop_front();
+  while (devs_.size() > k) devs_.pop_front();
+
+  if (avg_rtts_.size() < k) {
+    // Warm-up: not enough history to call anything noise.
+    return d;
+  }
+
+  // trending_gradient: slope of a linear regression of stored MI average
+  // RTTs against their index (sec per MI).
+  std::vector<double> xs(avg_rtts_.size());
+  std::vector<double> ys(avg_rtts_.begin(), avg_rtts_.end());
+  for (size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i + 1);
+  const RegressionResult reg = linear_regression(xs, ys);
+  d.trending_gradient = reg.valid ? reg.slope : 0.0;
+
+  // trending_deviation: standard deviation of the stored MI deviations.
+  Welford w;
+  for (double v : devs_) w.add(v);
+  d.trending_deviation = w.stddev();
+
+  // Compare each new trending sample against its own moving average; a
+  // sample several deviations out is statistically unlikely to be noise.
+  const bool grad_ready = grad_tracker_.count() >= cfg_.history_mis;
+  const bool dev_ready = dev_tracker_.count() >= cfg_.history_mis;
+  if (grad_ready) {
+    d.gradient_significant =
+        std::abs(d.trending_gradient - grad_tracker_.average()) >=
+        cfg_.g1 * grad_tracker_.deviation() + cfg_.trending_gradient_floor;
+  }
+  if (dev_ready) {
+    d.deviation_significant =
+        (d.trending_deviation - dev_tracker_.average()) >=
+        cfg_.g2 * dev_tracker_.deviation() + cfg_.trending_deviation_floor;
+  }
+  // The moving averages are a model of *non-congestion* noise, so they only
+  // learn from samples classified as noise (plus warm-up). Feeding them
+  // competition-induced samples would raise the baseline until a steadily
+  // competing scavenger stopped yielding.
+  if (!grad_ready || !d.gradient_significant) {
+    grad_tracker_.add(d.trending_gradient);
+  }
+  if (!dev_ready || !d.deviation_significant) {
+    dev_tracker_.add(d.trending_deviation);
+  }
+  return d;
+}
+
+double DeviationFloor::filter(double raw_dev_sec) {
+  const double floor = current_floor();
+  // Absorb the sample (monotonic min-deque keyed by MI index).
+  while (!min_window_.empty() && min_window_.back().second >= raw_dev_sec) {
+    min_window_.pop_back();
+  }
+  min_window_.emplace_back(index_, raw_dev_sec);
+  while (min_window_.front().first <=
+         index_ - static_cast<int64_t>(cfg_.deviation_floor_window)) {
+    min_window_.pop_front();
+  }
+  ++index_;
+
+  if (index_ <= 1) return 0.0;  // no history yet: nothing is competition
+  return std::max(0.0, raw_dev_sec - cfg_.deviation_floor_margin * floor);
+}
+
+double DeviationFloor::current_floor() const {
+  return min_window_.empty() ? 0.0 : min_window_.front().second;
+}
+
+void apply_noise_control(const NoiseControlConfig& cfg, MiMetrics& m,
+                         TrendingTolerance* trend, DeviationFloor* floor) {
+  m.rtt_gradient = m.rtt_gradient_raw;
+  m.rtt_dev_sec = m.rtt_dev_raw_sec;
+
+  // Vivace-style fixed tolerance (mutually exclusive with the adaptive
+  // mechanisms in practice, but composable for ablations).
+  if (cfg.fixed_gradient_tolerance > 0.0 &&
+      std::abs(m.rtt_gradient_raw) < cfg.fixed_gradient_tolerance) {
+    m.rtt_gradient = 0.0;
+  }
+
+  // Per-MI: a gradient smaller than the regression's own residual error is
+  // indistinguishable from noise. In the paper-literal trending-gate mode
+  // this also suppresses the deviation; in floor-subtract mode the
+  // deviation has its own dedicated filter below.
+  const bool mi_tolerated =
+      cfg.mi_regression_tolerance &&
+      std::abs(m.rtt_gradient_raw) < m.regression_error;
+  if (mi_tolerated) {
+    m.rtt_gradient = 0.0;
+    if (cfg.deviation_filter == DeviationFilterMode::kTrendingGate) {
+      m.rtt_dev_sec = 0.0;
+    }
+  }
+
+  TrendingTolerance::Decision trend_decision;
+  if (cfg.trending && trend != nullptr && m.rtt_samples >= 2) {
+    trend_decision = trend->update(m.avg_rtt_sec, m.rtt_dev_raw_sec);
+    if (trend_decision.gradient_significant) {
+      // A persistent trend cannot be ignored, even if the per-MI check
+      // tolerated it (paper: avoids late reaction to slow inflation).
+      m.rtt_gradient = m.rtt_gradient_raw;
+    } else {
+      m.rtt_gradient = 0.0;
+    }
+  }
+
+  switch (cfg.deviation_filter) {
+    case DeviationFilterMode::kOff:
+      m.rtt_dev_sec = m.rtt_dev_raw_sec;
+      break;
+    case DeviationFilterMode::kTrendingGate:
+      if (cfg.trending && trend != nullptr && m.rtt_samples >= 2) {
+        if (trend_decision.gradient_significant ||
+            trend_decision.deviation_significant) {
+          m.rtt_dev_sec = m.rtt_dev_raw_sec;
+        } else {
+          m.rtt_dev_sec = 0.0;
+        }
+      }
+      break;
+    case DeviationFilterMode::kFloorSubtract:
+      if (floor != nullptr) {
+        m.rtt_dev_sec = floor->filter(m.rtt_dev_raw_sec);
+      }
+      break;
+  }
+}
+
+}  // namespace proteus

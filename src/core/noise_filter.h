@@ -1,0 +1,144 @@
+// Latency-noise tolerance mechanisms (paper section 5).
+//
+// Three of the four mechanisms live here:
+//  * Per-ACK RTT sample filtering keyed on the ratio of consecutive ACK
+//    intervals (AckIntervalFilter).
+//  * Per-MI regression-error tolerance (applied in apply_noise_control).
+//  * MI-history trending tolerance with significance gates G1/G2
+//    (TrendingTolerance).
+// The fourth — the majority rule in probing — lives in the rate controller.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "core/metrics.h"
+#include "sim/units.h"
+#include "stats/ewma.h"
+
+namespace proteus {
+
+// How the RTT-deviation signal is cleaned of non-congestion noise.
+enum class DeviationFilterMode {
+  kOff,           // raw deviation straight into the utility
+  kTrendingGate,  // paper-literal binary gate (G2 sigmas from baseline)
+  kFloorSubtract, // subtract a rolling-min ambient floor (default; see
+                  // DESIGN.md "noise tolerance" for why)
+};
+
+struct NoiseControlConfig {
+  // Vivace's fixed gradient-tolerance threshold (s/s): gradients with a
+  // smaller magnitude are ignored. 0 disables. Proteus replaces this with
+  // the adaptive mechanisms below.
+  double fixed_gradient_tolerance = 0.0;
+
+  // Per-ACK filter.
+  bool ack_filter = true;
+  double ack_interval_ratio = 50.0;
+  // Spike rejection: an RTT more than `spike_gate` deviations above the
+  // smoothed average is a MAC-scheduling artifact, not congestion; drop
+  // the sample (winsorized into the tracker so persistent level shifts
+  // still pass after a few samples).
+  // Off by default: on clean links with real queueing the rejection gate
+  // interacts badly with the deviation statistics; enable on known-spiky
+  // wireless paths (see bench/ablation_design).
+  bool ack_spike_rejection = false;
+  double spike_gate = 4.0;
+  // Absolute floor on the rejection gate: sub-millisecond excursions are
+  // queueing signal, not MAC spikes, and must always pass.
+  TimeNs spike_gate_floor = from_ms(3);
+
+  // Per-MI regression-error tolerance.
+  bool mi_regression_tolerance = true;
+
+  // Trending tolerance.
+  bool trending = true;
+  int history_mis = 6;  // k
+  double g1 = 2.0;      // gradient significance gate
+  double g2 = 4.0;      // deviation significance gate
+  // Absolute significance floors. On a very clean link the trackers'
+  // deviations collapse toward zero and numeric wiggles would read as
+  // "several sigmas out"; a sample must also clear these magnitudes to
+  // count as competition. Units: sec/MI (gradient), sec (deviation).
+  double trending_gradient_floor = 3e-5;
+  double trending_deviation_floor = 3e-5;
+
+  // Deviation cleaning (see DeviationFilterMode).
+  DeviationFilterMode deviation_filter = DeviationFilterMode::kFloorSubtract;
+  int deviation_floor_window = 96;     // MIs of history for the ambient min
+  double deviation_floor_margin = 1.0; // subtract margin * floor
+};
+
+// Rolling-minimum ambient deviation floor: the quietest recent MI defines
+// "channel + self noise"; only the excess above it reads as competition.
+// Monotonic min-deque over a fixed-length MI window.
+class DeviationFloor {
+ public:
+  explicit DeviationFloor(const NoiseControlConfig& cfg) : cfg_(cfg) {}
+
+  // Returns the filtered deviation for this MI and absorbs the sample
+  // into the history.
+  double filter(double raw_dev_sec);
+  double current_floor() const;
+
+ private:
+  NoiseControlConfig cfg_;
+  int64_t index_ = 0;
+  std::deque<std::pair<int64_t, double>> min_window_;  // (index, dev)
+};
+
+// Filters abnormal RTT samples caused by bursty ACK reception (irregular
+// MAC scheduling). When the ratio between two consecutive ACK intervals
+// exceeds the threshold, samples are ignored until an RTT below the moving
+// RTT average is observed.
+class AckIntervalFilter {
+ public:
+  explicit AckIntervalFilter(const NoiseControlConfig& cfg) : cfg_(cfg) {}
+
+  // Returns true when the RTT sample should be used.
+  bool accept(TimeNs rtt, TimeNs ack_time, TimeNs prev_ack_time);
+
+  bool suppressing() const { return suppressing_; }
+
+ private:
+  NoiseControlConfig cfg_;
+  TimeNs last_interval_ = 0;
+  bool suppressing_ = false;
+  Ewma rtt_avg_{1.0 / 8.0};
+  MeanDeviationTracker rtt_tracker_;
+  int reject_streak_ = 0;
+};
+
+// Tracks the last k MIs' average RTT and RTT deviation and decides whether
+// the current MI's gradient/deviation are statistically distinguishable
+// from ambient noise.
+class TrendingTolerance {
+ public:
+  explicit TrendingTolerance(const NoiseControlConfig& cfg) : cfg_(cfg) {}
+
+  struct Decision {
+    bool gradient_significant = true;
+    bool deviation_significant = true;
+    double trending_gradient = 0.0;
+    double trending_deviation = 0.0;
+  };
+
+  // Feed one closed MI's raw latency summary; returns significance gates.
+  Decision update(double mi_avg_rtt_sec, double mi_dev_sec);
+
+ private:
+  NoiseControlConfig cfg_;
+  std::deque<double> avg_rtts_;
+  std::deque<double> devs_;
+  MeanDeviationTracker grad_tracker_;
+  MeanDeviationTracker dev_tracker_;
+};
+
+// Applies the per-MI regression tolerance, the trending gates, and the
+// deviation filter to a raw MiMetrics, producing the filtered
+// gradient/deviation the utility sees. `trend` and `floor` may be null
+// when the corresponding mechanism is disabled.
+void apply_noise_control(const NoiseControlConfig& cfg, MiMetrics& m,
+                         TrendingTolerance* trend, DeviationFloor* floor);
+
+}  // namespace proteus

@@ -1,0 +1,215 @@
+#include "core/pcc_sender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace proteus {
+
+PccSender::PccSender(std::shared_ptr<UtilityFunction> utility, Config cfg,
+                     std::string display_name)
+    : cfg_(cfg),
+      utility_(std::move(utility)),
+      controller_(cfg.rate_control, cfg.seed ^ 0x9c),
+      ack_filter_(cfg.noise),
+      trending_(cfg.noise),
+      deviation_floor_(cfg.noise),
+      rng_(cfg.seed ^ 0x3f),
+      display_name_(std::move(display_name)),
+      current_rate_mbps_(cfg.rate_control.initial_rate_mbps) {}
+
+void PccSender::set_utility(std::shared_ptr<UtilityFunction> utility) {
+  utility_ = std::move(utility);
+  // The new objective may sit far from the current operating point (e.g.
+  // scavenger -> primary at min rate): restart the exponential ramp.
+  controller_.restart_from_current_rate();
+}
+
+TimeNs PccSender::mi_duration(double rate_mbps) {
+  TimeNs dur = srtt_ms_.initialized()
+                   ? from_ms(srtt_ms_.value())
+                   : from_ms(50);
+  // Stretch so the MI carries enough packets to regress over.
+  const Bandwidth rate = Bandwidth::from_mbps(std::max(rate_mbps, 1e-3));
+  const TimeNs packets_floor =
+      rate.tx_time(kMtuBytes) * cfg_.min_packets_per_mi;
+  dur = std::max({dur, packets_floor, cfg_.min_mi_duration});
+  dur = std::min(dur, cfg_.max_mi_duration);
+  // 0-10% jitter de-synchronizes competing PCC senders.
+  return static_cast<TimeNs>(static_cast<double>(dur) *
+                             (1.0 + 0.1 * rng_.uniform()));
+}
+
+void PccSender::start_new_mi(TimeNs now) {
+  const GradientRateController::MiPlan plan = controller_.plan_next_mi();
+  current_rate_mbps_ = plan.rate_mbps;
+  mis_.push_back(PendingMi{
+      MonitorInterval(next_mi_id_++, plan.rate_mbps, now,
+                      mi_duration(plan.rate_mbps)),
+      plan.tag});
+}
+
+void PccSender::on_start(TimeNs now) { start_new_mi(now); }
+
+void PccSender::rotate_if_due(TimeNs now) {
+  if (mis_.empty()) {
+    start_new_mi(now);
+    return;
+  }
+  MonitorInterval& cur = mis_.back().mi;
+  if (now >= cur.end()) {
+    cur.seal();
+    drain_completed_mis();
+    start_new_mi(now);
+  }
+}
+
+void PccSender::on_packet_sent(const SentPacketInfo& info) {
+  rotate_if_due(info.sent_time);
+  mis_.back().mi.on_packet_sent(info.seq, info.bytes, info.sent_time);
+}
+
+void PccSender::on_ack(const AckInfo& info) {
+  srtt_ms_.add(to_ms(info.rtt));
+  const bool accepted =
+      ack_filter_.accept(info.rtt, info.ack_time, info.prev_ack_time);
+  for (PendingMi& p : mis_) {
+    if (p.mi.contains_seq(info.seq)) {
+      p.mi.on_ack(info.seq, info.bytes, info.sent_time, info.rtt, accepted);
+      break;
+    }
+  }
+  drain_completed_mis();
+}
+
+void PccSender::on_loss(const LossInfo& info) {
+  for (PendingMi& p : mis_) {
+    if (p.mi.contains_seq(info.seq)) {
+      p.mi.on_loss(info.seq);
+      break;
+    }
+  }
+  drain_completed_mis();
+}
+
+void PccSender::on_timer(TimeNs now) { rotate_if_due(now); }
+
+TimeNs PccSender::next_timer() const {
+  return mis_.empty() ? kTimeInfinite : mis_.back().mi.end();
+}
+
+Bandwidth PccSender::pacing_rate() const {
+  return Bandwidth::from_mbps(current_rate_mbps_);
+}
+
+void PccSender::drain_completed_mis() {
+  // Close MIs strictly in creation order so the controller sees an ordered
+  // utility stream. A sealed-but-unresolved head blocks younger MIs.
+  while (mis_.size() > 1 || (!mis_.empty() && mis_.front().mi.sealed())) {
+    PendingMi& front = mis_.front();
+    if (!front.mi.sealed() || !front.mi.complete()) break;
+    const MiMetrics raw = front.mi.compute();
+    MiMetrics m = raw;
+    if (m.useful) {
+      apply_noise_control(cfg_.noise, m,
+                          cfg_.noise.trending ? &trending_ : nullptr,
+                          &deviation_floor_);
+      const double u = utility_->eval(m);
+      last_metrics_ = m;
+      last_utility_ = u;
+      ++mis_completed_;
+      // Emergency brake: only when the *deviation* term alone outweighs
+      // the throughput term (competition onset for a scavenger). Ordinary
+      // gradient transients during probing must not trigger it, or solo
+      // utilization collapses.
+      // The brake is only for vacating from a HIGH rate; flows already
+      // near the floor use the normal gradient dynamics (a rate-blind
+      // brake makes scavenger-vs-scavenger winner-take-all, and parks
+      // flows at the minimum on spiky wireless paths).
+      const bool rate_is_high =
+          controller_.base_rate_mbps() >
+          16.0 * cfg_.rate_control.min_rate_mbps;
+      bool braked = false;
+      bool qualifies = false;
+      // Deviation measured while our own rate was stepping up is
+      // plausibly self-induced (slow-start overshoot); the brake is for
+      // competition arriving while we cruise at a steady rate.
+      const bool rate_was_steady =
+          m.target_rate_mbps <= prev_mi_target_rate_ * 1.05;
+      prev_mi_target_rate_ = m.target_rate_mbps;
+      if (cfg_.emergency_brake && rate_is_high && rate_was_steady &&
+          u < 0.0 && m.rtt_dev_sec > 0.0) {
+        MiMetrics no_dev = m;
+        no_dev.rtt_dev_sec = 0.0;
+        const double dev_penalty = utility_->eval(no_dev) - u;
+        const double throughput_term =
+            std::pow(std::max(m.send_rate_mbps, 0.0), 0.9);
+        qualifies = dev_penalty > 2.0 * throughput_term;
+      }
+      // With the trending gate screening channel bursts, one qualifying
+      // MI is competition enough.
+      if (qualifies && front.mi.id() >= last_brake_mi_ + 2) {
+        last_brake_mi_ = front.mi.id();
+        controller_.yield_to(controller_.base_rate_mbps() / 2.0);
+        braked = true;
+      }
+      brake_pending_ = qualifies;
+      if (!braked) controller_.on_mi_complete(front.tag, u);
+    } else {
+      controller_.on_mi_abandoned(front.tag);
+    }
+    mis_.pop_front();
+  }
+}
+
+PccSender::Config default_proteus_config(uint64_t seed) {
+  PccSender::Config cfg;
+  cfg.seed = seed;
+  cfg.rate_control.probe_pairs = 3;  // majority rule
+  cfg.noise.ack_filter = true;
+  cfg.noise.mi_regression_tolerance = true;
+  cfg.noise.trending = true;
+  return cfg;
+}
+
+PccSender::Config default_vivace_config(uint64_t seed) {
+  PccSender::Config cfg;
+  cfg.seed = seed;
+  cfg.rate_control.probe_pairs = 2;  // unanimous vote
+  cfg.noise.ack_filter = false;
+  cfg.noise.ack_spike_rejection = false;
+  cfg.noise.mi_regression_tolerance = false;
+  cfg.noise.trending = false;
+  cfg.noise.deviation_filter = DeviationFilterMode::kOff;
+  cfg.noise.fixed_gradient_tolerance = 0.01;
+  return cfg;
+}
+
+std::unique_ptr<PccSender> make_proteus_p(uint64_t seed,
+                                          UtilityParams params) {
+  return std::make_unique<PccSender>(
+      std::make_shared<ProteusPrimaryUtility>(params),
+      default_proteus_config(seed), "proteus-p");
+}
+
+std::unique_ptr<PccSender> make_proteus_s(uint64_t seed,
+                                          UtilityParams params) {
+  return std::make_unique<PccSender>(
+      std::make_shared<ProteusScavengerUtility>(params),
+      default_proteus_config(seed), "proteus-s");
+}
+
+std::unique_ptr<PccSender> make_proteus_h(
+    std::shared_ptr<HybridThresholdState> threshold, uint64_t seed,
+    UtilityParams params) {
+  return std::make_unique<PccSender>(
+      std::make_shared<ProteusHybridUtility>(std::move(threshold), params),
+      default_proteus_config(seed), "proteus-h");
+}
+
+std::unique_ptr<PccSender> make_vivace(uint64_t seed, UtilityParams params) {
+  return std::make_unique<PccSender>(std::make_shared<VivaceUtility>(params),
+                                     default_vivace_config(seed), "vivace");
+}
+
+}  // namespace proteus

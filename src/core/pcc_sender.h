@@ -1,0 +1,116 @@
+// PccSender: the Proteus congestion controller (and, with the right
+// configuration, PCC Vivace). Assembles monitor intervals, runs the noise
+// filters, evaluates the selected utility function, and drives the
+// gradient rate controller. The utility can be swapped at runtime — the
+// paper's "flexibility" goal — via set_utility(), a plain API call.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "core/monitor_interval.h"
+#include "core/noise_filter.h"
+#include "core/rate_control.h"
+#include "core/utility.h"
+#include "stats/ewma.h"
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+class PccSender final : public CongestionController {
+ public:
+  struct Config {
+    RateControlConfig rate_control;
+    NoiseControlConfig noise;
+    uint64_t seed = 1;
+
+    // Emergency brake: when an MI's utility is strongly negative while a
+    // deviation/latency penalty is active, halve the rate instead of
+    // stepping down gradually. Lets the scavenger vacate the link within
+    // a couple of MIs when a primary bursts in (at most once per 2 MIs).
+    bool emergency_brake = true;
+
+    TimeNs min_mi_duration = from_ms(5);
+    TimeNs max_mi_duration = from_ms(1500);
+    // An MI should carry at least this many packets to be statistically
+    // meaningful; at low rates the MI stretches to fit them.
+    int min_packets_per_mi = 10;
+  };
+
+  PccSender(std::shared_ptr<UtilityFunction> utility, Config cfg,
+            std::string display_name);
+
+  // Runtime utility re-selection (primary <-> scavenger <-> hybrid).
+  void set_utility(std::shared_ptr<UtilityFunction> utility);
+  const UtilityFunction& utility() const { return *utility_; }
+
+  // CongestionController interface.
+  void on_start(TimeNs now) override;
+  void on_packet_sent(const SentPacketInfo& info) override;
+  void on_ack(const AckInfo& info) override;
+  void on_loss(const LossInfo& info) override;
+  void on_timer(TimeNs now) override;
+  TimeNs next_timer() const override;
+  Bandwidth pacing_rate() const override;
+  int64_t cwnd_bytes() const override { return kNoCwndLimit; }
+  std::string name() const override { return display_name_; }
+
+  // Introspection for tests and traces.
+  GradientRateController::State control_state() const {
+    return controller_.state();
+  }
+  const MiMetrics& last_mi_metrics() const { return last_metrics_; }
+  double last_utility() const { return last_utility_; }
+  uint64_t mis_completed() const { return mis_completed_; }
+
+ private:
+  struct PendingMi {
+    MonitorInterval mi;
+    uint64_t tag;
+  };
+
+  void start_new_mi(TimeNs now);
+  void rotate_if_due(TimeNs now);
+  void drain_completed_mis();
+  TimeNs mi_duration(double rate_mbps);
+
+  Config cfg_;
+  std::shared_ptr<UtilityFunction> utility_;
+  GradientRateController controller_;
+  AckIntervalFilter ack_filter_;
+  TrendingTolerance trending_;
+  DeviationFloor deviation_floor_;
+  Rng rng_;
+  std::string display_name_;
+
+  std::deque<PendingMi> mis_;  // creation order; front closes first
+  uint64_t next_mi_id_ = 1;
+  double current_rate_mbps_;
+
+  Ewma srtt_ms_{1.0 / 8.0};
+
+  MiMetrics last_metrics_;
+  double last_utility_ = 0.0;
+  uint64_t mis_completed_ = 0;
+  uint64_t last_brake_mi_ = 0;
+  bool brake_pending_ = false;
+  double prev_mi_target_rate_ = 0.0;
+};
+
+// ---- Convenience factories ------------------------------------------
+
+PccSender::Config default_proteus_config(uint64_t seed);
+PccSender::Config default_vivace_config(uint64_t seed);
+
+std::unique_ptr<PccSender> make_proteus_p(uint64_t seed,
+                                          UtilityParams params = {});
+std::unique_ptr<PccSender> make_proteus_s(uint64_t seed,
+                                          UtilityParams params = {});
+std::unique_ptr<PccSender> make_proteus_h(
+    std::shared_ptr<HybridThresholdState> threshold, uint64_t seed,
+    UtilityParams params = {});
+std::unique_ptr<PccSender> make_vivace(uint64_t seed,
+                                       UtilityParams params = {});
+
+}  // namespace proteus

@@ -1,0 +1,211 @@
+#include "core/rate_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus {
+
+GradientRateController::GradientRateController(RateControlConfig cfg,
+                                               uint64_t seed)
+    : cfg_(cfg), rng_(seed), base_rate_(cfg.initial_rate_mbps) {
+  boundary_ = cfg_.boundary_init;
+  base_rate_ = clamp(base_rate_);
+}
+
+double GradientRateController::clamp(double r) const {
+  return std::clamp(r, cfg_.min_rate_mbps, cfg_.max_rate_mbps);
+}
+
+void GradientRateController::clamp_rate(double rate_mbps) {
+  base_rate_ = clamp(rate_mbps);
+}
+
+GradientRateController::MiPlan GradientRateController::plan_next_mi() {
+  const uint64_t tag = next_tag_++;
+  PlanInfo info;
+  switch (state_) {
+    case State::kStarting:
+      info = PlanInfo{Role::kStarting, base_rate_};
+      break;
+    case State::kProbing:
+      if (trials_issued_ < static_cast<int>(trials_.size())) {
+        const Trial& t = trials_[static_cast<size_t>(trials_issued_)];
+        info = PlanInfo{Role::kProbe, t.rate, probe_round_, trials_issued_};
+        ++trials_issued_;
+      } else {
+        // All trials issued; hold the base rate until results arrive.
+        info = PlanInfo{Role::kFiller, base_rate_};
+      }
+      break;
+    case State::kMoving:
+      info = PlanInfo{Role::kMoving, base_rate_};
+      break;
+  }
+  plans_.emplace(tag, info);
+  return MiPlan{info.rate, tag};
+}
+
+void GradientRateController::enter_probing() {
+  state_ = State::kProbing;
+  ++probe_round_;
+  trials_.clear();
+  trials_issued_ = 0;
+  const double hi = clamp(base_rate_ * (1.0 + cfg_.probe_step));
+  const double lo = clamp(base_rate_ * (1.0 - cfg_.probe_step));
+  for (int p = 0; p < cfg_.probe_pairs; ++p) {
+    const bool high_first = rng_.bernoulli(0.5);
+    trials_.push_back(Trial{high_first, high_first ? hi : lo, std::nullopt});
+    trials_.push_back(Trial{!high_first, high_first ? lo : hi, std::nullopt});
+  }
+}
+
+void GradientRateController::process_probe_round() {
+  int votes = 0;
+  double gradient_sum = 0.0;
+  double utility_sum = 0.0;
+  const double hi = base_rate_ * (1.0 + cfg_.probe_step);
+  const double lo = base_rate_ * (1.0 - cfg_.probe_step);
+  const double dr = std::max(hi - lo, 1e-9);
+  for (int p = 0; p < cfg_.probe_pairs; ++p) {
+    double u_hi = 0.0, u_lo = 0.0;
+    for (int j = 0; j < 2; ++j) {
+      const Trial& t = trials_[static_cast<size_t>(2 * p + j)];
+      if (t.is_high) {
+        u_hi = *t.utility;
+      } else {
+        u_lo = *t.utility;
+      }
+      utility_sum += *t.utility;
+    }
+    votes += u_hi > u_lo ? 1 : -1;
+    gradient_sum += (u_hi - u_lo) / dr;
+  }
+
+  const bool unanimous_needed = cfg_.probe_pairs <= 2;
+  const bool decided =
+      unanimous_needed ? std::abs(votes) == cfg_.probe_pairs : votes != 0;
+  if (!decided) {
+    // Inconsistent indications: probe again around the same rate.
+    enter_probing();
+    return;
+  }
+  const int dir = votes > 0 ? 1 : -1;
+  const double avg_gradient =
+      gradient_sum / static_cast<double>(cfg_.probe_pairs);
+  const double avg_utility =
+      utility_sum / static_cast<double>(2 * cfg_.probe_pairs);
+  enter_moving(dir, avg_gradient, avg_utility);
+}
+
+void GradientRateController::enter_moving(int direction, double gradient_hint,
+                                          double base_utility) {
+  state_ = State::kMoving;
+  direction_ = direction;
+  amplifier_ = 1.0;
+  boundary_ = cfg_.boundary_init;
+  move_has_prev_ = true;
+  move_prev_rate_ = base_rate_;
+  move_prev_utility_ = base_utility;
+
+  const double delta =
+      std::clamp(cfg_.step_scale * std::abs(gradient_hint),
+                 0.5 * cfg_.probe_step * base_rate_, boundary_ * base_rate_);
+  base_rate_ = clamp(base_rate_ + static_cast<double>(direction_) * delta);
+}
+
+void GradientRateController::restart_from_current_rate() {
+  plans_.clear();
+  trials_.clear();
+  trials_issued_ = 0;
+  ++probe_round_;  // invalidate any in-flight probe completions
+  state_ = State::kStarting;
+  start_has_prev_ = false;
+  start_prev_rate_ = base_rate_;
+  start_prev_utility_ = 0.0;
+  move_has_prev_ = false;
+  amplifier_ = 1.0;
+  boundary_ = cfg_.boundary_init;
+}
+
+void GradientRateController::yield_to(double rate_mbps) {
+  base_rate_ = clamp(rate_mbps);
+  plans_.clear();
+  move_has_prev_ = false;
+  amplifier_ = 1.0;
+  enter_probing();
+}
+
+void GradientRateController::on_mi_abandoned(uint64_t tag) {
+  auto it = plans_.find(tag);
+  if (it == plans_.end()) return;
+  const PlanInfo info = it->second;
+  plans_.erase(it);
+  if (state_ == State::kProbing && info.role == Role::kProbe &&
+      info.probe_round == probe_round_) {
+    enter_probing();  // fresh round; stale trials are ignored by round id
+  }
+}
+
+void GradientRateController::on_mi_complete(uint64_t tag, double utility) {
+  auto it = plans_.find(tag);
+  if (it == plans_.end()) return;
+  const PlanInfo info = it->second;
+  plans_.erase(it);
+
+  switch (state_) {
+    case State::kStarting: {
+      if (info.role != Role::kStarting) return;  // stale
+      if (!start_has_prev_ || utility >= start_prev_utility_) {
+        start_has_prev_ = true;
+        start_prev_rate_ = info.rate;
+        start_prev_utility_ = utility;
+        base_rate_ = clamp(std::max(base_rate_, info.rate) * 2.0);
+      } else {
+        // Utility regressed: revert to the last good rate and probe.
+        base_rate_ = clamp(start_prev_rate_);
+        enter_probing();
+      }
+      return;
+    }
+    case State::kProbing: {
+      if (info.role != Role::kProbe || info.probe_round != probe_round_) {
+        return;  // filler or stale trial from an earlier round
+      }
+      trials_[static_cast<size_t>(info.trial_index)].utility = utility;
+      const bool all_done =
+          std::all_of(trials_.begin(), trials_.end(),
+                      [](const Trial& t) { return t.utility.has_value(); });
+      if (all_done) process_probe_round();
+      return;
+    }
+    case State::kMoving: {
+      if (info.role != Role::kMoving) return;  // stale probe/starting MI
+      if (utility < move_prev_utility_) {
+        // Worse than the previous step: revert and re-examine.
+        base_rate_ = clamp(move_prev_rate_);
+        move_has_prev_ = false;
+        enter_probing();
+        return;
+      }
+      double gradient;
+      const double dr = info.rate - move_prev_rate_;
+      if (std::abs(dr) > 1e-9) {
+        gradient = (utility - move_prev_utility_) / dr;
+      } else {
+        gradient = 0.0;
+      }
+      move_prev_rate_ = info.rate;
+      move_prev_utility_ = utility;
+
+      amplifier_ = std::min(amplifier_ * 2.0, cfg_.amplifier_max);
+      boundary_ = std::min(boundary_ + cfg_.boundary_step, cfg_.boundary_max);
+      const double delta = std::clamp(
+          cfg_.step_scale * amplifier_ * std::abs(gradient),
+          0.5 * cfg_.probe_step * base_rate_, boundary_ * base_rate_);
+      base_rate_ = clamp(base_rate_ + static_cast<double>(direction_) * delta);
+      return;
+    }
+  }
+}
+
+}  // namespace proteus

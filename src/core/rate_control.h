@@ -1,0 +1,133 @@
+// Gradient-ascent rate control (PCC Vivace's controller, extended with
+// Proteus's majority rule — paper section 5, "Control Algorithm").
+//
+// State machine:
+//  STARTING — double the rate each MI while utility keeps improving; on the
+//    first regression revert to the previous rate and start probing.
+//  PROBING — run `probe_pairs` randomized (r·(1+eps), r·(1−eps)) trials.
+//    Vivace uses 2 pairs and moves only when both agree; Proteus uses 3
+//    pairs and moves on the majority vote, which both ramps faster and
+//    avoids false direction flips in noisy networks.
+//  MOVING — step the rate along the decided direction proportionally to the
+//    measured utility gradient, with a confidence amplifier for consecutive
+//    consistent steps and a dynamic relative-change boundary; on a utility
+//    drop revert to the previous rate and re-enter PROBING.
+//
+// MIs pipeline (several are in flight before the first completes); the
+// controller tags each planned MI and matches completions by tag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace proteus {
+
+struct RateControlConfig {
+  double initial_rate_mbps = 2.0;
+  double min_rate_mbps = 0.2;
+  double max_rate_mbps = 20'000.0;
+
+  double probe_step = 0.05;  // epsilon: probe at r*(1 +/- eps)
+  int probe_pairs = 3;       // Proteus majority rule; Vivace uses 2
+
+  // MOVING step: delta = clamp(step_scale * amplifier * |gradient|,
+  //                            0.5*eps*rate, boundary*rate)
+  double step_scale = 0.5;       // Mbps^2 per utility unit
+  double amplifier_max = 32.0;   // confidence amplifier cap (doubles)
+  double boundary_init = 0.05;   // omega_0
+  double boundary_step = 0.05;   // omega growth per consistent step
+  double boundary_max = 0.25;
+};
+
+class GradientRateController {
+ public:
+  GradientRateController(RateControlConfig cfg, uint64_t seed);
+
+  struct MiPlan {
+    double rate_mbps;
+    uint64_t tag;
+  };
+
+  // Rate (and tag) for the MI about to start.
+  MiPlan plan_next_mi();
+  // Feed a completed MI's utility back. Completions must arrive in the
+  // order the MIs were planned (the PCC sender guarantees this).
+  void on_mi_complete(uint64_t tag, double utility);
+  // The MI carried no meaningful traffic (app-limited flow); its plan is
+  // discarded without a utility verdict. An abandoned probe trial restarts
+  // the probing round so the vote never stalls.
+  void on_mi_abandoned(uint64_t tag);
+
+  double base_rate_mbps() const { return base_rate_; }
+
+  enum class State { kStarting, kProbing, kMoving };
+  State state() const { return state_; }
+
+  // Scavenger-style emergency brake: multiplicative decrease outside the
+  // normal decision loop (used on severe utility collapse).
+  void clamp_rate(double rate_mbps);
+
+  // Re-enters the STARTING ramp from the current rate, discarding pending
+  // plans. Used when the utility function is swapped mid-flow: the new
+  // objective's good operating point may be far from the old one, and the
+  // exponential ramp finds it quickly in either direction (a utility drop
+  // reverts immediately).
+  void restart_from_current_rate();
+
+  // Emergency yield: jump straight to `rate_mbps` and re-probe there.
+  // Used by the scavenger when competition onset makes utility strongly
+  // negative — gradient steps bounded by the change boundary would take
+  // many MIs to vacate the link.
+  void yield_to(double rate_mbps);
+
+ private:
+  enum class Role { kStarting, kProbe, kFiller, kMoving };
+  struct PlanInfo {
+    Role role;
+    double rate;
+    int probe_round = 0;
+    int trial_index = 0;  // within the round
+  };
+
+  void enter_probing();
+  void process_probe_round();
+  void enter_moving(int direction, double gradient_hint, double base_utility);
+  double clamp(double r) const;
+
+  RateControlConfig cfg_;
+  Rng rng_;
+  State state_ = State::kStarting;
+  double base_rate_;
+
+  uint64_t next_tag_ = 1;
+  std::unordered_map<uint64_t, PlanInfo> plans_;
+
+  // STARTING bookkeeping.
+  bool start_has_prev_ = false;
+  double start_prev_rate_ = 0.0;
+  double start_prev_utility_ = 0.0;
+
+  // PROBING bookkeeping.
+  int probe_round_ = 0;
+  struct Trial {
+    bool is_high;
+    double rate;
+    std::optional<double> utility;
+  };
+  std::vector<Trial> trials_;
+  int trials_issued_ = 0;
+
+  // MOVING bookkeeping.
+  int direction_ = 0;
+  double amplifier_ = 1.0;
+  double boundary_ = 0.05;
+  bool move_has_prev_ = false;
+  double move_prev_rate_ = 0.0;
+  double move_prev_utility_ = 0.0;
+};
+
+}  // namespace proteus

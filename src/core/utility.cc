@@ -1,0 +1,51 @@
+#include "core/utility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace proteus {
+
+namespace {
+// x^t for non-negative x (rates are never negative).
+double pow_rate(double x, double t) { return std::pow(std::max(x, 0.0), t); }
+}  // namespace
+
+double AllegroUtility::eval(const MiMetrics& m) const {
+  const double x = m.send_rate_mbps;
+  const double L = m.loss_rate;
+  // Reverse sigmoid: ~1 below 5% loss, ~0 above it.
+  const double sig = 1.0 / (1.0 + std::exp(alpha_ * (L - 0.05)));
+  return x * (1.0 - L) * sig - x * L;
+}
+
+double VivaceUtility::eval(const MiMetrics& m) const {
+  const double x = m.send_rate_mbps;
+  return pow_rate(x, p_.t) - p_.b * x * m.rtt_gradient -
+         p_.c * x * m.loss_rate;
+}
+
+double ProteusPrimaryUtility::eval(const MiMetrics& m) const {
+  const double x = m.send_rate_mbps;
+  return pow_rate(x, p_.t) - p_.b * x * std::max(0.0, m.rtt_gradient) -
+         p_.c * x * m.loss_rate;
+}
+
+double ProteusScavengerUtility::eval(const MiMetrics& m) const {
+  const double x = m.send_rate_mbps;
+  return pow_rate(x, p_.t) - p_.b * x * std::max(0.0, m.rtt_gradient) -
+         p_.c * x * m.loss_rate - p_.d * x * m.rtt_dev_sec;
+}
+
+ProteusHybridUtility::ProteusHybridUtility(
+    std::shared_ptr<HybridThresholdState> threshold, UtilityParams p)
+    : threshold_(std::move(threshold)), primary_(p), scavenger_(p) {}
+
+double ProteusHybridUtility::eval(const MiMetrics& m) const {
+  if (m.send_rate_mbps < threshold_->threshold_mbps()) {
+    return primary_.eval(m);
+  }
+  return scavenger_.eval(m);
+}
+
+}  // namespace proteus

@@ -1,0 +1,109 @@
+// Utility function library (paper section 4).
+//
+// The PCC framework decouples "what is good" (a utility function over MI
+// metrics) from "how to chase it" (the gradient rate controller). Proteus
+// ships a library of utilities — primary, scavenger, hybrid — and lets the
+// application select or re-select one at runtime, even mid-flow.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/metrics.h"
+
+namespace proteus {
+
+// Default coefficients from the paper (rate in Mbps, latency in seconds).
+struct UtilityParams {
+  double t = 0.9;     // throughput exponent (0 < t < 1 for concavity)
+  double b = 900.0;   // RTT-gradient penalty coefficient
+  double c = 11.35;   // loss penalty coefficient (~5% random loss tolerance)
+  // RTT-deviation penalty coefficient (scavenger). The paper uses 1500
+  // against real-Internet deviation scales; 2000 is the calibrated
+  // equivalent for this simulator's pacing-jitter noise model (DESIGN.md,
+  // "Calibration"). The ablation bench sweeps this.
+  double d = 2000.0;
+};
+
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+  // Utility of the MI; `m.send_rate_mbps` is the x_i of the formulas.
+  virtual double eval(const MiMetrics& m) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// PCC Allegro (Dong et al., NSDI 2015): the first PCC utility —
+// loss-based, latency-blind: u = x·(1−L)·sigmoid(alpha·(L−0.05)) − x·L.
+// Kept as a historical baseline; it fills buffers like loss-based TCP
+// (the bufferbloat the paper's related-work section calls out).
+class AllegroUtility final : public UtilityFunction {
+ public:
+  explicit AllegroUtility(double alpha = 100.0) : alpha_(alpha) {}
+  double eval(const MiMetrics& m) const override;
+  std::string name() const override { return "allegro"; }
+
+ private:
+  double alpha_;
+};
+
+// PCC Vivace: u = x^t − b·x·(dRTT/dt) − c·x·L, signed gradient (a draining
+// queue is rewarded). Kept as the baseline primary protocol.
+class VivaceUtility : public UtilityFunction {
+ public:
+  explicit VivaceUtility(UtilityParams p = {}) : p_(p) {}
+  double eval(const MiMetrics& m) const override;
+  std::string name() const override { return "vivace"; }
+
+ protected:
+  UtilityParams p_;
+};
+
+// Proteus-P: Vivace with negative RTT gradient ignored
+// (u_P(x) = x^t − b·x·max(0, dRTT/dt) − c·x·L), eq. (1).
+class ProteusPrimaryUtility final : public VivaceUtility {
+ public:
+  explicit ProteusPrimaryUtility(UtilityParams p = {}) : VivaceUtility(p) {}
+  double eval(const MiMetrics& m) const override;
+  std::string name() const override { return "proteus-p"; }
+};
+
+// Proteus-S: u_S(x) = u_P(x) − d·x·sigma(RTT), eq. (2). RTT deviation is a
+// sensitive, typically-unused-by-primaries signal of flow competition.
+class ProteusScavengerUtility final : public VivaceUtility {
+ public:
+  explicit ProteusScavengerUtility(UtilityParams p = {}) : VivaceUtility(p) {}
+  double eval(const MiMetrics& m) const override;
+  std::string name() const override { return "proteus-s"; }
+};
+
+// Shared mutable threshold for Proteus-H, settable by the application's
+// cross-layer policy (see hybrid_threshold.h) while the flow runs.
+class HybridThresholdState {
+ public:
+  double threshold_mbps() const { return threshold_mbps_; }
+  void set_threshold_mbps(double v) { threshold_mbps_ = v; }
+
+ private:
+  double threshold_mbps_ = 1e9;  // effectively "always primary" until set
+};
+
+// Proteus-H: piecewise utility, eq. (3) — primary below the threshold,
+// scavenger at or above it. The mode switch is implicit: the controller
+// just compares utilities of different rates.
+class ProteusHybridUtility final : public UtilityFunction {
+ public:
+  ProteusHybridUtility(std::shared_ptr<HybridThresholdState> threshold,
+                       UtilityParams p = {});
+  double eval(const MiMetrics& m) const override;
+  std::string name() const override { return "proteus-h"; }
+
+  const HybridThresholdState& threshold() const { return *threshold_; }
+
+ private:
+  std::shared_ptr<HybridThresholdState> threshold_;
+  ProteusPrimaryUtility primary_;
+  ProteusScavengerUtility scavenger_;
+};
+
+}  // namespace proteus

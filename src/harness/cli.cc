@@ -1,0 +1,178 @@
+#include "harness/cli.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "harness/factory.h"
+
+namespace proteus {
+
+namespace {
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_int64(const std::string& s, int64_t& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_flows(const std::string& spec, std::vector<CliFlowSpec>& out,
+                 std::string& error) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+
+    CliFlowSpec flow;
+    const size_t at = item.find('@');
+    flow.protocol = item.substr(0, at);
+    if (at != std::string::npos) {
+      if (!parse_double(item.substr(at + 1), flow.start_sec) ||
+          flow.start_sec < 0) {
+        error = "bad start time in flow spec: " + item;
+        return false;
+      }
+    }
+    // Validate the protocol name eagerly for a friendly error.
+    try {
+      make_protocol(flow.protocol, 1);
+    } catch (const std::invalid_argument&) {
+      error = "unknown protocol: " + flow.protocol;
+      return false;
+    }
+    out.push_back(flow);
+  }
+  if (out.empty()) {
+    error = "no flows given";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return "usage: proteus_sim [--bw=Mbps] [--rtt=ms] [--buffer=bytes] "
+         "[--loss=frac] [--duration=sec] [--warmup=sec] [--seed=n] "
+         "[--wifi] [--trace=file.csv] [--rtt-trace=file.csv] "
+         "--flows=proto[@start][,proto[@start]...]";
+}
+
+CliParseResult parse_cli(const std::vector<std::string>& args) {
+  CliParseResult r;
+  CliOptions& opt = r.options;
+  bool have_flows = false;
+
+  for (const std::string& arg : args) {
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+
+    auto need_value = [&](const char* what) {
+      if (value.empty()) {
+        r.error = std::string(what) + " needs a value";
+        return false;
+      }
+      return true;
+    };
+
+    if (key == "--bw") {
+      if (!need_value("--bw") ||
+          !parse_double(value, opt.scenario.bandwidth_mbps) ||
+          opt.scenario.bandwidth_mbps <= 0) {
+        if (r.error.empty()) r.error = "bad --bw: " + value;
+        return r;
+      }
+    } else if (key == "--rtt") {
+      if (!need_value("--rtt") ||
+          !parse_double(value, opt.scenario.rtt_ms) ||
+          opt.scenario.rtt_ms <= 0) {
+        if (r.error.empty()) r.error = "bad --rtt: " + value;
+        return r;
+      }
+    } else if (key == "--buffer") {
+      if (!need_value("--buffer") ||
+          !parse_int64(value, opt.scenario.buffer_bytes) ||
+          opt.scenario.buffer_bytes <= 0) {
+        if (r.error.empty()) r.error = "bad --buffer: " + value;
+        return r;
+      }
+    } else if (key == "--loss") {
+      if (!need_value("--loss") ||
+          !parse_double(value, opt.scenario.random_loss) ||
+          opt.scenario.random_loss < 0 || opt.scenario.random_loss >= 1) {
+        if (r.error.empty()) r.error = "bad --loss: " + value;
+        return r;
+      }
+    } else if (key == "--duration") {
+      if (!need_value("--duration") ||
+          !parse_double(value, opt.duration_sec) || opt.duration_sec <= 0) {
+        if (r.error.empty()) r.error = "bad --duration: " + value;
+        return r;
+      }
+    } else if (key == "--warmup") {
+      if (!need_value("--warmup") || !parse_double(value, opt.warmup_sec) ||
+          opt.warmup_sec < 0) {
+        if (r.error.empty()) r.error = "bad --warmup: " + value;
+        return r;
+      }
+    } else if (key == "--seed") {
+      int64_t seed = 0;
+      if (!need_value("--seed") || !parse_int64(value, seed) || seed < 0) {
+        if (r.error.empty()) r.error = "bad --seed: " + value;
+        return r;
+      }
+      opt.scenario.seed = static_cast<uint64_t>(seed);
+    } else if (key == "--flows") {
+      if (!need_value("--flows") ||
+          !parse_flows(value, opt.flows, r.error)) {
+        if (r.error.empty()) r.error = "bad --flows: " + value;
+        return r;
+      }
+      have_flows = true;
+    } else if (key == "--wifi") {
+      opt.wifi = true;
+    } else if (key == "--trace") {
+      if (!need_value("--trace")) return r;
+      opt.trace_path = value;
+    } else if (key == "--rtt-trace") {
+      if (!need_value("--rtt-trace")) return r;
+      opt.rtt_trace_path = value;
+    } else {
+      r.error = "unknown flag: " + key;
+      return r;
+    }
+  }
+
+  if (!have_flows) {
+    r.error = "missing --flows";
+    return r;
+  }
+  if (opt.warmup_sec >= opt.duration_sec) {
+    r.error = "--warmup must be below --duration";
+    return r;
+  }
+  if (opt.wifi) {
+    opt.scenario.wifi_noise = true;
+    opt.scenario.ack_aggregation = true;
+    opt.scenario.markov_rate = true;
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace proteus

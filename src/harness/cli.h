@@ -1,0 +1,47 @@
+// Command-line parsing for the `proteus_sim` driver (tools/).
+//
+// Grammar (all flags optional):
+//   --bw=<Mbps> --rtt=<ms> --buffer=<bytes> --loss=<fraction>
+//   --duration=<sec> --warmup=<sec> --seed=<n>
+//   --flows=<proto[@start_sec][,proto[@start_sec]...]>
+//   --wifi                 (wireless noise + ACK aggregation)
+//   --trace=<path.csv>     (per-second per-flow throughput CSV)
+//   --rtt-trace=<path.csv> (per-ack RTT CSV)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace proteus {
+
+struct CliFlowSpec {
+  std::string protocol;
+  double start_sec = 0.0;
+};
+
+struct CliOptions {
+  ScenarioConfig scenario;
+  double duration_sec = 60.0;
+  double warmup_sec = 20.0;
+  std::vector<CliFlowSpec> flows;
+  std::string trace_path;      // empty = no trace
+  std::string rtt_trace_path;  // empty = no trace
+  bool wifi = false;
+};
+
+struct CliParseResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  CliOptions options;
+};
+
+// Parses argv-style arguments (excluding argv[0]).
+CliParseResult parse_cli(const std::vector<std::string>& args);
+
+// One-line usage string for --help / errors.
+std::string cli_usage();
+
+}  // namespace proteus

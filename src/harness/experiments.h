@@ -1,0 +1,67 @@
+// Reusable experiment routines shared by the bench binaries and the
+// integration tests. Each mirrors a measurement methodology from the
+// paper's evaluation (section 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace proteus {
+
+// ---- Single-flow performance (Figs 3, 4, 9, 15, 16, 21) --------------
+
+struct SingleFlowResult {
+  double throughput_mbps = 0.0;
+  double utilization = 0.0;          // throughput / capacity
+  double p95_rtt_ms = 0.0;
+  double inflation_ratio_95 = 0.0;   // (p95 RTT - base) / (buffer / bw)
+};
+
+SingleFlowResult run_single_flow(const std::string& protocol,
+                                 const ScenarioConfig& cfg,
+                                 TimeNs duration = from_sec(100),
+                                 TimeNs warmup = from_sec(20));
+
+// ---- Scavenger vs primary (Figs 6, 7, 8, 10, 19, 20, 22) -------------
+
+struct PairResult {
+  double primary_alone_mbps = 0.0;
+  double primary_with_mbps = 0.0;
+  double scavenger_mbps = 0.0;
+  double primary_ratio = 0.0;  // with-scavenger / alone
+  double utilization = 0.0;    // joint throughput / capacity
+  double primary_alone_p95_rtt_ms = 0.0;
+  double primary_with_p95_rtt_ms = 0.0;
+  double rtt_ratio = 0.0;  // with / alone (Fig 7)
+};
+
+// Runs the primary alone, then primary + scavenger (scavenger joins
+// `scavenger_delay` after the primary), measuring over the steady window.
+PairResult run_pair(const std::string& primary, const std::string& scavenger,
+                    const ScenarioConfig& cfg,
+                    TimeNs duration = from_sec(120),
+                    TimeNs warmup = from_sec(30),
+                    TimeNs scavenger_delay = from_sec(5));
+
+// ---- Homogeneous multi-flow fairness (Figs 5, 17, 18) ----------------
+
+struct FairnessResult {
+  double jain = 0.0;
+  std::vector<double> flow_mbps;
+};
+
+// Paper methodology: n flows on a 20n Mbps / 30 ms / 300n KB bottleneck,
+// each started 20 s after the previous, measured for 200 s after the last
+// start.
+FairnessResult run_multiflow_fairness(const std::string& protocol, int n,
+                                      uint64_t seed = 1);
+
+// Per-flow Mbps time series (1-second bins) for throughput-vs-time plots
+// (Figs 14, 18). Flow i starts at i * stagger.
+std::vector<std::vector<double>> run_time_series(
+    const std::vector<std::string>& protocols, const ScenarioConfig& cfg,
+    TimeNs stagger, TimeNs duration);
+
+}  // namespace proteus

@@ -1,0 +1,84 @@
+#include "harness/factory.h"
+
+#include <stdexcept>
+
+#include "cc/bbr.h"
+#include "cc/copa.h"
+#include "cc/cubic.h"
+#include "cc/ledbat.h"
+
+namespace proteus {
+
+std::unique_ptr<CongestionController> make_protocol(
+    const std::string& name, uint64_t seed,
+    std::shared_ptr<HybridThresholdState> threshold,
+    const ProtocolTuning* tuning) {
+  const ProtocolTuning defaults;
+  if (tuning == nullptr) tuning = &defaults;
+  auto proteus_config = [&](uint64_t s) {
+    PccSender::Config cfg = default_proteus_config(s);
+    cfg.noise = tuning->noise;
+    return cfg;
+  };
+  if (name == "cubic") return std::make_unique<CubicSender>();
+  if (name == "bbr") return std::make_unique<BbrSender>();
+  if (name == "bbr-s") {
+    BbrSender::Config cfg;
+    cfg.scavenger = true;
+    return std::make_unique<BbrSender>(cfg);
+  }
+  if (name == "copa") return std::make_unique<CopaSender>();
+  if (name == "ledbat") return std::make_unique<LedbatSender>();
+  if (name == "ledbat-25") {
+    LedbatSender::Config cfg;
+    cfg.target = from_ms(25);
+    return std::make_unique<LedbatSender>(cfg);
+  }
+  if (name == "vivace") return make_vivace(seed);
+  if (name == "allegro") {
+    // Allegro predates Vivace's noise machinery: plain 2-pair probing.
+    PccSender::Config cfg = default_vivace_config(seed);
+    cfg.noise.fixed_gradient_tolerance = 0.0;  // latency-blind anyway
+    return std::make_unique<PccSender>(std::make_shared<AllegroUtility>(),
+                                       cfg, "allegro");
+  }
+  if (name == "proteus-p") {
+    return std::make_unique<PccSender>(
+        std::make_shared<ProteusPrimaryUtility>(tuning->utility),
+        proteus_config(seed), "proteus-p");
+  }
+  if (name == "proteus-s") {
+    return std::make_unique<PccSender>(
+        std::make_shared<ProteusScavengerUtility>(tuning->utility),
+        proteus_config(seed), "proteus-s");
+  }
+  if (name == "proteus-h") {
+    if (threshold == nullptr) {
+      threshold = std::make_shared<HybridThresholdState>();
+    }
+    return std::make_unique<PccSender>(
+        std::make_shared<ProteusHybridUtility>(std::move(threshold),
+                                               tuning->utility),
+        proteus_config(seed), "proteus-h");
+  }
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+const std::vector<std::string>& all_protocol_names() {
+  static const std::vector<std::string> kNames = {
+      "proteus-s", "ledbat", "cubic", "bbr", "proteus-p", "copa", "vivace"};
+  return kNames;
+}
+
+const std::vector<std::string>& primary_protocol_names() {
+  static const std::vector<std::string> kNames = {"bbr", "cubic", "copa",
+                                                  "proteus-p", "vivace"};
+  return kNames;
+}
+
+bool is_scavenger_protocol(const std::string& name) {
+  return name == "proteus-s" || name == "ledbat" || name == "ledbat-25" ||
+         name == "bbr-s";
+}
+
+}  // namespace proteus

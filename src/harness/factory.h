@@ -1,0 +1,36 @@
+// Protocol factory: congestion controllers by name, as the benches and
+// examples select them ("cubic", "bbr", "bbr-s", "copa", "vivace",
+// "proteus-p", "proteus-s", "proteus-h", "ledbat", "ledbat-25").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pcc_sender.h"
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+// Tuning applied to the Proteus/PCC family (vivace keeps its fixed
+// published configuration). Defaults reproduce the paper's settings.
+struct ProtocolTuning {
+  UtilityParams utility;
+  NoiseControlConfig noise;
+};
+
+// `threshold` is only consulted for "proteus-h"; pass nullptr otherwise
+// (a default always-primary threshold state is used if omitted).
+std::unique_ptr<CongestionController> make_protocol(
+    const std::string& name, uint64_t seed,
+    std::shared_ptr<HybridThresholdState> threshold = nullptr,
+    const ProtocolTuning* tuning = nullptr);
+
+// All protocol names, in the paper's plotting order.
+const std::vector<std::string>& all_protocol_names();
+// The protocols evaluated as primaries in Fig 6 / Fig 10.
+const std::vector<std::string>& primary_protocol_names();
+
+bool is_scavenger_protocol(const std::string& name);
+
+}  // namespace proteus

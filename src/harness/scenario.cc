@@ -1,0 +1,52 @@
+#include "harness/scenario.h"
+
+#include <utility>
+
+namespace proteus {
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed) {
+  DumbbellConfig dc;
+  dc.bottleneck.rate = Bandwidth::from_mbps(cfg_.bandwidth_mbps);
+  dc.bottleneck.prop_delay = from_ms(cfg_.rtt_ms / 2.0);
+  dc.bottleneck.buffer_bytes = cfg_.buffer_bytes;
+  dc.bottleneck.random_loss = cfg_.random_loss;
+  dc.reverse_delay = from_ms(cfg_.rtt_ms / 2.0);
+  dc.seed = cfg_.seed;
+  if (cfg_.ack_aggregation) {
+    dc.ack_aggregation = cfg_.ack_agg;
+    dc.ack_aggregation.enabled = true;
+  }
+  dumbbell_ = std::make_unique<Dumbbell>(&sim_, dc);
+  if (cfg_.wifi_noise) {
+    dumbbell_->bottleneck().set_latency_noise(
+        std::make_unique<WifiNoise>(cfg_.wifi));
+  }
+  if (cfg_.markov_rate) {
+    dumbbell_->bottleneck().set_rate_process(
+        std::make_unique<MarkovRateProcess>(cfg_.markov));
+  }
+}
+
+Flow& Scenario::add_flow(const std::string& protocol, TimeNs start,
+                         TimeNs stop) {
+  const FlowId id = next_id_;
+  return add_flow_with_cc(
+      make_protocol(protocol, flow_seed(id), nullptr, &cfg_.tuning), start,
+      stop);
+}
+
+Flow& Scenario::add_flow_with_cc(std::unique_ptr<CongestionController> cc,
+                                 TimeNs start, TimeNs stop) {
+  FlowConfig fc;
+  fc.id = next_id_++;
+  fc.start_time = start;
+  fc.stop_time = stop;
+  fc.unlimited = true;
+  flows_.push_back(
+      std::make_unique<Flow>(&sim_, dumbbell_.get(), fc, std::move(cc)));
+  flows_.back()->sender().set_max_burst_packets(cfg_.max_burst_packets);
+  flows_.back()->sender().set_pacing_jitter(cfg_.pacing_jitter);
+  return *flows_.back();
+}
+
+}  // namespace proteus

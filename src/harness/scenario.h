@@ -1,0 +1,76 @@
+// Scenario: one emulated bottleneck plus the flows under test. The
+// C++ equivalent of a Pantheon/Emulab experiment definition.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/utility.h"
+#include "harness/factory.h"
+#include "sim/dumbbell.h"
+#include "transport/flow.h"
+
+namespace proteus {
+
+struct ScenarioConfig {
+  double bandwidth_mbps = 50.0;
+  double rtt_ms = 30.0;
+  int64_t buffer_bytes = 375'000;
+  double random_loss = 0.0;
+  uint64_t seed = 1;
+
+  // Wireless-path impairments (paper's live-WiFi substitution).
+  bool wifi_noise = false;
+  WifiNoise::Config wifi;
+  bool markov_rate = false;
+  MarkovRateProcess::Config markov;
+  bool ack_aggregation = false;
+  AckAggregatorConfig ack_agg;
+
+  // Sender burstiness (see Sender::set_max_burst_packets) and Proteus
+  // tuning applied to every flow added by name.
+  int max_burst_packets = 1;
+  double pacing_jitter = 0.4;
+  ProtocolTuning tuning;
+
+  double bdp_bytes() const {
+    return bandwidth_mbps * 1e6 / 8.0 * rtt_ms / 1e3;
+  }
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+
+  Simulator& sim() { return sim_; }
+  Dumbbell& dumbbell() { return *dumbbell_; }
+  const ScenarioConfig& config() const { return cfg_; }
+
+  // Adds a bulk flow of the named protocol. Flows get sequential ids and
+  // per-flow seeds derived from the scenario seed.
+  Flow& add_flow(const std::string& protocol, TimeNs start,
+                 TimeNs stop = kTimeInfinite);
+  Flow& add_flow_with_cc(std::unique_ptr<CongestionController> cc,
+                         TimeNs start, TimeNs stop = kTimeInfinite);
+
+  const std::vector<std::unique_ptr<Flow>>& flows() const { return flows_; }
+
+  void run_until(TimeNs t) { sim_.run_until(t); }
+
+  double capacity_mbps() const { return cfg_.bandwidth_mbps; }
+  TimeNs base_rtt() const { return from_ms(cfg_.rtt_ms); }
+  FlowId allocate_flow_id() { return next_id_++; }
+  uint64_t flow_seed(FlowId id) const {
+    return cfg_.seed * 0x9e3779b9ULL + id;
+  }
+
+ private:
+  ScenarioConfig cfg_;
+  Simulator sim_;
+  std::unique_ptr<Dumbbell> dumbbell_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  FlowId next_id_ = 1;
+};
+
+}  // namespace proteus

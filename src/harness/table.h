@@ -1,0 +1,29 @@
+// Aligned console tables and CSV output for the benchmark binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  void print() const;  // stdout
+  void write_csv(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("12.34").
+std::string fmt(double v, int precision = 2);
+
+}  // namespace proteus

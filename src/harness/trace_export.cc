@@ -1,0 +1,42 @@
+#include "harness/trace_export.h"
+
+#include <fstream>
+
+namespace proteus {
+
+bool write_throughput_csv(const std::string& path,
+                          const std::vector<const Flow*>& flows,
+                          TimeNs duration) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "t_sec";
+  for (const Flow* f : flows) os << ",flow_" << f->config().id << "_mbps";
+  os << '\n';
+
+  std::vector<std::vector<double>> series;
+  const auto bins = static_cast<size_t>(duration / from_sec(1));
+  for (const Flow* f : flows) {
+    std::vector<double> s = f->receiver().meter().mbps_series();
+    s.resize(bins, 0.0);
+    series.push_back(std::move(s));
+  }
+  for (size_t t = 0; t < bins; ++t) {
+    os << t;
+    for (const auto& s : series) os << ',' << s[t];
+    os << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_rtt_csv(const std::string& path, const Flow& flow) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "sample_idx,rtt_ms\n";
+  const auto& samples = flow.rtt_samples().raw();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    os << i << ',' << samples[i] << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace proteus

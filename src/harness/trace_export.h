@@ -1,0 +1,20 @@
+// CSV export of experiment time series, for plotting outside the repo.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace proteus {
+
+// Per-second per-flow throughput: columns t_sec, flow_<id>_mbps...
+// Returns false (and writes nothing) if the path cannot be opened.
+bool write_throughput_csv(const std::string& path,
+                          const std::vector<const Flow*>& flows,
+                          TimeNs duration);
+
+// Per-ack RTT samples of one flow: columns sample_idx, rtt_ms.
+bool write_rtt_csv(const std::string& path, const Flow& flow);
+
+}  // namespace proteus

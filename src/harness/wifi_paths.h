@@ -1,0 +1,24 @@
+// The 64-path wireless test set standing in for the paper's live-Internet
+// WiFi experiments (4 locations x 16 AWS regions).
+//
+// Locations differ in wireless harshness (jitter, spike probability, MAC
+// burstiness); regions differ in base RTT and available uplink bandwidth.
+// Everything is deterministic from the path index.
+#pragma once
+
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace proteus {
+
+struct WifiPath {
+  int location = 0;  // 0..3
+  int region = 0;    // 0..15
+  ScenarioConfig scenario;
+};
+
+// All 64 paths in (location-major) order.
+std::vector<WifiPath> wifi_path_set();
+
+}  // namespace proteus

@@ -1,0 +1,72 @@
+#include "sim/dumbbell.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace proteus {
+
+AckAggregator::AckAggregator(Simulator* sim, AckAggregatorConfig cfg,
+                             uint64_t seed)
+    : sim_(sim), cfg_(cfg), rng_(seed) {
+  if (cfg_.enabled) schedule_next_block();
+}
+
+void AckAggregator::schedule_next_block() {
+  TimeNs gap = std::max<TimeNs>(
+      kNsPerMs, static_cast<TimeNs>(rng_.exponential(
+                    static_cast<double>(cfg_.mean_block_interval))));
+  sim_->schedule_in(gap, [this] {
+    TimeNs hold = std::max<TimeNs>(
+        kNsPerMs, static_cast<TimeNs>(rng_.exponential(
+                      static_cast<double>(cfg_.mean_block_duration))));
+    blocked_until_ = std::max(blocked_until_, sim_->now() + hold);
+    schedule_next_block();
+  });
+}
+
+void AckAggregator::deliver(const Packet& pkt, PacketSink* sink) {
+  TimeNs when = sim_->now();
+  if (cfg_.enabled) {
+    if (when < blocked_until_) when = blocked_until_;
+    // Keep FIFO: packets released after a block are spaced tightly, which
+    // is what makes the post-block ACK-interval ratio spike.
+    when = std::max(when, next_release_at_);
+    next_release_at_ = when + cfg_.release_spacing;
+  }
+  sim_->schedule_at(when, [pkt, sink] { sink->on_packet(pkt); });
+}
+
+Dumbbell::Dumbbell(Simulator* sim, DumbbellConfig cfg)
+    : sim_(sim), cfg_(cfg), demux_(this) {
+  bottleneck_ = std::make_unique<Link>(sim, cfg_.bottleneck, cfg_.seed ^ 0x71);
+  bottleneck_->set_sink(&demux_);
+  aggregator_ = std::make_unique<AckAggregator>(sim, cfg_.ack_aggregation,
+                                                cfg_.seed ^ 0xac);
+}
+
+PacketSink* Dumbbell::forward_ingress() { return bottleneck_.get(); }
+
+void Dumbbell::Demux::on_packet(const Packet& pkt) {
+  auto it = owner_->flows_.find(pkt.flow_id);
+  if (it == owner_->flows_.end() || it->second.receiver_side == nullptr) {
+    return;  // flow already finished; drop silently
+  }
+  it->second.receiver_side->on_packet(pkt);
+}
+
+void Dumbbell::send_reverse(const Packet& ack) {
+  sim_->schedule_in(cfg_.reverse_delay, [this, ack] {
+    auto it = flows_.find(ack.flow_id);
+    if (it == flows_.end() || it->second.sender_ack_side == nullptr) return;
+    aggregator_->deliver(ack, it->second.sender_ack_side);
+  });
+}
+
+void Dumbbell::attach_flow(FlowId id, PacketSink* receiver_side,
+                           PacketSink* sender_ack_side) {
+  flows_[id] = FlowPorts{receiver_side, sender_ack_side};
+}
+
+void Dumbbell::detach_flow(FlowId id) { flows_.erase(id); }
+
+}  // namespace proteus

@@ -1,0 +1,101 @@
+// Dumbbell topology: N senders -> shared bottleneck link -> N receivers,
+// with a per-flow reverse (ACK) path of fixed delay.
+//
+// The reverse path is uncongested (ACKs are small) but can optionally pass
+// through an AckAggregator that models bursty WiFi MAC scheduling: the
+// channel occasionally blocks for a random period, ACKs pile up, and are
+// then released back-to-back. This produces exactly the ACK-interval-ratio
+// spikes the paper's per-ACK RTT filter (section 5) is designed to absorb.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace proteus {
+
+struct AckAggregatorConfig {
+  bool enabled = false;
+  TimeNs mean_block_interval = from_ms(120.0);  // Poisson gap between blocks
+  TimeNs mean_block_duration = from_ms(10.0);   // exponential hold time
+  TimeNs release_spacing = from_us(30.0);       // back-to-back ACK spacing
+};
+
+// Holds ACKs during "blocked" periods and flushes them in bursts.
+class AckAggregator {
+ public:
+  AckAggregator(Simulator* sim, AckAggregatorConfig cfg, uint64_t seed);
+
+  // Delivers `pkt` to `sink`, possibly delayed by an ongoing block.
+  void deliver(const Packet& pkt, PacketSink* sink);
+
+ private:
+  void schedule_next_block();
+
+  Simulator* sim_;
+  AckAggregatorConfig cfg_;
+  Rng rng_;
+  TimeNs blocked_until_ = 0;
+  TimeNs next_release_at_ = 0;
+};
+
+struct DumbbellConfig {
+  LinkConfig bottleneck;
+  TimeNs reverse_delay = from_ms(15);  // one-way ACK path delay
+  AckAggregatorConfig ack_aggregation;
+  uint64_t seed = 0xd0b;
+};
+
+// Wiring helper used by every experiment. Flows register a receiver-side
+// sink (gets data packets that survive the bottleneck) and a sender-side
+// sink (gets ACKs after the reverse path).
+class Dumbbell {
+ public:
+  Dumbbell(Simulator* sim, DumbbellConfig cfg);
+
+  // Data packets from senders enter here.
+  PacketSink* forward_ingress();
+  // Receivers push ACKs here; they arrive at the flow's sender sink after
+  // reverse_delay (plus any aggregation).
+  void send_reverse(const Packet& ack);
+
+  void attach_flow(FlowId id, PacketSink* receiver_side,
+                   PacketSink* sender_ack_side);
+  void detach_flow(FlowId id);
+
+  Link& bottleneck() { return *bottleneck_; }
+  const Link& bottleneck() const { return *bottleneck_; }
+  Simulator& sim() { return *sim_; }
+  TimeNs base_rtt() const {
+    return cfg_.bottleneck.prop_delay + cfg_.reverse_delay;
+  }
+
+ private:
+  class Demux final : public PacketSink {
+   public:
+    explicit Demux(Dumbbell* owner) : owner_(owner) {}
+    void on_packet(const Packet& pkt) override;
+
+   private:
+    Dumbbell* owner_;
+  };
+
+  struct FlowPorts {
+    PacketSink* receiver_side = nullptr;
+    PacketSink* sender_ack_side = nullptr;
+  };
+
+  Simulator* sim_;
+  DumbbellConfig cfg_;
+  std::unique_ptr<Link> bottleneck_;
+  Demux demux_;
+  std::unique_ptr<AckAggregator> aggregator_;
+  std::unordered_map<FlowId, FlowPorts> flows_;
+};
+
+}  // namespace proteus

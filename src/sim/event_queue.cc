@@ -1,0 +1,25 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace proteus {
+
+void EventQueue::push(TimeNs when, Callback cb) {
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+TimeNs EventQueue::next_time() const {
+  return heap_.empty() ? kTimeInfinite : heap_.top().when;
+}
+
+std::pair<TimeNs, EventQueue::Callback> EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  // priority_queue::top is const; the callback must be moved out via a copy
+  // of the Event. Events are small, so copy the top then pop.
+  Event e = heap_.top();
+  heap_.pop();
+  return {e.when, std::move(e.cb)};
+}
+
+}  // namespace proteus

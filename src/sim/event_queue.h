@@ -1,0 +1,45 @@
+// Min-heap of timestamped callbacks with stable FIFO order for ties.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace proteus {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute time `when`. Events at equal times fire in
+  // insertion order, which keeps runs deterministic.
+  void push(TimeNs when, Callback cb);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  TimeNs next_time() const;
+
+  // Pops and returns the earliest event. Precondition: !empty().
+  std::pair<TimeNs, Callback> pop();
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace proteus

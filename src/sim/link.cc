@@ -1,0 +1,128 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace proteus {
+
+Link::Link(Simulator* sim, LinkConfig cfg, uint64_t noise_seed)
+    : sim_(sim), cfg_(cfg), rng_(noise_seed) {}
+
+void Link::set_latency_noise(std::unique_ptr<LatencyNoise> noise) {
+  noise_ = std::move(noise);
+}
+
+void Link::set_rate_process(std::unique_ptr<RateProcess> process) {
+  rate_process_ = std::move(process);
+}
+
+Bandwidth Link::effective_rate() {
+  double m = rate_process_ ? rate_process_->multiplier(rng_, sim_->now()) : 1.0;
+  return Bandwidth::from_bps(cfg_.rate.bps * m);
+}
+
+void Link::on_packet(const Packet& pkt) {
+  if (cfg_.random_loss > 0.0 && rng_.bernoulli(cfg_.random_loss)) {
+    ++stats_.random_drops;
+    return;
+  }
+  if (queue_bytes_ + pkt.size_bytes > cfg_.buffer_bytes) {
+    ++stats_.tail_drops;
+    return;
+  }
+  queue_.push_back(pkt);
+  enqueue_times_.push_back(sim_->now());
+  queue_bytes_ += pkt.size_bytes;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queue_bytes_);
+  maybe_start_service();
+}
+
+bool Link::codel_should_drop(TimeNs sojourn, TimeNs now) {
+  const CodelConfig& c = cfg_.codel;
+  if (!c.enabled) return false;
+
+  if (sojourn < c.target) {
+    // Below target: leave the dropping state.
+    codel_first_above_ = 0;
+    codel_dropping_ = false;
+    return false;
+  }
+  if (!codel_dropping_) {
+    if (codel_first_above_ == 0) {
+      codel_first_above_ = now + c.interval;
+      return false;
+    }
+    if (now < codel_first_above_) return false;
+    // Sojourn stayed above target for a full interval: start dropping.
+    codel_dropping_ = true;
+    codel_drop_count_ = codel_drop_count_ > 2 ? codel_drop_count_ - 2 : 1;
+    codel_next_drop_ =
+        now + static_cast<TimeNs>(
+                  static_cast<double>(c.interval) /
+                  std::sqrt(static_cast<double>(codel_drop_count_)));
+    return true;
+  }
+  if (now >= codel_next_drop_) {
+    ++codel_drop_count_;
+    codel_next_drop_ =
+        now + static_cast<TimeNs>(
+                  static_cast<double>(c.interval) /
+                  std::sqrt(static_cast<double>(codel_drop_count_)));
+    return true;
+  }
+  return false;
+}
+
+void Link::maybe_start_service() {
+  if (serving_ || queue_.empty()) return;
+  serving_ = true;
+  service_head();
+}
+
+void Link::service_head() {
+  const Packet pkt = queue_.front();
+  const TimeNs tx = effective_rate().tx_time(pkt.size_bytes);
+  sim_->schedule_in(tx, [this] {
+    Packet pkt = queue_.front();
+    queue_.pop_front();
+    const TimeNs enqueued = enqueue_times_.front();
+    enqueue_times_.pop_front();
+    queue_bytes_ -= pkt.size_bytes;
+
+    if (codel_should_drop(sim_->now() - enqueued, sim_->now())) {
+      ++stats_.codel_drops;
+      if (queue_.empty()) {
+        serving_ = false;
+      } else {
+        service_head();
+      }
+      return;
+    }
+
+    TimeNs extra = noise_ ? noise_->sample(rng_, sim_->now()) : 0;
+    TimeNs arrival = sim_->now() + cfg_.prop_delay + extra;
+    // Force FIFO delivery despite per-packet noise.
+    arrival = std::max(arrival, last_delivery_time_);
+    last_delivery_time_ = arrival;
+
+    ++stats_.delivered_packets;
+    stats_.delivered_bytes += pkt.size_bytes;
+    if (sink_ != nullptr) {
+      sim_->schedule_at(arrival, [this, pkt] { sink_->on_packet(pkt); });
+    }
+
+    if (queue_.empty()) {
+      serving_ = false;
+    } else {
+      service_head();
+    }
+  });
+}
+
+TimeNs Link::current_queue_delay() {
+  const Bandwidth rate = effective_rate();
+  return rate.positive() ? rate.tx_time(queue_bytes_) : kTimeInfinite;
+}
+
+}  // namespace proteus

@@ -1,0 +1,99 @@
+// Bottleneck link: tail-drop FIFO queue + serialization + propagation.
+//
+// This is the emulated equivalent of the paper's Emulab bottleneck. It
+// serializes packets at a (possibly time-varying) rate, holds at most
+// `buffer_bytes` of queued data (tail drop), applies i.i.d. random loss,
+// and delivers after a fixed propagation delay plus optional latency noise.
+// Delivery order is forced FIFO even under noisy delays so the transport
+// never sees spurious reordering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/noise.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace proteus {
+
+// Active queue management (paper section 7.2 points at in-network
+// support as future work; CoDel is the standard reference AQM). When
+// enabled, packets whose sojourn time has stayed above `target` for at
+// least `interval` are dropped at dequeue, with the control-law drop
+// spacing decreasing as 1/sqrt(drop_count).
+struct CodelConfig {
+  bool enabled = false;
+  TimeNs target = from_ms(5);
+  TimeNs interval = from_ms(100);
+};
+
+struct LinkConfig {
+  Bandwidth rate = Bandwidth::from_mbps(50);
+  TimeNs prop_delay = from_ms(15);  // one-way
+  int64_t buffer_bytes = 375'000;   // tail-drop cap on queued bytes
+  double random_loss = 0.0;         // i.i.d. pre-queue drop probability
+  CodelConfig codel;                // optional AQM on top of tail drop
+};
+
+struct LinkStats {
+  int64_t delivered_packets = 0;
+  int64_t delivered_bytes = 0;
+  int64_t tail_drops = 0;
+  int64_t random_drops = 0;
+  int64_t codel_drops = 0;
+  int64_t max_queue_bytes = 0;
+};
+
+class Link final : public PacketSink {
+ public:
+  Link(Simulator* sim, LinkConfig cfg, uint64_t noise_seed = 0x11ec);
+
+  void set_sink(PacketSink* sink) { sink_ = sink; }
+  // Optional non-congestion impairments; may be null.
+  void set_latency_noise(std::unique_ptr<LatencyNoise> noise);
+  void set_rate_process(std::unique_ptr<RateProcess> process);
+
+  // PacketSink: enqueue a packet for transmission.
+  void on_packet(const Packet& pkt) override;
+
+  int64_t queue_bytes() const { return queue_bytes_; }
+  // Queueing delay a newly arrived packet would currently see.
+  TimeNs current_queue_delay();
+  const LinkConfig& config() const { return cfg_; }
+  const LinkStats& stats() const { return stats_; }
+
+  // Changes the nominal rate mid-run (used by capacity-step scenarios).
+  void set_rate(Bandwidth rate) { cfg_.rate = rate; }
+
+ private:
+  void maybe_start_service();
+  void service_head();
+  Bandwidth effective_rate();
+  // CoDel dequeue decision for a packet that waited `sojourn`.
+  bool codel_should_drop(TimeNs sojourn, TimeNs now);
+
+  Simulator* sim_;
+  LinkConfig cfg_;
+  PacketSink* sink_ = nullptr;
+  std::unique_ptr<LatencyNoise> noise_;
+  std::unique_ptr<RateProcess> rate_process_;
+  Rng rng_;
+
+  std::deque<Packet> queue_;
+  std::deque<TimeNs> enqueue_times_;  // parallel to queue_
+  int64_t queue_bytes_ = 0;
+  bool serving_ = false;
+  TimeNs last_delivery_time_ = 0;  // FIFO floor for noisy deliveries
+  LinkStats stats_;
+
+  // CoDel state (Nichols & Jacobson, CACM 2012).
+  bool codel_dropping_ = false;
+  TimeNs codel_first_above_ = 0;
+  TimeNs codel_next_drop_ = 0;
+  int codel_drop_count_ = 0;
+};
+
+}  // namespace proteus

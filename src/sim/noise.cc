@@ -1,0 +1,50 @@
+#include "sim/noise.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace proteus {
+
+TimeNs GaussianNoise::sample(Rng& rng, TimeNs) {
+  double v = rng.normal(static_cast<double>(mean_),
+                        static_cast<double>(stddev_));
+  return std::max<TimeNs>(0, static_cast<TimeNs>(v));
+}
+
+TimeNs WifiNoise::sample(Rng& rng, TimeNs) {
+  double v = rng.normal(0.0, static_cast<double>(cfg_.jitter_stddev));
+  TimeNs extra = std::max<TimeNs>(0, static_cast<TimeNs>(v));
+  if (rng.bernoulli(cfg_.spike_probability)) {
+    double spike = rng.pareto(static_cast<double>(cfg_.spike_scale),
+                              cfg_.spike_shape);
+    extra += std::min(cfg_.spike_cap, static_cast<TimeNs>(spike));
+  }
+  return extra;
+}
+
+MarkovRateProcess::MarkovRateProcess(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.multipliers.empty()) {
+    throw std::invalid_argument("MarkovRateProcess: no states");
+  }
+  for (double m : cfg_.multipliers) {
+    if (m <= 0.0) throw std::invalid_argument("MarkovRateProcess: state <= 0");
+  }
+}
+
+double MarkovRateProcess::multiplier(Rng& rng, TimeNs now) {
+  while (now >= next_transition_) {
+    if (cfg_.multipliers.size() > 1) {
+      // Uniform choice among the other states.
+      size_t next = static_cast<size_t>(rng.uniform_int(
+          0, static_cast<int64_t>(cfg_.multipliers.size()) - 2));
+      if (next >= state_) ++next;
+      state_ = next;
+    }
+    next_transition_ +=
+        std::max<TimeNs>(kNsPerUs, static_cast<TimeNs>(rng.exponential(
+                                       static_cast<double>(cfg_.mean_dwell))));
+  }
+  return cfg_.multipliers[state_];
+}
+
+}  // namespace proteus

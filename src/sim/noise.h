@@ -1,0 +1,99 @@
+// Non-congestion network variability models (paper section 5 context).
+//
+// The paper's live-Internet WiFi paths exhibit (a) per-packet latency jitter
+// of a few ms with occasional tens-of-ms spikes and (b) time-varying
+// capacity from MAC scheduling. These models inject exactly those effects
+// into a simulated link so the noise-tolerance machinery has something real
+// to tolerate. ACK burstiness (the trigger for the per-ACK filter) is
+// modeled separately by the reverse-path AckAggregator in dumbbell.h.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/units.h"
+#include "stats/rng.h"
+
+namespace proteus {
+
+// Per-packet extra one-way latency, independent of queueing.
+class LatencyNoise {
+ public:
+  virtual ~LatencyNoise() = default;
+  virtual TimeNs sample(Rng& rng, TimeNs now) = 0;
+};
+
+// Zero noise (wired Emulab-style link).
+class NoLatencyNoise final : public LatencyNoise {
+ public:
+  TimeNs sample(Rng&, TimeNs) override { return 0; }
+};
+
+// Truncated-Gaussian jitter: N(mean, stddev) clipped at 0.
+class GaussianNoise final : public LatencyNoise {
+ public:
+  GaussianNoise(TimeNs mean, TimeNs stddev) : mean_(mean), stddev_(stddev) {}
+  TimeNs sample(Rng& rng, TimeNs now) override;
+
+ private:
+  TimeNs mean_;
+  TimeNs stddev_;
+};
+
+// WiFi-like noise: small Gaussian jitter on every packet plus occasional
+// heavy-tailed (Pareto) spikes, matching the paper's observation of ~5 ms
+// typical deviation with tens-of-ms outliers.
+class WifiNoise final : public LatencyNoise {
+ public:
+  struct Config {
+    TimeNs jitter_stddev = from_ms(1.5);
+    double spike_probability = 0.01;     // per packet
+    TimeNs spike_scale = from_ms(8.0);   // Pareto x_m
+    double spike_shape = 1.5;            // Pareto alpha (heavy tail)
+    TimeNs spike_cap = from_ms(120.0);   // sanity cap
+  };
+
+  explicit WifiNoise(Config cfg) : cfg_(cfg) {}
+  TimeNs sample(Rng& rng, TimeNs now) override;
+
+ private:
+  Config cfg_;
+};
+
+// Time-varying capacity multiplier applied to a link's nominal rate.
+class RateProcess {
+ public:
+  virtual ~RateProcess() = default;
+  // Multiplier in (0, ...] effective at virtual time `now`. Must be
+  // piecewise-constant and advance monotonically with `now`.
+  virtual double multiplier(Rng& rng, TimeNs now) = 0;
+};
+
+class ConstantRateProcess final : public RateProcess {
+ public:
+  explicit ConstantRateProcess(double m = 1.0) : m_(m) {}
+  double multiplier(Rng&, TimeNs) override { return m_; }
+
+ private:
+  double m_;
+};
+
+// Continuous-time Markov modulation: a set of capacity states with
+// exponentially distributed dwell times; uniform next-state choice.
+class MarkovRateProcess final : public RateProcess {
+ public:
+  struct Config {
+    std::vector<double> multipliers = {1.0, 0.8, 0.55};
+    TimeNs mean_dwell = from_ms(250.0);
+  };
+
+  explicit MarkovRateProcess(Config cfg);
+  double multiplier(Rng& rng, TimeNs now) override;
+
+ private:
+  Config cfg_;
+  size_t state_ = 0;
+  TimeNs next_transition_ = 0;
+};
+
+}  // namespace proteus

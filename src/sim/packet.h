@@ -1,0 +1,34 @@
+// Simulated packet: the unit moved through links and delivered to sinks.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/units.h"
+
+namespace proteus {
+
+using FlowId = uint64_t;
+
+struct Packet {
+  FlowId flow_id = 0;
+  uint64_t seq = 0;        // per-flow data sequence number
+  int64_t size_bytes = 0;  // wire size
+  bool is_ack = false;
+
+  TimeNs sent_time = 0;  // stamped by the sender when the packet leaves
+
+  // ACK-only fields (per-packet acknowledgements, QUIC style).
+  uint64_t acked_seq = 0;        // sequence number being acknowledged
+  TimeNs data_sent_time = 0;     // echo of the data packet's sent_time
+  TimeNs receiver_time = 0;      // receiver clock at data arrival (for OWD)
+  int64_t acked_bytes = 0;       // payload size of the acked data packet
+};
+
+// Anything that accepts packets: links, receivers, sender ACK inputs.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_packet(const Packet& pkt) = 0;
+};
+
+}  // namespace proteus

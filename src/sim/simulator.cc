@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace proteus {
+
+void Simulator::schedule_at(TimeNs when, EventQueue::Callback cb) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at in the past");
+  }
+  queue_.push(when, std::move(cb));
+}
+
+void Simulator::schedule_in(TimeNs delay, EventQueue::Callback cb) {
+  if (delay < 0) throw std::logic_error("Simulator::schedule_in negative");
+  queue_.push(now_ + delay, std::move(cb));
+}
+
+void Simulator::run_until(TimeNs until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [when, cb] = queue_.pop();
+    now_ = when;
+    ++events_processed_;
+    cb();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    auto [when, cb] = queue_.pop();
+    now_ = when;
+    ++events_processed_;
+    cb();
+  }
+}
+
+}  // namespace proteus

@@ -1,0 +1,44 @@
+// Discrete-event simulation driver.
+//
+// Owns the virtual clock and event queue. All simulated components hold a
+// Simulator* and schedule callbacks; nothing reads wall-clock time, so a
+// run is fully determined by its configuration and RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/units.h"
+#include "stats/rng.h"
+
+namespace proteus {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  TimeNs now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules a callback at absolute virtual time `when` (>= now).
+  void schedule_at(TimeNs when, EventQueue::Callback cb);
+  // Schedules a callback `delay` after now.
+  void schedule_in(TimeNs delay, EventQueue::Callback cb);
+
+  // Runs events until the queue drains or the clock passes `until`.
+  // Events scheduled exactly at `until` are executed.
+  void run_until(TimeNs until);
+  // Runs until the queue drains.
+  void run();
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  TimeNs now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace proteus

@@ -1,0 +1,36 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+namespace proteus {
+
+void ThroughputMeter::on_bytes(TimeNs t, int64_t bytes) {
+  if (t < 0) return;
+  auto idx = static_cast<size_t>(t / bin_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
+  bins_[idx] += bytes;
+  total_ += bytes;
+}
+
+std::vector<double> ThroughputMeter::mbps_series() const {
+  std::vector<double> out;
+  out.reserve(bins_.size());
+  const double bin_sec = to_sec(bin_);
+  for (int64_t b : bins_) {
+    out.push_back(static_cast<double>(b) * 8.0 / 1e6 / bin_sec);
+  }
+  return out;
+}
+
+double ThroughputMeter::mean_mbps(TimeNs from, TimeNs to) const {
+  if (to <= from) return 0.0;
+  auto lo = static_cast<size_t>(std::max<TimeNs>(0, from) / bin_);
+  auto hi = static_cast<size_t>((to + bin_ - 1) / bin_);
+  hi = std::min(hi, bins_.size());
+  int64_t bytes = 0;
+  for (size_t i = lo; i < hi; ++i) bytes += bins_[i];
+  // Use the requested wall span so partially-filled bins do not inflate.
+  return static_cast<double>(bytes) * 8.0 / 1e6 / to_sec(to - from);
+}
+
+}  // namespace proteus

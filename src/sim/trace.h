@@ -1,0 +1,50 @@
+// Lightweight time-series capture for throughput/rate traces
+// (paper Figs 14 and 18 are throughput-versus-time plots).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace proteus {
+
+struct TracePoint {
+  TimeNs t;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+  void record(TimeNs t, double value) { points_.push_back({t, value}); }
+  const std::vector<TracePoint>& points() const { return points_; }
+  const std::string& name() const { return name_; }
+  bool empty() const { return points_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<TracePoint> points_;
+};
+
+// Bins byte arrivals into fixed windows and reports Mbps per window.
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(TimeNs bin = from_sec(1.0)) : bin_(bin) {}
+
+  void on_bytes(TimeNs t, int64_t bytes);
+  // Mbps series, one value per bin from t = 0; trailing partial bin included.
+  std::vector<double> mbps_series() const;
+  // Mean Mbps over [from, to).
+  double mean_mbps(TimeNs from, TimeNs to) const;
+  int64_t total_bytes() const { return total_; }
+
+ private:
+  TimeNs bin_;
+  std::vector<int64_t> bins_;
+  int64_t total_ = 0;
+};
+
+}  // namespace proteus

@@ -1,0 +1,71 @@
+// Strongly-suggestive unit helpers used throughout the simulator.
+//
+// Time is an integer nanosecond count (TimeNs); bandwidth is a small value
+// type carrying bits-per-second. Keeping time integral makes event ordering
+// exact and runs bit-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace proteus {
+
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+inline constexpr TimeNs kTimeInfinite = std::numeric_limits<TimeNs>::max();
+// Sentinel for "long before the simulation started" that stays safe in
+// time arithmetic (now - kTimeLongAgo never overflows for sim-scale nows).
+inline constexpr TimeNs kTimeLongAgo = -(int64_t{1} << 56);
+
+constexpr TimeNs from_us(double us) {
+  return static_cast<TimeNs>(us * static_cast<double>(kNsPerUs));
+}
+constexpr TimeNs from_ms(double ms) {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs));
+}
+constexpr TimeNs from_sec(double sec) {
+  return static_cast<TimeNs>(sec * static_cast<double>(kNsPerSec));
+}
+constexpr double to_us(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+constexpr double to_ms(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+constexpr double to_sec(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+// Bits-per-second with convenience conversions.
+struct Bandwidth {
+  double bps = 0.0;
+
+  static constexpr Bandwidth from_bps(double b) { return Bandwidth{b}; }
+  static constexpr Bandwidth from_kbps(double k) { return Bandwidth{k * 1e3}; }
+  static constexpr Bandwidth from_mbps(double m) { return Bandwidth{m * 1e6}; }
+
+  constexpr double kbps() const { return bps / 1e3; }
+  constexpr double mbps() const { return bps / 1e6; }
+  constexpr bool positive() const { return bps > 0.0; }
+
+  // Serialization time for `bytes` at this rate.
+  TimeNs tx_time(int64_t bytes) const {
+    return static_cast<TimeNs>(
+        std::llround(static_cast<double>(bytes) * 8.0 * 1e9 / bps));
+  }
+
+  // Bytes in flight for one `rtt` at this rate (bandwidth-delay product).
+  double bdp_bytes(TimeNs rtt) const { return bps / 8.0 * to_sec(rtt); }
+};
+
+constexpr bool operator==(Bandwidth a, Bandwidth b) { return a.bps == b.bps; }
+
+// Ethernet-ish constants shared by the transport and workloads.
+inline constexpr int64_t kMtuBytes = 1500;
+inline constexpr int64_t kAckBytes = 40;
+
+}  // namespace proteus

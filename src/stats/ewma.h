@@ -1,0 +1,76 @@
+// Exponentially weighted moving averages and mean-deviation tracking.
+//
+// MeanDeviationTracker mirrors the Linux kernel's smoothed-RTT bookkeeping
+// (srtt/mdev): an EWMA of the value plus an EWMA of the absolute deviation
+// from that average. Proteus's trending-tolerance filter (paper section 5)
+// keeps one of these per trending metric.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace proteus {
+
+// Plain EWMA: avg <- (1 - alpha) * avg + alpha * sample.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+    ++count_;
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  int64_t count() const { return count_; }
+  void reset() { initialized_ = false; value_ = 0.0; count_ = 0; }
+
+ private:
+  double alpha_;
+  bool initialized_ = false;
+  double value_ = 0.0;
+  int64_t count_ = 0;
+};
+
+// EWMA of a metric plus EWMA of its absolute deviation, in the style of the
+// kernel's srtt (gain 1/8) and mdev (gain 1/4) estimators.
+class MeanDeviationTracker {
+ public:
+  MeanDeviationTracker(double avg_gain = 1.0 / 8.0, double dev_gain = 1.0 / 4.0)
+      : avg_gain_(avg_gain), dev_gain_(dev_gain) {}
+
+  void add(double sample) {
+    if (!initialized_) {
+      avg_ = sample;
+      dev_ = std::abs(sample) / 2.0;
+      initialized_ = true;
+    } else {
+      double err = sample - avg_;
+      avg_ += avg_gain_ * err;
+      dev_ += dev_gain_ * (std::abs(err) - dev_);
+    }
+    ++count_;
+  }
+
+  bool initialized() const { return initialized_; }
+  double average() const { return avg_; }
+  double deviation() const { return dev_; }
+  int64_t count() const { return count_; }
+  void reset() { initialized_ = false; avg_ = dev_ = 0.0; count_ = 0; }
+
+ private:
+  double avg_gain_;
+  double dev_gain_;
+  bool initialized_ = false;
+  double avg_ = 0.0;
+  double dev_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace proteus

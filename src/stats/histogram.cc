@@ -1,0 +1,46 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace proteus {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  if (bins <= 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+  counts_.assign(static_cast<size_t>(bins), 0);
+  width_ = (hi_ - lo_) / static_cast<double>(bins);
+}
+
+void Histogram::add(double v) {
+  int idx = static_cast<int>((v - lo_) / width_);
+  idx = std::clamp(idx, 0, bins() - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(int i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_center(int i) const {
+  return bin_lo(i) + width_ / 2.0;
+}
+
+std::vector<double> Histogram::pdf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::cdf() const {
+  std::vector<double> out = pdf();
+  for (size_t i = 1; i < out.size(); ++i) out[i] += out[i - 1];
+  return out;
+}
+
+}  // namespace proteus

@@ -1,0 +1,37 @@
+// Fixed-width binning for probability density summaries (paper Fig 2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace proteus {
+
+class Histogram {
+ public:
+  // Bins [lo, hi) split into `bins` equal-width buckets; samples outside the
+  // range are clamped into the first/last bucket.
+  Histogram(double lo, double hi, int bins);
+
+  void add(double v);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+  double bin_lo(int i) const;
+  double bin_center(int i) const;
+  int64_t count(int i) const { return counts_[static_cast<size_t>(i)]; }
+
+  // Fraction of samples per bin (sums to 1 when total > 0).
+  std::vector<double> pdf() const;
+  // Cumulative fraction up to and including each bin.
+  std::vector<double> cdf() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace proteus

@@ -1,0 +1,21 @@
+// Jain's fairness index over per-flow allocations (paper Figs 5, 17).
+#pragma once
+
+#include <vector>
+
+namespace proteus {
+
+// (sum x)^2 / (n * sum x^2); 1.0 when all equal, 1/n when one flow hogs
+// everything. Returns 0 for an empty input or all-zero allocations.
+inline double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0, s2 = 0.0;
+  for (double v : x) {
+    s += v;
+    s2 += v * v;
+  }
+  if (s2 <= 0.0) return 0.0;
+  return s * s / (static_cast<double>(x.size()) * s2);
+}
+
+}  // namespace proteus

@@ -1,0 +1,85 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/welford.h"
+
+namespace proteus {
+
+void Samples::add_all(const std::vector<double>& vs) {
+  values_.insert(values_.end(), vs.begin(), vs.end());
+  sorted_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::mean() const {
+  Welford w;
+  for (double v : values_) w.add(v);
+  return w.mean();
+}
+
+double Samples::stddev() const {
+  Welford w;
+  for (double v : values_) w.add(v);
+  return w.stddev();
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  auto lo = static_cast<size_t>(std::floor(rank));
+  auto hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+double Samples::cdf_at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double confusion_probability(const Samples& congested, const Samples& idle) {
+  const auto& a = congested.raw();
+  const auto& b = idle.raw();
+  if (a.empty() || b.empty()) return 0.0;
+  std::vector<double> sb = b;
+  std::sort(sb.begin(), sb.end());
+  // For each congested sample x, count idle samples strictly greater than x
+  // (confusion) plus half-weight ties.
+  double confused = 0.0;
+  for (double x : a) {
+    auto lower = std::lower_bound(sb.begin(), sb.end(), x);
+    auto upper = std::upper_bound(sb.begin(), sb.end(), x);
+    double greater = static_cast<double>(sb.end() - upper);
+    double ties = static_cast<double>(upper - lower);
+    confused += greater + 0.5 * ties;
+  }
+  return confused /
+         (static_cast<double>(a.size()) * static_cast<double>(sb.size()));
+}
+
+}  // namespace proteus

@@ -1,0 +1,48 @@
+// Sample collection with exact percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace proteus {
+
+// Accumulates raw samples and answers order-statistic queries. Percentiles
+// use linear interpolation between closest ranks (the common "type 7"
+// definition used by numpy).
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); sorted_ = false; }
+  void add_all(const std::vector<double>& vs);
+
+  int64_t count() const { return static_cast<int64_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;  // population stddev
+  // p in [0, 100]. Returns 0 for an empty set.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& raw() const { return values_; }
+  void clear() { values_.clear(); sorted_ = false; }
+
+  // Empirical CDF value: fraction of samples <= x.
+  double cdf_at(double x) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+// Probability that a uniformly random sample drawn from `congested` is
+// smaller than an independent uniformly random sample from `idle`.
+// This is the paper's "confusion probability" (section 4.2): a good
+// competition signal should almost never look smaller under congestion
+// than in the idle baseline. Ties count as half.
+double confusion_probability(const Samples& congested, const Samples& idle);
+
+}  // namespace proteus

@@ -1,0 +1,39 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+namespace proteus {
+
+RegressionResult linear_regression(const std::vector<double>& x,
+                                   const std::vector<double>& y) {
+  RegressionResult r;
+  if (x.size() != y.size() || x.size() < 2) return r;
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    sxx += dx * dx;
+    sxy += dx * (y[i] - my);
+  }
+  if (sxx <= 0.0) return r;
+  r.slope = sxy / sxx;
+  r.intercept = my - r.slope * mx;
+  double ss_res = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (r.intercept + r.slope * x[i]);
+    ss_res += e * e;
+  }
+  r.residual_rms = std::sqrt(ss_res / n);
+  r.n = static_cast<int64_t>(x.size());
+  r.valid = true;
+  return r;
+}
+
+}  // namespace proteus

@@ -1,0 +1,23 @@
+// Least-squares linear regression with residual error, as used for the
+// per-MI RTT-gradient estimate and its regression-error tolerance
+// (paper sections 4.1 and 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace proteus {
+
+struct RegressionResult {
+  double slope = 0.0;       // dy/dx
+  double intercept = 0.0;   // value at x = 0
+  double residual_rms = 0.0;  // sqrt(mean squared residual)
+  int64_t n = 0;
+  bool valid = false;       // false when n < 2 or x has no spread
+};
+
+// Fits y = intercept + slope * x over paired samples.
+RegressionResult linear_regression(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace proteus

@@ -1,0 +1,53 @@
+#include "stats/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus {
+
+Rng Rng::fork(uint64_t salt) {
+  // SplitMix64-style scramble of (fresh draw, salt) for decorrelated children.
+  uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL + salt;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u = uniform();
+  // Inverse-CDF sampling; guard against u == 0.
+  u = std::max(u, 1e-12);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+int64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<int64_t>(mean)(engine_);
+}
+
+}  // namespace proteus

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// Every stochastic component in the repository draws from an Rng that is
+// seeded explicitly, so a whole experiment is reproducible from a single
+// seed. Rng::fork() derives independent child streams, letting components
+// (links, workloads, flows) own private generators without correlated draws.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace proteus {
+
+// A seeded random source. Thin wrapper over std::mt19937_64 exposing the
+// distributions the simulator and workload generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Derives an independent child generator. Distinct salts give distinct,
+  // decorrelated streams; the parent's state advances so repeated forks with
+  // the same salt also differ.
+  Rng fork(uint64_t salt);
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t uniform_int(int64_t lo, int64_t hi);
+  // True with probability p (p clamped to [0, 1]).
+  bool bernoulli(double p);
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+  // Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  // Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed delays).
+  double pareto(double xm, double alpha);
+  // Poisson-distributed count with the given mean (>= 0).
+  int64_t poisson(double mean);
+
+  // Access to the raw engine for std:: algorithms (e.g. std::shuffle).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,38 @@
+// Numerically stable running mean/variance (Welford's algorithm).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace proteus {
+
+class Welford {
+ public:
+  void add(double sample) {
+    ++n_;
+    double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (sample - mean_);
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Population variance (divide by n), matching the paper's sigma(RTT).
+  double variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  // Sample variance (divide by n-1) for inference use.
+  double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  void reset() { n_ = 0; mean_ = 0.0; m2_ = 0.0; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace proteus

@@ -1,0 +1,71 @@
+// Congestion-controller interface shared by every protocol in the repo
+// (Proteus/PCC, CUBIC, BBR, BBR-S, COPA, LEDBAT).
+//
+// A controller is a passive policy object: the Sender feeds it packet-level
+// events and queries a pacing rate and/or congestion window. Rate-based
+// protocols (PCC family) return a pacing rate and an unlimited window;
+// window-based protocols (CUBIC, LEDBAT) return kNoCwndLimit-free windows
+// and zero pacing (ACK-clocked); BBR uses both.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/units.h"
+
+namespace proteus {
+
+inline constexpr int64_t kNoCwndLimit = std::numeric_limits<int64_t>::max();
+
+struct SentPacketInfo {
+  uint64_t seq = 0;
+  int64_t bytes = 0;
+  TimeNs sent_time = 0;
+  int64_t bytes_in_flight = 0;  // after this send
+};
+
+struct AckInfo {
+  uint64_t seq = 0;            // sequence of the acked data packet
+  int64_t bytes = 0;           // payload bytes acknowledged
+  TimeNs sent_time = 0;        // when the data packet left the sender
+  TimeNs ack_time = 0;         // now
+  TimeNs rtt = 0;              // ack_time - sent_time
+  TimeNs one_way_delay = 0;    // receiver_time - sent_time (synced clocks)
+  TimeNs prev_ack_time = 0;    // arrival of the previous ACK (0 if first)
+  int64_t bytes_in_flight = 0; // after this ack
+};
+
+struct LossInfo {
+  uint64_t seq = 0;
+  int64_t bytes = 0;
+  TimeNs sent_time = 0;
+  TimeNs detected_time = 0;
+  int64_t bytes_in_flight = 0;  // after removing this packet
+};
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  // Called once when the flow starts sending.
+  virtual void on_start(TimeNs /*now*/) {}
+  virtual void on_packet_sent(const SentPacketInfo& /*info*/) {}
+  virtual void on_ack(const AckInfo& info) = 0;
+  virtual void on_loss(const LossInfo& /*info*/) {}
+
+  // Invoked by the sender when the time returned from next_timer() arrives.
+  virtual void on_timer(TimeNs /*now*/) {}
+  // Absolute time of the next on_timer() the controller wants, or
+  // kTimeInfinite for none. Re-queried after every event.
+  virtual TimeNs next_timer() const { return kTimeInfinite; }
+
+  // Pacing rate; a non-positive value means "not paced" (window-only).
+  virtual Bandwidth pacing_rate() const = 0;
+  // Congestion window in bytes; kNoCwndLimit for rate-only protocols.
+  virtual int64_t cwnd_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace proteus

@@ -1,0 +1,53 @@
+#include "transport/flow.h"
+
+#include <utility>
+
+namespace proteus {
+
+Flow::Flow(Simulator* sim, Dumbbell* dumbbell, FlowConfig cfg,
+           std::unique_ptr<CongestionController> cc)
+    : sim_(sim),
+      dumbbell_(dumbbell),
+      cfg_(cfg),
+      alive_(std::make_shared<bool>(true)) {
+  sender_ = std::make_unique<Sender>(sim, dumbbell, cfg_.id, std::move(cc));
+  receiver_ = std::make_unique<Receiver>(sim, dumbbell, cfg_.id);
+  dumbbell_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
+
+  if (cfg_.collect_rtt) {
+    sender_->set_on_ack(
+        [this](const AckInfo& info) { rtt_samples_.add(to_ms(info.rtt)); });
+  }
+  if (!cfg_.unlimited) {
+    sender_->set_on_all_delivered([this] {
+      if (completion_time_ == kTimeInfinite) {
+        completion_time_ = sim_->now();
+      }
+    });
+  }
+
+  std::weak_ptr<bool> alive = alive_;
+  sim_->schedule_at(std::max(cfg_.start_time, sim_->now()), [this, alive] {
+    if (alive.expired()) return;
+    if (cfg_.unlimited) {
+      sender_->set_unlimited(true);
+    } else {
+      sender_->offer_bytes(cfg_.total_bytes);
+    }
+    sender_->start();
+  });
+  if (cfg_.stop_time != kTimeInfinite) {
+    sim_->schedule_at(cfg_.stop_time, [this, alive] {
+      if (alive.expired()) return;
+      sender_->set_unlimited(false);
+      sender_->stop();
+    });
+  }
+}
+
+Flow::~Flow() {
+  *alive_ = false;
+  dumbbell_->detach_flow(cfg_.id);
+}
+
+}  // namespace proteus

@@ -1,0 +1,62 @@
+// Flow: one sender/receiver pair bound to a dumbbell, with start/stop
+// scheduling and the measurement hooks every experiment needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/dumbbell.h"
+#include "stats/percentile.h"
+#include "transport/receiver.h"
+#include "transport/sender.h"
+
+namespace proteus {
+
+struct FlowConfig {
+  FlowId id = 0;
+  TimeNs start_time = 0;
+  TimeNs stop_time = kTimeInfinite;  // stop offering new data at this time
+  bool unlimited = true;             // bulk flow
+  int64_t total_bytes = 0;           // for finite flows (unlimited == false)
+  bool collect_rtt = true;           // record per-ack RTT samples
+};
+
+class Flow {
+ public:
+  Flow(Simulator* sim, Dumbbell* dumbbell, FlowConfig cfg,
+       std::unique_ptr<CongestionController> cc);
+  ~Flow();
+
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
+
+  Sender& sender() { return *sender_; }
+  const Sender& sender() const { return *sender_; }
+  Receiver& receiver() { return *receiver_; }
+  const Receiver& receiver() const { return *receiver_; }
+  const FlowConfig& config() const { return cfg_; }
+
+  // Per-ack RTT samples collected at the sender.
+  const Samples& rtt_samples() const { return rtt_samples_; }
+
+  // Receiver goodput over [from, to) in Mbps.
+  double mean_throughput_mbps(TimeNs from, TimeNs to) const {
+    return receiver_->meter().mean_mbps(from, to);
+  }
+
+  // Finite flows: completion time, or kTimeInfinite if not finished.
+  TimeNs completion_time() const { return completion_time_; }
+  bool completed() const { return completion_time_ != kTimeInfinite; }
+
+ private:
+  Simulator* sim_;
+  Dumbbell* dumbbell_;
+  FlowConfig cfg_;
+  std::unique_ptr<Sender> sender_;
+  std::unique_ptr<Receiver> receiver_;
+  Samples rtt_samples_;
+  TimeNs completion_time_ = kTimeInfinite;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,28 @@
+#include "transport/receiver.h"
+
+#include "sim/dumbbell.h"
+
+namespace proteus {
+
+Receiver::Receiver(Simulator* sim, Dumbbell* dumbbell, FlowId id)
+    : sim_(sim), dumbbell_(dumbbell), id_(id) {}
+
+void Receiver::on_packet(const Packet& pkt) {
+  bytes_received_ += pkt.size_bytes;
+  ++packets_received_;
+  meter_.on_bytes(sim_->now(), pkt.size_bytes);
+
+  Packet ack;
+  ack.flow_id = id_;
+  ack.is_ack = true;
+  ack.size_bytes = kAckBytes;
+  ack.acked_seq = pkt.seq;
+  ack.data_sent_time = pkt.sent_time;
+  ack.receiver_time = sim_->now();
+  ack.acked_bytes = pkt.size_bytes;
+  dumbbell_->send_reverse(ack);
+
+  if (on_data_) on_data_(pkt, sim_->now());
+}
+
+}  // namespace proteus

@@ -1,0 +1,43 @@
+// Transport receiver endpoint: acknowledges every data packet and stamps
+// the receiver clock (one-way-delay support for LEDBAT).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace proteus {
+
+class Dumbbell;
+
+class Receiver final : public PacketSink {
+ public:
+  Receiver(Simulator* sim, Dumbbell* dumbbell, FlowId id);
+
+  // PacketSink: data packets surviving the bottleneck.
+  void on_packet(const Packet& pkt) override;
+
+  int64_t bytes_received() const { return bytes_received_; }
+  int64_t packets_received() const { return packets_received_; }
+  ThroughputMeter& meter() { return meter_; }
+  const ThroughputMeter& meter() const { return meter_; }
+
+  // Optional hook fired per data packet (application streaming).
+  void set_on_data(std::function<void(const Packet&, TimeNs)> cb) {
+    on_data_ = std::move(cb);
+  }
+
+ private:
+  Simulator* sim_;
+  Dumbbell* dumbbell_;
+  FlowId id_;
+  int64_t bytes_received_ = 0;
+  int64_t packets_received_ = 0;
+  ThroughputMeter meter_;
+  std::function<void(const Packet&, TimeNs)> on_data_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,283 @@
+#include "transport/sender.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/dumbbell.h"
+
+namespace proteus {
+
+namespace {
+constexpr int kLossReorderThreshold = 3;  // QUIC-style packet threshold
+constexpr TimeNs kMinRto = from_ms(25);
+constexpr TimeNs kInitialRttGuess = from_ms(100);
+}  // namespace
+
+Sender::Sender(Simulator* sim, Dumbbell* dumbbell, FlowId id,
+               std::unique_ptr<CongestionController> cc, int64_t packet_bytes)
+    : sim_(sim),
+      dumbbell_(dumbbell),
+      id_(id),
+      cc_(std::move(cc)),
+      packet_bytes_(packet_bytes),
+      alive_(std::make_shared<bool>(true)) {}
+
+Sender::~Sender() { *alive_ = false; }
+
+void Sender::start() {
+  if (running_) return;
+  running_ = true;
+  next_send_time_ = sim_->now();
+  cc_->on_start(sim_->now());
+  arm_cc_timer();
+  try_send(/*from_pacer=*/false);
+}
+
+void Sender::stop() { running_ = false; }
+
+void Sender::offer_bytes(int64_t bytes) {
+  credit_ += bytes;
+  all_delivered_fired_ = false;
+  if (running_) try_send(false);
+}
+
+void Sender::set_unlimited(bool unlimited) {
+  unlimited_ = unlimited;
+  if (running_) try_send(false);
+}
+
+void Sender::set_on_all_delivered(std::function<void()> cb) {
+  on_all_delivered_ = std::move(cb);
+}
+
+void Sender::set_on_delivered(std::function<void(int64_t, TimeNs)> cb) {
+  on_delivered_ = std::move(cb);
+}
+
+void Sender::set_on_ack(std::function<void(const AckInfo&)> cb) {
+  on_ack_ = std::move(cb);
+}
+
+bool Sender::can_send_now() const {
+  if (!running_) return false;
+  if (!unlimited_ && credit_ <= 0) return false;
+  const int64_t next_bytes =
+      unlimited_ ? packet_bytes_ : std::min(packet_bytes_, credit_);
+  const int64_t cwnd = cc_->cwnd_bytes();
+  if (cwnd != kNoCwndLimit && bytes_in_flight_ + next_bytes > cwnd) {
+    return false;
+  }
+  return true;
+}
+
+void Sender::try_send(bool from_pacer) {
+  if (from_pacer) pacer_scheduled_for_ = kTimeInfinite;
+  const TimeNs now = sim_->now();
+  while (can_send_now()) {
+    const Bandwidth pace = cc_->pacing_rate();
+    if (pace.positive()) {
+      if (next_send_time_ > now) {
+        schedule_pacer(next_send_time_);
+        break;
+      }
+      // Burst pacing: emit up to one quantum's worth of packets
+      // back-to-back, then sleep until the quantum's budget elapses.
+      const TimeNs interval = pace.tx_time(packet_bytes_);
+      int burst = 1;
+      if (interval > 0 && pacing_quantum_ > interval) {
+        burst = static_cast<int>(pacing_quantum_ / interval);
+      }
+      burst = std::min(burst, max_burst_packets_);
+      // A long idle gap must not bank "catch-up" sends.
+      next_send_time_ = std::max(next_send_time_, now);
+      for (int i = 0; i < burst && can_send_now(); ++i) {
+        send_one();
+        // Real stacks never pace exactly: timer slack and scheduler jitter
+        // smear packet spacing. Uniform +/-30% keeps the mean rate while
+        // making queueing (and hence RTT deviation) grow continuously with
+        // utilization instead of cliff-jumping at burst boundaries.
+        next_send_time_ += static_cast<TimeNs>(
+            static_cast<double>(interval) * sim_->rng().uniform(1.0 - pacing_jitter_, 1.0 + pacing_jitter_));
+      }
+    } else {
+      send_one();  // window-only: ACK clocking provides the spacing
+    }
+  }
+  arm_cc_timer();
+}
+
+void Sender::send_one() {
+  const int64_t bytes =
+      unlimited_ ? packet_bytes_ : std::min(packet_bytes_, credit_);
+  if (!unlimited_) credit_ -= bytes;
+
+  Packet pkt;
+  pkt.flow_id = id_;
+  pkt.seq = next_seq_++;
+  pkt.size_bytes = bytes;
+  pkt.sent_time = sim_->now();
+
+  in_flight_.emplace(pkt.seq, InFlight{bytes, pkt.sent_time});
+  bytes_in_flight_ += bytes;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += bytes;
+
+  SentPacketInfo info;
+  info.seq = pkt.seq;
+  info.bytes = bytes;
+  info.sent_time = pkt.sent_time;
+  info.bytes_in_flight = bytes_in_flight_;
+  cc_->on_packet_sent(info);
+
+  dumbbell_->forward_ingress()->on_packet(pkt);
+  arm_loss_sweep();
+}
+
+void Sender::schedule_pacer(TimeNs when) {
+  if (pacer_scheduled_for_ <= when) return;  // an earlier pacer is armed
+  pacer_scheduled_for_ = when;
+  std::weak_ptr<bool> alive = alive_;
+  sim_->schedule_at(when, [this, alive, when] {
+    if (alive.expired()) return;
+    if (pacer_scheduled_for_ != when) return;  // superseded
+    try_send(/*from_pacer=*/true);
+  });
+}
+
+void Sender::arm_cc_timer() {
+  const TimeNs want = cc_->next_timer();
+  if (want == kTimeInfinite) return;
+  if (cc_timer_armed_for_ <= want && cc_timer_armed_for_ > sim_->now()) {
+    return;  // already armed at or before the requested time
+  }
+  cc_timer_armed_for_ = std::max(want, sim_->now());
+  std::weak_ptr<bool> alive = alive_;
+  const TimeNs armed = cc_timer_armed_for_;
+  sim_->schedule_at(armed, [this, alive, armed] {
+    if (alive.expired()) return;
+    if (cc_timer_armed_for_ != armed) return;  // stale
+    cc_timer_armed_for_ = kTimeInfinite;
+    cc_->on_timer(sim_->now());
+    try_send(false);
+  });
+}
+
+TimeNs Sender::rto() const {
+  const TimeNs base = any_acked_ ? srtt_ : kInitialRttGuess;
+  const TimeNs var = any_acked_ ? rttvar_ : kInitialRttGuess / 2;
+  return std::max({kMinRto, 2 * base, base + 4 * var});
+}
+
+void Sender::arm_loss_sweep() {
+  if (loss_sweep_armed_ || in_flight_.empty()) return;
+  loss_sweep_armed_ = true;
+  std::weak_ptr<bool> alive = alive_;
+  sim_->schedule_in(std::max<TimeNs>(rto() / 2, from_ms(5)), [this, alive] {
+    if (alive.expired()) return;
+    loss_sweep_armed_ = false;
+    const TimeNs now = sim_->now();
+    const TimeNs deadline = rto();
+    std::vector<uint64_t> timed_out;
+    for (const auto& [seq, pkt] : in_flight_) {
+      if (now - pkt.sent_time > deadline) timed_out.push_back(seq);
+    }
+    for (uint64_t seq : timed_out) {
+      auto it = in_flight_.find(seq);
+      if (it != in_flight_.end()) {
+        InFlight pkt = it->second;
+        in_flight_.erase(it);
+        declare_lost(seq, pkt);
+      }
+    }
+    if (!in_flight_.empty()) arm_loss_sweep();
+    maybe_fire_all_delivered();
+    try_send(false);
+  });
+}
+
+void Sender::detect_losses_by_threshold() {
+  // Packets at least kLossReorderThreshold below the largest ack are lost.
+  std::vector<std::pair<uint64_t, InFlight>> lost;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->first + kLossReorderThreshold <= largest_acked_) {
+      lost.emplace_back(it->first, it->second);
+      it = in_flight_.erase(it);
+    } else {
+      break;  // map is ordered; later seqs are not past the threshold
+    }
+  }
+  for (const auto& [seq, pkt] : lost) declare_lost(seq, pkt);
+}
+
+void Sender::declare_lost(uint64_t seq, const InFlight& pkt) {
+  bytes_in_flight_ -= pkt.bytes;
+  ++stats_.packets_lost;
+  stats_.bytes_lost += pkt.bytes;
+  if (!unlimited_) credit_ += pkt.bytes;  // retransmit-equivalent
+
+  LossInfo info;
+  info.seq = seq;
+  info.bytes = pkt.bytes;
+  info.sent_time = pkt.sent_time;
+  info.detected_time = sim_->now();
+  info.bytes_in_flight = bytes_in_flight_;
+  cc_->on_loss(info);
+}
+
+void Sender::update_rtt(TimeNs rtt) {
+  min_rtt_ = std::min(min_rtt_, rtt);
+  if (!any_acked_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    any_acked_ = true;
+  } else {
+    const TimeNs err = rtt - srtt_;
+    srtt_ += err / 8;
+    rttvar_ += (std::abs(err) - rttvar_) / 4;
+  }
+}
+
+void Sender::on_packet(const Packet& ack) {
+  auto it = in_flight_.find(ack.acked_seq);
+  if (it == in_flight_.end()) return;  // already declared lost; ignore
+
+  const InFlight pkt = it->second;
+  in_flight_.erase(it);
+  bytes_in_flight_ -= pkt.bytes;
+  largest_acked_ = std::max(largest_acked_, ack.acked_seq);
+
+  const TimeNs now = sim_->now();
+  const TimeNs rtt = now - pkt.sent_time;
+  update_rtt(rtt);
+
+  ++stats_.packets_acked;
+  stats_.bytes_delivered += pkt.bytes;
+
+  AckInfo info;
+  info.seq = ack.acked_seq;
+  info.bytes = pkt.bytes;
+  info.sent_time = pkt.sent_time;
+  info.ack_time = now;
+  info.rtt = rtt;
+  info.one_way_delay = ack.receiver_time - pkt.sent_time;
+  info.prev_ack_time = last_ack_time_;
+  info.bytes_in_flight = bytes_in_flight_;
+  last_ack_time_ = now;
+  cc_->on_ack(info);
+  if (on_ack_) on_ack_(info);
+
+  detect_losses_by_threshold();
+  if (on_delivered_) on_delivered_(pkt.bytes, now);
+  maybe_fire_all_delivered();
+  try_send(false);
+}
+
+void Sender::maybe_fire_all_delivered() {
+  if (unlimited_ || all_delivered_fired_) return;
+  if (credit_ == 0 && in_flight_.empty() && stats_.bytes_delivered > 0) {
+    all_delivered_fired_ = true;
+    if (on_all_delivered_) on_all_delivered_();
+  }
+}
+
+}  // namespace proteus

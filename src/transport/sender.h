@@ -1,0 +1,138 @@
+// Transport sender endpoint: pacing, windowing, RTT estimation, and
+// QUIC-style loss detection (packet threshold + timeout sweep).
+//
+// Applications grant byte credits with offer_bytes() (or set_unlimited()).
+// Lost packets return their credit, so total delivered bytes eventually
+// equals the credit granted — retransmission without modeling payloads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+class Dumbbell;
+
+struct SenderStats {
+  int64_t packets_sent = 0;
+  int64_t bytes_sent = 0;
+  int64_t packets_acked = 0;
+  int64_t bytes_delivered = 0;
+  int64_t packets_lost = 0;
+  int64_t bytes_lost = 0;
+};
+
+class Sender final : public PacketSink {
+ public:
+  // `dumbbell` routes data out and delivers ACKs back; the sender attaches
+  // itself as flow `id`'s ACK sink. `receiver_ack_path` is wired by Flow.
+  Sender(Simulator* sim, Dumbbell* dumbbell, FlowId id,
+         std::unique_ptr<CongestionController> cc,
+         int64_t packet_bytes = kMtuBytes);
+
+  // Pacing granularity: packets within one quantum leave back-to-back,
+  // like a real user-space stack waking up and writing a sendmsg batch.
+  // This burstiness is load-bearing — transient queue occupancy from
+  // colliding bursts is what makes RTT deviation a usable competition
+  // signal (paper section 4.2). Zero restores idealized per-packet pacing.
+  void set_pacing_quantum(TimeNs quantum) { pacing_quantum_ = quantum; }
+  void set_max_burst_packets(int n) { max_burst_packets_ = n; }
+  // Fractional pacing jitter j: packet spacing is uniform in
+  // [1-j, 1+j] * interval (mean-preserving).
+  void set_pacing_jitter(double j) { pacing_jitter_ = j; }
+  ~Sender() override;
+
+  Sender(const Sender&) = delete;
+  Sender& operator=(const Sender&) = delete;
+
+  // --- Application interface ------------------------------------------
+  void start();
+  void stop();  // stop sending new data (in-flight packets still resolve)
+  void offer_bytes(int64_t bytes);
+  void set_unlimited(bool unlimited);
+  // Fires every time all offered credit has been delivered (not in
+  // unlimited mode). Re-arms automatically when more credit arrives.
+  void set_on_all_delivered(std::function<void()> cb);
+  // Optional per-ack notification (app-level progress, throughput meters).
+  void set_on_delivered(std::function<void(int64_t bytes, TimeNs now)> cb);
+  // Optional observer of every AckInfo (RTT sampling, probes).
+  void set_on_ack(std::function<void(const AckInfo&)> cb);
+
+  // --- Introspection ---------------------------------------------------
+  const SenderStats& stats() const { return stats_; }
+  int64_t bytes_in_flight() const { return bytes_in_flight_; }
+  int64_t pending_credit() const { return credit_; }
+  TimeNs smoothed_rtt() const { return srtt_; }
+  TimeNs min_rtt() const { return min_rtt_; }
+  CongestionController& cc() { return *cc_; }
+  const CongestionController& cc() const { return *cc_; }
+  FlowId flow_id() const { return id_; }
+  bool running() const { return running_; }
+
+  // PacketSink: ACKs delivered from the reverse path.
+  void on_packet(const Packet& ack) override;
+
+ private:
+  struct InFlight {
+    int64_t bytes;
+    TimeNs sent_time;
+  };
+
+  bool can_send_now() const;
+  void try_send(bool from_pacer);
+  void send_one();
+  void schedule_pacer(TimeNs when);
+  void arm_cc_timer();
+  void arm_loss_sweep();
+  void detect_losses_by_threshold();
+  void declare_lost(uint64_t seq, const InFlight& pkt);
+  void update_rtt(TimeNs rtt);
+  TimeNs rto() const;
+  void maybe_fire_all_delivered();
+
+  Simulator* sim_;
+  Dumbbell* dumbbell_;
+  FlowId id_;
+  std::unique_ptr<CongestionController> cc_;
+  int64_t packet_bytes_;
+
+  bool running_ = false;
+  bool unlimited_ = false;
+  int64_t credit_ = 0;
+
+  uint64_t next_seq_ = 0;
+  uint64_t largest_acked_ = 0;
+  bool any_acked_ = false;
+  std::map<uint64_t, InFlight> in_flight_;
+  int64_t bytes_in_flight_ = 0;
+
+  TimeNs srtt_ = 0;
+  TimeNs rttvar_ = 0;
+  TimeNs min_rtt_ = kTimeInfinite;
+  TimeNs last_ack_time_ = 0;
+
+  TimeNs pacer_scheduled_for_ = kTimeInfinite;
+  TimeNs next_send_time_ = 0;
+  TimeNs pacing_quantum_ = from_us(1500);
+  int max_burst_packets_ = 1;
+  double pacing_jitter_ = 0.4;
+  TimeNs cc_timer_armed_for_ = kTimeInfinite;
+  bool loss_sweep_armed_ = false;
+
+  std::function<void()> on_all_delivered_;
+  std::function<void(int64_t, TimeNs)> on_delivered_;
+  std::function<void(const AckInfo&)> on_ack_;
+  bool all_delivered_fired_ = false;
+
+  SenderStats stats_;
+  std::shared_ptr<bool> alive_;  // guards scheduled callbacks after dtor
+};
+
+}  // namespace proteus

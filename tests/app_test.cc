@@ -1,0 +1,236 @@
+// Tests for the application layer: BOLA, the DASH video client, the web
+// page-load workload, and the short-flow generator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/bola.h"
+#include "app/bulk.h"
+#include "app/shortflow.h"
+#include "app/video.h"
+#include "app/web.h"
+#include "harness/scenario.h"
+
+namespace proteus {
+namespace {
+
+// ---- BOLA ---------------------------------------------------------------
+
+TEST(Bola, MonotoneNonDecreasingInBuffer) {
+  BolaAdaptation bola(make_4k_video().bitrates_mbps, 10.0);
+  int prev = 0;
+  for (double q = 0.0; q <= 10.0; q += 0.5) {
+    const int idx = bola.choose(q);
+    EXPECT_GE(idx, prev) << "buffer " << q;
+    prev = idx;
+  }
+}
+
+TEST(Bola, LowBufferPicksLowestBitrate) {
+  BolaAdaptation bola(make_4k_video().bitrates_mbps, 10.0);
+  EXPECT_EQ(bola.choose(0.0), 0);
+}
+
+TEST(Bola, HighBufferPicksHighestBitrate) {
+  const auto ladder = make_4k_video().bitrates_mbps;
+  BolaAdaptation bola(ladder, 10.0);
+  EXPECT_EQ(bola.choose(9.5), static_cast<int>(ladder.size()) - 1);
+}
+
+TEST(Bola, RejectsBadLadders) {
+  EXPECT_THROW(BolaAdaptation({}, 10.0), std::invalid_argument);
+  EXPECT_THROW(BolaAdaptation({5.0, 1.0}, 10.0), std::invalid_argument);
+}
+
+TEST(FixedBitrate, AlwaysSameIndex) {
+  FixedBitrateAdaptation abr(3);
+  EXPECT_EQ(abr.choose(0.0), 3);
+  EXPECT_EQ(abr.choose(100.0), 3);
+}
+
+// ---- Video client ---------------------------------------------------------
+
+TEST(VideoClient, DownloadsAndPlaysSmoothlyWithHeadroom) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 100.0;
+  cfg.seed = 21;
+  Scenario sc(cfg);
+  VideoClientConfig vc;
+  vc.video = make_1080p_video(20);  // 60 s of video
+  vc.id = sc.allocate_flow_id();
+  VideoClient client(&sc.sim(), &sc.dumbbell(), vc, make_proteus_p(1),
+                     std::make_unique<BolaAdaptation>(
+                         vc.video.bitrates_mbps,
+                         vc.buffer_capacity_sec / vc.video.chunk_duration_sec));
+  sc.run_until(from_sec(90));
+  const VideoMetrics m = client.metrics();
+  EXPECT_TRUE(m.finished_download);
+  EXPECT_EQ(m.chunks_downloaded, 20);
+  EXPECT_LT(m.rebuffer_ratio, 0.02);
+  EXPECT_GT(m.average_chunk_bitrate_mbps, 3.0);  // climbs the ladder
+  EXPECT_GT(m.play_time_sec, 55.0);
+}
+
+TEST(VideoClient, RebuffersWhenLinkTooSlow) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 3.0;  // below even mid-ladder 1080p rates
+  cfg.seed = 22;
+  Scenario sc(cfg);
+  VideoClientConfig vc;
+  vc.video = make_1080p_video(20);
+  vc.id = sc.allocate_flow_id();
+  // Force the top bitrate (10.5 Mbps > 3 Mbps link): must stall.
+  VideoClient client(
+      &sc.sim(), &sc.dumbbell(), vc, make_proteus_p(1),
+      std::make_unique<FixedBitrateAdaptation>(
+          static_cast<int>(vc.video.bitrates_mbps.size()) - 1));
+  sc.run_until(from_sec(120));
+  EXPECT_GT(client.metrics().rebuffer_events, 0);
+  EXPECT_GT(client.metrics().rebuffer_ratio, 0.3);
+}
+
+TEST(VideoClient, BufferNeverExceedsCapacity) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 200.0;
+  cfg.seed = 23;
+  Scenario sc(cfg);
+  VideoClientConfig vc;
+  vc.video = make_1080p_video(40);
+  vc.buffer_capacity_sec = 12.0;
+  vc.id = sc.allocate_flow_id();
+  VideoClient client(&sc.sim(), &sc.dumbbell(), vc, make_proteus_p(1),
+                     std::make_unique<FixedBitrateAdaptation>(0));
+  for (int t = 1; t <= 60; ++t) {
+    sc.run_until(from_sec(t));
+    EXPECT_LE(client.buffer_level_sec(), 12.0 + 1e-9);
+  }
+}
+
+TEST(VideoClient, FeedsHybridThresholdPolicy) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 100.0;
+  cfg.seed = 24;
+  Scenario sc(cfg);
+  auto state = std::make_shared<HybridThresholdState>();
+  HybridThresholdPolicy policy(state);
+  VideoClientConfig vc;
+  vc.video = make_4k_video(20);
+  vc.id = sc.allocate_flow_id();
+  VideoClient client(&sc.sim(), &sc.dumbbell(), vc,
+                     make_proteus_h(state, 1),
+                     std::make_unique<BolaAdaptation>(
+                         vc.video.bitrates_mbps,
+                         vc.buffer_capacity_sec / vc.video.chunk_duration_sec),
+                     &policy);
+  sc.run_until(from_sec(60));
+  // The policy must have been driven to a finite, rule-derived threshold.
+  const double thr = state->threshold_mbps();
+  EXPECT_GT(thr, 0.0);
+  EXPECT_LE(thr, 1.5 * vc.video.bitrates_mbps.back() + 1e-9);
+  EXPECT_GT(client.metrics().chunks_downloaded, 5);
+}
+
+// ---- Web workload ----------------------------------------------------------
+
+TEST(WebWorkload, PagesCompleteAndPltMeasured) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 100.0;
+  cfg.seed = 25;
+  Scenario sc(cfg);
+  WebWorkload::Config wc;
+  wc.page_arrival_rate_per_sec = 0.5;
+  wc.stop_time = from_sec(60);
+  WebWorkload web(&sc.sim(), &sc.dumbbell(), wc, [](uint64_t seed) {
+    return make_protocol("cubic", seed);
+  });
+  sc.run_until(from_sec(120));
+  EXPECT_GT(web.pages_started(), 10);
+  EXPECT_EQ(web.pages_completed(), web.pages_started());
+  const Samples plt = web.page_load_times_sec();
+  EXPECT_GT(plt.count(), 10);
+  EXPECT_GT(plt.median(), 0.01);
+  EXPECT_LT(plt.median(), 10.0);
+}
+
+TEST(WebWorkload, SlowerUnderContention) {
+  auto run_plt = [](bool with_background) {
+    ScenarioConfig cfg;
+    cfg.bandwidth_mbps = 20.0;
+    cfg.seed = 26;
+    Scenario sc(cfg);
+    if (with_background) sc.add_flow("cubic", 0);
+    WebWorkload::Config wc;
+    wc.page_arrival_rate_per_sec = 0.3;
+    wc.stop_time = from_sec(80);
+    WebWorkload web(&sc.sim(), &sc.dumbbell(), wc, [](uint64_t seed) {
+      return make_protocol("cubic", seed);
+    });
+    sc.run_until(from_sec(120));
+    return web.page_load_times_sec().median();
+  };
+  EXPECT_GT(run_plt(true), run_plt(false) * 1.3);
+}
+
+// ---- Short flows -------------------------------------------------------------
+
+TEST(ShortFlowGenerator, PoissonArrivalsRoughlyMatchRate) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 100.0;
+  cfg.seed = 27;
+  Scenario sc(cfg);
+  ShortFlowGenerator::Config sfc;
+  sfc.arrival_rate_per_sec = 6.0;
+  sfc.stop_time = from_sec(60);
+  ShortFlowGenerator gen(&sc.sim(), &sc.dumbbell(), sfc, [](uint64_t seed) {
+    return make_protocol("cubic", seed);
+  });
+  sc.run_until(from_sec(70));
+  EXPECT_NEAR(static_cast<double>(gen.flows_started()), 360.0, 60.0);
+  EXPECT_EQ(gen.flows_completed(), gen.flows_started());
+  EXPECT_LT(gen.completion_times_sec().median(), 1.0);
+}
+
+TEST(ShortFlowGenerator, ZeroRateProducesNothing) {
+  ScenarioConfig cfg;
+  cfg.seed = 28;
+  Scenario sc(cfg);
+  ShortFlowGenerator::Config sfc;
+  sfc.arrival_rate_per_sec = 0.0;
+  ShortFlowGenerator gen(&sc.sim(), &sc.dumbbell(), sfc, [](uint64_t seed) {
+    return make_protocol("cubic", seed);
+  });
+  sc.run_until(from_sec(10));
+  EXPECT_EQ(gen.flows_started(), 0);
+}
+
+// ---- Fixed-rate probe + window analyzer ---------------------------------------
+
+TEST(RttWindowAnalyzer, SplitsIntoWindows) {
+  RttWindowAnalyzer an(from_ms(100));
+  // Two full windows of samples with distinct deviations.
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 10; ++i) {
+      const TimeNs t = w * from_ms(100) + i * from_ms(10);
+      const TimeNs rtt = from_ms(30) + (w == 1 ? from_ms(i % 2) : 0);
+      an.add_sample(t, rtt);
+    }
+  }
+  // Windows 0 and 1 flushed (window 2 still open).
+  EXPECT_EQ(an.deviations_ms().count(), 2);
+  EXPECT_LT(an.deviations_ms().min(), 0.01);
+  EXPECT_NEAR(an.deviations_ms().max(), 0.5, 0.01);
+}
+
+TEST(FixedRateController, HoldsConfiguredRate) {
+  ScenarioConfig cfg;
+  cfg.seed = 29;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow_with_cc(std::make_unique<FixedRateController>(
+                                    Bandwidth::from_mbps(20)),
+                                0);
+  sc.run_until(from_sec(20));
+  EXPECT_NEAR(f.mean_throughput_mbps(from_sec(5), from_sec(20)), 20.0, 1.5);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,149 @@
+// Tests for the proteus_sim command-line parser and the CSV trace export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/cli.h"
+#include "harness/trace_export.h"
+
+namespace proteus {
+namespace {
+
+CliParseResult parse(std::initializer_list<std::string> args) {
+  return parse_cli(std::vector<std::string>(args));
+}
+
+TEST(Cli, MinimalFlowsOnly) {
+  const auto r = parse({"--flows=cubic"});
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.options.flows.size(), 1u);
+  EXPECT_EQ(r.options.flows[0].protocol, "cubic");
+  EXPECT_DOUBLE_EQ(r.options.flows[0].start_sec, 0.0);
+  // Defaults intact.
+  EXPECT_DOUBLE_EQ(r.options.scenario.bandwidth_mbps, 50.0);
+}
+
+TEST(Cli, FullFlagSet) {
+  const auto r = parse({"--bw=100", "--rtt=60", "--buffer=1500000",
+                        "--loss=0.01", "--duration=90", "--warmup=30",
+                        "--seed=42", "--wifi",
+                        "--flows=bbr@0,proteus-s@10.5", "--trace=t.csv"});
+  ASSERT_TRUE(r.ok) << r.error;
+  const CliOptions& o = r.options;
+  EXPECT_DOUBLE_EQ(o.scenario.bandwidth_mbps, 100.0);
+  EXPECT_DOUBLE_EQ(o.scenario.rtt_ms, 60.0);
+  EXPECT_EQ(o.scenario.buffer_bytes, 1'500'000);
+  EXPECT_DOUBLE_EQ(o.scenario.random_loss, 0.01);
+  EXPECT_DOUBLE_EQ(o.duration_sec, 90.0);
+  EXPECT_EQ(o.scenario.seed, 42u);
+  EXPECT_TRUE(o.wifi);
+  EXPECT_TRUE(o.scenario.wifi_noise);
+  EXPECT_TRUE(o.scenario.ack_aggregation);
+  ASSERT_EQ(o.flows.size(), 2u);
+  EXPECT_EQ(o.flows[1].protocol, "proteus-s");
+  EXPECT_DOUBLE_EQ(o.flows[1].start_sec, 10.5);
+  EXPECT_EQ(o.trace_path, "t.csv");
+}
+
+TEST(Cli, RejectsUnknownProtocol) {
+  const auto r = parse({"--flows=warp-drive"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("warp-drive"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const auto r = parse({"--flows=cubic", "--frobnicate=1"});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Cli, RejectsMissingFlows) {
+  const auto r = parse({"--bw=10"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--flows"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadNumbers) {
+  EXPECT_FALSE(parse({"--flows=cubic", "--bw=abc"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--bw=-5"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--loss=1.5"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--buffer=0"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic@-3"}).ok);
+}
+
+TEST(Cli, RejectsWarmupBeyondDuration) {
+  const auto r =
+      parse({"--flows=cubic", "--duration=30", "--warmup=30"});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Cli, AcceptsEveryRegistryProtocol) {
+  for (const char* proto :
+       {"cubic", "bbr", "bbr-s", "copa", "vivace", "allegro", "ledbat",
+        "ledbat-25", "proteus-p", "proteus-s", "proteus-h"}) {
+    const auto r = parse({std::string("--flows=") + proto});
+    EXPECT_TRUE(r.ok) << proto << ": " << r.error;
+  }
+}
+
+TEST(TraceExport, ThroughputCsvRoundTrip) {
+  ScenarioConfig cfg;
+  cfg.seed = 3;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(5));
+
+  const std::string path = ::testing::TempDir() + "/tput.csv";
+  ASSERT_TRUE(write_throughput_csv(path, {&f}, from_sec(5)));
+
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "t_sec,flow_1_mbps");
+  int rows = 0;
+  double sum = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++rows;
+    const size_t comma = line.find(',');
+    ASSERT_NE(comma, std::string::npos);
+    sum += std::stod(line.substr(comma + 1));
+  }
+  EXPECT_EQ(rows, 5);
+  EXPECT_GT(sum, 10.0);  // the flow moved real traffic
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, RttCsv) {
+  ScenarioConfig cfg;
+  cfg.seed = 4;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("cubic", 0);
+  sc.run_until(from_sec(3));
+
+  const std::string path = ::testing::TempDir() + "/rtt.csv";
+  ASSERT_TRUE(write_rtt_csv(path, f));
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "sample_idx,rtt_ms");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, f.rtt_samples().count());
+  EXPECT_GT(rows, 100);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, UnwritablePathFails) {
+  ScenarioConfig cfg;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("cubic", 0);
+  EXPECT_FALSE(write_throughput_csv("/nonexistent-dir/x.csv", {&f},
+                                    from_sec(1)));
+  EXPECT_FALSE(write_rtt_csv("/nonexistent-dir/x.csv", f));
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,33 @@
+// Single-flow convergence smoke tests: every protocol should roughly
+// saturate a clean 50 Mbps / 30 ms / 2 BDP bottleneck on its own.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+
+namespace proteus {
+namespace {
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 50.0;
+  cfg.rtt_ms = 30.0;
+  cfg.buffer_bytes = 375'000;  // 2 BDP
+  cfg.seed = 7;
+  return cfg;
+}
+
+class SingleFlowSaturation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SingleFlowSaturation, ReachesHighUtilization) {
+  const SingleFlowResult r =
+      run_single_flow(GetParam(), base_config(), from_sec(60), from_sec(20));
+  EXPECT_GT(r.utilization, 0.80) << GetParam();
+  EXPECT_LE(r.utilization, 1.02) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SingleFlowSaturation,
+                         ::testing::Values("proteus-p", "proteus-s", "vivace",
+                                           "cubic", "bbr", "copa", "ledbat"));
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,149 @@
+// Numeric verification of the Appendix A equilibrium theory:
+// Theorems 4.1/4.2 (homogeneous populations split fairly, link fully
+// utilized) and uniqueness/yielding in mixed populations.
+#include <gtest/gtest.h>
+
+#include "core/equilibrium.h"
+
+namespace proteus {
+namespace {
+
+EquilibriumModel model(double capacity = 50.0) {
+  EquilibriumModel m;
+  m.capacity_mbps = capacity;
+  // Large enough that the scavenger's extra penalty is visible next to
+  // b = 900 (see DESIGN.md on simulator deviation scales).
+  m.deviation_factor = 0.05;
+  return m;
+}
+
+// Theorem 4.1: n Proteus-P senders converge to equal rates, full link.
+class PrimaryFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrimaryFairness, EqualSplitAndFullUtilization) {
+  const int n = GetParam();
+  const auto r = solve_equilibrium(model(), n, 0);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(static_cast<int>(r.primary_rates.size()), n);
+  for (double x : r.primary_rates) {
+    EXPECT_NEAR(x, r.primary_rates[0], 1e-2);
+  }
+  EXPECT_GE(r.total_rate, 50.0 * 0.995);
+  EXPECT_LE(r.total_rate, 50.0 * 1.05);  // fully utilized
+}
+
+INSTANTIATE_TEST_SUITE_P(N, PrimaryFairness,
+                         ::testing::Values(1, 2, 3, 5, 8, 10));
+
+// Theorem 4.2: the same for Proteus-S-only populations.
+class ScavengerFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScavengerFairness, EqualSplitAndFullUtilization) {
+  const int n = GetParam();
+  const auto r = solve_equilibrium(model(), 0, n);
+  ASSERT_TRUE(r.converged);
+  for (double x : r.scavenger_rates) {
+    EXPECT_NEAR(x, r.scavenger_rates[0], 1e-2);
+  }
+  EXPECT_GE(r.total_rate, 50.0 * 0.995);
+  EXPECT_LE(r.total_rate, 50.0 * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(N, ScavengerFairness,
+                         ::testing::Values(1, 2, 3, 5, 8, 10));
+
+TEST(MixedEquilibrium, ScavengerYieldsToPrimary) {
+  // With the paper's b = 900 the fluid equilibrium parks exactly at the
+  // S = C kink where the congestion term is inactive, so both senders get
+  // the fair share (the paper leaves the formal yielding analysis to
+  // future work). A small b gives an interior equilibrium with standing
+  // congestion, where the scavenger's extra penalty is visible.
+  EquilibriumModel m = model();
+  m.params.b = 0.5;           // below the kink-pinning threshold
+  m.deviation_factor = 2.5e-4;  // d*A = 0.5: scavenger penalty doubled
+  const auto r = solve_equilibrium(m, 1, 1);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.scavenger_rates[0], r.primary_rates[0]);
+  // The deviation penalty makes the scavenger strictly more conservative,
+  // but the pair still saturates the link.
+  EXPECT_GE(r.total_rate, 50.0 * 0.995);
+}
+
+TEST(MixedEquilibrium, MoreDeviationPenaltyYieldsMore) {
+  EquilibriumModel weak = model();
+  weak.params.b = 0.5;
+  weak.deviation_factor = 1.25e-4;
+  EquilibriumModel strong = weak;
+  strong.deviation_factor = 1.25e-3;
+  const auto rw = solve_equilibrium(weak, 1, 1);
+  const auto rs = solve_equilibrium(strong, 1, 1);
+  ASSERT_TRUE(rw.converged);
+  ASSERT_TRUE(rs.converged);
+  EXPECT_LT(rs.scavenger_rates[0], rw.scavenger_rates[0]);
+  EXPECT_GT(rs.primary_rates[0], rw.primary_rates[0]);
+}
+
+TEST(MixedEquilibrium, UniqueAcrossStartingPoints) {
+  // Uniqueness (Appendix A): the damped best-response dynamics land on the
+  // same point regardless of iteration order/count granularity; approximate
+  // by comparing different sender counts' permutations via symmetry.
+  const auto r1 = solve_equilibrium(model(), 2, 3);
+  const auto r2 = solve_equilibrium(model(), 2, 3, 1e-6, 40'000);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  for (size_t i = 0; i < r1.primary_rates.size(); ++i) {
+    EXPECT_NEAR(r1.primary_rates[i], r2.primary_rates[i], 1e-2);
+  }
+  for (size_t i = 0; i < r1.scavenger_rates.size(); ++i) {
+    EXPECT_NEAR(r1.scavenger_rates[i], r2.scavenger_rates[i], 1e-2);
+  }
+}
+
+TEST(MixedEquilibrium, SymmetricSendersGetSymmetricRates) {
+  const auto r = solve_equilibrium(model(), 3, 2);
+  ASSERT_TRUE(r.converged);
+  for (double x : r.primary_rates) {
+    EXPECT_NEAR(x, r.primary_rates[0], 1e-2);
+  }
+  for (double x : r.scavenger_rates) {
+    EXPECT_NEAR(x, r.scavenger_rates[0], 1e-2);
+  }
+}
+
+TEST(ModelUtility, CongestionTermOnlyAboveCapacity) {
+  const EquilibriumModel m = model();
+  EXPECT_GT(model_primary_utility(m, 10.0, 49.0),
+            model_primary_utility(m, 10.0, 60.0));
+  EXPECT_DOUBLE_EQ(model_primary_utility(m, 10.0, 30.0),
+                   model_primary_utility(m, 10.0, 49.0));
+}
+
+TEST(ModelUtility, ScavengerPenalizedMoreWhenCongested) {
+  const EquilibriumModel m = model();
+  const double total = 60.0;
+  EXPECT_LT(model_scavenger_utility(m, 10.0, total),
+            model_primary_utility(m, 10.0, total));
+}
+
+TEST(Equilibrium, EmptyGameConverges) {
+  const auto r = solve_equilibrium(model(), 0, 0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.total_rate, 0.0);
+}
+
+// Capacity sweep: equilibrium scales linearly with capacity.
+class CapacityScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacityScaling, TotalTracksCapacity) {
+  const double c = GetParam();
+  const auto r = solve_equilibrium(model(c), 2, 2);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GE(r.total_rate, c * 0.995);
+  EXPECT_LE(r.total_rate, c * 1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CapacityScaling,
+                         ::testing::Values(10.0, 20.0, 50.0, 100.0, 300.0));
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,147 @@
+// Tests for the extension features beyond the paper's core: CoDel AQM
+// (section 7.2's in-network direction) and the deadline-driven hybrid
+// threshold policy (section 2.3's dynamic-priority software update).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/hybrid_threshold.h"
+#include "app/bulk.h"
+#include "harness/scenario.h"
+
+namespace proteus {
+namespace {
+
+// ---- CoDel -----------------------------------------------------------------
+
+TEST(Codel, BoundsQueueDelayForBufferFiller) {
+  // CUBIC on a deep tail-drop buffer bloats it; under CoDel the standing
+  // queue stays near the 5 ms target.
+  auto run = [](bool codel_on) {
+    Simulator sim(31);
+    LinkConfig lc;
+    lc.rate = Bandwidth::from_mbps(50);
+    lc.prop_delay = from_ms(15);
+    lc.buffer_bytes = 1'500'000;
+    lc.codel.enabled = codel_on;
+    DumbbellConfig dc;
+    dc.bottleneck = lc;
+    dc.reverse_delay = from_ms(15);
+    Dumbbell db(&sim, dc);
+    FlowConfig fc;
+    fc.id = 1;
+    Flow flow(&sim, &db, fc, make_protocol("cubic", 7));
+    sim.run_until(from_sec(30));
+    return std::make_pair(flow.rtt_samples().percentile(95),
+                          db.bottleneck().stats().codel_drops);
+  };
+
+  const auto [p95_tail, drops_tail] = run(false);
+  const auto [p95_codel, drops_codel] = run(true);
+  EXPECT_EQ(drops_tail, 0);
+  EXPECT_GT(drops_codel, 10);
+  // Tail drop: full 1.5 MB buffer = 240 ms of queue on top of 30 ms base.
+  EXPECT_GT(p95_tail, 150.0);
+  // CoDel: standing queue held near target.
+  EXPECT_LT(p95_codel, 70.0);
+}
+
+TEST(Codel, BelowTargetNeverDrops) {
+  Simulator sim(32);
+  LinkConfig lc;
+  lc.rate = Bandwidth::from_mbps(50);
+  lc.codel.enabled = true;
+  DumbbellConfig dc;
+  dc.bottleneck = lc;
+  Dumbbell db(&sim, dc);
+  FlowConfig fc;
+  fc.id = 1;
+  // A fixed 10 Mbps flow on a 50 Mbps link never builds 5 ms of queue.
+  Flow flow(&sim, &db, fc,
+            std::make_unique<FixedRateController>(Bandwidth::from_mbps(10)));
+  sim.run_until(from_sec(20));
+  EXPECT_EQ(db.bottleneck().stats().codel_drops, 0);
+  EXPECT_GT(flow.sender().stats().bytes_delivered, 0);
+}
+
+TEST(Codel, LatencyAwareProtocolsCoexistWithIt) {
+  Simulator sim(33);
+  LinkConfig lc;
+  lc.rate = Bandwidth::from_mbps(50);
+  lc.prop_delay = from_ms(15);
+  lc.codel.enabled = true;
+  DumbbellConfig dc;
+  dc.bottleneck = lc;
+  dc.reverse_delay = from_ms(15);
+  Dumbbell db(&sim, dc);
+  FlowConfig fc;
+  fc.id = 1;
+  Flow flow(&sim, &db, fc, make_protocol("proteus-p", 9));
+  sim.run_until(from_sec(30));
+  // Slow-start overshoot legitimately trips CoDel, but at steady state
+  // Proteus-P keeps the queue below the target: rate stays high and the
+  // p95 RTT stays close to the base (no standing 5 ms+ queue).
+  EXPECT_GT(flow.mean_throughput_mbps(from_sec(10), from_sec(30)), 35.0);
+  EXPECT_LT(flow.rtt_samples().percentile(95), 60.0);
+}
+
+// ---- Deadline threshold policy ----------------------------------------------
+
+TEST(DeadlinePolicy, RequiredRateMath) {
+  auto state = std::make_shared<HybridThresholdState>();
+  // 100 Mb (12.5 MB) due in 10 s -> 10 Mbps required.
+  DeadlineThresholdPolicy p(state, 12'500'000, from_sec(10));
+  EXPECT_NEAR(p.required_rate_mbps(0, 0), 10.0, 1e-9);
+  EXPECT_NEAR(p.required_rate_mbps(6'250'000, from_sec(5)), 10.0, 1e-9);
+  EXPECT_NEAR(p.required_rate_mbps(12'500'000, from_sec(5)), 0.0, 1e-9);
+  EXPECT_GE(p.required_rate_mbps(0, from_sec(10)), 1e9);
+}
+
+TEST(DeadlinePolicy, ThresholdRisesWhenBehindFallsWhenAhead) {
+  auto state = std::make_shared<HybridThresholdState>();
+  DeadlineThresholdPolicy p(state, 12'500'000, from_sec(10));
+  p.on_progress(0, 0);
+  const double at_start = state->threshold_mbps();
+  EXPECT_NEAR(at_start, 15.0, 1e-9);  // 1.5 margin * 10 Mbps
+
+  // Way ahead of schedule: threshold drops (flow mostly scavenges).
+  p.on_progress(11'000'000, from_sec(5));
+  EXPECT_LT(state->threshold_mbps(), 4.0);
+
+  // Behind schedule: threshold rises above the start.
+  p.on_progress(2'000'000, from_sec(8));
+  EXPECT_GT(state->threshold_mbps(), at_start);
+}
+
+TEST(DeadlinePolicy, DrivesHybridFlowToFinishOnTime) {
+  // A 30 MB update due at t=40s competes with a COPA call on 50 Mbps.
+  // Required rate ~6.3 Mbps: the hybrid flow claims about that much and
+  // scavenges the rest of the time.
+  ScenarioConfig cfg;
+  cfg.seed = 34;
+  Scenario sc(cfg);
+  sc.add_flow("copa", 0);
+
+  auto state = std::make_shared<HybridThresholdState>();
+  DeadlineThresholdPolicy policy(state, 30'000'000, from_sec(40));
+
+  FlowConfig fc;
+  fc.id = sc.allocate_flow_id();
+  fc.unlimited = false;
+  fc.total_bytes = 30'000'000;
+  Flow flow(&sc.sim(), &sc.dumbbell(), fc,
+            make_protocol("proteus-h", sc.flow_seed(fc.id), state,
+                          &sc.config().tuning));
+  flow.sender().set_on_delivered([&](int64_t, TimeNs now) {
+    policy.on_progress(flow.sender().stats().bytes_delivered, now);
+  });
+
+  sc.run_until(from_sec(46));
+  ASSERT_TRUE(flow.completed());
+  // Allow a small overshoot: the threshold is a target the controller
+  // tracks, not a guarantee.
+  EXPECT_LE(flow.completion_time(), from_sec(44));
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,149 @@
+// Unit tests for the experiment harness: protocol factory, scenario
+// wiring, table formatting, and the shared experiment routines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiments.h"
+#include "harness/factory.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+namespace proteus {
+namespace {
+
+TEST(Factory, AllNamesConstruct) {
+  for (const char* name :
+       {"cubic", "bbr", "bbr-s", "copa", "vivace", "allegro", "ledbat",
+        "ledbat-25", "proteus-p", "proteus-s", "proteus-h"}) {
+    auto cc = make_protocol(name, 1);
+    ASSERT_NE(cc, nullptr) << name;
+    EXPECT_EQ(cc->name(), name);
+  }
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_protocol("quic-bb3", 1), std::invalid_argument);
+}
+
+TEST(Factory, ScavengerClassification) {
+  EXPECT_TRUE(is_scavenger_protocol("proteus-s"));
+  EXPECT_TRUE(is_scavenger_protocol("ledbat"));
+  EXPECT_TRUE(is_scavenger_protocol("ledbat-25"));
+  EXPECT_TRUE(is_scavenger_protocol("bbr-s"));
+  EXPECT_FALSE(is_scavenger_protocol("cubic"));
+  EXPECT_FALSE(is_scavenger_protocol("proteus-p"));
+}
+
+TEST(Factory, TuningReachesProteus) {
+  ProtocolTuning tuning;
+  tuning.utility.d = 123.0;
+  auto cc = make_protocol("proteus-s", 1, nullptr, &tuning);
+  EXPECT_EQ(cc->name(), "proteus-s");  // constructed through the override
+}
+
+TEST(Factory, HybridGetsDefaultThresholdWhenNull) {
+  auto cc = make_protocol("proteus-h", 1, nullptr);
+  EXPECT_EQ(cc->name(), "proteus-h");
+}
+
+TEST(Scenario, BdpMath) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 100.0;
+  cfg.rtt_ms = 40.0;
+  EXPECT_NEAR(cfg.bdp_bytes(), 500'000.0, 1.0);
+}
+
+TEST(Scenario, FlowIdsAndSeedsUnique) {
+  ScenarioConfig cfg;
+  Scenario sc(cfg);
+  Flow& a = sc.add_flow("cubic", 0);
+  Flow& b = sc.add_flow("cubic", 0);
+  EXPECT_NE(a.config().id, b.config().id);
+  EXPECT_NE(sc.flow_seed(a.config().id), sc.flow_seed(b.config().id));
+}
+
+TEST(Scenario, BaseRttMatchesConfig) {
+  ScenarioConfig cfg;
+  cfg.rtt_ms = 70.0;
+  Scenario sc(cfg);
+  EXPECT_EQ(sc.dumbbell().base_rtt(), from_ms(70));
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All three content lines plus the separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Experiments, SingleFlowResultConsistency) {
+  ScenarioConfig cfg;
+  cfg.seed = 13;
+  const SingleFlowResult r =
+      run_single_flow("cubic", cfg, from_sec(30), from_sec(10));
+  EXPECT_NEAR(r.utilization, r.throughput_mbps / cfg.bandwidth_mbps, 1e-9);
+  EXPECT_GE(r.p95_rtt_ms, cfg.rtt_ms);
+  EXPECT_GE(r.inflation_ratio_95, 0.0);
+}
+
+TEST(Experiments, PairResultRatios) {
+  ScenarioConfig cfg;
+  cfg.seed = 14;
+  const PairResult r =
+      run_pair("cubic", "cubic", cfg, from_sec(120), from_sec(40));
+  // Two CUBICs split the link: ratio near 0.5 (convergence is slow, so
+  // allow a generous band), utilization near 1.
+  EXPECT_GT(r.primary_ratio, 0.35);
+  EXPECT_LT(r.primary_ratio, 0.75);
+  EXPECT_GT(r.utilization, 0.9);
+  EXPECT_GT(r.rtt_ratio, 0.8);
+}
+
+TEST(Experiments, TimeSeriesShape) {
+  ScenarioConfig cfg;
+  cfg.seed = 15;
+  const auto series =
+      run_time_series({"cubic"}, cfg, from_sec(0), from_sec(12));
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].size(), 12u);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,76 @@
+// Unit tests for the Proteus-H cross-layer threshold policy (section 4.4).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/hybrid_threshold.h"
+
+namespace proteus {
+namespace {
+
+struct Rig {
+  Rig() : state(std::make_shared<HybridThresholdState>()), policy(state) {}
+  std::shared_ptr<HybridThresholdState> state;
+  HybridThresholdPolicy policy;
+};
+
+TEST(HybridThreshold, SufficientRateRule) {
+  Rig rig;
+  // Plenty of buffer space: only rule (1) applies -> G * bitrate_max.
+  rig.policy.on_chunk_request(/*max=*/40.0, /*current=*/10.0,
+                              /*free_chunks=*/5.0);
+  EXPECT_DOUBLE_EQ(rig.state->threshold_mbps(), 1.5 * 40.0);
+}
+
+TEST(HybridThreshold, BufferLimitRuleTightensNearFull) {
+  Rig rig;
+  // f = 1 free chunk: threshold <= bitrate_cur / (2 - 1) = bitrate_cur.
+  rig.policy.on_chunk_request(40.0, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(rig.state->threshold_mbps(), 10.0);
+  // f = 0.5: threshold <= 10 / 1.5.
+  rig.policy.on_chunk_request(40.0, 10.0, 0.5);
+  EXPECT_NEAR(rig.state->threshold_mbps(), 10.0 / 1.5, 1e-9);
+}
+
+TEST(HybridThreshold, BufferRuleOnlyBelowTwoChunks) {
+  Rig rig;
+  rig.policy.on_chunk_request(40.0, 1.0, 2.5);
+  EXPECT_DOUBLE_EQ(rig.state->threshold_mbps(), 60.0);  // rule 2 inactive
+}
+
+TEST(HybridThreshold, EmergencyRuleOverridesEverything) {
+  Rig rig;
+  rig.policy.on_chunk_request(40.0, 10.0, 0.5);
+  rig.policy.on_rebuffer_start();
+  EXPECT_GE(rig.state->threshold_mbps(), 1e9);
+  EXPECT_TRUE(rig.policy.rebuffering());
+  // Chunk requests during a stall do not lower the threshold.
+  rig.policy.on_chunk_request(40.0, 10.0, 0.5);
+  EXPECT_GE(rig.state->threshold_mbps(), 1e9);
+}
+
+TEST(HybridThreshold, RebufferEndRestoresRules) {
+  Rig rig;
+  rig.policy.on_chunk_request(40.0, 10.0, 5.0);
+  rig.policy.on_rebuffer_start();
+  rig.policy.on_rebuffer_end();
+  EXPECT_FALSE(rig.policy.rebuffering());
+  EXPECT_DOUBLE_EQ(rig.state->threshold_mbps(), 60.0);
+}
+
+TEST(HybridThreshold, MaxOfRulesIsTaken) {
+  Rig rig;
+  // Buffer-limit rule dominates (smaller than G * max).
+  rig.policy.on_chunk_request(40.0, 30.0, 1.5);
+  EXPECT_DOUBLE_EQ(rig.state->threshold_mbps(), 60.0);  // 30/(0.5) = 60 = G*40
+  rig.policy.on_chunk_request(40.0, 20.0, 1.5);
+  EXPECT_DOUBLE_EQ(rig.state->threshold_mbps(), 40.0);  // 20/0.5 < 60
+}
+
+TEST(HybridThreshold, DefaultStateIsEffectivelyPrimary) {
+  HybridThresholdState s;
+  EXPECT_GE(s.threshold_mbps(), 1e6);
+}
+
+}  // namespace
+}  // namespace proteus

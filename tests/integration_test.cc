@@ -1,0 +1,186 @@
+// System-level integration tests: the paper's headline behaviors on the
+// emulated bottleneck. These are the claims EXPERIMENTS.md tracks; each
+// test uses shorter runs than the benches but asserts the same shape.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "harness/wifi_paths.h"
+#include "stats/jain.h"
+
+namespace proteus {
+namespace {
+
+ScenarioConfig paper_link(uint64_t seed = 5) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 50.0;
+  cfg.rtt_ms = 30.0;
+  cfg.buffer_bytes = 375'000;  // 2 BDP
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Yielding goal: Proteus-S leaves primaries nearly untouched...
+struct YieldCase {
+  const char* primary;
+  double min_ratio_proteus;  // conservative bound vs the paper's numbers
+  double max_ratio_ledbat;   // LEDBAT must do clearly worse
+};
+
+class Yielding : public ::testing::TestWithParam<YieldCase> {};
+
+TEST_P(Yielding, ProteusYieldsWhereLedbatFails) {
+  const YieldCase& c = GetParam();
+  const auto proteus =
+      run_pair(c.primary, "proteus-s", paper_link(), from_sec(90),
+               from_sec(30));
+  const auto ledbat = run_pair(c.primary, "ledbat", paper_link(),
+                               from_sec(90), from_sec(30));
+  EXPECT_GT(proteus.primary_ratio, c.min_ratio_proteus) << c.primary;
+  EXPECT_LT(ledbat.primary_ratio, c.max_ratio_ledbat) << c.primary;
+  EXPECT_GT(proteus.primary_ratio, ledbat.primary_ratio) << c.primary;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Primaries, Yielding,
+    ::testing::Values(YieldCase{"cubic", 0.90, 0.85},
+                      YieldCase{"bbr", 0.85, 0.50},
+                      YieldCase{"copa", 0.70, 0.60},
+                      YieldCase{"proteus-p", 0.70, 0.45},
+                      YieldCase{"vivace", 0.55, 0.45}));
+
+TEST(Yielding, JointUtilizationStaysHigh) {
+  const auto r = run_pair("bbr", "proteus-s", paper_link(), from_sec(90),
+                          from_sec(30));
+  EXPECT_GT(r.utilization, 0.90);
+}
+
+TEST(Yielding, ProteusScavengerBarelyInflatesRtt) {
+  const auto proteus = run_pair("bbr", "proteus-s", paper_link(),
+                                from_sec(90), from_sec(30));
+  const auto ledbat = run_pair("bbr", "ledbat", paper_link(), from_sec(90),
+                               from_sec(30));
+  EXPECT_LT(proteus.rtt_ratio, 1.4);
+  EXPECT_GT(ledbat.rtt_ratio, 1.7);  // LEDBAT adds ~its 100 ms target
+}
+
+// Performance goal: scavengers alone behave like a normal CC.
+TEST(ScavengerPerformance, TwoProteusScavengersShareFairly) {
+  Scenario sc(paper_link(6));
+  Flow& f1 = sc.add_flow("proteus-s", 0);
+  Flow& f2 = sc.add_flow("proteus-s", from_sec(20));
+  sc.run_until(from_sec(120));
+  const double a = f1.mean_throughput_mbps(from_sec(40), from_sec(120));
+  const double b = f2.mean_throughput_mbps(from_sec(40), from_sec(120));
+  EXPECT_GT(jain_index({a, b}), 0.90);
+  // Mutual deviation penalties (and the emergency brake) make competing
+  // scavengers conservative; the paper's own Fig 18 shows Proteus-S
+  // "fluctuating more" among itself. See EXPERIMENTS.md known deltas.
+  EXPECT_GT((a + b) / 50.0, 0.55);
+}
+
+TEST(ScavengerPerformance, LedbatLatecomerAdvantage) {
+  // The latecomer effect needs a buffer that can absorb more than one
+  // flow's 100 ms target (at 50 Mbps, 100 ms = 625 KB).
+  ScenarioConfig cfg = paper_link(7);
+  cfg.buffer_bytes = 1'500'000;
+  Scenario sc(cfg);
+  Flow& f1 = sc.add_flow("ledbat", 0);
+  Flow& f2 = sc.add_flow("ledbat", from_sec(30));
+  // LEDBAT's linear controller (GAIN = 1) takes minutes to hand the link
+  // over; measure the late window where the takeover is visible.
+  sc.run_until(from_sec(200));
+  const double first = f1.mean_throughput_mbps(from_sec(150), from_sec(200));
+  const double second = f2.mean_throughput_mbps(from_sec(150), from_sec(200));
+  // The latecomer measures an inflated base delay and wins.
+  EXPECT_GT(second, first * 1.3);
+}
+
+TEST(ScavengerPerformance, ProteusToleratesRandomLossLedbatDoesNot) {
+  ScenarioConfig cfg = paper_link(8);
+  cfg.random_loss = 0.01;  // 1%
+  const auto proteus = run_single_flow("proteus-p", cfg, from_sec(60),
+                                       from_sec(20));
+  const auto ledbat = run_single_flow("ledbat", cfg, from_sec(60),
+                                      from_sec(20));
+  EXPECT_GT(proteus.utilization, 0.70);
+  EXPECT_LT(ledbat.utilization, 0.35);
+}
+
+TEST(ScavengerPerformance, LedbatNeedsBigBufferProteusDoesNot) {
+  ScenarioConfig small = paper_link(9);
+  small.buffer_bytes = 15'000;  // ~0.08 BDP
+  const auto proteus = run_single_flow("proteus-s", small, from_sec(60),
+                                       from_sec(20));
+  const auto ledbat = run_single_flow("ledbat", small, from_sec(60),
+                                      from_sec(20));
+  EXPECT_GT(proteus.utilization, 0.70);
+  EXPECT_LT(ledbat.utilization, proteus.utilization);
+  // LEDBAT keeps a small buffer pinned full (high inflation ratio).
+  EXPECT_GT(ledbat.inflation_ratio_95, 0.8);
+}
+
+// BBR-S (section 7.1): RTT deviation generalizes beyond PCC.
+TEST(BbrScavenger, YieldsToBbrAndCubic) {
+  for (const char* primary : {"bbr", "cubic"}) {
+    const auto r = run_pair(primary, "bbr-s", paper_link(10), from_sec(90),
+                            from_sec(30));
+    EXPECT_GT(r.primary_ratio, 0.75) << primary;
+  }
+}
+
+TEST(BbrScavenger, FairWithItself) {
+  Scenario sc(paper_link(11));
+  Flow& f1 = sc.add_flow("bbr-s", 0);
+  Flow& f2 = sc.add_flow("bbr-s", from_sec(10));
+  sc.run_until(from_sec(90));
+  const double a = f1.mean_throughput_mbps(from_sec(30), from_sec(90));
+  const double b = f2.mean_throughput_mbps(from_sec(30), from_sec(90));
+  EXPECT_GT(jain_index({a, b}), 0.80);
+}
+
+// Fairness (paper Fig 5 methodology, small n).
+class MultiflowFairness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MultiflowFairness, JainAboveNinety) {
+  const auto r = run_multiflow_fairness(GetParam(), 3, 12);
+  EXPECT_GT(r.jain, 0.90) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, MultiflowFairness,
+                         ::testing::Values("proteus-p", "cubic", "bbr",
+                                           "copa", "vivace"));
+
+// The wireless path set must be usable by every protocol.
+TEST(WifiPaths, SixtyFourDistinctPaths) {
+  const auto paths = wifi_path_set();
+  ASSERT_EQ(paths.size(), 64u);
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_NE(paths[i].scenario.seed, paths[i - 1].scenario.seed);
+  }
+}
+
+TEST(WifiPaths, ProtocolsSurviveHarshestPath) {
+  const auto paths = wifi_path_set();
+  const ScenarioConfig cfg = paths.back().scenario;  // harshest location
+  for (const char* proto : {"proteus-s", "proteus-p", "ledbat", "bbr"}) {
+    const auto r = run_single_flow(proto, cfg, from_sec(40), from_sec(15));
+    EXPECT_GT(r.throughput_mbps, 0.3) << proto;
+    EXPECT_LT(r.throughput_mbps, cfg.bandwidth_mbps * 1.05) << proto;
+  }
+}
+
+TEST(TimeSeries, StaggeredStartsProduceRamps) {
+  const auto series = run_time_series({"proteus-p", "proteus-p"},
+                                      paper_link(13), from_sec(20),
+                                      from_sec(60));
+  ASSERT_EQ(series.size(), 2u);
+  ASSERT_EQ(series[0].size(), 60u);
+  // Flow 0 owns the link during the first 20 s.
+  EXPECT_GT(series[0][15], 30.0);
+  EXPECT_LT(series[1][15], 1.0);
+  // After convergence the pair shares.
+  EXPECT_GT(series[1][50], 10.0);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,124 @@
+// Unit tests for monitor-interval accounting and metric computation.
+#include <gtest/gtest.h>
+
+#include "core/monitor_interval.h"
+
+namespace proteus {
+namespace {
+
+TEST(MonitorInterval, SeqRangeMembership) {
+  MonitorInterval mi(1, 10.0, from_ms(100), from_ms(30));
+  EXPECT_FALSE(mi.contains_seq(5));  // no packets yet
+  mi.on_packet_sent(5, kMtuBytes, from_ms(101));
+  mi.on_packet_sent(6, kMtuBytes, from_ms(110));
+  mi.on_packet_sent(7, kMtuBytes, from_ms(120));
+  EXPECT_TRUE(mi.contains_seq(5));
+  EXPECT_TRUE(mi.contains_seq(7));
+  EXPECT_FALSE(mi.contains_seq(4));
+  EXPECT_FALSE(mi.contains_seq(8));
+  EXPECT_TRUE(mi.contains_time(from_ms(100)));
+  EXPECT_TRUE(mi.contains_time(from_ms(129)));
+  EXPECT_FALSE(mi.contains_time(from_ms(130)));
+}
+
+TEST(MonitorInterval, CompletionRequiresSealAndResolution) {
+  MonitorInterval mi(1, 10.0, 0, from_ms(30));
+  mi.on_packet_sent(0, kMtuBytes, from_ms(1));
+  mi.on_packet_sent(1, kMtuBytes, from_ms(2));
+  EXPECT_FALSE(mi.complete());
+  mi.seal();
+  EXPECT_FALSE(mi.complete());  // packets unresolved
+  mi.on_ack(0, kMtuBytes, from_ms(1), from_ms(30), true);
+  mi.on_loss(1);
+  EXPECT_TRUE(mi.complete());
+}
+
+TEST(MonitorInterval, ThroughputAndLossRates) {
+  MonitorInterval mi(1, 10.0, 0, from_ms(100));
+  for (uint64_t i = 0; i < 10; ++i) {
+    mi.on_packet_sent(i, kMtuBytes, from_ms(static_cast<double>(i)));
+  }
+  for (uint64_t i = 0; i < 8; ++i) {
+    mi.on_ack(i, kMtuBytes, from_ms(static_cast<double>(i)), from_ms(20),
+              true);
+  }
+  mi.on_loss(8);
+  mi.on_loss(9);
+  mi.seal();
+  ASSERT_TRUE(mi.complete());
+  const MiMetrics m = mi.compute();
+  EXPECT_DOUBLE_EQ(m.loss_rate, 0.2);
+  // 10 * 1500B in 100 ms = 1.2 Mbps sent; 8/10 of that acked.
+  EXPECT_NEAR(m.send_rate_mbps, 1.2, 1e-9);
+  EXPECT_NEAR(m.throughput_mbps, 0.96, 1e-9);
+  EXPECT_TRUE(m.useful);
+  EXPECT_EQ(m.rtt_samples, 8);
+}
+
+TEST(MonitorInterval, GradientFromLinearlyRisingRtt) {
+  MonitorInterval mi(1, 10.0, 0, from_ms(100));
+  // RTT rises 1 ms per 10 ms of send time -> gradient 0.1 s/s.
+  for (uint64_t i = 0; i < 10; ++i) {
+    const TimeNs sent = from_ms(static_cast<double>(10 * i));
+    mi.on_packet_sent(i, kMtuBytes, sent);
+    mi.on_ack(i, kMtuBytes, sent, from_ms(20.0 + static_cast<double>(i)),
+              true);
+  }
+  mi.seal();
+  const MiMetrics m = mi.compute();
+  EXPECT_NEAR(m.rtt_gradient_raw, 0.1, 1e-9);
+  EXPECT_NEAR(m.regression_error, 0.0, 1e-9);
+  EXPECT_NEAR(m.avg_rtt_sec, 0.0245, 1e-9);
+}
+
+TEST(MonitorInterval, DeviationOfAlternatingRtt) {
+  MonitorInterval mi(1, 10.0, 0, from_ms(100));
+  for (uint64_t i = 0; i < 10; ++i) {
+    const TimeNs sent = from_ms(static_cast<double>(10 * i));
+    mi.on_packet_sent(i, kMtuBytes, sent);
+    // Alternating 20/22 ms -> population stddev exactly 1 ms.
+    mi.on_ack(i, kMtuBytes, sent, from_ms(i % 2 == 0 ? 20.0 : 22.0), true);
+  }
+  mi.seal();
+  const MiMetrics m = mi.compute();
+  EXPECT_NEAR(m.rtt_dev_raw_sec, 1e-3, 1e-12);
+  EXPECT_GT(m.regression_error, 0.0);
+}
+
+TEST(MonitorInterval, RejectedRttSamplesExcludedFromLatencyStats) {
+  MonitorInterval mi(1, 10.0, 0, from_ms(100));
+  for (uint64_t i = 0; i < 4; ++i) {
+    mi.on_packet_sent(i, kMtuBytes, from_ms(static_cast<double>(i)));
+  }
+  mi.on_ack(0, kMtuBytes, 0, from_ms(20), true);
+  mi.on_ack(1, kMtuBytes, 0, from_ms(500), false);  // filtered spike
+  mi.on_ack(2, kMtuBytes, 0, from_ms(20), true);
+  mi.on_ack(3, kMtuBytes, 0, from_ms(20), true);
+  mi.seal();
+  const MiMetrics m = mi.compute();
+  EXPECT_EQ(m.rtt_samples, 3);
+  EXPECT_NEAR(m.rtt_dev_raw_sec, 0.0, 1e-12);
+  EXPECT_EQ(m.packets_acked, 4);  // throughput still counts everything
+}
+
+TEST(MonitorInterval, EmptyMiNotUseful) {
+  MonitorInterval mi(1, 10.0, 0, from_ms(30));
+  mi.seal();
+  EXPECT_TRUE(mi.complete());
+  EXPECT_FALSE(mi.compute().useful);
+}
+
+TEST(MonitorInterval, AllLostMiIsUsefulWithFullLossRate) {
+  MonitorInterval mi(1, 10.0, 0, from_ms(30));
+  mi.on_packet_sent(0, kMtuBytes, 0);
+  mi.on_packet_sent(1, kMtuBytes, from_ms(1));
+  mi.on_loss(0);
+  mi.on_loss(1);
+  mi.seal();
+  const MiMetrics m = mi.compute();
+  EXPECT_FALSE(m.useful);  // needs at least one ack for latency stats
+  EXPECT_DOUBLE_EQ(m.loss_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,222 @@
+// Unit tests for the section-5 noise-tolerance mechanisms.
+#include <gtest/gtest.h>
+
+#include "core/noise_filter.h"
+#include "stats/rng.h"
+
+namespace proteus {
+namespace {
+
+NoiseControlConfig proteus_noise() {
+  NoiseControlConfig cfg;  // defaults are the Proteus configuration
+  return cfg;
+}
+
+MiMetrics raw_metrics(double gradient, double dev, double reg_err,
+                      double avg_rtt = 0.03) {
+  MiMetrics m;
+  m.rtt_gradient_raw = gradient;
+  m.rtt_dev_raw_sec = dev;
+  m.regression_error = reg_err;
+  m.avg_rtt_sec = avg_rtt;
+  m.rtt_samples = 20;
+  m.useful = true;
+  return m;
+}
+
+// ---- Per-ACK filter ---------------------------------------------------
+
+TEST(AckIntervalFilter, AcceptsSteadyStream) {
+  AckIntervalFilter f(proteus_noise());
+  TimeNs t = 0;
+  for (int i = 0; i < 100; ++i) {
+    const TimeNs prev = t;
+    t += from_ms(1);
+    EXPECT_TRUE(f.accept(from_ms(30), t, i == 0 ? 0 : prev));
+  }
+}
+
+TEST(AckIntervalFilter, SuppressesAfterBurstGapRatio) {
+  AckIntervalFilter f(proteus_noise());
+  TimeNs t = 0;
+  for (int i = 0; i < 10; ++i) {
+    const TimeNs prev = t;
+    t += from_ms(1);
+    f.accept(from_ms(30), t, i == 0 ? 0 : prev);
+  }
+  // A 100 ms stall then a back-to-back burst: ratio 100 -> suppression.
+  TimeNs prev = t;
+  t += from_ms(100);
+  EXPECT_FALSE(f.accept(from_ms(130), t, prev));  // the spike itself
+  prev = t;
+  t += from_us(10);
+  EXPECT_FALSE(f.accept(from_ms(95), t, prev));  // burst, still high RTT
+  EXPECT_TRUE(f.suppressing());
+  // Recovery: an RTT below the moving average ends suppression.
+  prev = t;
+  t += from_ms(1);
+  EXPECT_TRUE(f.accept(from_ms(25), t, prev));
+  EXPECT_FALSE(f.suppressing());
+}
+
+TEST(AckIntervalFilter, DisabledPassesEverything) {
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.ack_filter = false;
+  AckIntervalFilter f(cfg);
+  EXPECT_TRUE(f.accept(from_ms(500), from_ms(200), from_ms(1)));
+}
+
+// ---- Per-MI regression tolerance ---------------------------------------
+
+TEST(ApplyNoiseControl, SmallGradientZeroedByRegressionError) {
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.trending = false;
+  cfg.deviation_filter = DeviationFilterMode::kOff;
+  MiMetrics m = raw_metrics(/*gradient=*/0.002, /*dev=*/0.001,
+                            /*reg_err=*/0.01);
+  apply_noise_control(cfg, m, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(m.rtt_gradient, 0.0);
+  EXPECT_DOUBLE_EQ(m.rtt_dev_sec, 0.001);  // kOff leaves deviation raw
+}
+
+TEST(ApplyNoiseControl, LargeGradientSurvivesRegressionError) {
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.trending = false;
+  cfg.deviation_filter = DeviationFilterMode::kOff;
+  MiMetrics m = raw_metrics(0.05, 0.001, 0.01);
+  apply_noise_control(cfg, m, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(m.rtt_gradient, 0.05);
+}
+
+TEST(ApplyNoiseControl, TrendingGateModeZeroesDeviationWithGradient) {
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.trending = false;
+  cfg.deviation_filter = DeviationFilterMode::kTrendingGate;
+  MiMetrics m = raw_metrics(0.002, 0.001, 0.01);
+  apply_noise_control(cfg, m, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(m.rtt_gradient, 0.0);
+  EXPECT_DOUBLE_EQ(m.rtt_dev_sec, 0.0);  // paper-literal: both zeroed
+}
+
+TEST(ApplyNoiseControl, VivaceFixedTolerance) {
+  NoiseControlConfig cfg;
+  cfg.ack_filter = false;
+  cfg.mi_regression_tolerance = false;
+  cfg.trending = false;
+  cfg.deviation_filter = DeviationFilterMode::kOff;
+  cfg.fixed_gradient_tolerance = 0.01;
+  MiMetrics small = raw_metrics(0.005, 0, 0);
+  apply_noise_control(cfg, small, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(small.rtt_gradient, 0.0);
+  MiMetrics big = raw_metrics(-0.05, 0, 0);
+  apply_noise_control(cfg, big, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(big.rtt_gradient, -0.05);  // signed gradient preserved
+}
+
+// ---- Trending tolerance -------------------------------------------------
+
+TEST(TrendingTolerance, WarmupDefaultsSignificant) {
+  TrendingTolerance t(proteus_noise());
+  const auto d = t.update(0.030, 0.0001);
+  EXPECT_TRUE(d.gradient_significant);
+  EXPECT_TRUE(d.deviation_significant);
+}
+
+TEST(TrendingTolerance, StationaryNoiseBecomesInsignificant) {
+  TrendingTolerance t(proteus_noise());
+  Rng rng(5);
+  TrendingTolerance::Decision d;
+  for (int i = 0; i < 60; ++i) {
+    d = t.update(0.030 + rng.normal(0, 1e-5), 1e-4 + rng.normal(0, 1e-6));
+  }
+  EXPECT_FALSE(d.gradient_significant);
+  EXPECT_FALSE(d.deviation_significant);
+}
+
+TEST(TrendingTolerance, PersistentSlowInflationDetected) {
+  TrendingTolerance t(proteus_noise());
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    t.update(0.030 + rng.normal(0, 1e-6), 1e-4);
+  }
+  // Now a slow but persistent climb of 0.5 ms per MI.
+  TrendingTolerance::Decision d;
+  double rtt = 0.030;
+  for (int i = 0; i < 8; ++i) {
+    rtt += 5e-4;
+    d = t.update(rtt, 1e-4);
+  }
+  EXPECT_TRUE(d.gradient_significant);
+}
+
+TEST(TrendingTolerance, DeviationSurgeDetected) {
+  TrendingTolerance t(proteus_noise());
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    t.update(0.030, 1e-4 + rng.normal(0, 2e-6));
+  }
+  TrendingTolerance::Decision d;
+  for (int i = 0; i < 8; ++i) {
+    // Competition: per-MI deviation starts swinging wildly.
+    d = t.update(0.030, i % 2 == 0 ? 1e-3 : 1e-4);
+  }
+  EXPECT_TRUE(d.deviation_significant);
+}
+
+// ---- Deviation floor ----------------------------------------------------
+
+TEST(DeviationFloor, StationarySelfNoiseCancels) {
+  NoiseControlConfig cfg = proteus_noise();
+  DeviationFloor f(cfg);
+  double out = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    out = f.filter(2e-4);
+  }
+  EXPECT_DOUBLE_EQ(out, 0.0);
+  EXPECT_DOUBLE_EQ(f.current_floor(), 2e-4);
+}
+
+TEST(DeviationFloor, CompetitionExcessPassesThrough) {
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.deviation_floor_margin = 1.0;
+  DeviationFloor f(cfg);
+  for (int i = 0; i < 30; ++i) f.filter(1e-4);
+  const double out = f.filter(8e-4);
+  EXPECT_NEAR(out, 7e-4, 1e-9);
+}
+
+TEST(DeviationFloor, FloorExpiresWithWindow) {
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.deviation_floor_window = 8;
+  cfg.deviation_floor_margin = 1.0;
+  DeviationFloor f(cfg);
+  f.filter(1e-5);  // one very quiet MI
+  for (int i = 0; i < 8; ++i) f.filter(5e-4);
+  // The quiet MI has rolled out; the floor is the newer ambient level.
+  EXPECT_NEAR(f.current_floor(), 5e-4, 1e-9);
+}
+
+TEST(DeviationFloor, FirstSampleNeverCounts) {
+  DeviationFloor f(proteus_noise());
+  EXPECT_DOUBLE_EQ(f.filter(1e-3), 0.0);
+}
+
+TEST(ApplyNoiseControl, FloorModeEndToEnd) {
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.trending = false;
+  cfg.deviation_floor_margin = 1.0;
+  DeviationFloor floor(cfg);
+  for (int i = 0; i < 20; ++i) {
+    MiMetrics m = raw_metrics(0.0, 2e-4, 1e-3);
+    apply_noise_control(cfg, m, nullptr, &floor);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(m.rtt_dev_sec, 0.0);
+    }
+  }
+  MiMetrics m = raw_metrics(0.0, 9e-4, 1e-3);
+  apply_noise_control(cfg, m, nullptr, &floor);
+  EXPECT_NEAR(m.rtt_dev_sec, 7e-4, 1e-9);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,195 @@
+// Property-based and fuzz-style tests: randomized event orders and wide
+// numeric ranges against the invariants each component must keep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/monitor_interval.h"
+#include "core/rate_control.h"
+#include "core/utility.h"
+#include "stats/percentile.h"
+#include "stats/rng.h"
+
+namespace proteus {
+namespace {
+
+// ---- MonitorInterval under random resolution orders -----------------------
+
+class MiFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MiFuzz, ConservationUnderRandomResolutionOrder) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform_int(1, 200));
+  MonitorInterval mi(1, 20.0, 0, from_ms(50));
+
+  std::vector<uint64_t> seqs;
+  for (int i = 0; i < n; ++i) {
+    const auto seq = static_cast<uint64_t>(i);
+    mi.on_packet_sent(seq, kMtuBytes, from_us(250.0 * i));
+    seqs.push_back(seq);
+  }
+  mi.seal();
+  std::shuffle(seqs.begin(), seqs.end(), rng.engine());
+
+  int acked = 0, lost = 0;
+  for (uint64_t seq : seqs) {
+    EXPECT_FALSE(mi.complete());
+    if (rng.bernoulli(0.8)) {
+      mi.on_ack(seq, kMtuBytes, from_us(250.0 * static_cast<double>(seq)),
+                from_ms(rng.uniform(20.0, 40.0)), rng.bernoulli(0.9));
+      ++acked;
+    } else {
+      mi.on_loss(seq);
+      ++lost;
+    }
+  }
+  ASSERT_TRUE(mi.complete());
+  const MiMetrics m = mi.compute();
+  EXPECT_EQ(m.packets_sent, n);
+  EXPECT_EQ(m.packets_acked, acked);
+  EXPECT_EQ(m.packets_lost, lost);
+  EXPECT_NEAR(m.loss_rate, static_cast<double>(lost) / n, 1e-12);
+  EXPECT_TRUE(std::isfinite(m.rtt_gradient_raw));
+  EXPECT_TRUE(std::isfinite(m.rtt_dev_raw_sec));
+  EXPECT_GE(m.rtt_dev_raw_sec, 0.0);
+  EXPECT_GE(m.throughput_mbps, 0.0);
+  EXPECT_LE(m.throughput_mbps, m.send_rate_mbps + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---- Rate controller never wedges or escapes its bounds -------------------
+
+class ControllerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ControllerFuzz, RandomUtilitiesKeepControllerSane) {
+  Rng rng(GetParam());
+  RateControlConfig cfg;
+  cfg.min_rate_mbps = 0.5;
+  cfg.max_rate_mbps = 200.0;
+  GradientRateController c(cfg, GetParam() ^ 0xfe);
+
+  std::vector<uint64_t> pending;
+  for (int step = 0; step < 3000; ++step) {
+    // Random interleaving of planning, completion, and abandonment, as a
+    // pipelined sender would produce under churn.
+    const double roll = rng.uniform();
+    if (roll < 0.45 || pending.empty()) {
+      const auto plan = c.plan_next_mi();
+      EXPECT_GE(plan.rate_mbps, cfg.min_rate_mbps * 0.94);
+      EXPECT_LE(plan.rate_mbps, cfg.max_rate_mbps * 1.06);
+      pending.push_back(plan.tag);
+    } else if (roll < 0.9) {
+      const uint64_t tag = pending.front();
+      pending.erase(pending.begin());
+      c.on_mi_complete(tag, rng.uniform(-100.0, 100.0));
+    } else {
+      const uint64_t tag = pending.front();
+      pending.erase(pending.begin());
+      c.on_mi_abandoned(tag);
+    }
+    EXPECT_GE(c.base_rate_mbps(), cfg.min_rate_mbps);
+    EXPECT_LE(c.base_rate_mbps(), cfg.max_rate_mbps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzz,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(ControllerProperty, MonotoneUtilityDrivesRateToMax) {
+  RateControlConfig cfg;
+  cfg.max_rate_mbps = 64.0;
+  GradientRateController c(cfg, 21);
+  // Utility strictly increasing in rate: the controller must end at max.
+  for (int i = 0; i < 400; ++i) {
+    const auto plan = c.plan_next_mi();
+    c.on_mi_complete(plan.tag, plan.rate_mbps);
+  }
+  EXPECT_GT(c.base_rate_mbps(), 0.9 * cfg.max_rate_mbps);
+}
+
+TEST(ControllerProperty, MonotoneDecreasingUtilityDrivesRateToMin) {
+  RateControlConfig cfg;
+  cfg.min_rate_mbps = 0.5;
+  GradientRateController c(cfg, 22);
+  for (int i = 0; i < 400; ++i) {
+    const auto plan = c.plan_next_mi();
+    c.on_mi_complete(plan.tag, -plan.rate_mbps);
+  }
+  EXPECT_LT(c.base_rate_mbps(), 2.0 * cfg.min_rate_mbps);
+}
+
+// ---- Utility functions at numeric extremes ---------------------------------
+
+class UtilityExtremes : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilityExtremes, FiniteEverywhere) {
+  const double rate = GetParam();
+  ProteusScavengerUtility us;
+  ProteusPrimaryUtility up;
+  VivaceUtility uv;
+  AllegroUtility ua;
+  for (double loss : {0.0, 0.5, 1.0}) {
+    for (double grad : {-10.0, 0.0, 10.0}) {
+      for (double dev : {0.0, 1.0}) {
+        MiMetrics m;
+        m.send_rate_mbps = rate;
+        m.loss_rate = loss;
+        m.rtt_gradient = grad;
+        m.rtt_dev_sec = dev;
+        for (const UtilityFunction* u :
+             {static_cast<const UtilityFunction*>(&us),
+              static_cast<const UtilityFunction*>(&up),
+              static_cast<const UtilityFunction*>(&uv),
+              static_cast<const UtilityFunction*>(&ua)}) {
+          EXPECT_TRUE(std::isfinite(u->eval(m)))
+              << u->name() << " rate=" << rate << " loss=" << loss;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, UtilityExtremes,
+                         ::testing::Values(0.0, 1e-6, 1.0, 1e3, 1e6));
+
+TEST(UtilityProperty, ScavengerNeverExceedsPrimary) {
+  // u_S = u_P - d*x*sigma with d, x, sigma >= 0: always <= u_P.
+  Rng rng(23);
+  ProteusScavengerUtility us;
+  ProteusPrimaryUtility up;
+  for (int i = 0; i < 2000; ++i) {
+    MiMetrics m;
+    m.send_rate_mbps = rng.uniform(0.0, 500.0);
+    m.loss_rate = rng.uniform();
+    m.rtt_gradient = rng.uniform(-0.5, 0.5);
+    m.rtt_dev_sec = rng.uniform(0.0, 0.01);
+    EXPECT_LE(us.eval(m), up.eval(m) + 1e-9);
+  }
+}
+
+// ---- Samples percentile properties ------------------------------------------
+
+class PercentileProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PercentileProperty, MonotoneInPAndBounded) {
+  Rng rng(GetParam());
+  Samples s;
+  const int n = static_cast<int>(rng.uniform_int(1, 500));
+  for (int i = 0; i < n; ++i) s.add(rng.normal(0, 10));
+  double prev = s.percentile(0);
+  EXPECT_DOUBLE_EQ(prev, s.min());
+  for (double p = 5; p <= 100; p += 5) {
+    const double v = s.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(s.percentile(100), s.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
+                         ::testing::Values(31, 32, 33, 34, 35));
+
+}  // namespace
+}  // namespace proteus

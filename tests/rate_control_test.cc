@@ -1,0 +1,205 @@
+// Unit tests for the gradient-ascent rate controller state machine.
+#include <gtest/gtest.h>
+
+#include "core/rate_control.h"
+
+namespace proteus {
+namespace {
+
+RateControlConfig base_config() {
+  RateControlConfig cfg;
+  cfg.initial_rate_mbps = 2.0;
+  cfg.min_rate_mbps = 0.2;
+  cfg.max_rate_mbps = 1000.0;
+  return cfg;
+}
+
+// Drives one MI through plan/complete with a caller-supplied utility.
+double step(GradientRateController& c, double utility) {
+  const auto plan = c.plan_next_mi();
+  c.on_mi_complete(plan.tag, utility);
+  return plan.rate_mbps;
+}
+
+TEST(RateControl, StartingDoublesWhileUtilityImproves) {
+  GradientRateController c(base_config(), 1);
+  double u = 1.0;
+  double last_rate = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    last_rate = step(c, u);
+    u *= 2;  // always improving
+  }
+  EXPECT_EQ(c.state(), GradientRateController::State::kStarting);
+  EXPECT_GT(c.base_rate_mbps(), last_rate);  // still growing
+  EXPECT_NEAR(c.base_rate_mbps(), 2.0 * 32, 1.0);
+}
+
+TEST(RateControl, StartingRevertsOnUtilityDrop) {
+  GradientRateController c(base_config(), 1);
+  step(c, 10.0);   // 2 -> 4
+  step(c, 20.0);   // 4 -> 8
+  const double good_rate = step(c, 30.0);  // 8 -> 16
+  step(c, 5.0);    // regression: revert to the last good rate
+  EXPECT_EQ(c.state(), GradientRateController::State::kProbing);
+  EXPECT_DOUBLE_EQ(c.base_rate_mbps(), good_rate);
+}
+
+TEST(RateControl, ProbingIssuesPairedTrials) {
+  RateControlConfig cfg = base_config();
+  cfg.probe_pairs = 3;
+  GradientRateController c(cfg, 2);
+  step(c, 10.0);
+  step(c, 1.0);  // enter probing
+  const double base = c.base_rate_mbps();
+  int high = 0, low = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto plan = c.plan_next_mi();
+    if (plan.rate_mbps > base) ++high;
+    if (plan.rate_mbps < base) ++low;
+    c.on_mi_complete(plan.tag, 1.0);  // fed later; rates all "equal"
+  }
+  EXPECT_EQ(high, 3);
+  EXPECT_EQ(low, 3);
+}
+
+TEST(RateControl, MajorityVoteMovesUp) {
+  RateControlConfig cfg = base_config();
+  cfg.probe_pairs = 3;
+  GradientRateController c(cfg, 3);
+  step(c, 10.0);
+  step(c, 1.0);  // probing around the reverted rate
+  const double base = c.base_rate_mbps();
+  // Higher rate always yields higher utility -> unanimous up.
+  for (int i = 0; i < 6; ++i) {
+    const auto plan = c.plan_next_mi();
+    c.on_mi_complete(plan.tag, plan.rate_mbps > base ? 5.0 : 1.0);
+  }
+  EXPECT_EQ(c.state(), GradientRateController::State::kMoving);
+  EXPECT_GT(c.base_rate_mbps(), base);
+}
+
+TEST(RateControl, MajorityVoteMovesDownOnTwoOfThree) {
+  RateControlConfig cfg = base_config();
+  cfg.probe_pairs = 3;
+  GradientRateController c(cfg, 4);
+  step(c, 10.0);
+  step(c, 1.0);
+  const double base = c.base_rate_mbps();
+  int pair = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto plan = c.plan_next_mi();
+    const bool is_high = plan.rate_mbps > base;
+    // First pair votes up; the other two vote down: majority down.
+    double u;
+    if (i < 2) {
+      u = is_high ? 5.0 : 1.0;
+    } else {
+      u = is_high ? 1.0 : 5.0;
+    }
+    c.on_mi_complete(plan.tag, u);
+    (void)pair;
+  }
+  EXPECT_EQ(c.state(), GradientRateController::State::kMoving);
+  EXPECT_LT(c.base_rate_mbps(), base);
+}
+
+TEST(RateControl, VivaceTwoPairNeedsUnanimity) {
+  RateControlConfig cfg = base_config();
+  cfg.probe_pairs = 2;
+  GradientRateController c(cfg, 5);
+  step(c, 10.0);
+  step(c, 1.0);
+  const double base = c.base_rate_mbps();
+  for (int i = 0; i < 4; ++i) {
+    const auto plan = c.plan_next_mi();
+    const bool is_high = plan.rate_mbps > base;
+    // Split vote: pair 0 up, pair 1 down -> stay probing.
+    const double u = (i < 2) == is_high ? 5.0 : 1.0;
+    c.on_mi_complete(plan.tag, u);
+  }
+  EXPECT_EQ(c.state(), GradientRateController::State::kProbing);
+  EXPECT_DOUBLE_EQ(c.base_rate_mbps(), base);
+}
+
+TEST(RateControl, MovingRevertsOnUtilityDrop) {
+  RateControlConfig cfg = base_config();
+  cfg.probe_pairs = 3;
+  GradientRateController c(cfg, 6);
+  step(c, 10.0);
+  step(c, 1.0);
+  const double base = c.base_rate_mbps();
+  for (int i = 0; i < 6; ++i) {
+    const auto plan = c.plan_next_mi();
+    c.on_mi_complete(plan.tag, plan.rate_mbps > base ? 5.0 : 1.0);
+  }
+  ASSERT_EQ(c.state(), GradientRateController::State::kMoving);
+  const double before_drop = c.base_rate_mbps();
+  // Feed improving utilities, then a collapse.
+  step(c, 6.0);
+  step(c, 7.0);
+  EXPECT_GT(c.base_rate_mbps(), before_drop);
+  const double prev = c.base_rate_mbps();
+  step(c, -100.0);
+  EXPECT_EQ(c.state(), GradientRateController::State::kProbing);
+  EXPECT_LT(c.base_rate_mbps(), prev);
+}
+
+TEST(RateControl, RateStaysWithinBounds) {
+  RateControlConfig cfg = base_config();
+  cfg.min_rate_mbps = 1.0;
+  cfg.max_rate_mbps = 50.0;
+  GradientRateController c(cfg, 7);
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = c.plan_next_mi();
+    EXPECT_GE(plan.rate_mbps, 1.0 * (1 - cfg.probe_step));
+    EXPECT_LE(plan.rate_mbps, 50.0 * (1 + cfg.probe_step));
+    // Utility that always prefers lower rates drives toward min.
+    c.on_mi_complete(plan.tag, -plan.rate_mbps);
+  }
+  EXPECT_LE(c.base_rate_mbps(), 50.0);
+  EXPECT_GE(c.base_rate_mbps(), 1.0);
+}
+
+TEST(RateControl, AbandonedProbeRestartsRound) {
+  RateControlConfig cfg = base_config();
+  cfg.probe_pairs = 3;
+  GradientRateController c(cfg, 8);
+  step(c, 10.0);
+  step(c, 1.0);  // probing
+  const auto plan1 = c.plan_next_mi();
+  const auto plan2 = c.plan_next_mi();
+  c.on_mi_complete(plan1.tag, 5.0);
+  c.on_mi_abandoned(plan2.tag);  // trial lost: round restarts
+  EXPECT_EQ(c.state(), GradientRateController::State::kProbing);
+  // A fresh round issues 6 new trials and completes normally.
+  const double base = c.base_rate_mbps();
+  for (int i = 0; i < 6; ++i) {
+    const auto plan = c.plan_next_mi();
+    c.on_mi_complete(plan.tag, plan.rate_mbps > base ? 5.0 : 1.0);
+  }
+  EXPECT_EQ(c.state(), GradientRateController::State::kMoving);
+}
+
+TEST(RateControl, StaleCompletionsIgnored) {
+  GradientRateController c(base_config(), 9);
+  const auto starting_plan = c.plan_next_mi();
+  step(c, 10.0);
+  step(c, 1.0);  // now probing
+  const double base = c.base_rate_mbps();
+  c.on_mi_complete(starting_plan.tag, 1000.0);  // stale starting MI
+  EXPECT_EQ(c.state(), GradientRateController::State::kProbing);
+  EXPECT_DOUBLE_EQ(c.base_rate_mbps(), base);
+  c.on_mi_complete(99'999, 1000.0);  // unknown tag: no-op
+  EXPECT_DOUBLE_EQ(c.base_rate_mbps(), base);
+}
+
+TEST(RateControl, ClampRateAppliesBounds) {
+  GradientRateController c(base_config(), 10);
+  c.clamp_rate(0.001);
+  EXPECT_DOUBLE_EQ(c.base_rate_mbps(), 0.2);
+  c.clamp_rate(1e9);
+  EXPECT_DOUBLE_EQ(c.base_rate_mbps(), 1000.0);
+}
+
+}  // namespace
+}  // namespace proteus

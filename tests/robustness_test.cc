@@ -1,0 +1,197 @@
+// Property-based robustness sweeps: invariants that must hold for every
+// protocol across a grid of link configurations, plus failure injection
+// (extreme buffers, heavy loss, capacity collapse, mid-flow churn).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/utility.h"
+#include "harness/experiments.h"
+
+namespace proteus {
+namespace {
+
+// ---- Invariants across a configuration grid ------------------------------
+
+using GridParam = std::tuple<const char*, double /*bw*/, double /*rtt*/,
+                             double /*buffer_bdp*/>;
+
+class LinkGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(LinkGrid, ConservationAndSanity) {
+  const auto& [proto, bw, rtt, bdp] = GetParam();
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = bw;
+  cfg.rtt_ms = rtt;
+  cfg.buffer_bytes = std::max<int64_t>(
+      static_cast<int64_t>(cfg.bdp_bytes() * bdp), 2 * kMtuBytes);
+  cfg.seed = 17;
+
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow(proto, 0);
+  sc.run_until(from_sec(30));
+
+  const auto& st = f.sender().stats();
+  // Conservation: every sent packet is acked, lost, or still in flight.
+  EXPECT_EQ(st.packets_sent,
+            st.packets_acked + st.packets_lost +
+                f.sender().bytes_in_flight() / kMtuBytes);
+  // No throughput beyond capacity.
+  EXPECT_LE(f.mean_throughput_mbps(from_sec(10), from_sec(30)), bw * 1.02);
+  // RTT never below the propagation floor.
+  if (f.rtt_samples().count() > 0) {
+    EXPECT_GE(f.rtt_samples().min(), rtt * 0.999);
+  }
+  // Some forward progress on every sane configuration.
+  EXPECT_GT(st.bytes_delivered, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinkGrid,
+    ::testing::Combine(
+        ::testing::Values("proteus-p", "proteus-s", "cubic", "bbr", "copa",
+                          "ledbat", "vivace", "allegro"),
+        ::testing::Values(10.0, 100.0),
+        ::testing::Values(10.0, 100.0),
+        ::testing::Values(0.5, 2.0)));
+
+// ---- Determinism ---------------------------------------------------------
+
+class Determinism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Determinism, IdenticalSeedsIdenticalRuns) {
+  auto run = [&] {
+    ScenarioConfig cfg;
+    cfg.seed = 99;
+    Scenario sc(cfg);
+    Flow& f = sc.add_flow(GetParam(), 0);
+    sc.run_until(from_sec(10));
+    return std::make_tuple(f.sender().stats().packets_sent,
+                           f.sender().stats().packets_acked,
+                           f.receiver().bytes_received());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, Determinism,
+                         ::testing::Values("proteus-p", "proteus-s", "bbr",
+                                           "cubic", "copa", "ledbat"));
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  auto run = [&](uint64_t seed) {
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    Scenario sc(cfg);
+    Flow& f = sc.add_flow("proteus-p", 0);
+    sc.run_until(from_sec(10));
+    return f.sender().stats().packets_sent;
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+// ---- Failure injection ----------------------------------------------------
+
+TEST(FailureInjection, OnePacketBuffer) {
+  ScenarioConfig cfg;
+  cfg.buffer_bytes = kMtuBytes;
+  cfg.seed = 5;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(20));
+  // Progress despite a degenerate buffer; no runaway loss accounting.
+  EXPECT_GT(f.mean_throughput_mbps(from_sec(10), from_sec(20)), 1.0);
+}
+
+TEST(FailureInjection, HalfTrafficLost) {
+  ScenarioConfig cfg;
+  cfg.random_loss = 0.5;
+  cfg.seed = 6;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(20));
+  const auto& st = f.sender().stats();
+  EXPECT_GT(st.packets_acked, 100);  // still makes progress
+  EXPECT_NEAR(static_cast<double>(st.packets_lost) /
+                  static_cast<double>(st.packets_sent),
+              0.5, 0.1);
+}
+
+TEST(FailureInjection, CapacityCollapseMidRun) {
+  ScenarioConfig cfg;
+  cfg.seed = 7;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(20));
+  // The link drops from 50 to 5 Mbps.
+  sc.dumbbell().bottleneck().set_rate(Bandwidth::from_mbps(5));
+  sc.run_until(from_sec(60));
+  const double after = f.mean_throughput_mbps(from_sec(45), from_sec(60));
+  EXPECT_LE(after, 5.2);
+  EXPECT_GT(after, 2.5);  // re-converges to the new capacity
+}
+
+TEST(FailureInjection, CapacityRecoveryMidRun) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 5.0;
+  cfg.buffer_bytes = 100'000;
+  cfg.seed = 8;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(20));
+  sc.dumbbell().bottleneck().set_rate(Bandwidth::from_mbps(50));
+  sc.run_until(from_sec(60));
+  EXPECT_GT(f.mean_throughput_mbps(from_sec(45), from_sec(60)), 25.0);
+}
+
+TEST(FailureInjection, FlowChurn) {
+  // Flows joining and leaving do not wedge the survivors.
+  ScenarioConfig cfg;
+  cfg.seed = 9;
+  Scenario sc(cfg);
+  Flow& stayer = sc.add_flow("proteus-p", 0);
+  sc.add_flow("cubic", from_sec(5), /*stop=*/from_sec(15));
+  sc.add_flow("bbr", from_sec(10), /*stop=*/from_sec(25));
+  sc.add_flow("proteus-s", from_sec(12), /*stop=*/from_sec(30));
+  sc.run_until(from_sec(60));
+  // After everyone leaves, the stayer reclaims the link.
+  EXPECT_GT(stayer.mean_throughput_mbps(from_sec(45), from_sec(60)), 38.0);
+}
+
+TEST(FailureInjection, ExtremeRttAsymmetryStillWorks) {
+  ScenarioConfig cfg;
+  cfg.rtt_ms = 400.0;  // satellite-ish
+  cfg.buffer_bytes = static_cast<int64_t>(cfg.bdp_bytes());
+  cfg.seed = 10;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(60));
+  EXPECT_GT(f.mean_throughput_mbps(from_sec(30), from_sec(60)), 20.0);
+}
+
+// ---- Allegro sanity --------------------------------------------------------
+
+TEST(Allegro, SaturatesButBloatsBuffers) {
+  ScenarioConfig cfg;
+  cfg.seed = 11;
+  const SingleFlowResult allegro =
+      run_single_flow("allegro", cfg, from_sec(60), from_sec(20));
+  const SingleFlowResult vivace =
+      run_single_flow("vivace", cfg, from_sec(60), from_sec(20));
+  EXPECT_GT(allegro.utilization, 0.85);
+  // Loss-based probing fills the 2 BDP buffer that Vivace leaves empty.
+  EXPECT_GT(allegro.inflation_ratio_95, vivace.inflation_ratio_95 + 0.2);
+}
+
+TEST(Allegro, UtilityShape) {
+  AllegroUtility u;
+  MiMetrics m;
+  m.send_rate_mbps = 20.0;
+  m.loss_rate = 0.0;
+  const double clean = u.eval(m);
+  EXPECT_NEAR(clean, 20.0 / (1.0 + std::exp(-5.0)), 0.2);
+  m.loss_rate = 0.10;  // past the 5% knee: utility collapses
+  EXPECT_LT(u.eval(m), 0.0);
+}
+
+}  // namespace
+}  // namespace proteus

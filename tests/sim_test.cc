@@ -1,0 +1,338 @@
+// Unit tests for the discrete-event simulator substrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/dumbbell.h"
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/noise.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace proteus {
+namespace {
+
+class CollectingSink final : public PacketSink {
+ public:
+  explicit CollectingSink(Simulator* sim) : sim_(sim) {}
+  void on_packet(const Packet& pkt) override {
+    packets.push_back(pkt);
+    arrival_times.push_back(sim_->now());
+  }
+  std::vector<Packet> packets;
+  std::vector<TimeNs> arrival_times;
+
+ private:
+  Simulator* sim_;
+};
+
+Packet make_packet(uint64_t seq, int64_t bytes = kMtuBytes,
+                   FlowId flow = 1) {
+  Packet p;
+  p.flow_id = flow;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.push(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(from_ms(10), [&] { ++fired; });
+  sim.schedule_at(from_ms(30), [&] { ++fired; });
+  sim.run_until(from_ms(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), from_ms(20));
+  sim.run_until(from_ms(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(from_ms(5), [] {});
+  sim.run_until(from_ms(5));
+  EXPECT_THROW(sim.schedule_at(from_ms(1), [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, NestedSchedulingRuns) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(from_ms(1), recurse);
+  };
+  sim.schedule_in(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Link, SerializationAndPropagationTiming) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::from_mbps(12);  // 1500B -> 1 ms serialization
+  cfg.prop_delay = from_ms(10);
+  Link link(&sim, cfg);
+  CollectingSink sink(&sim);
+  link.set_sink(&sink);
+
+  link.on_packet(make_packet(0));
+  link.on_packet(make_packet(1));
+  sim.run();
+
+  ASSERT_EQ(sink.packets.size(), 2u);
+  EXPECT_EQ(sink.arrival_times[0], from_ms(11));   // 1ms tx + 10ms prop
+  EXPECT_EQ(sink.arrival_times[1], from_ms(12));   // queued behind first
+}
+
+TEST(Link, TailDropAtBufferLimit) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::from_mbps(10);
+  cfg.buffer_bytes = 3 * kMtuBytes;
+  Link link(&sim, cfg);
+  CollectingSink sink(&sim);
+  link.set_sink(&sink);
+
+  for (uint64_t i = 0; i < 10; ++i) link.on_packet(make_packet(i));
+  sim.run();
+
+  EXPECT_EQ(sink.packets.size(), 3u);
+  EXPECT_EQ(link.stats().tail_drops, 7);
+  // Survivors are the head of the burst (FIFO).
+  EXPECT_EQ(sink.packets[0].seq, 0u);
+  EXPECT_EQ(sink.packets[2].seq, 2u);
+}
+
+TEST(Link, RandomLossRate) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::from_mbps(1000);
+  cfg.buffer_bytes = 1'000'000'000;
+  cfg.random_loss = 0.2;
+  Link link(&sim, cfg);
+  CollectingSink sink(&sim);
+  link.set_sink(&sink);
+
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) link.on_packet(make_packet(i));
+  sim.run();
+
+  const double loss =
+      static_cast<double>(link.stats().random_drops) / n;
+  EXPECT_NEAR(loss, 0.2, 0.02);
+}
+
+TEST(Link, FifoPreservedUnderLatencyNoise) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::from_mbps(100);
+  Link link(&sim, cfg);
+  WifiNoise::Config wcfg;
+  wcfg.spike_probability = 0.3;
+  link.set_latency_noise(std::make_unique<WifiNoise>(wcfg));
+  CollectingSink sink(&sim);
+  link.set_sink(&sink);
+
+  for (uint64_t i = 0; i < 200; ++i) link.on_packet(make_packet(i));
+  sim.run();
+
+  ASSERT_EQ(sink.packets.size(), 200u);
+  for (size_t i = 1; i < sink.packets.size(); ++i) {
+    EXPECT_LE(sink.packets[i - 1].seq, sink.packets[i].seq);
+    EXPECT_LE(sink.arrival_times[i - 1], sink.arrival_times[i]);
+  }
+}
+
+TEST(Link, QueueDelayTracksBacklog) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::from_mbps(12);  // 1 ms per packet
+  Link link(&sim, cfg);
+  CollectingSink sink(&sim);
+  link.set_sink(&sink);
+  for (uint64_t i = 0; i < 5; ++i) link.on_packet(make_packet(i));
+  EXPECT_NEAR(to_ms(link.current_queue_delay()), 5.0, 0.01);
+}
+
+TEST(Link, RateProcessScalesThroughput) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::from_mbps(12);
+  Link link(&sim, cfg);
+  link.set_rate_process(std::make_unique<ConstantRateProcess>(0.5));
+  CollectingSink sink(&sim);
+  link.set_sink(&sink);
+  link.on_packet(make_packet(0));
+  sim.run();
+  // Half rate -> 2 ms serialization (prop_delay default 15 ms).
+  EXPECT_EQ(sink.arrival_times[0], from_ms(2) + cfg.prop_delay);
+}
+
+TEST(Noise, GaussianNonNegative) {
+  Rng rng(1);
+  GaussianNoise noise(from_ms(1), from_ms(5));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(noise.sample(rng, 0), 0);
+  }
+}
+
+TEST(Noise, WifiSpikesBoundedByCap) {
+  Rng rng(2);
+  WifiNoise::Config cfg;
+  cfg.spike_probability = 1.0;
+  cfg.spike_cap = from_ms(50);
+  cfg.jitter_stddev = 0;
+  WifiNoise noise(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(noise.sample(rng, 0), from_ms(50));
+  }
+}
+
+TEST(Noise, MarkovProcessStaysInStateSet) {
+  Rng rng(3);
+  MarkovRateProcess::Config cfg;
+  cfg.multipliers = {1.0, 0.5};
+  cfg.mean_dwell = from_ms(10);
+  MarkovRateProcess p(cfg);
+  bool saw_low = false, saw_high = false;
+  for (TimeNs t = 0; t < from_sec(2); t += from_ms(1)) {
+    double m = p.multiplier(rng, t);
+    EXPECT_TRUE(m == 1.0 || m == 0.5);
+    saw_low |= m == 0.5;
+    saw_high |= m == 1.0;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(Noise, MarkovRejectsBadConfig) {
+  MarkovRateProcess::Config cfg;
+  cfg.multipliers = {};
+  EXPECT_THROW(MarkovRateProcess{cfg}, std::invalid_argument);
+  cfg.multipliers = {1.0, -0.5};
+  EXPECT_THROW(MarkovRateProcess{cfg}, std::invalid_argument);
+}
+
+TEST(Dumbbell, RoutesDataAndAcksPerFlow) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.bottleneck.rate = Bandwidth::from_mbps(100);
+  cfg.bottleneck.prop_delay = from_ms(5);
+  cfg.reverse_delay = from_ms(5);
+  Dumbbell db(&sim, cfg);
+
+  CollectingSink recv1(&sim), recv2(&sim), ack1(&sim);
+  db.attach_flow(1, &recv1, &ack1);
+  db.attach_flow(2, &recv2, nullptr);
+
+  db.forward_ingress()->on_packet(make_packet(0, kMtuBytes, 1));
+  db.forward_ingress()->on_packet(make_packet(0, kMtuBytes, 2));
+  db.forward_ingress()->on_packet(make_packet(1, kMtuBytes, 99));  // unknown
+  sim.run();
+
+  EXPECT_EQ(recv1.packets.size(), 1u);
+  EXPECT_EQ(recv2.packets.size(), 1u);
+
+  Packet ack;
+  ack.flow_id = 1;
+  ack.is_ack = true;
+  db.send_reverse(ack);
+  sim.run();
+  EXPECT_EQ(ack1.packets.size(), 1u);
+  EXPECT_EQ(db.base_rtt(), from_ms(10));
+}
+
+TEST(AckAggregator, BlocksThenReleasesBackToBack) {
+  Simulator sim;
+  AckAggregatorConfig cfg;
+  cfg.enabled = true;
+  cfg.mean_block_interval = from_ms(20);
+  cfg.mean_block_duration = from_ms(30);
+  cfg.release_spacing = from_us(10);
+  AckAggregator agg(&sim, cfg, 77);
+  CollectingSink sink(&sim);
+
+  // Feed a steady ACK stream; blocks must create long-gap-then-burst.
+  for (int i = 0; i < 400; ++i) {
+    Packet p = make_packet(static_cast<uint64_t>(i));
+    sim.schedule_at(from_ms(i), [&agg, &sink, p] { agg.deliver(p, &sink); });
+  }
+  // The aggregator keeps scheduling future block events; bound the run.
+  sim.run_until(from_sec(5));
+
+  ASSERT_EQ(sink.packets.size(), 400u);
+  TimeNs max_gap = 0;
+  TimeNs min_gap = kTimeInfinite;
+  for (size_t i = 1; i < sink.arrival_times.size(); ++i) {
+    const TimeNs gap = sink.arrival_times[i] - sink.arrival_times[i - 1];
+    EXPECT_GE(gap, 0);
+    max_gap = std::max(max_gap, gap);
+    min_gap = std::min(min_gap, gap);
+  }
+  // Aggregation produced at least one long stall and tight bursts whose
+  // interval ratio is what the per-ACK filter keys on.
+  EXPECT_GT(max_gap, from_ms(10));
+  EXPECT_LE(min_gap, from_us(10));
+}
+
+TEST(ThroughputMeter, BinsAndMean) {
+  ThroughputMeter m(from_sec(1));
+  m.on_bytes(from_ms(100), 125'000);   // 1 Mbit in bin 0
+  m.on_bytes(from_ms(1500), 250'000);  // 2 Mbit in bin 1
+  auto series = m.mbps_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_NEAR(series[0], 1.0, 1e-9);
+  EXPECT_NEAR(series[1], 2.0, 1e-9);
+  EXPECT_NEAR(m.mean_mbps(0, from_sec(2)), 1.5, 1e-9);
+  EXPECT_NEAR(m.mean_mbps(from_sec(1), from_sec(2)), 2.0, 1e-9);
+}
+
+TEST(ThroughputMeter, EmptyWindowIsZero) {
+  ThroughputMeter m;
+  EXPECT_DOUBLE_EQ(m.mean_mbps(0, from_sec(1)), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_mbps(from_sec(1), from_sec(1)), 0.0);
+}
+
+TEST(Units, BandwidthConversions) {
+  const Bandwidth b = Bandwidth::from_mbps(12);
+  EXPECT_DOUBLE_EQ(b.mbps(), 12.0);
+  EXPECT_DOUBLE_EQ(b.kbps(), 12'000.0);
+  EXPECT_EQ(b.tx_time(1500), from_ms(1));
+  EXPECT_NEAR(b.bdp_bytes(from_ms(100)), 150'000.0, 1.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_EQ(from_ms(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(to_sec(from_sec(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_ms(from_us(1500)), 1.5);
+}
+
+}  // namespace
+}  // namespace proteus

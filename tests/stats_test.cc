@@ -1,0 +1,285 @@
+// Unit tests for the statistics substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/ewma.h"
+#include "stats/histogram.h"
+#include "stats/jain.h"
+#include "stats/percentile.h"
+#include "stats/regression.h"
+#include "stats/rng.h"
+#include "stats/welford.h"
+
+namespace proteus {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(1);  // same salt, parent advanced -> still distinct
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.uniform() == c2.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 1;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BernoulliClampsOutOfRange) {
+  Rng r(6);
+  EXPECT_FALSE(r.bernoulli(-1.0));
+  EXPECT_TRUE(r.bernoulli(2.0));
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng r(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.pareto(5.0, 1.5), 5.0);
+  }
+}
+
+TEST(Rng, PoissonMean) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) sum += static_cast<double>(r.poisson(4.0));
+  EXPECT_NEAR(sum / 10000.0, 4.0, 0.2);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e(0.25);
+  e.add(0.0);
+  for (int i = 0; i < 100; ++i) e.add(8.0);
+  EXPECT_NEAR(e.value(), 8.0, 1e-6);
+}
+
+TEST(MeanDeviationTracker, TracksMeanAndAbsDeviation) {
+  MeanDeviationTracker t(0.5, 0.5);
+  t.add(10.0);
+  for (int i = 0; i < 200; ++i) t.add(i % 2 == 0 ? 9.0 : 11.0);
+  EXPECT_NEAR(t.average(), 10.0, 0.8);
+  EXPECT_NEAR(t.deviation(), 1.0, 0.4);
+}
+
+TEST(Welford, MeanAndVariance) {
+  Welford w;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(v);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(w.stddev(), 2.0);
+}
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Samples, PercentileInterpolation) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 4.8);
+}
+
+TEST(Samples, AddAfterQueryStaysSorted) {
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Samples, CdfAt) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(ConfusionProbability, SeparatedDistributionsNearZero) {
+  Samples congested, idle;
+  for (int i = 0; i < 100; ++i) {
+    congested.add(10.0 + i * 0.01);
+    idle.add(1.0 + i * 0.01);
+  }
+  EXPECT_DOUBLE_EQ(confusion_probability(congested, idle), 0.0);
+}
+
+TEST(ConfusionProbability, IdenticalDistributionsNearHalf) {
+  Samples a, b;
+  Rng r(11);
+  for (int i = 0; i < 500; ++i) {
+    a.add(r.normal(5, 1));
+    b.add(r.normal(5, 1));
+  }
+  EXPECT_NEAR(confusion_probability(a, b), 0.5, 0.05);
+}
+
+TEST(ConfusionProbability, TiesCountHalf) {
+  Samples a, b;
+  a.add(1.0);
+  b.add(1.0);
+  EXPECT_DOUBLE_EQ(confusion_probability(a, b), 0.5);
+}
+
+TEST(Histogram, BinningAndPdf) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  auto pdf = h.pdf();
+  for (double p : pdf) EXPECT_DOUBLE_EQ(p, 0.1);
+  EXPECT_EQ(h.total(), 10);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(9), 1);
+}
+
+TEST(Histogram, CdfMonotoneToOne) {
+  Histogram h(0.0, 1.0, 4);
+  Rng r(12);
+  for (int i = 0; i < 1000; ++i) h.add(r.uniform());
+  auto cdf = h.cdf();
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-9);
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Regression, ExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};
+  auto r = linear_regression(x, y);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.slope, 2.0, 1e-12);
+  EXPECT_NEAR(r.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(r.residual_rms, 0.0, 1e-12);
+}
+
+TEST(Regression, ResidualsOfNoisyLine) {
+  std::vector<double> x{0, 1, 2, 3};
+  std::vector<double> y{0, 1.5, 1.5, 3};  // symmetric noise around y=x
+  auto r = linear_regression(x, y);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.slope, 0.9, 1e-9);
+  EXPECT_GT(r.residual_rms, 0.0);
+}
+
+TEST(Regression, DegenerateInputsInvalid) {
+  EXPECT_FALSE(linear_regression({}, {}).valid);
+  EXPECT_FALSE(linear_regression({1.0}, {2.0}).valid);
+  EXPECT_FALSE(linear_regression({2.0, 2.0}, {1.0, 5.0}).valid);  // no x spread
+  EXPECT_FALSE(linear_regression({1.0, 2.0}, {1.0}).valid);  // size mismatch
+}
+
+TEST(Jain, PerfectlyFairIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+}
+
+TEST(Jain, SingleHogIsOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_index({10, 0, 0, 0}), 0.25);
+}
+
+TEST(Jain, EmptyAndZeroSafe) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_index({0, 0}), 0.0);
+}
+
+// Property: Jain's index is scale-invariant and within (0, 1].
+class JainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JainProperty, ScaleInvariantAndBounded) {
+  Rng r(static_cast<uint64_t>(GetParam()));
+  std::vector<double> x, x2;
+  for (int i = 0; i < GetParam(); ++i) {
+    double v = r.uniform(0.1, 10.0);
+    x.push_back(v);
+    x2.push_back(v * 7.5);
+  }
+  const double j = jain_index(x);
+  EXPECT_GT(j, 0.0);
+  EXPECT_LE(j, 1.0 + 1e-12);
+  EXPECT_NEAR(j, jain_index(x2), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JainProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 50));
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,140 @@
+// Unit tests for the utility library (paper equations (1)-(3)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/utility.h"
+
+namespace proteus {
+namespace {
+
+MiMetrics metrics(double rate_mbps, double gradient = 0.0, double loss = 0.0,
+                  double dev_sec = 0.0) {
+  MiMetrics m;
+  m.send_rate_mbps = rate_mbps;
+  m.rtt_gradient = gradient;
+  m.rtt_gradient_raw = gradient;
+  m.loss_rate = loss;
+  m.rtt_dev_sec = dev_sec;
+  m.rtt_dev_raw_sec = dev_sec;
+  m.useful = true;
+  return m;
+}
+
+UtilityParams paper_params() {
+  UtilityParams p;
+  p.t = 0.9;
+  p.b = 900.0;
+  p.c = 11.35;
+  p.d = 1500.0;
+  return p;
+}
+
+TEST(VivaceUtility, ThroughputOnly) {
+  VivaceUtility u(paper_params());
+  EXPECT_NEAR(u.eval(metrics(10.0)), std::pow(10.0, 0.9), 1e-9);
+}
+
+TEST(VivaceUtility, PenalizesGradientAndLoss) {
+  VivaceUtility u(paper_params());
+  const double expected =
+      std::pow(20.0, 0.9) - 900.0 * 20.0 * 0.01 - 11.35 * 20.0 * 0.02;
+  EXPECT_NEAR(u.eval(metrics(20.0, 0.01, 0.02)), expected, 1e-9);
+}
+
+TEST(VivaceUtility, RewardsNegativeGradient) {
+  VivaceUtility u(paper_params());
+  EXPECT_GT(u.eval(metrics(20.0, -0.01)), u.eval(metrics(20.0, 0.0)));
+}
+
+TEST(ProteusPrimary, IgnoresNegativeGradient) {
+  ProteusPrimaryUtility u(paper_params());
+  EXPECT_DOUBLE_EQ(u.eval(metrics(20.0, -0.05)), u.eval(metrics(20.0, 0.0)));
+  EXPECT_LT(u.eval(metrics(20.0, 0.05)), u.eval(metrics(20.0, 0.0)));
+}
+
+TEST(ProteusScavenger, DeviationPenalty) {
+  const UtilityParams p = paper_params();
+  ProteusPrimaryUtility up(p);
+  ProteusScavengerUtility us(p);
+  const MiMetrics clean = metrics(20.0);
+  EXPECT_DOUBLE_EQ(us.eval(clean), up.eval(clean));
+  const MiMetrics noisy = metrics(20.0, 0.0, 0.0, 0.001);
+  EXPECT_NEAR(us.eval(noisy), up.eval(noisy) - 1500.0 * 20.0 * 0.001, 1e-9);
+}
+
+TEST(ProteusHybrid, SwitchesAtThreshold) {
+  const UtilityParams p = paper_params();
+  auto thr = std::make_shared<HybridThresholdState>();
+  thr->set_threshold_mbps(15.0);
+  ProteusHybridUtility uh(thr, p);
+  ProteusPrimaryUtility up(p);
+  ProteusScavengerUtility us(p);
+
+  const MiMetrics below = metrics(10.0, 0.0, 0.0, 0.001);
+  const MiMetrics above = metrics(20.0, 0.0, 0.0, 0.001);
+  EXPECT_DOUBLE_EQ(uh.eval(below), up.eval(below));
+  EXPECT_DOUBLE_EQ(uh.eval(above), us.eval(above));
+}
+
+TEST(ProteusHybrid, ThresholdUpdatesLive) {
+  auto thr = std::make_shared<HybridThresholdState>();
+  thr->set_threshold_mbps(5.0);
+  ProteusHybridUtility uh(thr, paper_params());
+  const MiMetrics m = metrics(10.0, 0.0, 0.0, 0.002);
+  const double as_scavenger = uh.eval(m);
+  thr->set_threshold_mbps(50.0);
+  const double as_primary = uh.eval(m);
+  EXPECT_GT(as_primary, as_scavenger);
+}
+
+TEST(Utility, ZeroRateIsZeroUtility) {
+  ProteusScavengerUtility u(paper_params());
+  EXPECT_DOUBLE_EQ(u.eval(metrics(0.0, 0.5, 1.0, 1.0)), 0.0);
+}
+
+// Property: all utilities are strictly concave in rate (discrete second
+// difference negative) for fixed congestion conditions — the condition
+// Appendix A's equilibrium uniqueness rests on.
+class UtilityConcavity : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilityConcavity, SecondDifferenceNegative) {
+  const double gradient = GetParam();
+  ProteusScavengerUtility us(paper_params());
+  ProteusPrimaryUtility up(paper_params());
+  for (double x = 1.0; x < 500.0; x *= 1.7) {
+    const double h = 0.01 * x;
+    for (const UtilityFunction* u :
+         {static_cast<const UtilityFunction*>(&us),
+          static_cast<const UtilityFunction*>(&up)}) {
+      const double f0 = u->eval(metrics(x - h, gradient, 0.01, 0.0005));
+      const double f1 = u->eval(metrics(x, gradient, 0.01, 0.0005));
+      const double f2 = u->eval(metrics(x + h, gradient, 0.01, 0.0005));
+      EXPECT_LT(f2 - 2 * f1 + f0, 0.0) << u->name() << " at x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gradients, UtilityConcavity,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.1));
+
+// Property: higher deviation never increases scavenger utility.
+class ScavengerMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScavengerMonotonicity, UtilityNonIncreasingInDeviation) {
+  ProteusScavengerUtility u(paper_params());
+  const double rate = GetParam();
+  double prev = u.eval(metrics(rate, 0.0, 0.0, 0.0));
+  for (double dev = 1e-5; dev < 1e-2; dev *= 2) {
+    const double cur = u.eval(metrics(rate, 0.0, 0.0, dev));
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ScavengerMonotonicity,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 300.0));
+
+}  // namespace
+}  // namespace proteus
