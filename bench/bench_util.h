@@ -7,13 +7,31 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "harness/cli.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 
 namespace proteus::bench {
+
+// Worker-thread count for the sweep benches: `--jobs=N` if given,
+// otherwise every hardware thread. Unknown arguments abort with the
+// offending flag so a typo does not silently run single-threaded.
+inline int parse_jobs(int argc, char** argv) {
+  int jobs = default_job_count();
+  for (int i = 1; i < argc; ++i) {
+    std::string error;
+    if (!parse_jobs_flag(argv[i], jobs, error)) {
+      std::fprintf(stderr, "%s: %s (only --jobs=N is accepted)\n", argv[0],
+                   error.empty() ? argv[i] : error.c_str());
+      std::exit(2);
+    }
+  }
+  return jobs;
+}
 
 // Mean of `trials` runs of `fn(seed)`.
 template <typename Fn>

@@ -11,7 +11,8 @@
 
 using namespace proteus;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Figure 3 / Figure 15",
                       "Bottleneck saturation vs buffer size");
 
@@ -24,19 +25,28 @@ int main() {
 
   Table tput({"buffer_kb", "proteus-s", "ledbat", "ledbat-25", "cubic",
               "bbr", "proteus-p", "copa", "vivace"});
-  Table inflation(tput);
-
   Table infl({"buffer_kb", "proteus-s", "ledbat", "ledbat-25", "cubic",
               "bbr", "proteus-p", "copa", "vivace"});
 
+  std::vector<std::function<SingleFlowResult()>> tasks;
+  for (int64_t buffer : buffers) {
+    for (const std::string& proto : protocols) {
+      tasks.push_back([buffer, proto] {
+        ScenarioConfig cfg = bench::emulab_link(17);
+        cfg.buffer_bytes = buffer;
+        return run_single_flow(proto, cfg, from_sec(60), from_sec(20));
+      });
+    }
+  }
+  const std::vector<SingleFlowResult> results =
+      run_parallel(std::move(tasks), jobs);
+
+  size_t k = 0;
   for (int64_t buffer : buffers) {
     std::vector<std::string> trow{fmt(buffer / 1000.0, 1)};
     std::vector<std::string> irow{fmt(buffer / 1000.0, 1)};
-    for (const std::string& proto : protocols) {
-      ScenarioConfig cfg = bench::emulab_link(17);
-      cfg.buffer_bytes = buffer;
-      const SingleFlowResult r =
-          run_single_flow(proto, cfg, from_sec(60), from_sec(20));
+    for (size_t p = 0; p < protocols.size(); ++p) {
+      const SingleFlowResult& r = results[k++];
       trow.push_back(fmt(r.throughput_mbps, 1));
       irow.push_back(fmt(r.inflation_ratio_95, 2));
     }

@@ -9,7 +9,8 @@
 
 using namespace proteus;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Figure 4 / Figure 16",
                       "Random-loss tolerance (throughput, Mbps)");
 
@@ -19,16 +20,26 @@ int main() {
       "proteus-s", "ledbat", "ledbat-25", "cubic",
       "bbr",       "proteus-p", "copa",   "vivace"};
 
+  std::vector<std::function<double()>> tasks;
+  for (double loss : losses) {
+    for (const std::string& proto : protocols) {
+      tasks.push_back([loss, proto] {
+        ScenarioConfig cfg = bench::emulab_link(23);
+        cfg.random_loss = loss;
+        return run_single_flow(proto, cfg, from_sec(60), from_sec(20))
+            .throughput_mbps;
+      });
+    }
+  }
+  const std::vector<double> tputs = run_parallel(std::move(tasks), jobs);
+
   Table t({"loss_rate", "proteus-s", "ledbat", "ledbat-25", "cubic", "bbr",
            "proteus-p", "copa", "vivace"});
+  size_t k = 0;
   for (double loss : losses) {
     std::vector<std::string> row{fmt(loss * 100.0, 3) + "%"};
-    for (const std::string& proto : protocols) {
-      ScenarioConfig cfg = bench::emulab_link(23);
-      cfg.random_loss = loss;
-      const SingleFlowResult r =
-          run_single_flow(proto, cfg, from_sec(60), from_sec(20));
-      row.push_back(fmt(r.throughput_mbps, 1));
+    for (size_t p = 0; p < protocols.size(); ++p) {
+      row.push_back(fmt(tputs[k++], 1));
     }
     t.add_row(row);
   }

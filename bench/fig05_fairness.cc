@@ -36,7 +36,8 @@ FairnessResult run_short(const std::string& protocol, int n, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Figure 5 / Figure 17",
                       "Jain's fairness index vs number of flows");
 
@@ -44,12 +45,21 @@ int main() {
       "proteus-s", "ledbat", "ledbat-25", "cubic",
       "bbr",       "proteus-p", "copa",   "vivace"};
 
+  std::vector<std::function<double()>> tasks;
+  for (int n = 2; n <= 10; ++n) {
+    for (const std::string& proto : protocols) {
+      tasks.push_back([proto, n] { return run_short(proto, n, 31).jain; });
+    }
+  }
+  const std::vector<double> jains = run_parallel(std::move(tasks), jobs);
+
   Table t({"n", "proteus-s", "ledbat", "ledbat-25", "cubic", "bbr",
            "proteus-p", "copa", "vivace"});
+  size_t k = 0;
   for (int n = 2; n <= 10; ++n) {
     std::vector<std::string> row{std::to_string(n)};
-    for (const std::string& proto : protocols) {
-      row.push_back(fmt(run_short(proto, n, 31).jain, 3));
+    for (size_t p = 0; p < protocols.size(); ++p) {
+      row.push_back(fmt(jains[k++], 3));
     }
     t.add_row(row);
   }

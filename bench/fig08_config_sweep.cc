@@ -5,6 +5,7 @@
 //
 // Paper result (medians): BBR/CUBIC/Proteus-P achieve 7.8% / 28% / 2.8x
 // higher throughput against Proteus-S than against LEDBAT.
+#include <array>
 #include <map>
 
 #include "bench/bench_util.h"
@@ -12,7 +13,8 @@
 
 using namespace proteus;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Figure 8",
                       "Primary throughput ratio CDF over 180 configurations");
 
@@ -21,10 +23,12 @@ int main() {
   const double bdps[] = {0.2, 0.5, 1.0, 2.0, 5.0};
   const std::vector<std::string> primaries = {"bbr", "cubic", "proteus-p"};
   const std::vector<std::string> scavengers = {"proteus-s", "ledbat"};
+  const TimeNs duration = from_sec(20);
+  const TimeNs warmup = from_sec(8);
 
-  // ratios[primary][scavenger]
-  std::map<std::string, std::map<std::string, Samples>> ratios;
-
+  // One task per (configuration, primary): the "alone" baseline is shared
+  // by both scavenger runs, so all three simulations stay in one task.
+  std::vector<std::function<std::array<double, 2>()>> tasks;
   int config_idx = 0;
   for (double bw : bws) {
     for (double rtt : rtts) {
@@ -37,28 +41,44 @@ int main() {
             std::max<int64_t>(static_cast<int64_t>(cfg.bdp_bytes() * bdp),
                               2 * kMtuBytes);
         cfg.seed = 100 + static_cast<uint64_t>(config_idx);
-        const TimeNs duration = from_sec(20);
-        const TimeNs warmup = from_sec(8);
         for (const std::string& prim : primaries) {
-          // One shared "alone" baseline per (config, primary).
-          double alone;
-          {
-            Scenario sc(cfg);
-            Flow& p = sc.add_flow(prim, 0);
-            sc.run_until(duration);
-            alone = p.mean_throughput_mbps(warmup, duration);
-          }
-          for (const std::string& scav : scavengers) {
-            ScenarioConfig cfg2 = cfg;
-            cfg2.seed = cfg.seed + 0x51;
-            Scenario sc(cfg2);
-            Flow& p = sc.add_flow(prim, 0);
-            sc.add_flow(scav, from_sec(3));
-            sc.run_until(duration);
-            const double with_scav = p.mean_throughput_mbps(warmup, duration);
-            ratios[prim][scav].add(alone > 0 ? with_scav / alone : 0.0);
-          }
+          tasks.push_back([cfg, prim, scavengers, duration, warmup] {
+            double alone;
+            {
+              Scenario sc(cfg);
+              Flow& p = sc.add_flow(prim, 0);
+              sc.run_until(duration);
+              alone = p.mean_throughput_mbps(warmup, duration);
+            }
+            std::array<double, 2> ratios{};
+            for (size_t s = 0; s < scavengers.size(); ++s) {
+              ScenarioConfig cfg2 = cfg;
+              cfg2.seed = cfg.seed + 0x51;
+              Scenario sc(cfg2);
+              Flow& p = sc.add_flow(prim, 0);
+              sc.add_flow(scavengers[s], from_sec(3));
+              sc.run_until(duration);
+              const double with_scav =
+                  p.mean_throughput_mbps(warmup, duration);
+              ratios[s] = alone > 0 ? with_scav / alone : 0.0;
+            }
+            return ratios;
+          });
         }
+      }
+    }
+  }
+  const std::vector<std::array<double, 2>> results =
+      run_parallel(std::move(tasks), jobs);
+
+  // ratios[primary][scavenger], filled in serial task order.
+  std::map<std::string, std::map<std::string, Samples>> ratios;
+  size_t k = 0;
+  for (int c = 0; c < config_idx; ++c) {
+    for (const std::string& prim : primaries) {
+      const std::array<double, 2>& r = results[k++];
+      for (size_t s = 0; s < scavengers.size(); ++s) {
+        ratios[prim][scavengers[s]].add(r[s]);
       }
     }
   }

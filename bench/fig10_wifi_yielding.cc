@@ -4,6 +4,7 @@
 //
 // Paper result (medians): with Proteus-S, BBR and CUBIC gain 17.6% and
 // 19.2% over LEDBAT; the latency-aware primaries gain 39-44%.
+#include <array>
 #include <map>
 
 #include "bench/bench_util.h"
@@ -12,7 +13,17 @@
 
 using namespace proteus;
 
-int main() {
+namespace {
+
+struct PathResult {
+  bool valid = false;  // false when the alone baseline starved
+  std::array<double, 3> ratios{};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::print_header(
       "Figure 10 / Figure 22",
       "Primary throughput ratio on 64 WiFi paths (per scavenger)");
@@ -21,30 +32,49 @@ int main() {
   const std::vector<std::string> scavengers = {"proteus-s", "ledbat",
                                                "ledbat-25"};
   const auto paths = wifi_path_set();
-
-  std::map<std::string, std::map<std::string, Samples>> ratios;
   const TimeNs duration = from_sec(40);
   const TimeNs warmup = from_sec(15);
 
+  // One task per (path, primary): the alone baseline plus one run per
+  // scavenger, 4 simulations each.
+  std::vector<std::function<PathResult()>> tasks;
   for (const WifiPath& path : paths) {
     for (const std::string& prim : primaries) {
-      double alone;
-      {
-        Scenario sc(path.scenario);
-        Flow& p = sc.add_flow(prim, 0);
-        sc.run_until(duration);
-        alone = p.mean_throughput_mbps(warmup, duration);
-      }
-      if (alone <= 0.0) continue;
-      for (const std::string& scav : scavengers) {
-        ScenarioConfig cfg = path.scenario;
-        cfg.seed += 0x51;
-        Scenario sc(cfg);
-        Flow& p = sc.add_flow(prim, 0);
-        sc.add_flow(scav, from_sec(3));
-        sc.run_until(duration);
-        ratios[prim][scav].add(p.mean_throughput_mbps(warmup, duration) /
-                               alone);
+      const ScenarioConfig scenario = path.scenario;
+      tasks.push_back([scenario, prim, scavengers, duration, warmup] {
+        PathResult r;
+        double alone;
+        {
+          Scenario sc(scenario);
+          Flow& p = sc.add_flow(prim, 0);
+          sc.run_until(duration);
+          alone = p.mean_throughput_mbps(warmup, duration);
+        }
+        if (alone <= 0.0) return r;
+        r.valid = true;
+        for (size_t s = 0; s < scavengers.size(); ++s) {
+          ScenarioConfig cfg = scenario;
+          cfg.seed += 0x51;
+          Scenario sc(cfg);
+          Flow& p = sc.add_flow(prim, 0);
+          sc.add_flow(scavengers[s], from_sec(3));
+          sc.run_until(duration);
+          r.ratios[s] = p.mean_throughput_mbps(warmup, duration) / alone;
+        }
+        return r;
+      });
+    }
+  }
+  const std::vector<PathResult> results = run_parallel(std::move(tasks), jobs);
+
+  std::map<std::string, std::map<std::string, Samples>> ratios;
+  size_t k = 0;
+  for (size_t pi = 0; pi < paths.size(); ++pi) {
+    for (const std::string& prim : primaries) {
+      const PathResult& r = results[k++];
+      if (!r.valid) continue;
+      for (size_t s = 0; s < scavengers.size(); ++s) {
+        ratios[prim][scavengers[s]].add(r.ratios[s]);
       }
     }
   }

@@ -67,19 +67,36 @@ Samples run_web(const std::string& background, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Figure 11",
                       "Applications with a background scavenger");
 
   const std::vector<std::string> backgrounds = {"none", "proteus-s",
                                                 "ledbat", "cubic"};
+  const std::vector<int> video_counts = {1, 2, 4, 8};
+
+  std::vector<std::function<double()>> video_tasks;
+  for (int n : video_counts) {
+    for (const std::string& bg : backgrounds) {
+      video_tasks.push_back([n, bg] { return run_videos(n, bg, 61); });
+    }
+  }
+  std::vector<std::function<Samples()>> web_tasks;
+  for (const std::string& bg : backgrounds) {
+    web_tasks.push_back([bg] { return run_web(bg, 67); });
+  }
+  const std::vector<double> bitrates =
+      run_parallel(std::move(video_tasks), jobs);
+  const std::vector<Samples> plts = run_parallel(std::move(web_tasks), jobs);
 
   std::printf("(a) DASH mean chunk bitrate (Mbps)\n");
   Table video({"videos", "none", "+proteus-s", "+ledbat", "+cubic"});
-  for (int n : {1, 2, 4, 8}) {
+  size_t k = 0;
+  for (int n : video_counts) {
     std::vector<std::string> row{std::to_string(n)};
-    for (const std::string& bg : backgrounds) {
-      row.push_back(fmt(run_videos(n, bg, 61), 2));
+    for (size_t b = 0; b < backgrounds.size(); ++b) {
+      row.push_back(fmt(bitrates[k++], 2));
     }
     video.add_row(row);
   }
@@ -87,9 +104,9 @@ int main() {
 
   std::printf("\n(b) Page load time (seconds)\n");
   Table web({"background", "median_plt", "mean_plt", "p90_plt", "pages"});
-  for (const std::string& bg : backgrounds) {
-    const Samples plt = run_web(bg, 67);
-    web.add_row({bg, fmt(plt.median(), 2), fmt(plt.mean(), 2),
+  for (size_t b = 0; b < backgrounds.size(); ++b) {
+    const Samples& plt = plts[b];
+    web.add_row({backgrounds[b], fmt(plt.median(), 2), fmt(plt.mean(), 2),
                  fmt(plt.percentile(90), 2),
                  std::to_string(plt.count())});
   }

@@ -1,7 +1,13 @@
 #!/bin/sh
 # Regenerates every paper figure; fig08 (the 180-config sweep) runs last.
+#
+# Sweep-heavy binaries (fig03/04/05/08/10/11) fan their scenario grids out
+# across JOBS worker threads (default: all cores). Results are
+# bit-identical to a serial run for the fixed seeds baked into the
+# binaries, so JOBS only changes wall-clock time, never the tables.
 set -u
 cd "$(dirname "$0")"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
 others=""
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
@@ -10,5 +16,8 @@ done
 for b in $others build/bench/fig08_config_sweep; do
   echo
   echo "##### $b #####"
-  "$b"
+  case "$b" in
+    *fig03*|*fig04*|*fig05*|*fig08*|*fig10*|*fig11*) "$b" --jobs="$JOBS";;
+    *) "$b";;
+  esac
 done

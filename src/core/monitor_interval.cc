@@ -1,5 +1,7 @@
 #include "core/monitor_interval.h"
 
+#include <algorithm>
+
 #include "stats/regression.h"
 #include "stats/welford.h"
 
@@ -10,7 +12,16 @@ MonitorInterval::MonitorInterval(uint64_t id, double target_rate_mbps,
     : id_(id),
       target_rate_mbps_(target_rate_mbps),
       start_(start),
-      duration_(duration) {}
+      duration_(duration) {
+  // Pre-size the sample vectors for the packet count the target rate
+  // implies, so the per-ACK hot path never reallocates mid-MI.
+  const double expected = target_rate_mbps * 1e6 / 8.0 * to_sec(duration) /
+                          static_cast<double>(kMtuBytes);
+  const auto capacity =
+      static_cast<size_t>(std::clamp(expected, 8.0, 65536.0));
+  sample_send_time_sec_.reserve(capacity);
+  sample_rtt_sec_.reserve(capacity);
+}
 
 void MonitorInterval::on_packet_sent(uint64_t seq, int64_t bytes,
                                      TimeNs /*sent_time*/) {

@@ -114,16 +114,21 @@ TrendingTolerance::Decision TrendingTolerance::update(double mi_avg_rtt_sec,
 }
 
 double DeviationFloor::filter(double raw_dev_sec) {
+  // Expire MIs that have rolled outside the window *before* reading the
+  // floor, so the window spans exactly `deviation_floor_window` MIs
+  // (current one included once absorbed below). Evicting after the read
+  // — as this used to — let the oldest MI influence one extra floor.
+  while (!min_window_.empty() &&
+         min_window_.front().first <=
+             index_ - static_cast<int64_t>(cfg_.deviation_floor_window)) {
+    min_window_.pop_front();
+  }
   const double floor = current_floor();
   // Absorb the sample (monotonic min-deque keyed by MI index).
   while (!min_window_.empty() && min_window_.back().second >= raw_dev_sec) {
     min_window_.pop_back();
   }
   min_window_.emplace_back(index_, raw_dev_sec);
-  while (min_window_.front().first <=
-         index_ - static_cast<int64_t>(cfg_.deviation_floor_window)) {
-    min_window_.pop_front();
-  }
   ++index_;
 
   if (index_ <= 1) return 0.0;  // no history yet: nothing is competition

@@ -66,28 +66,56 @@ void PccSender::rotate_if_due(TimeNs now) {
 
 void PccSender::on_packet_sent(const SentPacketInfo& info) {
   rotate_if_due(info.sent_time);
-  mis_.back().mi.on_packet_sent(info.seq, info.bytes, info.sent_time);
+  PendingMi& cur = mis_.back();
+  cur.mi.on_packet_sent(info.seq, info.bytes, info.sent_time);
+  track_seq(info.seq, cur.mi.id());
+}
+
+void PccSender::track_seq(uint64_t seq, uint64_t mi_id) {
+  if (!seq_tracking_started_) {
+    seq_base_ = seq;
+    seq_tracking_started_ = true;
+  }
+  if (seq < seq_base_) return;  // stale seq space (never happens in-sim)
+  const uint64_t offset = seq - seq_base_;
+  // Seqs are allocated densely per flow; pad any gap with 0, which no MI
+  // ever has as an id.
+  while (seq_owner_.size() < offset) seq_owner_.push_back(0);
+  if (offset < seq_owner_.size()) {
+    seq_owner_[offset] = mi_id;
+  } else {
+    seq_owner_.push_back(mi_id);
+  }
+}
+
+PccSender::PendingMi* PccSender::find_mi(uint64_t seq) {
+  if (!seq_tracking_started_ || seq < seq_base_ || mis_.empty()) {
+    return nullptr;
+  }
+  const uint64_t offset = seq - seq_base_;
+  if (offset >= seq_owner_.size()) return nullptr;
+  const uint64_t id = seq_owner_[offset];
+  const uint64_t front_id = mis_.front().mi.id();
+  if (id < front_id || id > mis_.back().mi.id()) return nullptr;
+  PendingMi& p = mis_[static_cast<size_t>(id - front_id)];
+  return p.mi.contains_seq(seq) ? &p : nullptr;
 }
 
 void PccSender::on_ack(const AckInfo& info) {
-  srtt_ms_.add(to_ms(info.rtt));
   const bool accepted =
       ack_filter_.accept(info.rtt, info.ack_time, info.prev_ack_time);
-  for (PendingMi& p : mis_) {
-    if (p.mi.contains_seq(info.seq)) {
-      p.mi.on_ack(info.seq, info.bytes, info.sent_time, info.rtt, accepted);
-      break;
-    }
+  // Only accepted samples reach the smoothed RTT: a rejected spike must
+  // not stretch mi_duration() after the filter already ruled it noise.
+  if (accepted) srtt_ms_.add(to_ms(info.rtt));
+  if (PendingMi* p = find_mi(info.seq)) {
+    p->mi.on_ack(info.seq, info.bytes, info.sent_time, info.rtt, accepted);
   }
   drain_completed_mis();
 }
 
 void PccSender::on_loss(const LossInfo& info) {
-  for (PendingMi& p : mis_) {
-    if (p.mi.contains_seq(info.seq)) {
-      p.mi.on_loss(info.seq);
-      break;
-    }
+  if (PendingMi* p = find_mi(info.seq)) {
+    p->mi.on_loss(info.seq);
   }
   drain_completed_mis();
 }
@@ -147,18 +175,26 @@ void PccSender::drain_completed_mis() {
         qualifies = dev_penalty > 2.0 * throughput_term;
       }
       // With the trending gate screening channel bursts, one qualifying
-      // MI is competition enough.
+      // MI is competition enough; the id check rate-limits the brake to
+      // once per two MIs so a burst of qualifying MIs cannot cascade the
+      // rate to the floor (behavior pinned by PccSender.BrakeCooldown*).
       if (qualifies && front.mi.id() >= last_brake_mi_ + 2) {
         last_brake_mi_ = front.mi.id();
         controller_.yield_to(controller_.base_rate_mbps() / 2.0);
         braked = true;
       }
-      brake_pending_ = qualifies;
       if (!braked) controller_.on_mi_complete(front.tag, u);
     } else {
       controller_.on_mi_abandoned(front.tag);
     }
     mis_.pop_front();
+    // Retire the drained MI's seq_owner_ entries (plus any gap padding).
+    const uint64_t live_id =
+        mis_.empty() ? next_mi_id_ : mis_.front().mi.id();
+    while (!seq_owner_.empty() && seq_owner_.front() < live_id) {
+      seq_owner_.pop_front();
+      ++seq_base_;
+    }
   }
 }
 

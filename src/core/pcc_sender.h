@@ -75,6 +75,11 @@ class PccSender final : public CongestionController {
   void drain_completed_mis();
   TimeNs mi_duration(double rate_mbps);
 
+  // O(1) seq -> pending-MI lookup (see seq_owner_ below). Returns null for
+  // seqs no pending MI tracks.
+  PendingMi* find_mi(uint64_t seq);
+  void track_seq(uint64_t seq, uint64_t mi_id);
+
   Config cfg_;
   std::shared_ptr<UtilityFunction> utility_;
   GradientRateController controller_;
@@ -88,13 +93,22 @@ class PccSender final : public CongestionController {
   uint64_t next_mi_id_ = 1;
   double current_rate_mbps_;
 
+  // Per-ACK/per-loss MI resolution index. seq_owner_[seq - seq_base_] is
+  // the id of the MI that sent `seq`; MI ids are consecutive and mis_ is
+  // ordered, so the owning PendingMi is mis_[id - front_id]. Entries roll
+  // off the front as their MIs drain, keeping the deque sized to the
+  // in-flight window. Replaces a linear contains_seq() scan over every
+  // pending MI on the two hottest callbacks in the sender.
+  std::deque<uint64_t> seq_owner_;
+  uint64_t seq_base_ = 0;
+  bool seq_tracking_started_ = false;
+
   Ewma srtt_ms_{1.0 / 8.0};
 
   MiMetrics last_metrics_;
   double last_utility_ = 0.0;
   uint64_t mis_completed_ = 0;
   uint64_t last_brake_mi_ = 0;
-  bool brake_pending_ = false;
   double prev_mi_target_rate_ = 0.0;
 };
 

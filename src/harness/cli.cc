@@ -64,10 +64,26 @@ bool parse_flows(const std::string& spec, std::vector<CliFlowSpec>& out,
 
 }  // namespace
 
+bool parse_jobs_flag(const std::string& arg, int& jobs, std::string& error) {
+  constexpr const char kPrefix[] = "--jobs";
+  if (arg.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  const size_t eq = arg.find('=');
+  if (arg.substr(0, eq) != kPrefix) return false;  // e.g. --jobsfoo
+  const std::string value =
+      eq == std::string::npos ? "" : arg.substr(eq + 1);
+  int64_t n = 0;
+  if (value.empty() || !parse_int64(value, n) || n <= 0 || n > 4096) {
+    error = "bad --jobs: " + value;
+    return false;
+  }
+  jobs = static_cast<int>(n);
+  return true;
+}
+
 std::string cli_usage() {
   return "usage: proteus_sim [--bw=Mbps] [--rtt=ms] [--buffer=bytes] "
          "[--loss=frac] [--duration=sec] [--warmup=sec] [--seed=n] "
-         "[--wifi] [--trace=file.csv] [--rtt-trace=file.csv] "
+         "[--jobs=n] [--wifi] [--trace=file.csv] [--rtt-trace=file.csv] "
          "--flows=proto[@start][,proto[@start]...]";
 }
 
@@ -144,6 +160,11 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
         return r;
       }
       have_flows = true;
+    } else if (key == "--jobs") {
+      if (!parse_jobs_flag(arg, opt.jobs, r.error)) {
+        if (r.error.empty()) r.error = "bad --jobs: " + value;
+        return r;
+      }
     } else if (key == "--wifi") {
       opt.wifi = true;
     } else if (key == "--trace") {

@@ -5,6 +5,7 @@
 //   --duration=<sec> --warmup=<sec> --seed=<n>
 //   --flows=<proto[@start_sec][,proto[@start_sec]...]>
 //   --wifi                 (wireless noise + ACK aggregation)
+//   --jobs=<n>             (worker threads for sweep parallelism)
 //   --trace=<path.csv>     (per-second per-flow throughput CSV)
 //   --rtt-trace=<path.csv> (per-ack RTT CSV)
 #pragma once
@@ -30,6 +31,9 @@ struct CliOptions {
   std::string trace_path;      // empty = no trace
   std::string rtt_trace_path;  // empty = no trace
   bool wifi = false;
+  // Worker threads for parallel sweeps (run_parallel). 0 means "use
+  // default_job_count()", i.e. every hardware thread.
+  int jobs = 0;
 };
 
 struct CliParseResult {
@@ -40,6 +44,13 @@ struct CliParseResult {
 
 // Parses argv-style arguments (excluding argv[0]).
 CliParseResult parse_cli(const std::vector<std::string>& args);
+
+// Recognizes a `--jobs=N` argument. Returns true (and sets `jobs`) when
+// `arg` is a well-formed jobs flag; returns false with `error` set when it
+// is a malformed jobs flag, and false with `error` empty when `arg` is
+// some other argument entirely. Shared by parse_cli and the bench
+// binaries, which accept only this flag.
+bool parse_jobs_flag(const std::string& arg, int& jobs, std::string& error);
 
 // One-line usage string for --help / errors.
 std::string cli_usage();

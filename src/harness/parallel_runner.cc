@@ -1,0 +1,10 @@
+#include "harness/parallel_runner.h"
+
+namespace proteus {
+
+int default_job_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace proteus

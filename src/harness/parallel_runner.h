@@ -1,0 +1,78 @@
+// Thread-pool experiment runner for sweep-heavy benches and tests.
+//
+// A sweep is a vector of independent tasks (each one typically builds its
+// own Scenario, runs it, and returns a result struct). run_parallel()
+// executes them across a fixed number of worker threads and collects the
+// results *by task index*, so the output is bit-identical to running the
+// tasks serially in submission order, regardless of how the scheduler
+// interleaves workers. Determinism therefore only requires what the
+// simulator already guarantees: each task owns its Simulator/Rng state and
+// shares nothing mutable with other tasks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace proteus {
+
+// Worker count used when a caller passes jobs <= 0:
+// std::thread::hardware_concurrency(), at least 1.
+int default_job_count();
+
+// Runs every task and returns their results in submission order.
+//
+//  * jobs <= 0 selects default_job_count(); a single worker degenerates to
+//    a plain serial loop on the calling thread (no threads spawned).
+//  * The calling thread participates as a worker, so `jobs` workers use
+//    `jobs - 1` spawned threads.
+//  * If a task throws, the first exception (in completion order) is
+//    rethrown on the calling thread after all workers have drained; tasks
+//    not yet started are abandoned. Results of other tasks are discarded.
+template <typename T>
+std::vector<T> run_parallel(std::vector<std::function<T()>> tasks, int jobs) {
+  if (jobs <= 0) jobs = default_job_count();
+  std::vector<T> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  const size_t workers =
+      std::min(static_cast<size_t>(jobs), tasks.size());
+  if (workers <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) results[i] = tasks[i]();
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      try {
+        results[i] = tasks[i]();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace proteus

@@ -1,25 +1,27 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace proteus {
 
 void EventQueue::push(TimeNs when, Callback cb) {
-  heap_.push(Event{when, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 TimeNs EventQueue::next_time() const {
-  return heap_.empty() ? kTimeInfinite : heap_.top().when;
+  return heap_.empty() ? kTimeInfinite : heap_.front().when;
 }
 
 std::pair<TimeNs, EventQueue::Callback> EventQueue::pop() {
   if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-  // priority_queue::top is const; the callback must be moved out via a copy
-  // of the Event. Events are small, so copy the top then pop.
-  Event e = heap_.top();
-  heap_.pop();
-  return {e.when, std::move(e.cb)};
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event& e = heap_.back();
+  std::pair<TimeNs, Callback> out{e.when, std::move(e.cb)};
+  heap_.pop_back();
+  return out;
 }
 
 }  // namespace proteus

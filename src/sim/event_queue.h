@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/units.h"
@@ -38,7 +38,14 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // A raw vector managed with std::push_heap/pop_heap rather than a
+  // std::priority_queue: priority_queue::top() is const, which forces a
+  // copy of the std::function (a heap allocation) on every pop — the
+  // single hottest line of the simulator. pop_heap moves the earliest
+  // event to the back, where the callback can be moved out. The (when,
+  // seq) ordering is a strict total order (seq is unique), so pop order —
+  // and hence simulation behavior — is independent of heap layout.
+  std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
 };
 

@@ -78,6 +78,43 @@ TEST(Cli, RejectsWarmupBeyondDuration) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST(Cli, JobsFlag) {
+  const auto r = parse({"--flows=cubic", "--jobs=4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.jobs, 4);
+  // Default: 0 means "let the runner pick" (default_job_count()).
+  EXPECT_EQ(parse({"--flows=cubic"}).options.jobs, 0);
+}
+
+TEST(Cli, RejectsBadJobs) {
+  EXPECT_FALSE(parse({"--flows=cubic", "--jobs=0"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--jobs=-2"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--jobs=abc"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--jobs"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--jobs=99999"}).ok);
+}
+
+TEST(Cli, ParseJobsFlagHelper) {
+  // The bench binaries share this helper; pin its three outcomes.
+  int jobs = 0;
+  std::string error;
+  EXPECT_TRUE(parse_jobs_flag("--jobs=8", jobs, error));
+  EXPECT_EQ(jobs, 8);
+  EXPECT_TRUE(error.empty());
+
+  jobs = 0;
+  EXPECT_FALSE(parse_jobs_flag("--jobs=nope", jobs, error));
+  EXPECT_FALSE(error.empty());  // malformed: error set
+
+  error.clear();
+  EXPECT_FALSE(parse_jobs_flag("--seed=3", jobs, error));
+  EXPECT_TRUE(error.empty());  // not a --jobs flag at all: no error
+
+  error.clear();
+  EXPECT_FALSE(parse_jobs_flag("--jobsfoo=3", jobs, error));
+  EXPECT_TRUE(error.empty());
+}
+
 TEST(Cli, AcceptsEveryRegistryProtocol) {
   for (const char* proto :
        {"cubic", "bbr", "bbr-s", "copa", "vivace", "allegro", "ledbat",

@@ -196,6 +196,28 @@ TEST(DeviationFloor, FloorExpiresWithWindow) {
   EXPECT_NEAR(f.current_floor(), 5e-4, 1e-9);
 }
 
+TEST(DeviationFloor, WindowBoundaryExcludesExpiredMinimum) {
+  // Regression: eviction used to happen *after* the floor was read, so a
+  // uniquely-quiet MI kept subsidizing the floor for one call past its
+  // configured window. Walk a known sequence across the boundary: with
+  // window=4, the quiet sample at call 0 may influence the floors of
+  // calls 1..3 only.
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.deviation_floor_window = 4;
+  cfg.deviation_floor_margin = 1.0;
+  DeviationFloor f(cfg);
+  EXPECT_DOUBLE_EQ(f.filter(1e-3), 0.0);  // call 0: quiet, no history yet
+  // Calls 1..3: the quiet MI is the in-window minimum, floor = 1e-3.
+  for (int call = 1; call <= 3; ++call) {
+    EXPECT_NEAR(f.filter(5e-3), 4e-3, 1e-12) << "call " << call;
+  }
+  // Call 4: the quiet MI is 4 calls old — outside the window — so the
+  // floor is now the ambient 5e-3 level. The buggy ordering returned
+  // 4e-3 here (quiet sample alive for a 4th read).
+  EXPECT_DOUBLE_EQ(f.filter(5e-3), 0.0);
+  EXPECT_DOUBLE_EQ(f.current_floor(), 5e-3);
+}
+
 TEST(DeviationFloor, FirstSampleNeverCounts) {
   DeviationFloor f(proteus_noise());
   EXPECT_DOUBLE_EQ(f.filter(1e-3), 0.0);

@@ -1,0 +1,170 @@
+// Tests for run_parallel(): scheduling correctness (result order, worker
+// counts, exception propagation) and the determinism guarantee the bench
+// sweeps rely on — identical results for --jobs=1 and --jobs=N.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/parallel_runner.h"
+
+namespace proteus {
+namespace {
+
+TEST(ParallelRunner, DefaultJobCountIsPositive) {
+  EXPECT_GE(default_job_count(), 1);
+}
+
+TEST(ParallelRunner, EmptyQueueReturnsEmpty) {
+  std::vector<std::function<int()>> tasks;
+  EXPECT_TRUE(run_parallel(std::move(tasks), 4).empty());
+
+  std::vector<std::function<int()>> tasks_serial;
+  EXPECT_TRUE(run_parallel(std::move(tasks_serial), 1).empty());
+}
+
+TEST(ParallelRunner, SingleWorkerRunsSerially) {
+  // jobs=1 must execute on the calling thread in submission order.
+  std::vector<int> order;
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i, &order] {
+      order.push_back(i);  // safe: no threads with jobs=1
+      return i * i;
+    });
+  }
+  const std::vector<int> results = run_parallel(std::move(tasks), 1);
+  ASSERT_EQ(results.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ParallelRunner, MoreTasksThanWorkers) {
+  // 100 tasks on 3 workers: every task must run exactly once and land at
+  // its own index.
+  std::atomic<int> executions{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([i, &executions] {
+      executions.fetch_add(1);
+      return i * i;
+    });
+  }
+  const std::vector<int> results = run_parallel(std::move(tasks), 3);
+  ASSERT_EQ(results.size(), 100u);
+  EXPECT_EQ(executions.load(), 100);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(ParallelRunner, MoreWorkersThanTasks) {
+  // The worker count is clamped to the task count; excess jobs are not an
+  // error and spawn no idle threads.
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back([i] { return 10 + i; });
+  }
+  const std::vector<int> results = run_parallel(std::move(tasks), 64);
+  EXPECT_EQ(results, (std::vector<int>{10, 11, 12}));
+}
+
+TEST(ParallelRunner, ExceptionPropagatesWithoutHanging) {
+  // A throwing task must rethrow on the caller after the pool drains —
+  // never deadlock, never terminate.
+  for (int jobs : {1, 4}) {
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 20; ++i) {
+      tasks.push_back([i]() -> int {
+        if (i == 7) throw std::runtime_error("task 7 failed");
+        return i;
+      });
+    }
+    EXPECT_THROW(run_parallel(std::move(tasks), jobs), std::runtime_error)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelRunner, ExceptionAbandonsRemainingTasks) {
+  // After the first failure, not-yet-started tasks are skipped (the abort
+  // flag stops the queue). With one worker the count is deterministic.
+  std::atomic<int> executions{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([i, &executions]() -> int {
+      executions.fetch_add(1);
+      if (i == 3) throw std::runtime_error("boom");
+      return i;
+    });
+  }
+  EXPECT_THROW(run_parallel(std::move(tasks), 1), std::runtime_error);
+  EXPECT_EQ(executions.load(), 4);  // tasks 0..3 ran, 4..19 abandoned
+}
+
+// ---- Determinism: parallel sweeps are bit-identical to serial ---------
+
+// The guarantee the bench binaries depend on: for fixed seeds, a sweep run
+// with N workers returns exactly the result a serial loop produces, because
+// every task owns its Simulator/Rng and results collect by index.
+
+std::vector<std::function<PairResult()>> make_pair_sweep() {
+  std::vector<std::function<PairResult()>> tasks;
+  for (double bw : {10.0, 20.0}) {
+    for (uint64_t seed : {1u, 2u}) {
+      tasks.push_back([bw, seed] {
+        ScenarioConfig cfg;
+        cfg.bandwidth_mbps = bw;
+        cfg.seed = seed;
+        return run_pair("cubic", "proteus-s", cfg, from_sec(12), from_sec(4),
+                        from_sec(2));
+      });
+    }
+  }
+  return tasks;
+}
+
+TEST(ParallelRunner, PairSweepBitIdenticalAcrossJobCounts) {
+  const std::vector<PairResult> serial = run_parallel(make_pair_sweep(), 1);
+  const std::vector<PairResult> parallel4 = run_parallel(make_pair_sweep(), 4);
+  ASSERT_EQ(serial.size(), parallel4.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Exact equality on purpose: the guarantee is bit-identical, not close.
+    EXPECT_EQ(serial[i].primary_alone_mbps, parallel4[i].primary_alone_mbps);
+    EXPECT_EQ(serial[i].primary_with_mbps, parallel4[i].primary_with_mbps);
+    EXPECT_EQ(serial[i].scavenger_mbps, parallel4[i].scavenger_mbps);
+    EXPECT_EQ(serial[i].primary_ratio, parallel4[i].primary_ratio);
+    EXPECT_EQ(serial[i].utilization, parallel4[i].utilization);
+    EXPECT_EQ(serial[i].primary_with_p95_rtt_ms,
+              parallel4[i].primary_with_p95_rtt_ms);
+  }
+}
+
+std::vector<std::function<FairnessResult()>> make_fairness_sweep() {
+  std::vector<std::function<FairnessResult()>> tasks;
+  for (const char* proto : {"proteus-s", "cubic"}) {
+    for (int n : {2, 3}) {
+      tasks.push_back([proto, n] {
+        return run_multiflow_fairness(proto, n, 31);
+      });
+    }
+  }
+  return tasks;
+}
+
+TEST(ParallelRunner, FairnessSweepBitIdenticalAcrossJobCounts) {
+  const std::vector<FairnessResult> serial =
+      run_parallel(make_fairness_sweep(), 1);
+  const std::vector<FairnessResult> parallel4 =
+      run_parallel(make_fairness_sweep(), 4);
+  ASSERT_EQ(serial.size(), parallel4.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].jain, parallel4[i].jain);
+    EXPECT_EQ(serial[i].flow_mbps, parallel4[i].flow_mbps);
+  }
+}
+
+}  // namespace
+}  // namespace proteus

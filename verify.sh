@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full verification: the regular build + test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive tests (the
+# parallel experiment runner and the sender pipeline it executes).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "== tier 2: ThreadSanitizer (-DPROTEUS_SANITIZE=thread) =="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j --target parallel_runner_test pcc_sender_test
+./build-tsan/tests/parallel_runner_test
+./build-tsan/tests/pcc_sender_test
+
+echo "verify: OK"
