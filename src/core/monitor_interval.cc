@@ -1,11 +1,19 @@
 #include "core/monitor_interval.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "stats/regression.h"
 #include "stats/welford.h"
 
 namespace proteus {
+
+namespace {
+// A degenerate MI (every packet lost, a division against a zero count)
+// must still yield defined metrics; a NaN here would poison the utility
+// and through it every subsequent rate decision.
+double finite_or_zero(double x) { return std::isfinite(x) ? x : 0.0; }
+}  // namespace
 
 MonitorInterval::MonitorInterval(uint64_t id, double target_rate_mbps,
                                  TimeNs start, TimeNs duration)
@@ -69,19 +77,34 @@ MiMetrics MonitorInterval::compute() const {
                   static_cast<double>(sent_packets_);
   }
 
-  Welford rtts;
-  for (double r : sample_rtt_sec_) rtts.add(r);
-  m.avg_rtt_sec = rtts.mean();
-  m.rtt_dev_raw_sec = rtts.stddev();
-  m.rtt_dev_sec = m.rtt_dev_raw_sec;
+  // Zero-sample MI (blackout ate every ACK, or the filter rejected all
+  // RTTs): leave avg/dev/gradient at their zero defaults rather than
+  // running statistics over an empty set.
+  if (!sample_rtt_sec_.empty()) {
+    Welford rtts;
+    for (double r : sample_rtt_sec_) rtts.add(r);
+    m.avg_rtt_sec = rtts.mean();
+    m.rtt_dev_raw_sec = rtts.stddev();
+    m.rtt_dev_sec = m.rtt_dev_raw_sec;
 
-  const RegressionResult reg =
-      linear_regression(sample_send_time_sec_, sample_rtt_sec_);
-  if (reg.valid) {
-    m.rtt_gradient_raw = reg.slope;
-    m.rtt_gradient = reg.slope;
-    m.regression_error = dur_sec > 0.0 ? reg.residual_rms / dur_sec : 0.0;
+    const RegressionResult reg =
+        linear_regression(sample_send_time_sec_, sample_rtt_sec_);
+    if (reg.valid) {
+      m.rtt_gradient_raw = reg.slope;
+      m.rtt_gradient = reg.slope;
+      m.regression_error = dur_sec > 0.0 ? reg.residual_rms / dur_sec : 0.0;
+    }
   }
+
+  m.send_rate_mbps = finite_or_zero(m.send_rate_mbps);
+  m.throughput_mbps = finite_or_zero(m.throughput_mbps);
+  m.loss_rate = finite_or_zero(m.loss_rate);
+  m.avg_rtt_sec = finite_or_zero(m.avg_rtt_sec);
+  m.rtt_gradient = finite_or_zero(m.rtt_gradient);
+  m.rtt_gradient_raw = finite_or_zero(m.rtt_gradient_raw);
+  m.rtt_dev_sec = finite_or_zero(m.rtt_dev_sec);
+  m.rtt_dev_raw_sec = finite_or_zero(m.rtt_dev_raw_sec);
+  m.regression_error = finite_or_zero(m.regression_error);
 
   // An MI needs a handful of delivered packets before its statistics mean
   // anything; below that the controller holds its rate.

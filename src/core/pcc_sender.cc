@@ -49,7 +49,11 @@ void PccSender::start_new_mi(TimeNs now) {
       plan.tag});
 }
 
-void PccSender::on_start(TimeNs now) { start_new_mi(now); }
+void PccSender::on_start(TimeNs now) {
+  last_ack_at_ = now;
+  last_send_at_ = now;
+  start_new_mi(now);
+}
 
 void PccSender::rotate_if_due(TimeNs now) {
   if (mis_.empty()) {
@@ -65,6 +69,8 @@ void PccSender::rotate_if_due(TimeNs now) {
 }
 
 void PccSender::on_packet_sent(const SentPacketInfo& info) {
+  if (last_send_at_ <= last_ack_at_) wait_started_ = info.sent_time;
+  last_send_at_ = info.sent_time;
   rotate_if_due(info.sent_time);
   PendingMi& cur = mis_.back();
   cur.mi.on_packet_sent(info.seq, info.bytes, info.sent_time);
@@ -102,6 +108,20 @@ PccSender::PendingMi* PccSender::find_mi(uint64_t seq) {
 }
 
 void PccSender::on_ack(const AckInfo& info) {
+  last_ack_at_ = info.ack_time;
+  if (in_survival_) {
+    // The link is back (this ACK proves it): leave survival and resume
+    // from half the pre-fault rate — gradient steps up from the floor
+    // would take tens of seconds. The STARTING restart doubles back to
+    // the old operating point within a few MIs, or reverts immediately
+    // if the post-fault path can't sustain it.
+    in_survival_ = false;
+    survival_next_check_ = kTimeInfinite;
+    recovery_pending_ = true;
+    recovery_started_ = info.ack_time;
+    controller_.clamp_rate(pre_fault_rate_mbps_ / 2.0);
+    controller_.restart_from_current_rate();
+  }
   const bool accepted =
       ack_filter_.accept(info.rtt, info.ack_time, info.prev_ack_time);
   // Only accepted samples reach the smoothed RTT: a rejected spike must
@@ -111,6 +131,11 @@ void PccSender::on_ack(const AckInfo& info) {
     p->mi.on_ack(info.seq, info.bytes, info.sent_time, info.rtt, accepted);
   }
   drain_completed_mis();
+  if (recovery_pending_ &&
+      controller_.base_rate_mbps() >= 0.8 * pre_fault_rate_mbps_) {
+    last_recovery_ns_ = info.ack_time - recovery_started_;
+    recovery_pending_ = false;
+  }
 }
 
 void PccSender::on_loss(const LossInfo& info) {
@@ -120,10 +145,76 @@ void PccSender::on_loss(const LossInfo& info) {
   drain_completed_mis();
 }
 
-void PccSender::on_timer(TimeNs now) { rotate_if_due(now); }
+void PccSender::on_timer(TimeNs now) {
+  abandon_starved_mis(now);
+  maybe_enter_survival(now);
+  rotate_if_due(now);
+}
 
 TimeNs PccSender::next_timer() const {
-  return mis_.empty() ? kTimeInfinite : mis_.back().mi.end();
+  TimeNs t = mis_.empty() ? kTimeInfinite : mis_.back().mi.end();
+  if (cfg_.survival_mode) {
+    if (in_survival_) {
+      t = std::min(t, survival_next_check_);
+    } else if (last_send_at_ > last_ack_at_) {
+      // Wake when the ACK drought would cross the starvation threshold.
+      t = std::min(t, std::max(last_ack_at_, wait_started_) +
+                          starvation_timeout());
+    }
+  }
+  return t;
+}
+
+TimeNs PccSender::starvation_timeout() const {
+  // Before any RTT estimate exists (startup), be very patient: the first
+  // ACK legitimately takes a while and a false trip would stall the ramp.
+  if (!srtt_ms_.initialized()) return 4 * cfg_.ack_starvation_timeout;
+  return std::max(cfg_.ack_starvation_timeout, 4 * from_ms(srtt_ms_.value()));
+}
+
+void PccSender::maybe_enter_survival(TimeNs now) {
+  if (!cfg_.survival_mode) return;
+  const double floor = cfg_.rate_control.min_rate_mbps;
+  if (in_survival_) {
+    if (now >= survival_next_check_) {
+      // Still dark. Re-assert the floor (interim MI plans may have nudged
+      // the pacing rate) and back the next re-probe off exponentially.
+      controller_.yield_to(floor);
+      current_rate_mbps_ = floor;
+      survival_backoff_ =
+          std::min(2 * survival_backoff_, cfg_.survival_backoff_max);
+      survival_next_check_ = now + survival_backoff_;
+    }
+    return;
+  }
+  // Only data actually awaiting ACKs can starve; an app-limited or stopped
+  // flow (last send already acknowledged) never trips the watchdog.
+  if (last_send_at_ <= last_ack_at_) return;
+  if (now - std::max(last_ack_at_, wait_started_) < starvation_timeout()) {
+    return;
+  }
+  in_survival_ = true;
+  ++survival_entries_;
+  pre_fault_rate_mbps_ = controller_.base_rate_mbps();
+  controller_.yield_to(floor);
+  current_rate_mbps_ = floor;
+  survival_backoff_ = starvation_timeout();
+  survival_next_check_ = now + survival_backoff_;
+}
+
+void PccSender::abandon_starved_mis(TimeNs now) {
+  // A sealed head MI whose stragglers never resolve (blackout ate the ACKs
+  // and the RTO sweep hasn't swept yet) blocks every younger MI. Past the
+  // starvation timeout, give up on it so the pipeline keeps moving.
+  bool abandoned = false;
+  while (mis_.size() > 1 && mis_.front().mi.sealed() &&
+         !mis_.front().mi.complete() &&
+         now > mis_.front().mi.end() + starvation_timeout()) {
+    controller_.on_mi_abandoned(mis_.front().tag);
+    retire_front_mi();
+    abandoned = true;
+  }
+  if (abandoned) drain_completed_mis();
 }
 
 Bandwidth PccSender::pacing_rate() const {
@@ -182,19 +273,23 @@ void PccSender::drain_completed_mis() {
         last_brake_mi_ = front.mi.id();
         controller_.yield_to(controller_.base_rate_mbps() / 2.0);
         braked = true;
+        ++brakes_engaged_;
       }
       if (!braked) controller_.on_mi_complete(front.tag, u);
     } else {
       controller_.on_mi_abandoned(front.tag);
     }
-    mis_.pop_front();
-    // Retire the drained MI's seq_owner_ entries (plus any gap padding).
-    const uint64_t live_id =
-        mis_.empty() ? next_mi_id_ : mis_.front().mi.id();
-    while (!seq_owner_.empty() && seq_owner_.front() < live_id) {
-      seq_owner_.pop_front();
-      ++seq_base_;
-    }
+    retire_front_mi();
+  }
+}
+
+void PccSender::retire_front_mi() {
+  mis_.pop_front();
+  // Retire the drained MI's seq_owner_ entries (plus any gap padding).
+  const uint64_t live_id = mis_.empty() ? next_mi_id_ : mis_.front().mi.id();
+  while (!seq_owner_.empty() && seq_owner_.front() < live_id) {
+    seq_owner_.pop_front();
+    ++seq_base_;
   }
 }
 

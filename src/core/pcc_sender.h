@@ -36,6 +36,15 @@ class PccSender final : public CongestionController {
     // An MI should carry at least this many packets to be statistically
     // meaningful; at low rates the MI stretches to fit them.
     int min_packets_per_mi = 10;
+
+    // Survival mode: when data is in flight but no ACK has arrived for
+    // several RTTs (link blackout, total ACK loss), park at the floor rate
+    // instead of blindly pacing into a dark link, and re-probe with
+    // exponential backoff. The first ACK after the fault exits survival
+    // and restarts the exponential ramp from the floor.
+    bool survival_mode = true;
+    TimeNs ack_starvation_timeout = from_ms(250);  // scaled by srtt, see cc
+    TimeNs survival_backoff_max = from_sec(2);
   };
 
   PccSender(std::shared_ptr<UtilityFunction> utility, Config cfg,
@@ -60,9 +69,17 @@ class PccSender final : public CongestionController {
   GradientRateController::State control_state() const {
     return controller_.state();
   }
+  const Config& config() const { return cfg_; }
   const MiMetrics& last_mi_metrics() const { return last_metrics_; }
   double last_utility() const { return last_utility_; }
   uint64_t mis_completed() const { return mis_completed_; }
+  bool in_survival() const { return in_survival_; }
+  uint64_t survival_entries() const { return survival_entries_; }
+  uint64_t brakes_engaged() const { return brakes_engaged_; }
+  double pre_fault_rate_mbps() const { return pre_fault_rate_mbps_; }
+  // Time from the first post-fault ACK until the base rate climbed back to
+  // 80% of the pre-fault rate; kTimeInfinite until a recovery completes.
+  TimeNs last_recovery_time() const { return last_recovery_ns_; }
 
  private:
   struct PendingMi {
@@ -73,6 +90,14 @@ class PccSender final : public CongestionController {
   void start_new_mi(TimeNs now);
   void rotate_if_due(TimeNs now);
   void drain_completed_mis();
+  // Pops the front MI and retires its seq_owner_ entries.
+  void retire_front_mi();
+  // Abandons sealed head MIs whose ACKs are overdue (fault in progress) so
+  // the pipeline never deadlocks behind an MI that can't complete.
+  void abandon_starved_mis(TimeNs now);
+  // ACK-starvation watchdog; enters/extends survival mode.
+  void maybe_enter_survival(TimeNs now);
+  TimeNs starvation_timeout() const;
   TimeNs mi_duration(double rate_mbps);
 
   // O(1) seq -> pending-MI lookup (see seq_owner_ below). Returns null for
@@ -110,6 +135,23 @@ class PccSender final : public CongestionController {
   uint64_t mis_completed_ = 0;
   uint64_t last_brake_mi_ = 0;
   double prev_mi_target_rate_ = 0.0;
+
+  // Survival-mode state (ACK starvation watchdog).
+  bool in_survival_ = false;
+  TimeNs last_ack_at_ = 0;
+  TimeNs last_send_at_ = 0;
+  // When the current stretch of unacked data began. The drought clock runs
+  // from max(last_ack_at_, wait_started_), so a flow resuming after a long
+  // app-limited idle is not instantly judged starved against a stale ACK.
+  TimeNs wait_started_ = 0;
+  TimeNs survival_next_check_ = kTimeInfinite;
+  TimeNs survival_backoff_ = 0;
+  double pre_fault_rate_mbps_ = 0.0;
+  TimeNs recovery_started_ = 0;
+  TimeNs last_recovery_ns_ = kTimeInfinite;
+  bool recovery_pending_ = false;
+  uint64_t survival_entries_ = 0;
+  uint64_t brakes_engaged_ = 0;
 };
 
 // ---- Convenience factories ------------------------------------------

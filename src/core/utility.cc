@@ -9,32 +9,39 @@ namespace proteus {
 namespace {
 // x^t for non-negative x (rates are never negative).
 double pow_rate(double x, double t) { return std::pow(std::max(x, 0.0), t); }
+// Utilities must stay defined under adversarial metrics (zero-sample MIs,
+// fault-injected garbage): a single NaN input would propagate into the
+// gradient and wedge the rate controller permanently.
+double finite_or_zero(double x) { return std::isfinite(x) ? x : 0.0; }
 }  // namespace
 
 double AllegroUtility::eval(const MiMetrics& m) const {
-  const double x = m.send_rate_mbps;
-  const double L = m.loss_rate;
+  const double x = finite_or_zero(m.send_rate_mbps);
+  const double L = finite_or_zero(m.loss_rate);
   // Reverse sigmoid: ~1 below 5% loss, ~0 above it.
   const double sig = 1.0 / (1.0 + std::exp(alpha_ * (L - 0.05)));
   return x * (1.0 - L) * sig - x * L;
 }
 
 double VivaceUtility::eval(const MiMetrics& m) const {
-  const double x = m.send_rate_mbps;
-  return pow_rate(x, p_.t) - p_.b * x * m.rtt_gradient -
-         p_.c * x * m.loss_rate;
+  const double x = finite_or_zero(m.send_rate_mbps);
+  return pow_rate(x, p_.t) - p_.b * x * finite_or_zero(m.rtt_gradient) -
+         p_.c * x * finite_or_zero(m.loss_rate);
 }
 
 double ProteusPrimaryUtility::eval(const MiMetrics& m) const {
-  const double x = m.send_rate_mbps;
-  return pow_rate(x, p_.t) - p_.b * x * std::max(0.0, m.rtt_gradient) -
-         p_.c * x * m.loss_rate;
+  const double x = finite_or_zero(m.send_rate_mbps);
+  return pow_rate(x, p_.t) -
+         p_.b * x * std::max(0.0, finite_or_zero(m.rtt_gradient)) -
+         p_.c * x * finite_or_zero(m.loss_rate);
 }
 
 double ProteusScavengerUtility::eval(const MiMetrics& m) const {
-  const double x = m.send_rate_mbps;
-  return pow_rate(x, p_.t) - p_.b * x * std::max(0.0, m.rtt_gradient) -
-         p_.c * x * m.loss_rate - p_.d * x * m.rtt_dev_sec;
+  const double x = finite_or_zero(m.send_rate_mbps);
+  return pow_rate(x, p_.t) -
+         p_.b * x * std::max(0.0, finite_or_zero(m.rtt_gradient)) -
+         p_.c * x * finite_or_zero(m.loss_rate) -
+         p_.d * x * finite_or_zero(m.rtt_dev_sec);
 }
 
 ProteusHybridUtility::ProteusHybridUtility(

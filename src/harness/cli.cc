@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "harness/factory.h"
+#include "harness/fault_spec.h"
 
 namespace proteus {
 
@@ -84,6 +85,7 @@ std::string cli_usage() {
   return "usage: proteus_sim [--bw=Mbps] [--rtt=ms] [--buffer=bytes] "
          "[--loss=frac] [--duration=sec] [--warmup=sec] [--seed=n] "
          "[--jobs=n] [--wifi] [--trace=file.csv] [--rtt-trace=file.csv] "
+         "[--link-stats=file.csv] [--faults=spec] "
          "--flows=proto[@start][,proto[@start]...]";
 }
 
@@ -173,6 +175,17 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (key == "--rtt-trace") {
       if (!need_value("--rtt-trace")) return r;
       opt.rtt_trace_path = value;
+    } else if (key == "--link-stats") {
+      if (!need_value("--link-stats")) return r;
+      opt.link_stats_path = value;
+    } else if (key == "--faults") {
+      if (!need_value("--faults")) return r;
+      FaultParseResult faults = parse_faults(value);
+      if (!faults.ok) {
+        r.error = faults.error + " (" + fault_spec_usage() + ")";
+        return r;
+      }
+      opt.scenario.faults = faults.faults;
     } else {
       r.error = "unknown flag: " + key;
       return r;

@@ -8,6 +8,8 @@
 //   --jobs=<n>             (worker threads for sweep parallelism)
 //   --trace=<path.csv>     (per-second per-flow throughput CSV)
 //   --rtt-trace=<path.csv> (per-ack RTT CSV)
+//   --link-stats=<path.csv> (bottleneck counters incl. fault counters)
+//   --faults=<spec>        (fault schedule; see harness/fault_spec.h)
 #pragma once
 
 #include <optional>
@@ -28,8 +30,9 @@ struct CliOptions {
   double duration_sec = 60.0;
   double warmup_sec = 20.0;
   std::vector<CliFlowSpec> flows;
-  std::string trace_path;      // empty = no trace
-  std::string rtt_trace_path;  // empty = no trace
+  std::string trace_path;       // empty = no trace
+  std::string rtt_trace_path;   // empty = no trace
+  std::string link_stats_path;  // empty = no link-stats CSV
   bool wifi = false;
   // Worker threads for parallel sweeps (run_parallel). 0 means "use
   // default_job_count()", i.e. every hardware thread.

@@ -1,0 +1,191 @@
+#include "harness/fault_spec.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace proteus {
+
+namespace {
+
+// Parses "2", "2s", "250ms" (optionally negative) into nanoseconds.
+bool parse_time(const std::string& s, TimeNs& out) {
+  if (s.empty()) return false;
+  std::string num = s;
+  double scale = 1e9;  // bare numbers are seconds
+  if (s.size() > 2 && s.compare(s.size() - 2, 2, "ms") == 0) {
+    num = s.substr(0, s.size() - 2);
+    scale = 1e6;
+  } else if (s.size() > 1 && s.back() == 's') {
+    num = s.substr(0, s.size() - 1);
+  }
+  try {
+    size_t pos = 0;
+    const double v = std::stod(num, &pos);
+    if (pos != num.size() || !std::isfinite(v)) return false;
+    out = static_cast<TimeNs>(v * scale);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_number(const std::string& s, double& out) {
+  try {
+    size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size() && std::isfinite(out);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool type_from_name(const std::string& name, FaultType& out) {
+  if (name == "blackout") out = FaultType::kBlackout;
+  else if (name == "capacity") out = FaultType::kCapacity;
+  else if (name == "route") out = FaultType::kRouteChange;
+  else if (name == "reorder") out = FaultType::kReorder;
+  else if (name == "duplicate" || name == "dup") out = FaultType::kDuplicate;
+  else if (name == "ackloss") out = FaultType::kAckLoss;
+  else if (name == "ackburst") out = FaultType::kAckBurst;
+  else return false;
+  return true;
+}
+
+bool parse_one(const std::string& item, FaultSpec& spec, std::string& error) {
+  const size_t at = item.find('@');
+  if (at == std::string::npos) {
+    error = "missing '@start' in fault: " + item;
+    return false;
+  }
+  const std::string name = item.substr(0, at);
+  if (!type_from_name(name, spec.type)) {
+    error = "unknown fault type: " + name;
+    return false;
+  }
+
+  // Split the remainder on ':' — first token is the start time, the rest
+  // are a positional duration and/or key=value arguments.
+  std::vector<std::string> tokens;
+  size_t pos = at + 1;
+  while (pos <= item.size()) {
+    size_t colon = item.find(':', pos);
+    if (colon == std::string::npos) colon = item.size();
+    tokens.push_back(item.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+  if (!parse_time(tokens[0], spec.start) || spec.start < 0) {
+    error = "bad start time in fault: " + item;
+    return false;
+  }
+
+  bool have_p = false, have_x = false, have_delta = false, have_dur = false;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      if (have_dur || !parse_time(tok, spec.duration) ||
+          spec.duration <= 0) {
+        error = "bad duration in fault: " + item;
+        return false;
+      }
+      have_dur = true;
+      continue;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "p" || key == "x") {
+      if (!parse_number(value, spec.value)) {
+        error = "bad " + key + "= in fault: " + item;
+        return false;
+      }
+      (key == "p" ? have_p : have_x) = true;
+    } else if (key == "delta") {
+      if (!parse_time(value, spec.delay)) {
+        error = "bad delta= in fault: " + item;
+        return false;
+      }
+      have_delta = true;
+    } else {
+      error = "unknown key '" + key + "' in fault: " + item;
+      return false;
+    }
+  }
+
+  switch (spec.type) {
+    case FaultType::kBlackout:
+      if (have_p || have_x || have_delta) {
+        error = "blackout takes only a duration: " + item;
+        return false;
+      }
+      break;
+    case FaultType::kCapacity:
+      if (!have_x || spec.value <= 0.0) {
+        error = "capacity needs x=<multiplier> > 0: " + item;
+        return false;
+      }
+      break;
+    case FaultType::kRouteChange:
+      if (!have_delta) {
+        error = "route needs delta=<time>: " + item;
+        return false;
+      }
+      break;
+    case FaultType::kReorder:
+      if (!have_p || spec.value <= 0.0 || spec.value > 1.0) {
+        error = "reorder needs p=<prob> in (0,1]: " + item;
+        return false;
+      }
+      if (!have_delta) spec.delay = from_ms(10);  // default hold-back
+      if (spec.delay <= 0) {
+        error = "reorder delta must be positive: " + item;
+        return false;
+      }
+      break;
+    case FaultType::kDuplicate:
+    case FaultType::kAckLoss:
+      if (!have_p || spec.value <= 0.0 || spec.value > 1.0) {
+        error = name + " needs p=<prob> in (0,1]: " + item;
+        return false;
+      }
+      break;
+    case FaultType::kAckBurst:
+      if (have_p || have_x || have_delta) {
+        error = "ackburst takes only a duration: " + item;
+        return false;
+      }
+      if (!have_dur) {
+        error = "ackburst needs a duration (a permanent hold would eat "
+                "every ACK): " + item;
+        return false;
+      }
+      break;
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultParseResult parse_faults(const std::string& spec) {
+  FaultParseResult r;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    FaultSpec fault;
+    if (!parse_one(item, fault, r.error)) return r;
+    r.faults.push_back(fault);
+  }
+  r.ok = true;
+  return r;
+}
+
+std::string fault_spec_usage() {
+  return "--faults=type@start[:duration][:key=value]... with types "
+         "blackout, capacity (x=), route (delta=), reorder (p=, delta=), "
+         "duplicate (p=), ackloss (p=), ackburst; times take s/ms suffixes";
+}
+
+}  // namespace proteus

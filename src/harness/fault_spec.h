@@ -1,0 +1,45 @@
+// String grammar for building FaultTimeline schedules from the command
+// line (`--faults=...`) and from tests.
+//
+// Grammar: comma-separated events, each
+//
+//   <type> '@' <start> [':' <arg>]*
+//
+// where <start> and every time-valued argument are numbers with an
+// optional `s` (default) or `ms` suffix, and each <arg> is either a bare
+// time (the event's duration) or `key=value`:
+//
+//   blackout@5:2            link dark for [5s, 7s)
+//   blackout@5              link dark from 5s to the end of the run
+//   capacity@10:x=0.25:20   capacity scaled by 0.25 for [10s, 30s)
+//   route@10:delta=40ms     one-way prop delay +40ms from 10s on
+//   reorder@10:p=0.05:delta=25ms:5
+//                           5% of packets held back up to 25ms, [10s, 15s)
+//   duplicate@10:p=0.01     1% of packets delivered twice, from 10s on
+//   ackloss@10:p=0.3:5      30% of ACKs dropped, [10s, 15s)
+//   ackburst@10:500ms       ACKs held for 500ms, released back-to-back
+//
+// Keys: p = probability (reorder/duplicate/ackloss), x = capacity
+// multiplier, delta = time delta (route shift / max reorder hold-back).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/fault_timeline.h"
+
+namespace proteus {
+
+struct FaultParseResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::vector<FaultSpec> faults;
+};
+
+// Parses a full --faults= value. Empty input yields ok with no faults.
+FaultParseResult parse_faults(const std::string& spec);
+
+// One-line grammar reminder for --help / errors.
+std::string fault_spec_usage();
+
+}  // namespace proteus

@@ -1,0 +1,125 @@
+#include "harness/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/pcc_sender.h"
+
+namespace proteus {
+
+namespace {
+
+void check_finite(std::vector<std::string>& out, const std::string& who,
+                  const char* what, double v) {
+  if (!std::isfinite(v)) {
+    std::ostringstream os;
+    os << who << ": " << what << " is not finite (" << v << ")";
+    out.push_back(os.str());
+  }
+}
+
+void check_flow(std::vector<std::string>& out, const Flow& flow) {
+  const Sender& s = flow.sender();
+  const SenderStats& st = s.stats();
+  std::ostringstream who;
+  who << s.cc().name() << "#" << flow.config().id;
+  const std::string name = who.str();
+
+  // Packet/byte conservation: every sent packet is acked, declared lost,
+  // or still awaiting resolution — under any fault schedule.
+  if (st.packets_sent !=
+      st.packets_acked + st.packets_lost + s.packets_in_flight()) {
+    std::ostringstream os;
+    os << name << ": packet conservation broken: sent=" << st.packets_sent
+       << " acked=" << st.packets_acked << " lost=" << st.packets_lost
+       << " in_flight=" << s.packets_in_flight();
+    out.push_back(os.str());
+  }
+  if (st.bytes_sent != st.bytes_delivered + st.bytes_lost +
+                           s.bytes_in_flight()) {
+    std::ostringstream os;
+    os << name << ": byte conservation broken: sent=" << st.bytes_sent
+       << " delivered=" << st.bytes_delivered << " lost=" << st.bytes_lost
+       << " in_flight=" << s.bytes_in_flight();
+    out.push_back(os.str());
+  }
+
+  const double pacing = s.cc().pacing_rate().mbps();
+  check_finite(out, name, "pacing rate", pacing);
+  if (pacing < 0.0) {
+    out.push_back(name + ": pacing rate is negative");
+  }
+
+  // PCC-specific: the utility and every MI metric must stay defined, and
+  // the pacing rate must respect the controller's clamp bounds.
+  const auto* pcc = dynamic_cast<const PccSender*>(&s.cc());
+  if (pcc == nullptr) return;
+  check_finite(out, name, "utility", pcc->last_utility());
+  const RateControlConfig& rc = pcc->config().rate_control;
+  // Every planned rate is clamped; only float rounding gets slack.
+  const double lo = rc.min_rate_mbps * (1.0 - 1e-9);
+  const double hi = rc.max_rate_mbps * (1.0 + 1e-9);
+  if (std::isfinite(pacing) && (pacing < lo || pacing > hi)) {
+    std::ostringstream os;
+    os << name << ": pacing rate " << pacing << " Mbps outside clamp ["
+       << rc.min_rate_mbps << ", " << rc.max_rate_mbps << "]";
+    out.push_back(os.str());
+  }
+  const MiMetrics& m = pcc->last_mi_metrics();
+  check_finite(out, name, "mi target_rate_mbps", m.target_rate_mbps);
+  check_finite(out, name, "mi send_rate_mbps", m.send_rate_mbps);
+  check_finite(out, name, "mi throughput_mbps", m.throughput_mbps);
+  check_finite(out, name, "mi loss_rate", m.loss_rate);
+  check_finite(out, name, "mi avg_rtt_sec", m.avg_rtt_sec);
+  check_finite(out, name, "mi rtt_gradient", m.rtt_gradient);
+  check_finite(out, name, "mi rtt_dev_sec", m.rtt_dev_sec);
+  check_finite(out, name, "mi regression_error", m.regression_error);
+}
+
+void check_link(std::vector<std::string>& out, const Link& link) {
+  const LinkStats& st = link.stats();
+  // Conservation at the bottleneck: every offered packet (plus injected
+  // duplicates) is delivered, dropped, or still queued.
+  const int64_t in = st.offered_packets + st.duplicated;
+  const int64_t accounted = st.delivered_packets + st.tail_drops +
+                            st.random_drops + st.codel_drops +
+                            st.blackout_drops + link.queue_packets();
+  if (in != accounted) {
+    std::ostringstream os;
+    os << "bottleneck: packet conservation broken: offered+dup=" << in
+       << " != delivered+drops+queued=" << accounted << " (delivered="
+       << st.delivered_packets << " tail=" << st.tail_drops << " random="
+       << st.random_drops << " codel=" << st.codel_drops << " blackout="
+       << st.blackout_drops << " queued=" << link.queue_packets() << ")";
+    out.push_back(os.str());
+  }
+  if (st.max_queue_bytes > link.config().buffer_bytes) {
+    std::ostringstream os;
+    os << "bottleneck: queue exceeded buffer: " << st.max_queue_bytes
+       << " > " << link.config().buffer_bytes;
+    out.push_back(os.str());
+  }
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  if (violations.empty()) return "all invariants hold";
+  std::ostringstream os;
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << violations[i];
+  }
+  return os.str();
+}
+
+InvariantReport check_invariants(const Scenario& scenario) {
+  InvariantReport report;
+  for (const auto& flow : scenario.flows()) {
+    check_flow(report.violations, *flow);
+  }
+  check_link(report.violations, scenario.dumbbell().bottleneck());
+  return report;
+}
+
+}  // namespace proteus

@@ -1,0 +1,28 @@
+// Always-on invariant checker for fault-injection runs.
+//
+// After (or during) a scenario, check_invariants() audits the properties
+// that must survive *any* fault schedule: packet/byte conservation at
+// every sender and at the bottleneck, finite utilities and MI metrics,
+// and pacing rates inside the controller's clamp bounds. A violation
+// means the simulation itself broke — not that a protocol performed
+// badly — so the robustness suite asserts report.ok() after every run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace proteus {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  // Newline-joined violation list ("all invariants hold" when empty).
+  std::string to_string() const;
+};
+
+InvariantReport check_invariants(const Scenario& scenario);
+
+}  // namespace proteus

@@ -10,7 +10,9 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed) {
   dc.bottleneck.prop_delay = from_ms(cfg_.rtt_ms / 2.0);
   dc.bottleneck.buffer_bytes = cfg_.buffer_bytes;
   dc.bottleneck.random_loss = cfg_.random_loss;
+  dc.bottleneck.allow_reordering = cfg_.allow_reordering;
   dc.reverse_delay = from_ms(cfg_.rtt_ms / 2.0);
+  dc.faults = cfg_.faults;
   dc.seed = cfg_.seed;
   if (cfg_.ack_aggregation) {
     dc.ack_aggregation = cfg_.ack_agg;

@@ -28,6 +28,12 @@ struct ScenarioConfig {
   bool ack_aggregation = false;
   AckAggregatorConfig ack_agg;
 
+  // Scripted adversarial events (sim/fault_timeline.h); empty = none.
+  std::vector<FaultSpec> faults;
+  // Let noisy/fault-delayed packets invert delivery order (Link FIFO
+  // clamp off). Fault-injected reordering works either way.
+  bool allow_reordering = false;
+
   // Sender burstiness (see Sender::set_max_burst_packets) and Proteus
   // tuning applied to every flow added by name.
   int max_burst_packets = 1;
@@ -45,6 +51,7 @@ class Scenario {
 
   Simulator& sim() { return sim_; }
   Dumbbell& dumbbell() { return *dumbbell_; }
+  const Dumbbell& dumbbell() const { return *dumbbell_; }
   const ScenarioConfig& config() const { return cfg_; }
 
   // Adds a bulk flow of the named protocol. Flows get sequential ids and

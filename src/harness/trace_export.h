@@ -17,4 +17,8 @@ bool write_throughput_csv(const std::string& path,
 // Per-ack RTT samples of one flow: columns sample_idx, rtt_ms.
 bool write_rtt_csv(const std::string& path, const Flow& flow);
 
+// Bottleneck counters (one row), including the fault-injection counters:
+// blackout_drops, reordered, duplicated, ack_drops.
+bool write_link_stats_csv(const std::string& path, const LinkStats& stats);
+
 }  // namespace proteus

@@ -42,6 +42,10 @@ Dumbbell::Dumbbell(Simulator* sim, DumbbellConfig cfg)
   bottleneck_->set_sink(&demux_);
   aggregator_ = std::make_unique<AckAggregator>(sim, cfg_.ack_aggregation,
                                                 cfg_.seed ^ 0xac);
+  if (!cfg_.faults.empty()) {
+    faults_ = std::make_unique<FaultTimeline>(cfg_.faults, cfg_.seed ^ 0xfa);
+    bottleneck_->set_fault_timeline(faults_.get());
+  }
 }
 
 PacketSink* Dumbbell::forward_ingress() { return bottleneck_.get(); }
@@ -54,11 +58,31 @@ void Dumbbell::Demux::on_packet(const Packet& pkt) {
   it->second.receiver_side->on_packet(pkt);
 }
 
+void Dumbbell::deliver_ack(const Packet& ack) {
+  auto it = flows_.find(ack.flow_id);
+  if (it == flows_.end() || it->second.sender_ack_side == nullptr) return;
+  aggregator_->deliver(ack, it->second.sender_ack_side);
+}
+
 void Dumbbell::send_reverse(const Packet& ack) {
   sim_->schedule_in(cfg_.reverse_delay, [this, ack] {
-    auto it = flows_.find(ack.flow_id);
-    if (it == flows_.end() || it->second.sender_ack_side == nullptr) return;
-    aggregator_->deliver(ack, it->second.sender_ack_side);
+    if (faults_ != nullptr) {
+      const TimeNs now = sim_->now();
+      if (faults_->sample_ack_drop(now)) {
+        bottleneck_->note_ack_drop();
+        return;
+      }
+      // An active ackburst window holds ACKs until it ends, then flushes
+      // them back-to-back (compressed), spaced tightly to stay FIFO.
+      if (const TimeNs release = faults_->ack_release_time(now);
+          release > now) {
+        const TimeNs when = std::max(release, fault_release_cursor_);
+        fault_release_cursor_ = when + from_us(30);
+        sim_->schedule_at(when, [this, ack] { deliver_ack(ack); });
+        return;
+      }
+    }
+    deliver_ack(ack);
   });
 }
 

@@ -48,6 +48,9 @@ struct DumbbellConfig {
   LinkConfig bottleneck;
   TimeNs reverse_delay = from_ms(15);  // one-way ACK path delay
   AckAggregatorConfig ack_aggregation;
+  // Scripted adversarial events (fault_timeline.h); empty = none. Forward
+  // events act on the bottleneck, ackloss/ackburst on the reverse path.
+  std::vector<FaultSpec> faults;
   uint64_t seed = 0xd0b;
 };
 
@@ -70,6 +73,8 @@ class Dumbbell {
 
   Link& bottleneck() { return *bottleneck_; }
   const Link& bottleneck() const { return *bottleneck_; }
+  // The active fault schedule, or null when the config declared none.
+  FaultTimeline* faults() { return faults_.get(); }
   Simulator& sim() { return *sim_; }
   TimeNs base_rtt() const {
     return cfg_.bottleneck.prop_delay + cfg_.reverse_delay;
@@ -90,11 +95,17 @@ class Dumbbell {
     PacketSink* sender_ack_side = nullptr;
   };
 
+  // Hands `ack` to its flow's sender sink (if still attached) through the
+  // aggregator. Shared by the direct path and deferred fault releases.
+  void deliver_ack(const Packet& ack);
+
   Simulator* sim_;
   DumbbellConfig cfg_;
   std::unique_ptr<Link> bottleneck_;
   Demux demux_;
   std::unique_ptr<AckAggregator> aggregator_;
+  std::unique_ptr<FaultTimeline> faults_;
+  TimeNs fault_release_cursor_ = 0;  // spaces compressed-ACK releases
   std::unordered_map<FlowId, FlowPorts> flows_;
 };
 

@@ -1,0 +1,97 @@
+#include "sim/fault_timeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace proteus {
+
+FaultTimeline::FaultTimeline(std::vector<FaultSpec> events, uint64_t seed)
+    : events_(std::move(events)), rng_(seed) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.start < b.start;
+                   });
+}
+
+const FaultSpec* FaultTimeline::find_active(FaultType type,
+                                            TimeNs now) const {
+  for (const FaultSpec& e : events_) {
+    if (e.start > now) break;  // sorted by start
+    if (e.type == type && e.active(now)) return &e;
+  }
+  return nullptr;
+}
+
+bool FaultTimeline::blackout_active(TimeNs now) const {
+  return find_active(FaultType::kBlackout, now) != nullptr;
+}
+
+TimeNs FaultTimeline::blackout_clear_time(TimeNs now) const {
+  // Chase overlapping/adjacent windows until a time with no active
+  // blackout is found (the event list is small; this loop is rare).
+  TimeNs t = now;
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (const FaultSpec& e : events_) {
+      if (e.type != FaultType::kBlackout || !e.active(t)) continue;
+      if (e.end() == kTimeInfinite) return kTimeInfinite;
+      if (e.end() > t) {
+        t = e.end();
+        advanced = true;
+      }
+    }
+  }
+  return t;
+}
+
+double FaultTimeline::capacity_multiplier(TimeNs now) const {
+  double m = 1.0;
+  for (const FaultSpec& e : events_) {
+    if (e.start > now) break;
+    if (e.type == FaultType::kCapacity && e.active(now)) m *= e.value;
+  }
+  return m;
+}
+
+TimeNs FaultTimeline::prop_delay_delta(TimeNs now) const {
+  TimeNs delta = 0;
+  for (const FaultSpec& e : events_) {
+    if (e.start > now) break;
+    if (e.type == FaultType::kRouteChange && e.active(now)) delta += e.delay;
+  }
+  return delta;
+}
+
+TimeNs FaultTimeline::sample_reorder(TimeNs now) {
+  const FaultSpec* e = find_active(FaultType::kReorder, now);
+  if (e == nullptr || !rng_.bernoulli(e->value)) return 0;
+  // Hold the packet back far enough that successors certainly overtake it;
+  // the uniform draw spreads stragglers instead of batching them.
+  const TimeNs max_extra = std::max<TimeNs>(e->delay, kNsPerMs);
+  return static_cast<TimeNs>(
+      rng_.uniform(0.25, 1.0) * static_cast<double>(max_extra));
+}
+
+bool FaultTimeline::sample_duplicate(TimeNs now) {
+  const FaultSpec* e = find_active(FaultType::kDuplicate, now);
+  return e != nullptr && rng_.bernoulli(e->value);
+}
+
+bool FaultTimeline::sample_ack_drop(TimeNs now) {
+  const FaultSpec* e = find_active(FaultType::kAckLoss, now);
+  return e != nullptr && rng_.bernoulli(e->value);
+}
+
+TimeNs FaultTimeline::ack_release_time(TimeNs now) const {
+  TimeNs release = 0;
+  for (const FaultSpec& e : events_) {
+    if (e.start > now) break;
+    if (e.type == FaultType::kAckBurst && e.active(now)) {
+      release = std::max(release, e.end());
+    }
+  }
+  return release;
+}
+
+}  // namespace proteus

@@ -1,0 +1,86 @@
+// FaultTimeline: a scriptable, seed-deterministic schedule of adversarial
+// network events, composable with the stochastic noise models (noise.h).
+//
+// Where LatencyNoise/RateProcess model *benign* channel variability (WiFi
+// jitter, MAC scheduling), the fault timeline models the qualitatively
+// different events that break learning-based controllers in the wild:
+// link blackouts and flaps, capacity collapse/restore steps, RTT route
+// changes, packet reordering and duplication, and reverse-path ACK loss or
+// compression bursts. Every event is declared up front (FaultSpec) and all
+// per-packet randomness draws from a private seeded Rng, so a given spec +
+// seed reproduces bit-identically — including across `--jobs=N` sweeps,
+// where each scenario owns its whole simulator.
+//
+// The forward-path hooks are consulted by Link, the reverse-path hooks by
+// Dumbbell. The harness-facing string grammar for building FaultSpec lists
+// lives in harness/fault_spec.h (`--faults=...`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/units.h"
+#include "stats/rng.h"
+
+namespace proteus {
+
+enum class FaultType {
+  kBlackout,     // service rate -> 0 for the window (queue holds, then drops)
+  kCapacity,     // capacity multiplied by `value` during the window
+  kRouteChange,  // one-way prop delay shifted by `delay` during the window
+  kReorder,      // each data packet delayed past successors w.p. `value`
+  kDuplicate,    // each data packet delivered twice w.p. `value`
+  kAckLoss,      // each ACK dropped on the reverse path w.p. `value`
+  kAckBurst,     // ACKs held for the window, released back-to-back at its end
+};
+
+struct FaultSpec {
+  FaultType type = FaultType::kBlackout;
+  TimeNs start = 0;
+  // Window length; 0 means "until the end of the run". The harness parser
+  // rejects 0 for kAckBurst (a hold with no release would eat every ACK).
+  TimeNs duration = 0;
+  double value = 0.0;  // probability (reorder/duplicate/ackloss) or
+                       // capacity multiplier (capacity)
+  TimeNs delay = 0;    // route-change delta (may be negative) or the max
+                       // extra delay given to a reordered packet
+
+  TimeNs end() const {
+    return duration == 0 ? kTimeInfinite : start + duration;
+  }
+  bool active(TimeNs now) const { return now >= start && now < end(); }
+};
+
+class FaultTimeline {
+ public:
+  FaultTimeline(std::vector<FaultSpec> events, uint64_t seed);
+
+  // ---- Forward path (Link) -------------------------------------------
+  bool blackout_active(TimeNs now) const;
+  // Earliest time >= `now` at which no blackout window is active (handles
+  // overlapping/back-to-back windows); kTimeInfinite for a permanent one.
+  TimeNs blackout_clear_time(TimeNs now) const;
+  // Product of all active capacity multipliers (1.0 when none).
+  double capacity_multiplier(TimeNs now) const;
+  // Sum of active route-change deltas added to the one-way prop delay.
+  TimeNs prop_delay_delta(TimeNs now) const;
+  // Extra delay for this packet when it should be reordered, else 0.
+  // Consumes RNG state: call exactly once per serviced packet.
+  TimeNs sample_reorder(TimeNs now);
+  bool sample_duplicate(TimeNs now);
+
+  // ---- Reverse path (Dumbbell) ---------------------------------------
+  bool sample_ack_drop(TimeNs now);
+  // End of the ACK-compression window covering `now`, or 0 when none.
+  TimeNs ack_release_time(TimeNs now) const;
+
+  const std::vector<FaultSpec>& events() const { return events_; }
+
+ private:
+  const FaultSpec* find_active(FaultType type, TimeNs now) const;
+
+  std::vector<FaultSpec> events_;
+  Rng rng_;
+};
+
+}  // namespace proteus

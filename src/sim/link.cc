@@ -19,16 +19,22 @@ void Link::set_rate_process(std::unique_ptr<RateProcess> process) {
 
 Bandwidth Link::effective_rate() {
   double m = rate_process_ ? rate_process_->multiplier(rng_, sim_->now()) : 1.0;
+  if (faults_ != nullptr) m *= faults_->capacity_multiplier(sim_->now());
   return Bandwidth::from_bps(cfg_.rate.bps * m);
 }
 
 void Link::on_packet(const Packet& pkt) {
+  ++stats_.offered_packets;
   if (cfg_.random_loss > 0.0 && rng_.bernoulli(cfg_.random_loss)) {
     ++stats_.random_drops;
     return;
   }
   if (queue_bytes_ + pkt.size_bytes > cfg_.buffer_bytes) {
-    ++stats_.tail_drops;
+    if (faults_ != nullptr && faults_->blackout_active(sim_->now())) {
+      ++stats_.blackout_drops;
+    } else {
+      ++stats_.tail_drops;
+    }
     return;
   }
   queue_.push_back(pkt);
@@ -81,6 +87,20 @@ void Link::maybe_start_service() {
 }
 
 void Link::service_head() {
+  // Blackout: service pauses (rate -> 0) until the window clears. Packets
+  // already on the wire finish their flight; the queue holds and, once
+  // full, overflows into blackout_drops.
+  if (faults_ != nullptr && faults_->blackout_active(sim_->now())) {
+    const TimeNs resume = faults_->blackout_clear_time(sim_->now());
+    sim_->schedule_at(resume, [this] {
+      if (queue_.empty()) {
+        serving_ = false;
+      } else {
+        service_head();
+      }
+    });
+    return;
+  }
   const Packet pkt = queue_.front();
   const TimeNs tx = effective_rate().tx_time(pkt.size_bytes);
   sim_->schedule_in(tx, [this] {
@@ -100,16 +120,46 @@ void Link::service_head() {
       return;
     }
 
-    TimeNs extra = noise_ ? noise_->sample(rng_, sim_->now()) : 0;
-    TimeNs arrival = sim_->now() + cfg_.prop_delay + extra;
-    // Force FIFO delivery despite per-packet noise.
-    arrival = std::max(arrival, last_delivery_time_);
-    last_delivery_time_ = arrival;
+    const TimeNs now = sim_->now();
+    TimeNs extra = noise_ ? noise_->sample(rng_, now) : 0;
+    TimeNs prop = cfg_.prop_delay;
+    bool straggler = false;
+    if (faults_ != nullptr) {
+      // Route change steps the propagation delay (never below zero).
+      prop = std::max<TimeNs>(0, prop + faults_->prop_delay_delta(now));
+      if (const TimeNs held = faults_->sample_reorder(now); held > 0) {
+        extra += held;
+        straggler = true;
+      }
+    }
+    TimeNs arrival = now + prop + extra;
+    if (straggler) {
+      // A fault-injected straggler is deliberately overtaken: deliver late
+      // and leave the FIFO floor alone so successors pass it.
+      ++stats_.reordered;
+      arrival = std::max(arrival, last_delivery_time_ + 1);
+    } else if (cfg_.allow_reordering) {
+      if (arrival < last_delivery_time_) ++stats_.reordered;
+      last_delivery_time_ = std::max(last_delivery_time_, arrival);
+    } else {
+      // Force FIFO delivery despite per-packet noise.
+      arrival = std::max(arrival, last_delivery_time_);
+      last_delivery_time_ = arrival;
+    }
 
     ++stats_.delivered_packets;
     stats_.delivered_bytes += pkt.size_bytes;
     if (sink_ != nullptr) {
       sim_->schedule_at(arrival, [this, pkt] { sink_->on_packet(pkt); });
+    }
+    if (faults_ != nullptr && faults_->sample_duplicate(now)) {
+      ++stats_.duplicated;
+      ++stats_.delivered_packets;
+      stats_.delivered_bytes += pkt.size_bytes;
+      if (sink_ != nullptr) {
+        sim_->schedule_at(arrival + from_us(50),
+                          [this, pkt] { sink_->on_packet(pkt); });
+      }
     }
 
     if (queue_.empty()) {

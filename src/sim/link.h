@@ -4,14 +4,18 @@
 // serializes packets at a (possibly time-varying) rate, holds at most
 // `buffer_bytes` of queued data (tail drop), applies i.i.d. random loss,
 // and delivers after a fixed propagation delay plus optional latency noise.
-// Delivery order is forced FIFO even under noisy delays so the transport
-// never sees spurious reordering.
+// Delivery order is FIFO by default even under noisy delays so the
+// transport never sees spurious reordering; set `allow_reordering` to let
+// noisy per-packet delays (and fault-injected stragglers) invert delivery
+// order. An attached FaultTimeline (fault_timeline.h) adds scripted
+// blackouts, capacity steps, route changes, reordering and duplication.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 
+#include "sim/fault_timeline.h"
 #include "sim/noise.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
@@ -36,15 +40,24 @@ struct LinkConfig {
   int64_t buffer_bytes = 375'000;   // tail-drop cap on queued bytes
   double random_loss = 0.0;         // i.i.d. pre-queue drop probability
   CodelConfig codel;                // optional AQM on top of tail drop
+  // Opt-in: deliver with raw noisy delays instead of clamping to FIFO, so
+  // latency noise can invert packet order (off = historical behavior).
+  bool allow_reordering = false;
 };
 
 struct LinkStats {
+  int64_t offered_packets = 0;  // everything handed to on_packet()
   int64_t delivered_packets = 0;
   int64_t delivered_bytes = 0;
   int64_t tail_drops = 0;
   int64_t random_drops = 0;
   int64_t codel_drops = 0;
   int64_t max_queue_bytes = 0;
+  // Fault-injection counters (see FaultTimeline).
+  int64_t blackout_drops = 0;  // buffer overflow while the link was dark
+  int64_t reordered = 0;       // deliveries that inverted arrival order
+  int64_t duplicated = 0;      // extra copies injected by a duplicate fault
+  int64_t ack_drops = 0;       // reverse-path ACKs dropped (Dumbbell)
 };
 
 class Link final : public PacketSink {
@@ -55,11 +68,20 @@ class Link final : public PacketSink {
   // Optional non-congestion impairments; may be null.
   void set_latency_noise(std::unique_ptr<LatencyNoise> noise);
   void set_rate_process(std::unique_ptr<RateProcess> process);
+  // Scripted fault schedule (not owned; outlives the link). Null = none.
+  void set_fault_timeline(FaultTimeline* faults) { faults_ = faults; }
 
   // PacketSink: enqueue a packet for transmission.
   void on_packet(const Packet& pkt) override;
 
+  // Reverse-path ACK drops happen in Dumbbell but are surfaced here so one
+  // LinkStats record carries every fault counter of the bottleneck.
+  void note_ack_drop() { ++stats_.ack_drops; }
+
   int64_t queue_bytes() const { return queue_bytes_; }
+  int64_t queue_packets() const {
+    return static_cast<int64_t>(queue_.size());
+  }
   // Queueing delay a newly arrived packet would currently see.
   TimeNs current_queue_delay();
   const LinkConfig& config() const { return cfg_; }
@@ -80,6 +102,7 @@ class Link final : public PacketSink {
   PacketSink* sink_ = nullptr;
   std::unique_ptr<LatencyNoise> noise_;
   std::unique_ptr<RateProcess> rate_process_;
+  FaultTimeline* faults_ = nullptr;
   Rng rng_;
 
   std::deque<Packet> queue_;

@@ -68,6 +68,9 @@ class Sender final : public PacketSink {
   // --- Introspection ---------------------------------------------------
   const SenderStats& stats() const { return stats_; }
   int64_t bytes_in_flight() const { return bytes_in_flight_; }
+  int64_t packets_in_flight() const {
+    return static_cast<int64_t>(in_flight_.size());
+  }
   int64_t pending_credit() const { return credit_; }
   TimeNs smoothed_rtt() const { return srtt_; }
   TimeNs min_rtt() const { return min_rtt_; }

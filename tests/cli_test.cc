@@ -1,4 +1,5 @@
-// Tests for the proteus_sim command-line parser and the CSV trace export.
+// Tests for the proteus_sim command-line parser, the --faults= fault-spec
+// grammar, and the CSV trace export.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -6,6 +7,7 @@
 #include <sstream>
 
 #include "harness/cli.h"
+#include "harness/fault_spec.h"
 #include "harness/trace_export.h"
 
 namespace proteus {
@@ -124,6 +126,94 @@ TEST(Cli, AcceptsEveryRegistryProtocol) {
   }
 }
 
+// ---- --faults= grammar -----------------------------------------------------
+
+TEST(FaultSpecGrammar, ParsesEveryType) {
+  const auto r = parse_faults(
+      "blackout@5:2,capacity@10:x=0.25:20,route@10:delta=40ms,"
+      "reorder@10:p=0.05:delta=25ms:5,duplicate@12:p=0.01,"
+      "ackloss@14:p=0.3:5,ackburst@16:500ms");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.faults.size(), 7u);
+
+  EXPECT_EQ(r.faults[0].type, FaultType::kBlackout);
+  EXPECT_EQ(r.faults[0].start, from_sec(5));
+  EXPECT_EQ(r.faults[0].duration, from_sec(2));
+
+  EXPECT_EQ(r.faults[1].type, FaultType::kCapacity);
+  EXPECT_DOUBLE_EQ(r.faults[1].value, 0.25);
+  EXPECT_EQ(r.faults[1].duration, from_sec(20));
+
+  EXPECT_EQ(r.faults[2].type, FaultType::kRouteChange);
+  EXPECT_EQ(r.faults[2].delay, from_ms(40));
+  EXPECT_EQ(r.faults[2].duration, 0);  // permanent
+
+  EXPECT_EQ(r.faults[3].type, FaultType::kReorder);
+  EXPECT_DOUBLE_EQ(r.faults[3].value, 0.05);
+  EXPECT_EQ(r.faults[3].delay, from_ms(25));
+
+  EXPECT_EQ(r.faults[4].type, FaultType::kDuplicate);
+  EXPECT_EQ(r.faults[5].type, FaultType::kAckLoss);
+
+  EXPECT_EQ(r.faults[6].type, FaultType::kAckBurst);
+  EXPECT_EQ(r.faults[6].duration, from_ms(500));
+}
+
+TEST(FaultSpecGrammar, TimeSuffixesAndDefaults) {
+  const auto r = parse_faults("blackout@2500ms:750ms,reorder@3s:p=1");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.faults[0].start, from_ms(2500));
+  EXPECT_EQ(r.faults[0].duration, from_ms(750));
+  EXPECT_EQ(r.faults[1].start, from_sec(3));
+  EXPECT_EQ(r.faults[1].delay, from_ms(10));  // default hold-back
+  // A bare blackout is permanent.
+  const auto p = parse_faults("blackout@5");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.faults[0].duration, 0);
+  EXPECT_EQ(p.faults[0].end(), kTimeInfinite);
+}
+
+TEST(FaultSpecGrammar, EmptySpecIsOkAndEmpty) {
+  const auto r = parse_faults("");
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.faults.empty());
+}
+
+TEST(FaultSpecGrammar, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parse_faults("meteor@5:2").ok);        // unknown type
+  EXPECT_FALSE(parse_faults("blackout").ok);          // missing @start
+  EXPECT_FALSE(parse_faults("blackout@-1:2").ok);     // negative start
+  EXPECT_FALSE(parse_faults("blackout@abc:2").ok);    // bad start
+  EXPECT_FALSE(parse_faults("blackout@5:0").ok);      // zero duration
+  EXPECT_FALSE(parse_faults("blackout@5:p=0.5").ok);  // stray key
+  EXPECT_FALSE(parse_faults("capacity@5:3").ok);      // missing x=
+  EXPECT_FALSE(parse_faults("capacity@5:x=0").ok);    // non-positive x
+  EXPECT_FALSE(parse_faults("route@5:3").ok);         // missing delta=
+  EXPECT_FALSE(parse_faults("reorder@5:3").ok);       // missing p=
+  EXPECT_FALSE(parse_faults("reorder@5:p=1.5").ok);   // p out of range
+  EXPECT_FALSE(parse_faults("reorder@5:p=0").ok);     // p out of range
+  EXPECT_FALSE(parse_faults("ackloss@5:q=0.5").ok);   // unknown key
+  EXPECT_FALSE(parse_faults("ackburst@5").ok);        // permanent hold
+  EXPECT_FALSE(parse_faults("dup@5:p=0.1:2:3").ok);   // duplicate duration
+}
+
+TEST(Cli, FaultsFlagWiresIntoScenario) {
+  const auto r =
+      parse({"--flows=proteus-p", "--faults=blackout@5:2,reorder@10:p=0.05",
+             "--link-stats=ls.csv"});
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.options.scenario.faults.size(), 2u);
+  EXPECT_EQ(r.options.scenario.faults[0].type, FaultType::kBlackout);
+  EXPECT_EQ(r.options.scenario.faults[1].type, FaultType::kReorder);
+  EXPECT_EQ(r.options.link_stats_path, "ls.csv");
+}
+
+TEST(Cli, RejectsBadFaultsFlag) {
+  const auto r = parse({"--flows=cubic", "--faults=blackout"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("blackout"), std::string::npos);
+}
+
 TEST(TraceExport, ThroughputCsvRoundTrip) {
   ScenarioConfig cfg;
   cfg.seed = 3;
@@ -170,6 +260,27 @@ TEST(TraceExport, RttCsv) {
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, f.rtt_samples().count());
   EXPECT_GT(rows, 100);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, LinkStatsCsvCarriesFaultCounters) {
+  LinkStats stats;
+  stats.offered_packets = 100;
+  stats.delivered_packets = 90;
+  stats.blackout_drops = 4;
+  stats.reordered = 3;
+  stats.duplicated = 2;
+  stats.ack_drops = 1;
+
+  const std::string path = ::testing::TempDir() + "/link.csv";
+  ASSERT_TRUE(write_link_stats_csv(path, stats));
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("blackout_drops"), std::string::npos);
+  EXPECT_NE(header.find("ack_drops"), std::string::npos);
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_EQ(row, "100,90,0,0,0,0,0,4,3,2,1");
   std::remove(path.c_str());
 }
 

@@ -1,12 +1,19 @@
 // Property-based robustness sweeps: invariants that must hold for every
 // protocol across a grid of link configurations, plus failure injection
-// (extreme buffers, heavy loss, capacity collapse, mid-flow churn).
+// (extreme buffers, heavy loss, capacity collapse, mid-flow churn) and the
+// scripted adversarial fault timeline (blackouts, reordering, duplication,
+// ACK loss/compression).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 
+#include "core/pcc_sender.h"
 #include "core/utility.h"
 #include "harness/experiments.h"
+#include "harness/fault_spec.h"
+#include "harness/invariants.h"
+#include "harness/parallel_runner.h"
 
 namespace proteus {
 namespace {
@@ -180,6 +187,290 @@ TEST(Allegro, SaturatesButBloatsBuffers) {
   EXPECT_GT(allegro.utilization, 0.85);
   // Loss-based probing fills the 2 BDP buffer that Vivace leaves empty.
   EXPECT_GT(allegro.inflation_ratio_95, vivace.inflation_ratio_95 + 0.2);
+}
+
+// ---- Scripted fault timeline ----------------------------------------------
+
+std::vector<FaultSpec> faults_or_die(const std::string& spec) {
+  const FaultParseResult r = parse_faults(spec);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.faults;
+}
+
+void expect_invariants(const Scenario& sc) {
+  const InvariantReport report = check_invariants(sc);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// Every factory protocol must survive a 2-second mid-flow blackout with
+// conservation intact, make progress afterwards, and (for PCC senders)
+// keep a finite utility and an in-clamp pacing rate throughout.
+class BlackoutEveryProtocol : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BlackoutEveryProtocol, SurvivesWithInvariantsIntact) {
+  ScenarioConfig cfg;
+  cfg.seed = 21;
+  cfg.faults = faults_or_die("blackout@8:2");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow(GetParam(), 0);
+  sc.run_until(from_sec(25));
+
+  expect_invariants(sc);
+  // The link came back: the flow must resume moving data afterwards.
+  EXPECT_GT(f.mean_throughput_mbps(from_sec(12), from_sec(25)), 1.0);
+  if (const auto* pcc = dynamic_cast<const PccSender*>(&f.sender().cc())) {
+    EXPECT_TRUE(std::isfinite(pcc->last_utility()));
+    const double pacing = pcc->pacing_rate().mbps();
+    EXPECT_GE(pacing, pcc->config().rate_control.min_rate_mbps * 0.999);
+    EXPECT_LE(pacing, pcc->config().rate_control.max_rate_mbps * 1.001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, BlackoutEveryProtocol,
+                         ::testing::Values("proteus-p", "proteus-s",
+                                           "proteus-h", "bbr", "cubic",
+                                           "copa", "ledbat", "vivace"));
+
+// Acceptance criterion: Proteus-P regains >= 80% of its pre-fault
+// throughput within 5 s of a 2 s blackout clearing (50 Mbps / 30 ms).
+TEST(FaultTimeline, ProteusRecoversWithin5sOfBlackout) {
+  ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.faults = faults_or_die("blackout@10:2");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(20));
+
+  expect_invariants(sc);
+  const double pre = f.mean_throughput_mbps(from_sec(5), from_sec(10));
+  // The blackout clears at 12 s; measure inside the 5 s recovery budget.
+  const double post = f.mean_throughput_mbps(from_sec(13), from_sec(17));
+  EXPECT_GT(pre, 10.0);  // the fault hit a genuinely busy flow
+  EXPECT_GE(post, 0.8 * pre);
+
+  const auto* pcc = dynamic_cast<const PccSender*>(&f.sender().cc());
+  ASSERT_NE(pcc, nullptr);
+  EXPECT_GE(pcc->survival_entries(), 1u);
+  ASSERT_NE(pcc->last_recovery_time(), kTimeInfinite);
+  EXPECT_LE(pcc->last_recovery_time(), from_sec(5));
+}
+
+// During the dark window the sender must not blast packets into the void:
+// the watchdog parks it at the controller's floor rate.
+TEST(FaultTimeline, SurvivalParksAtFloorDuringBlackout) {
+  ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.faults = faults_or_die("blackout@10:3");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(11) + from_ms(500));
+
+  const auto* pcc = dynamic_cast<const PccSender*>(&f.sender().cc());
+  ASSERT_NE(pcc, nullptr);
+  EXPECT_TRUE(pcc->in_survival());
+  // Probes wiggle +/- probe_step around the floor; allow that margin.
+  const RateControlConfig& rc = pcc->config().rate_control;
+  EXPECT_LE(pcc->pacing_rate().mbps(),
+            rc.min_rate_mbps * (1.0 + rc.probe_step) + 1e-9);
+  EXPECT_GT(pcc->pre_fault_rate_mbps(), 10.0);
+
+  sc.run_until(from_sec(20));
+  expect_invariants(sc);
+  EXPECT_FALSE(pcc->in_survival());
+}
+
+// The emergency brake engages when a primary bursts into a cruising
+// scavenger (satellite: brake-engagement coverage at scenario level).
+TEST(FaultTimeline, ScavengerBrakesWhenPrimaryArrives) {
+  ScenarioConfig cfg;
+  cfg.seed = 3;
+  Scenario sc(cfg);
+  Flow& scav = sc.add_flow("proteus-s", 0);
+  sc.add_flow("cubic", from_sec(10));
+  sc.run_until(from_sec(25));
+
+  expect_invariants(sc);
+  const auto* pcc = dynamic_cast<const PccSender*>(&scav.sender().cc());
+  ASSERT_NE(pcc, nullptr);
+  EXPECT_GE(pcc->brakes_engaged(), 1u);
+}
+
+// A composite schedule exercising every fault type at once: the run must
+// finish, hit every counter, and keep all invariants.
+TEST(FaultTimeline, CompositeScheduleAllTypes) {
+  ScenarioConfig cfg;
+  cfg.seed = 13;
+  cfg.buffer_bytes = 80'000;  // small enough that a blackout overflows it
+  cfg.faults = faults_or_die(
+      "blackout@6:1,capacity@9:x=0.25:3,route@13:delta=20ms:3,"
+      "reorder@17:p=0.1:delta=20ms:3,duplicate@21:p=0.05:3,"
+      "ackloss@25:p=0.3:3,ackburst@29:500ms");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.add_flow("cubic", 0);
+  sc.run_until(from_sec(35));
+
+  expect_invariants(sc);
+  const LinkStats& st = sc.dumbbell().bottleneck().stats();
+  EXPECT_GT(st.blackout_drops, 0);
+  EXPECT_GT(st.reordered, 0);
+  EXPECT_GT(st.duplicated, 0);
+  EXPECT_GT(st.ack_drops, 0);
+  EXPECT_GT(f.mean_throughput_mbps(from_sec(31), from_sec(35)), 1.0);
+}
+
+// Identical fault spec + seed => bit-identical runs, both serially and
+// under the parallel runner at different worker counts.
+TEST(FaultTimeline, DeterministicAcrossJobs) {
+  using Fingerprint = std::tuple<int64_t, int64_t, int64_t, int64_t,
+                                 int64_t, int64_t, int64_t>;
+  auto run = [](uint64_t seed) -> Fingerprint {
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.faults = faults_or_die(
+        "blackout@4:1,reorder@7:p=0.05:2,duplicate@10:p=0.02:2,"
+        "ackloss@13:p=0.2:2,ackburst@16:300ms");
+    Scenario sc(cfg);
+    Flow& f = sc.add_flow("proteus-p", 0);
+    sc.run_until(from_sec(20));
+    const LinkStats& st = sc.dumbbell().bottleneck().stats();
+    return {f.sender().stats().packets_sent,
+            f.sender().stats().packets_acked,
+            static_cast<int64_t>(f.receiver().bytes_received()),
+            st.reordered,
+            st.duplicated,
+            st.ack_drops,
+            st.blackout_drops};
+  };
+
+  const Fingerprint serial = run(42);
+  EXPECT_EQ(serial, run(42));
+
+  std::vector<std::function<Fingerprint()>> tasks;
+  for (int i = 0; i < 4; ++i) tasks.push_back([&run] { return run(42); });
+  for (const Fingerprint& fp : run_parallel(tasks, 1)) {
+    EXPECT_EQ(fp, serial);
+  }
+  for (const Fingerprint& fp : run_parallel(std::move(tasks), 4)) {
+    EXPECT_EQ(fp, serial);
+  }
+}
+
+// FIFO-by-default pin: latency noise alone must never reorder deliveries;
+// flipping allow_reordering lets the same noise invert order.
+TEST(FaultTimeline, LinkIsFifoByDefaultAndReordersWhenAllowed) {
+  auto reordered_count = [](bool allow) {
+    Simulator sim(77);
+    LinkConfig lc;
+    lc.allow_reordering = allow;
+    Link link(&sim, lc, 0x5ee);
+    link.set_latency_noise(
+        std::make_unique<GaussianNoise>(from_ms(2), from_ms(2)));
+
+    struct Collector final : public PacketSink {
+      std::vector<uint64_t> seqs;
+      void on_packet(const Packet& pkt) override {
+        seqs.push_back(pkt.seq);
+      }
+    } sink;
+    link.set_sink(&sink);
+
+    for (uint64_t i = 0; i < 2000; ++i) {
+      sim.schedule_at(from_us(200) * static_cast<TimeNs>(i), [&link, i] {
+        Packet pkt;
+        pkt.seq = i;
+        pkt.size_bytes = kMtuBytes;
+        link.on_packet(pkt);
+      });
+    }
+    sim.run_until(from_sec(5));
+
+    int64_t inversions = 0;
+    for (size_t i = 1; i < sink.seqs.size(); ++i) {
+      if (sink.seqs[i] < sink.seqs[i - 1]) ++inversions;
+    }
+    EXPECT_EQ(inversions > 0, link.stats().reordered > 0);
+    return inversions;
+  };
+
+  EXPECT_EQ(reordered_count(false), 0);
+  EXPECT_GT(reordered_count(true), 0);
+}
+
+// A reorder fault must invert delivery order even on the default FIFO
+// link (stragglers bypass the FIFO floor), and the transport must absorb
+// the resulting spurious-loss churn without breaking conservation.
+TEST(FaultTimeline, ReorderFaultWorksOnFifoLink) {
+  ScenarioConfig cfg;
+  cfg.seed = 31;
+  cfg.faults = faults_or_die("reorder@5:p=0.05:delta=15ms:10");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(20));
+
+  expect_invariants(sc);
+  EXPECT_GT(sc.dumbbell().bottleneck().stats().reordered, 0);
+  EXPECT_GT(f.mean_throughput_mbps(from_sec(16), from_sec(20)), 5.0);
+}
+
+// A route change stretches the RTT for its window; the flow must keep
+// running and the RTT tail must reflect the added delay.
+TEST(FaultTimeline, RouteChangeShiftsRtt) {
+  ScenarioConfig cfg;
+  cfg.seed = 19;
+  cfg.faults = faults_or_die("route@10:delta=50ms");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(20));
+
+  expect_invariants(sc);
+  // Base RTT is 30 ms; after the permanent +50 ms step the p95 must sit
+  // above the old path's ceiling.
+  EXPECT_GT(f.rtt_samples().percentile(95), 75.0);
+  EXPECT_GT(f.mean_throughput_mbps(from_sec(15), from_sec(20)), 5.0);
+}
+
+// ACK loss and ACK compression bursts on the reverse path: progress and
+// conservation hold, and the drop counter surfaces on the link stats.
+TEST(FaultTimeline, ReversePathFaultsSurvive) {
+  ScenarioConfig cfg;
+  cfg.seed = 23;
+  cfg.faults = faults_or_die("ackloss@5:p=0.3:5,ackburst@12:400ms");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  sc.run_until(from_sec(20));
+
+  expect_invariants(sc);
+  EXPECT_GT(sc.dumbbell().bottleneck().stats().ack_drops, 0);
+  EXPECT_GT(f.mean_throughput_mbps(from_sec(15), from_sec(20)), 5.0);
+}
+
+// Satellite: a zero-sample MI (every packet lost) must still compute
+// defined metrics and a finite utility for every utility function.
+TEST(FaultTimeline, ZeroSampleMiYieldsDefinedMetrics) {
+  MonitorInterval mi(1, 10.0, 0, from_ms(50));
+  for (uint64_t seq = 0; seq < 8; ++seq) {
+    mi.on_packet_sent(seq, kMtuBytes, from_ms(static_cast<double>(seq)));
+  }
+  for (uint64_t seq = 0; seq < 8; ++seq) mi.on_loss(seq);
+  mi.seal();
+  ASSERT_TRUE(mi.complete());
+
+  const MiMetrics m = mi.compute();
+  EXPECT_FALSE(m.useful);  // no ACK: the controller must not act on it
+  for (double v : {m.send_rate_mbps, m.throughput_mbps, m.loss_rate,
+                   m.avg_rtt_sec, m.rtt_gradient, m.rtt_dev_sec,
+                   m.regression_error}) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(m.avg_rtt_sec, 0.0);
+  EXPECT_EQ(m.rtt_gradient, 0.0);
+
+  const UtilityParams params;
+  EXPECT_TRUE(std::isfinite(ProteusPrimaryUtility(params).eval(m)));
+  EXPECT_TRUE(std::isfinite(ProteusScavengerUtility(params).eval(m)));
+  EXPECT_TRUE(std::isfinite(VivaceUtility(params).eval(m)));
+  EXPECT_TRUE(std::isfinite(AllegroUtility().eval(m)));
 }
 
 TEST(Allegro, UtilityShape) {

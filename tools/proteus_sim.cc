@@ -4,12 +4,17 @@
 //   proteus_sim --wifi --flows=proteus-p --trace=run.csv
 //
 // Prints per-flow throughput (over the post-warmup window), RTT
-// percentiles, and link utilization; optionally writes CSV traces.
+// percentiles, and link utilization; optionally writes CSV traces. With
+// --faults=... a scripted fault schedule runs against the scenario and the
+// fault counters are printed. Simulation invariants (packet conservation,
+// finite utilities, clamped rates) are checked after every run; a
+// violation is a simulator bug and exits nonzero.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "harness/cli.h"
+#include "harness/invariants.h"
 #include "harness/table.h"
 #include "harness/trace_export.h"
 
@@ -74,6 +79,24 @@ int main(int argc, char** argv) {
   std::printf("\nutilization: %.1f%%\n",
               100.0 * total / opt.scenario.bandwidth_mbps);
 
+  const LinkStats& ls = scenario.dumbbell().bottleneck().stats();
+  if (!opt.scenario.faults.empty()) {
+    std::printf("fault counters: blackout_drops=%lld reordered=%lld "
+                "duplicated=%lld ack_drops=%lld\n",
+                static_cast<long long>(ls.blackout_drops),
+                static_cast<long long>(ls.reordered),
+                static_cast<long long>(ls.duplicated),
+                static_cast<long long>(ls.ack_drops));
+  }
+  if (!opt.link_stats_path.empty()) {
+    if (write_link_stats_csv(opt.link_stats_path, ls)) {
+      std::printf("link stats written to %s\n", opt.link_stats_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n",
+                   opt.link_stats_path.c_str());
+    }
+  }
+
   if (!opt.trace_path.empty()) {
     std::vector<const Flow*> cflows(flows.begin(), flows.end());
     if (write_throughput_csv(opt.trace_path, cflows, duration)) {
@@ -89,6 +112,13 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(flows.front()->config().id),
                   opt.rtt_trace_path.c_str());
     }
+  }
+
+  const InvariantReport inv = check_invariants(scenario);
+  if (!inv.ok()) {
+    std::fprintf(stderr, "INVARIANT VIOLATIONS:\n%s\n",
+                 inv.to_string().c_str());
+    return 2;
   }
   return 0;
 }

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full verification: the regular build + test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive tests (the
-# parallel experiment runner and the sender pipeline it executes).
+# parallel experiment runner and the sender pipeline it executes), then an
+# ASan+UBSan build running the fault-injection / robustness tests.
 set -eu
 
 cd "$(dirname "$0")"
@@ -16,5 +17,11 @@ cmake --preset tsan >/dev/null
 cmake --build build-tsan -j --target parallel_runner_test pcc_sender_test
 ./build-tsan/tests/parallel_runner_test
 ./build-tsan/tests/pcc_sender_test
+
+echo "== tier 3: ASan+UBSan (-DPROTEUS_SANITIZE=address,undefined) =="
+cmake --preset asan >/dev/null
+cmake --build build-asan -j --target robustness_test cli_test
+./build-asan/tests/robustness_test --gtest_filter='FaultTimeline.*:BlackoutEveryProtocol*:FailureInjection.*'
+./build-asan/tests/cli_test
 
 echo "verify: OK"
