@@ -4,6 +4,18 @@
 // the same rows/series the paper reports. Runs are shorter than the
 // paper's (simulated single-core budget); EXPERIMENTS.md records the
 // paper-vs-measured comparison produced from these outputs.
+//
+// Sweep execution goes through the run supervisor (harness/supervisor.h):
+// every sweep bench accepts, besides --jobs=N,
+//
+//   --retries=N --run-timeout=SEC --sim-timeout=SEC
+//   --checkpoint=J.jsonl --resume=J.jsonl --bundle-dir=DIR
+//   --only=POINT
+//
+// A failing point degrades to a per-point status (the table shows its
+// default value, the manifest goes to stderr, the process exits nonzero)
+// instead of killing the whole bench; --only=POINT re-runs one sweep
+// point by itself, which is the CLI line repro bundles reference.
 #pragma once
 
 #include <cstdio>
@@ -17,9 +29,52 @@
 
 namespace proteus::bench {
 
-// Worker-thread count for the sweep benches: `--jobs=N` if given,
-// otherwise every hardware thread. Unknown arguments abort with the
-// offending flag so a typo does not silently run single-threaded.
+// Process exit code accumulated across run_sweep calls (a bench may run
+// several sweeps); main() should `return bench::exit_code();`.
+inline int g_exit_code = 0;
+inline int exit_code() { return g_exit_code; }
+
+struct SweepOptions {
+  int jobs = default_job_count();
+  SupervisorConfig sup;
+  int64_t only = -1;  // >= 0: run exactly one sweep point, then exit
+  std::string argv0;
+};
+
+// Parses the sweep flags shared by the bench binaries and installs the
+// SIGINT/SIGTERM handler (so Ctrl-C flushes the checkpoint journal and
+// exits cleanly instead of losing completed points). Unknown arguments
+// abort with the offending flag so a typo does not silently run with
+// defaults.
+inline SweepOptions parse_sweep_flags(int argc, char** argv,
+                                      const char* sweep_name) {
+  SweepOptions opt;
+  opt.argv0 = argv[0];
+  opt.sup.sweep_name = sweep_name;
+  opt.sup.bundle_dir = "repro";  // failed points drop bundles here
+  install_interrupt_handler();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string error;
+    if (parse_jobs_flag(arg, opt.jobs, error)) continue;
+    if (error.empty() && parse_supervisor_flag(arg, opt.sup, error)) continue;
+    if (error.empty() && arg.rfind("--only=", 0) == 0) {
+      opt.only = std::atoll(arg.c_str() + 7);
+      if (opt.only >= 0) continue;
+      error = "bad --only: " + arg;
+    }
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 error.empty() ? (arg + " (see bench/bench_util.h for the "
+                                        "accepted sweep flags)")
+                                     .c_str()
+                               : error.c_str());
+    std::exit(2);
+  }
+  opt.sup.jobs = opt.jobs;
+  return opt;
+}
+
+// Legacy entry point used by non-sweep benches that only take --jobs=N.
 inline int parse_jobs(int argc, char** argv) {
   int jobs = default_job_count();
   for (int i = 1; i < argc; ++i) {
@@ -31,6 +86,96 @@ inline int parse_jobs(int argc, char** argv) {
     }
   }
   return jobs;
+}
+
+// Derives per-sweep options for a bench that runs several sweeps in one
+// process: the sweep name and checkpoint journal get a distinguishing
+// suffix so each sweep journals (and resumes) independently.
+inline SweepOptions sub_sweep(const SweepOptions& base,
+                              const std::string& suffix) {
+  SweepOptions opt = base;
+  opt.sup.sweep_name += "-" + suffix;
+  if (!opt.sup.checkpoint_path.empty()) {
+    std::string& path = opt.sup.checkpoint_path;
+    const size_t dot = path.rfind('.');
+    const size_t slash = path.rfind('/');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+      path.insert(dot, "-" + suffix);
+    } else {
+      path += "-" + suffix;
+    }
+  }
+  return opt;
+}
+
+// Runs a sweep under the supervisor and returns the per-point results in
+// submission order (default-constructed for failed points). Fills in the
+// repro CLI line for every point, honors --only, prints the failure
+// manifest, and exits immediately on interruption (the journal holds
+// every completed point for --resume).
+template <typename T>
+std::vector<T> run_sweep(const SweepOptions& opt,
+                         std::vector<SupervisedTask<T>> tasks,
+                         const ResultCodec<T>& codec) {
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].info.cli.empty()) {
+      tasks[i].info.cli =
+          opt.argv0 + " --only=" + std::to_string(i) + " --jobs=1";
+    }
+  }
+  SupervisorConfig cfg = opt.sup;
+  cfg.jobs = opt.jobs;
+
+  if (opt.only >= 0) {
+    if (opt.only >= static_cast<int64_t>(tasks.size())) {
+      std::fprintf(stderr, "--only=%lld out of range (sweep has %zu points)\n",
+                   static_cast<long long>(opt.only), tasks.size());
+      std::exit(2);
+    }
+    std::vector<SupervisedTask<T>> one;
+    one.push_back(std::move(tasks[static_cast<size_t>(opt.only)]));
+    cfg.jobs = 1;
+    cfg.checkpoint_path.clear();  // a one-point rerun never journals
+    const SupervisedSweep<T> sweep =
+        run_supervised(std::move(one), cfg, codec);
+    std::printf("point %lld (%s): %s after %d attempt(s)\n",
+                static_cast<long long>(opt.only),
+                sweep.statuses[0].name.c_str(),
+                run_status_name(sweep.statuses[0].status),
+                sweep.statuses[0].attempts);
+    if (sweep.statuses[0].status == RunStatus::kOk) {
+      std::printf("result: %s\n", codec.encode(sweep.results[0]).c_str());
+    } else {
+      std::fprintf(stderr, "%s", sweep.manifest().c_str());
+    }
+    std::exit(sweep.exit_code());
+  }
+
+  SupervisedSweep<T> sweep = run_supervised(std::move(tasks), cfg, codec);
+  const std::string manifest = sweep.manifest();
+  if (!manifest.empty()) std::fprintf(stderr, "%s", manifest.c_str());
+  if (sweep.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted; completed points are journaled%s\n",
+                 cfg.checkpoint_path.empty()
+                     ? " only if --checkpoint/--resume was given"
+                     : (" in " + cfg.checkpoint_path + " (resume with "
+                        "--resume=" + cfg.checkpoint_path + ")")
+                           .c_str());
+    std::exit(sweep.exit_code());
+  }
+  if (!sweep.ok()) g_exit_code = sweep.exit_code();
+  return std::move(sweep.results);
+}
+
+// Convenience builder for a sweep point whose scenario config is known up
+// front (seed, scenario description, and fault spec land in the repro
+// bundle automatically).
+template <typename T>
+SupervisedTask<T> sweep_point(std::string name, const ScenarioConfig& cfg,
+                              std::function<T(RunContext&)> fn) {
+  return {std::move(fn), run_info(std::move(name), cfg)};
 }
 
 // Mean of `trials` runs of `fn(seed)`.

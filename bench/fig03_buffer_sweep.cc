@@ -12,7 +12,7 @@
 using namespace proteus;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const bench::SweepOptions opt = bench::parse_sweep_flags(argc, argv, "fig03");
   bench::print_header("Figure 3 / Figure 15",
                       "Bottleneck saturation vs buffer size");
 
@@ -28,18 +28,26 @@ int main(int argc, char** argv) {
   Table infl({"buffer_kb", "proteus-s", "ledbat", "ledbat-25", "cubic",
               "bbr", "proteus-p", "copa", "vivace"});
 
-  std::vector<std::function<SingleFlowResult()>> tasks;
+  std::vector<SupervisedTask<SingleFlowResult>> tasks;
   for (int64_t buffer : buffers) {
     for (const std::string& proto : protocols) {
-      tasks.push_back([buffer, proto] {
-        ScenarioConfig cfg = bench::emulab_link(17);
-        cfg.buffer_bytes = buffer;
-        return run_single_flow(proto, cfg, from_sec(60), from_sec(20));
-      });
+      ScenarioConfig cfg = bench::emulab_link(17);
+      cfg.buffer_bytes = buffer;
+      tasks.push_back(bench::sweep_point<SingleFlowResult>(
+          "buffer=" + std::to_string(buffer) + " proto=" + proto, cfg,
+          [cfg, proto](RunContext& ctx) {
+            ScenarioConfig run_cfg = cfg;
+            run_cfg.seed = ctx.attempt_seed(cfg.seed);
+            return run_single_flow(proto, run_cfg, from_sec(60), from_sec(20),
+                                   &ctx);
+          }));
     }
   }
-  const std::vector<SingleFlowResult> results =
-      run_parallel(std::move(tasks), jobs);
+  const std::vector<SingleFlowResult> results = bench::run_sweep(
+      opt, std::move(tasks),
+      codec_from<SingleFlowResult>(
+          [](const SingleFlowResult& r) { return to_doubles(r); },
+          single_flow_from_doubles));
 
   size_t k = 0;
   for (int64_t buffer : buffers) {
@@ -61,5 +69,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper shape check: Proteus saturates with tiny buffers; LEDBAT "
       "needs ~BDP and pins small buffers full (inflation ~1).\n");
-  return 0;
+  return bench::exit_code();
 }

@@ -10,7 +10,7 @@
 using namespace proteus;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const bench::SweepOptions opt = bench::parse_sweep_flags(argc, argv, "fig04");
   bench::print_header("Figure 4 / Figure 16",
                       "Random-loss tolerance (throughput, Mbps)");
 
@@ -20,18 +20,24 @@ int main(int argc, char** argv) {
       "proteus-s", "ledbat", "ledbat-25", "cubic",
       "bbr",       "proteus-p", "copa",   "vivace"};
 
-  std::vector<std::function<double()>> tasks;
+  std::vector<SupervisedTask<double>> tasks;
   for (double loss : losses) {
     for (const std::string& proto : protocols) {
-      tasks.push_back([loss, proto] {
-        ScenarioConfig cfg = bench::emulab_link(23);
-        cfg.random_loss = loss;
-        return run_single_flow(proto, cfg, from_sec(60), from_sec(20))
-            .throughput_mbps;
-      });
+      ScenarioConfig cfg = bench::emulab_link(23);
+      cfg.random_loss = loss;
+      tasks.push_back(bench::sweep_point<double>(
+          "loss=" + fmt(loss * 100.0, 3) + "% proto=" + proto, cfg,
+          [cfg, proto](RunContext& ctx) {
+            ScenarioConfig run_cfg = cfg;
+            run_cfg.seed = ctx.attempt_seed(cfg.seed);
+            return run_single_flow(proto, run_cfg, from_sec(60), from_sec(20),
+                                   &ctx)
+                .throughput_mbps;
+          }));
     }
   }
-  const std::vector<double> tputs = run_parallel(std::move(tasks), jobs);
+  const std::vector<double> tputs =
+      bench::run_sweep(opt, std::move(tasks), scalar_codec());
 
   Table t({"loss_rate", "proteus-s", "ledbat", "ledbat-25", "cubic", "bbr",
            "proteus-p", "copa", "vivace"});
@@ -47,5 +53,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper shape check: LEDBAT degrades by ~50%% at 0.001%% loss; "
       "Proteus-P holds high throughput through 5%%.\n");
-  return 0;
+  return bench::exit_code();
 }

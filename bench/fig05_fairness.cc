@@ -14,7 +14,8 @@ using namespace proteus;
 
 namespace {
 
-FairnessResult run_short(const std::string& protocol, int n, uint64_t seed) {
+FairnessResult run_short(const std::string& protocol, int n, uint64_t seed,
+                         RunContext* ctx) {
   ScenarioConfig cfg;
   cfg.bandwidth_mbps = 20.0 * n;
   cfg.rtt_ms = 30.0;
@@ -27,7 +28,8 @@ FairnessResult run_short(const std::string& protocol, int n, uint64_t seed) {
   }
   const TimeNs start = from_sec(20.0 * n);
   const TimeNs end = start + from_sec(120);
-  sc.run_until(end);
+  supervised_run_until(sc, end, ctx);
+  if (ctx) check_invariants_or_throw(sc);
   FairnessResult r;
   for (Flow* f : flows) r.flow_mbps.push_back(f->mean_throughput_mbps(start, end));
   r.jain = jain_index(r.flow_mbps);
@@ -37,7 +39,7 @@ FairnessResult run_short(const std::string& protocol, int n, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const bench::SweepOptions opt = bench::parse_sweep_flags(argc, argv, "fig05");
   bench::print_header("Figure 5 / Figure 17",
                       "Jain's fairness index vs number of flows");
 
@@ -45,13 +47,22 @@ int main(int argc, char** argv) {
       "proteus-s", "ledbat", "ledbat-25", "cubic",
       "bbr",       "proteus-p", "copa",   "vivace"};
 
-  std::vector<std::function<double()>> tasks;
+  std::vector<SupervisedTask<double>> tasks;
   for (int n = 2; n <= 10; ++n) {
     for (const std::string& proto : protocols) {
-      tasks.push_back([proto, n] { return run_short(proto, n, 31).jain; });
+      RunInfo info;
+      info.name = "n=" + std::to_string(n) + " proto=" + proto;
+      info.seed = 31;
+      info.scenario = "fairness grid: 20n Mbps, 30 ms, 300n KB";
+      tasks.push_back({[proto, n](RunContext& ctx) {
+                         return run_short(proto, n, ctx.attempt_seed(31), &ctx)
+                             .jain;
+                       },
+                       std::move(info)});
     }
   }
-  const std::vector<double> jains = run_parallel(std::move(tasks), jobs);
+  const std::vector<double> jains =
+      bench::run_sweep(opt, std::move(tasks), scalar_codec());
 
   Table t({"n", "proteus-s", "ledbat", "ledbat-25", "cubic", "bbr",
            "proteus-p", "copa", "vivace"});
@@ -68,5 +79,5 @@ int main(int argc, char** argv) {
       "\nPaper shape check: primaries ~0.99; Proteus-S >= 0.90; LEDBAT "
       "dips in the middle n range (latecomer advantage), LEDBAT-25 lower "
       "still.\n");
-  return 0;
+  return bench::exit_code();
 }

@@ -14,7 +14,7 @@
 using namespace proteus;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const bench::SweepOptions opt = bench::parse_sweep_flags(argc, argv, "fig08");
   bench::print_header("Figure 8",
                       "Primary throughput ratio CDF over 180 configurations");
 
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
 
   // One task per (configuration, primary): the "alone" baseline is shared
   // by both scavenger runs, so all three simulations stay in one task.
-  std::vector<std::function<std::array<double, 2>()>> tasks;
+  std::vector<SupervisedTask<std::array<double, 2>>> tasks;
   int config_idx = 0;
   for (double bw : bws) {
     for (double rtt : rtts) {
@@ -42,34 +42,52 @@ int main(int argc, char** argv) {
                               2 * kMtuBytes);
         cfg.seed = 100 + static_cast<uint64_t>(config_idx);
         for (const std::string& prim : primaries) {
-          tasks.push_back([cfg, prim, scavengers, duration, warmup] {
-            double alone;
-            {
-              Scenario sc(cfg);
-              Flow& p = sc.add_flow(prim, 0);
-              sc.run_until(duration);
-              alone = p.mean_throughput_mbps(warmup, duration);
-            }
-            std::array<double, 2> ratios{};
-            for (size_t s = 0; s < scavengers.size(); ++s) {
-              ScenarioConfig cfg2 = cfg;
-              cfg2.seed = cfg.seed + 0x51;
-              Scenario sc(cfg2);
-              Flow& p = sc.add_flow(prim, 0);
-              sc.add_flow(scavengers[s], from_sec(3));
-              sc.run_until(duration);
-              const double with_scav =
-                  p.mean_throughput_mbps(warmup, duration);
-              ratios[s] = alone > 0 ? with_scav / alone : 0.0;
-            }
-            return ratios;
-          });
+          tasks.push_back(bench::sweep_point<std::array<double, 2>>(
+              "bw=" + fmt(bw, 0) + " rtt=" + fmt(rtt, 0) + " bdp=" +
+                  fmt(bdp, 1) + " primary=" + prim,
+              cfg,
+              [cfg, prim, scavengers, duration,
+               warmup](RunContext& ctx) {
+                ScenarioConfig base = cfg;
+                base.seed = ctx.attempt_seed(cfg.seed);
+                double alone;
+                {
+                  Scenario sc(base);
+                  Flow& p = sc.add_flow(prim, 0);
+                  supervised_run_until(sc, duration, &ctx);
+                  check_invariants_or_throw(sc);
+                  alone = p.mean_throughput_mbps(warmup, duration);
+                }
+                std::array<double, 2> ratios{};
+                for (size_t s = 0; s < scavengers.size(); ++s) {
+                  ScenarioConfig cfg2 = base;
+                  cfg2.seed = base.seed + 0x51;
+                  Scenario sc(cfg2);
+                  Flow& p = sc.add_flow(prim, 0);
+                  sc.add_flow(scavengers[s], from_sec(3));
+                  supervised_run_until(sc, duration, &ctx);
+                  check_invariants_or_throw(sc);
+                  const double with_scav =
+                      p.mean_throughput_mbps(warmup, duration);
+                  ratios[s] = alone > 0 ? with_scav / alone : 0.0;
+                }
+                return ratios;
+              }));
         }
       }
     }
   }
-  const std::vector<std::array<double, 2>> results =
-      run_parallel(std::move(tasks), jobs);
+  const std::vector<std::array<double, 2>> results = bench::run_sweep(
+      opt, std::move(tasks),
+      codec_from<std::array<double, 2>>(
+          [](const std::array<double, 2>& r) {
+            return std::vector<double>{r[0], r[1]};
+          },
+          [](const std::vector<double>& v) {
+            std::array<double, 2> r{};
+            if (v.size() >= 2) { r[0] = v[0]; r[1] = v[1]; }
+            return r;
+          }));
 
   // ratios[primary][scavenger], filled in serial task order.
   std::map<std::string, std::map<std::string, Samples>> ratios;
@@ -105,5 +123,5 @@ int main(int argc, char** argv) {
                 : prim == "cubic" ? "+28%"
                                   : "+180%");
   }
-  return 0;
+  return bench::exit_code();
 }

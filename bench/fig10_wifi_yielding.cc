@@ -23,7 +23,7 @@ struct PathResult {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const bench::SweepOptions opt = bench::parse_sweep_flags(argc, argv, "fig10");
   bench::print_header(
       "Figure 10 / Figure 22",
       "Primary throughput ratio on 64 WiFi paths (per scavenger)");
@@ -37,35 +37,56 @@ int main(int argc, char** argv) {
 
   // One task per (path, primary): the alone baseline plus one run per
   // scavenger, 4 simulations each.
-  std::vector<std::function<PathResult()>> tasks;
-  for (const WifiPath& path : paths) {
+  std::vector<SupervisedTask<PathResult>> tasks;
+  for (size_t pi = 0; pi < paths.size(); ++pi) {
+    const WifiPath& path = paths[pi];
     for (const std::string& prim : primaries) {
       const ScenarioConfig scenario = path.scenario;
-      tasks.push_back([scenario, prim, scavengers, duration, warmup] {
-        PathResult r;
-        double alone;
-        {
-          Scenario sc(scenario);
-          Flow& p = sc.add_flow(prim, 0);
-          sc.run_until(duration);
-          alone = p.mean_throughput_mbps(warmup, duration);
-        }
-        if (alone <= 0.0) return r;
-        r.valid = true;
-        for (size_t s = 0; s < scavengers.size(); ++s) {
-          ScenarioConfig cfg = scenario;
-          cfg.seed += 0x51;
-          Scenario sc(cfg);
-          Flow& p = sc.add_flow(prim, 0);
-          sc.add_flow(scavengers[s], from_sec(3));
-          sc.run_until(duration);
-          r.ratios[s] = p.mean_throughput_mbps(warmup, duration) / alone;
-        }
-        return r;
-      });
+      tasks.push_back(bench::sweep_point<PathResult>(
+          "path=" + std::to_string(pi) + " primary=" + prim, scenario,
+          [scenario, prim, scavengers, duration, warmup](RunContext& ctx) {
+            ScenarioConfig base = scenario;
+            base.seed = ctx.attempt_seed(scenario.seed);
+            PathResult r;
+            double alone;
+            {
+              Scenario sc(base);
+              Flow& p = sc.add_flow(prim, 0);
+              supervised_run_until(sc, duration, &ctx);
+              check_invariants_or_throw(sc);
+              alone = p.mean_throughput_mbps(warmup, duration);
+            }
+            if (alone <= 0.0) return r;
+            r.valid = true;
+            for (size_t s = 0; s < scavengers.size(); ++s) {
+              ScenarioConfig cfg = base;
+              cfg.seed += 0x51;
+              Scenario sc(cfg);
+              Flow& p = sc.add_flow(prim, 0);
+              sc.add_flow(scavengers[s], from_sec(3));
+              supervised_run_until(sc, duration, &ctx);
+              check_invariants_or_throw(sc);
+              r.ratios[s] = p.mean_throughput_mbps(warmup, duration) / alone;
+            }
+            return r;
+          }));
     }
   }
-  const std::vector<PathResult> results = run_parallel(std::move(tasks), jobs);
+  const std::vector<PathResult> results = bench::run_sweep(
+      opt, std::move(tasks),
+      codec_from<PathResult>(
+          [](const PathResult& r) {
+            return std::vector<double>{r.valid ? 1.0 : 0.0, r.ratios[0],
+                                       r.ratios[1], r.ratios[2]};
+          },
+          [](const std::vector<double>& v) {
+            PathResult r;
+            if (v.size() >= 4) {
+              r.valid = v[0] != 0.0;
+              r.ratios = {v[1], v[2], v[3]};
+            }
+            return r;
+          }));
 
   std::map<std::string, std::map<std::string, Samples>> ratios;
   size_t k = 0;
@@ -99,5 +120,5 @@ int main(int argc, char** argv) {
                 "copa +39.3%%, proteus-p +41.0%%, vivace +44.1%%)\n",
                 prim.c_str(), (a / std::max(b, 1e-9) - 1.0) * 100.0);
   }
-  return 0;
+  return bench::exit_code();
 }

@@ -27,8 +27,8 @@ ScenarioConfig access_link(uint64_t seed) {
   return cfg;
 }
 
-double run_videos(int n_videos, const std::string& background,
-                  uint64_t seed) {
+double run_videos(int n_videos, const std::string& background, uint64_t seed,
+                  RunContext* ctx) {
   Scenario sc(access_link(seed));
   if (background != "none") sc.add_flow(background, 0);
 
@@ -45,13 +45,15 @@ double run_videos(int n_videos, const std::string& background,
             vc.video.bitrates_mbps,
             vc.buffer_capacity_sec / vc.video.chunk_duration_sec)));
   }
-  sc.run_until(from_sec(125));
+  supervised_run_until(sc, from_sec(125), ctx);
+  if (ctx) check_invariants_or_throw(sc);
   double sum = 0.0;
   for (const auto& c : clients) sum += c->metrics().average_chunk_bitrate_mbps;
   return sum / n_videos;
 }
 
-Samples run_web(const std::string& background, uint64_t seed) {
+Samples run_web(const std::string& background, uint64_t seed,
+                RunContext* ctx) {
   Scenario sc(access_link(seed));
   if (background != "none") sc.add_flow(background, 0);
   WebWorkload::Config wc;
@@ -61,14 +63,16 @@ Samples run_web(const std::string& background, uint64_t seed) {
   WebWorkload web(&sc.sim(), &sc.dumbbell(), wc, [](uint64_t s) {
     return make_protocol("cubic", s);
   });
-  sc.run_until(from_sec(320));
+  supervised_run_until(sc, from_sec(320), ctx);
+  if (ctx) check_invariants_or_throw(sc);
   return web.page_load_times_sec();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const bench::SweepOptions base =
+      bench::parse_sweep_flags(argc, argv, "fig11");
   bench::print_header("Figure 11",
                       "Applications with a background scavenger");
 
@@ -76,19 +80,62 @@ int main(int argc, char** argv) {
                                                 "ledbat", "cubic"};
   const std::vector<int> video_counts = {1, 2, 4, 8};
 
-  std::vector<std::function<double()>> video_tasks;
+  // This bench runs two sweeps; each gets its own sweep name / journal.
+  // --only uses a single global index: video points first, then web.
+  std::vector<SupervisedTask<double>> video_tasks;
   for (int n : video_counts) {
     for (const std::string& bg : backgrounds) {
-      video_tasks.push_back([n, bg] { return run_videos(n, bg, 61); });
+      RunInfo info = run_info(
+          "videos=" + std::to_string(n) + " background=" + bg,
+          access_link(61));
+      video_tasks.push_back({[n, bg](RunContext& ctx) {
+                               return run_videos(n, bg, ctx.attempt_seed(61),
+                                                 &ctx);
+                             },
+                             std::move(info)});
     }
   }
-  std::vector<std::function<Samples()>> web_tasks;
+  std::vector<SupervisedTask<Samples>> web_tasks;
   for (const std::string& bg : backgrounds) {
-    web_tasks.push_back([bg] { return run_web(bg, 67); });
+    RunInfo info = run_info("web background=" + bg, access_link(67));
+    web_tasks.push_back({[bg](RunContext& ctx) {
+                           return run_web(bg, ctx.attempt_seed(67), &ctx);
+                         },
+                         std::move(info)});
+  }
+  const size_t n_video = video_tasks.size();
+  for (size_t i = 0; i < video_tasks.size(); ++i) {
+    video_tasks[i].info.cli =
+        base.argv0 + " --only=" + std::to_string(i) + " --jobs=1";
+  }
+  for (size_t i = 0; i < web_tasks.size(); ++i) {
+    web_tasks[i].info.cli =
+        base.argv0 + " --only=" + std::to_string(n_video + i) + " --jobs=1";
+  }
+
+  const ResultCodec<Samples> samples_codec = codec_from<Samples>(
+      [](const Samples& s) { return s.raw(); },
+      [](const std::vector<double>& v) {
+        Samples s;
+        s.add_all(v);
+        return s;
+      });
+  bench::SweepOptions vopt = bench::sub_sweep(base, "video");
+  bench::SweepOptions wopt = bench::sub_sweep(base, "web");
+  if (base.only >= 0) {
+    // run_sweep exits after a single-point rerun; route the global index
+    // to the sweep that owns it.
+    if (base.only < static_cast<int64_t>(n_video)) {
+      bench::run_sweep(vopt, std::move(video_tasks), scalar_codec());
+    } else {
+      wopt.only = base.only - static_cast<int64_t>(n_video);
+      bench::run_sweep(wopt, std::move(web_tasks), samples_codec);
+    }
   }
   const std::vector<double> bitrates =
-      run_parallel(std::move(video_tasks), jobs);
-  const std::vector<Samples> plts = run_parallel(std::move(web_tasks), jobs);
+      bench::run_sweep(vopt, std::move(video_tasks), scalar_codec());
+  const std::vector<Samples> plts =
+      bench::run_sweep(wopt, std::move(web_tasks), samples_codec);
 
   std::printf("(a) DASH mean chunk bitrate (Mbps)\n");
   Table video({"videos", "none", "+proteus-s", "+ledbat", "+cubic"});
@@ -115,5 +162,5 @@ int main(int argc, char** argv) {
       "\nPaper shape check: proteus-s background ~= no background for both "
       "apps; ledbat hurts both (2.5x lower video bitrate at 8 videos, "
       "~33%% slower pages); cubic background worst.\n");
-  return 0;
+  return bench::exit_code();
 }

@@ -5,9 +5,25 @@
 # across JOBS worker threads (default: all cores). Results are
 # bit-identical to a serial run for the fixed seeds baked into the
 # binaries, so JOBS only changes wall-clock time, never the tables.
+#
+# Supervised-sweep knobs (see EXPERIMENTS.md "Interrupting and resuming
+# sweeps"):
+#   RETRIES=N        retry failed sweep points N times (fresh sub-seeds)
+#   RUN_TIMEOUT=SEC  per-attempt wall-clock watchdog
+#   CHECKPOINT_DIR=D journal each sweep to D/<bench>.jsonl and resume from
+#                    it, so an interrupted ./run_benches.sh picks up where
+#                    it left off when re-run with the same CHECKPOINT_DIR
+# A bench whose sweep has failed points exits nonzero (repro bundles land
+# in ./repro); this script keeps going and reports the failures at the end.
 set -u
 cd "$(dirname "$0")"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
+RETRIES="${RETRIES:-}"
+RUN_TIMEOUT="${RUN_TIMEOUT:-}"
+CHECKPOINT_DIR="${CHECKPOINT_DIR:-}"
+[ -n "$CHECKPOINT_DIR" ] && mkdir -p "$CHECKPOINT_DIR"
+
+failed=""
 others=""
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
@@ -17,7 +33,31 @@ for b in $others build/bench/fig08_config_sweep; do
   echo
   echo "##### $b #####"
   case "$b" in
-    *fig03*|*fig04*|*fig05*|*fig08*|*fig10*|*fig11*) "$b" --jobs="$JOBS";;
-    *) "$b";;
+    *fig03*|*fig04*|*fig05*|*fig08*|*fig10*|*fig11*)
+      sweep_flags="--jobs=$JOBS"
+      [ -n "$RETRIES" ] && sweep_flags="$sweep_flags --retries=$RETRIES"
+      [ -n "$RUN_TIMEOUT" ] && \
+        sweep_flags="$sweep_flags --run-timeout=$RUN_TIMEOUT"
+      [ -n "$CHECKPOINT_DIR" ] && \
+        sweep_flags="$sweep_flags --resume=$CHECKPOINT_DIR/$(basename "$b").jsonl"
+      # shellcheck disable=SC2086
+      "$b" $sweep_flags
+      rc=$?
+      ;;
+    *)
+      "$b"
+      rc=$?
+      ;;
   esac
+  if [ "$rc" -eq 130 ]; then
+    echo "interrupted; re-run with the same CHECKPOINT_DIR to resume" >&2
+    exit 130
+  fi
+  [ "$rc" -ne 0 ] && failed="$failed $b(rc=$rc)"
 done
+
+if [ -n "$failed" ]; then
+  echo
+  echo "FAILED benches:$failed" >&2
+  exit 3
+fi

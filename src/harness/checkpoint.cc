@@ -1,0 +1,214 @@
+#include "harness/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+namespace proteus {
+
+namespace {
+
+// Minimal JSON string escaping for the fields we write (error messages can
+// contain quotes/newlines from exception text).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Extracts the value of `"key":"..."` starting after the colon. Returns
+// false on any malformation (treated as a truncated line by the caller).
+bool find_string_field(const std::string& line, const char* key,
+                       std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  out.clear();
+  size_t i = start + needle.size();
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return false;
+      const char e = line[i + 1];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i + 5 >= line.size()) return false;
+          const long v = std::strtol(line.substr(i + 2, 4).c_str(), nullptr, 16);
+          out += static_cast<char>(v);
+          i += 4;
+          break;
+        }
+        default: return false;
+      }
+      i += 2;
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return false;  // ran off the end: truncated line
+}
+
+bool find_int_field(const std::string& line, const char* key, int64_t& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  const char* begin = line.c_str() + start + needle.size();
+  char* end = nullptr;
+  out = std::strtoll(begin, &end, 10);
+  return end != begin;
+}
+
+bool parse_entry_line(const std::string& line, CheckpointEntry& e) {
+  int64_t attempts = 0;
+  if (!find_int_field(line, "point", e.point) ||
+      !find_string_field(line, "status", e.status) ||
+      !find_int_field(line, "attempts", attempts) ||
+      !find_string_field(line, "payload", e.payload) ||
+      !find_string_field(line, "error", e.error)) {
+    return false;
+  }
+  e.attempts = static_cast<int>(attempts);
+  return e.point >= 0 && !e.status.empty();
+}
+
+}  // namespace
+
+bool CheckpointJournal::open(const std::string& path,
+                             const CheckpointHeader& header,
+                             bool keep_existing) {
+  close();
+  // A journal left by kill -9 can end in a torn line with no newline;
+  // appending straight after it would corrupt the next entry too.
+  bool needs_newline = false;
+  if (keep_existing) {
+    if (std::FILE* rf = std::fopen(path.c_str(), "rb")) {
+      if (std::fseek(rf, -1, SEEK_END) == 0) {
+        const int last = std::fgetc(rf);
+        needs_newline = last != EOF && last != '\n';
+      }
+      std::fclose(rf);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  f_ = std::fopen(path.c_str(), keep_existing ? "ab" : "wb");
+  if (!f_) return false;
+  if (needs_newline) std::fputc('\n', f_);
+  // Header only when starting a fresh journal (empty file).
+  if (std::ftell(f_) == 0) {
+    std::fprintf(f_, "{\"sweep\":\"%s\",\"points\":%" PRId64 "}\n",
+                 json_escape(header.sweep).c_str(), header.points);
+    std::fflush(f_);
+  }
+  return true;
+}
+
+void CheckpointJournal::append(const CheckpointEntry& entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!f_) return;
+  std::fprintf(f_,
+               "{\"point\":%" PRId64
+               ",\"status\":\"%s\",\"attempts\":%d,\"payload\":\"%s\","
+               "\"error\":\"%s\"}\n",
+               entry.point, json_escape(entry.status).c_str(), entry.attempts,
+               json_escape(entry.payload).c_str(),
+               json_escape(entry.error).c_str());
+  std::fflush(f_);
+}
+
+void CheckpointJournal::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (f_) std::fflush(f_);
+}
+
+void CheckpointJournal::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (f_) {
+    std::fflush(f_);
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+CheckpointLoadResult load_checkpoint(const std::string& path) {
+  CheckpointLoadResult r;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return r;
+
+  std::string line;
+  bool first = true;
+  char buf[4096];
+  std::string pending;
+  while (std::fgets(buf, sizeof buf, f)) {
+    pending += buf;
+    if (pending.empty() || pending.back() != '\n') continue;  // long line
+    line.swap(pending);
+    pending.clear();
+    if (first) {
+      first = false;
+      int64_t points = 0;
+      if (find_string_field(line, "sweep", r.header.sweep) &&
+          find_int_field(line, "points", points)) {
+        r.header.points = points;
+        r.found = true;
+        continue;
+      }
+      break;  // not a journal; ignore the file entirely
+    }
+    CheckpointEntry e;
+    if (parse_entry_line(line, e)) r.entries.push_back(std::move(e));
+    // else: truncated/garbled line (crash mid-write) — skip it.
+  }
+  std::fclose(f);
+  return r;
+}
+
+std::string encode_doubles(const std::vector<double>& values) {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ' ';
+    std::snprintf(buf, sizeof buf, "%a", values[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<double> decode_doubles(const std::string& payload) {
+  std::vector<double> out;
+  const char* p = payload.c_str();
+  while (*p) {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) break;
+    out.push_back(v);
+    p = end;
+    while (*p == ' ') ++p;
+  }
+  return out;
+}
+
+}  // namespace proteus

@@ -1,0 +1,84 @@
+// Checkpoint journal for supervised sweeps (harness/supervisor.h).
+//
+// A sweep writes one JSONL line per *finished* point (success or final
+// failure), flushed to disk immediately, so a crash or kill -9 can lose at
+// most the line being written — never a completed point. `--resume=`
+// reloads the journal, skips every point recorded as ok, and re-runs the
+// rest; because results round-trip through the hex-float payload codec
+// below, a resumed sweep reproduces the uninterrupted output
+// byte-for-byte (pinned by tests/supervisor_test.cc).
+//
+// Line format (all fields always present, `point` is the sweep index):
+//
+//   {"point":12,"status":"ok","attempts":1,"payload":"0x1.8p+2 0x1p+0","error":""}
+//
+// The loader is deliberately tolerant: a truncated or malformed trailing
+// line (the kill -9 case) is skipped, not fatal.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+struct CheckpointEntry {
+  int64_t point = -1;
+  std::string status;   // run_status_name() string, e.g. "ok", "timeout"
+  int attempts = 0;
+  std::string payload;  // codec-encoded result; empty for failures
+  std::string error;    // failure message; empty for ok
+};
+
+// Identifies the sweep a journal belongs to; written as the first line and
+// checked on resume so a journal from a different sweep (or a different
+// grid size) cannot silently corrupt results.
+struct CheckpointHeader {
+  std::string sweep;
+  int64_t points = 0;
+};
+
+// Append-mode journal writer. Thread-safe; every append is flushed.
+class CheckpointJournal {
+ public:
+  CheckpointJournal() = default;
+  ~CheckpointJournal() { close(); }
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  // Opens `path` for appending (truncates first unless `keep_existing`).
+  // Writes the header line when the file is empty. Returns false (and
+  // stays closed) if the file cannot be opened.
+  bool open(const std::string& path, const CheckpointHeader& header,
+            bool keep_existing);
+  bool is_open() const { return f_ != nullptr; }
+
+  void append(const CheckpointEntry& entry);
+  void flush();
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::FILE* f_ = nullptr;
+};
+
+struct CheckpointLoadResult {
+  bool found = false;  // file existed and had a readable header
+  CheckpointHeader header;
+  std::vector<CheckpointEntry> entries;
+};
+
+// Loads a journal, skipping unparsable (truncated) lines. A missing file
+// yields found == false, which resume treats as "nothing done yet".
+CheckpointLoadResult load_checkpoint(const std::string& path);
+
+// ---- Result payload codec ---------------------------------------------
+//
+// Doubles are serialized as C hex floats ("%a"), which round-trip exactly
+// — the foundation of the byte-identical resume guarantee.
+
+std::string encode_doubles(const std::vector<double>& values);
+std::vector<double> decode_doubles(const std::string& payload);
+
+}  // namespace proteus

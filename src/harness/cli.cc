@@ -65,6 +65,50 @@ bool parse_flows(const std::string& spec, std::vector<CliFlowSpec>& out,
 
 }  // namespace
 
+bool parse_supervisor_flag(const std::string& arg, SupervisorConfig& cfg,
+                           std::string& error) {
+  const size_t eq = arg.find('=');
+  const std::string key = arg.substr(0, eq);
+  const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+
+  if (key == "--retries") {
+    int64_t n = 0;
+    if (value.empty() || !parse_int64(value, n) || n < 0 || n > 100) {
+      error = "bad --retries: " + value;
+      return false;
+    }
+    cfg.retries = static_cast<int>(n);
+    return true;
+  }
+  if (key == "--run-timeout" || key == "--sim-timeout") {
+    double sec = 0.0;
+    if (value.empty() || !parse_double(value, sec) || sec < 0) {
+      error = "bad " + key + ": " + value;
+      return false;
+    }
+    (key == "--run-timeout" ? cfg.run_timeout_sec : cfg.sim_timeout_sec) = sec;
+    return true;
+  }
+  if (key == "--checkpoint" || key == "--resume") {
+    if (value.empty()) {
+      error = key + " needs a journal path";
+      return false;
+    }
+    cfg.checkpoint_path = value;
+    cfg.resume = key == "--resume";
+    return true;
+  }
+  if (key == "--bundle-dir") {
+    if (value.empty()) {
+      error = "--bundle-dir needs a directory";
+      return false;
+    }
+    cfg.bundle_dir = value;
+    return true;
+  }
+  return false;  // not a supervisor flag; error stays empty
+}
+
 bool parse_jobs_flag(const std::string& arg, int& jobs, std::string& error) {
   constexpr const char kPrefix[] = "--jobs";
   if (arg.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
@@ -85,7 +129,9 @@ std::string cli_usage() {
   return "usage: proteus_sim [--bw=Mbps] [--rtt=ms] [--buffer=bytes] "
          "[--loss=frac] [--duration=sec] [--warmup=sec] [--seed=n] "
          "[--jobs=n] [--wifi] [--trace=file.csv] [--rtt-trace=file.csv] "
-         "[--link-stats=file.csv] [--faults=spec] "
+         "[--link-stats=file.csv] [--faults=spec] [--retries=n] "
+         "[--run-timeout=sec] [--sim-timeout=sec] [--checkpoint=journal] "
+         "[--resume=journal] [--bundle-dir=dir] "
          "--flows=proto[@start][,proto[@start]...]";
 }
 
@@ -167,6 +213,13 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
         if (r.error.empty()) r.error = "bad --jobs: " + value;
         return r;
       }
+    } else if (key == "--retries" || key == "--run-timeout" ||
+               key == "--sim-timeout" || key == "--checkpoint" ||
+               key == "--resume" || key == "--bundle-dir") {
+      if (!parse_supervisor_flag(arg, opt.supervisor, r.error)) {
+        if (r.error.empty()) r.error = "bad " + key + ": " + value;
+        return r;
+      }
     } else if (key == "--wifi") {
       opt.wifi = true;
     } else if (key == "--trace") {
@@ -205,6 +258,7 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     opt.scenario.ack_aggregation = true;
     opt.scenario.markov_rate = true;
   }
+  opt.supervisor.jobs = opt.jobs;
   r.ok = true;
   return r;
 }

@@ -10,6 +10,12 @@
 //   --rtt-trace=<path.csv> (per-ack RTT CSV)
 //   --link-stats=<path.csv> (bottleneck counters incl. fault counters)
 //   --faults=<spec>        (fault schedule; see harness/fault_spec.h)
+//   --retries=<n>          (supervisor: extra attempts for a failed run)
+//   --run-timeout=<sec>    (supervisor: wall-clock watchdog per attempt)
+//   --sim-timeout=<sec>    (supervisor: simulated-time watchdog per attempt)
+//   --checkpoint=<journal> (supervisor: write a fresh JSONL point journal)
+//   --resume=<journal>     (supervisor: load journal, skip finished points)
+//   --bundle-dir=<dir>     (supervisor: repro bundles for failed runs)
 #pragma once
 
 #include <optional>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "harness/scenario.h"
+#include "harness/supervisor.h"
 
 namespace proteus {
 
@@ -37,6 +44,9 @@ struct CliOptions {
   // Worker threads for parallel sweeps (run_parallel). 0 means "use
   // default_job_count()", i.e. every hardware thread.
   int jobs = 0;
+  // Watchdog / retry / checkpoint settings (harness/supervisor.h). The
+  // jobs field above is authoritative; supervisor.jobs mirrors it.
+  SupervisorConfig supervisor;
 };
 
 struct CliParseResult {
@@ -54,6 +64,14 @@ CliParseResult parse_cli(const std::vector<std::string>& args);
 // some other argument entirely. Shared by parse_cli and the bench
 // binaries, which accept only this flag.
 bool parse_jobs_flag(const std::string& arg, int& jobs, std::string& error);
+
+// Recognizes the shared supervisor flags (--retries=, --run-timeout=,
+// --sim-timeout=, --checkpoint=, --resume=, --bundle-dir=). Same contract
+// as parse_jobs_flag: true when `arg` is a well-formed supervisor flag,
+// false with `error` set when malformed, false with `error` empty when it
+// is some other argument. Shared by parse_cli and the bench binaries.
+bool parse_supervisor_flag(const std::string& arg, SupervisorConfig& cfg,
+                           std::string& error);
 
 // One-line usage string for --help / errors.
 std::string cli_usage();

@@ -36,11 +36,12 @@ double inflation_ratio(const ScenarioConfig& cfg, double p95_rtt_ms) {
 
 SingleFlowResult run_single_flow(const std::string& protocol,
                                  const ScenarioConfig& cfg, TimeNs duration,
-                                 TimeNs warmup) {
+                                 TimeNs warmup, RunContext* ctx) {
   Scenario sc(cfg);
   Flow& flow = sc.add_flow(protocol, 0);
   WarmupRttCollector rtts(sc, flow, warmup);
-  sc.run_until(duration);
+  supervised_run_until(sc, duration, ctx);
+  if (ctx) check_invariants_or_throw(sc);
 
   SingleFlowResult r;
   r.throughput_mbps = flow.mean_throughput_mbps(warmup, duration);
@@ -50,15 +51,32 @@ SingleFlowResult run_single_flow(const std::string& protocol,
   return r;
 }
 
+std::vector<double> to_doubles(const SingleFlowResult& r) {
+  return {r.throughput_mbps, r.utilization, r.p95_rtt_ms,
+          r.inflation_ratio_95};
+}
+
+SingleFlowResult single_flow_from_doubles(const std::vector<double>& v) {
+  SingleFlowResult r;
+  if (v.size() >= 4) {
+    r.throughput_mbps = v[0];
+    r.utilization = v[1];
+    r.p95_rtt_ms = v[2];
+    r.inflation_ratio_95 = v[3];
+  }
+  return r;
+}
+
 PairResult run_pair(const std::string& primary, const std::string& scavenger,
                     const ScenarioConfig& cfg, TimeNs duration, TimeNs warmup,
-                    TimeNs scavenger_delay) {
+                    TimeNs scavenger_delay, RunContext* ctx) {
   PairResult r;
   {
     Scenario alone(cfg);
     Flow& p = alone.add_flow(primary, 0);
     WarmupRttCollector rtts(alone, p, warmup);
-    alone.run_until(duration);
+    supervised_run_until(alone, duration, ctx);
+    if (ctx) check_invariants_or_throw(alone);
     r.primary_alone_mbps = p.mean_throughput_mbps(warmup, duration);
     r.primary_alone_p95_rtt_ms = rtts.samples().percentile(95.0);
   }
@@ -69,7 +87,8 @@ PairResult run_pair(const std::string& primary, const std::string& scavenger,
     Flow& p = both.add_flow(primary, 0);
     Flow& s = both.add_flow(scavenger, scavenger_delay);
     WarmupRttCollector rtts(both, p, warmup);
-    both.run_until(duration);
+    supervised_run_until(both, duration, ctx);
+    if (ctx) check_invariants_or_throw(both);
     r.primary_with_mbps = p.mean_throughput_mbps(warmup, duration);
     r.scavenger_mbps = s.mean_throughput_mbps(warmup, duration);
     r.primary_with_p95_rtt_ms = rtts.samples().percentile(95.0);
@@ -85,8 +104,30 @@ PairResult run_pair(const std::string& primary, const std::string& scavenger,
   return r;
 }
 
+std::vector<double> to_doubles(const PairResult& r) {
+  return {r.primary_alone_mbps,        r.primary_with_mbps,
+          r.scavenger_mbps,            r.primary_ratio,
+          r.utilization,               r.primary_alone_p95_rtt_ms,
+          r.primary_with_p95_rtt_ms,   r.rtt_ratio};
+}
+
+PairResult pair_from_doubles(const std::vector<double>& v) {
+  PairResult r;
+  if (v.size() >= 8) {
+    r.primary_alone_mbps = v[0];
+    r.primary_with_mbps = v[1];
+    r.scavenger_mbps = v[2];
+    r.primary_ratio = v[3];
+    r.utilization = v[4];
+    r.primary_alone_p95_rtt_ms = v[5];
+    r.primary_with_p95_rtt_ms = v[6];
+    r.rtt_ratio = v[7];
+  }
+  return r;
+}
+
 FairnessResult run_multiflow_fairness(const std::string& protocol, int n,
-                                      uint64_t seed) {
+                                      uint64_t seed, RunContext* ctx) {
   ScenarioConfig cfg;
   cfg.bandwidth_mbps = 20.0 * n;
   cfg.rtt_ms = 30.0;
@@ -100,13 +141,29 @@ FairnessResult run_multiflow_fairness(const std::string& protocol, int n,
   }
   const TimeNs measure_start = from_sec(20.0 * n);
   const TimeNs measure_end = measure_start + from_sec(200);
-  sc.run_until(measure_end);
+  supervised_run_until(sc, measure_end, ctx);
+  if (ctx) check_invariants_or_throw(sc);
 
   FairnessResult r;
   for (Flow* f : flows) {
     r.flow_mbps.push_back(f->mean_throughput_mbps(measure_start, measure_end));
   }
   r.jain = jain_index(r.flow_mbps);
+  return r;
+}
+
+std::vector<double> to_doubles(const FairnessResult& r) {
+  std::vector<double> v{r.jain};
+  v.insert(v.end(), r.flow_mbps.begin(), r.flow_mbps.end());
+  return v;
+}
+
+FairnessResult fairness_from_doubles(const std::vector<double>& v) {
+  FairnessResult r;
+  if (!v.empty()) {
+    r.jain = v[0];
+    r.flow_mbps.assign(v.begin() + 1, v.end());
+  }
   return r;
 }
 

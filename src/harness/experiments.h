@@ -8,8 +8,16 @@
 
 #include "harness/parallel_runner.h"
 #include "harness/scenario.h"
+#include "harness/supervisor.h"
 
 namespace proteus {
+
+// Every routine below takes an optional supervisor RunContext. When one
+// is passed, the simulation advances under the watchdogs (wall-clock and
+// simulated-time), cooperates with SIGINT/SIGTERM, and the simulation
+// invariants are checked at the end of the run — a violation throws
+// InvariantViolationError, which the supervisor turns into a per-point
+// failure status. A null context runs unsupervised, exactly as before.
 
 // ---- Single-flow performance (Figs 3, 4, 9, 15, 16, 21) --------------
 
@@ -23,7 +31,12 @@ struct SingleFlowResult {
 SingleFlowResult run_single_flow(const std::string& protocol,
                                  const ScenarioConfig& cfg,
                                  TimeNs duration = from_sec(100),
-                                 TimeNs warmup = from_sec(20));
+                                 TimeNs warmup = from_sec(20),
+                                 RunContext* ctx = nullptr);
+
+// Checkpoint-payload adapters (harness/supervisor.h codec_from).
+std::vector<double> to_doubles(const SingleFlowResult& r);
+SingleFlowResult single_flow_from_doubles(const std::vector<double>& v);
 
 // ---- Scavenger vs primary (Figs 6, 7, 8, 10, 19, 20, 22) -------------
 
@@ -44,7 +57,11 @@ PairResult run_pair(const std::string& primary, const std::string& scavenger,
                     const ScenarioConfig& cfg,
                     TimeNs duration = from_sec(120),
                     TimeNs warmup = from_sec(30),
-                    TimeNs scavenger_delay = from_sec(5));
+                    TimeNs scavenger_delay = from_sec(5),
+                    RunContext* ctx = nullptr);
+
+std::vector<double> to_doubles(const PairResult& r);
+PairResult pair_from_doubles(const std::vector<double>& v);
 
 // ---- Homogeneous multi-flow fairness (Figs 5, 17, 18) ----------------
 
@@ -57,7 +74,11 @@ struct FairnessResult {
 // each started 20 s after the previous, measured for 200 s after the last
 // start.
 FairnessResult run_multiflow_fairness(const std::string& protocol, int n,
-                                      uint64_t seed = 1);
+                                      uint64_t seed = 1,
+                                      RunContext* ctx = nullptr);
+
+std::vector<double> to_doubles(const FairnessResult& r);
+FairnessResult fairness_from_doubles(const std::vector<double>& v);
 
 // Per-flow Mbps time series (1-second bins) for throughput-vs-time plots
 // (Figs 14, 18). Flow i starts at i * stagger.
@@ -73,5 +94,10 @@ std::vector<std::vector<double>> run_time_series(
 // re-exported here). Results come back in submission order and are
 // bit-identical to a serial loop for fixed seeds; see
 // tests/parallel_runner_test.cc for the pinned guarantee.
+//
+// For long or hostile sweeps, prefer run_supervised()
+// (harness/supervisor.h, re-exported here): same determinism on the happy
+// path, plus watchdog timeouts, retries with backoff, checkpoint/resume,
+// and repro bundles for points that finally fail.
 
 }  // namespace proteus

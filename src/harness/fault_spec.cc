@@ -1,6 +1,7 @@
 #include "harness/fault_spec.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace proteus {
@@ -180,6 +181,76 @@ FaultParseResult parse_faults(const std::string& spec) {
   }
   r.ok = true;
   return r;
+}
+
+namespace {
+
+// Formats nanoseconds in the tersest grammar-accepted form: bare seconds,
+// "<n>ms", or fractional ms for sub-millisecond values.
+std::string format_time(TimeNs t) {
+  char buf[48];
+  if (t % kNsPerSec == 0) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(t / kNsPerSec));
+  } else if (t % kNsPerMs == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(t / kNsPerMs));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6fms",
+                  static_cast<double>(t) / static_cast<double>(kNsPerMs));
+  }
+  return buf;
+}
+
+std::string format_number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string format_one(const FaultSpec& f) {
+  std::string out;
+  switch (f.type) {
+    case FaultType::kBlackout: out = "blackout"; break;
+    case FaultType::kCapacity: out = "capacity"; break;
+    case FaultType::kRouteChange: out = "route"; break;
+    case FaultType::kReorder: out = "reorder"; break;
+    case FaultType::kDuplicate: out = "duplicate"; break;
+    case FaultType::kAckLoss: out = "ackloss"; break;
+    case FaultType::kAckBurst: out = "ackburst"; break;
+  }
+  out += "@" + format_time(f.start);
+  switch (f.type) {
+    case FaultType::kCapacity:
+      out += ":x=" + format_number(f.value);
+      break;
+    case FaultType::kRouteChange:
+      out += ":delta=" + format_time(f.delay);
+      break;
+    case FaultType::kReorder:
+      out += ":p=" + format_number(f.value) + ":delta=" + format_time(f.delay);
+      break;
+    case FaultType::kDuplicate:
+    case FaultType::kAckLoss:
+      out += ":p=" + format_number(f.value);
+      break;
+    case FaultType::kBlackout:
+    case FaultType::kAckBurst:
+      break;
+  }
+  if (f.duration > 0) out += ":" + format_time(f.duration);
+  return out;
+}
+
+}  // namespace
+
+std::string format_faults(const std::vector<FaultSpec>& faults) {
+  std::string out;
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (i) out += ",";
+    out += format_one(faults[i]);
+  }
+  return out;
 }
 
 std::string fault_spec_usage() {

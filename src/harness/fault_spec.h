@@ -39,6 +39,12 @@ struct FaultParseResult {
 // Parses a full --faults= value. Empty input yields ok with no faults.
 FaultParseResult parse_faults(const std::string& spec);
 
+// Formats specs back into the grammar above, so a schedule can be
+// embedded in repro bundles and re-run verbatim:
+// parse_faults(format_faults(f)) round-trips (pinned by cli_test).
+// Empty input formats to "".
+std::string format_faults(const std::vector<FaultSpec>& faults);
+
 // One-line grammar reminder for --help / errors.
 std::string fault_spec_usage();
 

@@ -75,4 +75,57 @@ std::vector<T> run_parallel(std::vector<std::function<T()>> tasks, int jobs) {
   return results;
 }
 
+// Outcome of one task under run_parallel_settled: either a value or the
+// exception the task threw.
+template <typename T>
+struct TaskOutcome {
+  T value{};                 // default-constructed when the task threw
+  std::exception_ptr error;  // non-null when the task threw
+  bool ok() const { return !error; }
+};
+
+// Exception-safe variant of run_parallel: every task runs to completion
+// (nothing is abandoned), a throwing task records its exception in its
+// own slot instead of aborting the pool, and the call itself never
+// throws task errors. This is the worker boundary the run supervisor
+// (harness/supervisor.h) builds on: one crashing sweep point degrades to
+// a per-point failure while every other point still completes.
+template <typename T>
+std::vector<TaskOutcome<T>> run_parallel_settled(
+    std::vector<std::function<T()>> tasks, int jobs) {
+  if (jobs <= 0) jobs = default_job_count();
+  std::vector<TaskOutcome<T>> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  auto run_one = [&](size_t i) {
+    try {
+      results[i].value = tasks[i]();
+    } catch (...) {
+      results[i].error = std::current_exception();
+    }
+  };
+
+  const size_t workers = std::min(static_cast<size_t>(jobs), tasks.size());
+  if (workers <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) run_one(i);
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      run_one(i);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : threads) t.join();
+  return results;
+}
+
 }  // namespace proteus

@@ -1,0 +1,448 @@
+#include "harness/supervisor.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <limits>
+#include <thread>
+#include <unordered_map>
+
+#include "harness/fault_spec.h"
+#include "harness/invariants.h"
+
+namespace proteus {
+
+// ---- Statuses ----------------------------------------------------------
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kError: return "error";
+    case RunStatus::kTimeout: return "timeout";
+    case RunStatus::kInvariantViolation: return "invariant";
+    case RunStatus::kSkipped: return "skipped";
+  }
+  return "error";
+}
+
+RunStatus run_status_from_name(const std::string& name) {
+  if (name == "ok") return RunStatus::kOk;
+  if (name == "timeout") return RunStatus::kTimeout;
+  if (name == "invariant") return RunStatus::kInvariantViolation;
+  if (name == "skipped") return RunStatus::kSkipped;
+  return RunStatus::kError;
+}
+
+void check_invariants_or_throw(const Scenario& scenario) {
+  const InvariantReport report = check_invariants(scenario);
+  if (!report.ok()) throw InvariantViolationError(report.to_string());
+}
+
+// ---- Interrupt handling ------------------------------------------------
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupt = 0;
+
+extern "C" void supervisor_signal_handler(int) {
+  if (g_interrupt) std::_Exit(130);  // second signal: force-exit
+  g_interrupt = 1;
+}
+
+}  // namespace
+
+void install_interrupt_handler() {
+  struct sigaction sa{};
+  sa.sa_handler = supervisor_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool interrupt_requested() { return g_interrupt != 0; }
+void request_interrupt() { g_interrupt = 1; }
+void clear_interrupt() { g_interrupt = 0; }
+
+// ---- RunContext --------------------------------------------------------
+
+namespace {
+
+int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// splitmix64 finalizer: decorrelates retry seeds from the base seed and
+// from each other while staying a pure function of (base, attempt).
+uint64_t mix_attempt_seed(uint64_t base, int attempt) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RunContext::RunContext(int attempt, double wall_timeout_sec,
+                       double sim_timeout_sec, int trace_capacity)
+    : attempt_(attempt),
+      wall_deadline_ns_(wall_timeout_sec > 0.0
+                            ? steady_now_ns() +
+                                  static_cast<int64_t>(wall_timeout_sec * 1e9)
+                            : std::numeric_limits<int64_t>::max()),
+      sim_deadline_(sim_timeout_sec > 0.0 ? from_sec(sim_timeout_sec)
+                                          : kTimeInfinite),
+      trace_capacity_(trace_capacity > 0 ? static_cast<size_t>(trace_capacity)
+                                         : 1) {}
+
+uint64_t RunContext::attempt_seed(uint64_t base) const {
+  return attempt_ == 0 ? base : mix_attempt_seed(base, attempt_);
+}
+
+void RunContext::poll(TimeNs sim_now) {
+  if (interrupt_requested()) throw InterruptedError("interrupt requested");
+  if (steady_now_ns() > wall_deadline_ns_) {
+    throw RunTimeoutError("wall-clock watchdog fired (attempt " +
+                          std::to_string(attempt_ + 1) + ", sim t=" +
+                          std::to_string(to_sec(sim_now)) + "s)");
+  }
+  if (sim_now > sim_deadline_) {
+    throw RunTimeoutError("simulated-time watchdog fired at t=" +
+                          std::to_string(to_sec(sim_now)) + "s (attempt " +
+                          std::to_string(attempt_ + 1) + ")");
+  }
+}
+
+bool RunContext::cancelled() const {
+  return interrupt_requested() || steady_now_ns() > wall_deadline_ns_;
+}
+
+void RunContext::trace(std::string event) {
+  if (trace_.size() < trace_capacity_) {
+    trace_.push_back(std::move(event));
+  } else {
+    trace_[trace_start_] = std::move(event);
+    trace_start_ = (trace_start_ + 1) % trace_capacity_;
+  }
+}
+
+void supervised_run_until(Scenario& scenario, TimeNs until, RunContext* ctx) {
+  if (!ctx) {
+    scenario.run_until(until);
+    return;
+  }
+  constexpr TimeNs kChunk = from_ms(250);
+  TimeNs next_trace = 0;
+  TimeNs now = scenario.sim().now();
+  ctx->poll(now);
+  while (now < until) {
+    const TimeNs target = std::min(until, now + kChunk);
+    scenario.run_until(target);
+    now = std::max(scenario.sim().now(), target);
+    if (now >= next_trace) {
+      ctx->trace("sim advanced to t=" + std::to_string(to_sec(now)) + "s");
+      next_trace = now + kNsPerSec;
+    }
+    ctx->poll(now);
+  }
+}
+
+// ---- Descriptions ------------------------------------------------------
+
+std::string describe_scenario(const ScenarioConfig& cfg) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "bw=%gMbps rtt=%gms buffer=%lldB loss=%g seed=%llu wifi=%d "
+                "reordering=%d",
+                cfg.bandwidth_mbps, cfg.rtt_ms,
+                static_cast<long long>(cfg.buffer_bytes), cfg.random_loss,
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.wifi_noise ? 1 : 0, cfg.allow_reordering ? 1 : 0);
+  return buf;
+}
+
+RunInfo run_info(std::string name, const ScenarioConfig& cfg) {
+  RunInfo info;
+  info.name = std::move(name);
+  info.seed = cfg.seed;
+  info.scenario = describe_scenario(cfg);
+  info.faults = format_faults(cfg.faults);
+  return info;
+}
+
+// ---- Manifest / exit code ----------------------------------------------
+
+std::string failure_manifest(const std::vector<PointStatus>& statuses) {
+  size_t failed = 0, skipped = 0;
+  for (const PointStatus& s : statuses) {
+    if (s.status == RunStatus::kSkipped) ++skipped;
+    else if (s.status != RunStatus::kOk) ++failed;
+  }
+  if (failed == 0 && skipped == 0) return "";
+
+  std::string out;
+  if (failed > 0) {
+    out += std::to_string(failed) + " of " + std::to_string(statuses.size()) +
+           " sweep points failed:\n";
+    for (const PointStatus& s : statuses) {
+      if (s.status == RunStatus::kOk || s.status == RunStatus::kSkipped) {
+        continue;
+      }
+      out += "  point " + std::to_string(s.index);
+      if (!s.name.empty()) out += " (" + s.name + ")";
+      out += ": " + std::string(run_status_name(s.status)) + " after " +
+             std::to_string(s.attempts) + " attempt(s)";
+      if (!s.error.empty()) out += ": " + s.error;
+      if (!s.bundle_path.empty()) out += " [repro: " + s.bundle_path + "]";
+      out += "\n";
+    }
+  }
+  if (skipped > 0) {
+    out += std::to_string(skipped) +
+           " point(s) skipped (interrupted before completion)\n";
+  }
+  return out;
+}
+
+int supervised_exit_code(const std::vector<PointStatus>& statuses,
+                         bool interrupted) {
+  if (interrupted) return 130;
+  for (const PointStatus& s : statuses) {
+    if (s.status != RunStatus::kOk && s.status != RunStatus::kSkipped) {
+      return 3;
+    }
+  }
+  return 0;
+}
+
+// ---- Engine ------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+std::string sanitize_for_path(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '_' || c == '.')
+               ? c
+               : '-';
+  }
+  return out.empty() ? "sweep" : out;
+}
+
+// Writes the self-contained repro bundle for a finally-failed point.
+// Returns the bundle path, or "" when writing was not possible.
+std::string write_repro_bundle(const SupervisorConfig& cfg,
+                               const ErasedTask& task, const PointStatus& st,
+                               const std::vector<std::string>& trace) {
+  if (cfg.bundle_dir.empty()) return "";
+  ::mkdir(cfg.bundle_dir.c_str(), 0777);  // EEXIST is fine
+  const std::string path = cfg.bundle_dir + "/" +
+                           sanitize_for_path(cfg.sweep_name) + "-point" +
+                           std::to_string(st.index) + ".repro";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return "";
+  std::fprintf(f, "# proteus repro bundle\n");
+  std::fprintf(f, "point: %lld\n", static_cast<long long>(st.index));
+  std::fprintf(f, "name: %s\n", task.info.name.c_str());
+  std::fprintf(f, "status: %s\n", run_status_name(st.status));
+  std::fprintf(f, "attempts: %d\n", st.attempts);
+  std::fprintf(f, "error: %s\n", st.error.c_str());
+  std::fprintf(f, "seed: %llu\n",
+               static_cast<unsigned long long>(task.info.seed));
+  std::fprintf(f, "attempt_seeds:");
+  for (int a = 0; a < st.attempts; ++a) {
+    const RunContext ctx(a, 0.0, 0.0, 1);
+    std::fprintf(f, " %llu",
+                 static_cast<unsigned long long>(
+                     ctx.attempt_seed(task.info.seed)));
+  }
+  std::fprintf(f, "\n");
+  std::fprintf(f, "scenario: %s\n", task.info.scenario.c_str());
+  std::fprintf(f, "faults: %s\n",
+               task.info.faults.empty() ? "(none)" : task.info.faults.c_str());
+  std::fprintf(f, "cli: %s\n",
+               task.info.cli.empty() ? "(not provided)" : task.info.cli.c_str());
+  std::fprintf(f, "trace (last %zu events of the final attempt):\n",
+               trace.size());
+  for (const std::string& ev : trace) std::fprintf(f, "  %s\n", ev.c_str());
+  std::fclose(f);
+  return path;
+}
+
+// Exponential backoff between attempts, polling the interrupt flag so
+// Ctrl-C is not delayed by a sleeping worker.
+void backoff_sleep(const SupervisorConfig& cfg, int failed_attempt) {
+  double delay = cfg.backoff_base_sec;
+  for (int i = 0; i < failed_attempt; ++i) delay *= 2.0;
+  if (delay > cfg.backoff_max_sec) delay = cfg.backoff_max_sec;
+  const int64_t deadline =
+      steady_now_ns() + static_cast<int64_t>(delay * 1e9);
+  while (steady_now_ns() < deadline && !interrupt_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void write_results_csv(const SupervisorConfig& cfg,
+                       const std::vector<PointStatus>& statuses,
+                       const std::vector<std::string>& payloads) {
+  if (cfg.csv_path.empty()) return;
+  std::FILE* f = std::fopen(cfg.csv_path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "supervisor: could not write %s\n",
+                 cfg.csv_path.c_str());
+    return;
+  }
+  std::fprintf(f, "point,status,attempts,result\n");
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const PointStatus& s = statuses[i];
+    if (s.status == RunStatus::kSkipped) continue;  // unfinished: no row
+    std::fprintf(f, "%lld,%s,%d,%s\n", static_cast<long long>(s.index),
+                 run_status_name(s.status), s.attempts,
+                 s.status == RunStatus::kOk ? payloads[i].c_str() : "");
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+ErasedSweep run_supervised_erased(std::vector<ErasedTask> tasks,
+                                  const SupervisorConfig& cfg) {
+  ErasedSweep sweep;
+  sweep.payloads.resize(tasks.size());
+  sweep.statuses.resize(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    sweep.statuses[i].index = static_cast<int64_t>(i);
+    sweep.statuses[i].name = tasks[i].info.name;
+  }
+
+  // Resume: satisfy points the journal records as ok. Failed entries are
+  // re-run — "finished" means a usable result, and a flaky failure may
+  // pass on a fresh attempt.
+  std::unordered_map<int64_t, const CheckpointEntry*> done;
+  CheckpointLoadResult loaded;
+  if (cfg.resume && !cfg.checkpoint_path.empty()) {
+    loaded = load_checkpoint(cfg.checkpoint_path);
+    if (loaded.found) {
+      if (loaded.header.sweep != cfg.sweep_name ||
+          loaded.header.points != static_cast<int64_t>(tasks.size())) {
+        throw std::runtime_error(
+            "checkpoint journal " + cfg.checkpoint_path + " is for sweep '" +
+            loaded.header.sweep + "' with " +
+            std::to_string(loaded.header.points) + " points, not '" +
+            cfg.sweep_name + "' with " + std::to_string(tasks.size()) +
+            " — refusing to resume");
+      }
+      for (const CheckpointEntry& e : loaded.entries) {
+        if (e.status == "ok" && e.point >= 0 &&
+            e.point < static_cast<int64_t>(tasks.size())) {
+          done[e.point] = &e;
+        }
+      }
+    }
+  }
+
+  CheckpointJournal journal;
+  if (!cfg.checkpoint_path.empty()) {
+    CheckpointHeader header{cfg.sweep_name,
+                            static_cast<int64_t>(tasks.size())};
+    if (!journal.open(cfg.checkpoint_path, header, /*keep_existing=*/cfg.resume)) {
+      std::fprintf(stderr, "supervisor: could not open journal %s\n",
+                   cfg.checkpoint_path.c_str());
+    }
+  }
+
+  std::vector<std::function<int()>> workers;
+  workers.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (const auto it = done.find(static_cast<int64_t>(i)); it != done.end()) {
+      PointStatus& st = sweep.statuses[i];
+      st.status = RunStatus::kOk;
+      st.attempts = it->second->attempts;
+      st.from_checkpoint = true;
+      sweep.payloads[i] = it->second->payload;
+      continue;
+    }
+    workers.push_back([i, &tasks, &sweep, &cfg, &journal]() -> int {
+      const ErasedTask& task = tasks[i];
+      PointStatus& st = sweep.statuses[i];
+      std::vector<std::string> last_trace;
+      for (int attempt = 0; attempt <= cfg.retries; ++attempt) {
+        if (interrupt_requested()) {
+          st.status = RunStatus::kSkipped;
+          return 0;
+        }
+        RunContext ctx(attempt, cfg.run_timeout_sec, cfg.sim_timeout_sec,
+                       cfg.bundle_trace_events);
+        ++st.attempts;
+        try {
+          sweep.payloads[i] = task.run(ctx);
+          st.status = RunStatus::kOk;
+          st.error.clear();
+          journal.append({st.index, "ok", st.attempts, sweep.payloads[i], ""});
+          return 0;
+        } catch (const InterruptedError&) {
+          st.status = RunStatus::kSkipped;
+          return 0;  // unfinished: resume re-runs it
+        } catch (const RunTimeoutError& e) {
+          st.status = RunStatus::kTimeout;
+          st.error = e.what();
+        } catch (const InvariantViolationError& e) {
+          st.status = RunStatus::kInvariantViolation;
+          st.error = e.what();
+        } catch (const std::exception& e) {
+          st.status = RunStatus::kError;
+          st.error = e.what();
+        } catch (...) {
+          st.status = RunStatus::kError;
+          st.error = "unknown exception";
+        }
+        last_trace = ctx.trace_events();
+        if (attempt < cfg.retries) backoff_sleep(cfg, attempt);
+      }
+      // Final failure: journal it and emit the repro bundle.
+      st.bundle_path = write_repro_bundle(cfg, task, st, last_trace);
+      journal.append({st.index, run_status_name(st.status), st.attempts, "",
+                      st.error});
+      return 0;
+    });
+  }
+
+  // The settled runner is the worker boundary: even an exception escaping
+  // the per-attempt handling above (e.g. from journal I/O) degrades that
+  // one point instead of aborting the pool.
+  const std::vector<TaskOutcome<int>> outcomes =
+      run_parallel_settled(std::move(workers), cfg.jobs);
+  size_t w = 0;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (sweep.statuses[i].from_checkpoint) continue;
+    const TaskOutcome<int>& outcome = outcomes[w++];
+    if (!outcome.ok() && sweep.statuses[i].status == RunStatus::kOk) {
+      PointStatus& st = sweep.statuses[i];
+      st.status = RunStatus::kError;
+      try {
+        std::rethrow_exception(outcome.error);
+      } catch (const std::exception& e) {
+        st.error = std::string("supervisor wrapper failed: ") + e.what();
+      } catch (...) {
+        st.error = "supervisor wrapper failed";
+      }
+    }
+  }
+
+  sweep.interrupted = interrupt_requested();
+  journal.flush();
+  write_results_csv(cfg, sweep.statuses, sweep.payloads);
+  return sweep;
+}
+
+}  // namespace detail
+
+}  // namespace proteus

@@ -1,0 +1,289 @@
+// Run supervisor: watchdogs, retries, checkpoint/resume, and repro
+// bundles for sweep execution.
+//
+// run_parallel() (parallel_runner.h) gives a sweep raw throughput but no
+// fault tolerance: one hanging or crashing point used to take the whole
+// bench with it. run_supervised() wraps every sweep point with
+//
+//   * a wall-clock and a simulated-time watchdog (cooperative: tasks poll
+//     their RunContext, and supervised_run_until() polls for any task
+//     built on Scenario),
+//   * bounded retries with exponential backoff, each retry on a fresh
+//     deterministic RNG sub-stream (RunContext::attempt_seed),
+//   * exception capture at the worker boundary — a failed point becomes a
+//     per-point status, never a terminated pool,
+//   * a JSONL checkpoint journal (harness/checkpoint.h) so an interrupted
+//     or killed sweep resumes with --resume=<journal>, skipping finished
+//     points and reproducing the uninterrupted CSV byte-for-byte,
+//   * a self-contained repro bundle on final failure: exact CLI line,
+//     seed(s), scenario + fault spec, and the last N trace events.
+//
+// The first attempt of every point runs with the caller's exact seed, so
+// a supervised sweep with no failures is bit-identical to the
+// unsupervised run_parallel() sweep it replaces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/checkpoint.h"
+#include "harness/parallel_runner.h"
+#include "harness/scenario.h"
+
+namespace proteus {
+
+// ---- Statuses and errors ----------------------------------------------
+
+enum class RunStatus {
+  kOk,
+  kError,               // task threw (anything but the watchdog/invariants)
+  kTimeout,             // wall-clock or simulated-time watchdog fired
+  kInvariantViolation,  // check_invariants_or_throw() tripped
+  kSkipped,             // never ran (interrupt arrived first)
+};
+
+const char* run_status_name(RunStatus status);          // "ok", "timeout", ...
+RunStatus run_status_from_name(const std::string& name);  // inverse
+
+// Thrown by RunContext::poll when a watchdog budget is exhausted.
+struct RunTimeoutError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown by RunContext::poll when the process-wide interrupt flag is set
+// (SIGINT/SIGTERM). The supervisor marks the point skipped, not failed.
+struct InterruptedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown by check_invariants_or_throw on a violated simulation invariant.
+struct InvariantViolationError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Runs check_invariants(scenario) and throws InvariantViolationError with
+// the report text on failure, so a broken simulation surfaces as a
+// per-run failure status instead of a process-level abort.
+void check_invariants_or_throw(const Scenario& scenario);
+
+// ---- Interrupt handling -----------------------------------------------
+
+// Installs SIGINT/SIGTERM handlers that set the process-wide interrupt
+// flag (a second signal force-exits). Workers notice at their next poll,
+// the journal is already flushed per line, and the caller writes any
+// partial CSV before exiting — Ctrl-C never loses completed points.
+void install_interrupt_handler();
+bool interrupt_requested();
+// Programmatic equivalents of the signal, for tests.
+void request_interrupt();
+void clear_interrupt();
+
+// ---- Per-attempt context ----------------------------------------------
+
+// Handed to each task attempt. Single-threaded: owned by the worker
+// running the attempt.
+class RunContext {
+ public:
+  // timeout args <= 0 disable that watchdog.
+  RunContext(int attempt, double wall_timeout_sec, double sim_timeout_sec,
+             int trace_capacity);
+
+  int attempt() const { return attempt_; }
+
+  // Deterministic per-attempt seed: `base` itself on the first attempt
+  // (bit-identical to an unsupervised run), an independent mixed
+  // sub-stream on every retry.
+  uint64_t attempt_seed(uint64_t base) const;
+
+  // Cooperative watchdog/cancellation poll. Throws RunTimeoutError when
+  // the wall-clock or simulated-time budget is exhausted and
+  // InterruptedError when the process-wide interrupt flag is set. Pass
+  // the current simulated time when available (0 otherwise).
+  void poll(TimeNs sim_now = 0);
+
+  // True when poll() would throw for wall-clock/interrupt reasons; lets
+  // loops wind down without exceptions.
+  bool cancelled() const;
+
+  // Appends an event to the bounded trace ring kept for repro bundles.
+  void trace(std::string event);
+  const std::vector<std::string>& trace_events() const { return trace_; }
+
+  TimeNs sim_deadline() const { return sim_deadline_; }
+
+ private:
+  int attempt_;
+  int64_t wall_deadline_ns_;  // steady-clock ns since epoch; max = none
+  TimeNs sim_deadline_;       // kTimeInfinite = none
+  size_t trace_capacity_;
+  size_t trace_start_ = 0;  // ring: logical first element within trace_
+  std::vector<std::string> trace_;
+};
+
+// Advances `scenario` to simulated time `until` in chunks, polling the
+// context between chunks so the watchdogs and interrupts fire promptly.
+// Also records coarse progress events in the context's trace ring. A null
+// context degenerates to scenario.run_until(until).
+void supervised_run_until(Scenario& scenario, TimeNs until, RunContext* ctx);
+
+// ---- Sweep description -------------------------------------------------
+
+struct SupervisorConfig {
+  int jobs = 0;                   // run_parallel worker count (0 = default)
+  int retries = 0;                // extra attempts after the first failure
+  double run_timeout_sec = 0.0;   // wall-clock watchdog per attempt (0 = off)
+  double sim_timeout_sec = 0.0;   // simulated-time watchdog per attempt (0 = off)
+  double backoff_base_sec = 0.1;  // first retry delay; doubles per retry
+  double backoff_max_sec = 5.0;
+  std::string sweep_name;         // journal identity; checked on resume
+  std::string checkpoint_path;    // JSONL journal ("" = no journal)
+  bool resume = false;            // load the journal first, skip ok points
+  std::string csv_path;           // results CSV ("" = none)
+  std::string bundle_dir;         // repro bundles on final failure ("" = off)
+  int bundle_trace_events = 50;   // trace-ring capacity per attempt
+};
+
+// Repro-bundle metadata describing one sweep point.
+struct RunInfo {
+  std::string name;      // human label, e.g. "buffer=1500 proto=cubic"
+  std::string cli;       // exact command line that re-runs this point
+  uint64_t seed = 0;     // base seed (attempt 0)
+  std::string scenario;  // describe_scenario(cfg)
+  std::string faults;    // format_faults(cfg.faults)
+};
+
+// One-line summary of a ScenarioConfig for bundles and manifests.
+std::string describe_scenario(const ScenarioConfig& cfg);
+
+// Builds a RunInfo from a scenario config (seed/scenario/faults filled).
+RunInfo run_info(std::string name, const ScenarioConfig& cfg);
+
+template <typename T>
+struct SupervisedTask {
+  std::function<T(RunContext&)> run;
+  RunInfo info;
+};
+
+// ---- Results -----------------------------------------------------------
+
+struct PointStatus {
+  int64_t index = 0;
+  std::string name;  // RunInfo::name of the point
+  RunStatus status = RunStatus::kSkipped;
+  int attempts = 0;
+  bool from_checkpoint = false;  // satisfied by the resume journal
+  std::string error;             // failure message (final attempt)
+  std::string bundle_path;       // repro bundle, when one was written
+};
+
+// Human-readable failure manifest ("" when nothing failed or was skipped).
+std::string failure_manifest(const std::vector<PointStatus>& statuses);
+// 0 = all ok; 130 = interrupted; 3 = at least one point failed.
+int supervised_exit_code(const std::vector<PointStatus>& statuses,
+                         bool interrupted);
+
+template <typename T>
+struct SupervisedSweep {
+  std::vector<T> results;  // default-constructed for failed/skipped points
+  std::vector<PointStatus> statuses;
+  bool interrupted = false;
+
+  size_t failures() const {
+    size_t n = 0;
+    for (const PointStatus& s : statuses) {
+      if (s.status != RunStatus::kOk && s.status != RunStatus::kSkipped) ++n;
+    }
+    return n;
+  }
+  bool ok() const { return failures() == 0 && !interrupted; }
+  std::string manifest() const { return failure_manifest(statuses); }
+  int exit_code() const { return supervised_exit_code(statuses, interrupted); }
+};
+
+// Encodes a result to the checkpoint payload string and back. decode is
+// only called on payloads produced by encode (possibly in a previous
+// process, via the journal).
+template <typename T>
+struct ResultCodec {
+  std::function<std::string(const T&)> encode;
+  std::function<T(const std::string&)> decode;
+};
+
+inline ResultCodec<double> scalar_codec() {
+  return {[](const double& v) { return encode_doubles({v}); },
+          [](const std::string& s) {
+            const std::vector<double> v = decode_doubles(s);
+            return v.empty() ? 0.0 : v[0];
+          }};
+}
+
+inline ResultCodec<std::vector<double>> vector_codec() {
+  return {[](const std::vector<double>& v) { return encode_doubles(v); },
+          [](const std::string& s) { return decode_doubles(s); }};
+}
+
+// Codec for any T convertible to/from a flat vector<double>.
+template <typename T>
+ResultCodec<T> codec_from(std::function<std::vector<double>(const T&)> to,
+                          std::function<T(const std::vector<double>&)> from) {
+  return {[to = std::move(to)](const T& v) { return encode_doubles(to(v)); },
+          [from = std::move(from)](const std::string& s) {
+            return from(decode_doubles(s));
+          }};
+}
+
+// ---- Engine ------------------------------------------------------------
+
+namespace detail {
+
+struct ErasedTask {
+  std::function<std::string(RunContext&)> run;  // returns encoded payload
+  RunInfo info;
+};
+
+struct ErasedSweep {
+  std::vector<std::string> payloads;
+  std::vector<PointStatus> statuses;
+  bool interrupted = false;
+};
+
+// The type-erased core; see supervisor.cc. Throws std::runtime_error on a
+// resume-journal identity mismatch (wrong sweep name / point count).
+ErasedSweep run_supervised_erased(std::vector<ErasedTask> tasks,
+                                  const SupervisorConfig& cfg);
+
+}  // namespace detail
+
+// Runs the sweep under supervision. Results decode from payloads — both
+// fresh and journal-resumed points go through the same encode/decode
+// round trip, which is what makes resumed output bit-identical.
+template <typename T>
+SupervisedSweep<T> run_supervised(std::vector<SupervisedTask<T>> tasks,
+                                  const SupervisorConfig& cfg,
+                                  const ResultCodec<T>& codec) {
+  std::vector<detail::ErasedTask> erased;
+  erased.reserve(tasks.size());
+  for (SupervisedTask<T>& t : tasks) {
+    erased.push_back({[fn = std::move(t.run),
+                       enc = codec.encode](RunContext& ctx) { return enc(fn(ctx)); },
+                      std::move(t.info)});
+  }
+  detail::ErasedSweep base =
+      detail::run_supervised_erased(std::move(erased), cfg);
+
+  SupervisedSweep<T> out;
+  out.statuses = std::move(base.statuses);
+  out.interrupted = base.interrupted;
+  out.results.resize(base.payloads.size());
+  for (size_t i = 0; i < base.payloads.size(); ++i) {
+    if (out.statuses[i].status == RunStatus::kOk) {
+      out.results[i] = codec.decode(base.payloads[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace proteus

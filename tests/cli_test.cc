@@ -117,6 +117,64 @@ TEST(Cli, ParseJobsFlagHelper) {
   EXPECT_TRUE(error.empty());
 }
 
+TEST(Cli, ParseSupervisorFlagHelper) {
+  // Shared by the sweep benches and parse_cli; same three-outcome contract
+  // as parse_jobs_flag.
+  SupervisorConfig cfg;
+  std::string error;
+  EXPECT_TRUE(parse_supervisor_flag("--retries=3", cfg, error));
+  EXPECT_EQ(cfg.retries, 3);
+  EXPECT_TRUE(parse_supervisor_flag("--run-timeout=2.5", cfg, error));
+  EXPECT_DOUBLE_EQ(cfg.run_timeout_sec, 2.5);
+  EXPECT_TRUE(parse_supervisor_flag("--sim-timeout=120", cfg, error));
+  EXPECT_DOUBLE_EQ(cfg.sim_timeout_sec, 120.0);
+  EXPECT_TRUE(parse_supervisor_flag("--checkpoint=j.jsonl", cfg, error));
+  EXPECT_EQ(cfg.checkpoint_path, "j.jsonl");
+  EXPECT_FALSE(cfg.resume);
+  EXPECT_TRUE(parse_supervisor_flag("--resume=k.jsonl", cfg, error));
+  EXPECT_EQ(cfg.checkpoint_path, "k.jsonl");
+  EXPECT_TRUE(cfg.resume);
+  EXPECT_TRUE(parse_supervisor_flag("--bundle-dir=out", cfg, error));
+  EXPECT_EQ(cfg.bundle_dir, "out");
+  EXPECT_TRUE(error.empty());
+
+  // Malformed supervisor flags: false with the error set.
+  for (const char* bad :
+       {"--retries=", "--retries=no", "--retries=-1", "--retries=101",
+        "--run-timeout=abc", "--sim-timeout=-5", "--checkpoint=",
+        "--resume=", "--bundle-dir="}) {
+    SupervisorConfig fresh;
+    error.clear();
+    EXPECT_FALSE(parse_supervisor_flag(bad, fresh, error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+
+  // Unrelated flags: false with no error.
+  error.clear();
+  EXPECT_FALSE(parse_supervisor_flag("--jobs=4", cfg, error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_FALSE(parse_supervisor_flag("--bw=50", cfg, error));
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(Cli, SupervisorFlagsParseIntoOptions) {
+  const auto r = parse({"--flows=cubic", "--jobs=2", "--retries=2",
+                        "--run-timeout=30", "--sim-timeout=500",
+                        "--resume=cp.jsonl", "--bundle-dir=bundles"});
+  ASSERT_TRUE(r.ok) << r.error;
+  const SupervisorConfig& sup = r.options.supervisor;
+  EXPECT_EQ(sup.retries, 2);
+  EXPECT_DOUBLE_EQ(sup.run_timeout_sec, 30.0);
+  EXPECT_DOUBLE_EQ(sup.sim_timeout_sec, 500.0);
+  EXPECT_EQ(sup.checkpoint_path, "cp.jsonl");
+  EXPECT_TRUE(sup.resume);
+  EXPECT_EQ(sup.bundle_dir, "bundles");
+  EXPECT_EQ(sup.jobs, 2);  // mirrored from --jobs
+
+  EXPECT_FALSE(parse({"--flows=cubic", "--retries=oops"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--run-timeout=-1"}).ok);
+}
+
 TEST(Cli, AcceptsEveryRegistryProtocol) {
   for (const char* proto :
        {"cubic", "bbr", "bbr-s", "copa", "vivace", "allegro", "ledbat",
@@ -171,6 +229,42 @@ TEST(FaultSpecGrammar, TimeSuffixesAndDefaults) {
   ASSERT_TRUE(p.ok) << p.error;
   EXPECT_EQ(p.faults[0].duration, 0);
   EXPECT_EQ(p.faults[0].end(), kTimeInfinite);
+}
+
+TEST(FaultSpecGrammar, FormatRoundTrips) {
+  // format_faults() output (used in repro bundles) must re-parse to the
+  // exact same schedule, so a bundle's fault line is directly runnable.
+  const std::string specs[] = {
+      "blackout@5:2",
+      "blackout@5",
+      "capacity@10:x=0.25:20",
+      "route@10:delta=40ms",
+      "route@2500ms:delta=-5ms:750ms",
+      "reorder@10:p=0.05:delta=25ms:5",
+      "duplicate@12:p=0.01",
+      "ackloss@14:p=0.3:5",
+      "ackburst@16:500ms",
+      "blackout@5:2,capacity@10:x=0.5:20,ackburst@16:500ms",
+  };
+  for (const std::string& spec : specs) {
+    const FaultParseResult first = parse_faults(spec);
+    ASSERT_TRUE(first.ok) << spec << ": " << first.error;
+    const std::string formatted = format_faults(first.faults);
+    const FaultParseResult second = parse_faults(formatted);
+    ASSERT_TRUE(second.ok) << spec << " -> " << formatted << ": "
+                           << second.error;
+    ASSERT_EQ(second.faults.size(), first.faults.size()) << formatted;
+    for (size_t i = 0; i < first.faults.size(); ++i) {
+      EXPECT_EQ(second.faults[i].type, first.faults[i].type) << formatted;
+      EXPECT_EQ(second.faults[i].start, first.faults[i].start) << formatted;
+      EXPECT_EQ(second.faults[i].duration, first.faults[i].duration)
+          << formatted;
+      EXPECT_DOUBLE_EQ(second.faults[i].value, first.faults[i].value)
+          << formatted;
+      EXPECT_EQ(second.faults[i].delay, first.faults[i].delay) << formatted;
+    }
+  }
+  EXPECT_EQ(format_faults({}), "");
 }
 
 TEST(FaultSpecGrammar, EmptySpecIsOkAndEmpty) {

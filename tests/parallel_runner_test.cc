@@ -104,6 +104,68 @@ TEST(ParallelRunner, ExceptionAbandonsRemainingTasks) {
   EXPECT_EQ(executions.load(), 4);  // tasks 0..3 ran, 4..19 abandoned
 }
 
+// ---- run_parallel_settled: exception-safe variant ---------------------
+
+TEST(ParallelRunner, SettledRunsEveryTaskDespiteFailures) {
+  // Unlike run_parallel, a throwing task must not abandon the rest of the
+  // queue: every task runs, failures land as per-slot errors.
+  for (int jobs : {1, 4}) {
+    std::atomic<int> executions{0};
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 20; ++i) {
+      tasks.push_back([i, &executions]() -> int {
+        executions.fetch_add(1);
+        if (i % 5 == 3) throw std::runtime_error("task " + std::to_string(i));
+        return i * 2;
+      });
+    }
+    const std::vector<TaskOutcome<int>> outcomes =
+        run_parallel_settled(std::move(tasks), jobs);
+    ASSERT_EQ(outcomes.size(), 20u) << "jobs=" << jobs;
+    EXPECT_EQ(executions.load(), 20) << "jobs=" << jobs;
+    for (int i = 0; i < 20; ++i) {
+      const TaskOutcome<int>& o = outcomes[static_cast<size_t>(i)];
+      if (i % 5 == 3) {
+        EXPECT_FALSE(o.ok()) << "task " << i;
+        EXPECT_THROW(std::rethrow_exception(o.error), std::runtime_error);
+      } else {
+        ASSERT_TRUE(o.ok()) << "task " << i;
+        EXPECT_EQ(o.value, i * 2);
+      }
+    }
+  }
+}
+
+TEST(ParallelRunner, SettledAllFailingStillCompletes) {
+  // All tasks throwing is the worst case: the pool must drain and return
+  // (no deadlock, no std::terminate), with every slot holding its error.
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([]() -> int { throw std::runtime_error("boom"); });
+  }
+  const std::vector<TaskOutcome<int>> outcomes =
+      run_parallel_settled(std::move(tasks), 4);
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (const TaskOutcome<int>& o : outcomes) EXPECT_FALSE(o.ok());
+}
+
+TEST(ParallelRunner, SettledEmptyQueue) {
+  std::vector<std::function<int()>> tasks;
+  EXPECT_TRUE(run_parallel_settled(std::move(tasks), 4).empty());
+}
+
+TEST(ParallelRunner, SettledPreservesSubmissionOrder) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 50; ++i) tasks.push_back([i] { return 100 + i; });
+  const std::vector<TaskOutcome<int>> outcomes =
+      run_parallel_settled(std::move(tasks), 8);
+  ASSERT_EQ(outcomes.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(outcomes[static_cast<size_t>(i)].ok());
+    EXPECT_EQ(outcomes[static_cast<size_t>(i)].value, 100 + i);
+  }
+}
+
 // ---- Determinism: parallel sweeps are bit-identical to serial ---------
 
 // The guarantee the bench binaries depend on: for fixed seeds, a sweep run

@@ -473,6 +473,90 @@ TEST(FaultTimeline, ZeroSampleMiYieldsDefinedMetrics) {
   EXPECT_TRUE(std::isfinite(AllegroUtility().eval(m)));
 }
 
+// ---- FaultTimeline edge cases -------------------------------------------
+
+TEST(FaultTimeline, OverlappingBlackoutsClearAtLatestEnd) {
+  // Two overlapping windows [1,4) and [3,6): the link is dark across the
+  // union, and clear_time from inside either window is the union's end.
+  std::vector<FaultSpec> faults(2);
+  faults[0] = {FaultType::kBlackout, from_sec(1), from_sec(3), 0.0, 0};
+  faults[1] = {FaultType::kBlackout, from_sec(3), from_sec(3), 0.0, 0};
+  FaultTimeline tl(faults, 1);
+  EXPECT_FALSE(tl.blackout_active(from_sec(0.5)));
+  EXPECT_TRUE(tl.blackout_active(from_sec(2)));
+  EXPECT_TRUE(tl.blackout_active(from_sec(4.5)));  // inside only the second
+  EXPECT_FALSE(tl.blackout_active(from_sec(6)));
+  EXPECT_EQ(tl.blackout_clear_time(from_sec(2)), from_sec(6));
+  EXPECT_EQ(tl.blackout_clear_time(from_sec(5)), from_sec(6));
+  EXPECT_EQ(tl.blackout_clear_time(from_sec(7)), from_sec(7));  // already clear
+}
+
+TEST(FaultTimeline, BackToBackBlackoutsActAsOne) {
+  // [1,3) then [3,5): no gap at the boundary; clear_time jumps past both.
+  std::vector<FaultSpec> faults(2);
+  faults[0] = {FaultType::kBlackout, from_sec(1), from_sec(2), 0.0, 0};
+  faults[1] = {FaultType::kBlackout, from_sec(3), from_sec(2), 0.0, 0};
+  FaultTimeline tl(faults, 1);
+  EXPECT_TRUE(tl.blackout_active(from_sec(3)));  // boundary instant is dark
+  EXPECT_EQ(tl.blackout_clear_time(from_sec(1.5)), from_sec(5));
+}
+
+TEST(FaultTimeline, ZeroDurationMeansPermanent) {
+  FaultSpec spec{FaultType::kBlackout, from_sec(2), 0, 0.0, 0};
+  EXPECT_EQ(spec.end(), kTimeInfinite);
+  EXPECT_FALSE(spec.active(from_sec(1)));
+  EXPECT_TRUE(spec.active(from_sec(2)));
+  EXPECT_TRUE(spec.active(from_sec(1e6)));
+
+  FaultTimeline tl({spec}, 1);
+  EXPECT_TRUE(tl.blackout_active(from_sec(100)));
+  EXPECT_EQ(tl.blackout_clear_time(from_sec(3)), kTimeInfinite);
+}
+
+TEST(FaultTimeline, FaultStartingAtTimeZeroIsActiveImmediately) {
+  std::vector<FaultSpec> faults(2);
+  faults[0] = {FaultType::kCapacity, 0, from_sec(5), 0.5, 0};
+  faults[1] = {FaultType::kRouteChange, 0, 0, 0.0, from_ms(10)};
+  FaultTimeline tl(faults, 1);
+  EXPECT_EQ(tl.capacity_multiplier(0), 0.5);
+  EXPECT_EQ(tl.prop_delay_delta(0), from_ms(10));
+  EXPECT_EQ(tl.capacity_multiplier(from_sec(5)), 1.0);  // window closed
+  EXPECT_EQ(tl.prop_delay_delta(from_sec(5)), from_ms(10));  // permanent
+}
+
+TEST(FaultTimeline, OverlappingCapacityAndRouteFaultsCompose) {
+  // Capacity multipliers multiply; route deltas sum (including negative).
+  std::vector<FaultSpec> faults(4);
+  faults[0] = {FaultType::kCapacity, from_sec(1), from_sec(4), 0.5, 0};
+  faults[1] = {FaultType::kCapacity, from_sec(2), from_sec(4), 0.2, 0};
+  faults[2] = {FaultType::kRouteChange, from_sec(1), from_sec(4), 0.0,
+               from_ms(20)};
+  faults[3] = {FaultType::kRouteChange, from_sec(2), from_sec(4), 0.0,
+               -from_ms(5)};
+  FaultTimeline tl(faults, 1);
+  EXPECT_EQ(tl.capacity_multiplier(from_sec(1.5)), 0.5);  // only the first
+  EXPECT_DOUBLE_EQ(tl.capacity_multiplier(from_sec(3)), 0.5 * 0.2);  // both
+  EXPECT_DOUBLE_EQ(tl.capacity_multiplier(from_sec(5.5)), 0.2);  // only 2nd
+  EXPECT_EQ(tl.capacity_multiplier(from_sec(6)), 1.0);  // all closed
+  EXPECT_EQ(tl.prop_delay_delta(from_sec(3)), from_ms(20) - from_ms(5));
+  EXPECT_EQ(tl.prop_delay_delta(from_sec(5.5)), -from_ms(5));
+}
+
+TEST(FaultTimeline, ZeroDurationBlackoutAtZeroNeverClears) {
+  // The degenerate corner: permanent blackout from t=0. A scenario under
+  // it must still terminate (senders starve, nothing is delivered).
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 10.0;
+  cfg.seed = 5;
+  cfg.faults = {{FaultType::kBlackout, 0, 0, 0.0, 0}};
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("cubic", 0);
+  sc.run_until(from_sec(10));
+  EXPECT_EQ(f.sender().stats().bytes_delivered, 0);
+  const InvariantReport report = check_invariants(sc);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
 TEST(Allegro, UtilityShape) {
   AllegroUtility u;
   MiMetrics m;

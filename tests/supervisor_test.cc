@@ -1,0 +1,640 @@
+// Tests for the run supervisor (harness/supervisor.h) and its checkpoint
+// journal (harness/checkpoint.h): payload codec exactness, watchdogs,
+// retries with deterministic sub-seeds, repro bundles, interrupt handling,
+// and the headline guarantee — a sweep killed mid-run and resumed with
+// --resume produces a byte-identical results CSV.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/checkpoint.h"
+#include "harness/supervisor.h"
+
+namespace proteus {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "supervisor_test_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+// ---- Payload codec -----------------------------------------------------
+
+TEST(Checkpoint, DoubleCodecRoundTripsExactly) {
+  const std::vector<double> values = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.5,
+      3.141592653589793,
+      1e-300,
+      -1e300,
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+  };
+  const std::vector<double> decoded = decode_doubles(encode_doubles(values));
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Bit-exact, including the sign of zero.
+    EXPECT_EQ(std::memcmp(&decoded[i], &values[i], sizeof(double)), 0)
+        << "value " << values[i];
+  }
+}
+
+TEST(Checkpoint, DoubleCodecHandlesNanAndEmpty) {
+  const std::vector<double> decoded =
+      decode_doubles(encode_doubles({std::nan("")}));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(std::isnan(decoded[0]));
+
+  EXPECT_EQ(encode_doubles({}), "");
+  EXPECT_TRUE(decode_doubles("").empty());
+}
+
+// ---- Journal write/load ------------------------------------------------
+
+TEST(Checkpoint, JournalWritesAndLoads) {
+  const std::string path = tmp_path("journal_basic.jsonl");
+  std::remove(path.c_str());
+  {
+    CheckpointJournal j;
+    ASSERT_TRUE(j.open(path, {"mysweep", 3}, /*keep_existing=*/false));
+    j.append({0, "ok", 1, encode_doubles({1.5}), ""});
+    j.append({2, "timeout", 3, "", "wall-clock watchdog fired"});
+  }
+  const CheckpointLoadResult loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.header.sweep, "mysweep");
+  EXPECT_EQ(loaded.header.points, 3);
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.entries[0].point, 0);
+  EXPECT_EQ(loaded.entries[0].status, "ok");
+  EXPECT_EQ(loaded.entries[0].attempts, 1);
+  EXPECT_EQ(decode_doubles(loaded.entries[0].payload),
+            (std::vector<double>{1.5}));
+  EXPECT_EQ(loaded.entries[1].point, 2);
+  EXPECT_EQ(loaded.entries[1].status, "timeout");
+  EXPECT_EQ(loaded.entries[1].error, "wall-clock watchdog fired");
+}
+
+TEST(Checkpoint, MissingFileYieldsNotFound) {
+  EXPECT_FALSE(load_checkpoint(tmp_path("does_not_exist.jsonl")).found);
+}
+
+TEST(Checkpoint, TruncatedTrailingLineIsSkipped) {
+  // The kill -9 case: the process died while writing the last line. The
+  // loader must keep every complete entry and drop the torn one.
+  const std::string path = tmp_path("journal_truncated.jsonl");
+  std::remove(path.c_str());
+  {
+    CheckpointJournal j;
+    ASSERT_TRUE(j.open(path, {"s", 5}, false));
+    j.append({0, "ok", 1, encode_doubles({1.0}), ""});
+    j.append({1, "ok", 1, encode_doubles({2.0}), ""});
+  }
+  std::string content = read_file(path);
+  ASSERT_FALSE(content.empty());
+  // Append a torn line (no trailing newline, cut mid-field).
+  write_file(path, content + "{\"point\":2,\"status\":\"o");
+  const CheckpointLoadResult loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.found);
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.entries[1].point, 1);
+}
+
+TEST(Checkpoint, EscapesSpecialCharactersInErrors) {
+  const std::string path = tmp_path("journal_escape.jsonl");
+  std::remove(path.c_str());
+  const std::string nasty = "quote \" backslash \\ newline \n tab \t end";
+  {
+    CheckpointJournal j;
+    ASSERT_TRUE(j.open(path, {"s", 1}, false));
+    j.append({0, "error", 2, "", nasty});
+  }
+  const CheckpointLoadResult loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.found);
+  ASSERT_EQ(loaded.entries.size(), 1u);
+  EXPECT_EQ(loaded.entries[0].error, nasty);
+}
+
+// ---- RunContext --------------------------------------------------------
+
+TEST(Supervisor, AttemptSeedIsBaseOnFirstAttemptAndFreshOnRetries) {
+  const RunContext a0(0, 0.0, 0.0, 8);
+  const RunContext a1(1, 0.0, 0.0, 8);
+  const RunContext a2(2, 0.0, 0.0, 8);
+  EXPECT_EQ(a0.attempt_seed(17), 17u);  // bit-identical happy path
+  EXPECT_NE(a1.attempt_seed(17), 17u);
+  EXPECT_NE(a2.attempt_seed(17), a1.attempt_seed(17));
+  // Deterministic: same (base, attempt) -> same seed.
+  EXPECT_EQ(a1.attempt_seed(17), RunContext(1, 0.0, 0.0, 8).attempt_seed(17));
+}
+
+TEST(Supervisor, WallClockWatchdogFires) {
+  RunContext ctx(0, 0.05, 0.0, 8);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1000; ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          ctx.poll();
+        }
+      },
+      RunTimeoutError);
+  EXPECT_TRUE(ctx.cancelled());
+}
+
+TEST(Supervisor, SimTimeWatchdogFires) {
+  RunContext ctx(0, 0.0, 2.0, 8);
+  EXPECT_NO_THROW(ctx.poll(from_sec(1)));
+  EXPECT_NO_THROW(ctx.poll(from_sec(2)));
+  EXPECT_THROW(ctx.poll(from_sec(2) + 1), RunTimeoutError);
+}
+
+TEST(Supervisor, SupervisedRunUntilEnforcesSimBudget) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 10.0;
+  cfg.seed = 7;
+  Scenario sc(cfg);
+  sc.add_flow("cubic", 0);
+  RunContext ctx(0, 0.0, 1.0, 8);
+  EXPECT_THROW(supervised_run_until(sc, from_sec(5), &ctx), RunTimeoutError);
+  EXPECT_LT(sc.sim().now(), from_sec(2));
+  EXPECT_FALSE(ctx.trace_events().empty());
+}
+
+TEST(Supervisor, PollThrowsInterruptedWhenFlagSet) {
+  clear_interrupt();
+  RunContext ctx(0, 0.0, 0.0, 8);
+  EXPECT_NO_THROW(ctx.poll());
+  request_interrupt();
+  EXPECT_THROW(ctx.poll(), InterruptedError);
+  EXPECT_TRUE(ctx.cancelled());
+  clear_interrupt();
+}
+
+TEST(Supervisor, TraceRingKeepsLastEvents) {
+  RunContext ctx(0, 0.0, 0.0, 3);
+  for (int i = 0; i < 7; ++i) ctx.trace("event " + std::to_string(i));
+  const std::vector<std::string>& t = ctx.trace_events();
+  ASSERT_EQ(t.size(), 3u);
+  // Ring contents are the last 3 events (rotation order is internal).
+  for (const std::string& e : t) {
+    EXPECT_TRUE(e == "event 4" || e == "event 5" || e == "event 6") << e;
+  }
+}
+
+// ---- run_supervised: happy path, failures, retries ---------------------
+
+SupervisorConfig fast_config() {
+  SupervisorConfig cfg;
+  cfg.jobs = 1;
+  cfg.backoff_base_sec = 0.0;  // tests never wait between retries
+  cfg.backoff_max_sec = 0.0;
+  return cfg;
+}
+
+std::vector<SupervisedTask<double>> squares_sweep(int n) {
+  std::vector<SupervisedTask<double>> tasks;
+  for (int i = 0; i < n; ++i) {
+    RunInfo info;
+    info.name = "square i=" + std::to_string(i);
+    tasks.push_back({[i](RunContext&) { return i * 1.25; }, info});
+  }
+  return tasks;
+}
+
+TEST(Supervisor, HappyPathSweep) {
+  clear_interrupt();
+  const SupervisedSweep<double> sweep =
+      run_supervised(squares_sweep(5), fast_config(), scalar_codec());
+  ASSERT_EQ(sweep.results.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sweep.results[static_cast<size_t>(i)], i * 1.25);
+    EXPECT_EQ(sweep.statuses[static_cast<size_t>(i)].status, RunStatus::kOk);
+    EXPECT_EQ(sweep.statuses[static_cast<size_t>(i)].attempts, 1);
+    EXPECT_FALSE(sweep.statuses[static_cast<size_t>(i)].from_checkpoint);
+  }
+  EXPECT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep.exit_code(), 0);
+  EXPECT_EQ(sweep.manifest(), "");
+}
+
+TEST(Supervisor, FailingPointDegradesNotAborts) {
+  clear_interrupt();
+  SupervisorConfig cfg = fast_config();
+  cfg.jobs = 4;
+  cfg.retries = 2;
+  std::atomic<int> bad_runs{0};
+  std::vector<SupervisedTask<double>> tasks = squares_sweep(6);
+  tasks[3].run = [&bad_runs](RunContext&) -> double {
+    bad_runs.fetch_add(1);
+    throw std::runtime_error("injected failure");
+  };
+  const SupervisedSweep<double> sweep =
+      run_supervised(std::move(tasks), cfg, scalar_codec());
+  EXPECT_EQ(bad_runs.load(), 3);  // first attempt + 2 retries
+  EXPECT_EQ(sweep.statuses[3].status, RunStatus::kError);
+  EXPECT_EQ(sweep.statuses[3].attempts, 3);
+  EXPECT_NE(sweep.statuses[3].error.find("injected failure"),
+            std::string::npos);
+  for (int i : {0, 1, 2, 4, 5}) {
+    EXPECT_EQ(sweep.statuses[static_cast<size_t>(i)].status, RunStatus::kOk);
+    EXPECT_EQ(sweep.results[static_cast<size_t>(i)], i * 1.25);
+  }
+  EXPECT_EQ(sweep.failures(), 1u);
+  EXPECT_EQ(sweep.exit_code(), 3);
+  EXPECT_NE(sweep.manifest().find("point 3"), std::string::npos);
+  EXPECT_NE(sweep.manifest().find("injected failure"), std::string::npos);
+}
+
+TEST(Supervisor, FlakyPointSucceedsOnRetryWithFreshSeed) {
+  clear_interrupt();
+  SupervisorConfig cfg = fast_config();
+  cfg.retries = 3;
+  std::vector<uint64_t> seeds_seen;
+  std::vector<SupervisedTask<double>> tasks;
+  RunInfo info;
+  info.name = "flaky";
+  info.seed = 99;
+  tasks.push_back({[&seeds_seen](RunContext& ctx) -> double {
+                     seeds_seen.push_back(ctx.attempt_seed(99));
+                     if (ctx.attempt() < 2) throw std::runtime_error("flake");
+                     return 42.0;
+                   },
+                   info});
+  const SupervisedSweep<double> sweep =
+      run_supervised(std::move(tasks), cfg, scalar_codec());
+  EXPECT_EQ(sweep.statuses[0].status, RunStatus::kOk);
+  EXPECT_EQ(sweep.statuses[0].attempts, 3);
+  EXPECT_EQ(sweep.results[0], 42.0);
+  ASSERT_EQ(seeds_seen.size(), 3u);
+  EXPECT_EQ(seeds_seen[0], 99u);          // attempt 0: caller's seed
+  EXPECT_NE(seeds_seen[1], seeds_seen[0]);  // retries: fresh sub-streams
+  EXPECT_NE(seeds_seen[2], seeds_seen[1]);
+  EXPECT_TRUE(sweep.ok());
+}
+
+TEST(Supervisor, CooperativeHangIsTimedOutAndRetried) {
+  clear_interrupt();
+  SupervisorConfig cfg = fast_config();
+  cfg.retries = 1;
+  cfg.run_timeout_sec = 0.05;
+  std::vector<SupervisedTask<double>> tasks = squares_sweep(3);
+  tasks[1].run = [](RunContext& ctx) -> double {
+    for (;;) {  // simulated livelock; only the watchdog stops it
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ctx.poll();
+    }
+  };
+  const SupervisedSweep<double> sweep =
+      run_supervised(std::move(tasks), cfg, scalar_codec());
+  EXPECT_EQ(sweep.statuses[1].status, RunStatus::kTimeout);
+  EXPECT_EQ(sweep.statuses[1].attempts, 2);
+  EXPECT_NE(sweep.statuses[1].error.find("watchdog"), std::string::npos);
+  EXPECT_EQ(sweep.statuses[0].status, RunStatus::kOk);
+  EXPECT_EQ(sweep.statuses[2].status, RunStatus::kOk);
+  EXPECT_EQ(sweep.exit_code(), 3);
+}
+
+TEST(Supervisor, SimWatchdogProducesTimeoutStatus) {
+  clear_interrupt();
+  SupervisorConfig cfg = fast_config();
+  cfg.sim_timeout_sec = 1.0;
+  std::vector<SupervisedTask<double>> tasks;
+  RunInfo info;
+  info.name = "runaway-sim";
+  tasks.push_back({[](RunContext& ctx) -> double {
+                     ScenarioConfig sc_cfg;
+                     sc_cfg.bandwidth_mbps = 10.0;
+                     sc_cfg.seed = 3;
+                     Scenario sc(sc_cfg);
+                     sc.add_flow("cubic", 0);
+                     supervised_run_until(sc, from_sec(30), &ctx);
+                     return 1.0;
+                   },
+                   info});
+  const SupervisedSweep<double> sweep =
+      run_supervised(std::move(tasks), cfg, scalar_codec());
+  EXPECT_EQ(sweep.statuses[0].status, RunStatus::kTimeout);
+  EXPECT_NE(sweep.statuses[0].error.find("simulated-time"),
+            std::string::npos);
+}
+
+TEST(Supervisor, InvariantViolationGetsItsOwnStatus) {
+  clear_interrupt();
+  std::vector<SupervisedTask<double>> tasks = squares_sweep(2);
+  tasks[0].run = [](RunContext&) -> double {
+    throw InvariantViolationError("packet conservation violated");
+  };
+  const SupervisedSweep<double> sweep =
+      run_supervised(std::move(tasks), fast_config(), scalar_codec());
+  EXPECT_EQ(sweep.statuses[0].status, RunStatus::kInvariantViolation);
+  EXPECT_EQ(sweep.statuses[1].status, RunStatus::kOk);
+  EXPECT_NE(sweep.manifest().find("invariant"), std::string::npos);
+}
+
+// ---- Repro bundles -----------------------------------------------------
+
+TEST(Supervisor, ReproBundleWrittenOnFinalFailure) {
+  clear_interrupt();
+  SupervisorConfig cfg = fast_config();
+  cfg.retries = 1;
+  cfg.sweep_name = "bundle test";  // sanitized into the filename
+  cfg.bundle_dir = tmp_path("bundles");
+  std::vector<SupervisedTask<double>> tasks = squares_sweep(2);
+  RunInfo info;
+  info.name = "doomed point";
+  info.cli = "./bench --only=1 --jobs=1";
+  info.seed = 4242;
+  info.scenario = "bw=50Mbps rtt=30ms";
+  info.faults = "blackout@5:2";
+  tasks[1] = {[](RunContext& ctx) -> double {
+                ctx.trace("custom trace event before the crash");
+                throw std::runtime_error("kaboom");
+              },
+              info};
+  const SupervisedSweep<double> sweep =
+      run_supervised(std::move(tasks), cfg, scalar_codec());
+  ASSERT_FALSE(sweep.statuses[1].bundle_path.empty());
+  const std::string bundle = read_file(sweep.statuses[1].bundle_path);
+  ASSERT_FALSE(bundle.empty());
+  EXPECT_NE(bundle.find("name: doomed point"), std::string::npos);
+  EXPECT_NE(bundle.find("status: error"), std::string::npos);
+  EXPECT_NE(bundle.find("attempts: 2"), std::string::npos);
+  EXPECT_NE(bundle.find("error: kaboom"), std::string::npos);
+  EXPECT_NE(bundle.find("seed: 4242"), std::string::npos);
+  EXPECT_NE(bundle.find("cli: ./bench --only=1 --jobs=1"), std::string::npos);
+  EXPECT_NE(bundle.find("faults: blackout@5:2"), std::string::npos);
+  EXPECT_NE(bundle.find("custom trace event before the crash"),
+            std::string::npos);
+  // Successful points never get a bundle.
+  EXPECT_TRUE(sweep.statuses[0].bundle_path.empty());
+  // The manifest points at the bundle.
+  EXPECT_NE(sweep.manifest().find(sweep.statuses[1].bundle_path),
+            std::string::npos);
+}
+
+// ---- Interrupts --------------------------------------------------------
+
+TEST(Supervisor, InterruptSkipsRemainingPoints) {
+  clear_interrupt();
+  SupervisorConfig cfg = fast_config();  // jobs=1: deterministic order
+  std::vector<SupervisedTask<double>> tasks = squares_sweep(5);
+  tasks[2].run = [](RunContext& ctx) -> double {
+    request_interrupt();  // as if Ctrl-C arrived mid-run
+    ctx.poll();
+    return 0.0;  // unreachable
+  };
+  const SupervisedSweep<double> sweep =
+      run_supervised(std::move(tasks), cfg, scalar_codec());
+  EXPECT_EQ(sweep.statuses[0].status, RunStatus::kOk);
+  EXPECT_EQ(sweep.statuses[1].status, RunStatus::kOk);
+  EXPECT_EQ(sweep.statuses[2].status, RunStatus::kSkipped);
+  EXPECT_EQ(sweep.statuses[3].status, RunStatus::kSkipped);
+  EXPECT_EQ(sweep.statuses[4].status, RunStatus::kSkipped);
+  EXPECT_TRUE(sweep.interrupted);
+  EXPECT_EQ(sweep.exit_code(), 130);
+  EXPECT_NE(sweep.manifest().find("skipped"), std::string::npos);
+  clear_interrupt();
+}
+
+// ---- Checkpoint/resume end to end --------------------------------------
+
+std::vector<SupervisedTask<double>> seeded_sweep(int n,
+                                                 std::atomic<int>* runs) {
+  std::vector<SupervisedTask<double>> tasks;
+  for (int i = 0; i < n; ++i) {
+    RunInfo info;
+    info.name = "point " + std::to_string(i);
+    info.seed = static_cast<uint64_t>(i);
+    tasks.push_back({[i, runs](RunContext& ctx) {
+                       if (runs) runs->fetch_add(1);
+                       // Depends on the attempt seed so a wrong resume
+                       // (e.g. re-running with a different seed) shows up
+                       // in the payload bytes.
+                       return static_cast<double>(
+                                  ctx.attempt_seed(static_cast<uint64_t>(i))) *
+                                  0.5 +
+                              i / 3.0;
+                     },
+                     info});
+  }
+  return tasks;
+}
+
+TEST(Supervisor, ResumeAfterKillProducesByteIdenticalCsv) {
+  clear_interrupt();
+  const std::string journal = tmp_path("resume_kill.jsonl");
+  const std::string csv_full = tmp_path("resume_full.csv");
+  const std::string csv_resumed = tmp_path("resume_resumed.csv");
+  std::remove(journal.c_str());
+
+  // Uninterrupted reference run, journaling as it goes.
+  SupervisorConfig cfg = fast_config();
+  cfg.sweep_name = "resume-sweep";
+  cfg.checkpoint_path = journal;
+  cfg.csv_path = csv_full;
+  run_supervised(seeded_sweep(6, nullptr), cfg, scalar_codec());
+  const std::string full_csv = read_file(csv_full);
+  ASSERT_FALSE(full_csv.empty());
+
+  // Simulate kill -9 mid-sweep: keep the header + 3 complete entries and
+  // tear the 4th entry mid-line.
+  const std::string full_journal = read_file(journal);
+  std::vector<size_t> newlines;
+  for (size_t p = 0; p < full_journal.size(); ++p) {
+    if (full_journal[p] == '\n') newlines.push_back(p);
+  }
+  ASSERT_GE(newlines.size(), 5u);  // header + >=4 entries
+  const std::string torn =
+      full_journal.substr(0, newlines[3] + 1) + "{\"point\":3,\"sta";
+  write_file(journal, torn);
+
+  // Resume: only the 3 unfinished points run again.
+  std::atomic<int> runs{0};
+  SupervisorConfig rcfg = cfg;
+  rcfg.csv_path = csv_resumed;
+  rcfg.resume = true;
+  const SupervisedSweep<double> resumed =
+      run_supervised(seeded_sweep(6, &runs), rcfg, scalar_codec());
+  EXPECT_EQ(runs.load(), 3);
+  EXPECT_TRUE(resumed.statuses[0].from_checkpoint);
+  EXPECT_TRUE(resumed.statuses[1].from_checkpoint);
+  EXPECT_TRUE(resumed.statuses[2].from_checkpoint);
+  EXPECT_FALSE(resumed.statuses[3].from_checkpoint);
+  EXPECT_TRUE(resumed.ok());
+
+  // The acceptance criterion: byte-identical CSV.
+  const std::string resumed_csv = read_file(csv_resumed);
+  EXPECT_EQ(resumed_csv, full_csv);
+}
+
+TEST(Supervisor, InterruptThenResumeMatchesUninterruptedRun) {
+  clear_interrupt();
+  const std::string journal = tmp_path("resume_intr.jsonl");
+  const std::string csv_full = tmp_path("resume_intr_full.csv");
+  const std::string csv_resumed = tmp_path("resume_intr_resumed.csv");
+  std::remove(journal.c_str());
+
+  SupervisorConfig cfg = fast_config();
+  cfg.sweep_name = "intr-sweep";
+  cfg.csv_path = csv_full;
+  run_supervised(seeded_sweep(5, nullptr), cfg, scalar_codec());
+  const std::string full_csv = read_file(csv_full);
+
+  // Interrupt after two points complete (jobs=1 runs in order).
+  SupervisorConfig icfg = cfg;
+  icfg.csv_path.clear();
+  icfg.checkpoint_path = journal;
+  std::vector<SupervisedTask<double>> tasks = seeded_sweep(5, nullptr);
+  const auto original = tasks[2].run;
+  tasks[2].run = [original](RunContext& ctx) -> double {
+    request_interrupt();
+    ctx.poll();
+    return original(ctx);
+  };
+  const SupervisedSweep<double> interrupted =
+      run_supervised(std::move(tasks), icfg, scalar_codec());
+  EXPECT_TRUE(interrupted.interrupted);
+  EXPECT_EQ(interrupted.exit_code(), 130);
+  clear_interrupt();
+
+  // Resume to completion; the journal holds points 0 and 1.
+  std::atomic<int> runs{0};
+  SupervisorConfig rcfg = cfg;
+  rcfg.checkpoint_path = journal;
+  rcfg.resume = true;
+  rcfg.csv_path = csv_resumed;
+  const SupervisedSweep<double> resumed =
+      run_supervised(seeded_sweep(5, &runs), rcfg, scalar_codec());
+  EXPECT_EQ(runs.load(), 3);
+  EXPECT_TRUE(resumed.ok());
+  EXPECT_EQ(read_file(csv_resumed), full_csv);
+}
+
+TEST(Supervisor, ResumeRefusesMismatchedJournal) {
+  clear_interrupt();
+  const std::string journal = tmp_path("resume_mismatch.jsonl");
+  std::remove(journal.c_str());
+  SupervisorConfig cfg = fast_config();
+  cfg.sweep_name = "sweep-a";
+  cfg.checkpoint_path = journal;
+  run_supervised(squares_sweep(3), cfg, scalar_codec());
+
+  SupervisorConfig other = cfg;
+  other.sweep_name = "sweep-b";
+  other.resume = true;
+  EXPECT_THROW(run_supervised(squares_sweep(3), other, scalar_codec()),
+               std::runtime_error);
+
+  SupervisorConfig wrong_size = cfg;
+  wrong_size.resume = true;
+  EXPECT_THROW(run_supervised(squares_sweep(4), wrong_size, scalar_codec()),
+               std::runtime_error);
+}
+
+TEST(Supervisor, ResumeWithMissingJournalRunsFresh) {
+  clear_interrupt();
+  const std::string journal = tmp_path("resume_missing.jsonl");
+  std::remove(journal.c_str());
+  SupervisorConfig cfg = fast_config();
+  cfg.sweep_name = "fresh";
+  cfg.checkpoint_path = journal;
+  cfg.resume = true;  // --resume on a first run: journal doesn't exist yet
+  const SupervisedSweep<double> sweep =
+      run_supervised(squares_sweep(3), cfg, scalar_codec());
+  EXPECT_TRUE(sweep.ok());
+  for (const PointStatus& s : sweep.statuses) {
+    EXPECT_FALSE(s.from_checkpoint);
+  }
+  // And the journal is now complete for a later resume.
+  EXPECT_EQ(load_checkpoint(journal).entries.size(), 3u);
+}
+
+TEST(Supervisor, FailedPointsAreRetriedOnResume) {
+  clear_interrupt();
+  const std::string journal = tmp_path("resume_failed.jsonl");
+  std::remove(journal.c_str());
+  SupervisorConfig cfg = fast_config();
+  cfg.sweep_name = "flaky-resume";
+  cfg.checkpoint_path = journal;
+
+  // First run: point 1 fails and is journaled as a failure.
+  std::vector<SupervisedTask<double>> tasks = squares_sweep(3);
+  tasks[1].run = [](RunContext&) -> double {
+    throw std::runtime_error("transient");
+  };
+  const SupervisedSweep<double> first =
+      run_supervised(std::move(tasks), cfg, scalar_codec());
+  EXPECT_EQ(first.exit_code(), 3);
+
+  // Resume: the failed point re-runs (and now succeeds); ok points don't.
+  std::atomic<int> runs{0};
+  std::vector<SupervisedTask<double>> retry = squares_sweep(3);
+  for (auto& t : retry) {
+    const auto fn = t.run;
+    t.run = [fn, &runs](RunContext& ctx) {
+      runs.fetch_add(1);
+      return fn(ctx);
+    };
+  }
+  SupervisorConfig rcfg = cfg;
+  rcfg.resume = true;
+  const SupervisedSweep<double> second =
+      run_supervised(std::move(retry), rcfg, scalar_codec());
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_TRUE(second.statuses[0].from_checkpoint);
+  EXPECT_FALSE(second.statuses[1].from_checkpoint);
+  EXPECT_EQ(second.statuses[1].status, RunStatus::kOk);
+  EXPECT_TRUE(second.ok());
+}
+
+// ---- Status plumbing ---------------------------------------------------
+
+TEST(Supervisor, StatusNamesRoundTrip) {
+  for (RunStatus s : {RunStatus::kOk, RunStatus::kError, RunStatus::kTimeout,
+                      RunStatus::kInvariantViolation, RunStatus::kSkipped}) {
+    EXPECT_EQ(run_status_from_name(run_status_name(s)), s);
+  }
+}
+
+TEST(Supervisor, ExitCodes) {
+  std::vector<PointStatus> all_ok(2);
+  all_ok[0].status = all_ok[1].status = RunStatus::kOk;
+  EXPECT_EQ(supervised_exit_code(all_ok, false), 0);
+  EXPECT_EQ(supervised_exit_code(all_ok, true), 130);
+  std::vector<PointStatus> one_bad = all_ok;
+  one_bad[1].status = RunStatus::kTimeout;
+  EXPECT_EQ(supervised_exit_code(one_bad, false), 3);
+}
+
+}  // namespace
+}  // namespace proteus

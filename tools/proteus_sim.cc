@@ -6,19 +6,63 @@
 // Prints per-flow throughput (over the post-warmup window), RTT
 // percentiles, and link utilization; optionally writes CSV traces. With
 // --faults=... a scripted fault schedule runs against the scenario and the
-// fault counters are printed. Simulation invariants (packet conservation,
-// finite utilities, clamped rates) are checked after every run; a
-// violation is a simulator bug and exits nonzero.
+// fault counters are printed.
+//
+// The run executes under the run supervisor (harness/supervisor.h):
+// --retries=N retries with fresh deterministic sub-seeds,
+// --run-timeout/--sim-timeout arm the watchdogs, and --bundle-dir=DIR
+// drops a repro bundle when the run still fails after all retries.
+// SIGINT/SIGTERM stop the simulation cleanly: any requested trace CSVs
+// are still written from the partial run before exiting with code 130.
+// Simulation invariants (packet conservation, finite utilities, clamped
+// rates) are checked after every run; a violation is a simulator bug and
+// exits with code 2 (other failures exit 3).
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/cli.h"
-#include "harness/invariants.h"
+#include "harness/supervisor.h"
 #include "harness/table.h"
 #include "harness/trace_export.h"
 
 using namespace proteus;
+
+namespace {
+
+// Writes the optional CSV outputs; used for both completed and partial
+// (interrupted) runs.
+void write_outputs(const CliOptions& opt, const Scenario& scenario,
+                   const std::vector<Flow*>& flows, TimeNs duration) {
+  if (!opt.link_stats_path.empty()) {
+    const LinkStats& ls = scenario.dumbbell().bottleneck().stats();
+    if (write_link_stats_csv(opt.link_stats_path, ls)) {
+      std::printf("link stats written to %s\n", opt.link_stats_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n",
+                   opt.link_stats_path.c_str());
+    }
+  }
+  if (!opt.trace_path.empty()) {
+    std::vector<const Flow*> cflows(flows.begin(), flows.end());
+    if (write_throughput_csv(opt.trace_path, cflows, duration)) {
+      std::printf("throughput trace written to %s\n",
+                  opt.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", opt.trace_path.c_str());
+    }
+  }
+  if (!opt.rtt_trace_path.empty() && !flows.empty()) {
+    if (write_rtt_csv(opt.rtt_trace_path, *flows.front())) {
+      std::printf("rtt trace (flow %llu) written to %s\n",
+                  static_cast<unsigned long long>(flows.front()->config().id),
+                  opt.rtt_trace_path.c_str());
+    }
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -38,24 +82,69 @@ int main(int argc, char** argv) {
     return 1;
   }
   const CliOptions& opt = parsed.options;
-
-  Scenario scenario(opt.scenario);
-  std::vector<Flow*> flows;
-  for (const CliFlowSpec& spec : opt.flows) {
-    flows.push_back(
-        &scenario.add_flow(spec.protocol, from_sec(spec.start_sec)));
-  }
-
   const TimeNs duration = from_sec(opt.duration_sec);
   const TimeNs warmup = from_sec(opt.warmup_sec);
-  scenario.run_until(duration);
+
+  install_interrupt_handler();
+  SupervisorConfig sup = opt.supervisor;
+  sup.jobs = 1;
+  sup.sweep_name = "proteus_sim";
+  sup.checkpoint_path.clear();  // a single run has nothing to resume
+
+  // The single supervised "sweep point" builds the scenario into main's
+  // scope so the report below can read it — including the partial state
+  // left behind by an interrupt or watchdog timeout.
+  std::unique_ptr<Scenario> scenario;
+  std::vector<Flow*> flows;
+  RunInfo info = run_info("proteus_sim", opt.scenario);
+  info.cli = argv[0];
+  for (const std::string& a : args) info.cli += " " + a;
+
+  std::vector<SupervisedTask<double>> tasks;
+  tasks.push_back(
+      {[&](RunContext& ctx) {
+         ScenarioConfig cfg = opt.scenario;
+         cfg.seed = ctx.attempt_seed(opt.scenario.seed);
+         scenario = std::make_unique<Scenario>(cfg);
+         flows.clear();
+         for (const CliFlowSpec& spec : opt.flows) {
+           flows.push_back(
+               &scenario->add_flow(spec.protocol, from_sec(spec.start_sec)));
+         }
+         supervised_run_until(*scenario, duration, &ctx);
+         check_invariants_or_throw(*scenario);
+         return 0.0;
+       },
+       std::move(info)});
+  const SupervisedSweep<double> sweep =
+      run_supervised(std::move(tasks), sup, scalar_codec());
+  const PointStatus& st = sweep.statuses[0];
+
+  if (st.status == RunStatus::kSkipped) {
+    std::fprintf(stderr, "interrupted; writing partial outputs\n");
+    if (scenario) write_outputs(opt, *scenario, flows, duration);
+    return 130;
+  }
+  if (st.status != RunStatus::kOk) {
+    std::fprintf(stderr, "%s", sweep.manifest().c_str());
+    if (st.status == RunStatus::kInvariantViolation) {
+      std::fprintf(stderr, "INVARIANT VIOLATIONS:\n%s\n", st.error.c_str());
+      return 2;
+    }
+    return 3;
+  }
 
   std::printf("link: %.0f Mbps, %.0f ms RTT, %lld B buffer, loss %.4f%s\n",
               opt.scenario.bandwidth_mbps, opt.scenario.rtt_ms,
               static_cast<long long>(opt.scenario.buffer_bytes),
               opt.scenario.random_loss, opt.wifi ? ", wifi" : "");
-  std::printf("measured over [%.0f, %.0f] s\n\n", opt.warmup_sec,
+  std::printf("measured over [%.0f, %.0f] s\n", opt.warmup_sec,
               opt.duration_sec);
+  if (st.attempts > 1) {
+    std::printf("(succeeded on attempt %d of %d)\n", st.attempts,
+                sup.retries + 1);
+  }
+  std::printf("\n");
 
   Table t({"flow", "protocol", "start_s", "mbps", "rtt_p50_ms",
            "rtt_p95_ms", "loss%"});
@@ -64,11 +153,11 @@ int main(int argc, char** argv) {
     Flow* f = flows[i];
     const double mbps = f->mean_throughput_mbps(warmup, duration);
     total += mbps;
-    const auto& st = f->sender().stats();
+    const auto& stats = f->sender().stats();
     const double loss =
-        st.packets_sent > 0
-            ? 100.0 * static_cast<double>(st.packets_lost) /
-                  static_cast<double>(st.packets_sent)
+        stats.packets_sent > 0
+            ? 100.0 * static_cast<double>(stats.packets_lost) /
+                  static_cast<double>(stats.packets_sent)
             : 0.0;
     t.add_row({std::to_string(f->config().id), opt.flows[i].protocol,
                fmt(opt.flows[i].start_sec, 0), fmt(mbps, 2),
@@ -79,8 +168,8 @@ int main(int argc, char** argv) {
   std::printf("\nutilization: %.1f%%\n",
               100.0 * total / opt.scenario.bandwidth_mbps);
 
-  const LinkStats& ls = scenario.dumbbell().bottleneck().stats();
   if (!opt.scenario.faults.empty()) {
+    const LinkStats& ls = scenario->dumbbell().bottleneck().stats();
     std::printf("fault counters: blackout_drops=%lld reordered=%lld "
                 "duplicated=%lld ack_drops=%lld\n",
                 static_cast<long long>(ls.blackout_drops),
@@ -88,37 +177,6 @@ int main(int argc, char** argv) {
                 static_cast<long long>(ls.duplicated),
                 static_cast<long long>(ls.ack_drops));
   }
-  if (!opt.link_stats_path.empty()) {
-    if (write_link_stats_csv(opt.link_stats_path, ls)) {
-      std::printf("link stats written to %s\n", opt.link_stats_path.c_str());
-    } else {
-      std::fprintf(stderr, "could not write %s\n",
-                   opt.link_stats_path.c_str());
-    }
-  }
-
-  if (!opt.trace_path.empty()) {
-    std::vector<const Flow*> cflows(flows.begin(), flows.end());
-    if (write_throughput_csv(opt.trace_path, cflows, duration)) {
-      std::printf("throughput trace written to %s\n",
-                  opt.trace_path.c_str());
-    } else {
-      std::fprintf(stderr, "could not write %s\n", opt.trace_path.c_str());
-    }
-  }
-  if (!opt.rtt_trace_path.empty() && !flows.empty()) {
-    if (write_rtt_csv(opt.rtt_trace_path, *flows.front())) {
-      std::printf("rtt trace (flow %llu) written to %s\n",
-                  static_cast<unsigned long long>(flows.front()->config().id),
-                  opt.rtt_trace_path.c_str());
-    }
-  }
-
-  const InvariantReport inv = check_invariants(scenario);
-  if (!inv.ok()) {
-    std::fprintf(stderr, "INVARIANT VIOLATIONS:\n%s\n",
-                 inv.to_string().c_str());
-    return 2;
-  }
+  write_outputs(opt, *scenario, flows, duration);
   return 0;
 }

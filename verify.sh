@@ -1,8 +1,10 @@
 #!/bin/sh
 # Full verification: the regular build + test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive tests (the
-# parallel experiment runner and the sender pipeline it executes), then an
-# ASan+UBSan build running the fault-injection / robustness tests.
+# parallel experiment runner, the run supervisor, and the sender pipeline
+# they execute), then an ASan+UBSan build running the fault-injection /
+# robustness tests plus the supervisor crash/hang self-test (throwing and
+# deliberately hanging workers driven through the watchdog/retry path).
 set -eu
 
 cd "$(dirname "$0")"
@@ -14,14 +16,18 @@ ctest --test-dir build --output-on-failure -j
 
 echo "== tier 2: ThreadSanitizer (-DPROTEUS_SANITIZE=thread) =="
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j --target parallel_runner_test pcc_sender_test
+cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test
 ./build-tsan/tests/parallel_runner_test
+./build-tsan/tests/supervisor_test
 ./build-tsan/tests/pcc_sender_test
 
 echo "== tier 3: ASan+UBSan (-DPROTEUS_SANITIZE=address,undefined) =="
 cmake --preset asan >/dev/null
-cmake --build build-asan -j --target robustness_test cli_test
+cmake --build build-asan -j --target robustness_test cli_test supervisor_test
 ./build-asan/tests/robustness_test --gtest_filter='FaultTimeline.*:BlackoutEveryProtocol*:FailureInjection.*'
 ./build-asan/tests/cli_test
+# Crash/hang self-test: throwing tasks, cooperative livelocks, watchdog
+# timeouts, interrupts, and kill-and-resume, all under ASan+UBSan.
+./build-asan/tests/supervisor_test
 
 echo "verify: OK"
