@@ -10,6 +10,7 @@
 //
 //   --retries=N --run-timeout=SEC --sim-timeout=SEC
 //   --checkpoint=J.jsonl --resume=J.jsonl --bundle-dir=DIR
+//   --telemetry=DIR --telemetry-every=N
 //   --only=POINT
 //
 // A failing point degrades to a per-point status (the table shows its
@@ -58,6 +59,10 @@ inline SweepOptions parse_sweep_flags(int argc, char** argv,
     std::string error;
     if (parse_jobs_flag(arg, opt.jobs, error)) continue;
     if (error.empty() && parse_supervisor_flag(arg, opt.sup, error)) continue;
+    if (error.empty() &&
+        parse_telemetry_flag(arg, opt.sup.telemetry, error)) {
+      continue;
+    }
     if (error.empty() && arg.rfind("--only=", 0) == 0) {
       opt.only = std::atoll(arg.c_str() + 7);
       if (opt.only >= 0) continue;

@@ -11,6 +11,7 @@
 #include "core/utility.h"
 #include "harness/scenario.h"
 #include "stats/regression.h"
+#include "telemetry/telemetry.h"
 
 namespace proteus {
 namespace {
@@ -95,6 +96,33 @@ void BM_SimulatedSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead check: the same simulated second with the per-MI
+// recorder detached (Arg(0)) vs attached (Arg(1)). The two variants must
+// be within run-to-run noise of each other — the off path is a single
+// null-pointer test per completed MI, and the on path only copies a
+// record into a preallocated ring.
+void BM_SimulatedSecondTelemetry(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScenarioConfig cfg;
+    cfg.seed = 5;
+    auto sc = std::make_unique<Scenario>(cfg);
+    Flow& flow = sc->add_flow("proteus-p", 0);
+    TelemetryRecorder recorder(4096, 1);
+    if (on) flow.sender().cc().set_telemetry(&recorder);
+    sc->run_until(from_sec(2));  // warm
+    state.ResumeTiming();
+    sc->run_until(from_sec(3));  // measured simulated second
+    benchmark::DoNotOptimize(recorder.size());
+    benchmark::DoNotOptimize(sc->flows().front()->sender().stats());
+  }
+}
+BENCHMARK(BM_SimulatedSecondTelemetry)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace proteus

@@ -13,6 +13,10 @@
 #   CHECKPOINT_DIR=D journal each sweep to D/<bench>.jsonl and resume from
 #                    it, so an interrupted ./run_benches.sh picks up where
 #                    it left off when re-run with the same CHECKPOINT_DIR
+#   TELEMETRY_DIR=D  export per-MI flow telemetry (JSONL/CSV, see
+#                    EXPERIMENTS.md "Inspecting a run") for every sweep
+#                    point into D; TELEMETRY_EVERY=N subsamples to every
+#                    N-th MI (default 1) to bound output size
 # A bench whose sweep has failed points exits nonzero (repro bundles land
 # in ./repro); this script keeps going and reports the failures at the end.
 set -u
@@ -21,7 +25,10 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
 RETRIES="${RETRIES:-}"
 RUN_TIMEOUT="${RUN_TIMEOUT:-}"
 CHECKPOINT_DIR="${CHECKPOINT_DIR:-}"
+TELEMETRY_DIR="${TELEMETRY_DIR:-}"
+TELEMETRY_EVERY="${TELEMETRY_EVERY:-}"
 [ -n "$CHECKPOINT_DIR" ] && mkdir -p "$CHECKPOINT_DIR"
+[ -n "$TELEMETRY_DIR" ] && mkdir -p "$TELEMETRY_DIR"
 
 failed=""
 others=""
@@ -40,6 +47,10 @@ for b in $others build/bench/fig08_config_sweep; do
         sweep_flags="$sweep_flags --run-timeout=$RUN_TIMEOUT"
       [ -n "$CHECKPOINT_DIR" ] && \
         sweep_flags="$sweep_flags --resume=$CHECKPOINT_DIR/$(basename "$b").jsonl"
+      [ -n "$TELEMETRY_DIR" ] && \
+        sweep_flags="$sweep_flags --telemetry=$TELEMETRY_DIR"
+      [ -n "$TELEMETRY_EVERY" ] && \
+        sweep_flags="$sweep_flags --telemetry-every=$TELEMETRY_EVERY"
       # shellcheck disable=SC2086
       "$b" $sweep_flags
       rc=$?

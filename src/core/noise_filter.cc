@@ -11,9 +11,29 @@ namespace proteus {
 
 bool AckIntervalFilter::accept(TimeNs rtt, TimeNs ack_time,
                                TimeNs prev_ack_time) {
-  if (!cfg_.ack_filter) return true;
+  if (!cfg_.ack_filter) {
+    ++accepted_;
+    return true;
+  }
 
-  // Spike rejection first: heavy-tailed one-off delays must not reach the
+  // Interval bookkeeping runs on every ACK *arrival*, accepted or not. A
+  // spike-rejected ACK still arrived: skipping its interval (as this used
+  // to, by returning from the spike branch first) made the next accepted
+  // ACK's interval span the rejected gap, so a genuine burst gap could be
+  // compared against a stale pre-gap interval and slip past the ratio
+  // gate (regression-pinned by AckIntervalFilter.SpikeRejection*).
+  const TimeNs interval = prev_ack_time > 0 ? ack_time - prev_ack_time : 0;
+  bool triggered = false;
+  if (interval > 0 && last_interval_ > 0) {
+    const double a = static_cast<double>(interval);
+    const double b = static_cast<double>(last_interval_);
+    const double ratio = a > b ? a / b : b / a;
+    triggered = ratio > cfg_.ack_interval_ratio;
+  }
+  if (interval > 0) last_interval_ = interval;
+  if (triggered) suppressing_ = true;
+
+  // Spike rejection: heavy-tailed one-off delays must not reach the
   // per-MI statistics at all.
   if (cfg_.ack_spike_rejection && rtt_tracker_.count() >= 8) {
     const double gate =
@@ -27,23 +47,12 @@ bool AckIntervalFilter::accept(TimeNs rtt, TimeNs ack_time,
       // Winsorize: feed the capped value so a persistent RTT shift raises
       // the gate within a few samples instead of blinding us.
       rtt_tracker_.add(gate);
+      ++rejected_spike_;
       return false;
     }
   }
   reject_streak_ = 0;
   rtt_tracker_.add(static_cast<double>(rtt));
-
-  const TimeNs interval = prev_ack_time > 0 ? ack_time - prev_ack_time : 0;
-  bool triggered = false;
-  if (interval > 0 && last_interval_ > 0) {
-    const double a = static_cast<double>(interval);
-    const double b = static_cast<double>(last_interval_);
-    const double ratio = a > b ? a / b : b / a;
-    triggered = ratio > cfg_.ack_interval_ratio;
-  }
-  if (interval > 0) last_interval_ = interval;
-
-  if (triggered) suppressing_ = true;
 
   if (suppressing_) {
     // Resume once an RTT below the exponentially weighted moving average
@@ -52,10 +61,12 @@ bool AckIntervalFilter::accept(TimeNs rtt, TimeNs ack_time,
         static_cast<double>(rtt) < rtt_avg_.value()) {
       suppressing_ = false;
     } else {
+      ++rejected_burst_;
       return false;
     }
   }
   rtt_avg_.add(static_cast<double>(rtt));
+  ++accepted_;
   return true;
 }
 
@@ -140,7 +151,8 @@ double DeviationFloor::current_floor() const {
 }
 
 void apply_noise_control(const NoiseControlConfig& cfg, MiMetrics& m,
-                         TrendingTolerance* trend, DeviationFloor* floor) {
+                         TrendingTolerance* trend, DeviationFloor* floor,
+                         NoiseDecision* decision) {
   m.rtt_gradient = m.rtt_gradient_raw;
   m.rtt_dev_sec = m.rtt_dev_raw_sec;
 
@@ -164,9 +176,11 @@ void apply_noise_control(const NoiseControlConfig& cfg, MiMetrics& m,
       m.rtt_dev_sec = 0.0;
     }
   }
+  if (decision != nullptr) decision->mi_tolerated = mi_tolerated;
 
   TrendingTolerance::Decision trend_decision;
   if (cfg.trending && trend != nullptr && m.rtt_samples >= 2) {
+    if (decision != nullptr) decision->trending_evaluated = true;
     trend_decision = trend->update(m.avg_rtt_sec, m.rtt_dev_raw_sec);
     if (trend_decision.gradient_significant) {
       // A persistent trend cannot be ignored, even if the per-MI check
@@ -196,6 +210,13 @@ void apply_noise_control(const NoiseControlConfig& cfg, MiMetrics& m,
         m.rtt_dev_sec = floor->filter(m.rtt_dev_raw_sec);
       }
       break;
+  }
+
+  if (decision != nullptr) {
+    decision->gradient_significant = trend_decision.gradient_significant;
+    decision->deviation_significant = trend_decision.deviation_significant;
+    decision->deviation_floor_sec =
+        floor != nullptr ? floor->current_floor() : 0.0;
   }
 }
 

@@ -100,6 +100,11 @@ class AckIntervalFilter {
 
   bool suppressing() const { return suppressing_; }
 
+  // Lifetime tallies for the telemetry metrics registry.
+  uint64_t accepted() const { return accepted_; }
+  uint64_t rejected_spike() const { return rejected_spike_; }
+  uint64_t rejected_burst() const { return rejected_burst_; }
+
  private:
   NoiseControlConfig cfg_;
   TimeNs last_interval_ = 0;
@@ -107,6 +112,9 @@ class AckIntervalFilter {
   Ewma rtt_avg_{1.0 / 8.0};
   MeanDeviationTracker rtt_tracker_;
   int reject_streak_ = 0;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_spike_ = 0;
+  uint64_t rejected_burst_ = 0;
 };
 
 // Tracks the last k MIs' average RTT and RTT deviation and decides whether
@@ -134,11 +142,23 @@ class TrendingTolerance {
   MeanDeviationTracker dev_tracker_;
 };
 
+// What the noise-control pass decided for one MI, exposed for telemetry.
+// Mirrors the verdicts that shaped the filtered gradient/deviation.
+struct NoiseDecision {
+  bool mi_tolerated = false;       // per-MI regression tolerance fired
+  bool trending_evaluated = false; // trending gates actually ran
+  bool gradient_significant = true;
+  bool deviation_significant = true;
+  double deviation_floor_sec = 0.0;  // floor after absorbing this MI
+};
+
 // Applies the per-MI regression tolerance, the trending gates, and the
 // deviation filter to a raw MiMetrics, producing the filtered
 // gradient/deviation the utility sees. `trend` and `floor` may be null
-// when the corresponding mechanism is disabled.
+// when the corresponding mechanism is disabled; `decision` (optional)
+// receives the verdicts for telemetry.
 void apply_noise_control(const NoiseControlConfig& cfg, MiMetrics& m,
-                         TrendingTolerance* trend, DeviationFloor* floor);
+                         TrendingTolerance* trend, DeviationFloor* floor,
+                         NoiseDecision* decision = nullptr);
 
 }  // namespace proteus

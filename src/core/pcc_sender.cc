@@ -4,6 +4,9 @@
 #include <cmath>
 #include <utility>
 
+#include "telemetry/profiler.h"
+#include "telemetry/telemetry.h"
+
 namespace proteus {
 
 PccSender::PccSender(std::shared_ptr<UtilityFunction> utility, Config cfg,
@@ -213,6 +216,7 @@ void PccSender::abandon_starved_mis(TimeNs now) {
     controller_.on_mi_abandoned(mis_.front().tag);
     retire_front_mi();
     abandoned = true;
+    ++mis_abandoned_watchdog_;
   }
   if (abandoned) drain_completed_mis();
 }
@@ -222,6 +226,7 @@ Bandwidth PccSender::pacing_rate() const {
 }
 
 void PccSender::drain_completed_mis() {
+  PROTEUS_PROFILE_SCOPE(ProfilePhase::kSealMi);
   // Close MIs strictly in creation order so the controller sees an ordered
   // utility stream. A sealed-but-unresolved head blocks younger MIs.
   while (mis_.size() > 1 || (!mis_.empty() && mis_.front().mi.sealed())) {
@@ -230,9 +235,11 @@ void PccSender::drain_completed_mis() {
     const MiMetrics raw = front.mi.compute();
     MiMetrics m = raw;
     if (m.useful) {
+      NoiseDecision decision;
       apply_noise_control(cfg_.noise, m,
                           cfg_.noise.trending ? &trending_ : nullptr,
-                          &deviation_floor_);
+                          &deviation_floor_,
+                          telemetry_ != nullptr ? &decision : nullptr);
       const double u = utility_->eval(m);
       last_metrics_ = m;
       last_utility_ = u;
@@ -269,18 +276,111 @@ void PccSender::drain_completed_mis() {
       // MI is competition enough; the id check rate-limits the brake to
       // once per two MIs so a burst of qualifying MIs cannot cascade the
       // rate to the floor (behavior pinned by PccSender.BrakeCooldown*).
-      if (qualifies && front.mi.id() >= last_brake_mi_ + 2) {
-        last_brake_mi_ = front.mi.id();
-        controller_.yield_to(controller_.base_rate_mbps() / 2.0);
-        braked = true;
-        ++brakes_engaged_;
+      {
+        PROTEUS_PROFILE_SCOPE(ProfilePhase::kRateControl);
+        if (qualifies && front.mi.id() >= last_brake_mi_ + 2) {
+          last_brake_mi_ = front.mi.id();
+          controller_.yield_to(controller_.base_rate_mbps() / 2.0);
+          braked = true;
+          ++brakes_engaged_;
+        }
+        if (!braked) controller_.on_mi_complete(front.tag, u);
       }
-      if (!braked) controller_.on_mi_complete(front.tag, u);
+      // Record after the controller absorbed the MI, so rc_state and
+      // base_rate reflect the decision this MI produced.
+      if (telemetry_ != nullptr && telemetry_->should_record()) {
+        record_mi_telemetry(front.mi, m, u, braked, decision);
+      }
     } else {
       controller_.on_mi_abandoned(front.tag);
+      ++mis_abandoned_useless_;
     }
     retire_front_mi();
   }
+}
+
+void PccSender::record_mi_telemetry(const MonitorInterval& mi,
+                                    const MiMetrics& m, double utility,
+                                    bool braked,
+                                    const NoiseDecision& decision) {
+  MiRecord r;
+  r.t_sec = to_sec(mi.end());
+  r.mi_id = mi.id();
+  r.target_rate_mbps = m.target_rate_mbps;
+  r.send_rate_mbps = m.send_rate_mbps;
+  r.throughput_mbps = m.throughput_mbps;
+  r.utility = utility;
+
+  // Decompose the utility by re-evaluating with one term zeroed at a
+  // time: the penalty a term contributes is eval(without it) - eval(all).
+  // Exact for the additive Proteus/Vivace forms, and a faithful
+  // first-order attribution for any other utility. The re-evals are pure
+  // (const, no RNG), so recording cannot perturb the run.
+  MiMetrics z = m;
+  z.rtt_gradient = 0.0;
+  r.utility_gradient_penalty = utility_->eval(z) - utility;
+  z = m;
+  z.loss_rate = 0.0;
+  r.utility_loss_penalty = utility_->eval(z) - utility;
+  z = m;
+  z.rtt_dev_sec = 0.0;
+  r.utility_deviation_penalty = utility_->eval(z) - utility;
+  r.utility_throughput_term = utility + r.utility_gradient_penalty +
+                              r.utility_loss_penalty +
+                              r.utility_deviation_penalty;
+
+  r.rtt_gradient_raw = m.rtt_gradient_raw;
+  r.rtt_gradient = m.rtt_gradient;
+  r.rtt_dev_raw_sec = m.rtt_dev_raw_sec;
+  r.rtt_dev_sec = m.rtt_dev_sec;
+  r.deviation_floor_sec = decision.deviation_floor_sec;
+  r.trending_evaluated = decision.trending_evaluated;
+  r.gradient_significant = decision.gradient_significant;
+  r.deviation_significant = decision.deviation_significant;
+  r.mi_tolerated = decision.mi_tolerated;
+
+  r.rc_state = GradientRateController::state_name(controller_.state());
+  r.base_rate_mbps = controller_.base_rate_mbps();
+
+  if (const auto* hybrid =
+          dynamic_cast<const ProteusHybridUtility*>(utility_.get())) {
+    const double thr = hybrid->threshold().threshold_mbps();
+    r.mode = m.send_rate_mbps < thr ? "primary" : "scavenger";
+    r.hybrid_threshold_mbps = thr;
+  } else {
+    r.mode = utility_->name();
+  }
+
+  r.in_survival = in_survival_;
+  r.survival_entries = survival_entries_;
+  r.braked = braked;
+  r.loss_rate = m.loss_rate;
+  r.avg_rtt_sec = m.avg_rtt_sec;
+  r.rtt_samples = m.rtt_samples;
+  r.packets_sent = m.packets_sent;
+  r.packets_acked = m.packets_acked;
+  r.packets_lost = m.packets_lost;
+  r.duration_sec = to_sec(m.duration);
+  telemetry_->push(std::move(r));
+}
+
+void PccSender::snapshot_metrics(MetricsRegistry* registry) const {
+  registry->counter("mis_completed", static_cast<int64_t>(mis_completed_));
+  registry->counter("mis_abandoned_watchdog",
+                    static_cast<int64_t>(mis_abandoned_watchdog_));
+  registry->counter("mis_abandoned_useless",
+                    static_cast<int64_t>(mis_abandoned_useless_));
+  registry->counter("ack_filter_accepted",
+                    static_cast<int64_t>(ack_filter_.accepted()));
+  registry->counter("ack_filter_rejected_spike",
+                    static_cast<int64_t>(ack_filter_.rejected_spike()));
+  registry->counter("ack_filter_rejected_burst",
+                    static_cast<int64_t>(ack_filter_.rejected_burst()));
+  registry->counter("survival_entries",
+                    static_cast<int64_t>(survival_entries_));
+  registry->counter("brakes_engaged", static_cast<int64_t>(brakes_engaged_));
+  registry->gauge("base_rate_mbps", controller_.base_rate_mbps());
+  registry->gauge("last_utility", last_utility_);
 }
 
 void PccSender::retire_front_mi() {

@@ -65,6 +65,15 @@ class PccSender final : public CongestionController {
   int64_t cwnd_bytes() const override { return kNoCwndLimit; }
   std::string name() const override { return display_name_; }
 
+  // Telemetry: record one MiRecord per completed useful MI (subject to
+  // the recorder's every-n subsampling) and dump lifetime counters into
+  // a MetricsRegistry at export time. Observation only — attaching a
+  // recorder never changes a control decision.
+  void set_telemetry(TelemetryRecorder* recorder) override {
+    telemetry_ = recorder;
+  }
+  void snapshot_metrics(MetricsRegistry* registry) const override;
+
   // Introspection for tests and traces.
   GradientRateController::State control_state() const {
     return controller_.state();
@@ -73,6 +82,8 @@ class PccSender final : public CongestionController {
   const MiMetrics& last_mi_metrics() const { return last_metrics_; }
   double last_utility() const { return last_utility_; }
   uint64_t mis_completed() const { return mis_completed_; }
+  uint64_t mis_abandoned_watchdog() const { return mis_abandoned_watchdog_; }
+  const AckIntervalFilter& ack_filter() const { return ack_filter_; }
   bool in_survival() const { return in_survival_; }
   uint64_t survival_entries() const { return survival_entries_; }
   uint64_t brakes_engaged() const { return brakes_engaged_; }
@@ -90,6 +101,11 @@ class PccSender final : public CongestionController {
   void start_new_mi(TimeNs now);
   void rotate_if_due(TimeNs now);
   void drain_completed_mis();
+  // Builds and pushes one telemetry record for a just-closed MI. Only
+  // called when telemetry_ is attached and the subsampler fires.
+  void record_mi_telemetry(const MonitorInterval& mi, const MiMetrics& m,
+                           double utility, bool braked,
+                           const NoiseDecision& decision);
   // Pops the front MI and retires its seq_owner_ entries.
   void retire_front_mi();
   // Abandons sealed head MIs whose ACKs are overdue (fault in progress) so
@@ -133,8 +149,11 @@ class PccSender final : public CongestionController {
   MiMetrics last_metrics_;
   double last_utility_ = 0.0;
   uint64_t mis_completed_ = 0;
+  uint64_t mis_abandoned_watchdog_ = 0;
+  uint64_t mis_abandoned_useless_ = 0;
   uint64_t last_brake_mi_ = 0;
   double prev_mi_target_rate_ = 0.0;
+  TelemetryRecorder* telemetry_ = nullptr;
 
   // Survival-mode state (ACK starvation watchdog).
   bool in_survival_ = false;

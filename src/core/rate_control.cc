@@ -16,6 +16,15 @@ double GradientRateController::clamp(double r) const {
   return std::clamp(r, cfg_.min_rate_mbps, cfg_.max_rate_mbps);
 }
 
+const char* GradientRateController::state_name(State s) {
+  switch (s) {
+    case State::kStarting: return "starting";
+    case State::kProbing: return "probing";
+    case State::kMoving: return "moving";
+  }
+  return "?";
+}
+
 void GradientRateController::clamp_rate(double rate_mbps) {
   base_rate_ = clamp(rate_mbps);
 }

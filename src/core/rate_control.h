@@ -66,6 +66,8 @@ class GradientRateController {
 
   enum class State { kStarting, kProbing, kMoving };
   State state() const { return state_; }
+  // "starting" | "probing" | "moving" (telemetry/trace label).
+  static const char* state_name(State s);
 
   // Scavenger-style emergency brake: multiplicative decrease outside the
   // normal decision loop (used on severe utility collapse).

@@ -109,6 +109,32 @@ bool parse_supervisor_flag(const std::string& arg, SupervisorConfig& cfg,
   return false;  // not a supervisor flag; error stays empty
 }
 
+bool parse_telemetry_flag(const std::string& arg, TelemetryConfig& cfg,
+                          std::string& error) {
+  const size_t eq = arg.find('=');
+  const std::string key = arg.substr(0, eq);
+  const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+
+  if (key == "--telemetry") {
+    if (value.empty()) {
+      error = "--telemetry needs a directory";
+      return false;
+    }
+    cfg.dir = value;
+    return true;
+  }
+  if (key == "--telemetry-every") {
+    int64_t n = 0;
+    if (value.empty() || !parse_int64(value, n) || n < 1 || n > 1'000'000) {
+      error = "bad --telemetry-every: " + value;
+      return false;
+    }
+    cfg.every = static_cast<int>(n);
+    return true;
+  }
+  return false;  // not a telemetry flag; error stays empty
+}
+
 bool parse_jobs_flag(const std::string& arg, int& jobs, std::string& error) {
   constexpr const char kPrefix[] = "--jobs";
   if (arg.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
@@ -131,7 +157,8 @@ std::string cli_usage() {
          "[--jobs=n] [--wifi] [--trace=file.csv] [--rtt-trace=file.csv] "
          "[--link-stats=file.csv] [--faults=spec] [--retries=n] "
          "[--run-timeout=sec] [--sim-timeout=sec] [--checkpoint=journal] "
-         "[--resume=journal] [--bundle-dir=dir] "
+         "[--resume=journal] [--bundle-dir=dir] [--telemetry=dir] "
+         "[--telemetry-every=n] [--profile] "
          "--flows=proto[@start][,proto[@start]...]";
 }
 
@@ -220,6 +247,13 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
         if (r.error.empty()) r.error = "bad " + key + ": " + value;
         return r;
       }
+    } else if (key == "--telemetry" || key == "--telemetry-every") {
+      if (!parse_telemetry_flag(arg, opt.supervisor.telemetry, r.error)) {
+        if (r.error.empty()) r.error = "bad " + key + ": " + value;
+        return r;
+      }
+    } else if (key == "--profile") {
+      opt.profile = true;
     } else if (key == "--wifi") {
       opt.wifi = true;
     } else if (key == "--trace") {

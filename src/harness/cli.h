@@ -16,6 +16,9 @@
 //   --checkpoint=<journal> (supervisor: write a fresh JSONL point journal)
 //   --resume=<journal>     (supervisor: load journal, skip finished points)
 //   --bundle-dir=<dir>     (supervisor: repro bundles for failed runs)
+//   --telemetry=<dir>      (per-MI flow telemetry JSONL/CSV exports)
+//   --telemetry-every=<n>  (record every n-th MI; default 1)
+//   --profile              (phase profiler summary after the run)
 #pragma once
 
 #include <optional>
@@ -44,8 +47,12 @@ struct CliOptions {
   // Worker threads for parallel sweeps (run_parallel). 0 means "use
   // default_job_count()", i.e. every hardware thread.
   int jobs = 0;
+  // Opt-in phase profiler (--profile): ns timers per pipeline phase,
+  // printed as a summary table after the run.
+  bool profile = false;
   // Watchdog / retry / checkpoint settings (harness/supervisor.h). The
   // jobs field above is authoritative; supervisor.jobs mirrors it.
+  // supervisor.telemetry carries the --telemetry/--telemetry-every flags.
   SupervisorConfig supervisor;
 };
 
@@ -72,6 +79,12 @@ bool parse_jobs_flag(const std::string& arg, int& jobs, std::string& error);
 // is some other argument. Shared by parse_cli and the bench binaries.
 bool parse_supervisor_flag(const std::string& arg, SupervisorConfig& cfg,
                            std::string& error);
+
+// Recognizes the telemetry flags (--telemetry=<dir>, --telemetry-every=<n>).
+// Same contract as parse_jobs_flag. Shared by parse_cli and the bench
+// binaries.
+bool parse_telemetry_flag(const std::string& arg, TelemetryConfig& cfg,
+                          std::string& error);
 
 // One-line usage string for --help / errors.
 std::string cli_usage();

@@ -1,7 +1,9 @@
 #include "harness/experiments.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "harness/telemetry_export.h"
 #include "stats/jain.h"
 
 namespace proteus {
@@ -39,6 +41,9 @@ SingleFlowResult run_single_flow(const std::string& protocol,
                                  TimeNs warmup, RunContext* ctx) {
   Scenario sc(cfg);
   Flow& flow = sc.add_flow(protocol, 0);
+  // Declared after the Flow: destroyed (exported) first, even when a
+  // watchdog exception unwinds through the run below.
+  FlowTelemetrySession telemetry(ctx, flow, "flow0-" + protocol);
   WarmupRttCollector rtts(sc, flow, warmup);
   supervised_run_until(sc, duration, ctx);
   if (ctx) check_invariants_or_throw(sc);
@@ -74,6 +79,7 @@ PairResult run_pair(const std::string& primary, const std::string& scavenger,
   {
     Scenario alone(cfg);
     Flow& p = alone.add_flow(primary, 0);
+    FlowTelemetrySession telemetry(ctx, p, "alone-flow0-" + primary);
     WarmupRttCollector rtts(alone, p, warmup);
     supervised_run_until(alone, duration, ctx);
     if (ctx) check_invariants_or_throw(alone);
@@ -86,6 +92,8 @@ PairResult run_pair(const std::string& primary, const std::string& scavenger,
     Scenario both(cfg2);
     Flow& p = both.add_flow(primary, 0);
     Flow& s = both.add_flow(scavenger, scavenger_delay);
+    FlowTelemetrySession p_telemetry(ctx, p, "with-flow0-" + primary);
+    FlowTelemetrySession s_telemetry(ctx, s, "with-flow1-" + scavenger);
     WarmupRttCollector rtts(both, p, warmup);
     supervised_run_until(both, duration, ctx);
     if (ctx) check_invariants_or_throw(both);
@@ -136,8 +144,11 @@ FairnessResult run_multiflow_fairness(const std::string& protocol, int n,
 
   Scenario sc(cfg);
   std::vector<Flow*> flows;
+  std::vector<std::unique_ptr<FlowTelemetrySession>> telemetry;
   for (int i = 0; i < n; ++i) {
     flows.push_back(&sc.add_flow(protocol, from_sec(20.0 * i)));
+    telemetry.push_back(std::make_unique<FlowTelemetrySession>(
+        ctx, *flows.back(), "flow" + std::to_string(i) + "-" + protocol));
   }
   const TimeNs measure_start = from_sec(20.0 * n);
   const TimeNs measure_end = measure_start + from_sec(200);

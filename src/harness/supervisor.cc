@@ -131,6 +131,16 @@ void RunContext::trace(std::string event) {
   }
 }
 
+void RunContext::add_telemetry_tail(std::string line) {
+  // Shared budget across every flow of the attempt, newest kept: the tail
+  // exists to show the MIs leading into a failure, not the whole run.
+  constexpr size_t kTailCapacity = 64;
+  if (telemetry_tail_.size() >= kTailCapacity) {
+    telemetry_tail_.erase(telemetry_tail_.begin());
+  }
+  telemetry_tail_.push_back(std::move(line));
+}
+
 void supervised_run_until(Scenario& scenario, TimeNs until, RunContext* ctx) {
   if (!ctx) {
     scenario.run_until(until);
@@ -241,7 +251,8 @@ std::string sanitize_for_path(const std::string& s) {
 // Returns the bundle path, or "" when writing was not possible.
 std::string write_repro_bundle(const SupervisorConfig& cfg,
                                const ErasedTask& task, const PointStatus& st,
-                               const std::vector<std::string>& trace) {
+                               const std::vector<std::string>& trace,
+                               const std::vector<std::string>& telemetry) {
   if (cfg.bundle_dir.empty()) return "";
   ::mkdir(cfg.bundle_dir.c_str(), 0777);  // EEXIST is fine
   const std::string path = cfg.bundle_dir + "/" +
@@ -273,6 +284,13 @@ std::string write_repro_bundle(const SupervisorConfig& cfg,
   std::fprintf(f, "trace (last %zu events of the final attempt):\n",
                trace.size());
   for (const std::string& ev : trace) std::fprintf(f, "  %s\n", ev.c_str());
+  if (!telemetry.empty()) {
+    std::fprintf(f, "telemetry (last %zu MI records of the final attempt):\n",
+                 telemetry.size());
+    for (const std::string& line : telemetry) {
+      std::fprintf(f, "  %s\n", line.c_str());
+    }
+  }
   std::fclose(f);
   return path;
 }
@@ -374,6 +392,7 @@ ErasedSweep run_supervised_erased(std::vector<ErasedTask> tasks,
       const ErasedTask& task = tasks[i];
       PointStatus& st = sweep.statuses[i];
       std::vector<std::string> last_trace;
+      std::vector<std::string> last_telemetry;
       for (int attempt = 0; attempt <= cfg.retries; ++attempt) {
         if (interrupt_requested()) {
           st.status = RunStatus::kSkipped;
@@ -381,6 +400,11 @@ ErasedSweep run_supervised_erased(std::vector<ErasedTask> tasks,
         }
         RunContext ctx(attempt, cfg.run_timeout_sec, cfg.sim_timeout_sec,
                        cfg.bundle_trace_events);
+        if (cfg.telemetry.enabled()) {
+          ctx.set_telemetry(&cfg.telemetry,
+                            sanitize_for_path(cfg.sweep_name) + "-point" +
+                                std::to_string(i));
+        }
         ++st.attempts;
         try {
           sweep.payloads[i] = task.run(ctx);
@@ -405,10 +429,12 @@ ErasedSweep run_supervised_erased(std::vector<ErasedTask> tasks,
           st.error = "unknown exception";
         }
         last_trace = ctx.trace_events();
+        last_telemetry = ctx.telemetry_tail();
         if (attempt < cfg.retries) backoff_sleep(cfg, attempt);
       }
       // Final failure: journal it and emit the repro bundle.
-      st.bundle_path = write_repro_bundle(cfg, task, st, last_trace);
+      st.bundle_path =
+          write_repro_bundle(cfg, task, st, last_trace, last_telemetry);
       journal.append({st.index, run_status_name(st.status), st.attempts, "",
                       st.error});
       return 0;

@@ -32,6 +32,7 @@
 #include "harness/checkpoint.h"
 #include "harness/parallel_runner.h"
 #include "harness/scenario.h"
+#include "telemetry/telemetry.h"
 
 namespace proteus {
 
@@ -112,6 +113,22 @@ class RunContext {
   void trace(std::string event);
   const std::vector<std::string>& trace_events() const { return trace_; }
 
+  // Telemetry attach point. The supervisor (or a driver like proteus_sim)
+  // sets the config + run label before the attempt executes; each
+  // FlowTelemetrySession reads them to name its export files and, at
+  // teardown, pushes its last JSONL records here so a finally-failed
+  // point carries its telemetry tail into the .repro bundle.
+  void set_telemetry(const TelemetryConfig* cfg, std::string run_label) {
+    telemetry_ = cfg;
+    run_label_ = std::move(run_label);
+  }
+  const TelemetryConfig* telemetry() const { return telemetry_; }
+  const std::string& run_label() const { return run_label_; }
+  void add_telemetry_tail(std::string line);
+  const std::vector<std::string>& telemetry_tail() const {
+    return telemetry_tail_;
+  }
+
   TimeNs sim_deadline() const { return sim_deadline_; }
 
  private:
@@ -121,6 +138,9 @@ class RunContext {
   size_t trace_capacity_;
   size_t trace_start_ = 0;  // ring: logical first element within trace_
   std::vector<std::string> trace_;
+  const TelemetryConfig* telemetry_ = nullptr;
+  std::string run_label_;
+  std::vector<std::string> telemetry_tail_;  // bounded, newest kept
 };
 
 // Advances `scenario` to simulated time `until` in chunks, polling the
@@ -144,6 +164,7 @@ struct SupervisorConfig {
   std::string csv_path;           // results CSV ("" = none)
   std::string bundle_dir;         // repro bundles on final failure ("" = off)
   int bundle_trace_events = 50;   // trace-ring capacity per attempt
+  TelemetryConfig telemetry;      // per-MI flow telemetry (off by default)
 };
 
 // Repro-bundle metadata describing one sweep point.

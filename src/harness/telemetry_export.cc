@@ -1,0 +1,61 @@
+#include "harness/telemetry_export.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace proteus {
+
+FlowTelemetrySession::FlowTelemetrySession(RunContext* ctx, Flow& flow,
+                                           std::string flow_label)
+    : ctx_(ctx), flow_(&flow), flow_label_(std::move(flow_label)) {
+  if (ctx_ == nullptr || ctx_->telemetry() == nullptr ||
+      !ctx_->telemetry()->enabled()) {
+    return;
+  }
+  const TelemetryConfig& cfg = *ctx_->telemetry();
+  recorder_ = std::make_unique<TelemetryRecorder>(cfg.capacity, cfg.every);
+  flow_->sender().cc().set_telemetry(recorder_.get());
+}
+
+FlowTelemetrySession::~FlowTelemetrySession() {
+  if (recorder_ == nullptr) return;
+  flow_->sender().cc().set_telemetry(nullptr);
+
+  // Reference protocols (CUBIC, BBR, ...) accept the recorder but never
+  // feed it; skip their empty exports.
+  if (recorder_->seen() == 0) return;
+
+  const TelemetryConfig& cfg = *ctx_->telemetry();
+  ::mkdir(cfg.dir.c_str(), 0777);  // EEXIST is fine
+  const std::string label =
+      sanitize_path_component(ctx_->run_label().empty()
+                                  ? flow_label_
+                                  : ctx_->run_label() + "-" + flow_label_);
+  const std::string base = cfg.dir + "/" + label;
+
+  write_mi_records_jsonl(base + ".jsonl", label, *recorder_);
+  write_mi_records_csv(base + ".csv", *recorder_);
+
+  MetricsRegistry registry;
+  flow_->sender().cc().snapshot_metrics(&registry);
+  const SenderStats& st = flow_->sender().stats();
+  registry.counter("sender_packets_sent", st.packets_sent);
+  registry.counter("sender_packets_acked", st.packets_acked);
+  registry.counter("sender_packets_lost", st.packets_lost);
+  registry.counter("sender_bytes_sent", st.bytes_sent);
+  registry.counter("sender_bytes_delivered", st.bytes_delivered);
+  registry.counter("sender_bytes_lost", st.bytes_lost);
+  registry.histogram("rtt_ms", flow_->rtt_samples());
+  write_metrics_csv(base + ".metrics.csv", registry);
+
+  // The newest handful of records feed the repro-bundle telemetry tail.
+  constexpr size_t kTailPerFlow = 8;
+  const size_t n = recorder_->size();
+  for (size_t i = n > kTailPerFlow ? n - kTailPerFlow : 0; i < n; ++i) {
+    ctx_->add_telemetry_tail(mi_record_to_json(label, recorder_->at(i)));
+  }
+}
+
+}  // namespace proteus

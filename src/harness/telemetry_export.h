@@ -1,0 +1,51 @@
+// FlowTelemetrySession: RAII glue between a Flow's congestion controller
+// and the telemetry subsystem (telemetry/telemetry.h).
+//
+// Construction attaches a per-flow TelemetryRecorder when the RunContext
+// carries an enabled TelemetryConfig (no-op otherwise — the null-recorder
+// hot path stays untouched). Destruction detaches the recorder, exports
+//
+//   <dir>/<run_label>-<flow_label>.jsonl        per-MI records (JSONL)
+//   <dir>/<run_label>-<flow_label>.csv          same records as CSV
+//   <dir>/<run_label>-<flow_label>.metrics.csv  counters/gauges snapshot
+//
+// and pushes the last few JSONL lines into the RunContext's telemetry
+// tail so failed supervised runs carry them into .repro bundles. Export
+// runs in the destructor deliberately: a watchdog/invariant exception
+// unwinds through it, so the MIs leading into a failure are preserved.
+//
+// Declare the session after the Flow and after the Scenario so it is
+// destroyed (exported) before either.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "harness/supervisor.h"
+#include "telemetry/telemetry.h"
+#include "transport/flow.h"
+
+namespace proteus {
+
+class FlowTelemetrySession {
+ public:
+  // `flow_label` distinguishes flows within a run ("flow0-proteus-s").
+  // A null ctx or a disabled/absent TelemetryConfig makes the session
+  // inert.
+  FlowTelemetrySession(RunContext* ctx, Flow& flow, std::string flow_label);
+  ~FlowTelemetrySession();
+
+  FlowTelemetrySession(const FlowTelemetrySession&) = delete;
+  FlowTelemetrySession& operator=(const FlowTelemetrySession&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+  const TelemetryRecorder* recorder() const { return recorder_.get(); }
+
+ private:
+  RunContext* ctx_;
+  Flow* flow_;
+  std::string flow_label_;
+  std::unique_ptr<TelemetryRecorder> recorder_;
+};
+
+}  // namespace proteus

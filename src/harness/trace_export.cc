@@ -1,5 +1,6 @@
 #include "harness/trace_export.h"
 
+#include <algorithm>
 #include <fstream>
 
 namespace proteus {
@@ -14,12 +15,18 @@ bool write_throughput_csv(const std::string& path,
   os << '\n';
 
   std::vector<std::vector<double>> series;
-  const auto bins = static_cast<size_t>(duration / from_sec(1));
+  // Ceil, not floor: a 5.4 s run has 6 bins, the last one partial. The
+  // old integer division dropped the final partial-second bin — and with
+  // it any meter that produced more bins than the nominal duration (the
+  // meters bin by *delivery* time, which can trail the send window).
+  size_t bins =
+      static_cast<size_t>((duration + from_sec(1) - 1) / from_sec(1));
   for (const Flow* f : flows) {
     std::vector<double> s = f->receiver().meter().mbps_series();
-    s.resize(bins, 0.0);
+    bins = std::max(bins, s.size());
     series.push_back(std::move(s));
   }
+  for (auto& s : series) s.resize(bins, 0.0);
   for (size_t t = 0; t < bins; ++t) {
     os << t;
     for (const auto& s : series) os << ',' << s[t];

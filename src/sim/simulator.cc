@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/profiler.h"
+
 namespace proteus {
 
 void Simulator::schedule_at(TimeNs when, EventQueue::Callback cb) {
@@ -22,6 +24,9 @@ void Simulator::run_until(TimeNs until) {
     auto [when, cb] = queue_.pop();
     now_ = when;
     ++events_processed_;
+    // Event-dispatch timing is inclusive: it covers the handler and any
+    // nested phases (on_ack, seal_mi, ...) the handler enters.
+    PROTEUS_PROFILE_SCOPE(ProfilePhase::kEventQueue);
     cb();
   }
   if (now_ < until) now_ = until;
@@ -32,6 +37,7 @@ void Simulator::run() {
     auto [when, cb] = queue_.pop();
     now_ = when;
     ++events_processed_;
+    PROTEUS_PROFILE_SCOPE(ProfilePhase::kEventQueue);
     cb();
   }
 }

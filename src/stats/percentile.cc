@@ -9,26 +9,29 @@ namespace proteus {
 
 void Samples::add_all(const std::vector<double>& vs) {
   values_.insert(values_.end(), vs.begin(), vs.end());
-  sorted_ = false;
+  invalidate_cache();
 }
 
-void Samples::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
+const std::vector<double>& Samples::sorted_locked(
+    std::lock_guard<std::mutex>& /*lock*/) const {
+  if (!cache_valid_) {
+    sorted_cache_ = values_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    cache_valid_ = true;
   }
+  return sorted_cache_;
 }
 
 double Samples::min() const {
   if (values_.empty()) return 0.0;
-  ensure_sorted();
-  return values_.front();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return sorted_locked(lock).front();
 }
 
 double Samples::max() const {
   if (values_.empty()) return 0.0;
-  ensure_sorted();
-  return values_.back();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return sorted_locked(lock).back();
 }
 
 double Samples::mean() const {
@@ -45,21 +48,23 @@ double Samples::stddev() const {
 
 double Samples::percentile(double p) const {
   if (values_.empty()) return 0.0;
-  ensure_sorted();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::vector<double>& sorted = sorted_locked(lock);
   p = std::clamp(p, 0.0, 100.0);
-  double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   auto lo = static_cast<size_t>(std::floor(rank));
   auto hi = static_cast<size_t>(std::ceil(rank));
   double frac = rank - static_cast<double>(lo);
-  return values_[lo] + frac * (values_[hi] - values_[lo]);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 double Samples::cdf_at(double x) const {
   if (values_.empty()) return 0.0;
-  ensure_sorted();
-  auto it = std::upper_bound(values_.begin(), values_.end(), x);
-  return static_cast<double>(it - values_.begin()) /
-         static_cast<double>(values_.size());
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::vector<double>& sorted = sorted_locked(lock);
+  auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
 }
 
 double confusion_probability(const Samples& congested, const Samples& idle) {

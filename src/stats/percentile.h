@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace proteus {
@@ -9,9 +10,39 @@ namespace proteus {
 // Accumulates raw samples and answers order-statistic queries. Percentiles
 // use linear interpolation between closest ranks (the common "type 7"
 // definition used by numpy).
+//
+// Thread-safety: concurrent const readers are safe. Order-statistic
+// queries sort lazily into a separate cache guarded by a mutex;
+// `values_` itself is never mutated by a const method (it used to be
+// sorted in place under `mutable`, which raced two concurrent readers —
+// e.g. the telemetry exporter and the summary table percentiling the
+// same flow). Writers (add/clear) still require external synchronization
+// against any other access, as before.
 class Samples {
  public:
-  void add(double v) { values_.push_back(v); sorted_ = false; }
+  Samples() = default;
+  // Copies transfer the samples; the sort cache is rebuilt on demand.
+  Samples(const Samples& other) : values_(other.values_) {}
+  Samples& operator=(const Samples& other) {
+    if (this != &other) {
+      values_ = other.values_;
+      invalidate_cache();
+    }
+    return *this;
+  }
+  Samples(Samples&& other) noexcept : values_(std::move(other.values_)) {}
+  Samples& operator=(Samples&& other) noexcept {
+    if (this != &other) {
+      values_ = std::move(other.values_);
+      invalidate_cache();
+    }
+    return *this;
+  }
+
+  void add(double v) {
+    values_.push_back(v);
+    invalidate_cache();
+  }
   void add_all(const std::vector<double>& vs);
 
   int64_t count() const { return static_cast<int64_t>(values_.size()); }
@@ -25,17 +56,30 @@ class Samples {
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
+  // Insertion order (const queries no longer reorder it).
   const std::vector<double>& raw() const { return values_; }
-  void clear() { values_.clear(); sorted_ = false; }
+  void clear() {
+    values_.clear();
+    invalidate_cache();
+  }
 
   // Empirical CDF value: fraction of samples <= x.
   double cdf_at(double x) const;
 
  private:
-  void ensure_sorted() const;
+  void invalidate_cache() {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_valid_ = false;
+  }
+  // Returns the sorted cache; `lock` must hold cache_mutex_.
+  const std::vector<double>& sorted_locked(
+      std::lock_guard<std::mutex>& lock) const;
 
-  mutable std::vector<double> values_;
-  mutable bool sorted_ = false;
+  std::vector<double> values_;
+
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<double> sorted_cache_;
+  mutable bool cache_valid_ = false;
 };
 
 // Probability that a uniformly random sample drawn from `congested` is

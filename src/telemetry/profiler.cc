@@ -1,0 +1,52 @@
+#include "telemetry/profiler.h"
+
+#include <cstdio>
+
+namespace proteus {
+
+std::atomic<Profiler*> Profiler::current_{nullptr};
+
+const char* profile_phase_name(ProfilePhase p) {
+  switch (p) {
+    case ProfilePhase::kOnAck: return "on_ack";
+    case ProfilePhase::kSealMi: return "seal_mi";
+    case ProfilePhase::kRateControl: return "rate_control";
+    case ProfilePhase::kEventQueue: return "event_queue";
+    case ProfilePhase::kCount: break;
+  }
+  return "?";
+}
+
+void Profiler::reset() {
+  for (auto& c : cells_) {
+    c.calls.store(0, std::memory_order_relaxed);
+    c.total_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string Profiler::summary_table() const {
+  std::string out;
+  out += "phase           calls        total_ms     ns/call\n";
+  for (int i = 0; i < static_cast<int>(ProfilePhase::kCount); ++i) {
+    const auto p = static_cast<ProfilePhase>(i);
+    const PhaseStats s = stats(p);
+    const double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    const double per_call =
+        s.calls > 0
+            ? static_cast<double>(s.total_ns) / static_cast<double>(s.calls)
+            : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-14s %10llu %14.3f %11.1f\n",
+                  profile_phase_name(p),
+                  static_cast<unsigned long long>(s.calls), total_ms,
+                  per_call);
+    out += line;
+  }
+  return out;
+}
+
+Profiler* Profiler::install(Profiler* p) {
+  return current_.exchange(p, std::memory_order_relaxed);
+}
+
+}  // namespace proteus

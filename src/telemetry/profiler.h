@@ -1,0 +1,105 @@
+// Opt-in phase profiler: nanosecond timers aggregated per pipeline phase
+// (ACK processing, MI sealing, rate control, event dispatch).
+//
+// Off by default; `Profiler::install` arms a global atomic pointer and
+// PROTEUS_PROFILE_SCOPE then times its enclosing block. When disarmed, a
+// scope costs one relaxed atomic load and a branch — below the noise
+// floor of the hot paths it instruments (pinned by bench/micro_bench).
+//
+// Wall-clock time is only read here, never by the simulation itself, so
+// profiling cannot perturb simulated results.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace proteus {
+
+enum class ProfilePhase : int {
+  kOnAck = 0,      // transport: Sender::on_packet ACK handling
+  kSealMi,         // core: MI sealing + noise control + utility
+  kRateControl,    // core: gradient controller decision
+  kEventQueue,     // sim: event dispatch (inclusive of handlers)
+  kCount,
+};
+
+const char* profile_phase_name(ProfilePhase p);
+
+class Profiler {
+ public:
+  struct PhaseStats {
+    uint64_t calls = 0;
+    uint64_t total_ns = 0;
+  };
+
+  void record(ProfilePhase p, uint64_t ns) {
+    auto& c = cells_[static_cast<int>(p)];
+    c.calls.fetch_add(1, std::memory_order_relaxed);
+    c.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  PhaseStats stats(ProfilePhase p) const {
+    const auto& c = cells_[static_cast<int>(p)];
+    return {c.calls.load(std::memory_order_relaxed),
+            c.total_ns.load(std::memory_order_relaxed)};
+  }
+
+  void reset();
+
+  // Human-readable summary table (phase, calls, total ms, ns/call).
+  std::string summary_table() const;
+
+  // Global arm/disarm. `install` returns the previous profiler (usually
+  // null) so tests can restore it.
+  static Profiler* install(Profiler* p);
+  static Profiler* current() {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> total_ns{0};
+  };
+  Cell cells_[static_cast<int>(ProfilePhase::kCount)];
+
+  static std::atomic<Profiler*> current_;
+};
+
+// RAII timer: samples the global profiler once at construction; if armed,
+// records elapsed wall nanoseconds into the phase on destruction.
+class ProfileScope {
+ public:
+  explicit ProfileScope(ProfilePhase phase)
+      : profiler_(Profiler::current()), phase_(phase) {
+    if (profiler_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ProfileScope() {
+    if (profiler_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      profiler_->record(phase_, static_cast<uint64_t>(ns));
+    }
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler* profiler_;
+  ProfilePhase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define PROTEUS_PROFILE_CONCAT2(a, b) a##b
+#define PROTEUS_PROFILE_CONCAT(a, b) PROTEUS_PROFILE_CONCAT2(a, b)
+#define PROTEUS_PROFILE_SCOPE(phase)                     \
+  ::proteus::ProfileScope PROTEUS_PROFILE_CONCAT(        \
+      proteus_profile_scope_, __LINE__)(phase)
+
+}  // namespace proteus

@@ -1,0 +1,289 @@
+#include "telemetry/telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "stats/percentile.h"
+
+namespace proteus {
+
+namespace {
+
+// Shortest round-trippable formatting that still reads as a plain number.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  // JSON has no nan/inf literals; clamp to null-safe 0 rather than emit
+  // an unparseable token (finite-utility invariants make this unreachable
+  // in practice, but the exporter must not produce invalid JSON).
+  std::string s(buf);
+  if (s.find("nan") != std::string::npos ||
+      s.find("inf") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+TelemetryRecorder::TelemetryRecorder(int capacity, int every)
+    : capacity_(capacity < 1 ? 1 : static_cast<size_t>(capacity)),
+      every_(every < 1 ? 1 : every) {}
+
+bool TelemetryRecorder::should_record() {
+  const bool hit = (seen_ % static_cast<uint64_t>(every_)) == 0;
+  ++seen_;
+  return hit;
+}
+
+void TelemetryRecorder::push(MiRecord record) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    // Overwrite the oldest slot and advance the ring start.
+    ring_[start_] = std::move(record);
+    start_ = (start_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+const MiRecord& TelemetryRecorder::at(size_t i) const {
+  return ring_[(start_ + i) % ring_.size()];
+}
+
+std::vector<MiRecord> TelemetryRecorder::snapshot() const {
+  std::vector<MiRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) out.push_back(at(i));
+  return out;
+}
+
+void MetricsRegistry::counter(const std::string& name, int64_t value) {
+  entries_.push_back({name, 'c', static_cast<double>(value)});
+}
+
+void MetricsRegistry::gauge(const std::string& name, double value) {
+  entries_.push_back({name, 'g', value});
+}
+
+void MetricsRegistry::histogram(const std::string& name,
+                                const Samples& samples) {
+  entries_.push_back(
+      {name + ".count", 'h', static_cast<double>(samples.count())});
+  entries_.push_back({name + ".mean", 'h', samples.mean()});
+  entries_.push_back({name + ".p50", 'h', samples.percentile(50.0)});
+  entries_.push_back({name + ".p95", 'h', samples.percentile(95.0)});
+  entries_.push_back({name + ".p99", 'h', samples.percentile(99.0)});
+  entries_.push_back({name + ".max", 'h', samples.max()});
+}
+
+const std::vector<std::string>& mi_record_required_keys() {
+  static const std::vector<std::string> kKeys = {
+      "flow",
+      "t_sec",
+      "mi_id",
+      "target_rate_mbps",
+      "send_rate_mbps",
+      "throughput_mbps",
+      "utility",
+      "utility_throughput_term",
+      "utility_gradient_penalty",
+      "utility_loss_penalty",
+      "utility_deviation_penalty",
+      "rtt_gradient_raw",
+      "rtt_gradient",
+      "rtt_dev_raw_sec",
+      "rtt_dev_sec",
+      "deviation_floor_sec",
+      "trending_evaluated",
+      "gradient_significant",
+      "deviation_significant",
+      "mi_tolerated",
+      "rc_state",
+      "base_rate_mbps",
+      "mode",
+      "hybrid_threshold_mbps",
+      "in_survival",
+      "survival_entries",
+      "braked",
+      "loss_rate",
+      "avg_rtt_sec",
+      "rtt_samples",
+      "packets_sent",
+      "packets_acked",
+      "packets_lost",
+      "duration_sec",
+  };
+  return kKeys;
+}
+
+std::string mi_record_to_json(const std::string& flow_label,
+                              const MiRecord& r) {
+  std::string s = "{";
+  auto num = [&s](const char* key, double v, bool first = false) {
+    if (!first) s += ",";
+    s += "\"";
+    s += key;
+    s += "\":";
+    s += fmt_double(v);
+  };
+  auto integer = [&s](const char* key, uint64_t v) {
+    s += ",\"";
+    s += key;
+    s += "\":";
+    s += std::to_string(v);
+  };
+  auto boolean = [&s](const char* key, bool v) {
+    s += ",\"";
+    s += key;
+    s += "\":";
+    s += bool_str(v);
+  };
+  auto str = [&s](const char* key, const std::string& v) {
+    s += ",\"";
+    s += key;
+    s += "\":\"";
+    s += json_escape(v);
+    s += "\"";
+  };
+
+  s += "\"flow\":\"" + json_escape(flow_label) + "\"";
+  num("t_sec", r.t_sec);
+  integer("mi_id", r.mi_id);
+  num("target_rate_mbps", r.target_rate_mbps);
+  num("send_rate_mbps", r.send_rate_mbps);
+  num("throughput_mbps", r.throughput_mbps);
+  num("utility", r.utility);
+  num("utility_throughput_term", r.utility_throughput_term);
+  num("utility_gradient_penalty", r.utility_gradient_penalty);
+  num("utility_loss_penalty", r.utility_loss_penalty);
+  num("utility_deviation_penalty", r.utility_deviation_penalty);
+  num("rtt_gradient_raw", r.rtt_gradient_raw);
+  num("rtt_gradient", r.rtt_gradient);
+  num("rtt_dev_raw_sec", r.rtt_dev_raw_sec);
+  num("rtt_dev_sec", r.rtt_dev_sec);
+  num("deviation_floor_sec", r.deviation_floor_sec);
+  boolean("trending_evaluated", r.trending_evaluated);
+  boolean("gradient_significant", r.gradient_significant);
+  boolean("deviation_significant", r.deviation_significant);
+  boolean("mi_tolerated", r.mi_tolerated);
+  str("rc_state", r.rc_state);
+  num("base_rate_mbps", r.base_rate_mbps);
+  str("mode", r.mode);
+  num("hybrid_threshold_mbps", r.hybrid_threshold_mbps);
+  boolean("in_survival", r.in_survival);
+  integer("survival_entries", r.survival_entries);
+  boolean("braked", r.braked);
+  num("loss_rate", r.loss_rate);
+  num("avg_rtt_sec", r.avg_rtt_sec);
+  integer("rtt_samples", static_cast<uint64_t>(r.rtt_samples));
+  integer("packets_sent", static_cast<uint64_t>(r.packets_sent));
+  integer("packets_acked", static_cast<uint64_t>(r.packets_acked));
+  integer("packets_lost", static_cast<uint64_t>(r.packets_lost));
+  num("duration_sec", r.duration_sec);
+  s += "}";
+  return s;
+}
+
+bool write_mi_records_jsonl(const std::string& path,
+                            const std::string& flow_label,
+                            const TelemetryRecorder& recorder) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (size_t i = 0; i < recorder.size(); ++i) {
+    out << mi_record_to_json(flow_label, recorder.at(i)) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_mi_records_csv(const std::string& path,
+                          const TelemetryRecorder& recorder) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t_sec,mi_id,target_rate_mbps,send_rate_mbps,throughput_mbps,"
+         "utility,utility_throughput_term,utility_gradient_penalty,"
+         "utility_loss_penalty,utility_deviation_penalty,"
+         "rtt_gradient_raw,rtt_gradient,rtt_dev_raw_sec,rtt_dev_sec,"
+         "deviation_floor_sec,trending_evaluated,gradient_significant,"
+         "deviation_significant,mi_tolerated,rc_state,base_rate_mbps,"
+         "mode,hybrid_threshold_mbps,in_survival,survival_entries,braked,"
+         "loss_rate,avg_rtt_sec,rtt_samples,packets_sent,packets_acked,"
+         "packets_lost,duration_sec\n";
+  for (size_t i = 0; i < recorder.size(); ++i) {
+    const MiRecord& r = recorder.at(i);
+    out << fmt_double(r.t_sec) << "," << r.mi_id << ","
+        << fmt_double(r.target_rate_mbps) << ","
+        << fmt_double(r.send_rate_mbps) << ","
+        << fmt_double(r.throughput_mbps) << "," << fmt_double(r.utility)
+        << "," << fmt_double(r.utility_throughput_term) << ","
+        << fmt_double(r.utility_gradient_penalty) << ","
+        << fmt_double(r.utility_loss_penalty) << ","
+        << fmt_double(r.utility_deviation_penalty) << ","
+        << fmt_double(r.rtt_gradient_raw) << "," << fmt_double(r.rtt_gradient)
+        << "," << fmt_double(r.rtt_dev_raw_sec) << ","
+        << fmt_double(r.rtt_dev_sec) << ","
+        << fmt_double(r.deviation_floor_sec) << ","
+        << (r.trending_evaluated ? 1 : 0) << ","
+        << (r.gradient_significant ? 1 : 0) << ","
+        << (r.deviation_significant ? 1 : 0) << ","
+        << (r.mi_tolerated ? 1 : 0) << "," << r.rc_state << ","
+        << fmt_double(r.base_rate_mbps) << "," << r.mode << ","
+        << fmt_double(r.hybrid_threshold_mbps) << ","
+        << (r.in_survival ? 1 : 0) << "," << r.survival_entries << ","
+        << (r.braked ? 1 : 0) << "," << fmt_double(r.loss_rate) << ","
+        << fmt_double(r.avg_rtt_sec) << "," << r.rtt_samples << ","
+        << r.packets_sent << "," << r.packets_acked << "," << r.packets_lost
+        << "," << fmt_double(r.duration_sec) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_metrics_csv(const std::string& path, const MetricsRegistry& reg) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "kind,name,value\n";
+  for (const auto& e : reg.entries()) {
+    out << e.kind << "," << e.name << "," << fmt_double(e.value) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::string sanitize_path_component(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "flow";
+  return out;
+}
+
+}  // namespace proteus

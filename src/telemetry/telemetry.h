@@ -1,0 +1,176 @@
+// Flow/MI telemetry: structured capture of the controller's per-MI
+// internal decisions (the paper's §4–§6 signals: utility terms, raw vs.
+// filtered gradient/deviation, DeviationFloor value, TrendingTolerance
+// verdicts, Proteus-H mode + threshold, survival state), a lightweight
+// per-flow metrics registry, and JSONL/CSV exporters.
+//
+// Design constraints:
+//  * Zero overhead when off. A controller holds a TelemetryRecorder* that
+//    defaults to null; the hot path pays one pointer test per completed
+//    MI. Nothing in this header is touched per packet.
+//  * O(1) memory for long runs. Records land in a fixed-capacity ring;
+//    eviction drops the oldest MI, never the newest.
+//  * Pure observation. Recording never touches the simulation RNG or the
+//    controller state, so a run with telemetry on is bit-identical to the
+//    same run with telemetry off (pinned by tests/telemetry_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+class Samples;
+
+// CLI-facing knobs (--telemetry=<dir>, --telemetry-every=<n>).
+struct TelemetryConfig {
+  std::string dir;    // output directory; empty = telemetry disabled
+  int every = 1;      // record every n-th completed MI (subsampling)
+  int capacity = 4096;  // per-flow MI ring capacity
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+// One completed monitor interval as the sender saw it: inputs, filter
+// verdicts, utility decomposition, and the control decisions taken.
+struct MiRecord {
+  double t_sec = 0.0;  // simulated time the MI's sending phase ended
+  uint64_t mi_id = 0;
+
+  // Rates (Mbps).
+  double target_rate_mbps = 0.0;
+  double send_rate_mbps = 0.0;
+  double throughput_mbps = 0.0;
+
+  // Utility and its terms. The penalties are what each term subtracts
+  // from the utility (>= 0 for the Proteus utilities), so
+  // utility = throughput_term - gradient_penalty - loss_penalty
+  //           - deviation_penalty.
+  double utility = 0.0;
+  double utility_throughput_term = 0.0;
+  double utility_gradient_penalty = 0.0;
+  double utility_loss_penalty = 0.0;
+  double utility_deviation_penalty = 0.0;
+
+  // Latency signals, raw (straight from the MI regression) vs. filtered
+  // (what the utility actually saw after the noise-tolerance gates).
+  double rtt_gradient_raw = 0.0;
+  double rtt_gradient = 0.0;
+  double rtt_dev_raw_sec = 0.0;
+  double rtt_dev_sec = 0.0;
+  double deviation_floor_sec = 0.0;  // DeviationFloor's ambient minimum
+
+  // TrendingTolerance significance verdicts (G1/G2 gates). When
+  // trending_evaluated is false the trackers were still warming up and
+  // both verdicts default to significant.
+  bool trending_evaluated = false;
+  bool gradient_significant = true;
+  bool deviation_significant = true;
+  bool mi_tolerated = false;  // per-MI regression-error tolerance fired
+
+  // Rate-controller state after absorbing this MI.
+  std::string rc_state;       // "starting" | "probing" | "moving"
+  double base_rate_mbps = 0.0;
+
+  // Mode: the utility name for plain utilities; "primary"/"scavenger"
+  // for Proteus-H (decided by the switching threshold).
+  std::string mode;
+  double hybrid_threshold_mbps = 0.0;  // 0 when not hybrid
+
+  // Survival / emergency-brake state.
+  bool in_survival = false;
+  uint64_t survival_entries = 0;
+  bool braked = false;
+
+  // Loss / RTT statistics of the MI.
+  double loss_rate = 0.0;
+  double avg_rtt_sec = 0.0;
+  int64_t rtt_samples = 0;
+  int64_t packets_sent = 0;
+  int64_t packets_acked = 0;
+  int64_t packets_lost = 0;
+  double duration_sec = 0.0;
+};
+
+// Fixed-capacity ring of MiRecords plus the every-n subsampling counter.
+class TelemetryRecorder {
+ public:
+  explicit TelemetryRecorder(int capacity = 4096, int every = 1);
+
+  // Subsampling gate: returns true when the caller should build and push
+  // a record for the MI it is about to report. Call exactly once per
+  // completed MI so `seen()` counts MIs, not records.
+  bool should_record();
+
+  void push(MiRecord record);
+
+  // Records currently retained (<= capacity), oldest first at index 0.
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  const MiRecord& at(size_t i) const;
+  // Copy of the retained records in chronological order.
+  std::vector<MiRecord> snapshot() const;
+
+  uint64_t seen() const { return seen_; }          // should_record() calls
+  uint64_t recorded() const { return recorded_; }  // total pushes
+  uint64_t evicted() const { return recorded_ - ring_.size(); }
+
+ private:
+  size_t capacity_;
+  int every_;
+  uint64_t seen_ = 0;
+  uint64_t recorded_ = 0;
+  size_t start_ = 0;  // ring: index of the oldest retained record
+  std::vector<MiRecord> ring_;
+};
+
+// Insertion-ordered counters/gauges/histogram summaries, snapshotted per
+// flow at export time. Values are doubles throughout; `kind` keeps the
+// CSV self-describing.
+class MetricsRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    char kind;  // 'c' counter, 'g' gauge, 'h' histogram summary
+    double value;
+  };
+
+  void counter(const std::string& name, int64_t value);
+  void gauge(const std::string& name, double value);
+  // Expands to <name>.count/.mean/.p50/.p95/.p99/.max entries.
+  void histogram(const std::string& name, const Samples& samples);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+// ---- Exporters ---------------------------------------------------------
+
+// One MI record as a single-line JSON object (the JSONL schema documented
+// in EXPERIMENTS.md "Inspecting a run"; validated by tools/
+// telemetry_validate). `flow_label` lands in the "flow" key.
+std::string mi_record_to_json(const std::string& flow_label,
+                              const MiRecord& r);
+
+// The keys every JSONL record must carry (shared with the validator).
+const std::vector<std::string>& mi_record_required_keys();
+
+// JSONL: one mi_record_to_json line per retained record.
+bool write_mi_records_jsonl(const std::string& path,
+                            const std::string& flow_label,
+                            const TelemetryRecorder& recorder);
+
+// CSV: same fields, one header plus one row per retained record.
+bool write_mi_records_csv(const std::string& path,
+                          const TelemetryRecorder& recorder);
+
+// CSV with kind,name,value rows.
+bool write_metrics_csv(const std::string& path, const MetricsRegistry& reg);
+
+// Filesystem-safe version of a run/flow label ([A-Za-z0-9._-] only).
+std::string sanitize_path_component(const std::string& s);
+
+}  // namespace proteus

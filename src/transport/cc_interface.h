@@ -16,6 +16,9 @@
 
 namespace proteus {
 
+class TelemetryRecorder;
+class MetricsRegistry;
+
 inline constexpr int64_t kNoCwndLimit = std::numeric_limits<int64_t>::max();
 
 struct SentPacketInfo {
@@ -66,6 +69,16 @@ class CongestionController {
   virtual int64_t cwnd_bytes() const = 0;
 
   virtual std::string name() const = 0;
+
+  // Telemetry attach point. Controllers that expose per-MI decision
+  // records (the PCC family) override this; the default ignores it so
+  // reference protocols (CUBIC, BBR, ...) need no changes. Passing null
+  // detaches. The recorder must outlive the controller or be detached
+  // before destruction.
+  virtual void set_telemetry(TelemetryRecorder* /*recorder*/) {}
+  // Controllers may also dump lifetime counters into a registry at
+  // export time (ACK-filter verdicts, watchdog abandons, ...).
+  virtual void snapshot_metrics(MetricsRegistry* /*registry*/) const {}
 };
 
 }  // namespace proteus

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/dumbbell.h"
+#include "telemetry/profiler.h"
 
 namespace proteus {
 
@@ -238,6 +239,7 @@ void Sender::update_rtt(TimeNs rtt) {
 }
 
 void Sender::on_packet(const Packet& ack) {
+  PROTEUS_PROFILE_SCOPE(ProfilePhase::kOnAck);
   auto it = in_flight_.find(ack.acked_seq);
   if (it == in_flight_.end()) return;  // already declared lost; ignore
 

@@ -2,6 +2,7 @@
 // grammar, and the CSV trace export.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -291,6 +292,53 @@ TEST(FaultSpecGrammar, RejectsMalformedSpecs) {
   EXPECT_FALSE(parse_faults("dup@5:p=0.1:2:3").ok);   // duplicate duration
 }
 
+TEST(Cli, TelemetryFlagsParseIntoOptions) {
+  const auto r = parse({"--flows=proteus-s", "--telemetry=telout",
+                        "--telemetry-every=5", "--profile"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.supervisor.telemetry.dir, "telout");
+  EXPECT_EQ(r.options.supervisor.telemetry.every, 5);
+  EXPECT_TRUE(r.options.supervisor.telemetry.enabled());
+  EXPECT_TRUE(r.options.profile);
+}
+
+TEST(Cli, TelemetryOffByDefault) {
+  const auto r = parse({"--flows=proteus-s"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.options.supervisor.telemetry.enabled());
+  EXPECT_EQ(r.options.supervisor.telemetry.every, 1);
+  EXPECT_FALSE(r.options.profile);
+}
+
+TEST(Cli, ParseTelemetryFlagHelper) {
+  TelemetryConfig cfg;
+  std::string error;
+  EXPECT_TRUE(parse_telemetry_flag("--telemetry=out", cfg, error));
+  EXPECT_EQ(cfg.dir, "out");
+  EXPECT_TRUE(error.empty());
+  EXPECT_TRUE(parse_telemetry_flag("--telemetry-every=10", cfg, error));
+  EXPECT_EQ(cfg.every, 10);
+  // Malformed telemetry flags: false with an error message.
+  error.clear();
+  EXPECT_FALSE(parse_telemetry_flag("--telemetry=", cfg, error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(parse_telemetry_flag("--telemetry-every=0", cfg, error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(parse_telemetry_flag("--telemetry-every=x", cfg, error));
+  EXPECT_FALSE(error.empty());
+  // Some other flag entirely: false with error left empty.
+  error.clear();
+  EXPECT_FALSE(parse_telemetry_flag("--jobs=4", cfg, error));
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(Cli, RejectsBadTelemetryEvery) {
+  const auto r = parse({"--flows=proteus-s", "--telemetry-every=-3"});
+  EXPECT_FALSE(r.ok);
+}
+
 TEST(Cli, FaultsFlagWiresIntoScenario) {
   const auto r =
       parse({"--flows=proteus-p", "--faults=blackout@5:2,reorder@10:p=0.05",
@@ -333,6 +381,39 @@ TEST(TraceExport, ThroughputCsvRoundTrip) {
   }
   EXPECT_EQ(rows, 5);
   EXPECT_GT(sum, 10.0);  // the flow moved real traffic
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, ThroughputCsvEmitsPartialFinalBin) {
+  // Regression: bins were computed with integer division, so a 5.4 s run
+  // lost its final partial-second bin — and a meter series longer than
+  // the nominal duration (meters bin by delivery time) was truncated.
+  ScenarioConfig cfg;
+  cfg.seed = 3;
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  const TimeNs duration = from_sec(5.4);
+  sc.run_until(duration);
+
+  const std::string path = ::testing::TempDir() + "/tput_partial.csv";
+  ASSERT_TRUE(write_throughput_csv(path, {&f}, duration));
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  size_t rows = 0;
+  double last_bin = 0.0;
+  while (std::getline(in, line)) {
+    ++rows;
+    last_bin = std::stod(line.substr(line.find(',') + 1));
+  }
+  // ceil(5.4) = 6 bins, never fewer than the meter actually produced.
+  const size_t meter_bins = f.receiver().meter().mbps_series().size();
+  EXPECT_EQ(rows, std::max<size_t>(6, meter_bins));
+  EXPECT_GE(rows, meter_bins);  // no truncation of the delivered series
+  // The partial 6th bin covers [5.0, 5.4): traffic was flowing, so the
+  // pre-fix output (which ended at row 5) lost real delivered bytes.
+  if (rows == 6) EXPECT_GT(last_bin, 0.0);
   std::remove(path.c_str());
 }
 

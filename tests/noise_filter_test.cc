@@ -59,6 +59,64 @@ TEST(AckIntervalFilter, SuppressesAfterBurstGapRatio) {
   EXPECT_FALSE(f.suppressing());
 }
 
+TEST(AckIntervalFilter, SpikeRejectionStillRecordsInterval) {
+  // Regression: the spike-rejection branch used to return before the
+  // interval bookkeeping ran, so a spike-rejected ACK neither updated
+  // last_interval_ nor fed the burst-gap ratio check. A 100 ms stall
+  // whose first ACK was also an RTT spike therefore never triggered
+  // suppression at all — the following normal-cadence ACK compared
+  // 1 ms against the stale pre-gap 1 ms and sailed through.
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.ack_spike_rejection = true;
+  AckIntervalFilter f(cfg);
+  TimeNs t = 0;
+  for (int i = 0; i < 10; ++i) {
+    const TimeNs prev = t;
+    t += from_ms(1);
+    EXPECT_TRUE(f.accept(from_ms(30), t, i == 0 ? 0 : prev));
+  }
+  // 100 ms stall; the delayed ACK's RTT is also a spike (way over the
+  // 30 ms average + 3 ms gate floor). It must be rejected AND must still
+  // arm burst suppression from the interval ratio (100 ms / 1 ms).
+  TimeNs prev = t;
+  t += from_ms(100);
+  EXPECT_FALSE(f.accept(from_ms(130), t, prev));
+  EXPECT_TRUE(f.suppressing());  // false before the fix
+  EXPECT_EQ(f.rejected_spike(), 1u);
+  // Next ACK at normal cadence: RTT 32 ms clears the spike gate (33 ms)
+  // but sits above the 30 ms moving average, so suppression must hold it
+  // back. Before the fix this sample was accepted.
+  prev = t;
+  t += from_ms(1);
+  EXPECT_FALSE(f.accept(from_ms(32), t, prev));
+  EXPECT_EQ(f.rejected_burst(), 1u);
+  // Recovery: an RTT below the moving average drains the suppression.
+  prev = t;
+  t += from_ms(1);
+  EXPECT_TRUE(f.accept(from_ms(25), t, prev));
+  EXPECT_FALSE(f.suppressing());
+  EXPECT_EQ(f.accepted(), 11u);
+}
+
+TEST(AckIntervalFilter, SpikeRejectionCountsLifetimeTallies) {
+  NoiseControlConfig cfg = proteus_noise();
+  cfg.ack_spike_rejection = true;
+  AckIntervalFilter f(cfg);
+  TimeNs t = 0;
+  for (int i = 0; i < 20; ++i) {
+    const TimeNs prev = t;
+    t += from_ms(1);
+    f.accept(from_ms(30), t, i == 0 ? 0 : prev);
+  }
+  const TimeNs prev = t;
+  t += from_ms(1);
+  f.accept(from_ms(90), t, prev);  // lone spike at steady cadence
+  EXPECT_EQ(f.rejected_spike(), 1u);
+  EXPECT_EQ(f.rejected_burst(), 0u);  // no gap ratio, no suppression
+  EXPECT_FALSE(f.suppressing());
+  EXPECT_EQ(f.accepted(), 20u);
+}
+
 TEST(AckIntervalFilter, DisabledPassesEverything) {
   NoiseControlConfig cfg = proteus_noise();
   cfg.ack_filter = false;

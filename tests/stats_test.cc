@@ -1,7 +1,9 @@
 // Unit tests for the statistics substrate.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "stats/ewma.h"
@@ -156,6 +158,64 @@ TEST(Samples, AddAfterQueryStaysSorted) {
   s.add(0.5);
   EXPECT_DOUBLE_EQ(s.min(), 0.5);
   EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Samples, RawPreservesInsertionOrder) {
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);  // a query must not reorder raw()
+  s.add(3.0);
+  const std::vector<double> expected = {5.0, 1.0, 3.0};
+  EXPECT_EQ(s.raw(), expected);
+}
+
+TEST(Samples, ConcurrentConstReadersAreRaceFree) {
+  // Regression (pinned under TSan by verify.sh tier 2): the lazy sort
+  // used to mutate values_/sorted_ under const, so two threads calling
+  // percentile() on the same const Samples raced on the sort. The sorted
+  // view now lives in a mutex-guarded cache; concurrent const readers
+  // must be safe and agree on every answer.
+  Samples s;
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) s.add(rng.uniform() * 100.0);
+  const Samples& cs = s;
+  const double want_p50 = cs.percentile(50.0);
+
+  // Fresh copy so the cache starts cold and every thread may race to
+  // build it (copying drops the cache, keeping copies independent).
+  const Samples cold = s;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&cold, &mismatches, want_p50] {
+      for (int i = 0; i < 50; ++i) {
+        if (cold.percentile(50.0) != want_p50) mismatches.fetch_add(1);
+        if (cold.min() > cold.max()) mismatches.fetch_add(1);
+        if (cold.cdf_at(50.0) < 0.0 || cold.cdf_at(50.0) > 1.0) {
+          mismatches.fetch_add(1);
+        }
+        if (cold.mean() <= 0.0) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Samples, CopyAndMoveKeepValues) {
+  Samples s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 2.0);  // warm the cache
+  Samples copy = s;
+  EXPECT_EQ(copy.count(), 3);
+  EXPECT_DOUBLE_EQ(copy.percentile(50.0), 2.0);
+  copy.add(10.0);  // cache invalidation carries over to the copy
+  EXPECT_DOUBLE_EQ(copy.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);  // original untouched
+  Samples moved = std::move(copy);
+  EXPECT_EQ(moved.count(), 4);
+  EXPECT_DOUBLE_EQ(moved.max(), 10.0);
 }
 
 TEST(Samples, CdfAt) {

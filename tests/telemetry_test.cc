@@ -1,0 +1,347 @@
+// Telemetry subsystem tests: recorder ring/subsampling semantics, the
+// golden "recorder matches the sender's own decisions" pin, the
+// bit-identical-with-telemetry-off guarantee, exporter round trips, the
+// metrics registry, and the phase profiler.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pcc_sender.h"
+#include "harness/scenario.h"
+#include "harness/supervisor.h"
+#include "harness/telemetry_export.h"
+#include "telemetry/profiler.h"
+#include "telemetry/telemetry.h"
+
+namespace proteus {
+namespace {
+
+MiRecord record_with_id(uint64_t id) {
+  MiRecord r;
+  r.mi_id = id;
+  r.utility = static_cast<double>(id) * 0.5;
+  r.rc_state = "probing";
+  r.mode = "proteus-scavenger";
+  return r;
+}
+
+// ---- Recorder ring + subsampling ---------------------------------------
+
+TEST(TelemetryRecorder, EveryNSubsamples) {
+  TelemetryRecorder rec(/*capacity=*/16, /*every=*/3);
+  std::vector<bool> hits;
+  for (int i = 0; i < 9; ++i) hits.push_back(rec.should_record());
+  // First MI always records, then every third.
+  const std::vector<bool> expected = {true, false, false, true, false,
+                                      false, true, false, false};
+  EXPECT_EQ(hits, expected);
+  EXPECT_EQ(rec.seen(), 9u);
+}
+
+TEST(TelemetryRecorder, RingEvictsOldestFirst) {
+  TelemetryRecorder rec(/*capacity=*/8, /*every=*/1);
+  for (uint64_t id = 1; id <= 20; ++id) rec.push(record_with_id(id));
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.evicted(), 12u);
+  // Oldest retained is 13, newest 20, in chronological order.
+  for (size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.at(i).mi_id, 13u + i) << "slot " << i;
+  }
+  const std::vector<MiRecord> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  EXPECT_EQ(snap.front().mi_id, 13u);
+  EXPECT_EQ(snap.back().mi_id, 20u);
+}
+
+TEST(TelemetryRecorder, BelowCapacityKeepsEverything) {
+  TelemetryRecorder rec(/*capacity=*/8, /*every=*/1);
+  for (uint64_t id = 1; id <= 5; ++id) rec.push(record_with_id(id));
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.evicted(), 0u);
+  EXPECT_EQ(rec.at(0).mi_id, 1u);
+  EXPECT_EQ(rec.at(4).mi_id, 5u);
+}
+
+// ---- Golden: the recorded series matches the sender's decisions --------
+
+class TelemetryGolden : public ::testing::Test {
+ protected:
+  // One 50 Mbps proteus-s flow, fixed seed, recorder attached from t=0.
+  void run(TelemetryRecorder* rec) {
+    ScenarioConfig cfg;
+    cfg.seed = 7;
+    sc_ = std::make_unique<Scenario>(cfg);
+    flow_ = &sc_->add_flow("proteus-s", 0);
+    if (rec != nullptr) flow_->sender().cc().set_telemetry(rec);
+    sc_->run_until(from_sec(30));
+    sender_ = dynamic_cast<const PccSender*>(&flow_->sender().cc());
+    ASSERT_NE(sender_, nullptr);
+  }
+
+  std::unique_ptr<Scenario> sc_;
+  Flow* flow_ = nullptr;
+  const PccSender* sender_ = nullptr;
+};
+
+TEST_F(TelemetryGolden, RecorderMatchesSenderDecisions) {
+  TelemetryRecorder rec(/*capacity=*/100000, /*every=*/1);
+  run(&rec);
+  ASSERT_GT(sender_->mis_completed(), 50u);
+
+  // Every completed (useful) MI consulted the subsampler exactly once and,
+  // with every=1, produced exactly one record; nothing was evicted.
+  EXPECT_EQ(rec.seen(), sender_->mis_completed());
+  EXPECT_EQ(rec.recorded(), sender_->mis_completed());
+  EXPECT_EQ(rec.evicted(), 0u);
+
+  // The last record is the last MI the sender scored: its utility and
+  // filtered metrics must equal the sender's own introspection, exactly.
+  const MiRecord& last = rec.at(rec.size() - 1);
+  const MiMetrics& m = sender_->last_mi_metrics();
+  EXPECT_EQ(last.utility, sender_->last_utility());
+  EXPECT_EQ(last.send_rate_mbps, m.send_rate_mbps);
+  EXPECT_EQ(last.rtt_gradient, m.rtt_gradient);
+  EXPECT_EQ(last.rtt_gradient_raw, m.rtt_gradient_raw);
+  EXPECT_EQ(last.rtt_dev_sec, m.rtt_dev_sec);
+  EXPECT_EQ(last.loss_rate, m.loss_rate);
+
+  uint64_t prev_id = 0;
+  for (size_t i = 0; i < rec.size(); ++i) {
+    const MiRecord& r = rec.at(i);
+    // MI ids climb strictly (abandoned MIs may leave gaps).
+    EXPECT_GT(r.mi_id, prev_id);
+    prev_id = r.mi_id;
+    // The decomposition reassembles the utility:
+    // u = throughput_term - gradient - loss - deviation penalties.
+    EXPECT_NEAR(r.utility,
+                r.utility_throughput_term - r.utility_gradient_penalty -
+                    r.utility_loss_penalty - r.utility_deviation_penalty,
+                1e-9 + 1e-9 * std::abs(r.utility));
+    // An insignificant trending verdict means the gradient was gated.
+    if (r.trending_evaluated && !r.gradient_significant) {
+      EXPECT_EQ(r.rtt_gradient, 0.0);
+    }
+    EXPECT_TRUE(r.rc_state == "starting" || r.rc_state == "probing" ||
+                r.rc_state == "moving")
+        << r.rc_state;
+    EXPECT_EQ(r.mode, sender_->utility().name());
+    EXPECT_EQ(r.hybrid_threshold_mbps, 0.0);  // not a hybrid flow
+    EXPECT_GT(r.send_rate_mbps, 0.0);
+    EXPECT_GE(r.rtt_samples, 2);
+    EXPECT_GE(r.packets_sent, r.packets_acked);
+  }
+}
+
+TEST_F(TelemetryGolden, TelemetryOnIsBitIdentical) {
+  // Same seed, recorder detached vs. attached: recording is pure
+  // observation, so every stat of the two runs must match exactly.
+  run(nullptr);
+  const SenderStats off = flow_->sender().stats();
+  const double off_utility = sender_->last_utility();
+  const uint64_t off_mis = sender_->mis_completed();
+  const double off_mbps =
+      flow_->mean_throughput_mbps(from_sec(5), from_sec(30));
+
+  TelemetryRecorder rec(/*capacity=*/100000, /*every=*/1);
+  run(&rec);
+  const SenderStats on = flow_->sender().stats();
+  EXPECT_EQ(on.packets_sent, off.packets_sent);
+  EXPECT_EQ(on.packets_acked, off.packets_acked);
+  EXPECT_EQ(on.packets_lost, off.packets_lost);
+  EXPECT_EQ(on.bytes_delivered, off.bytes_delivered);
+  EXPECT_EQ(sender_->mis_completed(), off_mis);
+  EXPECT_EQ(sender_->last_utility(), off_utility);
+  EXPECT_EQ(flow_->mean_throughput_mbps(from_sec(5), from_sec(30)),
+            off_mbps);
+  EXPECT_GT(rec.recorded(), 0u);  // the recorder did observe the run
+}
+
+TEST_F(TelemetryGolden, SubsamplingRecordsEveryNthMi) {
+  TelemetryRecorder rec(/*capacity=*/100000, /*every=*/4);
+  run(&rec);
+  EXPECT_EQ(rec.seen(), sender_->mis_completed());
+  // ceil(seen / 4) records: the first MI hits, then every fourth.
+  EXPECT_EQ(rec.recorded(), (rec.seen() + 3) / 4);
+}
+
+// ---- Exporters ---------------------------------------------------------
+
+TEST(TelemetryExport, JsonlCarriesEveryRequiredKey) {
+  TelemetryRecorder rec(8, 1);
+  rec.push(record_with_id(1));
+  rec.push(record_with_id(2));
+  const std::string path = ::testing::TempDir() + "/telemetry_test.jsonl";
+  ASSERT_TRUE(write_mi_records_jsonl(path, "flow0-proteus-s", rec));
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    for (const std::string& key : mi_record_required_keys()) {
+      EXPECT_NE(line.find("\"" + key + "\":"), std::string::npos)
+          << "line " << lines << " missing " << key;
+    }
+    EXPECT_NE(line.find("\"flow\":\"flow0-proteus-s\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryExport, CsvHeaderMatchesRowWidth) {
+  TelemetryRecorder rec(8, 1);
+  rec.push(record_with_id(1));
+  const std::string path = ::testing::TempDir() + "/telemetry_test.csv";
+  ASSERT_TRUE(write_mi_records_csv(path, rec));
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryExport, SanitizePathComponent) {
+  EXPECT_EQ(sanitize_path_component("flow0-proteus.s_1"),
+            "flow0-proteus.s_1");
+  EXPECT_EQ(sanitize_path_component("a/b c:d"), "a_b_c_d");
+  EXPECT_EQ(sanitize_path_component(""), "flow");
+}
+
+TEST(TelemetryExport, SessionExportsOnDestruction) {
+  const std::string dir = ::testing::TempDir() + "/telemetry_session";
+  TelemetryConfig cfg;
+  cfg.dir = dir;
+  cfg.every = 1;
+  RunContext ctx(/*attempt=*/0, /*wall_timeout_sec=*/0,
+                 /*sim_timeout_sec=*/0, /*trace_capacity=*/50);
+  ctx.set_telemetry(&cfg, "unit");
+
+  ScenarioConfig scfg;
+  scfg.seed = 11;
+  Scenario sc(scfg);
+  Flow& flow = sc.add_flow("proteus-s", 0);
+  {
+    FlowTelemetrySession session(&ctx, flow, "flow0-proteus-s");
+    ASSERT_TRUE(session.active());
+    sc.run_until(from_sec(10));
+    EXPECT_GT(session.recorder()->recorded(), 0u);
+  }  // destructor exports
+
+  const std::string base = dir + "/unit-flow0-proteus-s";
+  for (const char* suffix : {".jsonl", ".csv", ".metrics.csv"}) {
+    std::ifstream in(base + suffix);
+    EXPECT_TRUE(in.good()) << base << suffix;
+    std::string first;
+    EXPECT_TRUE(std::getline(in, first)) << base << suffix;
+  }
+  // The metrics snapshot names the counters the registry promises.
+  std::ifstream metrics(base + ".metrics.csv");
+  std::string all((std::istreambuf_iterator<char>(metrics)),
+                  std::istreambuf_iterator<char>());
+  for (const char* name :
+       {"mis_completed", "ack_filter_accepted", "sender_packets_sent",
+        "rtt_ms.p95", "base_rate_mbps"}) {
+    EXPECT_NE(all.find(name), std::string::npos) << name;
+  }
+  // The context received the JSONL tail for repro bundles.
+  EXPECT_FALSE(ctx.telemetry_tail().empty());
+  for (const std::string& line : ctx.telemetry_tail()) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_NE(line.find("\"flow\":"), std::string::npos);
+  }
+}
+
+TEST(TelemetryExport, SessionInertWithoutConfig) {
+  ScenarioConfig scfg;
+  scfg.seed = 11;
+  Scenario sc(scfg);
+  Flow& flow = sc.add_flow("proteus-s", 0);
+  FlowTelemetrySession no_ctx(nullptr, flow, "flow0");
+  EXPECT_FALSE(no_ctx.active());
+  RunContext ctx(0, 0, 0, 50);  // context without telemetry config
+  FlowTelemetrySession no_cfg(&ctx, flow, "flow0");
+  EXPECT_FALSE(no_cfg.active());
+}
+
+// ---- Metrics registry ---------------------------------------------------
+
+TEST(MetricsRegistry, KindsAndHistogramExpansion) {
+  MetricsRegistry reg;
+  reg.counter("retransmits", 3);
+  reg.gauge("rate_mbps", 12.5);
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  reg.histogram("rtt_ms", s);
+  const auto& e = reg.entries();
+  ASSERT_EQ(e.size(), 8u);  // 1 counter + 1 gauge + 6 histogram rows
+  EXPECT_EQ(e[0].name, "retransmits");
+  EXPECT_EQ(e[0].kind, 'c');
+  EXPECT_DOUBLE_EQ(e[0].value, 3.0);
+  EXPECT_EQ(e[1].kind, 'g');
+  EXPECT_DOUBLE_EQ(e[1].value, 12.5);
+  EXPECT_EQ(e[2].name, "rtt_ms.count");
+  EXPECT_DOUBLE_EQ(e[2].value, 4.0);
+  EXPECT_EQ(e[7].name, "rtt_ms.max");
+  EXPECT_DOUBLE_EQ(e[7].value, 4.0);
+}
+
+// ---- Profiler -----------------------------------------------------------
+
+TEST(Profiler, ScopesRecordOnlyWhenInstalled) {
+  Profiler p;
+  { PROTEUS_PROFILE_SCOPE(ProfilePhase::kOnAck); }  // disarmed: no-op
+  EXPECT_EQ(p.stats(ProfilePhase::kOnAck).calls, 0u);
+
+  Profiler* prev = Profiler::install(&p);
+  { PROTEUS_PROFILE_SCOPE(ProfilePhase::kOnAck); }
+  { PROTEUS_PROFILE_SCOPE(ProfilePhase::kSealMi); }
+  { PROTEUS_PROFILE_SCOPE(ProfilePhase::kSealMi); }
+  Profiler::install(prev);
+  { PROTEUS_PROFILE_SCOPE(ProfilePhase::kOnAck); }  // disarmed again
+
+  EXPECT_EQ(p.stats(ProfilePhase::kOnAck).calls, 1u);
+  EXPECT_EQ(p.stats(ProfilePhase::kSealMi).calls, 2u);
+  EXPECT_EQ(p.stats(ProfilePhase::kRateControl).calls, 0u);
+
+  const std::string table = p.summary_table();
+  EXPECT_NE(table.find("on_ack"), std::string::npos);
+  EXPECT_NE(table.find("seal_mi"), std::string::npos);
+
+  p.reset();
+  EXPECT_EQ(p.stats(ProfilePhase::kSealMi).calls, 0u);
+}
+
+TEST(Profiler, ProfiledSimRecordsAllPhases) {
+  Profiler p;
+  Profiler* prev = Profiler::install(&p);
+  ScenarioConfig cfg;
+  cfg.seed = 3;
+  {
+    Scenario sc(cfg);
+    sc.add_flow("proteus-p", 0);
+    sc.run_until(from_sec(5));
+  }
+  Profiler::install(prev);
+  for (ProfilePhase phase :
+       {ProfilePhase::kOnAck, ProfilePhase::kSealMi,
+        ProfilePhase::kRateControl, ProfilePhase::kEventQueue}) {
+    EXPECT_GT(p.stats(phase).calls, 0u) << profile_phase_name(phase);
+  }
+  // Event dispatch is inclusive, so it dominates every other phase.
+  EXPECT_GE(p.stats(ProfilePhase::kEventQueue).total_ns,
+            p.stats(ProfilePhase::kSealMi).total_ns);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -25,7 +25,9 @@
 #include "harness/cli.h"
 #include "harness/supervisor.h"
 #include "harness/table.h"
+#include "harness/telemetry_export.h"
 #include "harness/trace_export.h"
+#include "telemetry/profiler.h"
 
 using namespace proteus;
 
@@ -91,6 +93,10 @@ int main(int argc, char** argv) {
   sup.sweep_name = "proteus_sim";
   sup.checkpoint_path.clear();  // a single run has nothing to resume
 
+  // --profile: arm the global phase profiler for the whole run.
+  Profiler profiler;
+  if (opt.profile) Profiler::install(&profiler);
+
   // The single supervised "sweep point" builds the scenario into main's
   // scope so the report below can read it — including the partial state
   // left behind by an interrupt or watchdog timeout.
@@ -107,9 +113,17 @@ int main(int argc, char** argv) {
          cfg.seed = ctx.attempt_seed(opt.scenario.seed);
          scenario = std::make_unique<Scenario>(cfg);
          flows.clear();
+         // Sessions are scoped to the attempt: their destructors export
+         // the telemetry files even when the watchdog/invariant check
+         // throws below.
+         std::vector<std::unique_ptr<FlowTelemetrySession>> telemetry;
          for (const CliFlowSpec& spec : opt.flows) {
            flows.push_back(
                &scenario->add_flow(spec.protocol, from_sec(spec.start_sec)));
+           telemetry.push_back(std::make_unique<FlowTelemetrySession>(
+               &ctx, *flows.back(),
+               "flow" + std::to_string(flows.size() - 1) + "-" +
+                   spec.protocol));
          }
          supervised_run_until(*scenario, duration, &ctx);
          check_invariants_or_throw(*scenario);
@@ -119,6 +133,17 @@ int main(int argc, char** argv) {
   const SupervisedSweep<double> sweep =
       run_supervised(std::move(tasks), sup, scalar_codec());
   const PointStatus& st = sweep.statuses[0];
+
+  if (opt.profile) {
+    Profiler::install(nullptr);
+    std::printf("\nphase profile (wall time, inclusive):\n%s\n",
+                profiler.summary_table().c_str());
+  }
+  if (sup.telemetry.enabled()) {
+    std::printf("telemetry written to %s/ (every %d MI%s)\n",
+                sup.telemetry.dir.c_str(), sup.telemetry.every,
+                sup.telemetry.every == 1 ? "" : "s");
+  }
 
   if (st.status == RunStatus::kSkipped) {
     std::fprintf(stderr, "interrupted; writing partial outputs\n");

@@ -1,0 +1,161 @@
+// telemetry_validate — check telemetry JSONL files.
+//
+//   telemetry_validate run1/flow0.jsonl [more.jsonl ...]
+//
+// For every file: each line must be a flat JSON object (strict scan of
+// the subset the exporter emits: string/number/bool values, no nesting)
+// and must contain every key of the per-MI record schema
+// (mi_record_required_keys). Exit 0 when every line of every file
+// passes; exit 1 with a line-numbered diagnosis otherwise. Used by
+// verify.sh's telemetry tier, so the exporter and this validator must
+// agree on the schema — both sides share mi_record_required_keys().
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace {
+
+// Minimal JSON scanner for one exporter line: {"key":value,...} with
+// string, number, true/false values. Fills `keys`; returns false (with
+// `error`) on any syntax problem.
+bool scan_flat_json(const std::string& line, std::set<std::string>& keys,
+                    std::string& error) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  auto fail = [&](const std::string& what) {
+    error = what + " at column " + std::to_string(i + 1);
+    return false;
+  };
+  auto parse_string = [&](std::string& out) {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        if (i >= line.size()) return false;
+      }
+      out += line[i++];
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return fail("expected '{'");
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return fail("expected key string");
+      if (keys.count(key) != 0) return fail("duplicate key \"" + key + "\"");
+      keys.insert(key);
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') return fail("expected ':'");
+      ++i;
+      skip_ws();
+      // Value: string, number, or bool.
+      if (i < line.size() && line[i] == '"') {
+        std::string v;
+        if (!parse_string(v)) return fail("bad string value");
+      } else if (line.compare(i, 4, "true") == 0) {
+        i += 4;
+      } else if (line.compare(i, 5, "false") == 0) {
+        i += 5;
+      } else {
+        const size_t start = i;
+        while (i < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[i])) ||
+                line[i] == '-' || line[i] == '+' || line[i] == '.' ||
+                line[i] == 'e' || line[i] == 'E')) {
+          ++i;
+        }
+        if (i == start) return fail("expected value");
+        // Sanity-parse the number.
+        try {
+          size_t pos = 0;
+          (void)std::stod(line.substr(start, i - start), &pos);
+          if (pos != i - start) return fail("bad number");
+        } catch (const std::exception&) {
+          return fail("bad number");
+        }
+      }
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+  skip_ws();
+  if (i != line.size()) return fail("trailing characters");
+  return true;
+}
+
+bool validate_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  bool ok = true;
+  size_t lineno = 0;
+  size_t records = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::set<std::string> keys;
+    std::string error;
+    if (!scan_flat_json(line, keys, error)) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineno,
+                   error.c_str());
+      ok = false;
+      continue;
+    }
+    for (const std::string& required : proteus::mi_record_required_keys()) {
+      if (keys.count(required) == 0) {
+        std::fprintf(stderr, "%s:%zu: missing required key \"%s\"\n",
+                     path.c_str(), lineno, required.c_str());
+        ok = false;
+      }
+    }
+    ++records;
+  }
+  if (records == 0) {
+    std::fprintf(stderr, "%s: no records\n", path.c_str());
+    return false;
+  }
+  if (ok) std::printf("%s: %zu records ok\n", path.c_str(), records);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: telemetry_validate <file.jsonl> [...]\n");
+    return 1;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (!validate_file(argv[i])) ok = false;
+  }
+  return ok ? 0 : 1;
+}

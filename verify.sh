@@ -16,10 +16,14 @@ ctest --test-dir build --output-on-failure -j
 
 echo "== tier 2: ThreadSanitizer (-DPROTEUS_SANITIZE=thread) =="
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test
+cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test stats_test telemetry_test
 ./build-tsan/tests/parallel_runner_test
 ./build-tsan/tests/supervisor_test
 ./build-tsan/tests/pcc_sender_test
+# Samples.ConcurrentConstReadersAreRaceFree pins the const-percentile
+# data race; telemetry_test exercises the exporter/profiler under TSan.
+./build-tsan/tests/stats_test
+./build-tsan/tests/telemetry_test
 
 echo "== tier 3: ASan+UBSan (-DPROTEUS_SANITIZE=address,undefined) =="
 cmake --preset asan >/dev/null
@@ -29,5 +33,17 @@ cmake --build build-asan -j --target robustness_test cli_test supervisor_test
 # Crash/hang self-test: throwing tasks, cooperative livelocks, watchdog
 # timeouts, interrupts, and kill-and-resume, all under ASan+UBSan.
 ./build-asan/tests/supervisor_test
+
+echo "== tier 4: telemetry export + JSONL schema validation =="
+# A short telemetried run must produce JSONL that the validator accepts
+# line-by-line (parseable flat JSON carrying every required schema key).
+TELDIR="$(mktemp -d)"
+trap 'rm -rf "$TELDIR"' EXIT
+./build/tools/proteus_sim --flows=proteus-p,proteus-s@2 --duration=8 \
+  --warmup=2 --telemetry="$TELDIR" --telemetry-every=2 --profile >/dev/null
+ls "$TELDIR"/*.jsonl >/dev/null 2>&1 || {
+  echo "tier 4: no telemetry JSONL written to $TELDIR" >&2; exit 1;
+}
+./build/tools/telemetry_validate "$TELDIR"/*.jsonl
 
 echo "verify: OK"
