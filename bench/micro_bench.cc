@@ -80,13 +80,43 @@ void BM_NoiseControlPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_NoiseControlPipeline);
 
+// Raw event-engine hot loop: steady-state hold of 4096 pending events,
+// one pop + one push per iteration, delays drawn from a fixed xorshift so
+// both engines see the identical schedule. Arg 0 = timer wheel, 1 =
+// reference binary heap.
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const EventEngine engine = state.range(0) == 0 ? EventEngine::kTimerWheel
+                                                 : EventEngine::kBinaryHeap;
+  EventQueue q(engine);
+  TimeNs now = 0;
+  uint64_t x = 88172645463325252ull;
+  auto next_delay = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Mostly sub-RTT timers with an occasional long (overflow-range) one.
+    return static_cast<TimeNs>(x % ((x & 15u) == 0 ? from_ms(400)
+                                                   : from_ms(10)));
+  };
+  for (int i = 0; i < 4096; ++i) q.push(now + next_delay(), [] {});
+  for (auto _ : state) {
+    auto [when, cb] = q.pop();
+    now = when;
+    q.push(now + next_delay(), [] {});
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(0)->Arg(1);
+
 // End-to-end simulation speed: one saturated 50 Mbps flow, cost per
-// simulated second.
+// simulated second. Arg 0 = timer wheel, 1 = binary heap.
 void BM_SimulatedSecond(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     ScenarioConfig cfg;
     cfg.seed = 5;
+    cfg.engine = state.range(0) == 0 ? EventEngine::kTimerWheel
+                                     : EventEngine::kBinaryHeap;
     auto sc = std::make_unique<Scenario>(cfg);
     sc->add_flow("proteus-p", 0);
     sc->run_until(from_sec(2));  // warm
@@ -95,7 +125,7 @@ void BM_SimulatedSecond(benchmark::State& state) {
     benchmark::DoNotOptimize(sc->flows().front()->sender().stats());
   }
 }
-BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatedSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // Telemetry overhead check: the same simulated second with the per-MI
 // recorder detached (Arg(0)) vs attached (Arg(1)). The two variants must

@@ -17,6 +17,11 @@
 #                    EXPERIMENTS.md "Inspecting a run") for every sweep
 #                    point into D; TELEMETRY_EVERY=N subsamples to every
 #                    N-th MI (default 1) to bound output size
+#   BENCH_JSON=F     write the simulator-core macro benchmark
+#                    (bench_simcore: events/sec, allocs/event, peak RSS)
+#                    to F; without it the JSON only goes to stdout, so the
+#                    committed BENCH_simcore.json baseline is never
+#                    clobbered by accident
 # A bench whose sweep has failed points exits nonzero (repro bundles land
 # in ./repro); this script keeps going and reports the failures at the end.
 set -u
@@ -27,6 +32,7 @@ RUN_TIMEOUT="${RUN_TIMEOUT:-}"
 CHECKPOINT_DIR="${CHECKPOINT_DIR:-}"
 TELEMETRY_DIR="${TELEMETRY_DIR:-}"
 TELEMETRY_EVERY="${TELEMETRY_EVERY:-}"
+BENCH_JSON="${BENCH_JSON:-}"
 [ -n "$CHECKPOINT_DIR" ] && mkdir -p "$CHECKPOINT_DIR"
 [ -n "$TELEMETRY_DIR" ] && mkdir -p "$TELEMETRY_DIR"
 
@@ -53,6 +59,14 @@ for b in $others build/bench/fig08_config_sweep; do
         sweep_flags="$sweep_flags --telemetry-every=$TELEMETRY_EVERY"
       # shellcheck disable=SC2086
       "$b" $sweep_flags
+      rc=$?
+      ;;
+    *bench_simcore*)
+      if [ -n "$BENCH_JSON" ]; then
+        "$b" --out="$BENCH_JSON"
+      else
+        "$b"
+      fi
       rc=$?
       ;;
     *)

@@ -12,10 +12,9 @@ ShortFlowGenerator::ShortFlowGenerator(Simulator* sim, Dumbbell* dumbbell,
       cfg_(cfg),
       factory_(std::move(factory)),
       rng_(cfg.seed),
-      next_id_(cfg.first_flow_id),
-      alive_(std::make_shared<bool>(true)) {
+      next_id_(cfg.first_flow_id) {
   if (cfg_.arrival_rate_per_sec > 0.0) {
-    std::weak_ptr<bool> alive = alive_;
+    const LifeTag::Ref alive = alive_.ref();
     sim_->schedule_at(cfg_.start_time, [this, alive] {
       if (alive.expired()) return;
       schedule_next_arrival();
@@ -23,12 +22,12 @@ ShortFlowGenerator::ShortFlowGenerator(Simulator* sim, Dumbbell* dumbbell,
   }
 }
 
-ShortFlowGenerator::~ShortFlowGenerator() { *alive_ = false; }
+ShortFlowGenerator::~ShortFlowGenerator() = default;
 
 void ShortFlowGenerator::schedule_next_arrival() {
   const double mean_gap_sec = 1.0 / cfg_.arrival_rate_per_sec;
   const TimeNs gap = from_sec(rng_.exponential(mean_gap_sec));
-  std::weak_ptr<bool> alive = alive_;
+  const LifeTag::Ref alive = alive_.ref();
   sim_->schedule_in(gap, [this, alive] {
     if (alive.expired()) return;
     if (sim_->now() >= cfg_.stop_time) return;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/life_tag.h"
 #include "stats/percentile.h"
 #include "transport/flow.h"
 
@@ -50,7 +51,7 @@ class ShortFlowGenerator {
   FlowId next_id_;
   int64_t flows_started_ = 0;
   std::vector<std::unique_ptr<Flow>> flows_;
-  std::shared_ptr<bool> alive_;
+  LifeTag alive_;
 };
 
 }  // namespace proteus

@@ -34,14 +34,13 @@ VideoClient::VideoClient(Simulator* sim, Dumbbell* dumbbell,
       dumbbell_(dumbbell),
       cfg_(cfg),
       abr_(std::move(abr)),
-      threshold_policy_(threshold_policy),
-      alive_(std::make_shared<bool>(true)) {
+      threshold_policy_(threshold_policy) {
   sender_ = std::make_unique<Sender>(sim, dumbbell, cfg_.id, std::move(cc));
   receiver_ = std::make_unique<Receiver>(sim, dumbbell, cfg_.id);
   dumbbell_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
   sender_->set_on_all_delivered([this] { on_chunk_complete(); });
 
-  std::weak_ptr<bool> alive = alive_;
+  const LifeTag::Ref alive = alive_.ref();
   sim_->schedule_at(std::max(cfg_.start_time, sim_->now()), [this, alive] {
     if (alive.expired()) return;
     last_advance_ = sim_->now();
@@ -52,14 +51,13 @@ VideoClient::VideoClient(Simulator* sim, Dumbbell* dumbbell,
 }
 
 VideoClient::~VideoClient() {
-  *alive_ = false;
   dumbbell_->detach_flow(cfg_.id);
 }
 
 void VideoClient::tick() {
   advance_playback();
   maybe_request_chunk();
-  std::weak_ptr<bool> alive = alive_;
+  const LifeTag::Ref alive = alive_.ref();
   sim_->schedule_in(kTick, [this, alive] {
     if (alive.expired()) return;
     tick();

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/life_tag.h"
 #include "app/bola.h"
 #include "core/hybrid_threshold.h"
 #include "sim/dumbbell.h"
@@ -93,7 +94,7 @@ class VideoClient {
   int rebuffer_events_ = 0;
   TimeNs last_advance_ = 0;
 
-  std::shared_ptr<bool> alive_;
+  LifeTag alive_;
 };
 
 }  // namespace proteus

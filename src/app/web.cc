@@ -13,21 +13,20 @@ WebWorkload::WebWorkload(Simulator* sim, Dumbbell* dumbbell, Config cfg,
       cfg_(cfg),
       factory_(std::move(factory)),
       rng_(cfg.seed),
-      next_id_(cfg.first_flow_id),
-      alive_(std::make_shared<bool>(true)) {
-  std::weak_ptr<bool> alive = alive_;
+      next_id_(cfg.first_flow_id) {
+  const LifeTag::Ref alive = alive_.ref();
   sim_->schedule_at(cfg_.start_time, [this, alive] {
     if (alive.expired()) return;
     schedule_next_page();
   });
 }
 
-WebWorkload::~WebWorkload() { *alive_ = false; }
+WebWorkload::~WebWorkload() = default;
 
 void WebWorkload::schedule_next_page() {
   const double gap_sec =
       rng_.exponential(1.0 / cfg_.page_arrival_rate_per_sec);
-  std::weak_ptr<bool> alive = alive_;
+  const LifeTag::Ref alive = alive_.ref();
   sim_->schedule_in(from_sec(gap_sec), [this, alive] {
     if (alive.expired()) return;
     if (sim_->now() >= cfg_.stop_time) return;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/life_tag.h"
 #include "stats/percentile.h"
 #include "transport/flow.h"
 
@@ -58,7 +59,7 @@ class WebWorkload {
   FlowId next_id_;
   int64_t pages_started_ = 0;
   std::vector<Page> pages_;
-  std::shared_ptr<bool> alive_;
+  LifeTag alive_;
 };
 
 }  // namespace proteus

@@ -13,6 +13,37 @@ constexpr double kDrainGain = 1.0 / 2.885;
 
 BbrSender::BbrSender(Config cfg) : cfg_(cfg) {
   pacing_gain_ = cfg_.startup_gain;
+  snapshots_.resize(256);
+  snapshot_mask_ = snapshots_.size() - 1;
+}
+
+const BbrSender::SendSnapshot* BbrSender::find_snapshot(uint64_t seq) const {
+  const SnapshotSlot& slot = snapshots_[seq & snapshot_mask_];
+  return (slot.active && slot.seq == seq) ? &slot.snap : nullptr;
+}
+
+void BbrSender::erase_snapshot(uint64_t seq) {
+  SnapshotSlot& slot = snapshots_[seq & snapshot_mask_];
+  if (slot.active && slot.seq == seq) slot.active = false;
+}
+
+void BbrSender::store_snapshot(uint64_t seq, const SendSnapshot& snap) {
+  SnapshotSlot* slot = &snapshots_[seq & snapshot_mask_];
+  while (slot->active && slot->seq != seq) {
+    // The in-flight window outgrew the ring: double it and re-place the
+    // survivors under the new mask, then retry.
+    std::vector<SnapshotSlot> grown(snapshots_.size() * 2);
+    const size_t mask = grown.size() - 1;
+    for (const SnapshotSlot& s : snapshots_) {
+      if (s.active) grown[s.seq & mask] = s;
+    }
+    snapshots_ = std::move(grown);
+    snapshot_mask_ = mask;
+    slot = &snapshots_[seq & snapshot_mask_];
+  }
+  slot->snap = snap;
+  slot->seq = seq;
+  slot->active = true;
 }
 
 void BbrSender::on_start(TimeNs now) {
@@ -60,26 +91,26 @@ int64_t BbrSender::cwnd_bytes() const {
 }
 
 void BbrSender::on_packet_sent(const SentPacketInfo& info) {
-  snapshots_.emplace(
-      info.seq, SendSnapshot{delivered_bytes_, delivered_time_,
-                             info.sent_time});
+  store_snapshot(info.seq,
+                 SendSnapshot{delivered_bytes_, delivered_time_,
+                              info.sent_time});
   bytes_in_flight_ = info.bytes_in_flight;
 }
 
 void BbrSender::update_round(const AckInfo& info) {
-  auto it = snapshots_.find(info.seq);
-  if (it == snapshots_.end()) return;
-  if (it->second.delivered >= next_round_delivered_) {
+  const SendSnapshot* snap = find_snapshot(info.seq);
+  if (snap == nullptr) return;
+  if (snap->delivered >= next_round_delivered_) {
     ++round_count_;
     next_round_delivered_ = delivered_bytes_;
   }
 }
 
 void BbrSender::update_bandwidth(const AckInfo& info) {
-  auto it = snapshots_.find(info.seq);
-  if (it == snapshots_.end()) return;
-  const SendSnapshot snap = it->second;
-  snapshots_.erase(it);
+  const SendSnapshot* found = find_snapshot(info.seq);
+  if (found == nullptr) return;
+  const SendSnapshot snap = *found;
+  erase_snapshot(info.seq);
 
   const TimeNs interval = info.ack_time - snap.delivered_time;
   if (interval <= 0) return;
@@ -217,7 +248,7 @@ void BbrSender::on_loss(const LossInfo& info) {
   // BBR v1 does not react to individual losses; just track inflight and
   // drop the stale snapshot.
   bytes_in_flight_ = info.bytes_in_flight;
-  snapshots_.erase(info.seq);
+  erase_snapshot(info.seq);
 }
 
 }  // namespace proteus

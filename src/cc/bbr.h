@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "stats/ewma.h"
 #include "transport/cc_interface.h"
@@ -65,6 +65,20 @@ class BbrSender final : public CongestionController {
     TimeNs delivered_time;
     TimeNs sent_time;
   };
+  // Per-sent-packet snapshot storage, seq-indexed into a power-of-two
+  // ring: sender seqs are monotone and the in-flight window is narrow,
+  // so `seq & mask` collides only when the window outgrows the ring
+  // (then it doubles). Replaces an unordered_map whose node allocation
+  // per sent packet dominated the steady-state allocation count.
+  struct SnapshotSlot {
+    SendSnapshot snap{};
+    uint64_t seq = 0;
+    bool active = false;
+  };
+
+  const SendSnapshot* find_snapshot(uint64_t seq) const;
+  void erase_snapshot(uint64_t seq);
+  void store_snapshot(uint64_t seq, const SendSnapshot& snap);
 
   void update_bandwidth(const AckInfo& info);
   void update_round(const AckInfo& info);
@@ -81,7 +95,8 @@ class BbrSender final : public CongestionController {
   // Delivery-rate sampling.
   int64_t delivered_bytes_ = 0;
   TimeNs delivered_time_ = 0;
-  std::unordered_map<uint64_t, SendSnapshot> snapshots_;
+  std::vector<SnapshotSlot> snapshots_;
+  size_t snapshot_mask_ = 0;
 
   // Windowed max-bandwidth filter: monotonically decreasing (round, bps)
   // candidates; front is the current max, back absorbs dominated samples.

@@ -158,7 +158,7 @@ std::string cli_usage() {
          "[--link-stats=file.csv] [--faults=spec] [--retries=n] "
          "[--run-timeout=sec] [--sim-timeout=sec] [--checkpoint=journal] "
          "[--resume=journal] [--bundle-dir=dir] [--telemetry=dir] "
-         "[--telemetry-every=n] [--profile] "
+         "[--telemetry-every=n] [--profile] [--engine=wheel|heap] "
          "--flows=proto[@start][,proto[@start]...]";
 }
 
@@ -250,6 +250,16 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (key == "--telemetry" || key == "--telemetry-every") {
       if (!parse_telemetry_flag(arg, opt.supervisor.telemetry, r.error)) {
         if (r.error.empty()) r.error = "bad " + key + ": " + value;
+        return r;
+      }
+    } else if (key == "--engine") {
+      if (!need_value("--engine")) return r;
+      if (value == "wheel") {
+        opt.scenario.engine = EventEngine::kTimerWheel;
+      } else if (value == "heap") {
+        opt.scenario.engine = EventEngine::kBinaryHeap;
+      } else {
+        r.error = "bad --engine (want wheel|heap): " + value;
         return r;
       }
     } else if (key == "--profile") {

@@ -4,7 +4,7 @@
 
 namespace proteus {
 
-Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed) {
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed, cfg.engine) {
   DumbbellConfig dc;
   dc.bottleneck.rate = Bandwidth::from_mbps(cfg_.bandwidth_mbps);
   dc.bottleneck.prop_delay = from_ms(cfg_.rtt_ms / 2.0);

@@ -19,6 +19,10 @@ struct ScenarioConfig {
   int64_t buffer_bytes = 375'000;
   double random_loss = 0.0;
   uint64_t seed = 1;
+  // Event-engine selection (sim/event_queue.h). Both engines produce
+  // bit-identical runs; kBinaryHeap is kept as the reference for the
+  // cross-engine golden suite and for perf comparisons.
+  EventEngine engine = EventEngine::kTimerWheel;
 
   // Wireless-path impairments (paper's live-WiFi substitution).
   bool wifi_noise = false;

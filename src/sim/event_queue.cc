@@ -6,21 +6,140 @@
 
 namespace proteus {
 
-void EventQueue::push(TimeNs when, Callback cb) {
-  heap_.push_back(Event{when, next_seq_++, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+int32_t EventQueue::alloc_node() {
+  if (free_head_ != kNil) {
+    const int32_t i = free_head_;
+    free_head_ = pool_[i].next;
+    return i;
+  }
+  // Arena growth: only when total pending exceeds every previous peak,
+  // so it stops for good once the workload's high-water mark is reached.
+  pool_.emplace_back();
+  return static_cast<int32_t>(pool_.size() - 1);
 }
 
-TimeNs EventQueue::next_time() const {
-  return heap_.empty() ? kTimeInfinite : heap_.front().when;
+void EventQueue::park_in_bucket(Event e) {
+  const size_t b = static_cast<size_t>((e.when - wheel_base_) / kBucketNs);
+  const int32_t i = alloc_node();
+  pool_[i].e = std::move(e);
+  pool_[i].next = bucket_head_[b];
+  bucket_head_[b] = i;
+  ++wheel_count_;
+}
+
+void EventQueue::push(TimeNs when, Callback&& cb) {
+  // The callback is written straight into its resting place (arena node
+  // or heap slot) instead of through an Event temporary: each extra move
+  // is a ~100-byte inline-capture relocation, and the hot path used to
+  // pay five of them per scheduled event.
+  const uint64_t seq = next_seq_++;
+  ++size_;
+  if (engine_ == EventEngine::kBinaryHeap) {
+    heap_.push_back(Event{when, seq, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return;
+  }
+  if (when < active_end_) {
+    // At or before the watermark: compete directly in the active heap.
+    // This also absorbs pushes that land "behind" the wheel cursor (the
+    // clock trails the cursor after idle gaps), keeping order exact.
+    const int32_t i = alloc_node();
+    Node& n = pool_[i];
+    n.e.when = when;
+    n.e.seq = seq;
+    n.e.cb = std::move(cb);
+    active_.push_back(ActiveRef{when, seq, i});
+    std::push_heap(active_.begin(), active_.end(), LaterRef{});
+  } else if (when < horizon()) {
+    const size_t b = static_cast<size_t>((when - wheel_base_) / kBucketNs);
+    const int32_t i = alloc_node();
+    Node& n = pool_[i];
+    n.e.when = when;
+    n.e.seq = seq;
+    n.e.cb = std::move(cb);
+    n.next = bucket_head_[b];
+    bucket_head_[b] = i;
+    ++wheel_count_;
+  } else {
+    overflow_.push_back(Event{when, seq, std::move(cb)});
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+void EventQueue::refill_from_overflow() {
+  // Overflow events are always at/after the wheel base (the base only
+  // moves forward, and events entered overflow because they were beyond
+  // the horizon at push time), so the bucket index never underflows.
+  while (!overflow_.empty() && overflow_.front().when < horizon()) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    park_in_bucket(std::move(overflow_.back()));
+    overflow_.pop_back();
+  }
+}
+
+void EventQueue::settle_slow() {
+  while (active_.empty() && size_ > 0) {
+    if (wheel_count_ == 0) {
+      // Everything pending sits beyond the horizon: jump the wheel base
+      // straight to the earliest overflow event instead of stepping
+      // through empty rotations. The base stays a kBucketNs multiple so
+      // bucket spans stay aligned.
+      wheel_base_ = overflow_.front().when / kBucketNs * kBucketNs;
+      cursor_ = 0;
+      refill_from_overflow();
+    }
+    // Advance to the next non-empty bucket, rotating at the wheel edge.
+    // wheel_count_ > 0 here (the refill above moved at least the earliest
+    // overflow event inside the new horizon), so the scan terminates.
+    while (bucket_head_[cursor_] == kNil) {
+      ++cursor_;
+      if (cursor_ == kNumBuckets) {
+        wheel_base_ += kWheelSpanNs;
+        cursor_ = 0;
+        refill_from_overflow();
+      }
+      if (wheel_count_ == 0) break;  // defensive; handled by outer loop
+    }
+    active_end_ = wheel_base_ + static_cast<TimeNs>(cursor_ + 1) * kBucketNs;
+    // Activate the bucket: its events stay in their arena nodes; only
+    // refs enter the heap. Nodes are reclaimed at pop. active_'s capacity
+    // ratchets to the largest bucket ever seen, so steady state allocates
+    // nothing.
+    for (int32_t i = bucket_head_[cursor_]; i != kNil; i = pool_[i].next) {
+      active_.push_back(ActiveRef{pool_[i].e.when, pool_[i].e.seq, i});
+      --wheel_count_;
+    }
+    bucket_head_[cursor_] = kNil;
+    std::make_heap(active_.begin(), active_.end(), LaterRef{});
+  }
+}
+
+TimeNs EventQueue::next_time() {
+  if (size_ == 0) return kTimeInfinite;
+  if (engine_ == EventEngine::kBinaryHeap) return heap_.front().when;
+  settle();
+  return active_.front().when;
 }
 
 std::pair<TimeNs, EventQueue::Callback> EventQueue::pop() {
-  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event& e = heap_.back();
-  std::pair<TimeNs, Callback> out{e.when, std::move(e.cb)};
-  heap_.pop_back();
+  if (size_ == 0) throw std::logic_error("EventQueue::pop on empty queue");
+  if (engine_ == EventEngine::kBinaryHeap) {
+    --size_;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event& e = heap_.back();
+    std::pair<TimeNs, Callback> out{e.when, std::move(e.cb)};
+    heap_.pop_back();
+    return out;
+  }
+  settle();  // must run before --size_: it keys off size_ to find work
+  --size_;
+  std::pop_heap(active_.begin(), active_.end(), LaterRef{});
+  const ActiveRef ref = active_.back();
+  active_.pop_back();
+  Node& n = pool_[ref.node];
+  std::pair<TimeNs, Callback> out{ref.when, std::move(n.e.cb)};
+  n.next = free_head_;
+  free_head_ = ref.node;
   return out;
 }
 

@@ -1,34 +1,81 @@
-// Min-heap of timestamped callbacks with stable FIFO order for ties.
+// Event queue: timestamped callbacks popped in strict (when, seq) order.
+//
+// Two interchangeable engines implement the same contract:
+//
+//  * kTimerWheel (default) — a two-level scheduler. Near-future events
+//    (within ~268 ms of the wheel base) land in one of 2048 unsorted
+//    buckets of ~131 us each; ordering work happens only when a bucket
+//    becomes the "active" bucket and is heapified. Far-future events wait
+//    in a small overflow heap and migrate into the wheel as it rotates.
+//    Pushing into a future bucket is O(1); popping pays O(log b) on the
+//    handful of events sharing one 131 us bucket instead of O(log n) on
+//    the whole pending set. Buckets are intrusive singly-linked lists
+//    over one pooled node arena rather than 2048 little vectors: the
+//    arena's capacity ratchets to the peak TOTAL pending count (a
+//    stationary quantity reached during warm-up), whereas per-bucket
+//    vectors keep allocating every time one bucket sets a new personal
+//    occupancy record — which would break the zero-allocation steady
+//    state (tests/sim_alloc_test.cc).
+//  * kBinaryHeap — the original single std::push_heap/pop_heap vector.
+//    Kept as the reference engine: the cross-engine golden suite runs
+//    every scenario under both and asserts byte-identical output.
+//
+// Both engines pop the exact minimum under the (when, seq) strict total
+// order (seq is unique, assigned at push), so the event execution order —
+// and therefore every simulation trace — is bit-identical between them.
+// Callbacks are InlineCallback (inline capture storage, no heap fallback),
+// so steady-state scheduling performs zero heap allocations once the node
+// arena and heap vectors have reached their high-water capacities.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/units.h"
 
 namespace proteus {
 
+enum class EventEngine {
+  kTimerWheel,  // two-level wheel + overflow (default)
+  kBinaryHeap,  // reference single binary heap
+};
+
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
+
+  explicit EventQueue(EventEngine engine = EventEngine::kTimerWheel)
+      : engine_(engine) {
+    if (engine_ == EventEngine::kTimerWheel) {
+      bucket_head_.assign(kNumBuckets, kNil);
+      pool_.reserve(1024);
+      active_.reserve(512);
+      overflow_.reserve(256);
+    }
+  }
+
+  EventEngine engine() const { return engine_; }
 
   // Schedules `cb` at absolute time `when`. Events at equal times fire in
   // insertion order, which keeps runs deterministic.
-  void push(TimeNs when, Callback cb);
+  void push(TimeNs when, Callback&& cb);
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
-  TimeNs next_time() const;
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  // Earliest pending time, or kTimeInfinite when empty. Non-const: the
+  // wheel engine may lazily advance its cursor to locate the minimum.
+  TimeNs next_time();
 
   // Pops and returns the earliest event. Precondition: !empty().
   std::pair<TimeNs, Callback> pop();
 
  private:
   struct Event {
-    TimeNs when;
-    uint64_t seq;
+    TimeNs when = 0;
+    uint64_t seq = 0;
     Callback cb;
   };
   struct Later {
@@ -38,15 +85,72 @@ class EventQueue {
     }
   };
 
-  // A raw vector managed with std::push_heap/pop_heap rather than a
-  // std::priority_queue: priority_queue::top() is const, which forces a
-  // copy of the std::function (a heap allocation) on every pop — the
-  // single hottest line of the simulator. pop_heap moves the earliest
-  // event to the back, where the callback can be moved out. The (when,
-  // seq) ordering is a strict total order (seq is unique), so pop order —
-  // and hence simulation behavior — is independent of heap layout.
-  std::vector<Event> heap_;
+  // Wheel geometry: 2048 buckets of 2^17 ns (~131 us) cover ~268 ms — wide
+  // enough that packet service, propagation, CC timers and RTO sweeps all
+  // stay on the wheel; only flow start/stop times and long fault windows
+  // visit the overflow heap.
+  static constexpr TimeNs kBucketNs = TimeNs{1} << 17;
+  static constexpr size_t kNumBuckets = 2048;
+  static constexpr TimeNs kWheelSpanNs =
+      kBucketNs * static_cast<TimeNs>(kNumBuckets);
+
+  TimeNs horizon() const { return wheel_base_ + kWheelSpanNs; }
+
+  // Ensures the active heap holds the global minimum whenever !empty().
+  // Invariant maintained by push/settle: every event outside the active
+  // heap has `when >= active_end_`, and the active heap is ordered by
+  // (when, seq) — so its top is the global minimum.
+  void settle() {
+    if (!active_.empty() || size_ == 0) return;
+    settle_slow();
+  }
+  void settle_slow();
+  void refill_from_overflow();
+  void park_in_bucket(Event e);
+  int32_t alloc_node();
+
+  EventEngine engine_;
+  size_t size_ = 0;
   uint64_t next_seq_ = 0;
+
+  // kBinaryHeap state. A raw vector managed with std::push_heap/pop_heap
+  // rather than a std::priority_queue: priority_queue::top() is const,
+  // which would force a copy on every pop; pop_heap moves the earliest
+  // event to the back, where the callback can be moved out.
+  std::vector<Event> heap_;
+
+  // kTimerWheel state. Every wheel-resident event lives in one pooled
+  // node arena; buckets are intrusive lists through it and the active
+  // heap holds 24-byte refs into it. Heap sift operations therefore move
+  // {when, seq, node} triples, never the ~136-byte Event (whose inline
+  // callback would pay a relocate per sift level) — profiling showed
+  // fat-Event pop_heap plus those relocates were over half the total
+  // event-loop cost.
+  static constexpr int32_t kNil = -1;
+  struct Node {
+    Event e;
+    int32_t next = kNil;
+  };
+  struct ActiveRef {
+    TimeNs when;
+    uint64_t seq;
+    int32_t node;
+  };
+  struct LaterRef {
+    bool operator()(const ActiveRef& a, const ActiveRef& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<Node> pool_;            // node arena; capacity ratchets
+  int32_t free_head_ = kNil;          // freelist through pool_[i].next
+  std::vector<int32_t> bucket_head_;  // per-bucket list head, kNil = empty
+  std::vector<ActiveRef> active_;  // heapified refs below active_end_
+  std::vector<Event> overflow_;    // heap of events at/after horizon()
+  TimeNs wheel_base_ = 0;        // start time of bucket 0, multiple of kBucketNs
+  size_t cursor_ = 0;            // bucket currently feeding active_
+  TimeNs active_end_ = kBucketNs;  // watermark: pushes below it go active
+  size_t wheel_count_ = 0;         // events parked in wheel buckets
 };
 
 }  // namespace proteus

@@ -1,0 +1,111 @@
+// InlineCallback: a move-only `void()` callable with fixed inline storage
+// and no heap fallback.
+//
+// The event engine fires millions of callbacks per simulated second; the
+// previous `std::function<void()>` representation heap-allocated once per
+// scheduled event whose capture outgrew the implementation's small-buffer
+// optimization (every `[this, pkt]` hop through Link and Dumbbell).
+// InlineCallback instead embeds the capture directly in the event slot:
+// construction is placement-new into an inline buffer, and a capture that
+// does not fit is a compile error rather than a silent allocation. The
+// static_assert below is the enforcement point for the whole tree — every
+// schedule_at/schedule_in call site in src/sim, src/transport and src/app
+// instantiates it, so the capture budget is checked at build time.
+//
+// kInlineCaptureBytes is sized for the largest hot-path capture, a
+// `[this, Packet]` pair (Link/Dumbbell delivery, 80 bytes), with headroom
+// for a captured Samples/std::function the tests use. Growing it enlarges
+// every event slot; keep it tight.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace proteus {
+
+inline constexpr std::size_t kInlineCaptureBytes = 104;
+
+class InlineCallback {
+ public:
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineCaptureBytes,
+                  "callback capture exceeds the InlineCallback budget; "
+                  "shrink the capture (capture pointers, not values) or "
+                  "grow kInlineCaptureBytes deliberately");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callback capture");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callback capture must be nothrow-move-constructible so "
+                  "event slots can relocate without a throw path");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &OpsImpl<Fn>::kOps;
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { steal(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs *src into dst and destroys *src (relocation).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct OpsImpl {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      if constexpr (std::is_trivially_copyable_v<Fn>) {
+        std::memcpy(dst, src, sizeof(Fn));
+      } else {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      }
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  void steal(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCaptureBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace proteus

@@ -6,8 +6,18 @@
 
 namespace proteus {
 
+namespace {
+// A duplicate is injected this long after its original's arrival, before
+// the FIFO clamp (see clamp_delivery).
+constexpr TimeNs kDuplicateLag = from_us(50);
+}  // namespace
+
 Link::Link(Simulator* sim, LinkConfig cfg, uint64_t noise_seed)
-    : sim_(sim), cfg_(cfg), rng_(noise_seed) {}
+    : sim_(sim), cfg_(cfg), rng_(noise_seed) {
+  // Typical high-water occupancy for a sim-scale buffer; the ring still
+  // grows if a scenario configures a deeper queue.
+  queue_.reserve(256);
+}
 
 void Link::set_latency_noise(std::unique_ptr<LatencyNoise> noise) {
   noise_ = std::move(noise);
@@ -37,8 +47,7 @@ void Link::on_packet(const Packet& pkt) {
     }
     return;
   }
-  queue_.push_back(pkt);
-  enqueue_times_.push_back(sim_->now());
+  queue_.push_back(QueuedPacket{pkt, sim_->now()});
   queue_bytes_ += pkt.size_bytes;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queue_bytes_);
   maybe_start_service();
@@ -101,13 +110,11 @@ void Link::service_head() {
     });
     return;
   }
-  const Packet pkt = queue_.front();
-  const TimeNs tx = effective_rate().tx_time(pkt.size_bytes);
+  const TimeNs tx = effective_rate().tx_time(queue_.front().pkt.size_bytes);
   sim_->schedule_in(tx, [this] {
-    Packet pkt = queue_.front();
+    const Packet pkt = queue_.front().pkt;
+    const TimeNs enqueued = queue_.front().enqueued;
     queue_.pop_front();
-    const TimeNs enqueued = enqueue_times_.front();
-    enqueue_times_.pop_front();
     queue_bytes_ -= pkt.size_bytes;
 
     if (codel_should_drop(sim_->now() - enqueued, sim_->now())) {
@@ -132,20 +139,7 @@ void Link::service_head() {
         straggler = true;
       }
     }
-    TimeNs arrival = now + prop + extra;
-    if (straggler) {
-      // A fault-injected straggler is deliberately overtaken: deliver late
-      // and leave the FIFO floor alone so successors pass it.
-      ++stats_.reordered;
-      arrival = std::max(arrival, last_delivery_time_ + 1);
-    } else if (cfg_.allow_reordering) {
-      if (arrival < last_delivery_time_) ++stats_.reordered;
-      last_delivery_time_ = std::max(last_delivery_time_, arrival);
-    } else {
-      // Force FIFO delivery despite per-packet noise.
-      arrival = std::max(arrival, last_delivery_time_);
-      last_delivery_time_ = arrival;
-    }
+    const TimeNs arrival = clamp_delivery(now + prop + extra, straggler);
 
     ++stats_.delivered_packets;
     stats_.delivered_bytes += pkt.size_bytes;
@@ -153,11 +147,17 @@ void Link::service_head() {
       sim_->schedule_at(arrival, [this, pkt] { sink_->on_packet(pkt); });
     }
     if (faults_ != nullptr && faults_->sample_duplicate(now)) {
+      // The duplicate is a delivery like any other: it runs through the
+      // same FIFO/reorder bookkeeping as its original, so with
+      // allow_reordering=false a duplicate can never leapfrog behind a
+      // successor (it used to bypass the floor and silently reorder).
+      const TimeNs dup_arrival =
+          clamp_delivery(arrival + kDuplicateLag, straggler);
       ++stats_.duplicated;
       ++stats_.delivered_packets;
       stats_.delivered_bytes += pkt.size_bytes;
       if (sink_ != nullptr) {
-        sim_->schedule_at(arrival + from_us(50),
+        sim_->schedule_at(dup_arrival,
                           [this, pkt] { sink_->on_packet(pkt); });
       }
     }
@@ -168,6 +168,24 @@ void Link::service_head() {
       service_head();
     }
   });
+}
+
+TimeNs Link::clamp_delivery(TimeNs arrival, bool straggler) {
+  if (straggler) {
+    // A fault-injected straggler is deliberately overtaken: deliver late
+    // and leave the FIFO floor alone so successors pass it.
+    ++stats_.reordered;
+    return std::max(arrival, last_delivery_time_ + 1);
+  }
+  if (cfg_.allow_reordering) {
+    if (arrival < last_delivery_time_) ++stats_.reordered;
+    last_delivery_time_ = std::max(last_delivery_time_, arrival);
+    return arrival;
+  }
+  // Force FIFO delivery despite per-packet noise.
+  arrival = std::max(arrival, last_delivery_time_);
+  last_delivery_time_ = arrival;
+  return arrival;
 }
 
 TimeNs Link::current_queue_delay() {

@@ -12,12 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
 #include "sim/fault_timeline.h"
 #include "sim/noise.h"
 #include "sim/packet.h"
+#include "sim/ring_buffer.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
 
@@ -91,11 +91,23 @@ class Link final : public PacketSink {
   void set_rate(Bandwidth rate) { cfg_.rate = rate; }
 
  private:
+  // One FIFO slot: the packet plus its enqueue time (CoDel sojourn).
+  // Packed together in a single ring buffer so the per-packet path keeps
+  // one allocation-free structure instead of two parallel deques.
+  struct QueuedPacket {
+    Packet pkt;
+    TimeNs enqueued = 0;
+  };
+
   void maybe_start_service();
   void service_head();
   Bandwidth effective_rate();
   // CoDel dequeue decision for a packet that waited `sojourn`.
   bool codel_should_drop(TimeNs sojourn, TimeNs now);
+  // Applies the FIFO/reordering bookkeeping shared by originals and
+  // fault-injected duplicates; returns the (possibly clamped) delivery
+  // time. `straggler` deliveries bypass the floor on purpose.
+  TimeNs clamp_delivery(TimeNs arrival, bool straggler);
 
   Simulator* sim_;
   LinkConfig cfg_;
@@ -105,8 +117,7 @@ class Link final : public PacketSink {
   FaultTimeline* faults_ = nullptr;
   Rng rng_;
 
-  std::deque<Packet> queue_;
-  std::deque<TimeNs> enqueue_times_;  // parallel to queue_
+  RingBuffer<QueuedPacket> queue_;
   int64_t queue_bytes_ = 0;
   bool serving_ = false;
   TimeNs last_delivery_time_ = 0;  // FIFO floor for noisy deliveries

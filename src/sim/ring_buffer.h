@@ -1,0 +1,78 @@
+// RingBuffer: a growable FIFO over a single contiguous power-of-two
+// backing array.
+//
+// std::deque allocates and frees a block every few hundred elements as the
+// FIFO cycles — a steady drip of heap traffic on the per-packet path.
+// RingBuffer reaches its high-water capacity during warm-up and then
+// cycles allocation-free forever. Used for the Link transmit queue and the
+// Sender's in-flight window.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace proteus {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  explicit RingBuffer(size_t initial_capacity) { reserve(initial_capacity); }
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+  // i-th element from the front (0 = front). Precondition: i < size().
+  T& at(size_t i) { return slots_[(head_ + i) & mask_]; }
+  const T& at(size_t i) const { return slots_[(head_ + i) & mask_]; }
+
+  void push_back(T value) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    slots_[head_] = T{};  // release any resources held by the slot
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    while (count_ > 0) pop_front();
+    head_ = 0;
+  }
+
+  // Ensures capacity for at least `n` elements (rounded up to a power of
+  // two) without changing contents.
+  void reserve(size_t n) {
+    if (n <= slots_.size()) return;
+    size_t cap = slots_.empty() ? 16 : slots_.size();
+    while (cap < n) cap *= 2;
+    rebase(cap);
+  }
+
+ private:
+  void grow() { rebase(slots_.empty() ? 16 : slots_.size() * 2); }
+
+  void rebase(size_t new_cap) {
+    std::vector<T> next(new_cap);
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace proteus

@@ -7,18 +7,6 @@
 
 namespace proteus {
 
-void Simulator::schedule_at(TimeNs when, EventQueue::Callback cb) {
-  if (when < now_) {
-    throw std::logic_error("Simulator::schedule_at in the past");
-  }
-  queue_.push(when, std::move(cb));
-}
-
-void Simulator::schedule_in(TimeNs delay, EventQueue::Callback cb) {
-  if (delay < 0) throw std::logic_error("Simulator::schedule_in negative");
-  queue_.push(now_ + delay, std::move(cb));
-}
-
 void Simulator::run_until(TimeNs until) {
   while (!queue_.empty() && queue_.next_time() <= until) {
     auto [when, cb] = queue_.pop();

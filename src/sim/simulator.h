@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/units.h"
@@ -16,15 +18,28 @@ namespace proteus {
 
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(uint64_t seed = 1,
+                     EventEngine engine = EventEngine::kTimerWheel)
+      : queue_(engine), rng_(seed) {}
 
   TimeNs now() const { return now_; }
   Rng& rng() { return rng_; }
+  EventEngine engine() const { return queue_.engine(); }
 
   // Schedules a callback at absolute virtual time `when` (>= now).
-  void schedule_at(TimeNs when, EventQueue::Callback cb);
+  // Inline: the callback temporary binds by reference all the way into
+  // EventQueue::push, so scheduling costs a single capture relocation.
+  void schedule_at(TimeNs when, EventQueue::Callback&& cb) {
+    if (when < now_) {
+      throw std::logic_error("Simulator::schedule_at in the past");
+    }
+    queue_.push(when, std::move(cb));
+  }
   // Schedules a callback `delay` after now.
-  void schedule_in(TimeNs delay, EventQueue::Callback cb);
+  void schedule_in(TimeNs delay, EventQueue::Callback&& cb) {
+    if (delay < 0) throw std::logic_error("Simulator::schedule_in negative");
+    queue_.push(now_ + delay, std::move(cb));
+  }
 
   // Runs events until the queue drains or the clock passes `until`.
   // Events scheduled exactly at `until` are executed.

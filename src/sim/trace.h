@@ -35,6 +35,11 @@ class ThroughputMeter {
   explicit ThroughputMeter(TimeNs bin = from_sec(1.0)) : bin_(bin) {}
 
   void on_bytes(TimeNs t, int64_t bytes);
+  // Pre-sizes the bin array through time `t` so steady-state recording
+  // performs no allocation (see tests/sim_alloc_test.cc).
+  void reserve_until(TimeNs t) {
+    bins_.reserve(static_cast<size_t>(t / bin_) + 2);
+  }
   // Mbps series, one value per bin from t = 0; trailing partial bin included.
   std::vector<double> mbps_series() const;
   // Mean Mbps over [from, to).

@@ -8,8 +8,7 @@ Flow::Flow(Simulator* sim, Dumbbell* dumbbell, FlowConfig cfg,
            std::unique_ptr<CongestionController> cc)
     : sim_(sim),
       dumbbell_(dumbbell),
-      cfg_(cfg),
-      alive_(std::make_shared<bool>(true)) {
+      cfg_(cfg) {
   sender_ = std::make_unique<Sender>(sim, dumbbell, cfg_.id, std::move(cc));
   receiver_ = std::make_unique<Receiver>(sim, dumbbell, cfg_.id);
   dumbbell_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
@@ -26,7 +25,7 @@ Flow::Flow(Simulator* sim, Dumbbell* dumbbell, FlowConfig cfg,
     });
   }
 
-  std::weak_ptr<bool> alive = alive_;
+  const LifeTag::Ref alive = alive_.ref();
   sim_->schedule_at(std::max(cfg_.start_time, sim_->now()), [this, alive] {
     if (alive.expired()) return;
     if (cfg_.unlimited) {
@@ -46,7 +45,6 @@ Flow::Flow(Simulator* sim, Dumbbell* dumbbell, FlowConfig cfg,
 }
 
 Flow::~Flow() {
-  *alive_ = false;
   dumbbell_->detach_flow(cfg_.id);
 }
 

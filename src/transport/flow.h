@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "sim/life_tag.h"
 #include "sim/dumbbell.h"
 #include "stats/percentile.h"
 #include "transport/receiver.h"
@@ -56,7 +57,7 @@ class Flow {
   std::unique_ptr<Receiver> receiver_;
   Samples rtt_samples_;
   TimeNs completion_time_ = kTimeInfinite;
-  std::shared_ptr<bool> alive_;
+  LifeTag alive_;
 };
 
 }  // namespace proteus

@@ -20,10 +20,12 @@ Sender::Sender(Simulator* sim, Dumbbell* dumbbell, FlowId id,
       dumbbell_(dumbbell),
       id_(id),
       cc_(std::move(cc)),
-      packet_bytes_(packet_bytes),
-      alive_(std::make_shared<bool>(true)) {}
+      packet_bytes_(packet_bytes) {
+  slots_.resize(256);  // power of two; grows if the window ever spans more
+  slot_mask_ = slots_.size() - 1;
+}
 
-Sender::~Sender() { *alive_ = false; }
+Sender::~Sender() = default;
 
 void Sender::start() {
   if (running_) return;
@@ -112,13 +114,19 @@ void Sender::send_one() {
       unlimited_ ? packet_bytes_ : std::min(packet_bytes_, credit_);
   if (!unlimited_) credit_ -= bytes;
 
+  if (next_seq_ + 1 - base_seq_ > slots_.size()) grow_slots();
+
   Packet pkt;
   pkt.flow_id = id_;
   pkt.seq = next_seq_++;
   pkt.size_bytes = bytes;
   pkt.sent_time = sim_->now();
 
-  in_flight_.emplace(pkt.seq, InFlight{bytes, pkt.sent_time});
+  Slot& slot = slots_[pkt.seq & slot_mask_];
+  slot.bytes = bytes;
+  slot.sent_time = pkt.sent_time;
+  slot.active = true;
+  ++in_flight_count_;
   bytes_in_flight_ += bytes;
   ++stats_.packets_sent;
   stats_.bytes_sent += bytes;
@@ -137,7 +145,7 @@ void Sender::send_one() {
 void Sender::schedule_pacer(TimeNs when) {
   if (pacer_scheduled_for_ <= when) return;  // an earlier pacer is armed
   pacer_scheduled_for_ = when;
-  std::weak_ptr<bool> alive = alive_;
+  const LifeTag::Ref alive = alive_.ref();
   sim_->schedule_at(when, [this, alive, when] {
     if (alive.expired()) return;
     if (pacer_scheduled_for_ != when) return;  // superseded
@@ -152,7 +160,7 @@ void Sender::arm_cc_timer() {
     return;  // already armed at or before the requested time
   }
   cc_timer_armed_for_ = std::max(want, sim_->now());
-  std::weak_ptr<bool> alive = alive_;
+  const LifeTag::Ref alive = alive_.ref();
   const TimeNs armed = cc_timer_armed_for_;
   sim_->schedule_at(armed, [this, alive, armed] {
     if (alive.expired()) return;
@@ -170,27 +178,28 @@ TimeNs Sender::rto() const {
 }
 
 void Sender::arm_loss_sweep() {
-  if (loss_sweep_armed_ || in_flight_.empty()) return;
+  if (loss_sweep_armed_ || in_flight_count_ == 0) return;
   loss_sweep_armed_ = true;
-  std::weak_ptr<bool> alive = alive_;
+  const LifeTag::Ref alive = alive_.ref();
   sim_->schedule_in(std::max<TimeNs>(rto() / 2, from_ms(5)), [this, alive] {
     if (alive.expired()) return;
     loss_sweep_armed_ = false;
     const TimeNs now = sim_->now();
     const TimeNs deadline = rto();
-    std::vector<uint64_t> timed_out;
-    for (const auto& [seq, pkt] : in_flight_) {
-      if (now - pkt.sent_time > deadline) timed_out.push_back(seq);
+    // Packets are sent in seq order, so sent times are monotone and the
+    // timed-out set is always a prefix of the in-flight window. One look
+    // at the oldest unacked deadline (base_seq_'s slot) decides whether
+    // this tick has any work; expired packets are declared in place, in
+    // seq order, without materializing a scratch vector.
+    while (in_flight_count_ > 0) {
+      const Slot& slot = slots_[base_seq_ & slot_mask_];
+      if (now - slot.sent_time <= deadline) break;
+      const uint64_t seq = base_seq_;
+      const InFlight pkt{slot.bytes, slot.sent_time};
+      release_slot(seq);
+      declare_lost(seq, pkt);
     }
-    for (uint64_t seq : timed_out) {
-      auto it = in_flight_.find(seq);
-      if (it != in_flight_.end()) {
-        InFlight pkt = it->second;
-        in_flight_.erase(it);
-        declare_lost(seq, pkt);
-      }
-    }
-    if (!in_flight_.empty()) arm_loss_sweep();
+    if (in_flight_count_ > 0) arm_loss_sweep();
     maybe_fire_all_delivered();
     try_send(false);
   });
@@ -198,16 +207,48 @@ void Sender::arm_loss_sweep() {
 
 void Sender::detect_losses_by_threshold() {
   // Packets at least kLossReorderThreshold below the largest ack are lost.
-  std::vector<std::pair<uint64_t, InFlight>> lost;
-  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-    if (it->first + kLossReorderThreshold <= largest_acked_) {
-      lost.emplace_back(it->first, it->second);
-      it = in_flight_.erase(it);
-    } else {
-      break;  // map is ordered; later seqs are not past the threshold
-    }
+  // base_seq_ is the smallest in-flight seq, so the qualifying packets are
+  // exactly the window prefix below the threshold.
+  while (in_flight_count_ > 0 &&
+         base_seq_ + kLossReorderThreshold <= largest_acked_) {
+    const Slot& slot = slots_[base_seq_ & slot_mask_];
+    const uint64_t seq = base_seq_;
+    const InFlight pkt{slot.bytes, slot.sent_time};
+    release_slot(seq);
+    declare_lost(seq, pkt);
   }
-  for (const auto& [seq, pkt] : lost) declare_lost(seq, pkt);
+}
+
+Sender::Slot* Sender::find_slot(uint64_t seq) {
+  if (seq < base_seq_ || seq >= next_seq_) return nullptr;
+  Slot& slot = slots_[seq & slot_mask_];
+  return slot.active ? &slot : nullptr;
+}
+
+void Sender::release_slot(uint64_t seq) {
+  slots_[seq & slot_mask_].active = false;
+  --in_flight_count_;
+  advance_base();
+}
+
+void Sender::advance_base() {
+  while (base_seq_ < next_seq_ && !slots_[base_seq_ & slot_mask_].active) {
+    ++base_seq_;
+  }
+}
+
+void Sender::grow_slots() {
+  // Re-layout: the window span outgrew the ring (deep blackout or a huge
+  // cwnd), so double capacity and re-place every live seq under the new
+  // mask. Called before the next seq is assigned, so [base_seq_,
+  // next_seq_) enumerates exactly the slots worth keeping.
+  const size_t new_cap = slots_.size() * 2;
+  std::vector<Slot> next(new_cap);
+  for (uint64_t s = base_seq_; s < next_seq_; ++s) {
+    next[s & (new_cap - 1)] = slots_[s & slot_mask_];
+  }
+  slots_ = std::move(next);
+  slot_mask_ = new_cap - 1;
 }
 
 void Sender::declare_lost(uint64_t seq, const InFlight& pkt) {
@@ -240,11 +281,11 @@ void Sender::update_rtt(TimeNs rtt) {
 
 void Sender::on_packet(const Packet& ack) {
   PROTEUS_PROFILE_SCOPE(ProfilePhase::kOnAck);
-  auto it = in_flight_.find(ack.acked_seq);
-  if (it == in_flight_.end()) return;  // already declared lost; ignore
+  Slot* slot = find_slot(ack.acked_seq);
+  if (slot == nullptr) return;  // already declared lost (or dup ACK); ignore
 
-  const InFlight pkt = it->second;
-  in_flight_.erase(it);
+  const InFlight pkt{slot->bytes, slot->sent_time};
+  release_slot(ack.acked_seq);
   bytes_in_flight_ -= pkt.bytes;
   largest_acked_ = std::max(largest_acked_, ack.acked_seq);
 
@@ -276,7 +317,7 @@ void Sender::on_packet(const Packet& ack) {
 
 void Sender::maybe_fire_all_delivered() {
   if (unlimited_ || all_delivered_fired_) return;
-  if (credit_ == 0 && in_flight_.empty() && stats_.bytes_delivered > 0) {
+  if (credit_ == 0 && in_flight_count_ == 0 && stats_.bytes_delivered > 0) {
     all_delivered_fired_ = true;
     if (on_all_delivered_) on_all_delivered_();
   }

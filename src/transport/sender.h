@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
+#include <vector>
 
+#include "sim/life_tag.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
 #include "transport/cc_interface.h"
@@ -68,9 +68,7 @@ class Sender final : public PacketSink {
   // --- Introspection ---------------------------------------------------
   const SenderStats& stats() const { return stats_; }
   int64_t bytes_in_flight() const { return bytes_in_flight_; }
-  int64_t packets_in_flight() const {
-    return static_cast<int64_t>(in_flight_.size());
-  }
+  int64_t packets_in_flight() const { return in_flight_count_; }
   int64_t pending_credit() const { return credit_; }
   TimeNs smoothed_rtt() const { return srtt_; }
   TimeNs min_rtt() const { return min_rtt_; }
@@ -87,6 +85,17 @@ class Sender final : public PacketSink {
     int64_t bytes;
     TimeNs sent_time;
   };
+  // One pooled in-flight slot. Sequence numbers are contiguous per flow,
+  // so the window [base_seq_, next_seq_) maps onto a power-of-two slot
+  // ring at `seq & slot_mask_`: O(1) lookup/insert/erase with zero
+  // steady-state allocation (the old std::map cost one node allocation
+  // per packet sent — the hottest allocation in the simulator after the
+  // event queue itself).
+  struct Slot {
+    int64_t bytes = 0;
+    TimeNs sent_time = 0;
+    bool active = false;
+  };
 
   bool can_send_now() const;
   void try_send(bool from_pacer);
@@ -99,6 +108,15 @@ class Sender final : public PacketSink {
   void update_rtt(TimeNs rtt);
   TimeNs rto() const;
   void maybe_fire_all_delivered();
+
+  // Slot-ring helpers. base_seq_ always points at the oldest active slot
+  // (or next_seq_ when nothing is in flight); since packets are sent in
+  // seq order, base_seq_'s slot also carries the oldest sent_time, which
+  // the loss sweep uses as its O(1) "anything timed out?" check.
+  Slot* find_slot(uint64_t seq);
+  void release_slot(uint64_t seq);
+  void advance_base();
+  void grow_slots();
 
   Simulator* sim_;
   Dumbbell* dumbbell_;
@@ -113,7 +131,10 @@ class Sender final : public PacketSink {
   uint64_t next_seq_ = 0;
   uint64_t largest_acked_ = 0;
   bool any_acked_ = false;
-  std::map<uint64_t, InFlight> in_flight_;
+  std::vector<Slot> slots_;
+  size_t slot_mask_ = 0;
+  uint64_t base_seq_ = 0;
+  int64_t in_flight_count_ = 0;
   int64_t bytes_in_flight_ = 0;
 
   TimeNs srtt_ = 0;
@@ -135,7 +156,7 @@ class Sender final : public PacketSink {
   bool all_delivered_fired_ = false;
 
   SenderStats stats_;
-  std::shared_ptr<bool> alive_;  // guards scheduled callbacks after dtor
+  LifeTag alive_;  // guards scheduled callbacks after dtor
 };
 
 }  // namespace proteus

@@ -50,6 +50,19 @@ TEST(Cli, FullFlagSet) {
   EXPECT_EQ(o.trace_path, "t.csv");
 }
 
+TEST(Cli, EngineFlag) {
+  EXPECT_EQ(parse({"--flows=cubic"}).options.scenario.engine,
+            EventEngine::kTimerWheel);  // wheel is the default
+  EXPECT_EQ(parse({"--flows=cubic", "--engine=heap"})
+                .options.scenario.engine,
+            EventEngine::kBinaryHeap);
+  EXPECT_EQ(parse({"--flows=cubic", "--engine=wheel"})
+                .options.scenario.engine,
+            EventEngine::kTimerWheel);
+  EXPECT_FALSE(parse({"--flows=cubic", "--engine=quantum"}).ok);
+  EXPECT_FALSE(parse({"--flows=cubic", "--engine="}).ok);
+}
+
 TEST(Cli, RejectsUnknownProtocol) {
   const auto r = parse({"--flows=warp-drive"});
   EXPECT_FALSE(r.ok);

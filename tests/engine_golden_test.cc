@@ -1,0 +1,209 @@
+// Cross-engine determinism golden suite.
+//
+// The timer-wheel engine claims bit-identical execution with the
+// reference binary heap: both pop the exact global minimum under the
+// strict (when, seq) total order, so every RNG draw happens in the same
+// order and every simulation artifact — traces, telemetry, final CSVs —
+// must match byte for byte. These tests are the enforcement point for
+// that claim across all eight protocols, fault timelines, and the
+// parallel runner at different worker counts.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "harness/factory.h"
+#include "harness/fault_spec.h"
+#include "harness/parallel_runner.h"
+#include "harness/scenario.h"
+#include "harness/supervisor.h"
+#include "harness/telemetry_export.h"
+#include "harness/trace_export.h"
+
+namespace proteus {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<FaultSpec> faults_or_die(const std::string& spec) {
+  FaultParseResult r = parse_faults(spec);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.faults;
+}
+
+// Everything observable about a run, cheap enough to compare directly.
+struct RunDigest {
+  std::vector<int64_t> counters;
+  std::string throughput_csv;
+  std::string rtt_csv;
+  std::string link_csv;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+// Runs `protocol` flows on a fig03-style dumbbell and digests the run.
+RunDigest run_protocol(EventEngine engine, const std::string& protocol,
+                       const std::string& tag) {
+  ScenarioConfig cfg;
+  cfg.engine = engine;
+  cfg.bandwidth_mbps = 50;
+  cfg.rtt_ms = 30;
+  cfg.seed = 7;
+  Scenario sc(cfg);
+  Flow& a = sc.add_flow(protocol, 0);
+  Flow& b = sc.add_flow(protocol, from_sec(1));
+  sc.run_until(from_sec(6));
+
+  const std::string base = ::testing::TempDir() + "/engine_golden_" + tag;
+  EXPECT_TRUE(write_throughput_csv(base + ".csv", {&a, &b}, from_sec(6)));
+  EXPECT_TRUE(write_rtt_csv(base + "_rtt.csv", a));
+  EXPECT_TRUE(
+      write_link_stats_csv(base + "_link.csv",
+                           sc.dumbbell().bottleneck().stats()));
+
+  RunDigest d;
+  const LinkStats& st = sc.dumbbell().bottleneck().stats();
+  for (const Flow* f : {&a, &b}) {
+    const SenderStats& ss = f->sender().stats();
+    d.counters.insert(d.counters.end(),
+                      {ss.packets_sent, ss.bytes_sent, ss.packets_acked,
+                       ss.bytes_delivered, ss.packets_lost,
+                       static_cast<int64_t>(f->receiver().bytes_received())});
+  }
+  d.counters.insert(d.counters.end(),
+                    {st.offered_packets, st.delivered_packets, st.tail_drops,
+                     st.max_queue_bytes,
+                     static_cast<int64_t>(sc.sim().events_processed())});
+  d.throughput_csv = slurp(base + ".csv");
+  d.rtt_csv = slurp(base + "_rtt.csv");
+  d.link_csv = slurp(base + "_link.csv");
+  return d;
+}
+
+// Every protocol (the seven named ones plus the hybrid) must replay
+// bit-identically on the wheel: same counters, same event count, and
+// byte-identical exported CSVs.
+TEST(EngineGolden, AllProtocolsBitIdenticalAcrossEngines) {
+  std::vector<std::string> protocols = all_protocol_names();
+  protocols.push_back("proteus-h");
+  ASSERT_EQ(protocols.size(), 8u);
+  for (const std::string& p : protocols) {
+    const RunDigest wheel =
+        run_protocol(EventEngine::kTimerWheel, p, p + "_wheel");
+    const RunDigest heap =
+        run_protocol(EventEngine::kBinaryHeap, p, p + "_heap");
+    EXPECT_EQ(wheel.counters, heap.counters) << p;
+    EXPECT_EQ(wheel.throughput_csv, heap.throughput_csv) << p;
+    EXPECT_EQ(wheel.rtt_csv, heap.rtt_csv) << p;
+    EXPECT_EQ(wheel.link_csv, heap.link_csv) << p;
+    EXPECT_FALSE(wheel.throughput_csv.empty()) << p;
+  }
+}
+
+// A blackout/reorder/duplicate/ackloss fault timeline exercises every
+// engine path the plain runs do not: long overflow waits (blackout
+// resume events), duplicate deliveries, and pushes behind the wheel
+// cursor after idle gaps. Telemetry JSONL included in the comparison.
+TEST(EngineGolden, FaultTimelineRunsBitIdenticalWithTelemetry) {
+  auto run = [](EventEngine engine, const std::string& tag) {
+    // Distinct directory per engine, identical run label inside: the
+    // label is embedded in every JSONL line, so it must not differ.
+    const std::string dir =
+        ::testing::TempDir() + "/engine_golden_fault_" + tag;
+    TelemetryConfig tcfg;
+    tcfg.dir = dir;
+    tcfg.every = 1;
+    RunContext ctx(/*attempt=*/0, /*wall_timeout_sec=*/0,
+                   /*sim_timeout_sec=*/0, /*trace_capacity=*/64);
+    ctx.set_telemetry(&tcfg, "golden");
+
+    ScenarioConfig cfg;
+    cfg.engine = engine;
+    cfg.seed = 42;
+    cfg.faults = faults_or_die(
+        "blackout@3:1,reorder@5:p=0.1:delta=20ms:2,duplicate@7:p=0.05:2,"
+        "ackloss@9:p=0.2:1");
+    Scenario sc(cfg);
+    Flow& f = sc.add_flow("proteus-p", 0);
+    Flow& g = sc.add_flow("cubic", from_sec(1));
+    std::string jsonl;
+    {
+      FlowTelemetrySession session(&ctx, f, "flow0");
+      sc.run_until(from_sec(12));
+    }  // exports on destruction
+    jsonl = slurp(dir + "/golden-flow0.jsonl");
+
+    const std::string base = dir + "/" + tag;
+    EXPECT_TRUE(write_throughput_csv(base + ".csv", {&f, &g}, from_sec(12)));
+    EXPECT_TRUE(write_rtt_csv(base + "_rtt.csv", f));
+    EXPECT_TRUE(write_link_stats_csv(base + "_link.csv",
+                                     sc.dumbbell().bottleneck().stats()));
+    return std::make_tuple(jsonl, slurp(base + ".csv"),
+                           slurp(base + "_rtt.csv"),
+                           slurp(base + "_link.csv"),
+                           sc.sim().events_processed());
+  };
+
+  const auto wheel = run(EventEngine::kTimerWheel, "wheel");
+  const auto heap = run(EventEngine::kBinaryHeap, "heap");
+  EXPECT_EQ(std::get<0>(wheel), std::get<0>(heap));  // telemetry JSONL
+  EXPECT_EQ(std::get<1>(wheel), std::get<1>(heap));  // throughput CSV
+  EXPECT_EQ(std::get<2>(wheel), std::get<2>(heap));  // RTT CSV
+  EXPECT_EQ(std::get<3>(wheel), std::get<3>(heap));  // link-stats CSV
+  EXPECT_EQ(std::get<4>(wheel), std::get<4>(heap));  // event count
+  EXPECT_FALSE(std::get<0>(wheel).empty());
+}
+
+// The engines also agree under the parallel runner regardless of --jobs,
+// and parallel results match the serial run (each task owns its whole
+// simulator, so worker count must never leak into results).
+TEST(EngineGolden, SerialAndParallelJobsAgreeOnBothEngines) {
+  auto fingerprint = [](EventEngine engine) {
+    ScenarioConfig cfg;
+    cfg.engine = engine;
+    cfg.seed = 99;
+    cfg.faults = faults_or_die("blackout@2:500ms,duplicate@4:p=0.1:1");
+    Scenario sc(cfg);
+    Flow& f = sc.add_flow("proteus-s", 0);
+    sc.run_until(from_sec(8));
+    const LinkStats& st = sc.dumbbell().bottleneck().stats();
+    return std::make_tuple(f.sender().stats().packets_sent,
+                           f.sender().stats().packets_acked,
+                           f.sender().stats().packets_lost,
+                           static_cast<int64_t>(f.receiver().bytes_received()),
+                           st.duplicated, st.blackout_drops,
+                           sc.sim().events_processed());
+  };
+
+  const auto wheel_serial = fingerprint(EventEngine::kTimerWheel);
+  const auto heap_serial = fingerprint(EventEngine::kBinaryHeap);
+  EXPECT_EQ(wheel_serial, heap_serial);
+
+  using Fp = decltype(fingerprint(EventEngine::kTimerWheel));
+  for (EventEngine engine :
+       {EventEngine::kTimerWheel, EventEngine::kBinaryHeap}) {
+    std::vector<std::function<Fp()>> tasks;
+    for (int i = 0; i < 4; ++i) {
+      tasks.push_back([&fingerprint, engine] { return fingerprint(engine); });
+    }
+    for (const auto& fp : run_parallel(tasks, 1)) {
+      EXPECT_EQ(fp, wheel_serial);
+    }
+    for (const auto& fp : run_parallel(std::move(tasks), 4)) {
+      EXPECT_EQ(fp, wheel_serial);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proteus

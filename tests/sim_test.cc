@@ -1,13 +1,16 @@
 // Unit tests for the discrete-event simulator substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "sim/dumbbell.h"
 #include "sim/event_queue.h"
+#include "sim/fault_timeline.h"
 #include "sim/link.h"
 #include "sim/noise.h"
+#include "sim/ring_buffer.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -60,6 +63,159 @@ TEST(EventQueue, FifoForEqualTimes) {
 TEST(EventQueue, PopEmptyThrows) {
   EventQueue q;
   EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+// ---- Engine contract: both engines pop the identical (when, seq) order.
+
+class EventQueueEngines : public ::testing::TestWithParam<EventEngine> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EventQueueEngines,
+    ::testing::Values(EventEngine::kTimerWheel, EventEngine::kBinaryHeap),
+    [](const ::testing::TestParamInfo<EventEngine>& info) {
+      return info.param == EventEngine::kTimerWheel ? "Wheel" : "Heap";
+    });
+
+TEST_P(EventQueueEngines, OrdersAcrossBucketsAndRotations) {
+  EventQueue q(GetParam());
+  // Times span several wheel rotations (~268 ms each) and land in
+  // arbitrary buckets; a multiplicative LCG gives a fixed pseudo-random
+  // schedule without std::rand.
+  std::vector<TimeNs> times;
+  uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 500; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    times.push_back(static_cast<TimeNs>(x % from_sec(1.5)));
+  }
+  std::vector<TimeNs> popped;
+  for (TimeNs t : times) {
+    q.push(t, [&popped, t] { popped.push_back(t); });
+  }
+  while (!q.empty()) {
+    const TimeNs head = q.next_time();
+    auto [when, cb] = q.pop();
+    EXPECT_EQ(when, head);
+    cb();
+  }
+  std::vector<TimeNs> want = times;
+  std::stable_sort(want.begin(), want.end());
+  EXPECT_EQ(popped, want);  // sorted AND stable: FIFO for equal times
+}
+
+TEST_P(EventQueueEngines, InterleavedPushPopStaysOrdered) {
+  // Pops interleave with pushes that land behind the current cursor
+  // position (but never before the last popped time), the pattern a
+  // simulator produces: each event schedules new work relative to "now".
+  EventQueue q(GetParam());
+  std::vector<TimeNs> popped;
+  q.push(0, [] {});
+  TimeNs now = 0;
+  uint64_t x = 9;
+  int pushed = 1;
+  while (!q.empty()) {
+    auto [when, cb] = q.pop();
+    EXPECT_GE(when, now);
+    now = when;
+    popped.push_back(when);
+    if (pushed < 400) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      // Mix of sub-bucket, near-future, and beyond-horizon delays.
+      const TimeNs delays[] = {static_cast<TimeNs>(x % from_us(100)),
+                               static_cast<TimeNs>(x % from_ms(3)),
+                               static_cast<TimeNs>(x % from_ms(400))};
+      q.push(now + delays[pushed % 3], [] {});
+      ++pushed;
+    }
+  }
+  EXPECT_EQ(popped.size(), 400u);
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+}
+
+TEST_P(EventQueueEngines, EqualTimesFifoAcrossBucketSeam) {
+  EventQueue q(GetParam());
+  std::vector<int> order;
+  // All at the same instant far in the future (overflow -> wheel -> active
+  // migration for the wheel engine) must still fire in push order.
+  for (int i = 0; i < 8; ++i) {
+    q.push(from_sec(2), [&order, i] { order.push_back(i); });
+  }
+  q.push(from_ms(1), [&order] { order.push_back(-1); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueWheel, OverflowRebaseJumpSkipsEmptyRotations) {
+  // A lone event minutes ahead forces the wheel to re-base straight to the
+  // overflow minimum instead of stepping through ~450 empty rotations.
+  EventQueue q(EventEngine::kTimerWheel);
+  bool fired = false;
+  q.push(from_sec(120), [&fired] { fired = true; });
+  EXPECT_EQ(q.next_time(), from_sec(120));
+  auto [when, cb] = q.pop();
+  EXPECT_EQ(when, from_sec(120));
+  cb();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(q.empty());
+  // And the re-based wheel keeps ordering for subsequent mixed pushes.
+  std::vector<TimeNs> popped;
+  for (TimeNs t : {from_sec(121), from_sec(120) + from_us(3),
+                   from_sec(300), from_sec(120) + from_ms(5)}) {
+    q.push(t, [] {});
+  }
+  while (!q.empty()) popped.push_back(q.pop().first);
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+  EXPECT_EQ(popped.size(), 4u);
+}
+
+TEST(EventQueueWheel, PushBelowWatermarkJoinsActiveHeap) {
+  // After settling onto a far bucket, a push at an earlier time (>= the
+  // last pop, < the active watermark) must still pop first.
+  EventQueue q(EventEngine::kTimerWheel);
+  q.push(from_ms(10), [] {});
+  EXPECT_EQ(q.next_time(), from_ms(10));  // settles onto the 10 ms bucket
+  q.push(from_ms(10) - from_us(20), [] {});
+  EXPECT_EQ(q.pop().first, from_ms(10) - from_us(20));
+  EXPECT_EQ(q.pop().first, from_ms(10));
+}
+
+// ---- RingBuffer (Link's merged FIFO) --------------------------------
+
+TEST(RingBuffer, FifoAcrossWrapAndGrowth) {
+  RingBuffer<int> rb;
+  rb.reserve(4);
+  int next_in = 0;
+  int next_out = 0;
+  // Interleave pushes and pops so head wraps, then outgrow capacity.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) rb.push_back(next_in++);
+    ASSERT_FALSE(rb.empty());
+    EXPECT_EQ(rb.front(), next_out);
+    rb.pop_front();
+    ++next_out;
+  }
+  EXPECT_EQ(rb.size(), 100u);
+  for (size_t i = 0; i < rb.size(); ++i) {
+    EXPECT_EQ(rb.at(i), next_out + static_cast<int>(i));
+  }
+  while (!rb.empty()) {
+    EXPECT_EQ(rb.front(), next_out++);
+    rb.pop_front();
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingBuffer, ReserveRoundsUpAndClearKeepsCapacity) {
+  RingBuffer<int> rb;
+  rb.reserve(100);
+  EXPECT_GE(rb.capacity(), 100u);
+  const size_t cap = rb.capacity();
+  for (int i = 0; i < 100; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.capacity(), cap);  // no growth below the reservation
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.capacity(), cap);
 }
 
 TEST(Simulator, RunUntilAdvancesClock) {
@@ -193,6 +349,41 @@ TEST(Link, RateProcessScalesThroughput) {
   sim.run();
   // Half rate -> 2 ms serialization (prop_delay default 15 ms).
   EXPECT_EQ(sink.arrival_times[0], from_ms(2) + cfg.prop_delay);
+}
+
+// Regression: a fault-injected duplicate used to be scheduled at
+// "original arrival + 50 us" WITHOUT running through the FIFO floor, so
+// at high link rates (serialization < 50 us) the duplicate of packet N
+// landed after packet N+1 had already been delivered — silent reordering
+// with allow_reordering=false. Duplicates now take the same
+// clamp_delivery path as originals, so delivered seqs stay non-decreasing.
+TEST(Link, DuplicatesRespectFifoOrder) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = Bandwidth::from_mbps(1000);  // 1500B -> 12 us << 50 us dup lag
+  cfg.prop_delay = from_ms(5);
+  cfg.allow_reordering = false;
+  Link link(&sim, cfg);
+  FaultSpec dup;
+  dup.type = FaultType::kDuplicate;
+  dup.start = 0;
+  dup.duration = 0;  // whole run
+  dup.value = 1.0;   // duplicate every packet
+  FaultTimeline faults({dup}, /*seed=*/3);
+  link.set_fault_timeline(&faults);
+  CollectingSink sink(&sim);
+  link.set_sink(&sink);
+
+  for (uint64_t s = 0; s < 5; ++s) link.on_packet(make_packet(s));
+  sim.run();
+
+  ASSERT_EQ(sink.packets.size(), 10u);  // 5 originals + 5 duplicates
+  EXPECT_EQ(link.stats().duplicated, 5);
+  for (size_t i = 1; i < sink.packets.size(); ++i) {
+    EXPECT_GE(sink.packets[i].seq, sink.packets[i - 1].seq)
+        << "delivery " << i << " inverted seq order";
+    EXPECT_GE(sink.arrival_times[i], sink.arrival_times[i - 1]);
+  }
 }
 
 TEST(Noise, GaussianNonNegative) {

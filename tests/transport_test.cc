@@ -21,6 +21,7 @@ class StubCc final : public CongestionController {
   void on_loss(const LossInfo& info) override {
     ++losses;
     last_loss = info;
+    loss_log.push_back(info);
   }
   void on_packet_sent(const SentPacketInfo&) override { ++sent; }
   Bandwidth pacing_rate() const override { return rate; }
@@ -34,6 +35,7 @@ class StubCc final : public CongestionController {
   int sent = 0;
   AckInfo last_ack;
   LossInfo last_loss;
+  std::vector<LossInfo> loss_log;
 };
 
 struct Rig {
@@ -119,6 +121,30 @@ TEST(Sender, LostBytesAreRecredited) {
   EXPECT_TRUE(done);
   EXPECT_EQ(rig.sender->stats().bytes_delivered, 300 * kMtuBytes);
   EXPECT_GT(rig.sender->stats().packets_lost, 20);
+}
+
+// Pin for the loss-sweep rewrite: replacing the per-tick scratch-vector
+// scan with the O(1) oldest-unacked-deadline check must not move a single
+// loss declaration. With a black-hole link (no ACK ever), rto() stays at
+// max(25ms, 2*100ms, 100ms + 4*50ms) = 300ms and the sweep ticks every
+// 150ms; the t=150ms and t=300ms ticks find nothing strictly past the
+// deadline, so every first-generation packet is declared at exactly
+// t=450ms — the same instant the old implementation produced.
+TEST(Sender, RtoSweepTicksPinLossDeclarationTimes) {
+  Rig rig(100, 20, /*buffer=*/1'000'000, /*loss=*/1.0);
+  rig.sender->offer_bytes(50 * kMtuBytes);
+  rig.sender->start();
+  rig.sim.run_until(from_ms(500));
+
+  ASSERT_EQ(rig.cc->loss_log.size(), 50u);
+  uint64_t expect_seq = 0;
+  for (const LossInfo& l : rig.cc->loss_log) {
+    EXPECT_EQ(l.detected_time, from_ms(450));
+    EXPECT_LT(l.sent_time, from_ms(150));
+    EXPECT_EQ(l.seq, expect_seq++);  // declared in seq order
+  }
+  // The recredited bytes go straight back out (retransmit-equivalent).
+  EXPECT_GT(rig.sender->stats().packets_sent, 60);
 }
 
 TEST(Sender, ThresholdLossDetectionIsFast) {

@@ -1,0 +1,119 @@
+// bench_compare: gate on simulator perf regressions.
+//
+// Compares a freshly measured BENCH_simcore.json against the committed
+// baseline and exits nonzero when events/sec regressed by more than the
+// tolerance (default 10%). Improvements and small noise pass; the
+// steady-state allocation count is compared exactly (zero must stay
+// zero — an allocation regression is a correctness bug in the
+// zero-allocation design, not noise).
+//
+// Usage: bench_compare BASELINE.json CURRENT.json [--tolerance=0.10]
+// Exit: 0 ok, 1 regression, 2 usage/parse error.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// Extracts the number following `"key":` (flat JSON, no nesting of the
+// same key). Returns false when absent.
+bool extract_number(const std::string& json, const std::string& key,
+                    double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = json.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  return end != start;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.10;
+  std::string baseline_path, current_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::atof(arg.c_str() + 12);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::cerr << "usage: bench_compare BASELINE.json CURRENT.json "
+                   "[--tolerance=frac]\n";
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty() || tolerance < 0 ||
+      tolerance >= 1) {
+    std::cerr << "usage: bench_compare BASELINE.json CURRENT.json "
+                 "[--tolerance=frac]\n";
+    return 2;
+  }
+
+  std::string baseline, current;
+  if (!slurp(baseline_path, baseline)) {
+    std::cerr << "bench_compare: cannot read " << baseline_path << "\n";
+    return 2;
+  }
+  if (!slurp(current_path, current)) {
+    std::cerr << "bench_compare: cannot read " << current_path << "\n";
+    return 2;
+  }
+
+  int failures = 0;
+  for (const char* key : {"events_per_sec_wheel", "events_per_sec_heap"}) {
+    double base = 0, cur = 0;
+    if (!extract_number(baseline, key, base)) {
+      std::cerr << "bench_compare: " << baseline_path << " lacks " << key
+                << "\n";
+      return 2;
+    }
+    if (!extract_number(current, key, cur)) {
+      std::cerr << "bench_compare: " << current_path << " lacks " << key
+                << "\n";
+      return 2;
+    }
+    const double ratio = cur / base;
+    const bool ok = ratio >= 1.0 - tolerance;
+    std::cout << key << ": baseline " << base << " current " << cur
+              << " ratio " << ratio << (ok ? " OK" : " REGRESSION") << "\n";
+    if (!ok) ++failures;
+  }
+
+  // Steady-state allocations: exact gate on the wheel engine. The
+  // baseline documents zero; any growth is a reintroduced per-event
+  // allocation.
+  double base_allocs = 0, cur_allocs = 0;
+  if (extract_number(baseline, "steady_allocs", base_allocs) &&
+      extract_number(current, "steady_allocs", cur_allocs)) {
+    const bool ok = cur_allocs <= base_allocs;
+    std::cout << "steady_allocs (wheel): baseline " << base_allocs
+              << " current " << cur_allocs << (ok ? " OK" : " REGRESSION")
+              << "\n";
+    if (!ok) ++failures;
+  }
+
+  if (failures > 0) {
+    std::cerr << "bench_compare: " << failures
+              << " perf gate(s) failed (tolerance "
+              << tolerance * 100 << "%)\n";
+    return 1;
+  }
+  std::cout << "bench_compare: OK\n";
+  return 0;
+}

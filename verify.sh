@@ -46,4 +46,17 @@ ls "$TELDIR"/*.jsonl >/dev/null 2>&1 || {
 }
 ./build/tools/telemetry_validate "$TELDIR"/*.jsonl
 
+echo "== tier 5: simulator perf gate (bench_simcore vs BENCH_simcore.json) =="
+# Event-engine micro benches first (fast; catches gross hot-loop
+# regressions with per-op numbers), then the macro bench compared against
+# the committed baseline: >10% events/sec loss or any steady-state
+# allocation growth fails the build.
+./build/bench/micro_bench \
+  --benchmark_filter='BM_EventQueuePushPop|BM_SimulatedSecond/' \
+  --benchmark_min_time=0.2
+# 100 simulated seconds keeps the measured wall window well above timer
+# resolution; reps are best-of to shrug off container scheduling noise.
+./build/bench/bench_simcore --duration=100 --reps=3 --out="$TELDIR/bench.json"
+./build/tools/bench_compare BENCH_simcore.json "$TELDIR/bench.json"
+
 echo "verify: OK"
