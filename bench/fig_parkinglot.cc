@@ -1,0 +1,123 @@
+// Parking-lot topology bench (multi-bottleneck contention; PCC's
+// multi-link fairness setup rather than a figure from the Proteus paper).
+//
+// One long flow of the protocol under test crosses `arms` bottleneck hops
+// end to end while a CUBIC crossing flow loads each hop. The classic
+// question: how much does the long flow keep against per-hop contention,
+// and does a scavenger yield on every hop at once? Each sweep point also
+// writes the per-hop LinkStats table (fig_parkinglot_<proto>_arms<N>.csv,
+// leading `link` column) for offline inspection.
+//
+// Accepts the standard sweep flags (--jobs, --retries, --checkpoint,
+// --telemetry, ... — see bench_util.h).
+#include "bench/bench_util.h"
+
+#include "harness/invariants.h"
+#include "harness/telemetry_export.h"
+#include "harness/trace_export.h"
+
+using namespace proteus;
+
+namespace {
+
+constexpr double kDurationSec = 60.0;
+constexpr double kWarmupSec = 20.0;
+
+// Flat point result: [long_mbps, cross_mean_mbps, util_hop0...], sized by
+// the point's hop count (vector_codec handles the variable length).
+std::vector<double> run_point(const std::string& protocol, int arms,
+                              RunContext& ctx) {
+  ScenarioConfig cfg = bench::emulab_link(29);
+  cfg.seed = ctx.attempt_seed(cfg.seed);
+  cfg.topology.kind = TopologyKind::kParkingLot;
+  cfg.topology.arms = arms;
+  Scenario sc(cfg);
+
+  // Flow 0 takes path 0 (end to end); the next `arms` flows land on the
+  // crossing paths round-robin, one per hop, staggered by a second.
+  Flow& long_flow = sc.add_flow(protocol, 0);
+  std::vector<Flow*> cross;
+  for (int i = 0; i < arms; ++i) {
+    cross.push_back(&sc.add_flow("cubic", from_sec(1 + i)));
+  }
+
+  FlowTelemetrySession telemetry(&ctx, long_flow,
+                                 protocol + "-arms" + std::to_string(arms));
+  supervised_run_until(sc, from_sec(kDurationSec), &ctx);
+  check_invariants_or_throw(sc);
+
+  write_link_stats_csv(
+      "fig_parkinglot_" + protocol + "_arms" + std::to_string(arms) + ".csv",
+      sc.topology().link_stats());
+
+  std::vector<double> out;
+  out.push_back(long_flow.mean_throughput_mbps(from_sec(kWarmupSec),
+                                               from_sec(kDurationSec)));
+  double cross_sum = 0.0;
+  for (Flow* f : cross) {
+    cross_sum += f->mean_throughput_mbps(from_sec(kWarmupSec),
+                                         from_sec(kDurationSec));
+  }
+  out.push_back(cross_sum / arms);
+  for (int i = 0; i < sc.topology().link_count(); ++i) {
+    const LinkStats& st = sc.topology().link(i).stats();
+    out.push_back(static_cast<double>(st.delivered_bytes) * 8.0 /
+                  (kDurationSec * 1e6) / cfg.bandwidth_mbps);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::SweepOptions opt =
+      bench::parse_sweep_flags(argc, argv, "fig_parkinglot");
+  bench::print_header("Parking lot",
+                      "Long flow vs per-hop crossing CUBIC over N "
+                      "bottlenecks (50 Mbps hops, 30 ms end-to-end RTT)");
+
+  const std::vector<int> arm_counts = {3, 5};
+  const std::vector<std::string> protocols = {"proteus-s", "ledbat", "cubic",
+                                              "bbr"};
+
+  std::vector<SupervisedTask<std::vector<double>>> tasks;
+  for (int arms : arm_counts) {
+    for (const std::string& proto : protocols) {
+      ScenarioConfig cfg = bench::emulab_link(29);
+      cfg.topology.kind = TopologyKind::kParkingLot;
+      cfg.topology.arms = arms;
+      tasks.push_back(bench::sweep_point<std::vector<double>>(
+          "arms=" + std::to_string(arms) + " proto=" + proto, cfg,
+          [proto, arms](RunContext& ctx) { return run_point(proto, arms, ctx); }));
+    }
+  }
+  const std::vector<std::vector<double>> results =
+      bench::run_sweep(opt, std::move(tasks), vector_codec());
+
+  Table t({"arms", "protocol", "long_mbps", "cross_mean_mbps", "util_hop0",
+           "util_min", "util_max"});
+  size_t k = 0;
+  for (int arms : arm_counts) {
+    for (const std::string& proto : protocols) {
+      const std::vector<double>& r = results[k++];
+      if (r.size() < static_cast<size_t>(2 + arms)) {
+        t.add_row({std::to_string(arms), proto, "-", "-", "-", "-", "-"});
+        continue;
+      }
+      double lo = r[2], hi = r[2];
+      for (int i = 0; i < arms; ++i) {
+        lo = std::min(lo, r[2 + i]);
+        hi = std::max(hi, r[2 + i]);
+      }
+      t.add_row({std::to_string(arms), proto, fmt(r[0], 2), fmt(r[1], 2),
+                 fmt(r[2], 2), fmt(lo, 2), fmt(hi, 2)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nShape check: the long flow shares every hop, so it ends below any "
+      "single crossing flow (RTT-proportional for loss-based protocols); a "
+      "scavenger long flow yields on all hops at once. Per-hop counters in "
+      "fig_parkinglot_<proto>_arms<N>.csv.\n");
+  return bench::exit_code();
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Regenerates every paper figure; fig08 (the 180-config sweep) runs last.
 #
-# Sweep-heavy binaries (fig03/04/05/08/10/11) fan their scenario grids out
+# Sweep-heavy binaries (fig03/04/05/08/10/11, fig_parkinglot) fan their
+# scenario grids out
 # across JOBS worker threads (default: all cores). Results are
 # bit-identical to a serial run for the fixed seeds baked into the
 # binaries, so JOBS only changes wall-clock time, never the tables.
@@ -46,7 +47,7 @@ for b in $others build/bench/fig08_config_sweep; do
   echo
   echo "##### $b #####"
   case "$b" in
-    *fig03*|*fig04*|*fig05*|*fig08*|*fig10*|*fig11*)
+    *fig03*|*fig04*|*fig05*|*fig08*|*fig10*|*fig11*|*fig_parkinglot*)
       sweep_flags="--jobs=$JOBS"
       [ -n "$RETRIES" ] && sweep_flags="$sweep_flags --retries=$RETRIES"
       [ -n "$RUN_TIMEOUT" ] && \

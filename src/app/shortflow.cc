@@ -5,10 +5,10 @@
 
 namespace proteus {
 
-ShortFlowGenerator::ShortFlowGenerator(Simulator* sim, Dumbbell* dumbbell,
+ShortFlowGenerator::ShortFlowGenerator(Simulator* sim, Network* network,
                                        Config cfg, CcFactory factory)
     : sim_(sim),
-      dumbbell_(dumbbell),
+      network_(network),
       cfg_(cfg),
       factory_(std::move(factory)),
       rng_(cfg.seed),
@@ -44,7 +44,7 @@ void ShortFlowGenerator::start_flow() {
   fc.total_bytes = rng_.uniform_int(cfg_.min_bytes, cfg_.max_bytes);
   fc.collect_rtt = false;
   flows_.push_back(std::make_unique<Flow>(
-      sim_, dumbbell_, fc, factory_(cfg_.seed + static_cast<uint64_t>(fc.id))));
+      sim_, network_, fc, factory_(cfg_.seed + static_cast<uint64_t>(fc.id))));
   ++flows_started_;
 }
 

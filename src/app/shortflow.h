@@ -30,7 +30,7 @@ class ShortFlowGenerator {
     uint64_t seed = 0x5f;
   };
 
-  ShortFlowGenerator(Simulator* sim, Dumbbell* dumbbell, Config cfg,
+  ShortFlowGenerator(Simulator* sim, Network* network, Config cfg,
                      CcFactory factory);
   ~ShortFlowGenerator();
 
@@ -44,7 +44,7 @@ class ShortFlowGenerator {
   void start_flow();
 
   Simulator* sim_;
-  Dumbbell* dumbbell_;
+  Network* network_;
   Config cfg_;
   CcFactory factory_;
   Rng rng_;

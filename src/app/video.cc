@@ -25,19 +25,19 @@ VideoDefinition make_1080p_video(int total_chunks) {
   return v;
 }
 
-VideoClient::VideoClient(Simulator* sim, Dumbbell* dumbbell,
+VideoClient::VideoClient(Simulator* sim, Network* network,
                          VideoClientConfig cfg,
                          std::unique_ptr<CongestionController> cc,
                          std::unique_ptr<BitrateAdaptation> abr,
                          HybridThresholdPolicy* threshold_policy)
     : sim_(sim),
-      dumbbell_(dumbbell),
+      network_(network),
       cfg_(cfg),
       abr_(std::move(abr)),
       threshold_policy_(threshold_policy) {
-  sender_ = std::make_unique<Sender>(sim, dumbbell, cfg_.id, std::move(cc));
-  receiver_ = std::make_unique<Receiver>(sim, dumbbell, cfg_.id);
-  dumbbell_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
+  sender_ = std::make_unique<Sender>(sim, network, cfg_.id, std::move(cc));
+  receiver_ = std::make_unique<Receiver>(sim, network, cfg_.id);
+  network_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
   sender_->set_on_all_delivered([this] { on_chunk_complete(); });
 
   const LifeTag::Ref alive = alive_.ref();
@@ -51,7 +51,7 @@ VideoClient::VideoClient(Simulator* sim, Dumbbell* dumbbell,
 }
 
 VideoClient::~VideoClient() {
-  dumbbell_->detach_flow(cfg_.id);
+  network_->detach_flow(cfg_.id);
 }
 
 void VideoClient::tick() {

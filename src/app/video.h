@@ -14,7 +14,7 @@
 #include "sim/life_tag.h"
 #include "app/bola.h"
 #include "core/hybrid_threshold.h"
-#include "sim/dumbbell.h"
+#include "sim/network.h"
 #include "transport/receiver.h"
 #include "transport/sender.h"
 
@@ -52,7 +52,7 @@ struct VideoMetrics {
 
 class VideoClient {
  public:
-  VideoClient(Simulator* sim, Dumbbell* dumbbell, VideoClientConfig cfg,
+  VideoClient(Simulator* sim, Network* network, VideoClientConfig cfg,
               std::unique_ptr<CongestionController> cc,
               std::unique_ptr<BitrateAdaptation> abr,
               HybridThresholdPolicy* threshold_policy = nullptr);
@@ -74,7 +74,7 @@ class VideoClient {
   double free_chunks() const;
 
   Simulator* sim_;
-  Dumbbell* dumbbell_;
+  Network* network_;
   VideoClientConfig cfg_;
   std::unique_ptr<Sender> sender_;
   std::unique_ptr<Receiver> receiver_;

@@ -6,10 +6,10 @@
 
 namespace proteus {
 
-WebWorkload::WebWorkload(Simulator* sim, Dumbbell* dumbbell, Config cfg,
+WebWorkload::WebWorkload(Simulator* sim, Network* network, Config cfg,
                          CcFactory factory)
     : sim_(sim),
-      dumbbell_(dumbbell),
+      network_(network),
       cfg_(cfg),
       factory_(std::move(factory)),
       rng_(cfg.seed),
@@ -55,7 +55,7 @@ void WebWorkload::start_page() {
     fc.total_bytes = std::max<int64_t>(total_bytes / n_flows, 10'000);
     fc.collect_rtt = false;
     page.flows.push_back(std::make_unique<Flow>(
-        sim_, dumbbell_, fc,
+        sim_, network_, fc,
         factory_(cfg_.seed + static_cast<uint64_t>(fc.id))));
   }
   pages_.push_back(std::move(page));

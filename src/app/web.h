@@ -34,7 +34,7 @@ class WebWorkload {
     uint64_t seed = 0x3e8;
   };
 
-  WebWorkload(Simulator* sim, Dumbbell* dumbbell, Config cfg,
+  WebWorkload(Simulator* sim, Network* network, Config cfg,
               CcFactory factory);
   ~WebWorkload();
 
@@ -52,7 +52,7 @@ class WebWorkload {
   void start_page();
 
   Simulator* sim_;
-  Dumbbell* dumbbell_;
+  Network* network_;
   Config cfg_;
   CcFactory factory_;
   Rng rng_;

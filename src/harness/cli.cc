@@ -135,6 +135,67 @@ bool parse_telemetry_flag(const std::string& arg, TelemetryConfig& cfg,
   return false;  // not a telemetry flag; error stays empty
 }
 
+bool parse_topology_flag(const std::string& arg, TopologyParams& params,
+                         std::string& error) {
+  constexpr const char kPrefix[] = "--topology=";
+  if (arg.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  const std::string spec = arg.substr(sizeof(kPrefix) - 1);
+
+  // Leading token is the kind; optional :key=value options follow.
+  size_t pos = spec.find(':');
+  const std::string kind = spec.substr(0, pos);
+  if (kind == "dumbbell") {
+    params.kind = TopologyKind::kDumbbell;
+  } else if (kind == "parkinglot") {
+    params.kind = TopologyKind::kParkingLot;
+  } else if (kind == "fanin") {
+    params.kind = TopologyKind::kFanIn;
+  } else if (kind == "star") {
+    params.kind = TopologyKind::kStar;
+  } else {
+    error = "bad --topology kind (want dumbbell|parkinglot|fanin|star): " +
+            kind;
+    return false;
+  }
+
+  while (pos != std::string::npos) {
+    const size_t start = pos + 1;
+    pos = spec.find(':', start);
+    const std::string item = spec.substr(
+        start, pos == std::string::npos ? std::string::npos : pos - start);
+    const size_t eq = item.find('=');
+    const std::string key = item.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : item.substr(eq + 1);
+    if (key == "arms") {
+      int64_t n = 0;
+      if (value.empty() || !parse_int64(value, n) || n < 2 || n > 64) {
+        error = "bad --topology arms (want 2..64): " + value;
+        return false;
+      }
+      params.arms = static_cast<int>(n);
+    } else if (key == "edge-bw") {
+      double mbps = 0.0;
+      if (value.empty() || !parse_double(value, mbps) || mbps <= 0) {
+        error = "bad --topology edge-bw: " + value;
+        return false;
+      }
+      params.edge_bandwidth_mbps = mbps;
+    } else if (key == "spread") {
+      double s = 0.0;
+      if (value.empty() || !parse_double(value, s) || s < 0) {
+        error = "bad --topology spread: " + value;
+        return false;
+      }
+      params.rtt_spread = s;
+    } else {
+      error = "bad --topology option (want arms=|edge-bw=|spread=): " + item;
+      return false;
+    }
+  }
+  return true;
+}
+
 bool parse_jobs_flag(const std::string& arg, int& jobs, std::string& error) {
   constexpr const char kPrefix[] = "--jobs";
   if (arg.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
@@ -155,7 +216,8 @@ std::string cli_usage() {
   return "usage: proteus_sim [--bw=Mbps] [--rtt=ms] [--buffer=bytes] "
          "[--loss=frac] [--duration=sec] [--warmup=sec] [--seed=n] "
          "[--jobs=n] [--wifi] [--trace=file.csv] [--rtt-trace=file.csv] "
-         "[--link-stats=file.csv] [--faults=spec] [--retries=n] "
+         "[--link-stats=file.csv] [--faults=spec] "
+         "[--topology=kind[:arms=n][:edge-bw=Mbps][:spread=x]] [--retries=n] "
          "[--run-timeout=sec] [--sim-timeout=sec] [--checkpoint=journal] "
          "[--resume=journal] [--bundle-dir=dir] [--telemetry=dir] "
          "[--telemetry-every=n] [--profile] [--engine=wheel|heap] "
@@ -275,6 +337,11 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (key == "--link-stats") {
       if (!need_value("--link-stats")) return r;
       opt.link_stats_path = value;
+    } else if (key == "--topology") {
+      if (!parse_topology_flag(arg, opt.scenario.topology, r.error)) {
+        if (r.error.empty()) r.error = "bad --topology: " + value;
+        return r;
+      }
     } else if (key == "--faults") {
       if (!need_value("--faults")) return r;
       FaultParseResult faults = parse_faults(value);

@@ -10,6 +10,8 @@
 //   --rtt-trace=<path.csv> (per-ack RTT CSV)
 //   --link-stats=<path.csv> (bottleneck counters incl. fault counters)
 //   --faults=<spec>        (fault schedule; see harness/fault_spec.h)
+//   --topology=<kind>[:arms=N][:edge-bw=Mbps][:spread=X]
+//                          (network shape: dumbbell|parkinglot|fanin|star)
 //   --retries=<n>          (supervisor: extra attempts for a failed run)
 //   --run-timeout=<sec>    (supervisor: wall-clock watchdog per attempt)
 //   --sim-timeout=<sec>    (supervisor: simulated-time watchdog per attempt)
@@ -85,6 +87,13 @@ bool parse_supervisor_flag(const std::string& arg, SupervisorConfig& cfg,
 // binaries.
 bool parse_telemetry_flag(const std::string& arg, TelemetryConfig& cfg,
                           std::string& error);
+
+// Recognizes a `--topology=<kind>[:arms=N][:edge-bw=Mbps][:spread=X]`
+// argument selecting one of the registered shapes (sim/topology.h):
+// dumbbell (default), parkinglot, fanin, star. Same contract as
+// parse_jobs_flag. Shared by parse_cli and the bench binaries.
+bool parse_topology_flag(const std::string& arg, TopologyParams& params,
+                         std::string& error);
 
 // One-line usage string for --help / errors.
 std::string cli_usage();

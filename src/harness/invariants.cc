@@ -76,9 +76,10 @@ void check_flow(std::vector<std::string>& out, const Flow& flow) {
   check_finite(out, name, "mi regression_error", m.regression_error);
 }
 
-void check_link(std::vector<std::string>& out, const Link& link) {
+void check_link(std::vector<std::string>& out, const std::string& name,
+                const Link& link) {
   const LinkStats& st = link.stats();
-  // Conservation at the bottleneck: every offered packet (plus injected
+  // Conservation at every queued link: each offered packet (plus injected
   // duplicates) is delivered, dropped, or still queued.
   const int64_t in = st.offered_packets + st.duplicated;
   const int64_t accounted = st.delivered_packets + st.tail_drops +
@@ -86,7 +87,7 @@ void check_link(std::vector<std::string>& out, const Link& link) {
                             st.blackout_drops + link.queue_packets();
   if (in != accounted) {
     std::ostringstream os;
-    os << "bottleneck: packet conservation broken: offered+dup=" << in
+    os << name << ": packet conservation broken: offered+dup=" << in
        << " != delivered+drops+queued=" << accounted << " (delivered="
        << st.delivered_packets << " tail=" << st.tail_drops << " random="
        << st.random_drops << " codel=" << st.codel_drops << " blackout="
@@ -95,7 +96,7 @@ void check_link(std::vector<std::string>& out, const Link& link) {
   }
   if (st.max_queue_bytes > link.config().buffer_bytes) {
     std::ostringstream os;
-    os << "bottleneck: queue exceeded buffer: " << st.max_queue_bytes
+    os << name << ": queue exceeded buffer: " << st.max_queue_bytes
        << " > " << link.config().buffer_bytes;
     out.push_back(os.str());
   }
@@ -118,7 +119,13 @@ InvariantReport check_invariants(const Scenario& scenario) {
   for (const auto& flow : scenario.flows()) {
     check_flow(report.violations, *flow);
   }
-  check_link(report.violations, scenario.dumbbell().bottleneck());
+  const Topology& topo = scenario.topology();
+  for (int i = 0; i < topo.link_count(); ++i) {
+    // Keep the historical "bottleneck" label for the primary link; extra
+    // hops report under their topology names.
+    check_link(report.violations,
+               i == 0 ? "bottleneck" : topo.link_name(i), topo.link(i));
+  }
   return report;
 }
 

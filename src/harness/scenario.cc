@@ -1,51 +1,216 @@
 #include "harness/scenario.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 namespace proteus {
 
-Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed, cfg.engine) {
-  DumbbellConfig dc;
-  dc.bottleneck.rate = Bandwidth::from_mbps(cfg_.bandwidth_mbps);
-  dc.bottleneck.prop_delay = from_ms(cfg_.rtt_ms / 2.0);
-  dc.bottleneck.buffer_bytes = cfg_.buffer_bytes;
-  dc.bottleneck.random_loss = cfg_.random_loss;
-  dc.bottleneck.allow_reordering = cfg_.allow_reordering;
-  dc.reverse_delay = from_ms(cfg_.rtt_ms / 2.0);
-  dc.faults = cfg_.faults;
-  dc.seed = cfg_.seed;
-  if (cfg_.ack_aggregation) {
-    dc.ack_aggregation = cfg_.ack_agg;
-    dc.ack_aggregation.enabled = true;
+namespace {
+
+// Per-link noise seeds: link 0 keeps the historical dumbbell derivation,
+// later links step by the golden-ratio increment.
+uint64_t link_seed(const ScenarioConfig& cfg, int index) {
+  return (cfg.seed ^ 0x71) + 0x9e3779b9ULL * static_cast<uint64_t>(index);
+}
+
+LinkConfig base_link(const ScenarioConfig& cfg) {
+  LinkConfig lc;
+  lc.rate = Bandwidth::from_mbps(cfg.bandwidth_mbps);
+  lc.prop_delay = from_ms(cfg.rtt_ms / 2.0);
+  lc.buffer_bytes = cfg.buffer_bytes;
+  lc.random_loss = cfg.random_loss;
+  lc.allow_reordering = cfg.allow_reordering;
+  return lc;
+}
+
+// Builds one of the registered multi-bottleneck shapes. Link 0 is always
+// the primary link: forward faults, wifi noise, and the markov rate
+// process attach there; reverse (ackloss/ackburst) faults attach to every
+// delay edge and mirror their drop counts into link 0's stats.
+std::unique_ptr<Topology> build_topology(Simulator* sim,
+                                         const ScenarioConfig& cfg) {
+  auto topo = std::make_unique<Topology>(sim);
+  const TopologyParams& tp = cfg.topology;
+  const int arms = std::max(2, tp.arms);
+  const double edge_mbps = tp.edge_bandwidth_mbps > 0.0
+                               ? tp.edge_bandwidth_mbps
+                               : cfg.bandwidth_mbps * 2.0;
+  const TimeNs fwd_budget = from_ms(cfg.rtt_ms / 2.0);
+  std::vector<Topology::EdgeId> delay_edges;
+  std::vector<Topology::NodeId> source_nodes;
+
+  switch (tp.kind) {
+    case TopologyKind::kDumbbell:
+      break;  // handled by the Dumbbell class itself; never reaches here
+
+    case TopologyKind::kParkingLot: {
+      // Chain of `arms` bottleneck hops over nodes 0..arms. Path 0 runs
+      // end to end; path 1+i crosses only hop i. Each hop gets an equal
+      // share of the one-way delay budget, so a crossing flow's base RTT
+      // is the long flow's divided by the hop count.
+      const TimeNs hop_prop = fwd_budget / arms;
+      LinkConfig hop = base_link(cfg);
+      hop.prop_delay = hop_prop;
+      std::vector<Topology::EdgeId> hops;
+      for (int i = 0; i < arms; ++i) {
+        hops.push_back(topo->add_link(i, i + 1, hop, link_seed(cfg, i),
+                                      "hop" + std::to_string(i)));
+      }
+      const Topology::EdgeId ack_long =
+          topo->add_delay_edge(arms, 0, fwd_budget, "ack-long");
+      delay_edges.push_back(ack_long);
+      topo->add_path({hops, {ack_long}});
+      source_nodes.push_back(0);
+      for (int i = 0; i < arms; ++i) {
+        const Topology::EdgeId ack = topo->add_delay_edge(
+            i + 1, i, hop_prop, "ack-cross" + std::to_string(i));
+        delay_edges.push_back(ack);
+        topo->add_path({{hops[i]}, {ack}});
+        source_nodes.push_back(i);
+      }
+      break;
+    }
+
+    case TopologyKind::kFanIn: {
+      // `arms` access links over nodes 0..arms-1 converge on node `arms`,
+      // then share one core link to node arms+1. The core carries the
+      // configured bandwidth; access links run faster (default 2x) so the
+      // core is the contended resource.
+      const Topology::NodeId junction = arms;
+      const Topology::NodeId sink = arms + 1;
+      LinkConfig core = base_link(cfg);
+      core.prop_delay = fwd_budget / 2;
+      const Topology::EdgeId core_id =
+          topo->add_link(junction, sink, core, link_seed(cfg, 0), "core");
+      LinkConfig access = base_link(cfg);
+      access.rate = Bandwidth::from_mbps(edge_mbps);
+      access.prop_delay = fwd_budget / 2;
+      for (int i = 0; i < arms; ++i) {
+        const Topology::EdgeId edge = topo->add_link(
+            i, junction, access, link_seed(cfg, 1 + i),
+            "edge" + std::to_string(i));
+        const Topology::EdgeId ack = topo->add_delay_edge(
+            sink, i, fwd_budget, "ack" + std::to_string(i));
+        delay_edges.push_back(ack);
+        topo->add_path({{edge, core_id}, {ack}});
+        source_nodes.push_back(i);
+      }
+      break;
+    }
+
+    case TopologyKind::kStar: {
+      // CDN-edge star: one origin (node 0) feeds a hub (node 1) over a
+      // fast core, and `arms` leaf links reach clients with progressively
+      // longer RTTs — leaf i's one-way delay scales by
+      // 1 + rtt_spread * i / (arms - 1). Leaves carry the configured
+      // bandwidth, so each is its own bottleneck; the shared core
+      // (default 2x) is where faults and noise attach.
+      LinkConfig core = base_link(cfg);
+      core.rate = Bandwidth::from_mbps(edge_mbps);
+      core.prop_delay = fwd_budget / 2;
+      topo->add_link(0, 1, core, link_seed(cfg, 0), "core");
+      Topology::Route core_route;  // filled per leaf below
+      for (int i = 0; i < arms; ++i) {
+        const double scale =
+            1.0 + tp.rtt_spread * i / std::max(1, arms - 1);
+        LinkConfig leaf = base_link(cfg);
+        leaf.prop_delay =
+            static_cast<TimeNs>(static_cast<double>(fwd_budget / 2) * scale);
+        const Topology::NodeId client = 2 + i;
+        const Topology::EdgeId leaf_id = topo->add_link(
+            1, client, leaf, link_seed(cfg, 1 + i),
+            "leaf" + std::to_string(i));
+        const TimeNs back =
+            static_cast<TimeNs>(static_cast<double>(fwd_budget) * scale);
+        const Topology::EdgeId ack =
+            topo->add_delay_edge(client, 0, back, "ack" + std::to_string(i));
+        delay_edges.push_back(ack);
+        topo->add_path({{0, leaf_id}, {ack}});
+        source_nodes.push_back(0);
+      }
+      break;
+    }
   }
-  dumbbell_ = std::make_unique<Dumbbell>(&sim_, dc);
+
+  if (!cfg.faults.empty()) {
+    // One timeline, one RNG stream — forward events on the primary link,
+    // reverse events on every ACK path (same contract as the dumbbell).
+    FaultTimeline* faults = topo->add_fault_timeline(cfg.faults,
+                                                     cfg.seed ^ 0xfa);
+    topo->set_link_faults(topo->path(0).forward.front(), faults);
+    for (Topology::EdgeId e : delay_edges) {
+      topo->set_ack_faults(e, faults, &topo->link(0));
+      topo->set_burst_release_spacing(e, cfg.ack_agg.release_spacing);
+    }
+  }
+  if (cfg.ack_aggregation) {
+    AckAggregatorConfig agg = cfg.ack_agg;
+    agg.enabled = true;
+    std::vector<Topology::NodeId> seen;
+    for (Topology::NodeId n : source_nodes) {
+      if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
+      seen.push_back(n);
+      topo->set_ack_aggregator(
+          n, agg, (cfg.seed ^ 0xac) + 0x9e3779b9ULL * static_cast<uint64_t>(n));
+    }
+  }
+  return topo;
+}
+
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed, cfg.engine) {
+  if (cfg_.topology.kind == TopologyKind::kDumbbell) {
+    DumbbellConfig dc;
+    dc.bottleneck = base_link(cfg_);
+    dc.reverse_delay = from_ms(cfg_.rtt_ms / 2.0);
+    dc.faults = cfg_.faults;
+    dc.seed = cfg_.seed;
+    if (cfg_.ack_aggregation) {
+      dc.ack_aggregation = cfg_.ack_agg;
+      dc.ack_aggregation.enabled = true;
+    }
+    dumbbell_ = std::make_unique<Dumbbell>(&sim_, dc);
+    network_ = dumbbell_.get();
+  } else {
+    topo_ = build_topology(&sim_, cfg_);
+    network_ = topo_.get();
+  }
   if (cfg_.wifi_noise) {
-    dumbbell_->bottleneck().set_latency_noise(
-        std::make_unique<WifiNoise>(cfg_.wifi));
+    bottleneck().set_latency_noise(std::make_unique<WifiNoise>(cfg_.wifi));
   }
   if (cfg_.markov_rate) {
-    dumbbell_->bottleneck().set_rate_process(
+    bottleneck().set_rate_process(
         std::make_unique<MarkovRateProcess>(cfg_.markov));
   }
 }
 
 Flow& Scenario::add_flow(const std::string& protocol, TimeNs start,
                          TimeNs stop) {
-  const FlowId id = next_id_;
-  return add_flow_with_cc(
-      make_protocol(protocol, flow_seed(id), nullptr, &cfg_.tuning), start,
+  const FlowId id = allocate_flow_id();
+  return attach_flow(
+      id, make_protocol(protocol, flow_seed(id), nullptr, &cfg_.tuning), start,
       stop);
 }
 
 Flow& Scenario::add_flow_with_cc(std::unique_ptr<CongestionController> cc,
                                  TimeNs start, TimeNs stop) {
+  return attach_flow(allocate_flow_id(), std::move(cc), start, stop);
+}
+
+Flow& Scenario::attach_flow(FlowId id, std::unique_ptr<CongestionController> cc,
+                            TimeNs start, TimeNs stop) {
+  if (topo_ != nullptr && topo_->path_count() > 1) {
+    topo_->set_flow_path(id, flows_attached_ % topo_->path_count());
+  }
+  ++flows_attached_;
   FlowConfig fc;
-  fc.id = next_id_++;
+  fc.id = id;
   fc.start_time = start;
   fc.stop_time = stop;
   fc.unlimited = true;
-  flows_.push_back(
-      std::make_unique<Flow>(&sim_, dumbbell_.get(), fc, std::move(cc)));
+  flows_.push_back(std::make_unique<Flow>(&sim_, network_, fc, std::move(cc)));
   flows_.back()->sender().set_max_burst_packets(cfg_.max_burst_packets);
   flows_.back()->sender().set_pacing_jitter(cfg_.pacing_jitter);
   return *flows_.back();

@@ -1,5 +1,12 @@
-// Scenario: one emulated bottleneck plus the flows under test. The
+// Scenario: one emulated network plus the flows under test. The
 // C++ equivalent of a Pantheon/Emulab experiment definition.
+//
+// The network defaults to the historical single-bottleneck Dumbbell; a
+// ScenarioConfig::topology selects one of the registered multi-bottleneck
+// shapes (TopologyKind: parking-lot, fan-in, CDN-edge star) built on the
+// general Topology graph. Flows added to a multi-path topology are
+// assigned paths round-robin in add order: flow 0 gets path 0 (the
+// long/primary path), later flows cycle through the cross/leaf paths.
 #pragma once
 
 #include <memory>
@@ -23,6 +30,13 @@ struct ScenarioConfig {
   // bit-identical runs; kBinaryHeap is kept as the reference for the
   // cross-engine golden suite and for perf comparisons.
   EventEngine engine = EventEngine::kTimerWheel;
+
+  // Network shape (sim/topology.h). kDumbbell reproduces the historical
+  // single-bottleneck scenario bit-for-bit; the other kinds build
+  // multi-bottleneck graphs with bandwidth_mbps/rtt_ms as the core
+  // budget. Faults, wifi noise, and the markov rate process attach to
+  // the primary link (link 0) in every shape.
+  TopologyParams topology;
 
   // Wireless-path impairments (paper's live-WiFi substitution).
   bool wifi_noise = false;
@@ -54,12 +68,27 @@ class Scenario {
   explicit Scenario(ScenarioConfig cfg);
 
   Simulator& sim() { return sim_; }
+  // The dumbbell instance; only valid for TopologyKind::kDumbbell (the
+  // default). Shape-agnostic code should use topology()/bottleneck().
   Dumbbell& dumbbell() { return *dumbbell_; }
   const Dumbbell& dumbbell() const { return *dumbbell_; }
+  // The underlying graph, whatever the configured kind.
+  Topology& topology() {
+    return dumbbell_ != nullptr ? dumbbell_->topology() : *topo_;
+  }
+  const Topology& topology() const {
+    return dumbbell_ != nullptr ? dumbbell_->topology() : *topo_;
+  }
+  // The primary link (link 0): the dumbbell bottleneck, the first
+  // parking-lot hop, the fan-in core, the star core.
+  Link& bottleneck() { return topology().link(0); }
+  const Link& bottleneck() const { return topology().link(0); }
+  Network& network() { return *network_; }
   const ScenarioConfig& config() const { return cfg_; }
 
   // Adds a bulk flow of the named protocol. Flows get sequential ids and
-  // per-flow seeds derived from the scenario seed.
+  // per-flow seeds derived from the scenario seed, and (on multi-path
+  // topologies) paths round-robin in add order.
   Flow& add_flow(const std::string& protocol, TimeNs start,
                  TimeNs stop = kTimeInfinite);
   Flow& add_flow_with_cc(std::unique_ptr<CongestionController> cc,
@@ -71,17 +100,29 @@ class Scenario {
 
   double capacity_mbps() const { return cfg_.bandwidth_mbps; }
   TimeNs base_rtt() const { return from_ms(cfg_.rtt_ms); }
+  // The single flow-id source: every path into flow creation draws from
+  // here exactly once, so ids and flow_seed(id) derivations can never
+  // desynchronize however add_flow/add_flow_with_cc/allocate_flow_id
+  // calls are mixed.
   FlowId allocate_flow_id() { return next_id_++; }
   uint64_t flow_seed(FlowId id) const {
     return cfg_.seed * 0x9e3779b9ULL + id;
   }
 
  private:
+  // Builds and registers the flow for an id already drawn from
+  // allocate_flow_id(); never touches next_id_ itself.
+  Flow& attach_flow(FlowId id, std::unique_ptr<CongestionController> cc,
+                    TimeNs start, TimeNs stop);
+
   ScenarioConfig cfg_;
   Simulator sim_;
-  std::unique_ptr<Dumbbell> dumbbell_;
+  std::unique_ptr<Dumbbell> dumbbell_;  // kDumbbell only
+  std::unique_ptr<Topology> topo_;      // every other kind
+  Network* network_ = nullptr;          // whichever of the two is live
   std::vector<std::unique_ptr<Flow>> flows_;
   FlowId next_id_ = 1;
+  int flows_attached_ = 0;  // round-robin path assignment cursor
 };
 
 }  // namespace proteus

@@ -46,18 +46,43 @@ bool write_rtt_csv(const std::string& path, const Flow& flow) {
   return static_cast<bool>(os);
 }
 
-bool write_link_stats_csv(const std::string& path, const LinkStats& stats) {
-  std::ofstream os(path);
-  if (!os) return false;
-  os << "offered_packets,delivered_packets,delivered_bytes,tail_drops,"
-        "random_drops,codel_drops,max_queue_bytes,blackout_drops,reordered,"
-        "duplicated,ack_drops\n";
+namespace {
+
+// Column order is pinned by the golden suites; append-only.
+constexpr char kLinkStatsHeader[] =
+    "offered_packets,delivered_packets,delivered_bytes,tail_drops,"
+    "random_drops,codel_drops,max_queue_bytes,blackout_drops,reordered,"
+    "duplicated,ack_drops";
+
+void write_link_stats_row(std::ofstream& os, const LinkStats& stats) {
   os << stats.offered_packets << ',' << stats.delivered_packets << ','
      << stats.delivered_bytes << ',' << stats.tail_drops << ','
      << stats.random_drops << ',' << stats.codel_drops << ','
      << stats.max_queue_bytes << ',' << stats.blackout_drops << ','
      << stats.reordered << ',' << stats.duplicated << ','
      << stats.ack_drops << '\n';
+}
+
+}  // namespace
+
+bool write_link_stats_csv(const std::string& path, const LinkStats& stats) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << kLinkStatsHeader << '\n';
+  write_link_stats_row(os, stats);
+  return static_cast<bool>(os);
+}
+
+bool write_link_stats_csv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, LinkStats>>& rows) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "link," << kLinkStatsHeader << '\n';
+  for (const auto& [name, stats] : rows) {
+    os << name << ',';
+    write_link_stats_row(os, stats);
+  }
   return static_cast<bool>(os);
 }
 

@@ -21,4 +21,11 @@ bool write_rtt_csv(const std::string& path, const Flow& flow);
 // blackout_drops, reordered, duplicated, ack_drops.
 bool write_link_stats_csv(const std::string& path, const LinkStats& stats);
 
+// Per-hop counters of a multi-link topology: same columns plus a leading
+// `link` name column, one row per queued link in add order (the shape
+// Topology::link_stats() returns).
+bool write_link_stats_csv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, LinkStats>>& rows);
+
 }  // namespace proteus

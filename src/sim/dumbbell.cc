@@ -1,96 +1,27 @@
 #include "sim/dumbbell.h"
 
-#include <algorithm>
-#include <utility>
-
 namespace proteus {
 
-AckAggregator::AckAggregator(Simulator* sim, AckAggregatorConfig cfg,
-                             uint64_t seed)
-    : sim_(sim), cfg_(cfg), rng_(seed) {
-  if (cfg_.enabled) schedule_next_block();
-}
-
-void AckAggregator::schedule_next_block() {
-  TimeNs gap = std::max<TimeNs>(
-      kNsPerMs, static_cast<TimeNs>(rng_.exponential(
-                    static_cast<double>(cfg_.mean_block_interval))));
-  sim_->schedule_in(gap, [this] {
-    TimeNs hold = std::max<TimeNs>(
-        kNsPerMs, static_cast<TimeNs>(rng_.exponential(
-                      static_cast<double>(cfg_.mean_block_duration))));
-    blocked_until_ = std::max(blocked_until_, sim_->now() + hold);
-    schedule_next_block();
-  });
-}
-
-void AckAggregator::deliver(const Packet& pkt, PacketSink* sink) {
-  TimeNs when = sim_->now();
-  if (cfg_.enabled) {
-    if (when < blocked_until_) when = blocked_until_;
-    // Keep FIFO: packets released after a block are spaced tightly, which
-    // is what makes the post-block ACK-interval ratio spike.
-    when = std::max(when, next_release_at_);
-    next_release_at_ = when + cfg_.release_spacing;
-  }
-  sim_->schedule_at(when, [pkt, sink] { sink->on_packet(pkt); });
-}
-
 Dumbbell::Dumbbell(Simulator* sim, DumbbellConfig cfg)
-    : sim_(sim), cfg_(cfg), demux_(this) {
-  bottleneck_ = std::make_unique<Link>(sim, cfg_.bottleneck, cfg_.seed ^ 0x71);
-  bottleneck_->set_sink(&demux_);
-  aggregator_ = std::make_unique<AckAggregator>(sim, cfg_.ack_aggregation,
-                                                cfg_.seed ^ 0xac);
+    : cfg_(cfg), topo_(sim) {
+  // Construction order is load-bearing for bit-identical event sequences:
+  // the aggregator schedules its first block (when enabled) at the same
+  // point it always has — after the link exists, before fault wiring.
+  const Topology::EdgeId fwd =
+      topo_.add_link(0, 1, cfg_.bottleneck, cfg_.seed ^ 0x71, "bottleneck");
+  const Topology::EdgeId rev =
+      topo_.add_delay_edge(1, 0, cfg_.reverse_delay, "ackpath");
+  topo_.set_ack_aggregator(0, cfg_.ack_aggregation, cfg_.seed ^ 0xac);
   if (!cfg_.faults.empty()) {
-    faults_ = std::make_unique<FaultTimeline>(cfg_.faults, cfg_.seed ^ 0xfa);
-    bottleneck_->set_fault_timeline(faults_.get());
+    // One timeline (one RNG stream) serves both directions, and reverse
+    // ACK drops mirror into the bottleneck's LinkStats so a single row
+    // carries every fault counter.
+    faults_ = topo_.add_fault_timeline(cfg_.faults, cfg_.seed ^ 0xfa);
+    topo_.set_link_faults(fwd, faults_);
+    topo_.set_ack_faults(rev, faults_, &topo_.link(0));
   }
+  topo_.set_burst_release_spacing(rev, cfg_.ack_aggregation.release_spacing);
+  topo_.add_path({{fwd}, {rev}});
 }
-
-PacketSink* Dumbbell::forward_ingress() { return bottleneck_.get(); }
-
-void Dumbbell::Demux::on_packet(const Packet& pkt) {
-  auto it = owner_->flows_.find(pkt.flow_id);
-  if (it == owner_->flows_.end() || it->second.receiver_side == nullptr) {
-    return;  // flow already finished; drop silently
-  }
-  it->second.receiver_side->on_packet(pkt);
-}
-
-void Dumbbell::deliver_ack(const Packet& ack) {
-  auto it = flows_.find(ack.flow_id);
-  if (it == flows_.end() || it->second.sender_ack_side == nullptr) return;
-  aggregator_->deliver(ack, it->second.sender_ack_side);
-}
-
-void Dumbbell::send_reverse(const Packet& ack) {
-  sim_->schedule_in(cfg_.reverse_delay, [this, ack] {
-    if (faults_ != nullptr) {
-      const TimeNs now = sim_->now();
-      if (faults_->sample_ack_drop(now)) {
-        bottleneck_->note_ack_drop();
-        return;
-      }
-      // An active ackburst window holds ACKs until it ends, then flushes
-      // them back-to-back (compressed), spaced tightly to stay FIFO.
-      if (const TimeNs release = faults_->ack_release_time(now);
-          release > now) {
-        const TimeNs when = std::max(release, fault_release_cursor_);
-        fault_release_cursor_ = when + from_us(30);
-        sim_->schedule_at(when, [this, ack] { deliver_ack(ack); });
-        return;
-      }
-    }
-    deliver_ack(ack);
-  });
-}
-
-void Dumbbell::attach_flow(FlowId id, PacketSink* receiver_side,
-                           PacketSink* sender_ack_side) {
-  flows_[id] = FlowPorts{receiver_side, sender_ack_side};
-}
-
-void Dumbbell::detach_flow(FlowId id) { flows_.erase(id); }
 
 }  // namespace proteus

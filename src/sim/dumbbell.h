@@ -6,43 +6,20 @@
 // channel occasionally blocks for a random period, ACKs pile up, and are
 // then released back-to-back. This produces exactly the ACK-interval-ratio
 // spikes the paper's per-ACK RTT filter (section 5) is designed to absorb.
+//
+// Internally this is a thin two-node instance of the general Topology
+// graph (topology.h): one bottleneck Link edge forward, one delay edge
+// back, a single shared path, an always-present sender-side aggregator,
+// and one fault timeline attached to both edges. The topology_golden_test
+// suite pins it bit-identical to the historical standalone implementation.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
-#include "sim/link.h"
-#include "sim/packet.h"
-#include "sim/simulator.h"
+#include "sim/topology.h"
 
 namespace proteus {
-
-struct AckAggregatorConfig {
-  bool enabled = false;
-  TimeNs mean_block_interval = from_ms(120.0);  // Poisson gap between blocks
-  TimeNs mean_block_duration = from_ms(10.0);   // exponential hold time
-  TimeNs release_spacing = from_us(30.0);       // back-to-back ACK spacing
-};
-
-// Holds ACKs during "blocked" periods and flushes them in bursts.
-class AckAggregator {
- public:
-  AckAggregator(Simulator* sim, AckAggregatorConfig cfg, uint64_t seed);
-
-  // Delivers `pkt` to `sink`, possibly delayed by an ongoing block.
-  void deliver(const Packet& pkt, PacketSink* sink);
-
- private:
-  void schedule_next_block();
-
-  Simulator* sim_;
-  AckAggregatorConfig cfg_;
-  Rng rng_;
-  TimeNs blocked_until_ = 0;
-  TimeNs next_release_at_ = 0;
-};
 
 struct DumbbellConfig {
   LinkConfig bottleneck;
@@ -57,56 +34,42 @@ struct DumbbellConfig {
 // Wiring helper used by every experiment. Flows register a receiver-side
 // sink (gets data packets that survive the bottleneck) and a sender-side
 // sink (gets ACKs after the reverse path).
-class Dumbbell {
+class Dumbbell final : public Network {
  public:
   Dumbbell(Simulator* sim, DumbbellConfig cfg);
 
-  // Data packets from senders enter here.
-  PacketSink* forward_ingress();
+  // Data packets from senders enter here. Every dumbbell flow shares the
+  // one path, so the flow-less overload answers without a route lookup.
+  PacketSink* forward_ingress() { return &topo_.link(0); }
+  PacketSink* forward_ingress(FlowId id) override {
+    return topo_.forward_ingress(id);
+  }
   // Receivers push ACKs here; they arrive at the flow's sender sink after
   // reverse_delay (plus any aggregation).
-  void send_reverse(const Packet& ack);
+  void send_reverse(const Packet& ack) override { topo_.send_reverse(ack); }
 
   void attach_flow(FlowId id, PacketSink* receiver_side,
-                   PacketSink* sender_ack_side);
-  void detach_flow(FlowId id);
+                   PacketSink* sender_ack_side) override {
+    topo_.attach_flow(id, receiver_side, sender_ack_side);
+  }
+  void detach_flow(FlowId id) override { topo_.detach_flow(id); }
 
-  Link& bottleneck() { return *bottleneck_; }
-  const Link& bottleneck() const { return *bottleneck_; }
+  Link& bottleneck() { return topo_.link(0); }
+  const Link& bottleneck() const { return topo_.link(0); }
   // The active fault schedule, or null when the config declared none.
-  FaultTimeline* faults() { return faults_.get(); }
-  Simulator& sim() { return *sim_; }
+  FaultTimeline* faults() { return faults_; }
+  Simulator& sim() { return topo_.sim(); }
   TimeNs base_rtt() const {
     return cfg_.bottleneck.prop_delay + cfg_.reverse_delay;
   }
+  // The underlying graph (one Link edge, one delay edge, one path).
+  Topology& topology() { return topo_; }
+  const Topology& topology() const { return topo_; }
 
  private:
-  class Demux final : public PacketSink {
-   public:
-    explicit Demux(Dumbbell* owner) : owner_(owner) {}
-    void on_packet(const Packet& pkt) override;
-
-   private:
-    Dumbbell* owner_;
-  };
-
-  struct FlowPorts {
-    PacketSink* receiver_side = nullptr;
-    PacketSink* sender_ack_side = nullptr;
-  };
-
-  // Hands `ack` to its flow's sender sink (if still attached) through the
-  // aggregator. Shared by the direct path and deferred fault releases.
-  void deliver_ack(const Packet& ack);
-
-  Simulator* sim_;
   DumbbellConfig cfg_;
-  std::unique_ptr<Link> bottleneck_;
-  Demux demux_;
-  std::unique_ptr<AckAggregator> aggregator_;
-  std::unique_ptr<FaultTimeline> faults_;
-  TimeNs fault_release_cursor_ = 0;  // spaces compressed-ACK releases
-  std::unordered_map<FlowId, FlowPorts> flows_;
+  Topology topo_;
+  FaultTimeline* faults_ = nullptr;  // owned by topo_
 };
 
 }  // namespace proteus

@@ -1,0 +1,36 @@
+// Network: the interface between transport endpoints and whatever
+// emulated fabric carries their packets.
+//
+// Sender/Receiver/Flow (and the application workloads built on them) only
+// need four things from the network: an ingress sink for a flow's data
+// packets, a way to send an ACK back, and attach/detach of the per-flow
+// delivery ports. Dumbbell and the general Topology graph (topology.h)
+// both implement this, so every experiment runs unchanged whether the
+// fabric is one bottleneck or an arbitrary multi-hop graph.
+#pragma once
+
+#include "sim/packet.h"
+
+namespace proteus {
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  // Ingress sink for flow `id`'s data packets (the first hop of its
+  // forward route). Stable for the lifetime of the flow's route.
+  virtual PacketSink* forward_ingress(FlowId id) = 0;
+
+  // Receivers push ACKs here; they arrive at the flow's sender-side sink
+  // after traversing the flow's reverse route.
+  virtual void send_reverse(const Packet& ack) = 0;
+
+  // Binds the flow's delivery ports. `receiver_side` gets data packets
+  // that survive the forward path, `sender_ack_side` gets ACKs off the
+  // reverse path. Either may be null (packets are dropped silently).
+  virtual void attach_flow(FlowId id, PacketSink* receiver_side,
+                           PacketSink* sender_ack_side) = 0;
+  virtual void detach_flow(FlowId id) = 0;
+};
+
+}  // namespace proteus

@@ -1,0 +1,265 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace proteus {
+
+AckAggregator::AckAggregator(Simulator* sim, AckAggregatorConfig cfg,
+                             uint64_t seed)
+    : sim_(sim), cfg_(cfg), rng_(seed) {
+  if (cfg_.enabled) schedule_next_block();
+}
+
+void AckAggregator::schedule_next_block() {
+  TimeNs gap = std::max<TimeNs>(
+      kNsPerMs, static_cast<TimeNs>(rng_.exponential(
+                    static_cast<double>(cfg_.mean_block_interval))));
+  sim_->schedule_in(gap, [this] {
+    TimeNs hold = std::max<TimeNs>(
+        kNsPerMs, static_cast<TimeNs>(rng_.exponential(
+                      static_cast<double>(cfg_.mean_block_duration))));
+    blocked_until_ = std::max(blocked_until_, sim_->now() + hold);
+    schedule_next_block();
+  });
+}
+
+void AckAggregator::deliver(const Packet& pkt, PacketSink* sink) {
+  TimeNs when = sim_->now();
+  if (cfg_.enabled) {
+    const bool held = when < blocked_until_;
+    if (held) when = blocked_until_;
+    // Keep FIFO: packets released after a block are spaced tightly, which
+    // is what makes the post-block ACK-interval ratio spike. ACKs arriving
+    // outside a block (and past any flush tail) pass through unspaced —
+    // the channel is only rate-limited while it is draining a backlog.
+    if (held || when < next_release_at_) {
+      when = std::max(when, next_release_at_);
+      next_release_at_ = when + cfg_.release_spacing;
+    }
+  }
+  sim_->schedule_at(when, [pkt, sink] { sink->on_packet(pkt); });
+}
+
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kDumbbell:
+      return "dumbbell";
+    case TopologyKind::kParkingLot:
+      return "parkinglot";
+    case TopologyKind::kFanIn:
+      return "fanin";
+    case TopologyKind::kStar:
+      return "star";
+  }
+  return "unknown";
+}
+
+Topology::EdgeId Topology::add_link(NodeId from, NodeId to, LinkConfig cfg,
+                                    uint64_t noise_seed, std::string name) {
+  auto e = std::make_unique<Edge>(this, static_cast<EdgeId>(edges_.size()));
+  e->from = from;
+  e->to = to;
+  e->name = name.empty() ? "link" + std::to_string(links_.size())
+                         : std::move(name);
+  e->link = std::make_unique<Link>(sim_, cfg, noise_seed);
+  e->link->set_sink(e.get());
+  if (auto ag = aggregators_.find(to); ag != aggregators_.end()) {
+    e->aggregator_at_to = ag->second.get();
+  }
+  links_.push_back(e->id);
+  edges_.push_back(std::move(e));
+  return edges_.back()->id;
+}
+
+Topology::EdgeId Topology::add_delay_edge(NodeId from, NodeId to, TimeNs delay,
+                                          std::string name) {
+  auto e = std::make_unique<Edge>(this, static_cast<EdgeId>(edges_.size()));
+  e->from = from;
+  e->to = to;
+  e->name = name.empty() ? "delay" + std::to_string(edges_.size())
+                         : std::move(name);
+  e->delay = delay;
+  if (auto ag = aggregators_.find(to); ag != aggregators_.end()) {
+    e->aggregator_at_to = ag->second.get();
+  }
+  edges_.push_back(std::move(e));
+  return edges_.back()->id;
+}
+
+Topology::PathId Topology::add_path(Route route) {
+  paths_.push_back(std::move(route));
+  return static_cast<PathId>(paths_.size()) - 1;
+}
+
+void Topology::set_flow_path(FlowId id, PathId path) {
+  ensure_flow(id).path = path;
+}
+
+FaultTimeline* Topology::add_fault_timeline(std::vector<FaultSpec> events,
+                                            uint64_t seed) {
+  fault_timelines_.push_back(
+      std::make_unique<FaultTimeline>(std::move(events), seed));
+  return fault_timelines_.back().get();
+}
+
+void Topology::set_link_faults(EdgeId edge, FaultTimeline* faults) {
+  edges_[edge]->link->set_fault_timeline(faults);
+}
+
+void Topology::set_ack_faults(EdgeId edge, FaultTimeline* faults,
+                              Link* stats_link) {
+  edges_[edge]->ack_faults = faults;
+  edges_[edge]->ack_stats_mirror = stats_link;
+}
+
+void Topology::set_burst_release_spacing(EdgeId edge, TimeNs spacing) {
+  edges_[edge]->burst_release_spacing = spacing;
+}
+
+void Topology::set_ack_aggregator(NodeId node, AckAggregatorConfig cfg,
+                                  uint64_t seed) {
+  AckAggregator* ag =
+      (aggregators_[node] = std::make_unique<AckAggregator>(sim_, cfg, seed))
+          .get();
+  for (auto& e : edges_) {
+    if (e->to == node) e->aggregator_at_to = ag;
+  }
+}
+
+PacketSink* Topology::forward_ingress(FlowId id) {
+  PathId p = 0;
+  if (const FlowState* fs = find_flow(id)) p = fs->path;
+  if (p < 0 || p >= path_count() || paths_[p].forward.empty()) return nullptr;
+  return edge_ingress(paths_[p].forward.front());
+}
+
+void Topology::send_reverse(const Packet& ack) {
+  // Route lookup falls back to path 0 for flows already detached, so the
+  // ACK still traverses (and is dropped at) the default reverse path —
+  // fault RNG draws and event counts don't depend on detach timing.
+  PathId p = 0;
+  if (const FlowState* fs = find_flow(ack.flow_id)) p = fs->path;
+  if (p < 0 || p >= path_count() || paths_[p].reverse.empty()) return;
+  enter_edge(paths_[p].reverse.front(), ack);
+}
+
+Topology::FlowState& Topology::ensure_flow(FlowId id) {
+  if (id < kDenseFlows) {
+    if (id >= dense_flows_.size()) dense_flows_.resize(id + 1);
+    FlowState& fs = dense_flows_[id];
+    fs.present = true;
+    return fs;
+  }
+  FlowState& fs = sparse_flows_[id];
+  fs.present = true;
+  return fs;
+}
+
+void Topology::attach_flow(FlowId id, PacketSink* receiver_side,
+                           PacketSink* sender_ack_side) {
+  FlowState& fs = ensure_flow(id);  // preserves a path set before attach
+  fs.receiver_side = receiver_side;
+  fs.sender_ack_side = sender_ack_side;
+}
+
+void Topology::detach_flow(FlowId id) {
+  if (id < dense_flows_.size()) {
+    // Reset the whole slot (not just `present`): re-assigning a path
+    // after detach must start from a clean state, exactly as a map
+    // erase + re-insert did.
+    dense_flows_[id] = FlowState{};
+  } else {
+    sparse_flows_.erase(id);
+  }
+}
+
+std::vector<std::pair<std::string, LinkStats>> Topology::link_stats() const {
+  std::vector<std::pair<std::string, LinkStats>> rows;
+  rows.reserve(links_.size());
+  for (EdgeId id : links_) {
+    rows.emplace_back(edges_[id]->name, edges_[id]->link->stats());
+  }
+  return rows;
+}
+
+PacketSink* Topology::edge_ingress(EdgeId id) {
+  Edge& e = *edges_[id];
+  return e.link != nullptr ? static_cast<PacketSink*>(e.link.get())
+                           : static_cast<PacketSink*>(&e);
+}
+
+void Topology::enter_edge(EdgeId id, const Packet& pkt) {
+  edge_ingress(id)->on_packet(pkt);
+}
+
+void Topology::Edge::on_packet(const Packet& pkt) {
+  if (link != nullptr) {
+    // Sink role of a Link edge: the link finished propagation — demux.
+    topo->edge_egress(*this, pkt);
+  } else {
+    // Sink role of a delay edge: ingress — schedule the propagation.
+    Edge* e = this;
+    topo->sim_->schedule_in(delay,
+                            [e, pkt] { e->topo->delay_edge_arrival(*e, pkt); });
+  }
+}
+
+void Topology::delay_edge_arrival(Edge& e, const Packet& pkt) {
+  if (e.ack_faults != nullptr) {
+    const TimeNs now = sim_->now();
+    if (e.ack_faults->sample_ack_drop(now)) {
+      ++e.ack_drops;
+      if (e.ack_stats_mirror != nullptr) e.ack_stats_mirror->note_ack_drop();
+      return;
+    }
+    // An active ackburst window holds ACKs until it ends, then flushes
+    // them back-to-back (compressed), spaced tightly to stay FIFO.
+    if (const TimeNs release = e.ack_faults->ack_release_time(now);
+        release > now) {
+      const TimeNs when = std::max(release, e.burst_release_cursor);
+      e.burst_release_cursor = when + e.burst_release_spacing;
+      Edge* ep = &e;
+      sim_->schedule_at(when,
+                        [ep, pkt] { ep->topo->edge_egress(*ep, pkt); });
+      return;
+    }
+  }
+  edge_egress(e, pkt);
+}
+
+void Topology::edge_egress(const Edge& e, const Packet& pkt) {
+  const FlowState* fsp = find_flow(pkt.flow_id);
+  if (fsp == nullptr) return;  // flow already finished; drop silently
+  const FlowState& fs = *fsp;
+  if (fs.path < 0 || fs.path >= path_count()) return;
+  const Route& route = paths_[fs.path];
+  // Routes are a handful of hops; a linear scan for this edge's position
+  // beats any per-flow index map on the allocation-free hot path.
+  for (size_t i = 0; i < route.forward.size(); ++i) {
+    if (route.forward[i] != e.id) continue;
+    if (i + 1 < route.forward.size()) {
+      enter_edge(route.forward[i + 1], pkt);
+    } else if (fs.receiver_side != nullptr) {
+      fs.receiver_side->on_packet(pkt);
+    }
+    return;
+  }
+  for (size_t i = 0; i < route.reverse.size(); ++i) {
+    if (route.reverse[i] != e.id) continue;
+    if (i + 1 < route.reverse.size()) {
+      enter_edge(route.reverse[i + 1], pkt);
+    } else if (fs.sender_ack_side != nullptr) {
+      // ACKs terminating at a node with a bursty-MAC aggregator go
+      // through it; otherwise deliver directly.
+      if (e.aggregator_at_to != nullptr) {
+        e.aggregator_at_to->deliver(pkt, fs.sender_ack_side);
+      } else {
+        fs.sender_ack_side->on_packet(pkt);
+      }
+    }
+    return;
+  }
+}
+
+}  // namespace proteus

@@ -1,0 +1,231 @@
+// Topology: an arbitrary node/edge graph of Link objects with per-flow
+// static routes, generalizing the historical single-bottleneck Dumbbell.
+//
+// Nodes are integer ids; edges are either queued Links (serialization +
+// tail-drop buffer + propagation, link.h) or pure delay edges (an
+// uncongested path segment — the classic "ACKs are small" reverse path).
+// Every flow is assigned a path: a forward edge sequence for data and a
+// reverse edge sequence for ACKs. Each edge delivers into the topology's
+// per-edge egress, which demuxes by flow id and either forwards into the
+// next edge of the route or delivers to the flow's endpoint sink.
+//
+// Fault timelines (fault_timeline.h) attach per edge: forward hooks
+// (blackout/capacity/route/reorder/duplicate) on Link edges, reverse
+// hooks (ackloss/ackburst) on delay edges. A single timeline object may
+// be shared by several edges — the Dumbbell does exactly that so its
+// forward and reverse faults draw from one RNG stream, as they always
+// have. Nodes may carry an AckAggregator modeling bursty WiFi MAC
+// scheduling for ACKs terminating there.
+//
+// Dumbbell (dumbbell.h) is a thin two-node instance of this class; the
+// topology_golden_test suite pins that equivalence bit-for-bit against
+// digests captured from the pre-topology tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/network.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace proteus {
+
+struct AckAggregatorConfig {
+  bool enabled = false;
+  TimeNs mean_block_interval = from_ms(120.0);  // Poisson gap between blocks
+  TimeNs mean_block_duration = from_ms(10.0);   // exponential hold time
+  TimeNs release_spacing = from_us(30.0);       // back-to-back ACK spacing
+};
+
+// Holds ACKs during "blocked" periods and flushes them in bursts.
+class AckAggregator {
+ public:
+  AckAggregator(Simulator* sim, AckAggregatorConfig cfg, uint64_t seed);
+
+  // Delivers `pkt` to `sink`, possibly delayed by an ongoing block.
+  void deliver(const Packet& pkt, PacketSink* sink);
+
+ private:
+  void schedule_next_block();
+
+  Simulator* sim_;
+  AckAggregatorConfig cfg_;
+  Rng rng_;
+  TimeNs blocked_until_ = 0;
+  TimeNs next_release_at_ = 0;
+};
+
+// The registered multi-bottleneck shapes a Scenario can instantiate
+// (harness/scenario.h maps these onto concrete graphs; the CLI grammar
+// is --topology=, harness/cli.h).
+enum class TopologyKind {
+  kDumbbell,    // 1 bottleneck + shared reverse delay (the historical shape)
+  kParkingLot,  // arms hops in a row; path 0 end-to-end, others cross 1 hop
+  kFanIn,       // arms edge links converging on 1 shared core link
+  kStar,        // shared core + arms leaf links with heterogeneous RTTs
+};
+
+struct TopologyParams {
+  TopologyKind kind = TopologyKind::kDumbbell;
+  // Hop count (parking-lot), edge-link count (fan-in), leaf count (star).
+  int arms = 3;
+  // Access/edge/leaf link rate; 0 derives it from the core rate
+  // (2x for fan-in edges and star core — edges feed, core fans out).
+  double edge_bandwidth_mbps = 0.0;
+  // Star: leaf i's one-way delay is scaled by 1 + rtt_spread * i /
+  // (arms - 1), so leaves span [base, base * (1 + rtt_spread)].
+  double rtt_spread = 1.0;
+};
+
+const char* topology_kind_name(TopologyKind kind);
+
+class Topology final : public Network {
+ public:
+  using NodeId = int;
+  using EdgeId = int;
+  using PathId = int;
+
+  // A flow's static route: data packets traverse `forward` in order,
+  // ACKs traverse `reverse` in order. Several flows may share one path.
+  struct Route {
+    std::vector<EdgeId> forward;
+    std::vector<EdgeId> reverse;
+  };
+
+  explicit Topology(Simulator* sim) : sim_(sim) {}
+
+  // ---- Graph construction --------------------------------------------
+  // Queued bottleneck edge from `from` to `to`. `name` labels the per-hop
+  // stats row in exports.
+  EdgeId add_link(NodeId from, NodeId to, LinkConfig cfg, uint64_t noise_seed,
+                  std::string name = "");
+  // Pure-delay edge (uncongested segment, typically an ACK path).
+  EdgeId add_delay_edge(NodeId from, NodeId to, TimeNs delay,
+                        std::string name = "");
+
+  // Registers a route template; flows reference it by id. The first
+  // registered path is the default for flows attached without one.
+  PathId add_path(Route route);
+  void set_flow_path(FlowId id, PathId path);
+
+  // ---- Fault / impairment attachment ---------------------------------
+  // Creates a timeline owned by the topology; attach it to any number of
+  // edges (shared RNG stream across all of them).
+  FaultTimeline* add_fault_timeline(std::vector<FaultSpec> events,
+                                    uint64_t seed);
+  // Forward-path hooks: blackout/capacity/route/reorder/duplicate.
+  void set_link_faults(EdgeId edge, FaultTimeline* faults);
+  // Reverse-path hooks on a delay edge: ackloss/ackburst. Dropped-ACK
+  // counts mirror into `stats_link`'s LinkStats when non-null, so one
+  // bottleneck row carries every fault counter (the Dumbbell contract).
+  void set_ack_faults(EdgeId edge, FaultTimeline* faults,
+                      Link* stats_link = nullptr);
+  // Spacing between compressed ACKs released at the end of an ackburst
+  // window (default mirrors AckAggregatorConfig::release_spacing).
+  void set_burst_release_spacing(EdgeId edge, TimeNs spacing);
+  // Bursty-MAC ACK aggregation for ACK routes terminating at `node`.
+  void set_ack_aggregator(NodeId node, AckAggregatorConfig cfg,
+                          uint64_t seed);
+
+  // ---- Network interface (transport-facing) --------------------------
+  PacketSink* forward_ingress(FlowId id) override;
+  void send_reverse(const Packet& ack) override;
+  void attach_flow(FlowId id, PacketSink* receiver_side,
+                   PacketSink* sender_ack_side) override;
+  void detach_flow(FlowId id) override;
+
+  // ---- Introspection --------------------------------------------------
+  // Queued links only (delay edges carry no queue/stats of their own
+  // beyond ACK drops), in add_link order.
+  int link_count() const { return static_cast<int>(links_.size()); }
+  Link& link(int i) { return *edges_[links_[i]]->link; }
+  const Link& link(int i) const { return *edges_[links_[i]]->link; }
+  const std::string& link_name(int i) const { return edges_[links_[i]]->name; }
+  // Per-hop stats rows for CSV export, in add_link order.
+  std::vector<std::pair<std::string, LinkStats>> link_stats() const;
+  int path_count() const { return static_cast<int>(paths_.size()); }
+  const Route& path(PathId id) const { return paths_[id]; }
+  // ACKs dropped by an ackloss fault on this delay edge.
+  int64_t ack_drops(EdgeId edge) const { return edges_[edge]->ack_drops; }
+  Simulator& sim() { return *sim_; }
+
+ private:
+  // One directed edge. Doubles as a PacketSink: for Link edges the sink
+  // role is the link's *egress* (delivery demux); for delay edges it is
+  // the *ingress* (schedule the propagation delay).
+  struct Edge final : PacketSink {
+    Edge(Topology* t, EdgeId i) : topo(t), id(i) {}
+    void on_packet(const Packet& pkt) override;
+
+    Topology* topo;
+    EdgeId id;
+    NodeId from = 0;
+    NodeId to = 0;
+    std::string name;
+    std::unique_ptr<Link> link;  // null for delay edges
+
+    // Delay-edge state.
+    TimeNs delay = 0;
+    FaultTimeline* ack_faults = nullptr;  // ackloss/ackburst hooks
+    Link* ack_stats_mirror = nullptr;     // note_ack_drop target
+    int64_t ack_drops = 0;
+    TimeNs burst_release_cursor = 0;  // spaces compressed-ACK releases
+    TimeNs burst_release_spacing = from_us(30.0);
+
+    // ACK routes ending at `to` drain through this aggregator (cached
+    // from aggregators_ so the per-ACK hot path skips the hash lookup).
+    AckAggregator* aggregator_at_to = nullptr;
+  };
+
+  struct FlowState {
+    bool present = false;  // attached or path-assigned (and not detached)
+    PathId path = 0;
+    PacketSink* receiver_side = nullptr;
+    PacketSink* sender_ack_side = nullptr;
+  };
+
+  // Hands `pkt` to edge `id`'s ingress (link queue or delay schedule).
+  void enter_edge(EdgeId id, const Packet& pkt);
+  // A delay edge's propagation elapsed: run reverse-path fault hooks,
+  // then egress.
+  void delay_edge_arrival(Edge& e, const Packet& pkt);
+  // `pkt` exits edge `e`: demux by flow, forward or deliver.
+  void edge_egress(const Edge& e, const Packet& pkt);
+  PacketSink* edge_ingress(EdgeId id);
+
+  // Flow ids are small dense integers (Scenario::allocate_flow_id counts
+  // up from 1), so flow state lives in a flat array indexed by id and the
+  // per-packet demux is a bounds check + load instead of a hash lookup —
+  // the lookup runs twice per data packet and twice per ACK, and the hash
+  // version cost the simulator ~19% of its event rate. Hand-built
+  // topologies may use arbitrary ids; those spill into a map off the
+  // common path.
+  static constexpr FlowId kDenseFlows = 4096;
+  FlowState* find_flow(FlowId id) {
+    if (id < dense_flows_.size()) {
+      FlowState& fs = dense_flows_[id];
+      return fs.present ? &fs : nullptr;
+    }
+    if (sparse_flows_.empty()) return nullptr;
+    auto it = sparse_flows_.find(id);
+    return it != sparse_flows_.end() ? &it->second : nullptr;
+  }
+  // Creates (or revives) the state slot for `id` and marks it present.
+  FlowState& ensure_flow(FlowId id);
+
+  Simulator* sim_;
+  std::vector<std::unique_ptr<Edge>> edges_;
+  std::vector<EdgeId> links_;  // subset of edges_ that are queued Links
+  std::vector<Route> paths_;
+  std::vector<FlowState> dense_flows_;               // ids < kDenseFlows
+  std::unordered_map<FlowId, FlowState> sparse_flows_;
+  std::unordered_map<NodeId, std::unique_ptr<AckAggregator>> aggregators_;
+  std::vector<std::unique_ptr<FaultTimeline>> fault_timelines_;
+};
+
+}  // namespace proteus

@@ -4,14 +4,14 @@
 
 namespace proteus {
 
-Flow::Flow(Simulator* sim, Dumbbell* dumbbell, FlowConfig cfg,
+Flow::Flow(Simulator* sim, Network* network, FlowConfig cfg,
            std::unique_ptr<CongestionController> cc)
     : sim_(sim),
-      dumbbell_(dumbbell),
+      network_(network),
       cfg_(cfg) {
-  sender_ = std::make_unique<Sender>(sim, dumbbell, cfg_.id, std::move(cc));
-  receiver_ = std::make_unique<Receiver>(sim, dumbbell, cfg_.id);
-  dumbbell_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
+  sender_ = std::make_unique<Sender>(sim, network, cfg_.id, std::move(cc));
+  receiver_ = std::make_unique<Receiver>(sim, network, cfg_.id);
+  network_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
 
   if (cfg_.collect_rtt) {
     sender_->set_on_ack(
@@ -45,7 +45,7 @@ Flow::Flow(Simulator* sim, Dumbbell* dumbbell, FlowConfig cfg,
 }
 
 Flow::~Flow() {
-  dumbbell_->detach_flow(cfg_.id);
+  network_->detach_flow(cfg_.id);
 }
 
 }  // namespace proteus

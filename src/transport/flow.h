@@ -1,4 +1,4 @@
-// Flow: one sender/receiver pair bound to a dumbbell, with start/stop
+// Flow: one sender/receiver pair bound to a network, with start/stop
 // scheduling and the measurement hooks every experiment needs.
 #pragma once
 
@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "sim/life_tag.h"
-#include "sim/dumbbell.h"
+#include "sim/network.h"
 #include "stats/percentile.h"
 #include "transport/receiver.h"
 #include "transport/sender.h"
@@ -24,7 +24,7 @@ struct FlowConfig {
 
 class Flow {
  public:
-  Flow(Simulator* sim, Dumbbell* dumbbell, FlowConfig cfg,
+  Flow(Simulator* sim, Network* network, FlowConfig cfg,
        std::unique_ptr<CongestionController> cc);
   ~Flow();
 
@@ -51,7 +51,7 @@ class Flow {
 
  private:
   Simulator* sim_;
-  Dumbbell* dumbbell_;
+  Network* network_;
   FlowConfig cfg_;
   std::unique_ptr<Sender> sender_;
   std::unique_ptr<Receiver> receiver_;

@@ -1,11 +1,11 @@
 #include "transport/receiver.h"
 
-#include "sim/dumbbell.h"
+#include "sim/network.h"
 
 namespace proteus {
 
-Receiver::Receiver(Simulator* sim, Dumbbell* dumbbell, FlowId id)
-    : sim_(sim), dumbbell_(dumbbell), id_(id) {}
+Receiver::Receiver(Simulator* sim, Network* network, FlowId id)
+    : sim_(sim), network_(network), id_(id) {}
 
 void Receiver::on_packet(const Packet& pkt) {
   bytes_received_ += pkt.size_bytes;
@@ -20,7 +20,7 @@ void Receiver::on_packet(const Packet& pkt) {
   ack.data_sent_time = pkt.sent_time;
   ack.receiver_time = sim_->now();
   ack.acked_bytes = pkt.size_bytes;
-  dumbbell_->send_reverse(ack);
+  network_->send_reverse(ack);
 
   if (on_data_) on_data_(pkt, sim_->now());
 }

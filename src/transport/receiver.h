@@ -11,11 +11,11 @@
 
 namespace proteus {
 
-class Dumbbell;
+class Network;
 
 class Receiver final : public PacketSink {
  public:
-  Receiver(Simulator* sim, Dumbbell* dumbbell, FlowId id);
+  Receiver(Simulator* sim, Network* network, FlowId id);
 
   // PacketSink: data packets surviving the bottleneck.
   void on_packet(const Packet& pkt) override;
@@ -32,7 +32,7 @@ class Receiver final : public PacketSink {
 
  private:
   Simulator* sim_;
-  Dumbbell* dumbbell_;
+  Network* network_;
   FlowId id_;
   int64_t bytes_received_ = 0;
   int64_t packets_received_ = 0;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "sim/dumbbell.h"
+#include "sim/network.h"
 #include "telemetry/profiler.h"
 
 namespace proteus {
@@ -14,10 +14,10 @@ constexpr TimeNs kMinRto = from_ms(25);
 constexpr TimeNs kInitialRttGuess = from_ms(100);
 }  // namespace
 
-Sender::Sender(Simulator* sim, Dumbbell* dumbbell, FlowId id,
+Sender::Sender(Simulator* sim, Network* network, FlowId id,
                std::unique_ptr<CongestionController> cc, int64_t packet_bytes)
     : sim_(sim),
-      dumbbell_(dumbbell),
+      network_(network),
       id_(id),
       cc_(std::move(cc)),
       packet_bytes_(packet_bytes) {
@@ -138,7 +138,7 @@ void Sender::send_one() {
   info.bytes_in_flight = bytes_in_flight_;
   cc_->on_packet_sent(info);
 
-  dumbbell_->forward_ingress()->on_packet(pkt);
+  network_->forward_ingress(id_)->on_packet(pkt);
   arm_loss_sweep();
 }
 

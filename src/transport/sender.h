@@ -18,7 +18,7 @@
 
 namespace proteus {
 
-class Dumbbell;
+class Network;
 
 struct SenderStats {
   int64_t packets_sent = 0;
@@ -31,9 +31,9 @@ struct SenderStats {
 
 class Sender final : public PacketSink {
  public:
-  // `dumbbell` routes data out and delivers ACKs back; the sender attaches
+  // `network` routes data out and delivers ACKs back; the sender attaches
   // itself as flow `id`'s ACK sink. `receiver_ack_path` is wired by Flow.
-  Sender(Simulator* sim, Dumbbell* dumbbell, FlowId id,
+  Sender(Simulator* sim, Network* network, FlowId id,
          std::unique_ptr<CongestionController> cc,
          int64_t packet_bytes = kMtuBytes);
 
@@ -119,7 +119,7 @@ class Sender final : public PacketSink {
   void grow_slots();
 
   Simulator* sim_;
-  Dumbbell* dumbbell_;
+  Network* network_;
   FlowId id_;
   std::unique_ptr<CongestionController> cc_;
   int64_t packet_bytes_;

@@ -1,0 +1,233 @@
+// Topology-equivalence golden suite.
+//
+// The Dumbbell used by every experiment in the repo is now a thin
+// two-node instance of the general Topology graph (sim/topology.h).
+// These tests pin that refactor against digests captured from the
+// pre-topology seed tree: every protocol's dumbbell run — counters,
+// event count, and exported CSV bytes — must stay bit-identical, with
+// faults and telemetry on, serially and under the parallel runner.
+//
+// The digest table below was generated from the seed (pre-refactor)
+// code by running this binary with PROTEUS_WRITE_GOLDEN=<path> and
+// pasting the emitted table. Regenerate the same way only when a
+// deliberate behavior change invalidates it — and say so in the commit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/factory.h"
+#include "harness/fault_spec.h"
+#include "harness/parallel_runner.h"
+#include "harness/scenario.h"
+#include "harness/supervisor.h"
+#include "harness/telemetry_export.h"
+#include "harness/trace_export.h"
+
+namespace proteus {
+namespace {
+
+// FNV-1a 64: stable across runs, platforms, and standard libraries
+// (std::hash promises none of that).
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<FaultSpec> faults_or_die(const std::string& spec) {
+  FaultParseResult r = parse_faults(spec);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.faults;
+}
+
+// One line of the golden table: everything observable about a run,
+// formatted so a mismatch diff names the divergent quantity.
+std::string digest_line(const std::string& tag,
+                        const std::vector<int64_t>& counters,
+                        const std::vector<uint64_t>& hashes) {
+  std::ostringstream os;
+  os << tag;
+  for (int64_t c : counters) os << ' ' << c;
+  for (uint64_t h : hashes) os << ' ' << std::hex << h << std::dec;
+  return os.str();
+}
+
+// fig03-style two-flow dumbbell; the same shape engine_golden_test.cc
+// uses, digested to a single golden line.
+std::string run_protocol(const std::string& protocol, const std::string& tag) {
+  ScenarioConfig cfg;
+  cfg.bandwidth_mbps = 50;
+  cfg.rtt_ms = 30;
+  cfg.seed = 7;
+  Scenario sc(cfg);
+  Flow& a = sc.add_flow(protocol, 0);
+  Flow& b = sc.add_flow(protocol, from_sec(1));
+  sc.run_until(from_sec(6));
+
+  const std::string base = ::testing::TempDir() + "/topo_golden_" + tag;
+  EXPECT_TRUE(write_throughput_csv(base + ".csv", {&a, &b}, from_sec(6)));
+  EXPECT_TRUE(write_rtt_csv(base + "_rtt.csv", a));
+  EXPECT_TRUE(write_link_stats_csv(base + "_link.csv",
+                                   sc.dumbbell().bottleneck().stats()));
+
+  std::vector<int64_t> counters;
+  for (const Flow* f : {&a, &b}) {
+    const SenderStats& ss = f->sender().stats();
+    counters.insert(counters.end(),
+                    {ss.packets_sent, ss.bytes_sent, ss.packets_acked,
+                     ss.bytes_delivered, ss.packets_lost,
+                     static_cast<int64_t>(f->receiver().bytes_received())});
+  }
+  const LinkStats& st = sc.dumbbell().bottleneck().stats();
+  counters.insert(counters.end(),
+                  {st.offered_packets, st.delivered_packets, st.tail_drops,
+                   st.max_queue_bytes,
+                   static_cast<int64_t>(sc.sim().events_processed())});
+  return digest_line(protocol, counters,
+                     {fnv1a(slurp(base + ".csv")),
+                      fnv1a(slurp(base + "_rtt.csv")),
+                      fnv1a(slurp(base + "_link.csv"))});
+}
+
+// Fault timeline (blackout, reorder, duplicate, ackloss, ackburst) with
+// per-MI telemetry export: exercises the reverse-path fault hooks and
+// the aggregator pass-through alongside the forward-link machinery.
+std::string run_faulted(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/topo_golden_fault_" + tag;
+  TelemetryConfig tcfg;
+  tcfg.dir = dir;
+  tcfg.every = 1;
+  RunContext ctx(/*attempt=*/0, /*wall_timeout_sec=*/0,
+                 /*sim_timeout_sec=*/0, /*trace_capacity=*/64);
+  ctx.set_telemetry(&tcfg, "golden");
+
+  ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.faults = faults_or_die(
+      "blackout@3:1,reorder@5:p=0.1:delta=20ms:2,duplicate@7:p=0.05:2,"
+      "ackloss@9:p=0.2:1,ackburst@10:200ms");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  Flow& g = sc.add_flow("cubic", from_sec(1));
+  std::string jsonl;
+  {
+    FlowTelemetrySession session(&ctx, f, "flow0");
+    sc.run_until(from_sec(12));
+  }  // exports on destruction
+  jsonl = slurp(dir + "/golden-flow0.jsonl");
+
+  const std::string base = dir + "/out";
+  EXPECT_TRUE(write_throughput_csv(base + ".csv", {&f, &g}, from_sec(12)));
+  EXPECT_TRUE(write_rtt_csv(base + "_rtt.csv", f));
+  EXPECT_TRUE(write_link_stats_csv(base + "_link.csv",
+                                   sc.dumbbell().bottleneck().stats()));
+  const LinkStats& st = sc.dumbbell().bottleneck().stats();
+  return digest_line(
+      "faulted",
+      {st.blackout_drops, st.reordered, st.duplicated, st.ack_drops,
+       static_cast<int64_t>(sc.sim().events_processed())},
+      {fnv1a(jsonl), fnv1a(slurp(base + ".csv")),
+       fnv1a(slurp(base + "_rtt.csv")), fnv1a(slurp(base + "_link.csv"))});
+}
+
+// Golden digests captured from the pre-topology seed tree. One line per
+// protocol plus the faulted/telemetry run.
+constexpr char kGolden[] = R"GOLDEN(
+proteus-s 1022 1533000 1015 1522500 0 1528500 4653 6979500 4621 6931500 0 6954000 5675 5673 0 76500 28880 81fe1d348418c17 78cfc6a563f694bc bc4ecdb723c9ee39
+ledbat 23708 35562000 23058 34587000 297 34680000 1246 1869000 1187 1780500 39 1780500 24954 24370 336 375000 97295 6ea3ce7cf1d0f10 27c63a8452701955 703316295f5d0ceb
+cubic 20500 30750000 19729 29593500 531 29607000 5032 7548000 4792 7188000 159 7267500 25532 24646 690 375000 98419 4723b2dbff3e2f48 5647278e5fcc8b74 3cd26675df75ca38
+bbr 17179 25768500 17086 25629000 0 25683000 7224 10836000 7159 10738500 0 10777500 24403 24370 0 268500 120303 9cbdd65f3f8b7f21 a96d07217e2ee200 ea33983b7b6f082
+proteus-p 1093 1639500 1087 1630500 0 1635000 7757 11635500 7706 11559000 0 11595000 8850 8849 0 76500 44717 e753ca233238e12 d4d209cd8d3eb930 7a41f53654e206bd
+copa 16363 24544500 16295 24442500 0 24490500 7696 11544000 7633 11449500 0 11494500 24059 24053 0 160500 103380 8a4d4a7ac66ddea3 361ea3bd0c89904c 3c1b3b46329a244c
+vivace 1193 1789500 1180 1770000 7 1773000 17640 26460000 17253 25879500 280 25959000 18833 18546 287 375000 93331 e45125808fb94f42 6b5ec9797c04c7a2 263b11d433cba446
+proteus-h 1093 1639500 1087 1630500 0 1635000 7757 11635500 7706 11559000 0 11595000 8850 8849 0 76500 44717 e753ca233238e12 d4d209cd8d3eb930 7a41f53654e206bd
+faulted 288 89 148 422 97066 e6d319fc0eb60273 78f75557d98d73fc fbc3223937cdf8e0 7f7efcf83dc70daf
+)GOLDEN";
+
+std::vector<std::string> golden_lines() {
+  std::vector<std::string> lines;
+  std::istringstream in(kGolden);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> current_lines() {
+  std::vector<std::string> lines;
+  std::vector<std::string> protocols = all_protocol_names();
+  protocols.push_back("proteus-h");
+  EXPECT_EQ(protocols.size(), 8u);
+  for (const std::string& p : protocols) {
+    lines.push_back(run_protocol(p, p));
+  }
+  lines.push_back(run_faulted("serial"));
+  return lines;
+}
+
+// With PROTEUS_WRITE_GOLDEN=<path> the suite emits the current digest
+// table (for pasting into kGolden above) instead of comparing.
+bool maybe_write_golden(const std::vector<std::string>& lines) {
+  const char* path = std::getenv("PROTEUS_WRITE_GOLDEN");
+  if (path == nullptr) return false;
+  std::ofstream os(path);
+  for (const std::string& l : lines) os << l << '\n';
+  return true;
+}
+
+// Every protocol must reproduce the seed dumbbell bit-for-bit now that
+// the dumbbell is a two-node topology instance.
+TEST(TopologyGolden, DumbbellMatchesSeedDigestsAllProtocols) {
+  const std::vector<std::string> current = current_lines();
+  if (maybe_write_golden(current)) {
+    GTEST_SKIP() << "wrote golden table to $PROTEUS_WRITE_GOLDEN";
+  }
+  const std::vector<std::string> golden = golden_lines();
+  ASSERT_EQ(golden.size(), current.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(golden[i], current[i]);
+  }
+}
+
+// The same digests hold under the parallel runner at --jobs=4: worker
+// count must never leak into any run artifact.
+TEST(TopologyGolden, ParallelJobsMatchSeedDigests) {
+  if (std::getenv("PROTEUS_WRITE_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "golden write mode";
+  }
+  std::vector<std::string> protocols = all_protocol_names();
+  protocols.push_back("proteus-h");
+  std::vector<std::function<std::string()>> tasks;
+  for (const std::string& p : protocols) {
+    tasks.push_back([p] { return run_protocol(p, p + "_par"); });
+  }
+  tasks.push_back([] { return run_faulted("par"); });
+  const std::vector<std::string> parallel =
+      run_parallel(std::move(tasks), 4);
+  const std::vector<std::string> golden = golden_lines();
+  ASSERT_EQ(golden.size(), parallel.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(golden[i], parallel[i]);
+  }
+}
+
+}  // namespace
+}  // namespace proteus

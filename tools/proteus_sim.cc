@@ -38,8 +38,15 @@ namespace {
 void write_outputs(const CliOptions& opt, const Scenario& scenario,
                    const std::vector<Flow*>& flows, TimeNs duration) {
   if (!opt.link_stats_path.empty()) {
-    const LinkStats& ls = scenario.dumbbell().bottleneck().stats();
-    if (write_link_stats_csv(opt.link_stats_path, ls)) {
+    const Topology& topo = scenario.topology();
+    // Multi-bottleneck shapes get the per-hop table (leading link-name
+    // column); the dumbbell keeps its historical single-row format.
+    const bool ok =
+        topo.link_count() > 1
+            ? write_link_stats_csv(opt.link_stats_path, topo.link_stats())
+            : write_link_stats_csv(opt.link_stats_path,
+                                   scenario.bottleneck().stats());
+    if (ok) {
       std::printf("link stats written to %s\n", opt.link_stats_path.c_str());
     } else {
       std::fprintf(stderr, "could not write %s\n",
@@ -190,11 +197,18 @@ int main(int argc, char** argv) {
                fmt(f->rtt_samples().percentile(95), 1), fmt(loss, 2)});
   }
   t.print();
-  std::printf("\nutilization: %.1f%%\n",
-              100.0 * total / opt.scenario.bandwidth_mbps);
+  if (scenario->topology().link_count() > 1) {
+    // Flows sit on different bottlenecks here; a single-link utilization
+    // ratio would be meaningless (and can exceed 100%).
+    std::printf("\naggregate throughput: %.2f Mbps over %d bottleneck hops\n",
+                total, scenario->topology().link_count());
+  } else {
+    std::printf("\nutilization: %.1f%%\n",
+                100.0 * total / opt.scenario.bandwidth_mbps);
+  }
 
   if (!opt.scenario.faults.empty()) {
-    const LinkStats& ls = scenario->dumbbell().bottleneck().stats();
+    const LinkStats& ls = scenario->bottleneck().stats();
     std::printf("fault counters: blackout_drops=%lld reordered=%lld "
                 "duplicated=%lld ack_drops=%lld\n",
                 static_cast<long long>(ls.blackout_drops),

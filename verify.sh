@@ -16,10 +16,13 @@ ctest --test-dir build --output-on-failure -j
 
 echo "== tier 2: ThreadSanitizer (-DPROTEUS_SANITIZE=thread) =="
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test stats_test telemetry_test
+cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test stats_test telemetry_test topology_test
 ./build-tsan/tests/parallel_runner_test
 ./build-tsan/tests/supervisor_test
 ./build-tsan/tests/pcc_sender_test
+# Parking-lot runs under the parallel runner: per-worker topology graphs
+# must share nothing (serial/parallel byte-identity is asserted inside).
+./build-tsan/tests/topology_test --gtest_filter='ParkingLotDeterminism.*'
 # Samples.ConcurrentConstReadersAreRaceFree pins the const-percentile
 # data race; telemetry_test exercises the exporter/profiler under TSan.
 ./build-tsan/tests/stats_test
@@ -27,9 +30,12 @@ cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_se
 
 echo "== tier 3: ASan+UBSan (-DPROTEUS_SANITIZE=address,undefined) =="
 cmake --preset asan >/dev/null
-cmake --build build-asan -j --target robustness_test cli_test supervisor_test
+cmake --build build-asan -j --target robustness_test cli_test supervisor_test topology_test
 ./build-asan/tests/robustness_test --gtest_filter='FaultTimeline.*:BlackoutEveryProtocol*:FailureInjection.*'
 ./build-asan/tests/cli_test
+# Full topology suite under ASan+UBSan: the routing demux and ACK-path
+# fault hooks juggle raw sink pointers across edge/flow lifetimes.
+./build-asan/tests/topology_test
 # Crash/hang self-test: throwing tasks, cooperative livelocks, watchdog
 # timeouts, interrupts, and kill-and-resume, all under ASan+UBSan.
 ./build-asan/tests/supervisor_test
