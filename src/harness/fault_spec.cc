@@ -23,7 +23,11 @@ bool parse_time(const std::string& s, TimeNs& out) {
     size_t pos = 0;
     const double v = std::stod(num, &pos);
     if (pos != num.size() || !std::isfinite(v)) return false;
-    out = static_cast<TimeNs>(v * scale);
+    // Round, don't truncate: 0.3s is 299999999.99999994 in doubles, and
+    // truncation would shave a nanosecond off and break the
+    // format_faults round trip ("299.999999ms" drifting further on every
+    // parse/format cycle).
+    out = static_cast<TimeNs>(std::llround(v * scale));
     return true;
   } catch (const std::exception&) {
     return false;
@@ -53,12 +57,40 @@ bool type_from_name(const std::string& name, FaultType& out) {
 }
 
 bool parse_one(const std::string& item, FaultSpec& spec, std::string& error) {
-  const size_t at = item.find('@');
+  // Optional `link<i>:` prefix targets the event at bottleneck link <i>
+  // of a multi-hop topology; untargeted events keep applying to link 0.
+  // The prefix is only recognized before the '@', so a (hypothetical)
+  // type name starting with "link" could still be added later.
+  std::string rest = item;
+  spec.link = 0;
+  const size_t at_probe = rest.find('@');
+  const size_t colon_probe = rest.find(':');
+  if (rest.compare(0, 4, "link") == 0 && colon_probe != std::string::npos &&
+      (at_probe == std::string::npos || colon_probe < at_probe)) {
+    const std::string idx = rest.substr(4, colon_probe - 4);
+    int link = 0;
+    bool ok = !idx.empty() && idx.size() <= 4;
+    for (const char c : idx) {
+      if (c < '0' || c > '9') {
+        ok = false;
+        break;
+      }
+      link = link * 10 + (c - '0');
+    }
+    if (!ok || link > 1023) {
+      error = "bad link target in fault: " + item;
+      return false;
+    }
+    spec.link = link;
+    rest = rest.substr(colon_probe + 1);
+  }
+
+  const size_t at = rest.find('@');
   if (at == std::string::npos) {
     error = "missing '@start' in fault: " + item;
     return false;
   }
-  const std::string name = item.substr(0, at);
+  const std::string name = rest.substr(0, at);
   if (!type_from_name(name, spec.type)) {
     error = "unknown fault type: " + name;
     return false;
@@ -68,10 +100,10 @@ bool parse_one(const std::string& item, FaultSpec& spec, std::string& error) {
   // are a positional duration and/or key=value arguments.
   std::vector<std::string> tokens;
   size_t pos = at + 1;
-  while (pos <= item.size()) {
-    size_t colon = item.find(':', pos);
-    if (colon == std::string::npos) colon = item.size();
-    tokens.push_back(item.substr(pos, colon - pos));
+  while (pos <= rest.size()) {
+    size_t colon = rest.find(':', pos);
+    if (colon == std::string::npos) colon = rest.size();
+    tokens.push_back(rest.substr(pos, colon - pos));
     pos = colon + 1;
   }
   if (!parse_time(tokens[0], spec.start) || spec.start < 0) {
@@ -183,6 +215,21 @@ FaultParseResult parse_faults(const std::string& spec) {
   return r;
 }
 
+std::string format_double_shortest(double v) {
+  char buf[48];
+  // Integral values print as plain integers ("30", not "3e+01").
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 namespace {
 
 // Formats nanoseconds in the tersest grammar-accepted form: bare seconds,
@@ -202,37 +249,33 @@ std::string format_time(TimeNs t) {
   return buf;
 }
 
-std::string format_number(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
 std::string format_one(const FaultSpec& f) {
   std::string out;
+  if (f.link != 0) out = "link" + std::to_string(f.link) + ":";
   switch (f.type) {
-    case FaultType::kBlackout: out = "blackout"; break;
-    case FaultType::kCapacity: out = "capacity"; break;
-    case FaultType::kRouteChange: out = "route"; break;
-    case FaultType::kReorder: out = "reorder"; break;
-    case FaultType::kDuplicate: out = "duplicate"; break;
-    case FaultType::kAckLoss: out = "ackloss"; break;
-    case FaultType::kAckBurst: out = "ackburst"; break;
+    case FaultType::kBlackout: out += "blackout"; break;
+    case FaultType::kCapacity: out += "capacity"; break;
+    case FaultType::kRouteChange: out += "route"; break;
+    case FaultType::kReorder: out += "reorder"; break;
+    case FaultType::kDuplicate: out += "duplicate"; break;
+    case FaultType::kAckLoss: out += "ackloss"; break;
+    case FaultType::kAckBurst: out += "ackburst"; break;
   }
   out += "@" + format_time(f.start);
   switch (f.type) {
     case FaultType::kCapacity:
-      out += ":x=" + format_number(f.value);
+      out += ":x=" + format_double_shortest(f.value);
       break;
     case FaultType::kRouteChange:
       out += ":delta=" + format_time(f.delay);
       break;
     case FaultType::kReorder:
-      out += ":p=" + format_number(f.value) + ":delta=" + format_time(f.delay);
+      out += ":p=" + format_double_shortest(f.value) +
+             ":delta=" + format_time(f.delay);
       break;
     case FaultType::kDuplicate:
     case FaultType::kAckLoss:
-      out += ":p=" + format_number(f.value);
+      out += ":p=" + format_double_shortest(f.value);
       break;
     case FaultType::kBlackout:
     case FaultType::kAckBurst:
@@ -254,9 +297,10 @@ std::string format_faults(const std::vector<FaultSpec>& faults) {
 }
 
 std::string fault_spec_usage() {
-  return "--faults=type@start[:duration][:key=value]... with types "
+  return "--faults=[link<i>:]type@start[:duration][:key=value]... with types "
          "blackout, capacity (x=), route (delta=), reorder (p=, delta=), "
-         "duplicate (p=), ackloss (p=), ackburst; times take s/ms suffixes";
+         "duplicate (p=), ackloss (p=), ackburst; times take s/ms suffixes; "
+         "link<i>: targets bottleneck link i (default 0)";
 }
 
 }  // namespace proteus

@@ -3,7 +3,11 @@
 //
 // Grammar: comma-separated events, each
 //
-//   <type> '@' <start> [':' <arg>]*
+//   ['link' <i> ':'] <type> '@' <start> [':' <arg>]*
+//
+// The optional `link<i>:` prefix targets the event at bottleneck link
+// <i> of a multi-hop topology (indices follow Topology::link order, see
+// --topology=); untargeted events apply to link 0, the primary link.
 //
 // where <start> and every time-valued argument are numbers with an
 // optional `s` (default) or `ms` suffix, and each <arg> is either a bare
@@ -18,6 +22,7 @@
 //   duplicate@10:p=0.01     1% of packets delivered twice, from 10s on
 //   ackloss@10:p=0.3:5      30% of ACKs dropped, [10s, 15s)
 //   ackburst@10:500ms       ACKs held for 500ms, released back-to-back
+//   link2:blackout@5:2      hop 2 (not the primary link) dark for [5s, 7s)
 //
 // Keys: p = probability (reorder/duplicate/ackloss), x = capacity
 // multiplier, delta = time delta (route shift / max reorder hold-back).
@@ -47,5 +52,11 @@ std::string format_faults(const std::vector<FaultSpec>& faults);
 
 // One-line grammar reminder for --help / errors.
 std::string fault_spec_usage();
+
+// Shortest decimal string that strtod() parses back to exactly `v`
+// (probes increasing %g precision). Shared by the fault formatter and
+// the search genome's CLI emitter, both of which need byte-stable,
+// exactly-replayable numbers.
+std::string format_double_shortest(double v);
 
 }  // namespace proteus

@@ -1,6 +1,7 @@
 #include "harness/scenario.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -134,14 +135,53 @@ std::unique_ptr<Topology> build_topology(Simulator* sim,
   }
 
   if (!cfg.faults.empty()) {
-    // One timeline, one RNG stream — forward events on the primary link,
-    // reverse events on every ACK path (same contract as the dumbbell).
-    FaultTimeline* faults = topo->add_fault_timeline(cfg.faults,
-                                                     cfg.seed ^ 0xfa);
-    topo->set_link_faults(topo->path(0).forward.front(), faults);
-    for (Topology::EdgeId e : delay_edges) {
-      topo->set_ack_faults(e, faults, &topo->link(0));
-      topo->set_burst_release_spacing(e, cfg.ack_agg.release_spacing);
+    // Events are grouped by their target link (`link<i>:` grammar
+    // prefix; untargeted events are link 0). The link-0 group keeps the
+    // historical contract: one timeline, one RNG stream, forward events
+    // on the primary link and reverse (ackloss/ackburst) events on every
+    // ACK path. Each targeted group gets its own timeline on its link,
+    // with reverse events riding the same-indexed ACK edge when one
+    // exists.
+    std::vector<FaultSpec> primary;
+    std::vector<std::pair<int, std::vector<FaultSpec>>> targeted;
+    for (const FaultSpec& f : cfg.faults) {
+      if (f.link == 0) {
+        primary.push_back(f);
+        continue;
+      }
+      if (f.link >= topo->link_count()) {
+        throw std::runtime_error(
+            "fault targets link " + std::to_string(f.link) + " but the " +
+            topology_kind_name(tp.kind) + " topology has " +
+            std::to_string(topo->link_count()) + " links");
+      }
+      auto it = std::find_if(targeted.begin(), targeted.end(),
+                             [&](const auto& g) { return g.first == f.link; });
+      if (it == targeted.end()) {
+        targeted.push_back({f.link, {f}});
+      } else {
+        it->second.push_back(f);
+      }
+    }
+    if (!primary.empty()) {
+      FaultTimeline* faults =
+          topo->add_fault_timeline(primary, cfg.seed ^ 0xfa);
+      topo->set_link_faults(topo->link_edge(0), faults);
+      for (Topology::EdgeId e : delay_edges) {
+        topo->set_ack_faults(e, faults, &topo->link(0));
+        topo->set_burst_release_spacing(e, cfg.ack_agg.release_spacing);
+      }
+    }
+    for (auto& [link, events] : targeted) {
+      FaultTimeline* faults = topo->add_fault_timeline(
+          events,
+          (cfg.seed ^ 0xfa) + 0x9e3779b9ULL * static_cast<uint64_t>(link));
+      topo->set_link_faults(topo->link_edge(link), faults);
+      if (static_cast<size_t>(link) < delay_edges.size()) {
+        topo->set_ack_faults(delay_edges[link], faults, &topo->link(link));
+        topo->set_burst_release_spacing(delay_edges[link],
+                                        cfg.ack_agg.release_spacing);
+      }
     }
   }
   if (cfg.ack_aggregation) {
@@ -162,6 +202,13 @@ std::unique_ptr<Topology> build_topology(Simulator* sim,
 
 Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed, cfg.engine) {
   if (cfg_.topology.kind == TopologyKind::kDumbbell) {
+    for (const FaultSpec& f : cfg_.faults) {
+      if (f.link != 0) {
+        throw std::runtime_error("fault targets link " +
+                                 std::to_string(f.link) +
+                                 " but the dumbbell has a single link");
+      }
+    }
     DumbbellConfig dc;
     dc.bottleneck = base_link(cfg_);
     dc.reverse_delay = from_ms(cfg_.rtt_ms / 2.0);

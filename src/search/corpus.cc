@@ -1,0 +1,222 @@
+#include "search/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "harness/fault_spec.h"
+
+namespace proteus {
+
+namespace {
+
+// Scores travel as hex-floats (exact round trip); the formatter also
+// leaves a human-readable decimal in a comment.
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+std::string trim(const std::string& s) {
+  size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+uint64_t fnv1a64(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string format_corpus_entry(const CorpusEntry& e) {
+  std::string out = "# proteus adversarial corpus entry\n";
+  out += "# score ~ " + format_double_shortest(e.score) + "\n";
+  out += "objective: " + e.objective + "\n";
+  out += "score: " + hex_double(e.score) + "\n";
+  out += "status: " + e.status + "\n";
+  out += "tolerance: " + hex_double(e.tolerance) + "\n";
+  out += "search-seed: " + std::to_string(e.search_seed) + "\n";
+  out += "cli: " + e.cli + "\n";
+  return out;
+}
+
+bool parse_corpus_entry(const std::string& text, CorpusEntry& out,
+                        std::string& error) {
+  out = CorpusEntry{};
+  bool have_objective = false, have_score = false, have_cli = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = trim(text.substr(pos, nl - pos));
+    pos = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      error = "corpus entry line is not 'key: value': " + line;
+      return false;
+    }
+    const std::string key = trim(line.substr(0, colon));
+    const std::string value = trim(line.substr(colon + 1));
+    if (key == "objective") {
+      out.objective = value;
+      have_objective = true;
+    } else if (key == "score") {
+      out.score = std::strtod(value.c_str(), nullptr);
+      have_score = true;
+    } else if (key == "status") {
+      out.status = value;
+    } else if (key == "tolerance") {
+      out.tolerance = std::strtod(value.c_str(), nullptr);
+    } else if (key == "search-seed") {
+      out.search_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "cli") {
+      out.cli = value;
+      have_cli = true;
+    } else {
+      error = "unknown corpus entry key: " + key;
+      return false;
+    }
+  }
+  if (!have_objective || !have_score || !have_cli) {
+    error = "corpus entry missing objective/score/cli";
+    return false;
+  }
+  return true;
+}
+
+CorpusEntry corpus_entry_from_finding(const std::string& objective,
+                                      uint64_t search_seed, double tolerance,
+                                      const Finding& f) {
+  CorpusEntry e;
+  e.objective = objective;
+  e.score = f.score;
+  e.status = run_status_name(f.status);
+  e.tolerance = tolerance;
+  e.search_seed = search_seed;
+  e.cli = f.cli;
+  return e;
+}
+
+std::string write_corpus_entry(const std::string& dir, const CorpusEntry& e,
+                               std::string& error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    error = "cannot create " + dir + ": " + ec.message();
+    return "";
+  }
+  // Objective names may carry a ':' (planted:7) — not filename-friendly.
+  std::string tag = e.objective;
+  std::replace(tag.begin(), tag.end(), ':', '-');
+  char hash[20];
+  std::snprintf(hash, sizeof hash, "%08llx",
+                static_cast<unsigned long long>(fnv1a64(e.cli) & 0xffffffffULL));
+  const std::string path = dir + "/" + tag + "-s" +
+                           std::to_string(e.search_seed) + "-" + hash + ".adv";
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    error = "cannot write " + path;
+    return "";
+  }
+  f << format_corpus_entry(e);
+  f.close();
+  if (!f) {
+    error = "write failed: " + path;
+    return "";
+  }
+  return path;
+}
+
+std::vector<std::string> list_corpus_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".adv") continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ReplayOutcome replay_corpus_entry(const CorpusEntry& e) {
+  ReplayOutcome out;
+
+  // The CLI line is "proteus_sim --flag ..." — split on spaces, drop the
+  // program token.
+  std::vector<std::string> args;
+  size_t pos = 0;
+  while (pos < e.cli.size()) {
+    size_t sp = e.cli.find(' ', pos);
+    if (sp == std::string::npos) sp = e.cli.size();
+    if (sp > pos) args.push_back(e.cli.substr(pos, sp - pos));
+    pos = sp + 1;
+  }
+  if (!args.empty() && args.front().compare(0, 2, "--") != 0) {
+    args.erase(args.begin());
+  }
+  const CliParseResult parsed = parse_cli(args);
+  if (!parsed.ok) {
+    out.replayed_status = "error";
+    out.message = "corpus CLI does not parse: " + parsed.error;
+    return out;
+  }
+
+  std::unique_ptr<Objective> objective;
+  try {
+    objective = make_objective(e.objective);
+  } catch (const std::exception& ex) {
+    out.replayed_status = "error";
+    out.message = ex.what();
+    return out;
+  }
+
+  const ScenarioGenome genome = genome_from_options(parsed.options);
+  if (!objective->needs_run()) {
+    out.replayed_score = objective->score(genome, EvalSummary{});
+    out.replayed_status = "ok";
+  } else {
+    try {
+      RunContext ctx(0, 0.0, 0.0, 50);
+      const EvalSummary summary = evaluate_options(parsed.options, &ctx);
+      out.replayed_score = objective->score(genome, summary);
+      out.replayed_status = "ok";
+    } catch (const InvariantViolationError&) {
+      out.replayed_score = kInvariantScore;
+      out.replayed_status = run_status_name(RunStatus::kInvariantViolation);
+    } catch (const std::exception& ex) {
+      out.replayed_status = "error";
+      out.message = ex.what();
+      return out;
+    }
+  }
+
+  if (out.replayed_status != e.status) {
+    out.message = "status changed: recorded " + e.status + ", replayed " +
+                  out.replayed_status;
+    return out;
+  }
+  const double tol = e.tolerance * std::max(1.0, std::fabs(e.score));
+  if (std::fabs(out.replayed_score - e.score) > tol) {
+    out.message = "score drifted: recorded " + format_double_shortest(e.score) +
+                  ", replayed " + format_double_shortest(out.replayed_score) +
+                  " (tolerance " + format_double_shortest(tol) + ")";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace proteus

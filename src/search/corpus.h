@@ -1,0 +1,61 @@
+// Adversarial corpus: discovered worst cases persisted as replayable
+// `.adv` entries under corpus/adversarial/.
+//
+// An entry is a tiny key/value text file carrying the objective, the
+// recorded score + run status, a comparison tolerance, the search seed
+// that found it, and — the payload — the exact one-line `proteus_sim`
+// command that reproduces the scenario. tools/corpus_replay re-runs
+// every entry through the same evaluation path the search used and
+// asserts the recorded score and invariant outcome still hold; verify.sh
+// runs that as its regression tier, so a committed worst case acts as a
+// pinned behavioral test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "search/search.h"
+
+namespace proteus {
+
+struct CorpusEntry {
+  std::string objective;
+  double score = 0.0;
+  std::string status = "ok";  // run_status_name() of the recorded run
+  double tolerance = 0.02;    // relative score tolerance for replay
+  uint64_t search_seed = 0;   // seed of the search that found it
+  std::string cli;            // "proteus_sim --bw=... --flows=..." line
+};
+
+// Canonical text form: "key: value" lines in fixed order, trailing
+// newline; '#' lines and blank lines are ignored on parse.
+// parse(format(e)) == e exactly (score travels as hex-float).
+std::string format_corpus_entry(const CorpusEntry& e);
+bool parse_corpus_entry(const std::string& text, CorpusEntry& out,
+                        std::string& error);
+
+// Builds an entry from a search finding.
+CorpusEntry corpus_entry_from_finding(const std::string& objective,
+                                      uint64_t search_seed, double tolerance,
+                                      const Finding& f);
+
+// Writes `e` to <dir>/<objective>-s<seed>-<hash>.adv (deterministic
+// name: same entry -> same file, so re-running a search is idempotent).
+// Returns the path, or "" with `error` set on I/O failure.
+std::string write_corpus_entry(const std::string& dir, const CorpusEntry& e,
+                               std::string& error);
+
+// Lists the .adv files directly under `dir`, sorted by name.
+std::vector<std::string> list_corpus_files(const std::string& dir);
+
+// Re-evaluates the entry's CLI line through the search's evaluation
+// path and compares against the recorded score/status.
+struct ReplayOutcome {
+  bool ok = false;
+  double replayed_score = 0.0;
+  std::string replayed_status;
+  std::string message;  // mismatch/error description when !ok
+};
+ReplayOutcome replay_corpus_entry(const CorpusEntry& e);
+
+}  // namespace proteus

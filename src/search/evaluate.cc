@@ -1,0 +1,80 @@
+#include "search/evaluate.h"
+
+#include "core/pcc_sender.h"
+
+namespace proteus {
+
+EvalSummary evaluate_options(const CliOptions& opt, RunContext* ctx) {
+  ScenarioConfig cfg = opt.scenario;
+  if (ctx != nullptr) cfg.seed = ctx->attempt_seed(opt.scenario.seed);
+  Scenario scenario(cfg);
+  std::vector<Flow*> flows;
+  flows.reserve(opt.flows.size());
+  for (const CliFlowSpec& spec : opt.flows) {
+    flows.push_back(&scenario.add_flow(spec.protocol, from_sec(spec.start_sec)));
+  }
+  supervised_run_until(scenario, from_sec(opt.duration_sec), ctx);
+  check_invariants_or_throw(scenario);
+
+  const TimeNs w0 = from_sec(opt.warmup_sec);
+  const TimeNs w1 = from_sec(opt.duration_sec);
+  EvalSummary s;
+  s.capacity_mbps = cfg.bandwidth_mbps;
+  s.available_mbps =
+      cfg.bandwidth_mbps * available_fraction(cfg.faults, 0, w0, w1);
+  for (const Flow* f : flows) {
+    FlowOutcome o;
+    o.mbps = f->mean_throughput_mbps(w0, w1);
+    if (f->rtt_samples().count() > 0) {
+      o.rtt_p50_ms = f->rtt_samples().median();
+      o.rtt_p95_ms = f->rtt_samples().percentile(95);
+    }
+    const auto& st = f->sender().stats();
+    if (st.packets_sent > 0) {
+      o.loss_pct = 100.0 * static_cast<double>(st.packets_lost) /
+                   static_cast<double>(st.packets_sent);
+    }
+    if (const auto* pcc = dynamic_cast<const PccSender*>(&f->sender().cc())) {
+      if (pcc->last_recovery_time() != kTimeInfinite) {
+        o.recovery_sec = to_sec(pcc->last_recovery_time());
+      }
+    }
+    s.flows.push_back(o);
+  }
+  return s;
+}
+
+ResultCodec<EvalSummary> eval_summary_codec() {
+  return codec_from<EvalSummary>(
+      [](const EvalSummary& s) {
+        std::vector<double> v{s.capacity_mbps, s.available_mbps,
+                              static_cast<double>(s.flows.size())};
+        for (const FlowOutcome& f : s.flows) {
+          v.push_back(f.mbps);
+          v.push_back(f.rtt_p50_ms);
+          v.push_back(f.rtt_p95_ms);
+          v.push_back(f.loss_pct);
+          v.push_back(f.recovery_sec);
+        }
+        return v;
+      },
+      [](const std::vector<double>& v) {
+        EvalSummary s;
+        if (v.size() < 3) return s;
+        s.capacity_mbps = v[0];
+        s.available_mbps = v[1];
+        const size_t n = static_cast<size_t>(v[2]);
+        for (size_t i = 0; i < n && 3 + 5 * i + 4 < v.size(); ++i) {
+          FlowOutcome f;
+          f.mbps = v[3 + 5 * i];
+          f.rtt_p50_ms = v[3 + 5 * i + 1];
+          f.rtt_p95_ms = v[3 + 5 * i + 2];
+          f.loss_pct = v[3 + 5 * i + 3];
+          f.recovery_sec = v[3 + 5 * i + 4];
+          s.flows.push_back(f);
+        }
+        return s;
+      });
+}
+
+}  // namespace proteus

@@ -1,0 +1,25 @@
+// Candidate evaluation: build the scenario a genome's CLI args describe,
+// run it (under the caller's RunContext watchdogs when supplied), and
+// summarize the statistics the objectives consume.
+//
+// Both the search driver and the corpus replay tool evaluate through
+// this one path, so a corpus entry's recorded score is reproduced by the
+// exact machinery that produced it.
+#pragma once
+
+#include "harness/supervisor.h"
+#include "search/objective.h"
+
+namespace proteus {
+
+// Runs the scenario described by `opt` to opt.duration_sec and returns
+// the summary. When `ctx` is non-null the run is seeded with
+// ctx->attempt_seed (attempt 0 = the genome's own seed), polled for
+// watchdogs/interrupts, and invariant-checked via
+// check_invariants_or_throw — i.e. the standard supervised contract.
+EvalSummary evaluate_options(const CliOptions& opt, RunContext* ctx);
+
+// Supervisor payload codec (checkpoint hex-float round trip is exact).
+ResultCodec<EvalSummary> eval_summary_codec();
+
+}  // namespace proteus

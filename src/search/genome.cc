@@ -1,0 +1,103 @@
+#include "search/genome.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harness/fault_spec.h"
+
+namespace proteus {
+
+namespace {
+
+// The CLI grammar names (parse_topology_flag), not the display names.
+const char* topology_cli_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kDumbbell: return "dumbbell";
+    case TopologyKind::kParkingLot: return "parkinglot";
+    case TopologyKind::kFanIn: return "fanin";
+    case TopologyKind::kStar: return "star";
+  }
+  return "dumbbell";
+}
+
+std::string fmt(double v) { return format_double_shortest(v); }
+
+}  // namespace
+
+std::vector<std::string> genome_to_args(const ScenarioGenome& g) {
+  std::vector<std::string> args;
+  args.push_back("--bw=" + fmt(g.bandwidth_mbps));
+  args.push_back("--rtt=" + fmt(g.rtt_ms));
+  args.push_back("--buffer=" + std::to_string(g.buffer_bytes));
+  if (g.random_loss > 0.0) args.push_back("--loss=" + fmt(g.random_loss));
+  args.push_back("--duration=" + fmt(g.duration_sec));
+  args.push_back("--warmup=" + fmt(g.warmup_sec));
+  args.push_back("--seed=" + std::to_string(g.seed));
+  if (g.topology.kind != TopologyKind::kDumbbell) {
+    std::string topo = std::string("--topology=") +
+                       topology_cli_name(g.topology.kind) +
+                       ":arms=" + std::to_string(g.topology.arms);
+    if (g.topology.edge_bandwidth_mbps > 0.0) {
+      topo += ":edge-bw=" + fmt(g.topology.edge_bandwidth_mbps);
+    }
+    if (g.topology.rtt_spread != 1.0) {
+      topo += ":spread=" + fmt(g.topology.rtt_spread);
+    }
+    args.push_back(topo);
+  }
+  if (!g.faults.empty()) {
+    std::vector<FaultSpec> sorted = g.faults;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const FaultSpec& a, const FaultSpec& b) {
+                       if (a.start != b.start) return a.start < b.start;
+                       if (a.link != b.link) return a.link < b.link;
+                       return static_cast<int>(a.type) <
+                              static_cast<int>(b.type);
+                     });
+    args.push_back("--faults=" + format_faults(sorted));
+  }
+  std::string flows = "--flows=";
+  for (size_t i = 0; i < g.flows.size(); ++i) {
+    if (i) flows += ",";
+    flows += g.flows[i].protocol;
+    if (g.flows[i].start_sec > 0.0) flows += "@" + fmt(g.flows[i].start_sec);
+  }
+  args.push_back(flows);
+  return args;
+}
+
+std::string genome_cli_line(const ScenarioGenome& g) {
+  std::string line = "proteus_sim";
+  for (const std::string& a : genome_to_args(g)) line += " " + a;
+  return line;
+}
+
+ScenarioGenome genome_from_options(const CliOptions& opt) {
+  ScenarioGenome g;
+  g.bandwidth_mbps = opt.scenario.bandwidth_mbps;
+  g.rtt_ms = opt.scenario.rtt_ms;
+  g.buffer_bytes = opt.scenario.buffer_bytes;
+  g.random_loss = opt.scenario.random_loss;
+  g.topology = opt.scenario.topology;
+  g.faults = opt.scenario.faults;
+  g.duration_sec = opt.duration_sec;
+  g.warmup_sec = opt.warmup_sec;
+  g.seed = opt.scenario.seed;
+  for (const CliFlowSpec& f : opt.flows) {
+    g.flows.push_back({f.protocol, f.start_sec});
+  }
+  return g;
+}
+
+int genome_link_count(const ScenarioGenome& g) {
+  const int arms = std::max(2, g.topology.arms);
+  switch (g.topology.kind) {
+    case TopologyKind::kDumbbell: return 1;
+    case TopologyKind::kParkingLot: return arms;
+    case TopologyKind::kFanIn: return arms + 1;
+    case TopologyKind::kStar: return arms + 1;
+  }
+  return 1;
+}
+
+}  // namespace proteus

@@ -1,0 +1,60 @@
+// ScenarioGenome: a fully serializable candidate scenario for the
+// adversarial search driver (search.h).
+//
+// A genome carries every dimension the search mutates — bottleneck
+// bandwidth/RTT/buffer/loss, topology shape + arms, the cross-traffic
+// mix, and a FaultTimeline spec (including per-link `link<i>:` targets)
+// — plus the run window and simulation seed. Its canonical serialized
+// form IS a `proteus_sim` command line: genome_to_args() emits argv-style
+// flags that parse_cli() maps back onto the identical genome, so every
+// discovered worst case is replayable verbatim by the stock simulator
+// CLI with zero translation layers. The search evaluates candidates
+// *through* that round trip, which is what makes the emitted spec exact
+// by construction rather than by convention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/cli.h"
+
+namespace proteus {
+
+struct FlowGene {
+  std::string protocol;
+  double start_sec = 0.0;
+};
+
+struct ScenarioGenome {
+  double bandwidth_mbps = 50.0;
+  double rtt_ms = 30.0;
+  int64_t buffer_bytes = 375'000;
+  double random_loss = 0.0;
+  TopologyParams topology;
+  // flows[0] (and any objective-protected prefix) is the subject under
+  // attack; the tail is the mutable cross-traffic mix.
+  std::vector<FlowGene> flows;
+  std::vector<FaultSpec> faults;
+  double duration_sec = 12.0;
+  double warmup_sec = 4.0;
+  uint64_t seed = 1;
+};
+
+// Canonical argv-style serialization (flag order and number formatting
+// are deterministic; faults are emitted sorted by (start, link, type)).
+// parse_cli() on the result reproduces the genome exactly, and
+// genome_to_args(genome_from_options(...)) is byte-stable.
+std::vector<std::string> genome_to_args(const ScenarioGenome& g);
+
+// One replayable line: "proteus_sim" + the args, space-joined.
+std::string genome_cli_line(const ScenarioGenome& g);
+
+// Inverse of genome_to_args, via parse_cli's CliOptions.
+ScenarioGenome genome_from_options(const CliOptions& opt);
+
+// Bottleneck-link count of the genome's topology shape (dumbbell 1,
+// parking-lot `arms`, fan-in/star `arms`+1); used to clamp fault
+// targets so every mutated spec stays constructible.
+int genome_link_count(const ScenarioGenome& g);
+
+}  // namespace proteus

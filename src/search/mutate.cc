@@ -1,0 +1,321 @@
+#include "search/mutate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus {
+
+namespace {
+
+// Grammar-wide parameter bounds. Wider than any experiment preset so the
+// search can probe extremes, but inside what the simulator models
+// sensibly (and what a run of a few seconds can exercise).
+constexpr double kMinBw = 1.0, kMaxBw = 400.0;       // Mbps
+constexpr double kMinRtt = 2.0, kMaxRtt = 400.0;     // ms
+constexpr int64_t kMinBuffer = 8'000, kMaxBuffer = 4'000'000;  // bytes
+constexpr double kMaxLoss = 0.05;
+constexpr int kMinArms = 2, kMaxArms = 8;
+
+// The fault grammar formats sub-second times in milliseconds, so the
+// mutator only ever emits ms-quantized times; that keeps
+// genome -> CLI -> genome byte-exact.
+TimeNs quant_ms(TimeNs t) {
+  const TimeNs half = t >= 0 ? kNsPerMs / 2 : -kNsPerMs / 2;
+  return ((t + half) / kNsPerMs) * kNsPerMs;
+}
+
+TimeNs rand_time(Rng& rng, double lo_sec, double hi_sec) {
+  const int64_t lo = std::llround(lo_sec * 1e3);
+  const int64_t hi = std::llround(hi_sec * 1e3);
+  return rng.uniform_int(lo, std::max(lo, hi)) * kNsPerMs;
+}
+
+double log_perturb(Rng& rng, double v, double spread) {
+  return v * std::exp(rng.uniform(-spread, spread));
+}
+
+int mutable_flow(const ScenarioGenome& g, const GenomeConstraints& c,
+                 Rng& rng) {
+  const int n = static_cast<int>(g.flows.size());
+  if (n <= c.protected_flows) return -1;
+  return static_cast<int>(rng.uniform_int(c.protected_flows, n - 1));
+}
+
+FaultSpec random_fault(const ScenarioGenome& g, Rng& rng) {
+  static const FaultType kTypes[] = {
+      FaultType::kBlackout,  FaultType::kCapacity, FaultType::kRouteChange,
+      FaultType::kReorder,   FaultType::kDuplicate, FaultType::kAckLoss,
+      FaultType::kAckBurst};
+  FaultSpec f;
+  f.type = kTypes[rng.uniform_int(0, 6)];
+  f.start = rand_time(rng, 0.5, std::max(1.0, g.duration_sec - 1.0));
+  f.duration = rand_time(rng, 0.2, 3.0);
+  switch (f.type) {
+    case FaultType::kCapacity:
+      f.value = rng.uniform(0.05, 0.9);
+      break;
+    case FaultType::kRouteChange:
+      f.delay = rand_time(rng, -0.02, 0.15);
+      if (f.delay == 0) f.delay = kNsPerMs;
+      break;
+    case FaultType::kReorder:
+      f.value = rng.uniform(0.01, 0.5);
+      f.delay = rand_time(rng, 0.001, 0.05);
+      break;
+    case FaultType::kDuplicate:
+    case FaultType::kAckLoss:
+      f.value = rng.uniform(0.01, 0.5);
+      break;
+    case FaultType::kBlackout:
+    case FaultType::kAckBurst:
+      break;
+  }
+  const int links = genome_link_count(g);
+  if (links > 1 && rng.bernoulli(0.5)) {
+    f.link = static_cast<int>(rng.uniform_int(0, links - 1));
+  }
+  return f;
+}
+
+// One mutation operator, selected by index. Operators that find nothing
+// to act on (e.g. "remove a fault" on a fault-free genome) are no-ops;
+// the draw still consumed deterministic RNG state, which is all the
+// search needs.
+void apply_op(ScenarioGenome& g, const GenomeConstraints& c, Rng& rng) {
+  switch (rng.uniform_int(0, 16)) {
+    case 0:
+      g.bandwidth_mbps = log_perturb(rng, g.bandwidth_mbps, 0.7);
+      break;
+    case 1:
+      g.rtt_ms = log_perturb(rng, g.rtt_ms, 0.7);
+      break;
+    case 2:
+      g.buffer_bytes = static_cast<int64_t>(
+          log_perturb(rng, static_cast<double>(g.buffer_bytes), 0.8));
+      break;
+    case 3:
+      g.random_loss = rng.bernoulli(0.4) ? 0.0 : rng.uniform(0.0, kMaxLoss);
+      break;
+    case 4:
+      g.seed = rng.uniform_int(1, 1'000'000);
+      break;
+    case 5:  // add fault
+      if (static_cast<int>(g.faults.size()) < c.max_faults) {
+        g.faults.push_back(random_fault(g, rng));
+      }
+      break;
+    case 6:  // remove fault (repair re-inserts a blackout if required)
+      if (!g.faults.empty()) {
+        g.faults.erase(g.faults.begin() +
+                       rng.uniform_int(0, g.faults.size() - 1));
+      }
+      break;
+    case 7:  // shift a fault window
+      if (!g.faults.empty()) {
+        FaultSpec& f = g.faults[rng.uniform_int(0, g.faults.size() - 1)];
+        f.start += rand_time(rng, -2.0, 2.0);
+      }
+      break;
+    case 8:  // stretch/shrink a fault window
+      if (!g.faults.empty()) {
+        FaultSpec& f = g.faults[rng.uniform_int(0, g.faults.size() - 1)];
+        if (f.duration > 0) {
+          f.duration = quant_ms(static_cast<TimeNs>(
+              static_cast<double>(f.duration) *
+              std::exp(rng.uniform(-0.7, 0.7))));
+        }
+      }
+      break;
+    case 9:  // split one window into two with a gap between the halves
+      if (!g.faults.empty() &&
+          static_cast<int>(g.faults.size()) < c.max_faults) {
+        FaultSpec& f = g.faults[rng.uniform_int(0, g.faults.size() - 1)];
+        if (f.duration >= 600 * kNsPerMs) {
+          FaultSpec second = f;
+          const TimeNs half = quant_ms(f.duration * 2 / 5);
+          second.start = f.start + f.duration - half;
+          second.duration = half;
+          f.duration = half;
+          g.faults.push_back(second);
+        }
+      }
+      break;
+    case 10:  // perturb a fault's value/delay
+      if (!g.faults.empty()) {
+        FaultSpec& f = g.faults[rng.uniform_int(0, g.faults.size() - 1)];
+        switch (f.type) {
+          case FaultType::kCapacity:
+            f.value = log_perturb(rng, std::max(f.value, 0.05), 0.5);
+            break;
+          case FaultType::kRouteChange:
+            f.delay += rand_time(rng, -0.02, 0.05);
+            break;
+          case FaultType::kReorder:
+            f.value = log_perturb(rng, f.value, 0.5);
+            f.delay = quant_ms(static_cast<TimeNs>(
+                log_perturb(rng, static_cast<double>(f.delay), 0.5)));
+            break;
+          case FaultType::kDuplicate:
+          case FaultType::kAckLoss:
+            f.value = log_perturb(rng, f.value, 0.5);
+            break;
+          case FaultType::kBlackout:
+          case FaultType::kAckBurst:
+            break;
+        }
+      }
+      break;
+    case 11:  // retarget a fault at another bottleneck hop
+      if (!g.faults.empty() && genome_link_count(g) > 1) {
+        FaultSpec& f = g.faults[rng.uniform_int(0, g.faults.size() - 1)];
+        f.link = static_cast<int>(
+            rng.uniform_int(0, genome_link_count(g) - 1));
+      }
+      break;
+    case 12:  // add a cross-traffic flow
+      if (static_cast<int>(g.flows.size()) < c.max_flows &&
+          !c.cross_protocols.empty()) {
+        FlowGene fg;
+        fg.protocol =
+            c.cross_protocols[rng.uniform_int(0, c.cross_protocols.size() - 1)];
+        fg.start_sec = static_cast<double>(rng.uniform_int(
+                           0, std::llround(g.duration_sec * 0.75 * 10))) /
+                       10.0;
+        g.flows.push_back(fg);
+      }
+      break;
+    case 13: {  // remove a cross-traffic flow
+      const int i = mutable_flow(g, c, rng);
+      if (i >= 0) g.flows.erase(g.flows.begin() + i);
+      break;
+    }
+    case 14: {  // swap a cross flow's protocol
+      const int i = mutable_flow(g, c, rng);
+      if (i >= 0 && !c.cross_protocols.empty()) {
+        g.flows[i].protocol =
+            c.cross_protocols[rng.uniform_int(0, c.cross_protocols.size() - 1)];
+      }
+      break;
+    }
+    case 15: {  // shift a cross flow's start (tenth-of-a-second grid)
+      const int i = mutable_flow(g, c, rng);
+      if (i >= 0) {
+        g.flows[i].start_sec +=
+            static_cast<double>(rng.uniform_int(-20, 20)) / 10.0;
+      }
+      break;
+    }
+    case 16:  // switch topology shape / arm count
+      if (!c.allowed_kinds.empty()) {
+        g.topology.kind =
+            c.allowed_kinds[rng.uniform_int(0, c.allowed_kinds.size() - 1)];
+        g.topology.arms =
+            static_cast<int>(rng.uniform_int(kMinArms, kMaxArms));
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+ScenarioGenome repair_genome(ScenarioGenome g, const GenomeConstraints& c) {
+  g.bandwidth_mbps = std::clamp(g.bandwidth_mbps, kMinBw, kMaxBw);
+  g.rtt_ms = std::clamp(g.rtt_ms, kMinRtt, kMaxRtt);
+  g.buffer_bytes = std::clamp(g.buffer_bytes, kMinBuffer, kMaxBuffer);
+  g.random_loss = std::clamp(g.random_loss, 0.0, kMaxLoss);
+  if (g.seed == 0) g.seed = 1;
+
+  if (!c.allowed_kinds.empty() &&
+      std::find(c.allowed_kinds.begin(), c.allowed_kinds.end(),
+                g.topology.kind) == c.allowed_kinds.end()) {
+    g.topology.kind = c.allowed_kinds.front();
+  }
+  g.topology.arms = std::clamp(g.topology.arms, kMinArms, kMaxArms);
+
+  if (static_cast<int>(g.flows.size()) > c.max_flows) {
+    g.flows.resize(c.max_flows);
+  }
+  for (FlowGene& f : g.flows) {
+    // One decimal place: survives the shortest-double CLI round trip and
+    // keeps start times human-readable in corpus entries.
+    f.start_sec = std::clamp(f.start_sec, 0.0, g.duration_sec - 1.0);
+    f.start_sec = static_cast<double>(std::llround(f.start_sec * 10)) / 10.0;
+  }
+
+  if (static_cast<int>(g.faults.size()) > c.max_faults) {
+    g.faults.resize(c.max_faults);
+  }
+  const int links = genome_link_count(g);
+  const TimeNs run_end = from_sec(g.duration_sec);
+  for (FaultSpec& f : g.faults) {
+    f.link = std::clamp(f.link, 0, links - 1);
+    f.start = quant_ms(std::clamp<TimeNs>(f.start, 0, run_end - from_ms(200)));
+    if (f.duration != 0 || f.type == FaultType::kAckBurst) {
+      f.duration = quant_ms(std::clamp<TimeNs>(
+          f.duration, from_ms(100),
+          std::max<TimeNs>(from_ms(100), run_end - f.start)));
+    }
+    switch (f.type) {
+      case FaultType::kCapacity:
+        f.value = std::clamp(f.value, 0.01, 0.95);
+        f.delay = 0;
+        break;
+      case FaultType::kRouteChange:
+        f.delay = quant_ms(std::clamp<TimeNs>(f.delay, -from_ms(50),
+                                              from_ms(200)));
+        if (f.delay == 0) f.delay = kNsPerMs;
+        f.value = 0.0;
+        break;
+      case FaultType::kReorder:
+        f.value = std::clamp(f.value, 0.005, 1.0);
+        f.delay = quant_ms(std::clamp<TimeNs>(f.delay, kNsPerMs, from_ms(100)));
+        break;
+      case FaultType::kDuplicate:
+      case FaultType::kAckLoss:
+        f.value = std::clamp(f.value, 0.005, 1.0);
+        f.delay = 0;
+        break;
+      case FaultType::kBlackout:
+      case FaultType::kAckBurst:
+        f.value = 0.0;
+        f.delay = 0;
+        break;
+    }
+  }
+
+  if (c.require_blackout) {
+    bool has = false;
+    for (const FaultSpec& f : g.faults) {
+      if (f.type == FaultType::kBlackout && f.duration > 0) has = true;
+    }
+    if (!has) {
+      FaultSpec f;
+      f.type = FaultType::kBlackout;
+      f.start = quant_ms(from_sec(g.duration_sec * 0.5));
+      f.duration = from_ms(500);
+      if (static_cast<int>(g.faults.size()) >= c.max_faults) {
+        g.faults.pop_back();
+      }
+      g.faults.push_back(f);
+    }
+  }
+  return g;
+}
+
+ScenarioGenome mutate_genome(const ScenarioGenome& parent,
+                             const GenomeConstraints& c, Rng& rng) {
+  ScenarioGenome g = parent;
+  const int ops = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < ops; ++i) apply_op(g, c, rng);
+  return repair_genome(std::move(g), c);
+}
+
+ScenarioGenome random_genome(const ScenarioGenome& baseline,
+                             const GenomeConstraints& c, Rng& rng) {
+  ScenarioGenome g = baseline;
+  const int ops = static_cast<int>(rng.uniform_int(5, 9));
+  for (int i = 0; i < ops; ++i) apply_op(g, c, rng);
+  return repair_genome(std::move(g), c);
+}
+
+}  // namespace proteus

@@ -1,0 +1,40 @@
+// Grammar-aware genome mutation for the adversarial search driver.
+//
+// Mutations operate on the same dimensions the `proteus_sim` CLI can
+// express — link parameters, topology shape, cross-traffic mix, fault
+// windows — and every produced genome is repaired back inside the
+// grammar (and the objective's GenomeConstraints) before it is
+// returned, so a mutant always serializes to a parseable, replayable
+// command line. All randomness draws from the caller's Rng; the search
+// driver seeds one per (generation, child) so mutation is a pure
+// function of the search seed regardless of --jobs.
+#pragma once
+
+#include "search/objective.h"
+#include "stats/rng.h"
+
+namespace proteus {
+
+// Clamps every field of `g` into the grammar's and the constraints'
+// valid ranges: bandwidth/RTT/buffer/loss bounds, topology kind in
+// c.allowed_kinds with arms in [2, 8], fault windows inside the run
+// with millisecond-quantized times (the fault grammar's exact
+// resolution), per-type value/delay ranges, fault targets within the
+// topology's link count, flow/fault counts within c.max_*, and a
+// finite blackout inserted when c.require_blackout finds none.
+ScenarioGenome repair_genome(ScenarioGenome g, const GenomeConstraints& c);
+
+// One search step: applies 1-3 randomly chosen mutation operators
+// (perturb link params log-scale, shift/stretch/split fault windows,
+// add/remove/perturb/retarget faults, add/remove/swap/shift cross
+// flows, switch topology shape, reseed) to a copy of `parent`, then
+// repairs it. Flows [0, c.protected_flows) are never touched.
+ScenarioGenome mutate_genome(const ScenarioGenome& parent,
+                             const GenomeConstraints& c, Rng& rng);
+
+// Initial-population sampling: a heavily mutated (several stacked
+// operators) descendant of `baseline`, repaired.
+ScenarioGenome random_genome(const ScenarioGenome& baseline,
+                             const GenomeConstraints& c, Rng& rng);
+
+}  // namespace proteus

@@ -1,0 +1,252 @@
+#include "search/objective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace proteus {
+
+double available_fraction(const std::vector<FaultSpec>& faults, int link,
+                          TimeNs from, TimeNs to) {
+  if (to <= from) return 1.0;
+  std::vector<const FaultSpec*> events;
+  std::vector<TimeNs> bounds{from, to};
+  for (const FaultSpec& f : faults) {
+    if (f.link != link) continue;
+    if (f.type != FaultType::kBlackout && f.type != FaultType::kCapacity) {
+      continue;
+    }
+    events.push_back(&f);
+    if (f.start > from && f.start < to) bounds.push_back(f.start);
+    if (f.end() > from && f.end() < to) bounds.push_back(f.end());
+  }
+  if (events.empty()) return 1.0;
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  // Activity is constant on each segment between boundaries; windows are
+  // half-open [start, end), so the segment's left edge classifies it.
+  double weighted = 0.0;
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const TimeNs a = bounds[i];
+    const TimeNs b = bounds[i + 1];
+    double mult = 1.0;
+    for (const FaultSpec* f : events) {
+      if (!f->active(a)) continue;
+      if (f->type == FaultType::kBlackout) {
+        mult = 0.0;
+        break;
+      }
+      mult *= std::max(0.0, f->value);
+    }
+    weighted += mult * static_cast<double>(b - a);
+  }
+  return weighted / static_cast<double>(to - from);
+}
+
+namespace {
+
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double unit_double(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+const std::vector<std::string>& default_cross_pool() {
+  static const std::vector<std::string> kPool = {
+      "cubic", "bbr", "copa", "proteus-p", "ledbat", "vivace"};
+  return kPool;
+}
+
+// ---- scavenger-utility -------------------------------------------------
+//
+// Flow 0 is a Proteus-S scavenger. Its entitlement is the capacity the
+// schedule left available minus whatever the cross traffic actually
+// took; the score is the (normalized) part of that entitlement it failed
+// to claim. Dumbbell-only so every flow shares the one bottleneck and
+// the entitlement arithmetic is exact.
+class ScavengerUtilityObjective final : public Objective {
+ public:
+  std::string name() const override { return "scavenger-utility"; }
+  ScenarioGenome baseline() const override {
+    ScenarioGenome g;
+    g.flows = {{"proteus-s", 0.0}, {"cubic", 0.0}};
+    return g;
+  }
+  GenomeConstraints constraints() const override {
+    GenomeConstraints c;
+    c.protected_flows = 1;
+    c.allowed_kinds = {TopologyKind::kDumbbell};
+    c.cross_protocols = default_cross_pool();
+    return c;
+  }
+  double score(const ScenarioGenome&, const EvalSummary& s) const override {
+    if (s.flows.empty() || s.capacity_mbps <= 0.0) return 0.0;
+    double cross = 0.0;
+    for (size_t i = 1; i < s.flows.size(); ++i) cross += s.flows[i].mbps;
+    const double leftover = s.available_mbps - cross;
+    return (leftover - s.flows[0].mbps) / s.capacity_mbps;
+  }
+};
+
+// ---- fairness ----------------------------------------------------------
+//
+// Flows 0 and 1 (cubic vs proteus-p) are protected; the score is their
+// throughput imbalance |a-b|/(a+b) in [0, 1]. Dumbbell-only so the pair
+// actually shares a bottleneck.
+class FairnessObjective final : public Objective {
+ public:
+  std::string name() const override { return "fairness"; }
+  ScenarioGenome baseline() const override {
+    ScenarioGenome g;
+    g.flows = {{"cubic", 0.0}, {"proteus-p", 0.0}};
+    return g;
+  }
+  GenomeConstraints constraints() const override {
+    GenomeConstraints c;
+    c.protected_flows = 2;
+    c.allowed_kinds = {TopologyKind::kDumbbell};
+    c.cross_protocols = default_cross_pool();
+    c.max_flows = 4;
+    return c;
+  }
+  double score(const ScenarioGenome&, const EvalSummary& s) const override {
+    if (s.flows.size() < 2) return 0.0;
+    const double a = s.flows[0].mbps;
+    const double b = s.flows[1].mbps;
+    return std::fabs(a - b) / (a + b + 1e-9);
+  }
+};
+
+// ---- recovery ----------------------------------------------------------
+//
+// Flow 0 is a Proteus-P primary and the genome always carries at least
+// one finite blackout. The score is the sender's tracked post-blackout
+// recovery time; a never-completed recovery scores the time left between
+// the last blackout's end and the end of the run (so late blackouts earn
+// nothing and genuinely-stuck senders earn the most). Multi-hop shapes
+// are in play: faults may target any hop on the primary path.
+class RecoveryObjective final : public Objective {
+ public:
+  std::string name() const override { return "recovery"; }
+  ScenarioGenome baseline() const override {
+    ScenarioGenome g;
+    g.flows = {{"proteus-p", 0.0}};
+    g.faults = {{FaultType::kBlackout, from_sec(6), from_sec(1)}};
+    return g;
+  }
+  GenomeConstraints constraints() const override {
+    GenomeConstraints c;
+    c.protected_flows = 1;
+    c.allowed_kinds = {TopologyKind::kDumbbell, TopologyKind::kParkingLot,
+                       TopologyKind::kFanIn, TopologyKind::kStar};
+    c.cross_protocols = default_cross_pool();
+    c.require_blackout = true;
+    c.max_flows = 4;
+    return c;
+  }
+  double score(const ScenarioGenome& g, const EvalSummary& s) const override {
+    if (s.flows.empty()) return 0.0;
+    const double r = s.flows[0].recovery_sec;
+    if (r >= 0.0) return std::min(r, g.duration_sec);
+    TimeNs last_end = 0;
+    for (const FaultSpec& f : g.faults) {
+      if (f.type != FaultType::kBlackout) continue;
+      const TimeNs end = f.end() == kTimeInfinite ? from_sec(g.duration_sec)
+                                                  : f.end();
+      last_end = std::max(last_end, std::min(end, from_sec(g.duration_sec)));
+    }
+    return std::max(0.0, g.duration_sec - to_sec(last_end));
+  }
+};
+
+// ---- planted[:k] -------------------------------------------------------
+//
+// Analytic smoke objective: a splitmix64-derived "bug region" in genome
+// space (a target bandwidth/RTT and a target blackout start). The
+// pristine baseline scores poorly by construction — it has no faults —
+// so any functioning driver must discover a strictly better genome.
+// Scoring never runs the simulator; verify.sh uses this for its
+// seconds-scale smoke search.
+class PlantedObjective final : public Objective {
+ public:
+  explicit PlantedObjective(uint64_t k) : key_(k) {
+    uint64_t state = k * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL;
+    target_bw_ = 2.0 * std::pow(200.0, unit_double(splitmix64(state)));
+    target_rtt_ = 2.0 * std::pow(200.0, unit_double(splitmix64(state)));
+    target_frac_ = 0.1 + 0.7 * unit_double(splitmix64(state));
+  }
+  std::string name() const override {
+    return "planted:" + std::to_string(key_);
+  }
+  bool needs_run() const override { return false; }
+  ScenarioGenome baseline() const override {
+    ScenarioGenome g;
+    g.flows = {{"cubic", 0.0}};
+    return g;
+  }
+  GenomeConstraints constraints() const override {
+    GenomeConstraints c;
+    c.protected_flows = 1;
+    c.allowed_kinds = {TopologyKind::kDumbbell, TopologyKind::kParkingLot,
+                       TopologyKind::kFanIn, TopologyKind::kStar};
+    c.cross_protocols = default_cross_pool();
+    return c;
+  }
+  double score(const ScenarioGenome& g, const EvalSummary&) const override {
+    double s = -std::fabs(std::log(g.bandwidth_mbps / target_bw_)) -
+               std::fabs(std::log(g.rtt_ms / target_rtt_));
+    const double target_t = target_frac_ * g.duration_sec;
+    double blackout_term = -1.0;  // no blackout at all: flat penalty
+    for (const FaultSpec& f : g.faults) {
+      if (f.type != FaultType::kBlackout) continue;
+      const double dist =
+          std::fabs(to_sec(f.start) - target_t) / std::max(1.0, g.duration_sec);
+      blackout_term = std::max(blackout_term, 2.0 - 4.0 * dist);
+    }
+    return s + blackout_term;
+  }
+
+ private:
+  uint64_t key_;
+  double target_bw_ = 0.0;
+  double target_rtt_ = 0.0;
+  double target_frac_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Objective> make_objective(const std::string& name) {
+  if (name == "scavenger-utility") {
+    return std::make_unique<ScavengerUtilityObjective>();
+  }
+  if (name == "fairness") return std::make_unique<FairnessObjective>();
+  if (name == "recovery") return std::make_unique<RecoveryObjective>();
+  if (name == "planted" || name.rfind("planted:", 0) == 0) {
+    uint64_t k = 0;
+    if (name.size() > 8) {
+      try {
+        k = std::stoull(name.substr(8));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad planted objective key: " + name);
+      }
+    }
+    return std::make_unique<PlantedObjective>(k);
+  }
+  throw std::invalid_argument("unknown objective: " + name +
+                              " (want scavenger-utility|fairness|recovery|"
+                              "planted[:k])");
+}
+
+const std::vector<std::string>& objective_names() {
+  static const std::vector<std::string> kNames = {
+      "scavenger-utility", "fairness", "recovery", "planted"};
+  return kNames;
+}
+
+}  // namespace proteus

@@ -1,0 +1,92 @@
+// Pluggable search objectives: how "bad" is a candidate scenario for the
+// protocol under test?
+//
+// Every objective maps a (genome, run summary) pair to a scalar score
+// where HIGHER = WORSE CASE = better find; the driver (search.h)
+// maximizes it. Scores are computed from the same flow/link statistics
+// the figures and telemetry exports already use, so a corpus entry's
+// recorded score replays exactly from its CLI line.
+//
+//   scavenger-utility  minimize the scavenger's achieved share of the
+//                      capacity nobody else used (Proteus-S should
+//                      scavenge leftover bandwidth even under noise)
+//   fairness           maximize throughput imbalance between two
+//                      protected flows sharing the bottleneck
+//   recovery           maximize post-blackout recovery time of a
+//                      Proteus-P primary (survival-mode machinery)
+//   planted[:k]        analytic smoke objective with a seeded "planted
+//                      bug" region in genome space; needs no simulation
+//                      and guarantees the driver has something to find
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/genome.h"
+
+namespace proteus {
+
+struct FlowOutcome {
+  double mbps = 0.0;        // goodput over [warmup, duration)
+  double rtt_p50_ms = 0.0;
+  double rtt_p95_ms = 0.0;
+  double loss_pct = 0.0;
+  double recovery_sec = -1.0;  // last completed post-fault recovery;
+                               // -1 = none completed / not a PCC sender
+};
+
+struct EvalSummary {
+  double capacity_mbps = 0.0;
+  // Fault-adjusted achievable rate on the primary link over the
+  // measurement window: capacity x available_fraction() of its
+  // blackout/capacity events.
+  double available_mbps = 0.0;
+  std::vector<FlowOutcome> flows;  // in genome flow order
+};
+
+// Mutation limits an objective imposes on genomes (mutate.h enforces).
+struct GenomeConstraints {
+  // Leading flows whose protocol/start the mutator must not touch (the
+  // subject(s) of the objective).
+  int protected_flows = 1;
+  std::vector<TopologyKind> allowed_kinds = {TopologyKind::kDumbbell};
+  // Protocol pool for added/swapped cross-traffic flows.
+  std::vector<std::string> cross_protocols;
+  bool require_blackout = false;  // recovery: keep >= 1 finite blackout
+  int max_flows = 5;
+  int max_faults = 6;
+};
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  virtual std::string name() const = 0;
+  // False for analytic objectives (planted): score() ignores the summary
+  // and the driver skips the simulator entirely.
+  virtual bool needs_run() const { return true; }
+  // The pristine starting genome; its score is the search baseline that
+  // discovered worst cases must beat.
+  virtual ScenarioGenome baseline() const = 0;
+  virtual GenomeConstraints constraints() const = 0;
+  virtual double score(const ScenarioGenome& g,
+                       const EvalSummary& s) const = 0;
+};
+
+// Factory for the registered objectives; "planted" takes an optional
+// ":<k>" suffix seeding the planted-bug location. Throws
+// std::invalid_argument for unknown names.
+std::unique_ptr<Objective> make_objective(const std::string& name);
+const std::vector<std::string>& objective_names();
+
+// Fraction of [from, to) during which link `link`'s scheduled faults
+// leave capacity available: 0 inside blackout windows, the product of
+// active capacity multipliers elsewhere, time-averaged.
+double available_fraction(const std::vector<FaultSpec>& faults, int link,
+                          TimeNs from, TimeNs to);
+
+// Score assigned to a run that violated a simulation invariant: a
+// genome that breaks the simulator outranks every behavioral finding.
+inline constexpr double kInvariantScore = 1e6;
+
+}  // namespace proteus

@@ -1,0 +1,184 @@
+#include "search/search.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harness/fault_spec.h"
+
+namespace proteus {
+
+namespace {
+
+uint64_t mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Child-mutation seed: a pure function of (search seed, generation,
+// child index) — the root of the --jobs determinism contract.
+uint64_t child_seed(uint64_t seed, int generation, int child) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                          (static_cast<uint64_t>(generation) * 4096 + 1 +
+                           static_cast<uint64_t>(child));
+  return mix64(z);
+}
+
+CliOptions options_for(const ScenarioGenome& g) {
+  const CliParseResult r = parse_cli(genome_to_args(g));
+  if (!r.ok) {
+    // mutate/repair emitted something outside the CLI grammar — a search
+    // bug, not a property of the candidate.
+    throw std::logic_error("genome does not round-trip through parse_cli: " +
+                           r.error + " [" + genome_cli_line(g) + "]");
+  }
+  return r.options;
+}
+
+// Evaluates a batch of candidates, preserving order. Simulation-backed
+// objectives go through the supervised harness; analytic ones (planted)
+// score directly.
+std::vector<Finding> evaluate_batch(const std::vector<ScenarioGenome>& batch,
+                                    const Objective& objective,
+                                    const SearchConfig& cfg,
+                                    bool* interrupted) {
+  std::vector<Finding> out;
+  out.reserve(batch.size());
+  if (!objective.needs_run()) {
+    for (const ScenarioGenome& g : batch) {
+      Finding f;
+      f.genome = g;
+      f.cli = genome_cli_line(g);
+      f.score = objective.score(g, EvalSummary{});
+      out.push_back(std::move(f));
+    }
+    return out;
+  }
+
+  std::vector<SupervisedTask<EvalSummary>> tasks;
+  tasks.reserve(batch.size());
+  for (const ScenarioGenome& g : batch) {
+    const CliOptions opt = options_for(g);
+    RunInfo info = run_info(objective.name(), opt.scenario);
+    info.cli = genome_cli_line(g);
+    tasks.push_back({[opt](RunContext& ctx) {
+                       return evaluate_options(opt, &ctx);
+                     },
+                     std::move(info)});
+  }
+  SupervisorConfig scfg;
+  scfg.jobs = cfg.jobs;
+  scfg.retries = 0;  // a retried sub-seed would depend on scheduling
+  scfg.run_timeout_sec = cfg.run_timeout_sec;
+  scfg.bundle_dir = cfg.bundle_dir;
+  scfg.sweep_name = "proteus_search";
+  SupervisedSweep<EvalSummary> sweep =
+      run_supervised(std::move(tasks), scfg, eval_summary_codec());
+  if (sweep.interrupted) *interrupted = true;
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Finding f;
+    f.genome = batch[i];
+    f.cli = genome_cli_line(batch[i]);
+    f.status = sweep.statuses[i].status;
+    switch (f.status) {
+      case RunStatus::kOk:
+        f.score = objective.score(batch[i], sweep.results[i]);
+        break;
+      case RunStatus::kInvariantViolation:
+        // A genome that breaks the simulator outranks everything.
+        f.score = kInvariantScore;
+        break;
+      default:  // error/timeout/skipped: park at the bottom of the pool
+        f.score = -1e30;
+        break;
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+// Indices of `pool` sorted best-first: score descending, insertion order
+// ascending on ties (stable, so equal scores keep discovery order).
+std::vector<size_t> ranked(const std::vector<Finding>& pool) {
+  std::vector<size_t> idx(pool.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&pool](size_t a, size_t b) {
+    return pool[a].score > pool[b].score;
+  });
+  return idx;
+}
+
+}  // namespace
+
+SearchResult run_search(const SearchConfig& cfg, FILE* log) {
+  const std::unique_ptr<Objective> objective = make_objective(cfg.objective);
+  const GenomeConstraints constraints = objective->constraints();
+  const int budget = std::max(1, cfg.budget);
+  const int mu = std::max(1, cfg.mu);
+  const int lambda = std::max(1, cfg.lambda);
+
+  ScenarioGenome baseline = objective->baseline();
+  baseline.duration_sec = cfg.duration_sec;
+  baseline.warmup_sec = cfg.warmup_sec;
+  baseline = repair_genome(std::move(baseline), constraints);
+
+  SearchResult result;
+  std::vector<Finding> pool;
+
+  // Generation 0: the pristine baseline plus a randomized initial
+  // population (child 0 is the baseline; randoms use child indices >= 1
+  // so their seeds never collide with generation-1 children).
+  std::vector<ScenarioGenome> batch{baseline};
+  const int init = std::min(lambda, budget - 1);
+  for (int j = 1; j <= init; ++j) {
+    Rng rng(child_seed(cfg.seed, 0, j));
+    batch.push_back(random_genome(baseline, constraints, rng));
+  }
+  int generation = 0;
+  while (true) {
+    std::vector<Finding> findings =
+        evaluate_batch(batch, *objective, cfg, &result.interrupted);
+    if (generation == 0) result.baseline_score = findings.front().score;
+    result.evaluations += static_cast<int>(findings.size());
+    for (Finding& f : findings) pool.push_back(std::move(f));
+    result.generations = generation + 1;
+
+    const std::vector<size_t> order = ranked(pool);
+    result.trajectory.push_back(pool[order.front()].score);
+    if (log != nullptr) {
+      std::fprintf(log, "gen %d evals %d best %s\n", generation,
+                   result.evaluations,
+                   format_double_shortest(pool[order.front()].score).c_str());
+    }
+    if (result.interrupted || result.evaluations >= budget) break;
+
+    // Next generation: lambda children of the top-mu survivors.
+    ++generation;
+    const int children =
+        std::min(lambda, budget - result.evaluations);
+    batch.clear();
+    for (int j = 0; j < children; ++j) {
+      const Finding& parent =
+          pool[order[static_cast<size_t>(j) % std::min<size_t>(mu, order.size())]];
+      Rng rng(child_seed(cfg.seed, generation, j));
+      batch.push_back(mutate_genome(parent.genome, constraints, rng));
+    }
+  }
+
+  // Top-k findings, deduped by CLI line (mutation can rediscover the
+  // same candidate through different paths).
+  const std::vector<size_t> order = ranked(pool);
+  std::vector<std::string> seen;
+  for (const size_t i : order) {
+    if (static_cast<int>(result.top.size()) >= std::max(1, cfg.top_k)) break;
+    if (std::find(seen.begin(), seen.end(), pool[i].cli) != seen.end()) {
+      continue;
+    }
+    seen.push_back(pool[i].cli);
+    result.top.push_back(pool[i]);
+  }
+  return result;
+}
+
+}  // namespace proteus

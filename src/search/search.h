@@ -1,0 +1,69 @@
+// (mu+lambda) adversarial scenario search.
+//
+// The driver maintains a population of ScenarioGenomes, evaluates each
+// candidate by running it through the supervised harness (watchdogs,
+// invariant checks, --jobs parallelism), scores runs with a pluggable
+// Objective (higher = worse case), and evolves the top mu survivors via
+// grammar-aware mutations into lambda children per generation.
+//
+// Determinism contract: for a fixed (objective, budget, seed, mu,
+// lambda, duration, warmup), the result — best genome, top-k list, and
+// the whole score trajectory — is bit-identical regardless of --jobs.
+// Every child's mutation RNG is a pure function of (search seed,
+// generation, child index), candidates carry their own simulation
+// seeds, retries are off, and the wall-clock watchdog defaults to off
+// (it is the one knob that can break run-for-run determinism; enabling
+// it trades that away for hang protection).
+#pragma once
+
+#include <cstdio>
+
+#include "search/evaluate.h"
+#include "search/mutate.h"
+
+namespace proteus {
+
+struct SearchConfig {
+  std::string objective = "scavenger-utility";
+  int budget = 200;  // total candidate evaluations, baseline included
+  uint64_t seed = 1;
+  int jobs = 1;
+  int mu = 6;       // survivors per generation
+  int lambda = 12;  // children per generation
+  double duration_sec = 12.0;  // run window applied to every candidate
+  double warmup_sec = 4.0;
+  int top_k = 5;                 // findings kept in SearchResult::top
+  double run_timeout_sec = 0.0;  // per-candidate wall watchdog (0 = off)
+  std::string bundle_dir;        // repro bundles for failed runs ("" = off)
+  double tolerance = 0.02;       // recorded into emitted corpus entries
+};
+
+struct Finding {
+  double score = 0.0;
+  RunStatus status = RunStatus::kOk;
+  ScenarioGenome genome;
+  std::string cli;  // genome_cli_line(genome): replay verbatim
+};
+
+struct SearchResult {
+  std::vector<Finding> top;        // best first, deduped by CLI line
+  std::vector<double> trajectory;  // best-so-far after each generation
+  double baseline_score = 0.0;     // generation 0's pristine candidate
+  int evaluations = 0;
+  int generations = 0;
+  bool interrupted = false;  // SIGINT/SIGTERM wound the search down early
+
+  // True when the search found a candidate strictly worse (higher
+  // score) than the objective's pristine baseline.
+  bool improved() const {
+    return !top.empty() && top.front().score > baseline_score;
+  }
+};
+
+// Runs the search. Progress lines (one per generation) go to `log` when
+// non-null; they never mention --jobs, so captured output is part of the
+// determinism contract. Throws std::invalid_argument for an unknown
+// objective name.
+SearchResult run_search(const SearchConfig& cfg, FILE* log);
+
+}  // namespace proteus

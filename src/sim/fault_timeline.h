@@ -44,6 +44,12 @@ struct FaultSpec {
                        // capacity multiplier (capacity)
   TimeNs delay = 0;    // route-change delta (may be negative) or the max
                        // extra delay given to a reordered packet
+  // Target link index (harness-level routing: scenario.cc groups events
+  // by link and builds one timeline per targeted link; the timeline
+  // itself never consults this). 0 = the primary link, the only valid
+  // target on a dumbbell. Grammar prefix: `link<i>:`. Last field so the
+  // historical 5-element aggregate initializers stay valid.
+  int link = 0;
 
   TimeNs end() const {
     return duration == 0 ? kTimeInfinite : start + duration;

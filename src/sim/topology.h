@@ -143,6 +143,8 @@ class Topology final : public Network {
   // Queued links only (delay edges carry no queue/stats of their own
   // beyond ACK drops), in add_link order.
   int link_count() const { return static_cast<int>(links_.size()); }
+  // The EdgeId of queued link i, for fault attachment by link index.
+  EdgeId link_edge(int i) const { return links_[i]; }
   Link& link(int i) { return *edges_[links_[i]]->link; }
   const Link& link(int i) const { return *edges_[links_[i]]->link; }
   const std::string& link_name(int i) const { return edges_[links_[i]]->name; }

@@ -246,19 +246,34 @@ TEST(FaultSpecGrammar, TimeSuffixesAndDefaults) {
 }
 
 TEST(FaultSpecGrammar, FormatRoundTrips) {
-  // format_faults() output (used in repro bundles) must re-parse to the
-  // exact same schedule, so a bundle's fault line is directly runnable.
+  // format_faults() output (used in repro bundles and serialized search
+  // genomes) must re-parse to the exact same schedule, so a bundle's or
+  // corpus entry's fault line is directly runnable. Every documented
+  // event type appears here, with and without a link target, plus
+  // fractional times whose double representation is inexact (0.3s) —
+  // the cases where a truncating formatter/parser pair drifts.
   const std::string specs[] = {
       "blackout@5:2",
       "blackout@5",
+      "blackout@0.3:0.25",
       "capacity@10:x=0.25:20",
+      "capacity@1:x=0.3333333333333333:2",
       "route@10:delta=40ms",
       "route@2500ms:delta=-5ms:750ms",
       "reorder@10:p=0.05:delta=25ms:5",
+      "reorder@3s:p=1",  // default delta fills in
       "duplicate@12:p=0.01",
       "ackloss@14:p=0.3:5",
       "ackburst@16:500ms",
+      "link2:blackout@5:2",
+      "link1:capacity@3500ms:x=0.25:2",
+      "link3:route@1:delta=-7ms:2",
+      "link1:reorder@2:p=0.125:delta=3ms:1",
+      "link2:duplicate@2500ms:p=0.2",
+      "link1:ackloss@4:p=0.5:1",
+      "link1:ackburst@6:250ms",
       "blackout@5:2,capacity@10:x=0.5:20,ackburst@16:500ms",
+      "blackout@1:1,link1:blackout@1:1,link2:ackloss@3:p=0.3:2",
   };
   for (const std::string& spec : specs) {
     const FaultParseResult first = parse_faults(spec);
@@ -276,9 +291,37 @@ TEST(FaultSpecGrammar, FormatRoundTrips) {
       EXPECT_DOUBLE_EQ(second.faults[i].value, first.faults[i].value)
           << formatted;
       EXPECT_EQ(second.faults[i].delay, first.faults[i].delay) << formatted;
+      EXPECT_EQ(second.faults[i].link, first.faults[i].link) << formatted;
     }
+    // Byte stability: a second format pass is a fixed point, so repeated
+    // parse/format cycles (search -> corpus -> replay) can never drift.
+    EXPECT_EQ(format_faults(second.faults), formatted) << spec;
   }
   EXPECT_EQ(format_faults({}), "");
+}
+
+TEST(FaultSpecGrammar, ParsesLinkTargets) {
+  const auto r = parse_faults("link2:blackout@5:2,blackout@1:1,"
+                              "link0:ackloss@3:p=0.5:1");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.faults.size(), 3u);
+  EXPECT_EQ(r.faults[0].link, 2);
+  EXPECT_EQ(r.faults[0].type, FaultType::kBlackout);
+  EXPECT_EQ(r.faults[0].start, from_sec(5));
+  EXPECT_EQ(r.faults[1].link, 0);  // untargeted events keep applying to 0
+  EXPECT_EQ(r.faults[2].link, 0);  // explicit link0 is the same thing
+  // link0: and bare specs format identically (canonical form drops it).
+  EXPECT_EQ(format_faults({r.faults[2]}), "ackloss@3:p=0.5:1");
+}
+
+TEST(FaultSpecGrammar, RejectsMalformedLinkTargets) {
+  EXPECT_FALSE(parse_faults("link:blackout@5:2").ok);      // no index
+  EXPECT_FALSE(parse_faults("linkx:blackout@5:2").ok);     // non-digit
+  EXPECT_FALSE(parse_faults("link-1:blackout@5:2").ok);    // negative
+  EXPECT_FALSE(parse_faults("link2048:blackout@5:2").ok);  // out of range
+  EXPECT_FALSE(parse_faults("link12345:blackout@5:2").ok); // too long
+  // A colon after the '@' is a duration separator, not a link prefix.
+  EXPECT_TRUE(parse_faults("blackout@5:2").ok);
 }
 
 TEST(FaultSpecGrammar, EmptySpecIsOkAndEmpty) {

@@ -1,0 +1,420 @@
+// Tests for the adversarial scenario search (src/search/): genome CLI
+// round trips, objective scoring helpers, constraint-respecting
+// mutation, driver determinism across --jobs, and corpus persistence +
+// replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "harness/fault_spec.h"
+#include "search/corpus.h"
+
+namespace proteus {
+namespace {
+
+std::string tmp_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ScenarioGenome rich_genome() {
+  ScenarioGenome g;
+  g.bandwidth_mbps = 72.5;
+  g.rtt_ms = 18.26059794628789;  // exercises shortest-double formatting
+  g.buffer_bytes = 125'000;
+  g.random_loss = 0.0125;
+  g.topology.kind = TopologyKind::kParkingLot;
+  g.topology.arms = 3;
+  g.duration_sec = 9.0;
+  g.warmup_sec = 2.5;
+  g.seed = 4242;
+  g.flows = {{"proteus-s", 0.0}, {"cubic", 1.5}, {"bbr", 3.0}};
+  const FaultParseResult f = parse_faults(
+      "blackout@2:1,link1:capacity@3500ms:x=0.25:2,link2:ackloss@5:p=0.3:1");
+  EXPECT_TRUE(f.ok) << f.error;
+  g.faults = f.faults;
+  return g;
+}
+
+// ---- Genome serialization ----------------------------------------------
+
+TEST(Genome, CliRoundTripIsExactAndByteStable) {
+  const ScenarioGenome g = rich_genome();
+  const std::vector<std::string> args = genome_to_args(g);
+  const CliParseResult parsed = parse_cli(args);
+  ASSERT_TRUE(parsed.ok) << parsed.error << " [" << genome_cli_line(g) << "]";
+
+  const ScenarioGenome back = genome_from_options(parsed.options);
+  EXPECT_EQ(back.bandwidth_mbps, g.bandwidth_mbps);
+  EXPECT_EQ(back.rtt_ms, g.rtt_ms);
+  EXPECT_EQ(back.buffer_bytes, g.buffer_bytes);
+  EXPECT_EQ(back.random_loss, g.random_loss);
+  EXPECT_EQ(back.topology.kind, g.topology.kind);
+  EXPECT_EQ(back.topology.arms, g.topology.arms);
+  EXPECT_EQ(back.duration_sec, g.duration_sec);
+  EXPECT_EQ(back.warmup_sec, g.warmup_sec);
+  EXPECT_EQ(back.seed, g.seed);
+  ASSERT_EQ(back.flows.size(), g.flows.size());
+  for (size_t i = 0; i < g.flows.size(); ++i) {
+    EXPECT_EQ(back.flows[i].protocol, g.flows[i].protocol);
+    EXPECT_EQ(back.flows[i].start_sec, g.flows[i].start_sec);
+  }
+  ASSERT_EQ(back.faults.size(), g.faults.size());
+  for (size_t i = 0; i < g.faults.size(); ++i) {
+    EXPECT_EQ(back.faults[i].type, g.faults[i].type);
+    EXPECT_EQ(back.faults[i].start, g.faults[i].start);
+    EXPECT_EQ(back.faults[i].duration, g.faults[i].duration);
+    EXPECT_EQ(back.faults[i].value, g.faults[i].value);
+    EXPECT_EQ(back.faults[i].delay, g.faults[i].delay);
+    EXPECT_EQ(back.faults[i].link, g.faults[i].link);
+  }
+  // Byte stability: serialize -> parse -> serialize is a fixed point.
+  EXPECT_EQ(genome_cli_line(back), genome_cli_line(g));
+}
+
+TEST(Genome, DefaultGenomeEmitsMinimalDumbbellLine) {
+  ScenarioGenome g;
+  g.flows = {{"cubic", 0.0}};
+  const std::string line = genome_cli_line(g);
+  EXPECT_EQ(line.find("--topology"), std::string::npos);
+  EXPECT_EQ(line.find("--faults"), std::string::npos);
+  EXPECT_EQ(line.find("--loss"), std::string::npos);
+  const CliParseResult parsed = parse_cli(genome_to_args(g));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(genome_cli_line(genome_from_options(parsed.options)), line);
+}
+
+TEST(Genome, LinkCountMatchesTopologyShape) {
+  ScenarioGenome g;
+  EXPECT_EQ(genome_link_count(g), 1);  // dumbbell
+  g.topology.kind = TopologyKind::kParkingLot;
+  g.topology.arms = 4;
+  EXPECT_EQ(genome_link_count(g), 4);
+  g.topology.kind = TopologyKind::kFanIn;
+  EXPECT_EQ(genome_link_count(g), 5);
+  g.topology.kind = TopologyKind::kStar;
+  EXPECT_EQ(genome_link_count(g), 5);
+}
+
+// ---- available_fraction ------------------------------------------------
+
+TEST(Objective, AvailableFractionHandlesBlackoutsAndCapacity) {
+  EXPECT_EQ(available_fraction({}, 0, from_sec(0), from_sec(10)), 1.0);
+
+  // Blackout covering half the window.
+  FaultSpec blackout{FaultType::kBlackout, from_sec(2), from_sec(5)};
+  EXPECT_DOUBLE_EQ(
+      available_fraction({blackout}, 0, from_sec(0), from_sec(10)), 0.5);
+
+  // Capacity x=0.5 over half the window: 0.5*0.5 + 0.5*1 = 0.75.
+  FaultSpec cap{FaultType::kCapacity, from_sec(0), from_sec(5), 0.5};
+  EXPECT_DOUBLE_EQ(available_fraction({cap}, 0, from_sec(0), from_sec(10)),
+                   0.75);
+
+  // Blackout wins inside an overlapping capacity window.
+  EXPECT_DOUBLE_EQ(
+      available_fraction({blackout, cap}, 0, from_sec(0), from_sec(10)),
+      0.4);  // [0,2) at 0.5, [2,7) blacked out, [7,10) at 1.0
+}
+
+TEST(Objective, AvailableFractionFiltersByTargetLink) {
+  FaultSpec other{FaultType::kBlackout, from_sec(0), from_sec(10)};
+  other.link = 2;
+  EXPECT_EQ(available_fraction({other}, 0, from_sec(0), from_sec(10)), 1.0);
+  EXPECT_EQ(available_fraction({other}, 2, from_sec(0), from_sec(10)), 0.0);
+}
+
+TEST(Objective, PermanentBlackoutClipsToWindow) {
+  FaultSpec permanent{FaultType::kBlackout, from_sec(5), 0};  // until end
+  EXPECT_DOUBLE_EQ(
+      available_fraction({permanent}, 0, from_sec(0), from_sec(10)), 0.5);
+}
+
+// ---- Objectives --------------------------------------------------------
+
+TEST(Objective, FactoryKnowsEveryRegisteredName) {
+  for (const std::string& name : objective_names()) {
+    const auto obj = make_objective(name);
+    EXPECT_EQ(obj->name().rfind(name, 0), 0u) << name;
+    EXPECT_FALSE(obj->baseline().flows.empty()) << name;
+  }
+  EXPECT_THROW(make_objective("nope"), std::invalid_argument);
+  EXPECT_THROW(make_objective("planted:xyz"), std::invalid_argument);
+}
+
+TEST(Objective, PlantedIsAnalyticAndKeyed) {
+  const auto a = make_objective("planted:7");
+  const auto b = make_objective("planted:8");
+  EXPECT_FALSE(a->needs_run());
+  ScenarioGenome g = a->baseline();
+  // Different keys plant the bug in different places.
+  EXPECT_NE(a->score(g, EvalSummary{}), b->score(g, EvalSummary{}));
+  // Deterministic per key.
+  EXPECT_EQ(a->score(g, EvalSummary{}),
+            make_objective("planted:7")->score(g, EvalSummary{}));
+}
+
+TEST(Objective, RecoveryScoresNeverRecoveredByTimeLeftAfterBlackout) {
+  const auto obj = make_objective("recovery");
+  ScenarioGenome g = obj->baseline();
+  g.duration_sec = 12.0;
+  ASSERT_FALSE(g.faults.empty());
+
+  EvalSummary s;
+  FlowOutcome primary;
+  primary.recovery_sec = 3.5;
+  s.flows.push_back(primary);
+  EXPECT_DOUBLE_EQ(obj->score(g, s), 3.5);
+
+  // Never recovered: blackout ends at 7s, run ends at 12s -> 5.
+  s.flows[0].recovery_sec = -1.0;
+  EXPECT_DOUBLE_EQ(obj->score(g, s), 5.0);
+}
+
+// ---- Mutation ----------------------------------------------------------
+
+TEST(Mutate, MutantsStayInsideConstraintsAndGrammar) {
+  const auto obj = make_objective("recovery");
+  const GenomeConstraints c = obj->constraints();
+  ScenarioGenome parent = obj->baseline();
+  parent.duration_sec = 8.0;
+  parent.warmup_sec = 2.0;
+  parent = repair_genome(std::move(parent), c);
+
+  Rng rng(1234);
+  for (int i = 0; i < 200; ++i) {
+    const ScenarioGenome m = mutate_genome(parent, c, rng);
+
+    // Protected flows untouched; counts bounded.
+    ASSERT_GE(static_cast<int>(m.flows.size()), c.protected_flows);
+    ASSERT_LE(static_cast<int>(m.flows.size()), c.max_flows);
+    for (int p = 0; p < c.protected_flows; ++p) {
+      EXPECT_EQ(m.flows[p].protocol, parent.flows[p].protocol);
+      EXPECT_EQ(m.flows[p].start_sec, parent.flows[p].start_sec);
+    }
+    ASSERT_LE(static_cast<int>(m.faults.size()), c.max_faults);
+
+    // Topology within the allowed set.
+    EXPECT_NE(std::find(c.allowed_kinds.begin(), c.allowed_kinds.end(),
+                        m.topology.kind),
+              c.allowed_kinds.end());
+
+    // require_blackout: at least one finite blackout survives.
+    bool has_blackout = false;
+    for (const FaultSpec& f : m.faults) {
+      EXPECT_GE(f.link, 0);
+      EXPECT_LT(f.link, genome_link_count(m));
+      EXPECT_GE(f.start, 0);
+      EXPECT_LT(f.start, from_sec(m.duration_sec));
+      if (f.type == FaultType::kBlackout && f.duration > 0) {
+        has_blackout = true;
+      }
+    }
+    EXPECT_TRUE(has_blackout) << genome_cli_line(m);
+
+    // Every mutant serializes to a parseable CLI line that round-trips.
+    const CliParseResult parsed = parse_cli(genome_to_args(m));
+    ASSERT_TRUE(parsed.ok) << parsed.error << " [" << genome_cli_line(m)
+                           << "]";
+    EXPECT_EQ(genome_cli_line(genome_from_options(parsed.options)),
+              genome_cli_line(m));
+    parent = m;  // walk the space, not just the baseline's neighborhood
+  }
+}
+
+TEST(Mutate, MutationIsAPureFunctionOfTheRngSeed) {
+  const auto obj = make_objective("scavenger-utility");
+  const GenomeConstraints c = obj->constraints();
+  const ScenarioGenome parent = repair_genome(obj->baseline(), c);
+  Rng a(77), b(77), d(78);
+  const ScenarioGenome ma = mutate_genome(parent, c, a);
+  const ScenarioGenome mb = mutate_genome(parent, c, b);
+  EXPECT_EQ(genome_cli_line(ma), genome_cli_line(mb));
+  // (A different seed usually differs; not asserted — ops can no-op.)
+  (void)d;
+}
+
+// ---- Search driver -----------------------------------------------------
+
+SearchConfig small_sim_config(int jobs) {
+  SearchConfig cfg;
+  cfg.objective = "scavenger-utility";
+  cfg.budget = 12;
+  cfg.mu = 3;
+  cfg.lambda = 5;
+  cfg.seed = 9;
+  cfg.jobs = jobs;
+  cfg.duration_sec = 2.0;
+  cfg.warmup_sec = 0.5;
+  return cfg;
+}
+
+TEST(Search, SimBackedSearchIsBitIdenticalAcrossJobs) {
+  const SearchResult r1 = run_search(small_sim_config(1), nullptr);
+  const SearchResult r4 = run_search(small_sim_config(4), nullptr);
+
+  EXPECT_EQ(r1.evaluations, r4.evaluations);
+  EXPECT_EQ(r1.generations, r4.generations);
+  EXPECT_EQ(r1.baseline_score, r4.baseline_score);
+  ASSERT_EQ(r1.trajectory.size(), r4.trajectory.size());
+  for (size_t i = 0; i < r1.trajectory.size(); ++i) {
+    EXPECT_EQ(r1.trajectory[i], r4.trajectory[i]) << "generation " << i;
+  }
+  ASSERT_EQ(r1.top.size(), r4.top.size());
+  for (size_t i = 0; i < r1.top.size(); ++i) {
+    EXPECT_EQ(r1.top[i].score, r4.top[i].score);
+    EXPECT_EQ(r1.top[i].cli, r4.top[i].cli);
+    EXPECT_EQ(r1.top[i].status, r4.top[i].status);
+  }
+}
+
+TEST(Search, PlantedObjectiveSearchBeatsItsBaseline) {
+  SearchConfig cfg;
+  cfg.objective = "planted:7";
+  cfg.budget = 48;
+  cfg.seed = 3;
+  cfg.jobs = 2;
+  const SearchResult r = run_search(cfg, nullptr);
+  ASSERT_FALSE(r.top.empty());
+  EXPECT_TRUE(r.improved());
+  EXPECT_GT(r.top.front().score, r.baseline_score);
+  // Trajectory is monotone non-decreasing (best-so-far).
+  for (size_t i = 1; i < r.trajectory.size(); ++i) {
+    EXPECT_GE(r.trajectory[i], r.trajectory[i - 1]);
+  }
+  EXPECT_EQ(r.evaluations, 48);
+}
+
+TEST(Search, TopFindingsAreDedupedByCliLine) {
+  SearchConfig cfg;
+  cfg.objective = "planted:1";
+  cfg.budget = 60;
+  cfg.seed = 5;
+  cfg.top_k = 10;
+  const SearchResult r = run_search(cfg, nullptr);
+  for (size_t i = 0; i < r.top.size(); ++i) {
+    for (size_t j = i + 1; j < r.top.size(); ++j) {
+      EXPECT_NE(r.top[i].cli, r.top[j].cli);
+    }
+  }
+}
+
+// ---- Eval summary codec ------------------------------------------------
+
+TEST(Search, EvalSummaryCodecRoundTripsExactly) {
+  EvalSummary s;
+  s.capacity_mbps = 48.125;
+  s.available_mbps = 31.0 / 3.0;
+  FlowOutcome f;
+  f.mbps = 0.1 + 0.2;  // not exactly 0.3: codec must keep the bits
+  f.rtt_p50_ms = 17.25;
+  f.rtt_p95_ms = 41.5;
+  f.loss_pct = 2.0 / 7.0;
+  f.recovery_sec = -1.0;
+  s.flows = {f, f};
+
+  const ResultCodec<EvalSummary> codec = eval_summary_codec();
+  const EvalSummary back = codec.decode(codec.encode(s));
+  EXPECT_EQ(back.capacity_mbps, s.capacity_mbps);
+  EXPECT_EQ(back.available_mbps, s.available_mbps);
+  ASSERT_EQ(back.flows.size(), 2u);
+  EXPECT_EQ(back.flows[0].mbps, f.mbps);
+  EXPECT_EQ(back.flows[0].loss_pct, f.loss_pct);
+  EXPECT_EQ(back.flows[1].recovery_sec, f.recovery_sec);
+}
+
+// ---- Corpus ------------------------------------------------------------
+
+TEST(Corpus, EntryFormatParsesBackExactly) {
+  CorpusEntry e;
+  e.objective = "scavenger-utility";
+  e.score = 0.1 + 0.2;  // hex-float transport: exact bits
+  e.status = "ok";
+  e.tolerance = 0.015625;
+  e.search_seed = 42;
+  e.cli = "proteus_sim --bw=50 --flows=proteus-s,cubic";
+
+  CorpusEntry back;
+  std::string error;
+  ASSERT_TRUE(parse_corpus_entry(format_corpus_entry(e), back, error))
+      << error;
+  EXPECT_EQ(back.objective, e.objective);
+  EXPECT_EQ(back.score, e.score);
+  EXPECT_EQ(back.status, e.status);
+  EXPECT_EQ(back.tolerance, e.tolerance);
+  EXPECT_EQ(back.search_seed, e.search_seed);
+  EXPECT_EQ(back.cli, e.cli);
+}
+
+TEST(Corpus, RejectsMalformedEntries) {
+  CorpusEntry out;
+  std::string error;
+  EXPECT_FALSE(parse_corpus_entry("objective: x\n", out, error));  // no cli
+  EXPECT_FALSE(parse_corpus_entry("not a key-value line\n", out, error));
+  EXPECT_FALSE(
+      parse_corpus_entry("mystery: 1\ncli: proteus_sim\n", out, error));
+}
+
+TEST(Corpus, WriteListReplayRoundTrip) {
+  const std::string dir = tmp_dir("proteus_corpus_test");
+
+  // A planted entry replays analytically (fast) through the same path.
+  SearchConfig cfg;
+  cfg.objective = "planted:7";
+  cfg.budget = 32;
+  cfg.seed = 3;
+  const SearchResult r = run_search(cfg, nullptr);
+  ASSERT_FALSE(r.top.empty());
+  const CorpusEntry entry = corpus_entry_from_finding(
+      cfg.objective, cfg.seed, cfg.tolerance, r.top.front());
+
+  std::string error;
+  const std::string path = write_corpus_entry(dir, entry, error);
+  ASSERT_FALSE(path.empty()) << error;
+  // Idempotent: same entry -> same deterministic filename.
+  EXPECT_EQ(write_corpus_entry(dir, entry, error), path);
+  const std::vector<std::string> files = list_corpus_files(dir);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], path);
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  CorpusEntry loaded;
+  ASSERT_TRUE(parse_corpus_entry(text, loaded, error)) << error;
+
+  const ReplayOutcome ok = replay_corpus_entry(loaded);
+  EXPECT_TRUE(ok.ok) << ok.message;
+  EXPECT_EQ(ok.replayed_score, entry.score);
+
+  // A tampered score must fail replay.
+  loaded.score += 10.0;
+  const ReplayOutcome drift = replay_corpus_entry(loaded);
+  EXPECT_FALSE(drift.ok);
+  EXPECT_NE(drift.message.find("score drifted"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Corpus, SimBackedEntryReplaysWithinTolerance) {
+  // Evaluate one real scenario through the search path and pin it.
+  const SearchConfig cfg = small_sim_config(1);
+  const SearchResult r = run_search(cfg, nullptr);
+  ASSERT_FALSE(r.top.empty());
+  ASSERT_EQ(r.top.front().status, RunStatus::kOk);
+  const CorpusEntry entry = corpus_entry_from_finding(
+      cfg.objective, cfg.seed, cfg.tolerance, r.top.front());
+  const ReplayOutcome outcome = replay_corpus_entry(entry);
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+  // The sim is deterministic, so the replay is exact, not just close.
+  EXPECT_EQ(outcome.replayed_score, entry.score);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -302,6 +302,65 @@ TEST(Supervisor, FlakyPointSucceedsOnRetryWithFreshSeed) {
   EXPECT_TRUE(sweep.ok());
 }
 
+TEST(Supervisor, RetrySeedSequenceIsIdenticalAcrossJobs) {
+  // Forced-failure parking-lot points: every point builds a real
+  // multi-hop scenario, advances it under supervision, records the
+  // attempt seed, and fails its first two attempts. The splitmix64
+  // retry sub-seed chain is a pure function of (base seed, attempt), so
+  // the per-point seed sequences must not depend on worker scheduling.
+  auto run_sweep = [](int jobs) {
+    clear_interrupt();
+    const int n = 6;
+    std::vector<std::vector<uint64_t>> seeds(n);  // slot per point: no races
+    std::vector<SupervisedTask<double>> tasks;
+    for (int i = 0; i < n; ++i) {
+      RunInfo info;
+      info.name = "parkinglot " + std::to_string(i);
+      info.seed = static_cast<uint64_t>(100 + i);
+      tasks.push_back({[i, &seeds](RunContext& ctx) -> double {
+                         const uint64_t base = static_cast<uint64_t>(100 + i);
+                         const uint64_t seed = ctx.attempt_seed(base);
+                         seeds[static_cast<size_t>(i)].push_back(seed);
+                         ScenarioConfig cfg;
+                         cfg.seed = seed;
+                         cfg.topology.kind = TopologyKind::kParkingLot;
+                         cfg.topology.arms = 3;
+                         Scenario sc(cfg);
+                         sc.add_flow("cubic", 0);
+                         supervised_run_until(sc, from_ms(200), &ctx);
+                         if (ctx.attempt() < 2) {
+                           throw std::runtime_error("forced failure");
+                         }
+                         return sc.flows().front()->mean_throughput_mbps(
+                             0, from_ms(200));
+                       },
+                       info});
+    }
+    SupervisorConfig cfg = fast_config();
+    cfg.jobs = jobs;
+    cfg.retries = 2;
+    const SupervisedSweep<double> sweep =
+        run_supervised(std::move(tasks), cfg, scalar_codec());
+    EXPECT_TRUE(sweep.ok());
+    return std::make_pair(seeds, sweep.results);
+  };
+
+  const auto [seeds1, results1] = run_sweep(1);
+  const auto [seeds4, results4] = run_sweep(4);
+
+  ASSERT_EQ(seeds1.size(), seeds4.size());
+  for (size_t i = 0; i < seeds1.size(); ++i) {
+    ASSERT_EQ(seeds1[i].size(), 3u) << "point " << i;  // 1 try + 2 retries
+    EXPECT_EQ(seeds1[i], seeds4[i]) << "point " << i;
+    // Attempt 0 is the caller's base seed; retries are fresh sub-streams.
+    EXPECT_EQ(seeds1[i][0], 100 + i);
+    EXPECT_NE(seeds1[i][1], seeds1[i][0]);
+    EXPECT_NE(seeds1[i][2], seeds1[i][1]);
+  }
+  // Same attempt seeds -> same simulations -> identical payloads.
+  EXPECT_EQ(results1, results4);
+}
+
 TEST(Supervisor, CooperativeHangIsTimedOutAndRetried) {
   clear_interrupt();
   SupervisorConfig cfg = fast_config();

@@ -20,6 +20,7 @@
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -547,6 +548,62 @@ TEST(ParkingLotDeterminism, FaultCountersLandOnPrimaryHop) {
   EXPECT_GT(primary.ack_drops, 0);
   // Non-primary hops carry no forward fault hooks.
   EXPECT_EQ(sc.topology().link(1).stats().blackout_drops, 0);
+}
+
+TEST(ParkingLotDeterminism, TargetedFaultsLandOnTheirHop) {
+  // `link1:` routes the blackout to the second bottleneck hop; the
+  // primary hop and the other hops stay clean.
+  ScenarioConfig cfg;
+  cfg.seed = 77;
+  cfg.topology.kind = TopologyKind::kParkingLot;
+  cfg.topology.arms = 3;
+  const FaultParseResult faults = parse_faults("link1:blackout@1:1");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.faults = faults.faults;
+  Scenario sc(cfg);
+  sc.add_flow("cubic", 0);
+  for (int i = 0; i < 3; ++i) sc.add_flow("cubic", 0);
+  sc.run_until(from_sec(6));
+  EXPECT_GT(sc.topology().link(1).stats().blackout_drops, 0);
+  EXPECT_EQ(sc.bottleneck().stats().blackout_drops, 0);
+  EXPECT_EQ(sc.topology().link(2).stats().blackout_drops, 0);
+}
+
+TEST(ParkingLotDeterminism, MixedTargetsSplitAcrossHops) {
+  ScenarioConfig cfg;
+  cfg.seed = 77;
+  cfg.topology.kind = TopologyKind::kParkingLot;
+  cfg.topology.arms = 3;
+  const FaultParseResult faults =
+      parse_faults("blackout@1:1,link2:blackout@3:1");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.faults = faults.faults;
+  Scenario sc(cfg);
+  sc.add_flow("cubic", 0);
+  for (int i = 0; i < 3; ++i) sc.add_flow("cubic", 0);
+  sc.run_until(from_sec(6));
+  // The untargeted event keeps applying to the primary hop.
+  EXPECT_GT(sc.bottleneck().stats().blackout_drops, 0);
+  EXPECT_GT(sc.topology().link(2).stats().blackout_drops, 0);
+  EXPECT_EQ(sc.topology().link(1).stats().blackout_drops, 0);
+}
+
+TEST(TopologyFaults, OutOfRangeTargetIsRejected) {
+  ScenarioConfig cfg;
+  cfg.topology.kind = TopologyKind::kParkingLot;
+  cfg.topology.arms = 3;  // 3 bottleneck hops: links 0..2
+  const FaultParseResult faults = parse_faults("link5:blackout@1:1");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.faults = faults.faults;
+  EXPECT_THROW(Scenario sc(cfg), std::runtime_error);
+}
+
+TEST(TopologyFaults, DumbbellRejectsNonZeroTargets) {
+  ScenarioConfig cfg;  // default dumbbell: link 0 is the only target
+  const FaultParseResult faults = parse_faults("link1:blackout@1:1");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.faults = faults.faults;
+  EXPECT_THROW(Scenario sc(cfg), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// corpus_replay — regression-check the committed adversarial corpus.
+//
+//   corpus_replay corpus/adversarial            # replay every .adv entry
+//   corpus_replay corpus/adversarial/foo.adv    # replay one entry
+//
+// Each entry's `proteus_sim` CLI line is re-evaluated through the exact
+// path the search used (src/search/evaluate.h) and the result is
+// compared against the recorded score (within the entry's tolerance)
+// and run status. A drift means protocol or simulator behavior changed
+// on a scenario that was specifically discovered to be hard — exactly
+// the runs a refactor should not silently alter. verify.sh runs this as
+// its adversarial-corpus tier.
+//
+// Exit codes: 0 all entries match, 1 any mismatch/IO error, 2 no
+// entries found (an empty corpus directory is a wiring bug, not a pass).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/fault_spec.h"
+#include "search/corpus.h"
+
+using namespace proteus;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: corpus_replay <dir-or-entry.adv> [more...]\n");
+    return 1;
+  }
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() > 4 && arg.compare(arg.size() - 4, 4, ".adv") == 0) {
+      files.push_back(arg);
+    } else {
+      for (std::string& f : list_corpus_files(arg)) {
+        files.push_back(std::move(f));
+      }
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "corpus_replay: no .adv entries found\n");
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "FAIL %s: cannot read\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    CorpusEntry entry;
+    std::string error;
+    if (!parse_corpus_entry(text.str(), entry, error)) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+
+    const ReplayOutcome outcome = replay_corpus_entry(entry);
+    if (outcome.ok) {
+      std::printf("ok   %s (%s score %s)\n", path.c_str(),
+                  entry.objective.c_str(),
+                  format_double_shortest(outcome.replayed_score).c_str());
+    } else {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                   outcome.message.c_str());
+      ++failures;
+    }
+  }
+
+  std::printf("%zu entries, %d failure(s)\n", files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

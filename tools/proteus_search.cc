@@ -1,0 +1,175 @@
+// proteus_search — adversarial scenario search (src/search/).
+//
+//   proteus_search --objective=scavenger-utility --budget=200 --seed=1
+//   proteus_search --objective=recovery --budget=120 --jobs=4 \
+//                  --corpus=corpus/adversarial
+//   proteus_search --objective=planted:7 --budget=48 --assert-improves
+//
+// Evolves scenario genomes with a (mu+lambda) loop, scoring each
+// candidate with the chosen objective (higher = worse case for the
+// protocol under test). Prints the score trajectory and the top
+// findings, each as a one-line `proteus_sim` command that replays the
+// scenario verbatim. With --corpus=DIR the top findings are written as
+// .adv entries for tools/corpus_replay.
+//
+// Output is bit-identical for a fixed (objective, budget, seed, mu,
+// lambda, duration, warmup) regardless of --jobs; see src/search/search.h
+// for the contract (and why --run-timeout is off by default).
+//
+// Exit codes: 0 ok, 1 usage error, 130 interrupted, and with
+// --assert-improves, 4 when the best finding fails to beat the
+// objective's pristine baseline.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/fault_spec.h"
+#include "search/corpus.h"
+
+using namespace proteus;
+
+namespace {
+
+const char* kUsage =
+    "usage: proteus_search [flags]\n"
+    "  --objective=<name>     scavenger-utility|fairness|recovery|planted[:k]\n"
+    "  --budget=<n>           total candidate evaluations (default 200)\n"
+    "  --seed=<n>             search seed (default 1)\n"
+    "  --jobs=<n>             parallel evaluation workers (default 1)\n"
+    "  --mu=<n> --lambda=<n>  survivors / children per generation (6/12)\n"
+    "  --duration=<sec>       per-candidate run window (default 12)\n"
+    "  --warmup=<sec>         measurement warmup (default 4)\n"
+    "  --top=<k>              findings to print/commit (default 5)\n"
+    "  --corpus=<dir>         write top findings as .adv corpus entries\n"
+    "  --tolerance=<t>        replay tolerance recorded in entries (0.02)\n"
+    "  --run-timeout=<sec>    per-candidate wall watchdog (default off;\n"
+    "                         breaks run-for-run determinism)\n"
+    "  --bundle-dir=<dir>     repro bundles for failed candidate runs\n"
+    "  --assert-improves      exit 4 unless best score beats the baseline\n";
+
+bool parse_value(const std::string& arg, const std::string& flag,
+                 std::string& out) {
+  if (arg.compare(0, flag.size(), flag) != 0) return false;
+  out = arg.substr(flag.size());
+  return true;
+}
+
+bool parse_num(const std::string& arg, const std::string& flag, double& out) {
+  std::string v;
+  if (!parse_value(arg, flag, v)) return false;
+  char* end = nullptr;
+  out = std::strtod(v.c_str(), &end);
+  if (end == nullptr || *end != '\0' || v.empty()) {
+    std::fprintf(stderr, "bad value in %s\n", arg.c_str());
+    std::exit(1);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SearchConfig cfg;
+  std::string corpus_dir;
+  bool assert_improves = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string sval;
+    double num = 0;
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (parse_value(arg, "--objective=", sval)) {
+      cfg.objective = sval;
+    } else if (parse_num(arg, "--budget=", num)) {
+      cfg.budget = static_cast<int>(num);
+    } else if (parse_num(arg, "--seed=", num)) {
+      cfg.seed = static_cast<uint64_t>(num);
+    } else if (parse_num(arg, "--jobs=", num)) {
+      cfg.jobs = static_cast<int>(num);
+    } else if (parse_num(arg, "--mu=", num)) {
+      cfg.mu = static_cast<int>(num);
+    } else if (parse_num(arg, "--lambda=", num)) {
+      cfg.lambda = static_cast<int>(num);
+    } else if (parse_num(arg, "--duration=", num)) {
+      cfg.duration_sec = num;
+    } else if (parse_num(arg, "--warmup=", num)) {
+      cfg.warmup_sec = num;
+    } else if (parse_num(arg, "--top=", num)) {
+      cfg.top_k = static_cast<int>(num);
+    } else if (parse_value(arg, "--corpus=", sval)) {
+      corpus_dir = sval;
+    } else if (parse_num(arg, "--tolerance=", num)) {
+      cfg.tolerance = num;
+    } else if (parse_num(arg, "--run-timeout=", num)) {
+      cfg.run_timeout_sec = num;
+    } else if (parse_value(arg, "--bundle-dir=", sval)) {
+      cfg.bundle_dir = sval;
+    } else if (arg == "--assert-improves") {
+      assert_improves = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n%s", arg.c_str(), kUsage);
+      return 1;
+    }
+  }
+
+  install_interrupt_handler();
+
+  SearchResult result;
+  try {
+    result = run_search(cfg, stdout);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  std::printf("\nobjective %s: baseline %s, best %s after %d evaluations "
+              "(%d generations)\n",
+              cfg.objective.c_str(),
+              format_double_shortest(result.baseline_score).c_str(),
+              result.top.empty()
+                  ? "n/a"
+                  : format_double_shortest(result.top.front().score).c_str(),
+              result.evaluations, result.generations);
+  for (size_t i = 0; i < result.top.size(); ++i) {
+    const Finding& f = result.top[i];
+    std::printf("#%zu score %s status %s\n    %s\n", i + 1,
+                format_double_shortest(f.score).c_str(),
+                run_status_name(f.status), f.cli.c_str());
+  }
+
+  if (!corpus_dir.empty()) {
+    for (const Finding& f : result.top) {
+      // Only reproducible outcomes belong in the corpus: ok runs and
+      // invariant violations replay deterministically; errors/timeouts
+      // don't pin anything.
+      if (f.status != RunStatus::kOk &&
+          f.status != RunStatus::kInvariantViolation) {
+        continue;
+      }
+      const CorpusEntry entry = corpus_entry_from_finding(
+          cfg.objective, cfg.seed, cfg.tolerance, f);
+      std::string error;
+      const std::string path = write_corpus_entry(corpus_dir, entry, error);
+      if (path.empty()) {
+        std::fprintf(stderr, "corpus write failed: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("corpus entry written: %s\n", path.c_str());
+    }
+  }
+
+  if (result.interrupted) return 130;
+  if (assert_improves && !result.improved()) {
+    std::fprintf(stderr,
+                 "assert-improves: best %s did not beat baseline %s\n",
+                 result.top.empty()
+                     ? "n/a"
+                     : format_double_shortest(result.top.front().score).c_str(),
+                 format_double_shortest(result.baseline_score).c_str());
+    return 4;
+  }
+  return 0;
+}

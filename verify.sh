@@ -4,7 +4,9 @@
 # parallel experiment runner, the run supervisor, and the sender pipeline
 # they execute), then an ASan+UBSan build running the fault-injection /
 # robustness tests plus the supervisor crash/hang self-test (throwing and
-# deliberately hanging workers driven through the watchdog/retry path).
+# deliberately hanging workers driven through the watchdog/retry path),
+# then telemetry schema validation, the perf gate, and finally the
+# adversarial corpus replay + a smoke run of the scenario search driver.
 set -eu
 
 cd "$(dirname "$0")"
@@ -64,5 +66,16 @@ echo "== tier 5: simulator perf gate (bench_simcore vs BENCH_simcore.json) =="
 # resolution; reps are best-of to shrug off container scheduling noise.
 ./build/bench/bench_simcore --duration=100 --reps=3 --out="$TELDIR/bench.json"
 ./build/tools/bench_compare BENCH_simcore.json "$TELDIR/bench.json"
+
+echo "== tier 6: adversarial corpus replay + smoke search =="
+# Every committed worst case must replay to its recorded score (within
+# the entry's tolerance) and invariant outcome; a drift means protocol
+# behavior changed on a scenario specifically discovered to be hard.
+./build/tools/corpus_replay corpus/adversarial
+# Seconds-scale smoke search against the analytic planted-bug objective:
+# the driver must find a candidate strictly worse than the pristine
+# baseline (exit 4 if not), proving the mutate/select/score loop works.
+./build/tools/proteus_search --objective=planted:7 --budget=48 --seed=3 \
+  --jobs=4 --assert-improves >/dev/null
 
 echo "verify: OK"
