@@ -1,8 +1,9 @@
 #include "harness/checkpoint.h"
 
-#include <cinttypes>
 #include <cstdlib>
 #include <cstring>
+
+#include "rt/io_retry.h"
 
 namespace proteus {
 
@@ -116,12 +117,20 @@ bool CheckpointJournal::open(const std::string& path,
   const std::lock_guard<std::mutex> lock(mu_);
   f_ = std::fopen(path.c_str(), keep_existing ? "ab" : "wb");
   if (!f_) return false;
-  if (needs_newline) std::fputc('\n', f_);
-  // Header only when starting a fresh journal (empty file).
+  healthy_ = true;
+  std::string prefix;
+  if (needs_newline) prefix = "\n";
+  // Header only when starting a fresh journal (empty file). Checked: a
+  // journal whose header never reached the disk is unresumable, so a
+  // full disk must fail open() rather than produce a silently-empty file.
   if (std::ftell(f_) == 0) {
-    std::fprintf(f_, "{\"sweep\":\"%s\",\"points\":%" PRId64 "}\n",
-                 json_escape(header.sweep).c_str(), header.points);
-    std::fflush(f_);
+    prefix += "{\"sweep\":\"" + json_escape(header.sweep) +
+              "\",\"points\":" + std::to_string(header.points) + "}\n";
+  }
+  if (!prefix.empty() && !checked_fwrite(f_, prefix.data(), prefix.size())) {
+    std::fclose(f_);
+    f_ = nullptr;
+    return false;
   }
   return true;
 }
@@ -129,26 +138,29 @@ bool CheckpointJournal::open(const std::string& path,
 void CheckpointJournal::append(const CheckpointEntry& entry) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (!f_) return;
-  std::fprintf(f_,
-               "{\"point\":%" PRId64
-               ",\"status\":\"%s\",\"attempts\":%d,\"payload\":\"%s\","
-               "\"error\":\"%s\"}\n",
-               entry.point, json_escape(entry.status).c_str(), entry.attempts,
-               json_escape(entry.payload).c_str(),
-               json_escape(entry.error).c_str());
-  std::fflush(f_);
+  std::string line = "{\"point\":" + std::to_string(entry.point) +
+                     ",\"status\":\"" + json_escape(entry.status) +
+                     "\",\"attempts\":" + std::to_string(entry.attempts) +
+                     ",\"payload\":\"" + json_escape(entry.payload) +
+                     "\",\"error\":\"" + json_escape(entry.error) + "\"}\n";
+  if (!checked_fwrite(f_, line.data(), line.size())) healthy_ = false;
 }
 
 void CheckpointJournal::flush() {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (f_) std::fflush(f_);
+  if (f_ && std::fflush(f_) != 0) healthy_ = false;
+}
+
+bool CheckpointJournal::healthy() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return healthy_;
 }
 
 void CheckpointJournal::close() {
   const std::lock_guard<std::mutex> lock(mu_);
   if (f_) {
-    std::fflush(f_);
-    std::fclose(f_);
+    if (std::fflush(f_) != 0) healthy_ = false;
+    if (std::fclose(f_) != 0) healthy_ = false;
     f_ = nullptr;
   }
 }

@@ -58,9 +58,15 @@ class CheckpointJournal {
   void flush();
   void close();
 
+  // False once any append failed to reach the disk (short write/ENOSPC —
+  // every append is flush-checked, not fire-and-forget). A sweep finishes
+  // either way; the driver warns that the journal is not resumable.
+  bool healthy() const;
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::FILE* f_ = nullptr;
+  bool healthy_ = true;
 };
 
 struct CheckpointLoadResult {

@@ -465,6 +465,12 @@ ErasedSweep run_supervised_erased(std::vector<ErasedTask> tasks,
 
   sweep.interrupted = interrupt_requested();
   journal.flush();
+  if (journal.is_open() && !journal.healthy()) {
+    std::fprintf(stderr,
+                 "supervisor: journal %s lost writes (disk full?); "
+                 "it is not safe to --resume from\n",
+                 cfg.checkpoint_path.c_str());
+  }
   write_results_csv(cfg, sweep.statuses, sweep.payloads);
   return sweep;
 }

@@ -5,6 +5,19 @@
 
 namespace proteus {
 
+namespace {
+
+// ofstream buffering hides a full disk until flush/close, and the
+// destructor discards the error; flush before the status check so
+// ENOSPC comes back as `false` instead of a silently truncated file
+// (pinned by tests/rt_io_test.cc against /dev/full).
+bool flush_ok(std::ofstream& os) {
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
 bool write_throughput_csv(const std::string& path,
                           const std::vector<const Flow*>& flows,
                           TimeNs duration) {
@@ -32,7 +45,7 @@ bool write_throughput_csv(const std::string& path,
     for (const auto& s : series) os << ',' << s[t];
     os << '\n';
   }
-  return static_cast<bool>(os);
+  return flush_ok(os);
 }
 
 bool write_rtt_csv(const std::string& path, const Flow& flow) {
@@ -43,7 +56,7 @@ bool write_rtt_csv(const std::string& path, const Flow& flow) {
   for (size_t i = 0; i < samples.size(); ++i) {
     os << i << ',' << samples[i] << '\n';
   }
-  return static_cast<bool>(os);
+  return flush_ok(os);
 }
 
 namespace {
@@ -70,7 +83,7 @@ bool write_link_stats_csv(const std::string& path, const LinkStats& stats) {
   if (!os) return false;
   os << kLinkStatsHeader << '\n';
   write_link_stats_row(os, stats);
-  return static_cast<bool>(os);
+  return flush_ok(os);
 }
 
 bool write_link_stats_csv(
@@ -83,7 +96,7 @@ bool write_link_stats_csv(
     os << name << ',';
     write_link_stats_row(os, stats);
   }
-  return static_cast<bool>(os);
+  return flush_ok(os);
 }
 
 }  // namespace proteus

@@ -1,0 +1,198 @@
+#include "rt/chaos.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace proteus {
+
+namespace {
+
+// splitmix64 finalizer — the same mixing the supervisor uses for retry
+// seeds. Hashing (seed, ordinal, lane) gives each verdict an independent
+// draw without any shared-stream ordering dependence.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_double(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool parse_time_value(const std::string& s, TimeNs& out) {
+  if (s.empty()) return false;
+  std::string num = s;
+  double scale = 1e9;
+  if (s.size() > 2 && s.compare(s.size() - 2, 2, "ms") == 0) {
+    num = s.substr(0, s.size() - 2);
+    scale = 1e6;
+  } else if (s.size() > 1 && s.back() == 's') {
+    num = s.substr(0, s.size() - 1);
+  }
+  char* end = nullptr;
+  const double v = std::strtod(num.c_str(), &end);
+  if (end != num.c_str() + num.size() || !std::isfinite(v)) return false;
+  out = static_cast<TimeNs>(std::llround(v * scale));
+  return true;
+}
+
+}  // namespace
+
+ChaosParseResult parse_chaos(const std::string& spec) {
+  ChaosParseResult r;
+  r.ok = true;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      r.ok = false;
+      r.error = "chaos item needs key=value: " + item;
+      return r;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "rate") {
+      r.config.rate_mbps = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || r.config.rate_mbps < 0 ||
+          !std::isfinite(r.config.rate_mbps)) {
+        r.ok = false;
+        r.error = "bad chaos rate: " + value;
+        return r;
+      }
+    } else if (key == "delay") {
+      if (!parse_time_value(value, r.config.one_way_delay) ||
+          r.config.one_way_delay < 0) {
+        r.ok = false;
+        r.error = "bad chaos delay: " + value;
+        return r;
+      }
+    } else if (key == "queue") {
+      r.config.queue_bytes = std::strtoll(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size() || r.config.queue_bytes <= 0) {
+        r.ok = false;
+        r.error = "bad chaos queue: " + value;
+        return r;
+      }
+    } else if (key == "drop") {
+      r.config.drop = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || r.config.drop < 0 ||
+          r.config.drop >= 1.0) {
+        r.ok = false;
+        r.error = "bad chaos drop probability (need [0,1)): " + value;
+        return r;
+      }
+    } else if (key == "seed") {
+      r.config.seed = std::strtoull(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size()) {
+        r.ok = false;
+        r.error = "bad chaos seed: " + value;
+        return r;
+      }
+    } else {
+      r.ok = false;
+      r.error = "unknown chaos key: " + key;
+      return r;
+    }
+  }
+  return r;
+}
+
+std::string chaos_usage() {
+  return "--chaos=rate=<Mbps>,delay=<time>,queue=<bytes>,drop=<p>,seed=<n> "
+         "(all optional; windowed events via --faults=)";
+}
+
+ChaosShim::ChaosShim(ChaosConfig cfg) : cfg_(std::move(cfg)) {}
+
+const FaultSpec* ChaosShim::find_active(FaultType type, TimeNs now) const {
+  for (const FaultSpec& f : cfg_.faults) {
+    if (f.type == type && f.active(now)) return &f;
+  }
+  return nullptr;
+}
+
+double ChaosShim::capacity_multiplier(TimeNs now) const {
+  double m = 1.0;
+  for (const FaultSpec& f : cfg_.faults) {
+    if (f.type == FaultType::kCapacity && f.active(now)) m *= f.value;
+  }
+  return m;
+}
+
+ChaosShim::Verdict ChaosShim::admit(TimeNs now, int64_t bytes, bool is_ack) {
+  Verdict v;
+  // One hash base per admitted datagram; independent lanes per decision.
+  const uint64_t base = mix64(cfg_.seed ^ mix64(ordinal_));
+  ++ordinal_;
+  auto draw = [&](uint64_t lane) { return unit_double(mix64(base + lane)); };
+
+  if (find_active(FaultType::kBlackout, now) != nullptr) {
+    v.drop = true;
+    ++stats_.dropped_blackout;
+    return v;
+  }
+  if (cfg_.drop > 0.0 && draw(1) < cfg_.drop) {
+    v.drop = true;
+    ++stats_.dropped_random;
+    return v;
+  }
+  if (is_ack) {
+    if (const FaultSpec* f = find_active(FaultType::kAckLoss, now)) {
+      if (draw(2) < f->value) {
+        v.drop = true;
+        ++stats_.dropped_ackloss;
+        return v;
+      }
+    }
+  }
+
+  // Emulated bottleneck: fluid queue at rate * capacity_multiplier. The
+  // backlog is the departure horizon; a datagram whose serialization
+  // would push the backlog past queue_bytes is tail-dropped, exactly
+  // like Link's byte-bounded buffer.
+  TimeNs depart = now;
+  const double mult = capacity_multiplier(now);
+  if (cfg_.rate_mbps > 0.0 && mult > 0.0) {
+    const Bandwidth bw = Bandwidth::from_mbps(cfg_.rate_mbps * mult);
+    const TimeNs backlog = busy_until_ > now ? busy_until_ - now : 0;
+    const double backlog_bytes = bw.bps / 8.0 * to_sec(backlog);
+    if (backlog_bytes + static_cast<double>(bytes) >
+        static_cast<double>(cfg_.queue_bytes)) {
+      v.drop = true;
+      ++stats_.dropped_queue;
+      return v;
+    }
+    depart = (busy_until_ > now ? busy_until_ : now) + bw.tx_time(bytes);
+    busy_until_ = depart;
+  }
+  v.depart_delay = depart - now + cfg_.one_way_delay;
+
+  if (!is_ack) {
+    if (const FaultSpec* f = find_active(FaultType::kReorder, now)) {
+      if (draw(3) < f->value) {
+        v.depart_delay +=
+            static_cast<TimeNs>(draw(4) * static_cast<double>(f->delay));
+        ++stats_.reordered;
+      }
+    }
+  }
+  if (const FaultSpec* f = find_active(FaultType::kDuplicate, now)) {
+    if (draw(5) < f->value) {
+      v.duplicate = true;
+      v.duplicate_gap = from_us(200);
+      ++stats_.duplicated;
+    }
+  }
+  ++stats_.admitted;
+  return v;
+}
+
+}  // namespace proteus

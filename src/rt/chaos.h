@@ -1,0 +1,103 @@
+// Deterministic chaos shim: seeded impairment of live loopback traffic,
+// inserted between the rt driver and its UDP socket.
+//
+// A live run over loopback sees an essentially perfect link — useless for
+// exercising survival mode or for CI. The shim turns each endpoint's
+// egress into an emulated hop: a fluid bottleneck (serialization at
+// `rate_mbps` into a `queue_bytes` tail-drop buffer), a fixed one-way
+// `delay`, an unconditional seeded `drop` probability, and scripted
+// fault windows reusing the simulator's FaultSpec/`--faults=` grammar
+// (blackout, reorder, duplicate, ackloss; capacity scales the emulated
+// rate). No root or netem required.
+//
+// Determinism: the n-th verdict drawn from a shim is a pure function of
+// (seed, n) — a splitmix64 hash per verdict, not a shared sequential RNG
+// stream — so a given endpoint's egress decision sequence replays
+// identically for the same packet sequence regardless of wall-clock
+// timing (pinned under TSan by tests/rt_chaos_test.cc). Time-windowed
+// faults gate on the caller-supplied `now` (ns since the connection
+// epoch), which is what makes `blackout@1:0.5` mean the same thing in a
+// live run as in a simulated one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault_timeline.h"
+#include "sim/units.h"
+
+namespace proteus {
+
+struct ChaosConfig {
+  double rate_mbps = 0.0;      // emulated bottleneck; 0 = no rate limit
+  TimeNs one_way_delay = 0;    // added to every egress datagram
+  int64_t queue_bytes = 262144;  // bottleneck buffer (used when rate > 0)
+  double drop = 0.0;           // unconditional drop probability
+  uint64_t seed = 1;
+  std::vector<FaultSpec> faults;  // windowed events (--faults= grammar)
+
+  bool active() const {
+    return rate_mbps > 0.0 || one_way_delay > 0 || drop > 0.0 ||
+           !faults.empty();
+  }
+};
+
+struct ChaosParseResult {
+  bool ok = false;
+  std::string error;
+  ChaosConfig config;
+};
+
+// Parses a --chaos= value: comma-separated key=value pairs
+//   rate=<Mbps>  delay=<time>  queue=<bytes>  drop=<p>  seed=<n>
+// (times take the fault-grammar s/ms suffixes). Empty input is ok and
+// yields an inactive config. Fault windows arrive separately via
+// --faults= and are merged into ChaosConfig::faults by the caller.
+ChaosParseResult parse_chaos(const std::string& spec);
+std::string chaos_usage();
+
+struct ChaosStats {
+  int64_t admitted = 0;
+  int64_t dropped_random = 0;    // the unconditional `drop` probability
+  int64_t dropped_blackout = 0;  // blackout window
+  int64_t dropped_ackloss = 0;   // ackloss window (ACK frames only)
+  int64_t dropped_queue = 0;     // emulated bottleneck buffer overflow
+  int64_t duplicated = 0;
+  int64_t reordered = 0;
+};
+
+class ChaosShim {
+ public:
+  explicit ChaosShim(ChaosConfig cfg);
+
+  // Verdict for one egress datagram. `depart_delay` is when the datagram
+  // should actually hit the socket (queueing + serialization + one-way
+  // delay + any reorder hold-back), relative to `now`. A duplicate, when
+  // requested, should be sent `duplicate_gap` after the original.
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    TimeNs depart_delay = 0;
+    TimeNs duplicate_gap = 0;
+  };
+
+  // `now` is ns since the connection epoch; `is_ack` marks reverse-path
+  // frames (ACK/heartbeat-reply) so ackloss windows hit only them.
+  Verdict admit(TimeNs now, int64_t bytes, bool is_ack);
+
+  const ChaosStats& stats() const { return stats_; }
+  const ChaosConfig& config() const { return cfg_; }
+
+ private:
+  // Product of active capacity-fault multipliers at `now` (1.0 if none).
+  double capacity_multiplier(TimeNs now) const;
+  const FaultSpec* find_active(FaultType type, TimeNs now) const;
+
+  ChaosConfig cfg_;
+  uint64_t ordinal_ = 0;  // verdicts drawn so far; the determinism anchor
+  TimeNs busy_until_ = 0;  // emulated bottleneck departure horizon
+  ChaosStats stats_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,94 @@
+// EINTR/EAGAIN-safe POSIX I/O helpers shared by the real-time driver and
+// the harness exporters.
+//
+// Every raw syscall in the rt path goes through one of these wrappers so
+// the retry policy lives in exactly one place:
+//  * EINTR is always retried — a SIGINT mid-recv must reach the loop's
+//    cooperative interrupt check, not surface as a bogus I/O error.
+//  * EAGAIN/EWOULDBLOCK is surfaced as kWouldBlock, never an error: the
+//    event loop owns blocking (poll with a timeout), the sockets do not.
+//  * Short writes are looped to completion for stream fds (write_all) and
+//    surfaced distinctly for datagrams, where a short sendto would tear a
+//    frame (the UDP wrapper treats it as a send-buffer overflow).
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace proteus {
+
+enum class IoStatus {
+  kOk,
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK on a non-blocking fd
+  kError,       // any other errno (left in errno for the caller)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  ssize_t bytes = 0;  // transferred bytes when status == kOk
+};
+
+// recv() retrying EINTR. kOk with bytes==0 is a zero-length datagram.
+inline IoResult retry_recv(int fd, void* buf, size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n >= 0) return {IoStatus::kOk, n};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+// send() retrying EINTR. A short datagram send (kernel accepted fewer
+// bytes than requested) is reported as kOk with the true count; the UDP
+// wrapper checks bytes == len and accounts a drop otherwise.
+inline IoResult retry_send(int fd, const void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len, 0);
+    if (n >= 0) return {IoStatus::kOk, n};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+// write() looped until every byte is out (stream fds: pipes, files).
+// Returns kOk only when all `len` bytes were written.
+inline IoResult write_all(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, p + done, len - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return {IoStatus::kWouldBlock, static_cast<ssize_t>(done)};
+    }
+    return {IoStatus::kError, static_cast<ssize_t>(done)};
+  }
+  return {IoStatus::kOk, static_cast<ssize_t>(done)};
+}
+
+// fwrite + fflush with the short-write check stdio buffering hides: a
+// buffered fprintf "succeeds" even when the disk is full, and the loss
+// only surfaces (if anyone looks) at fclose. The harness writers
+// (checkpoint journal, CSV/JSONL exporters) call this to make ENOSPC a
+// detectable per-write failure instead of silent truncation.
+inline bool checked_fwrite(std::FILE* f, const void* buf, size_t len) {
+  if (std::fwrite(buf, 1, len, f) != len) return false;
+  return std::fflush(f) == 0;
+}
+
+}  // namespace proteus

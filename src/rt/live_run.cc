@@ -1,0 +1,281 @@
+#include "rt/live_run.h"
+
+#include <sys/stat.h>
+
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/pcc_sender.h"
+#include "harness/factory.h"
+#include "harness/supervisor.h"
+#include "rt/rt_loop.h"
+#include "rt/udp_socket.h"
+#include "telemetry/telemetry.h"
+
+namespace proteus {
+
+namespace {
+
+constexpr char kLoopbackHost[] = "127.0.0.1";
+
+std::unique_ptr<CongestionController> try_make_protocol(
+    const std::string& name, uint64_t seed, std::string& error) {
+  try {
+    return make_protocol(name, seed);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return nullptr;
+  }
+}
+
+RtSenderConfig sender_config(const LiveRunConfig& cfg) {
+  RtSenderConfig sc = cfg.sender;
+  sc.seed = cfg.seed;
+  sc.transfer_bytes = cfg.transfer_bytes;
+  sc.duration = cfg.duration;
+  return sc;
+}
+
+std::function<bool()> effective_stopper(const LiveRunConfig& cfg) {
+  if (cfg.stopper) return cfg.stopper;
+  return [] { return interrupt_requested(); };
+}
+
+void fill_sender_result(const RtSender& sender, LiveRunResult& out) {
+  out.sender_state = sender.state();
+  out.sender = sender.stats();
+  out.achieved_mbps = sender.achieved_mbps();
+  out.smoothed_rtt = sender.smoothed_rtt();
+  out.min_rtt = sender.min_rtt() == kTimeInfinite ? 0 : sender.min_rtt();
+  out.starvation_episodes = sender.stats().starvation_episodes;
+  out.probe_packets = sender.stats().probe_packets;
+  if (const auto* pcc = dynamic_cast<const PccSender*>(&sender.cc())) {
+    out.cc_owns_survival = pcc->config().survival_mode;
+    out.survival_entries = pcc->survival_entries();
+  }
+}
+
+// Export after the run (including interrupted runs — the caller flushes
+// whatever the recorder holds). JSONL only when the controller produced
+// MI records; tools/telemetry_validate treats an empty JSONL as an error.
+void export_telemetry(const LiveRunConfig& cfg, const RtSender& sender,
+                      const TelemetryRecorder* recorder, LiveRunResult& out) {
+  if (cfg.telemetry_dir.empty()) return;
+  ::mkdir(cfg.telemetry_dir.c_str(), 0777);  // EEXIST is fine
+  const std::string label =
+      sanitize_path_component(cfg.run_label + "-" + cfg.cc);
+  const std::string base = cfg.telemetry_dir + "/" + label;
+
+  if (recorder != nullptr && recorder->size() > 0) {
+    const std::string jsonl = base + ".jsonl";
+    if (write_mi_records_jsonl(jsonl, label, *recorder)) {
+      out.telemetry_jsonl = jsonl;
+    }
+  }
+
+  MetricsRegistry reg;
+  sender.cc().snapshot_metrics(&reg);
+  reg.counter("rt.packets_sent", out.sender.packets_sent);
+  reg.counter("rt.packets_acked", out.sender.packets_acked);
+  reg.counter("rt.packets_lost", out.sender.packets_lost);
+  reg.counter("rt.bytes_delivered", out.sender.bytes_delivered);
+  reg.counter("rt.handshake_attempts", out.sender.handshake_attempts);
+  reg.counter("rt.heartbeats_sent", out.sender.heartbeats_sent);
+  reg.counter("rt.starvation_episodes", out.sender.starvation_episodes);
+  reg.counter("rt.probe_packets", out.sender.probe_packets);
+  reg.counter("rt.parse_rejects", out.sender.parse_rejects);
+  reg.counter("rt.socket.send_buffer_overflows",
+              out.sender_socket.send_buffer_overflows);
+  reg.counter("rt.socket.send_errors", out.sender_socket.send_errors);
+  reg.counter("rt.chaos.admitted", out.data_chaos.admitted);
+  reg.counter("rt.chaos.dropped_random", out.data_chaos.dropped_random);
+  reg.counter("rt.chaos.dropped_blackout", out.data_chaos.dropped_blackout);
+  reg.counter("rt.chaos.dropped_queue", out.data_chaos.dropped_queue);
+  reg.gauge("rt.achieved_mbps", out.achieved_mbps);
+  reg.gauge("rt.smoothed_rtt_ms", to_ms(out.smoothed_rtt));
+  const std::string metrics = base + ".metrics.csv";
+  if (write_metrics_csv(metrics, reg)) out.telemetry_metrics = metrics;
+}
+
+}  // namespace
+
+ChaosConfig ack_path_chaos(const ChaosConfig& cfg) {
+  ChaosConfig ack = cfg;
+  ack.rate_mbps = 0.0;  // reverse path is unbottlenecked, as in the sim
+  ack.seed = cfg.seed ^ 0xac4ac4ac4ULL;  // independent verdict stream
+  return ack;
+}
+
+LiveRunResult run_live_loopback(const LiveRunConfig& cfg) {
+  LiveRunResult out;
+
+  UdpSocket send_sock;
+  UdpSocket recv_sock;
+  if (!send_sock.open(kLoopbackHost, 0)) {
+    out.error = "sender socket: " + send_sock.error();
+    return out;
+  }
+  if (!recv_sock.open(kLoopbackHost, 0)) {
+    out.error = "receiver socket: " + recv_sock.error();
+    return out;
+  }
+  if (!send_sock.connect_peer(kLoopbackHost, recv_sock.local_port()) ||
+      !recv_sock.connect_peer(kLoopbackHost, send_sock.local_port())) {
+    out.error = "connect: " + send_sock.error() + recv_sock.error();
+    return out;
+  }
+
+  std::unique_ptr<CongestionController> cc =
+      try_make_protocol(cfg.cc, cfg.seed, out.error);
+  if (cc == nullptr) return out;
+  std::unique_ptr<TelemetryRecorder> recorder;
+  if (!cfg.telemetry_dir.empty()) {
+    recorder = std::make_unique<TelemetryRecorder>();
+    cc->set_telemetry(recorder.get());
+  }
+
+  // Shared epoch: both loops measure ns since the same instant, so the
+  // receiver-timestamp echo in ACKs is a true one-way delay.
+  const RtClock::Epoch epoch = std::chrono::steady_clock::now();
+  RtLoop send_loop{RtClock{epoch}};
+  RtLoop recv_loop{RtClock{epoch}};
+  const std::function<bool()> stopper = effective_stopper(cfg);
+  send_loop.set_stopper(stopper);
+  recv_loop.set_stopper(stopper);
+
+  ChaosShim data_shim{cfg.chaos};
+  ChaosShim ack_shim{ack_path_chaos(cfg.chaos)};
+  ChaosShim* data = cfg.chaos.active() ? &data_shim : nullptr;
+  ChaosShim* ack = cfg.chaos.active() ? &ack_shim : nullptr;
+
+  RtReceiverConfig rcfg;
+  rcfg.idle_timeout = cfg.recv_idle_timeout;
+  RtReceiver receiver{&recv_loop, &recv_sock, ack, rcfg};
+  RtSender sender{&send_loop, &send_sock, data, std::move(cc),
+                  sender_config(cfg)};
+
+  std::thread recv_thread{[&] {
+    receiver.start();
+    recv_loop.run();
+  }};
+  sender.start();
+  // Belt and braces: even if the loop wedges on a logic bug, the fd idle
+  // limit ends the run not long after the transfer should have.
+  send_loop.run(/*idle_limit=*/cfg.duration + from_sec(10));
+  recv_thread.join();
+
+  fill_sender_result(sender, out);
+  out.receiver = receiver.stats();
+  out.data_chaos = data_shim.stats();
+  out.ack_chaos = ack_shim.stats();
+  out.sender_socket = send_sock.stats();
+  out.receiver_socket = recv_sock.stats();
+  out.interrupted = stopper();
+  out.ok = out.sender_state == RtSenderState::kDone && !out.interrupted;
+  if (out.sender_state == RtSenderState::kFailed) out.error = sender.error();
+
+  if (recorder) sender.cc().set_telemetry(nullptr);
+  export_telemetry(cfg, sender, recorder.get(), out);
+  return out;
+}
+
+LiveRunResult run_live_sender(const LiveRunConfig& cfg,
+                              const std::string& peer_host,
+                              uint16_t peer_port) {
+  LiveRunResult out;
+  UdpSocket sock;
+  if (!sock.open("", 0) || !sock.connect_peer(peer_host, peer_port)) {
+    out.error = "sender socket: " + sock.error();
+    return out;
+  }
+  std::unique_ptr<CongestionController> cc =
+      try_make_protocol(cfg.cc, cfg.seed, out.error);
+  if (cc == nullptr) return out;
+  std::unique_ptr<TelemetryRecorder> recorder;
+  if (!cfg.telemetry_dir.empty()) {
+    recorder = std::make_unique<TelemetryRecorder>();
+    cc->set_telemetry(recorder.get());
+  }
+
+  RtLoop loop;
+  const std::function<bool()> stopper = effective_stopper(cfg);
+  loop.set_stopper(stopper);
+  ChaosShim shim{cfg.chaos};
+  ChaosShim* data = cfg.chaos.active() ? &shim : nullptr;
+  RtSender sender{&loop, &sock, data, std::move(cc), sender_config(cfg)};
+  sender.start();
+  loop.run(/*idle_limit=*/cfg.duration + from_sec(10));
+
+  fill_sender_result(sender, out);
+  out.data_chaos = shim.stats();
+  out.sender_socket = sock.stats();
+  out.interrupted = stopper();
+  out.ok = out.sender_state == RtSenderState::kDone && !out.interrupted;
+  if (out.sender_state == RtSenderState::kFailed) out.error = sender.error();
+
+  if (recorder) sender.cc().set_telemetry(nullptr);
+  export_telemetry(cfg, sender, recorder.get(), out);
+  return out;
+}
+
+LiveRunResult run_live_receiver(const LiveRunConfig& cfg,
+                                const std::string& bind_host,
+                                uint16_t bind_port) {
+  LiveRunResult out;
+  UdpSocket sock;
+  if (!sock.open(bind_host, bind_port)) {
+    out.error = "receiver socket: " + sock.error();
+    return out;
+  }
+  RtLoop loop;
+  const std::function<bool()> stopper = effective_stopper(cfg);
+  loop.set_stopper(stopper);
+  ChaosShim shim{ack_path_chaos(cfg.chaos)};
+  ChaosShim* ack = cfg.chaos.active() ? &shim : nullptr;
+  RtReceiverConfig rcfg;
+  rcfg.idle_timeout = cfg.recv_idle_timeout;
+  RtReceiver receiver{&loop, &sock, ack, rcfg};
+  receiver.start();
+  loop.run();
+
+  out.receiver = receiver.stats();
+  out.ack_chaos = shim.stats();
+  out.receiver_socket = sock.stats();
+  out.interrupted = stopper();
+  out.ok = !out.interrupted;
+  return out;
+}
+
+std::string summarize_live_run(const LiveRunResult& r) {
+  std::ostringstream os;
+  os << (r.ok ? "ok" : (r.interrupted ? "interrupted" : "failed"));
+  if (!r.error.empty()) os << " (" << r.error << ")";
+  os << ": sent=" << r.sender.packets_sent
+     << " acked=" << r.sender.packets_acked
+     << " lost=" << r.sender.packets_lost
+     << " delivered=" << r.sender.bytes_delivered << "B"
+     << " rate=" << r.achieved_mbps << "Mbps"
+     << " srtt=" << to_ms(r.smoothed_rtt) << "ms"
+     << " handshakes=" << r.sender.handshake_attempts;
+  if (r.cc_owns_survival) {
+    os << " survival_entries=" << r.survival_entries;
+  } else if (r.starvation_episodes > 0) {
+    os << " starvation_episodes=" << r.starvation_episodes
+       << " probes=" << r.probe_packets;
+  }
+  if (r.data_chaos.admitted > 0 || r.data_chaos.dropped_random > 0) {
+    os << " chaos_drops=" << r.data_chaos.dropped_random << "/"
+       << (r.data_chaos.admitted + r.data_chaos.dropped_random +
+           r.data_chaos.dropped_blackout + r.data_chaos.dropped_queue +
+           r.data_chaos.dropped_ackloss);
+  }
+  if (r.receiver.data_received > 0) {
+    os << " recv_data=" << r.receiver.data_received
+       << " dups=" << r.receiver.duplicates;
+  }
+  return os.str();
+}
+
+}  // namespace proteus

@@ -1,0 +1,101 @@
+// Live-run harnesses for the UDP backend.
+//
+// run_live_loopback() is the CI workhorse: sender and receiver as two
+// RtLoop threads in one process, sockets bound to 127.0.0.1 ephemeral
+// ports, sharing one RtClock epoch (so one-way-delay echoes are directly
+// comparable). The chaos shim sits on each endpoint's egress: the full
+// config (rate emulation included) impairs the data path; the ACK path
+// gets the same drops/delay/fault windows but no bottleneck emulation —
+// matching the simulator's dumbbell, whose reverse path is unbottlenecked.
+//
+// run_live_sender()/run_live_receiver() are the two-process equivalents
+// behind `tools/proteus_live --role=send|recv`; each drives one endpoint
+// on the caller's thread until the transfer (or peer) finishes, the idle
+// timeout fires, or the process-wide interrupt flag is raised.
+//
+// Telemetry: when `telemetry_dir` is set, a TelemetryRecorder is attached
+// to the controller for the duration of the run and exported afterwards
+// (JSONL only when the controller produced MI records — reference
+// protocols like CUBIC/BBR have none — plus a metrics CSV that always
+// carries the driver/socket/chaos counters). Exports flush on interrupt
+// too: SIGINT mid-transfer still lands the telemetry on disk.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rt/chaos.h"
+#include "rt/rt_receiver.h"
+#include "rt/rt_sender.h"
+#include "sim/units.h"
+
+namespace proteus {
+
+struct LiveRunConfig {
+  std::string cc = "proteus-s";
+  uint64_t seed = 1;
+  // 0 = run for `duration` instead of a byte target.
+  int64_t transfer_bytes = 4 * 1024 * 1024;
+  TimeNs duration = from_sec(10);
+  ChaosConfig chaos;           // egress impairment (inactive by default)
+  std::string telemetry_dir;   // empty = no telemetry export
+  std::string run_label = "live";
+  RtSenderConfig sender;       // seed/transfer/duration fields overridden
+  TimeNs recv_idle_timeout = from_sec(5);
+  // Cooperative stop predicate polled by both loops; defaults to the
+  // process-wide interrupt flag (harness/supervisor.h).
+  std::function<bool()> stopper;
+};
+
+struct LiveRunResult {
+  bool ok = false;
+  std::string error;
+  bool interrupted = false;     // a stopper ended the run early
+
+  RtSenderState sender_state = RtSenderState::kIdle;
+  RtSenderStats sender;
+  RtReceiverStats receiver;     // loopback + receiver-role runs only
+  ChaosStats data_chaos;        // sender-egress shim
+  ChaosStats ack_chaos;         // receiver-egress shim
+  UdpSocketStats sender_socket;
+  UdpSocketStats receiver_socket;
+
+  double achieved_mbps = 0.0;
+  TimeNs smoothed_rtt = 0;
+  TimeNs min_rtt = 0;
+
+  // Survival introspection: controller-owned entries for the PCC family,
+  // driver watchdog episodes/probes for the rest.
+  bool cc_owns_survival = false;
+  uint64_t survival_entries = 0;
+  int64_t starvation_episodes = 0;
+  int64_t probe_packets = 0;
+
+  std::string telemetry_jsonl;   // written paths ("" = not written)
+  std::string telemetry_metrics;
+};
+
+// The ACK-path variant of a chaos config: same drops/delay/fault windows,
+// no bottleneck emulation (rate_mbps = 0).
+ChaosConfig ack_path_chaos(const ChaosConfig& cfg);
+
+// Two threads, one process, shared clock epoch.
+LiveRunResult run_live_loopback(const LiveRunConfig& cfg);
+
+// Sender endpoint for two-process mode: binds an ephemeral local port,
+// connects to peer_host:peer_port, runs on the calling thread.
+LiveRunResult run_live_sender(const LiveRunConfig& cfg,
+                              const std::string& peer_host,
+                              uint16_t peer_port);
+
+// Receiver endpoint for two-process mode: binds bind_host:bind_port and
+// serves one transfer (finishes on BYE or idle timeout).
+LiveRunResult run_live_receiver(const LiveRunConfig& cfg,
+                                const std::string& bind_host,
+                                uint16_t bind_port);
+
+// One-paragraph human summary of a result (for the CLI).
+std::string summarize_live_run(const LiveRunResult& r);
+
+}  // namespace proteus

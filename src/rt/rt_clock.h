@@ -1,0 +1,37 @@
+// Monotonic wall-clock for the real-time driver.
+//
+// Every rt deadline (handshake backoff, pacing, heartbeats, the no-ACK
+// watchdog) is a TimeNs measured on CLOCK_MONOTONIC via steady_clock —
+// never system_clock, which an NTP step can yank backwards mid-transfer
+// (verify.sh pins this with a tree-wide grep). Timestamps are nanoseconds
+// since an explicit epoch so two endpoints constructed with a shared
+// epoch (the in-process loopback harness) produce directly comparable
+// one-way-delay measurements.
+#pragma once
+
+#include <chrono>
+
+#include "sim/units.h"
+
+namespace proteus {
+
+class RtClock {
+ public:
+  using Epoch = std::chrono::steady_clock::time_point;
+
+  RtClock() : epoch_(std::chrono::steady_clock::now()) {}
+  explicit RtClock(Epoch epoch) : epoch_(epoch) {}
+
+  Epoch epoch() const { return epoch_; }
+
+  TimeNs now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  Epoch epoch_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,111 @@
+#include "rt/rt_loop.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <ctime>
+#include <utility>
+
+#include <poll.h>
+
+namespace proteus {
+
+namespace {
+// Poll at least this often even with a far-future next timer, so the
+// cooperative stopper (SIGINT flag) is honored promptly.
+constexpr TimeNs kMaxPollSlice = from_ms(50);
+}  // namespace
+
+RtLoop::RtLoop(RtClock clock) : clock_(clock) {}
+
+void RtLoop::schedule_at(TimeNs when, EventQueue::Callback&& cb) {
+  // Clamp: the wheel engine requires pushes at/after the latest pop.
+  queue_.push(std::max(when, last_fired_), std::move(cb));
+}
+
+void RtLoop::schedule_in(TimeNs delay, EventQueue::Callback&& cb) {
+  schedule_at(now() + std::max<TimeNs>(delay, 0), std::move(cb));
+}
+
+void RtLoop::watch_fd(int fd, std::function<void()> on_readable) {
+  for (Watch& w : watches_) {
+    if (w.fd == fd) {
+      w.on_readable = std::move(on_readable);
+      return;
+    }
+  }
+  watches_.push_back({fd, std::move(on_readable)});
+}
+
+void RtLoop::set_stopper(std::function<bool()> stopper) {
+  stopper_ = std::move(stopper);
+}
+
+TimeNs RtLoop::run_due_timers() {
+  for (;;) {
+    if (queue_.empty()) return kTimeInfinite;
+    const TimeNs next = queue_.next_time();
+    if (next > now()) return next;
+    auto [when, cb] = queue_.pop();
+    last_fired_ = std::max(last_fired_, when);
+    cb();
+    if (stop_) return kTimeInfinite;
+  }
+}
+
+void RtLoop::run(TimeNs idle_limit) {
+  stop_ = false;
+  TimeNs last_activity = now();
+  std::vector<pollfd> pfds;
+  while (!stop_) {
+    if (stopper_ && stopper_()) break;
+
+    const TimeNs next_timer = run_due_timers();
+    if (stop_) break;
+    // Idle = no fd activity (timers don't count: periodic heartbeats are
+    // always pending, and a crashed peer must still trip the cutoff).
+    if (idle_limit > 0 && now() - last_activity > idle_limit) break;
+
+    // Sleep until the next deadline, the idle cutoff, or the slice cap,
+    // whichever is earliest.
+    TimeNs wait = kMaxPollSlice;
+    if (next_timer != kTimeInfinite) {
+      wait = std::min(wait, std::max<TimeNs>(next_timer - now(), 0));
+    }
+    if (idle_limit > 0) {
+      const TimeNs until_idle = last_activity + idle_limit - now();
+      wait = std::min(wait, std::max<TimeNs>(until_idle, 0));
+    }
+
+    pfds.clear();
+    for (const Watch& w : watches_) {
+      pfds.push_back({w.fd, POLLIN, 0});
+    }
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(wait / kNsPerSec);
+    ts.tv_nsec = static_cast<long>(wait % kNsPerSec);
+    const int n =
+        ::ppoll(pfds.empty() ? nullptr : pfds.data(), pfds.size(), &ts,
+                nullptr);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal: re-check stopper/timers
+      break;                         // unrecoverable poll failure
+    }
+    if (n > 0) {
+      last_activity = now();
+      for (size_t i = 0; i < pfds.size() && !stop_; ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+          // Re-look up by fd: a callback may re-watch and reallocate.
+          const int fd = pfds[i].fd;
+          for (Watch& w : watches_) {
+            if (w.fd == fd && w.on_readable) {
+              w.on_readable();
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace proteus

@@ -1,0 +1,78 @@
+// Real-time event loop: the simulator's EventQueue engine driven by the
+// monotonic wall clock instead of a virtual one.
+//
+// The loop owns an EventQueue (timer-wheel engine — the same zero-
+// allocation scheduler the simulator uses) whose timestamps are RtClock
+// nanoseconds, plus a set of watched file descriptors. Each iteration it
+//   1. runs every timer whose deadline has passed,
+//   2. ppoll()s the watched fds until the next timer deadline (EINTR
+//      tolerated: an interrupt wakes the loop, which re-checks stop
+//      conditions), and
+//   3. dispatches readable-fd callbacks.
+//
+// Single-threaded by design: one loop drives one endpoint, and the
+// in-process loopback harness runs two loops on two threads that share
+// nothing but the kernel socket pair. stop() may be called from within a
+// callback; the cooperative `stopper` predicate (typically the
+// process-wide interrupt flag) is polled every iteration so SIGINT lands
+// within one poll timeout.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "rt/rt_clock.h"
+
+namespace proteus {
+
+class RtLoop {
+ public:
+  explicit RtLoop(RtClock clock = RtClock{});
+
+  TimeNs now() const { return clock_.now(); }
+  const RtClock& clock() const { return clock_; }
+
+  // Timers. Deadlines in the past are clamped to "immediately" (the queue
+  // requires monotone push times, same contract as Simulator).
+  void schedule_at(TimeNs when, EventQueue::Callback&& cb);
+  void schedule_in(TimeNs delay, EventQueue::Callback&& cb);
+
+  // Registers a readable-fd callback. One callback per fd; re-watching an
+  // fd replaces its callback. The callback should drain the fd (the loop
+  // is level-triggered via poll, so leftover data re-fires it).
+  void watch_fd(int fd, std::function<void()> on_readable);
+
+  // Optional cooperative stop predicate checked once per iteration (e.g.
+  // proteus::interrupt_requested).
+  void set_stopper(std::function<bool()> stopper);
+
+  // Runs until stop() is called or the stopper fires. `idle_limit` > 0
+  // stops the loop after that long without fd activity — pending timers
+  // don't count, so a crashed peer can't hang the process behind its own
+  // heartbeat schedule.
+  void run(TimeNs idle_limit = 0);
+
+  void stop() { stop_ = true; }
+  bool stopped() const { return stop_; }
+
+ private:
+  // Runs timers due at or before now; returns the next pending deadline
+  // (kTimeInfinite when none).
+  TimeNs run_due_timers();
+
+  RtClock clock_;
+  EventQueue queue_;
+  // The queue's push contract requires non-decreasing "now"; track the
+  // latest popped deadline so late schedule_at calls clamp onto it.
+  TimeNs last_fired_ = 0;
+  struct Watch {
+    int fd;
+    std::function<void()> on_readable;
+  };
+  std::vector<Watch> watches_;
+  std::function<bool()> stopper_;
+  bool stop_ = false;
+};
+
+}  // namespace proteus

@@ -1,0 +1,139 @@
+#include "rt/rt_receiver.h"
+
+#include <algorithm>
+
+namespace proteus {
+
+namespace {
+constexpr size_t kSeenRing = 1024;  // dup-detection window, packets
+constexpr TimeNs kIdleTick = from_ms(100);
+constexpr uint64_t kNoSeq = ~uint64_t{0};
+}  // namespace
+
+RtReceiver::RtReceiver(RtLoop* loop, UdpSocket* socket, ChaosShim* shim,
+                       RtReceiverConfig cfg)
+    : loop_(loop), socket_(socket), shim_(shim), cfg_(cfg) {
+  seen_.assign(kSeenRing, kNoSeq);
+}
+
+void RtReceiver::start() {
+  last_rx_time_ = loop_->now();
+  loop_->watch_fd(socket_->fd(), [this] { on_readable(); });
+  if (cfg_.idle_timeout > 0) {
+    loop_->schedule_in(kIdleTick, [this] { idle_tick(); });
+  }
+}
+
+void RtReceiver::emit(const uint8_t* data, size_t len) {
+  if (shim_ == nullptr) {
+    socket_->send(data, len);
+    return;
+  }
+  const ChaosShim::Verdict v =
+      shim_->admit(loop_->now(), static_cast<int64_t>(len), /*is_ack=*/true);
+  if (v.drop) return;
+  if (v.depart_delay <= 0 && !v.duplicate) {
+    socket_->send(data, len);
+    return;
+  }
+  std::vector<uint8_t> copy(data, data + len);
+  if (v.duplicate) {
+    std::vector<uint8_t> dup = copy;
+    loop_->schedule_in(v.depart_delay + v.duplicate_gap,
+                       [this, frame = std::move(dup)] {
+                         socket_->send(frame.data(), frame.size());
+                       });
+  }
+  if (v.depart_delay <= 0) {
+    socket_->send(copy.data(), copy.size());
+  } else {
+    loop_->schedule_in(v.depart_delay, [this, frame = std::move(copy)] {
+      socket_->send(frame.data(), frame.size());
+    });
+  }
+}
+
+void RtReceiver::on_readable() {
+  uint8_t buf[kMaxFrameBytes + 64];
+  for (;;) {
+    const int n = socket_->recv(buf, sizeof buf);
+    if (n < 0) break;
+    last_rx_time_ = loop_->now();
+    Frame f;
+    const ParseError err = parse_frame(buf, static_cast<size_t>(n), f);
+    if (err != ParseError::kNone) {
+      ++stats_.parse_rejects;
+      continue;
+    }
+    handle_frame(f);
+  }
+}
+
+void RtReceiver::handle_frame(const Frame& f) {
+  switch (f.type) {
+    case FrameType::kHello: {
+      ++stats_.hellos_seen;
+      const size_t len = encode_hello_ack(out_buf_, f.hello.token);
+      emit(out_buf_, len);
+      break;
+    }
+    case FrameType::kData: {
+      const uint64_t seq = expand_seq32(f.data.seq, next_expected_);
+      if (recently_seen(seq)) {
+        ++stats_.duplicates;
+      } else {
+        remember(seq);
+        ++stats_.data_received;
+        stats_.bytes_received += f.data.wire_bytes;
+        next_expected_ = std::max(next_expected_, seq + 1);
+      }
+      AckFrame ack;
+      ack.acked_seq = f.data.seq;
+      ack.send_ts_echo_ns = f.data.send_ts_ns;
+      ack.receiver_ts_ns = static_cast<uint64_t>(loop_->now());
+      ack.acked_bytes = static_cast<uint32_t>(f.data.wire_bytes);
+      const size_t len = encode_ack(out_buf_, ack);
+      emit(out_buf_, len);
+      ++stats_.acks_sent;
+      break;
+    }
+    case FrameType::kHeartbeat: {
+      ++stats_.heartbeats_seen;
+      const size_t len =
+          encode_heartbeat(out_buf_, static_cast<uint64_t>(loop_->now()));
+      emit(out_buf_, len);
+      break;
+    }
+    case FrameType::kBye: {
+      stats_.saw_bye = true;
+      if (!done_) {
+        done_ = true;
+        loop_->schedule_in(cfg_.bye_linger, [this] { loop_->stop(); });
+      }
+      break;
+    }
+    case FrameType::kHelloAck:
+    case FrameType::kAck:
+      ++stats_.parse_rejects;  // role violation: sender-bound frames
+      break;
+  }
+}
+
+void RtReceiver::idle_tick() {
+  if (done_) return;
+  const TimeNs now = loop_->now();
+  if (now - last_rx_time_ >= cfg_.idle_timeout) {
+    done_ = true;
+    loop_->stop();
+    return;
+  }
+  loop_->schedule_in(kIdleTick, [this] { idle_tick(); });
+}
+
+bool RtReceiver::recently_seen(uint64_t seq) const {
+  return seen_[seq % kSeenRing] == seq;
+}
+
+void RtReceiver::remember(uint64_t seq) { seen_[seq % kSeenRing] = seq; }
+
+}  // namespace proteus

@@ -1,0 +1,78 @@
+// RtReceiver: the passive endpoint of a live transfer. Answers HELLO
+// with HELLO_ACK (echoing the token), acknowledges every DATA frame with
+// an ACK carrying the receiver-clock timestamp (the sender's one-way-
+// delay signal), echoes heartbeats, and finishes on BYE or after an idle
+// timeout. ACK-path egress goes through the chaos shim with is_ack=true
+// so ackloss windows hit only the reverse path.
+//
+// The receiver keeps a small recent-seq ring purely for duplicate
+// accounting; duplicates are still ACKed (the sender treats a dup ACK
+// as noise), matching the simulator receiver's behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/chaos.h"
+#include "rt/rt_loop.h"
+#include "rt/udp_socket.h"
+#include "rt/wire.h"
+
+namespace proteus {
+
+struct RtReceiverConfig {
+  // Finish (and stop the loop) after this long without any inbound
+  // frame. 0 disables the idle stop.
+  TimeNs idle_timeout = from_sec(5);
+  // Linger after BYE so retransmitted BYEs don't restart anything.
+  TimeNs bye_linger = from_ms(100);
+};
+
+struct RtReceiverStats {
+  int64_t hellos_seen = 0;
+  int64_t data_received = 0;
+  int64_t bytes_received = 0;   // wire bytes of DATA frames
+  int64_t duplicates = 0;       // recently-seen seqs received again
+  int64_t acks_sent = 0;
+  int64_t heartbeats_seen = 0;
+  int64_t parse_rejects = 0;
+  bool saw_bye = false;
+};
+
+class RtReceiver {
+ public:
+  // `shim` may be null. All pointers must outlive the receiver; the
+  // receiver must outlive loop->run().
+  RtReceiver(RtLoop* loop, UdpSocket* socket, ChaosShim* shim,
+             RtReceiverConfig cfg = {});
+
+  // Watches the socket and arms the idle timer.
+  void start();
+
+  const RtReceiverStats& stats() const { return stats_; }
+  bool done() const { return done_; }
+
+ private:
+  void on_readable();
+  void handle_frame(const Frame& f);
+  void emit(const uint8_t* data, size_t len);
+  void idle_tick();
+
+  bool recently_seen(uint64_t seq) const;
+  void remember(uint64_t seq);
+
+  RtLoop* loop_;
+  UdpSocket* socket_;
+  ChaosShim* shim_;
+  RtReceiverConfig cfg_;
+  RtReceiverStats stats_;
+
+  bool done_ = false;
+  uint64_t next_expected_ = 0;     // largest expanded seq + 1
+  std::vector<uint64_t> seen_;     // direct-mapped recent seqs (dup accounting)
+  TimeNs last_rx_time_ = 0;
+
+  uint8_t out_buf_[kMaxFrameBytes];
+};
+
+}  // namespace proteus

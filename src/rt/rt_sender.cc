@@ -1,0 +1,504 @@
+#include "rt/rt_sender.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/pcc_sender.h"
+
+namespace proteus {
+
+namespace {
+constexpr int kLossReorderThreshold = 3;  // QUIC-style packet threshold
+constexpr TimeNs kMinRto = from_ms(25);
+constexpr TimeNs kInitialRttGuess = from_ms(100);
+constexpr TimeNs kWatchdogPeriod = from_ms(50);
+constexpr int kByeRepeat = 3;
+constexpr TimeNs kByeSpacing = from_ms(20);
+}  // namespace
+
+RtSender::RtSender(RtLoop* loop, UdpSocket* socket, ChaosShim* shim,
+                   std::unique_ptr<CongestionController> cc,
+                   RtSenderConfig cfg)
+    : loop_(loop),
+      socket_(socket),
+      shim_(shim),
+      cc_(std::move(cc)),
+      cfg_(cfg) {
+  slots_.resize(256);
+  slot_mask_ = slots_.size() - 1;
+  // Token mixes the seed so two concurrent transfers don't confuse each
+  // other's handshakes on a reused port.
+  hello_token_ = cfg_.seed * 0x9e3779b97f4a7c15ULL + 0x5eed;
+  if (const auto* pcc = dynamic_cast<const PccSender*>(cc_.get())) {
+    cc_owns_survival_ = pcc->config().survival_mode;
+  }
+  unlimited_ = cfg_.transfer_bytes <= 0;
+  credit_ = cfg_.transfer_bytes;
+}
+
+RtSender::~RtSender() = default;
+
+void RtSender::start() {
+  if (state_ != RtSenderState::kIdle) return;
+  state_ = RtSenderState::kHandshaking;
+  loop_->watch_fd(socket_->fd(), [this] { on_readable(); });
+  send_hello();
+}
+
+double RtSender::achieved_mbps() const {
+  if (stats_.bytes_delivered <= 0) return 0.0;
+  const TimeNs end =
+      stats_.finish_time > 0 ? stats_.finish_time : last_ack_time_;
+  const TimeNs window = end - stats_.connect_time;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(stats_.bytes_delivered) * 8.0 / to_sec(window) /
+         1e6;
+}
+
+// --- wire I/O -----------------------------------------------------------
+
+void RtSender::emit(const uint8_t* data, size_t len, bool is_ack) {
+  last_egress_time_ = loop_->now();
+  if (shim_ == nullptr) {
+    socket_->send(data, len);
+    return;
+  }
+  const ChaosShim::Verdict v =
+      shim_->admit(loop_->now(), static_cast<int64_t>(len), is_ack);
+  if (v.drop) return;
+  if (v.depart_delay <= 0 && !v.duplicate) {
+    socket_->send(data, len);
+    return;
+  }
+  std::vector<uint8_t> copy(data, data + len);
+  if (v.duplicate) {
+    std::vector<uint8_t> dup = copy;
+    loop_->schedule_in(v.depart_delay + v.duplicate_gap,
+                       [this, frame = std::move(dup)] {
+                         socket_->send(frame.data(), frame.size());
+                       });
+  }
+  if (v.depart_delay <= 0) {
+    socket_->send(copy.data(), copy.size());
+  } else {
+    loop_->schedule_in(v.depart_delay, [this, frame = std::move(copy)] {
+      socket_->send(frame.data(), frame.size());
+    });
+  }
+}
+
+void RtSender::on_readable() {
+  uint8_t buf[kMaxFrameBytes + 64];
+  for (;;) {
+    const int n = socket_->recv(buf, sizeof buf);
+    if (n < 0) break;
+    Frame f;
+    const ParseError err = parse_frame(buf, static_cast<size_t>(n), f);
+    if (err != ParseError::kNone) {
+      ++stats_.parse_rejects;
+      continue;
+    }
+    handle_frame(f);
+    if (finished()) break;
+  }
+}
+
+void RtSender::handle_frame(const Frame& f) {
+  switch (f.type) {
+    case FrameType::kHelloAck:
+      on_hello_ack(f.hello);
+      break;
+    case FrameType::kAck:
+      if (state_ == RtSenderState::kRunning) on_ack_frame(f.ack);
+      break;
+    case FrameType::kHeartbeat:
+      break;  // peer liveness; nothing to update beyond poll activity
+    case FrameType::kBye:
+      if (state_ == RtSenderState::kRunning) {
+        finish(RtSenderState::kDone, "peer closed");
+      }
+      break;
+    case FrameType::kHello:
+    case FrameType::kData:
+      ++stats_.parse_rejects;  // role violation: we never expect these
+      break;
+  }
+}
+
+// --- handshake ----------------------------------------------------------
+
+void RtSender::send_hello() {
+  if (state_ != RtSenderState::kHandshaking) return;
+  if (hello_attempt_ > cfg_.handshake_retries) {
+    finish(RtSenderState::kFailed, "handshake: no HELLO_ACK after " +
+                                       std::to_string(hello_attempt_) +
+                                       " attempts");
+    return;
+  }
+  ++stats_.handshake_attempts;
+  const size_t len = encode_hello(out_buf_, hello_token_);
+  emit(out_buf_, len, /*is_ack=*/false);
+  // Exponential backoff: 1x, 2x, 4x ... capped.
+  TimeNs delay = cfg_.handshake_rto;
+  for (int i = 0; i < hello_attempt_ && delay < cfg_.handshake_rto_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, cfg_.handshake_rto_max);
+  ++hello_attempt_;
+  const int attempt = hello_attempt_;
+  loop_->schedule_in(delay, [this, attempt] {
+    // Stale once a newer HELLO went out or the handshake resolved.
+    if (state_ == RtSenderState::kHandshaking && hello_attempt_ == attempt) {
+      send_hello();
+    }
+  });
+}
+
+void RtSender::on_hello_ack(const HelloFrame& f) {
+  if (state_ != RtSenderState::kHandshaking) return;
+  if (f.token != hello_token_) return;  // someone else's handshake
+  state_ = RtSenderState::kRunning;
+  const TimeNs now = loop_->now();
+  stats_.connect_time = now;
+  next_send_time_ = now;
+  wait_started_ = now;
+  cc_->on_start(now);
+  arm_cc_timer();
+  loop_->schedule_in(cfg_.heartbeat_period, [this] { heartbeat_tick(); });
+  loop_->schedule_in(kWatchdogPeriod, [this] { watchdog_tick(); });
+  loop_->schedule_at(now + cfg_.duration, [this] {
+    if (state_ == RtSenderState::kRunning) {
+      finish(RtSenderState::kDone, "duration reached");
+    }
+  });
+  pump();
+}
+
+// --- data path ----------------------------------------------------------
+
+bool RtSender::can_send_now() const {
+  if (state_ != RtSenderState::kRunning || parked_) return false;
+  if (!unlimited_ && credit_ <= 0) return false;
+  const int64_t next_bytes =
+      unlimited_ ? cfg_.packet_bytes : std::min(cfg_.packet_bytes, credit_);
+  const int64_t cwnd = cc_->cwnd_bytes();
+  if (cwnd != kNoCwndLimit && bytes_in_flight_ + next_bytes > cwnd) {
+    return false;
+  }
+  return true;
+}
+
+void RtSender::pump() {
+  pump_armed_ = false;
+  TimeNs now = loop_->now();
+  while (can_send_now()) {
+    const Bandwidth pace = cc_->pacing_rate();
+    if (pace.positive()) {
+      if (next_send_time_ > now) {
+        if (!pump_armed_) {
+          pump_armed_ = true;
+          loop_->schedule_at(next_send_time_, [this] { pump(); });
+        }
+        break;
+      }
+      const TimeNs interval = pace.tx_time(cfg_.packet_bytes);
+      int burst = 1;
+      if (interval > 0 && cfg_.pacing_quantum > interval) {
+        burst = static_cast<int>(cfg_.pacing_quantum / interval);
+      }
+      next_send_time_ = std::max(next_send_time_, now);
+      for (int i = 0; i < burst && can_send_now(); ++i) {
+        send_one(/*probe=*/false);
+        next_send_time_ += interval;
+      }
+      now = loop_->now();
+    } else {
+      send_one(/*probe=*/false);  // window-only: ACK clocking paces
+    }
+  }
+  arm_cc_timer();
+}
+
+void RtSender::send_one(bool probe) {
+  const int64_t bytes =
+      unlimited_ ? cfg_.packet_bytes : std::min(cfg_.packet_bytes, credit_);
+  if (!unlimited_) credit_ -= bytes;
+
+  if (next_seq_ + 1 - base_seq_ > slots_.size()) grow_slots();
+
+  const TimeNs now = loop_->now();
+  const uint64_t seq = next_seq_++;
+  Slot& slot = slots_[seq & slot_mask_];
+  slot.bytes = bytes;
+  slot.sent_time = now;
+  slot.active = true;
+  // Deliberately NOT resetting wait_started_ here: during a blackout the
+  // RTO sweep drains in-flight and pump() refills it immediately, so a
+  // "restart the drought clock when in-flight leaves zero" rule would cap
+  // the observable drought at one RTO and the watchdog would never fire.
+  // This sender is never app-limited (backlogged until done), so a
+  // waiting window only legitimately ends with an ACK — which is where
+  // wait_started_ advances.
+  ++in_flight_count_;
+  bytes_in_flight_ += bytes;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += bytes;
+  if (probe) ++stats_.probe_packets;
+
+  SentPacketInfo info;
+  info.seq = seq;
+  info.bytes = bytes;
+  info.sent_time = now;
+  info.bytes_in_flight = bytes_in_flight_;
+  cc_->on_packet_sent(info);
+
+  const size_t len =
+      encode_data(out_buf_, static_cast<uint32_t>(seq),
+                  static_cast<uint64_t>(now), bytes);
+  emit(out_buf_, len, /*is_ack=*/false);
+  arm_loss_sweep();
+}
+
+void RtSender::on_ack_frame(const AckFrame& f) {
+  const uint64_t seq = expand_seq32(f.acked_seq, next_seq_);
+  Slot* slot = find_slot(seq);
+  if (slot == nullptr) {
+    ++stats_.duplicate_acks;  // dup, stale, or already declared lost
+    return;
+  }
+  const Slot pkt = *slot;
+  release_slot(seq);
+  bytes_in_flight_ -= pkt.bytes;
+  largest_acked_ = std::max(largest_acked_, seq);
+
+  const TimeNs now = loop_->now();
+  const TimeNs rtt = std::max<TimeNs>(now - pkt.sent_time, 1);
+  update_rtt(rtt);
+
+  ++stats_.packets_acked;
+  stats_.bytes_delivered += pkt.bytes;
+
+  AckInfo info;
+  info.seq = seq;
+  info.bytes = pkt.bytes;
+  info.sent_time = pkt.sent_time;
+  info.ack_time = now;
+  info.rtt = rtt;
+  // One-way delay from the receiver's clock echo. Only meaningful when
+  // both endpoints share a clock epoch (the in-process loopback); a
+  // cross-host run has an unknown offset, so implausible values fall
+  // back to rtt/2.
+  const int64_t owd =
+      static_cast<int64_t>(f.receiver_ts_ns) - pkt.sent_time;
+  info.one_way_delay = (owd > 0 && owd <= rtt) ? owd : rtt / 2;
+  info.prev_ack_time = prev_ack_time_;
+  info.bytes_in_flight = bytes_in_flight_;
+  prev_ack_time_ = now;
+  last_ack_time_ = now;
+  wait_started_ = now;
+  if (parked_) {
+    parked_ = false;  // path is back; resume normal sending
+    probe_backoff_ = 0;
+    next_probe_at_ = kTimeInfinite;
+  }
+  cc_->on_ack(info);
+
+  detect_losses_by_threshold();
+  if (!unlimited_ && credit_ == 0 && in_flight_count_ == 0 &&
+      state_ == RtSenderState::kRunning) {
+    finish(RtSenderState::kDone, "all bytes delivered");
+    return;
+  }
+  pump();
+}
+
+void RtSender::arm_cc_timer() {
+  const TimeNs want = cc_->next_timer();
+  if (want == kTimeInfinite) return;
+  const TimeNs now = loop_->now();
+  if (cc_timer_armed_for_ <= want && cc_timer_armed_for_ > now) return;
+  cc_timer_armed_for_ = std::max(want, now);
+  const TimeNs armed = cc_timer_armed_for_;
+  loop_->schedule_at(armed, [this, armed] {
+    if (cc_timer_armed_for_ != armed) return;  // superseded
+    cc_timer_armed_for_ = kTimeInfinite;
+    if (finished()) return;
+    cc_->on_timer(loop_->now());
+    pump();
+  });
+}
+
+TimeNs RtSender::rto() const {
+  const TimeNs base = any_acked_ ? srtt_ : kInitialRttGuess;
+  const TimeNs var = any_acked_ ? rttvar_ : kInitialRttGuess / 2;
+  return std::max({kMinRto, 2 * base, base + 4 * var});
+}
+
+void RtSender::arm_loss_sweep() {
+  if (loss_sweep_armed_ || in_flight_count_ == 0 || finished()) return;
+  loss_sweep_armed_ = true;
+  loop_->schedule_in(std::max<TimeNs>(rto() / 2, from_ms(5)),
+                     [this] { loss_sweep(); });
+}
+
+void RtSender::loss_sweep() {
+  loss_sweep_armed_ = false;
+  if (finished()) return;
+  const TimeNs now = loop_->now();
+  const TimeNs deadline = rto();
+  while (in_flight_count_ > 0) {
+    const Slot& slot = slots_[base_seq_ & slot_mask_];
+    if (now - slot.sent_time <= deadline) break;
+    const uint64_t seq = base_seq_;
+    const Slot pkt = slot;
+    release_slot(seq);
+    declare_lost(seq, pkt);
+  }
+  if (in_flight_count_ > 0) arm_loss_sweep();
+  if (!unlimited_ && credit_ == 0 && in_flight_count_ == 0 &&
+      stats_.bytes_delivered > 0 && state_ == RtSenderState::kRunning) {
+    finish(RtSenderState::kDone, "all bytes delivered");
+    return;
+  }
+  pump();
+}
+
+void RtSender::detect_losses_by_threshold() {
+  while (in_flight_count_ > 0 &&
+         base_seq_ + kLossReorderThreshold <= largest_acked_) {
+    const Slot pkt = slots_[base_seq_ & slot_mask_];
+    const uint64_t seq = base_seq_;
+    release_slot(seq);
+    declare_lost(seq, pkt);
+  }
+}
+
+void RtSender::declare_lost(uint64_t seq, const Slot& slot) {
+  bytes_in_flight_ -= slot.bytes;
+  ++stats_.packets_lost;
+  stats_.bytes_lost += slot.bytes;
+  if (!unlimited_) credit_ += slot.bytes;  // retransmit-equivalent
+
+  LossInfo info;
+  info.seq = seq;
+  info.bytes = slot.bytes;
+  info.sent_time = slot.sent_time;
+  info.detected_time = loop_->now();
+  info.bytes_in_flight = bytes_in_flight_;
+  cc_->on_loss(info);
+}
+
+void RtSender::update_rtt(TimeNs rtt) {
+  min_rtt_ = std::min(min_rtt_, rtt);
+  if (!any_acked_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    any_acked_ = true;
+  } else {
+    const TimeNs err = rtt - srtt_;
+    srtt_ += err / 8;
+    rttvar_ += (std::abs(err) - rttvar_) / 4;
+  }
+}
+
+// --- robustness ---------------------------------------------------------
+
+void RtSender::heartbeat_tick() {
+  if (finished()) return;
+  const TimeNs now = loop_->now();
+  if (now - last_egress_time_ >= cfg_.heartbeat_period / 2) {
+    const size_t len =
+        encode_heartbeat(out_buf_, static_cast<uint64_t>(now));
+    emit(out_buf_, len, /*is_ack=*/false);
+    ++stats_.heartbeats_sent;
+  }
+  loop_->schedule_in(cfg_.heartbeat_period, [this] { heartbeat_tick(); });
+}
+
+TimeNs RtSender::starvation_deadline() const {
+  const TimeNs scaled = any_acked_ ? 4 * srtt_ : 0;
+  return std::max(cfg_.starvation_timeout, scaled);
+}
+
+void RtSender::watchdog_tick() {
+  if (finished()) return;
+  const TimeNs now = loop_->now();
+  const bool waiting = in_flight_count_ > 0;
+  const TimeNs drought = now - std::max(last_ack_time_, wait_started_);
+  if (waiting && !parked_ && drought > starvation_deadline()) {
+    ++stats_.starvation_episodes;
+    if (!cc_owns_survival_) {
+      // Driver-level survival: park and re-probe with backoff. PCC-family
+      // controllers run their own version of exactly this; parking on top
+      // of it would fight their floor-rate pacing.
+      parked_ = true;
+      probe_backoff_ = starvation_deadline();
+      next_probe_at_ = now;  // first probe immediately
+    } else {
+      // The controller owns the response; re-arm so we count distinct
+      // episodes rather than every tick of one long drought.
+      wait_started_ = now;
+    }
+  }
+  if (parked_ && now >= next_probe_at_) {
+    if (unlimited_ || credit_ > 0) send_one(/*probe=*/true);
+    probe_backoff_ = std::min(probe_backoff_ * 2, cfg_.probe_backoff_max);
+    next_probe_at_ = now + probe_backoff_;
+  }
+  loop_->schedule_in(kWatchdogPeriod, [this] { watchdog_tick(); });
+}
+
+void RtSender::finish(RtSenderState end_state, const std::string& why) {
+  if (finished()) return;
+  state_ = end_state;
+  error_ = end_state == RtSenderState::kFailed ? why : "";
+  stats_.finish_time = loop_->now();
+  if (end_state == RtSenderState::kDone) {
+    // Tell the peer we're done; repeated because BYE rides the same lossy
+    // shim as everything else. The receiver also has an idle timeout, so
+    // losing all three is slow, not fatal.
+    for (int i = 0; i < kByeRepeat; ++i) {
+      loop_->schedule_in(i * kByeSpacing, [this] {
+        const size_t len = encode_bye(out_buf_);
+        emit(out_buf_, len, /*is_ack=*/false);
+      });
+    }
+  }
+  // Leave time for the BYEs (and any shim-delayed frames) to drain.
+  loop_->schedule_in(kByeRepeat * kByeSpacing + from_ms(50),
+                     [this] { loop_->stop(); });
+}
+
+// --- slot ring ----------------------------------------------------------
+
+RtSender::Slot* RtSender::find_slot(uint64_t seq) {
+  if (seq < base_seq_ || seq >= next_seq_) return nullptr;
+  Slot& slot = slots_[seq & slot_mask_];
+  return slot.active ? &slot : nullptr;
+}
+
+void RtSender::release_slot(uint64_t seq) {
+  slots_[seq & slot_mask_].active = false;
+  --in_flight_count_;
+  advance_base();
+}
+
+void RtSender::advance_base() {
+  while (base_seq_ < next_seq_ && !slots_[base_seq_ & slot_mask_].active) {
+    ++base_seq_;
+  }
+}
+
+void RtSender::grow_slots() {
+  const size_t new_cap = slots_.size() * 2;
+  std::vector<Slot> next(new_cap);
+  for (uint64_t s = base_seq_; s < next_seq_; ++s) {
+    next[s & (new_cap - 1)] = slots_[s & slot_mask_];
+  }
+  slots_ = std::move(next);
+  slot_mask_ = new_cap - 1;
+}
+
+}  // namespace proteus

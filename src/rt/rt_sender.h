@@ -1,0 +1,201 @@
+// RtSender: the live-UDP counterpart of transport/Sender. Drives an
+// unmodified CongestionController (the same object the simulator runs)
+// over a real socket: wall-clock pacing, per-packet ACK accounting,
+// QUIC-style loss detection, and the robustness layer the live path
+// needs — a retried handshake with exponential backoff, heartbeats, and
+// a no-ACK watchdog.
+//
+// Watchdog policy: controllers with built-in ACK-starvation survival
+// (the PCC family, PccSender::Config::survival_mode) own the response —
+// the driver keeps their on_timer() clock running and merely counts the
+// episode. For window/rate controllers with no such machinery (CUBIC,
+// BBR, ...) the driver itself parks: normal sending stops and a single
+// probe packet goes out per exponentially-backed-off interval until an
+// ACK arrives, mirroring the park-at-floor/re-probe shape of the
+// controller-level survival mode.
+//
+// Lifetime: the sender must outlive the loop's run() — scheduled timers
+// capture `this`. Single-threaded with its loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/chaos.h"
+#include "rt/rt_loop.h"
+#include "rt/udp_socket.h"
+#include "rt/wire.h"
+#include "transport/cc_interface.h"
+
+namespace proteus {
+
+struct RtSenderConfig {
+  uint64_t seed = 1;
+  // Bytes to deliver before finishing; 0 = unlimited (run until
+  // `duration` after connect).
+  int64_t transfer_bytes = 0;
+  TimeNs duration = from_sec(10);
+  int64_t packet_bytes = kMtuBytes;
+
+  // Handshake: first retry after handshake_rto, doubling per attempt
+  // (capped at handshake_rto_max), giving up after handshake_retries
+  // unanswered HELLOs.
+  int handshake_retries = 8;
+  TimeNs handshake_rto = from_ms(100);
+  TimeNs handshake_rto_max = from_sec(2);
+
+  TimeNs heartbeat_period = from_ms(250);
+
+  // No-ACK watchdog: starved when data is in flight and no ACK has
+  // arrived for max(starvation_timeout, 4 * srtt).
+  TimeNs starvation_timeout = from_ms(250);
+  TimeNs probe_backoff_max = from_sec(2);
+
+  // Pacing quantum, as in the simulated Sender: packets within one
+  // quantum leave back-to-back.
+  TimeNs pacing_quantum = from_us(1500);
+};
+
+struct RtSenderStats {
+  int64_t packets_sent = 0;
+  int64_t bytes_sent = 0;
+  int64_t packets_acked = 0;
+  int64_t bytes_delivered = 0;
+  int64_t packets_lost = 0;
+  int64_t bytes_lost = 0;
+  int64_t handshake_attempts = 0;
+  int64_t heartbeats_sent = 0;
+  int64_t starvation_episodes = 0;  // watchdog trips (driver or cc-owned)
+  int64_t probe_packets = 0;        // driver-park re-probe sends
+  int64_t duplicate_acks = 0;       // ACKs for unknown/already-resolved seqs
+  int64_t parse_rejects = 0;        // malformed inbound datagrams
+  TimeNs connect_time = 0;          // loop time the handshake completed
+  TimeNs finish_time = 0;           // loop time the transfer ended
+};
+
+enum class RtSenderState { kIdle, kHandshaking, kRunning, kDone, kFailed };
+
+class RtSender {
+ public:
+  // `shim` may be null (no impairment). All pointers must outlive the
+  // sender; the sender must outlive loop->run().
+  RtSender(RtLoop* loop, UdpSocket* socket, ChaosShim* shim,
+           std::unique_ptr<CongestionController> cc, RtSenderConfig cfg);
+  ~RtSender();
+
+  RtSender(const RtSender&) = delete;
+  RtSender& operator=(const RtSender&) = delete;
+
+  // Watches the socket and begins the handshake.
+  void start();
+
+  RtSenderState state() const { return state_; }
+  bool finished() const {
+    return state_ == RtSenderState::kDone || state_ == RtSenderState::kFailed;
+  }
+  const std::string& error() const { return error_; }
+  const RtSenderStats& stats() const { return stats_; }
+  CongestionController& cc() { return *cc_; }
+  const CongestionController& cc() const { return *cc_; }
+  TimeNs smoothed_rtt() const { return srtt_; }
+  TimeNs min_rtt() const { return min_rtt_; }
+  bool parked() const { return parked_; }
+
+  // Mean delivery rate over the connected window (Mbps); 0 before any
+  // delivery.
+  double achieved_mbps() const;
+
+ private:
+  struct Slot {
+    int64_t bytes = 0;
+    TimeNs sent_time = 0;
+    bool active = false;
+  };
+
+  // --- wire I/O ---------------------------------------------------------
+  void on_readable();
+  void handle_frame(const Frame& f);
+  // Runs an egress frame through the chaos shim and the socket; delayed
+  // verdicts are re-scheduled on the loop with a private copy.
+  void emit(const uint8_t* data, size_t len, bool is_ack);
+
+  // --- handshake --------------------------------------------------------
+  void send_hello();
+  void on_hello_ack(const HelloFrame& f);
+
+  // --- data path --------------------------------------------------------
+  bool can_send_now() const;
+  void pump();  // pacing loop, mirrors Sender::try_send
+  void send_one(bool probe);
+  void on_ack_frame(const AckFrame& f);
+  void arm_cc_timer();
+  void arm_loss_sweep();
+  void loss_sweep();
+  void detect_losses_by_threshold();
+  void declare_lost(uint64_t seq, const Slot& slot);
+  void update_rtt(TimeNs rtt);
+  TimeNs rto() const;
+
+  // --- robustness -------------------------------------------------------
+  void heartbeat_tick();
+  void watchdog_tick();
+  TimeNs starvation_deadline() const;
+  void finish(RtSenderState end_state, const std::string& why);
+
+  // --- slot ring --------------------------------------------------------
+  Slot* find_slot(uint64_t seq);
+  void release_slot(uint64_t seq);
+  void advance_base();
+  void grow_slots();
+
+  RtLoop* loop_;
+  UdpSocket* socket_;
+  ChaosShim* shim_;
+  std::unique_ptr<CongestionController> cc_;
+  RtSenderConfig cfg_;
+  bool cc_owns_survival_ = false;  // PccSender with survival_mode on
+
+  RtSenderState state_ = RtSenderState::kIdle;
+  std::string error_;
+  RtSenderStats stats_;
+
+  uint64_t hello_token_ = 0;
+  int hello_attempt_ = 0;
+
+  int64_t credit_ = 0;   // remaining bytes to send (transfer mode)
+  bool unlimited_ = false;
+
+  uint64_t next_seq_ = 0;
+  uint64_t largest_acked_ = 0;
+  bool any_acked_ = false;
+  std::vector<Slot> slots_;
+  size_t slot_mask_ = 0;
+  uint64_t base_seq_ = 0;
+  int64_t in_flight_count_ = 0;
+  int64_t bytes_in_flight_ = 0;
+
+  TimeNs srtt_ = 0;
+  TimeNs rttvar_ = 0;
+  TimeNs min_rtt_ = kTimeInfinite;
+  TimeNs last_ack_time_ = 0;
+  TimeNs prev_ack_time_ = 0;
+
+  TimeNs next_send_time_ = 0;
+  bool pump_armed_ = false;
+  TimeNs cc_timer_armed_for_ = kTimeInfinite;
+  bool loss_sweep_armed_ = false;
+
+  // Watchdog state.
+  bool parked_ = false;
+  TimeNs wait_started_ = 0;  // start of the current unacked stretch
+  TimeNs probe_backoff_ = 0;
+  TimeNs next_probe_at_ = kTimeInfinite;
+
+  TimeNs last_egress_time_ = 0;  // heartbeat suppression
+
+  uint8_t out_buf_[kMaxFrameBytes];
+};
+
+}  // namespace proteus

@@ -1,0 +1,118 @@
+#include "rt/udp_socket.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace proteus {
+
+namespace {
+
+bool make_addr(const std::string& host, uint16_t port, sockaddr_in& out,
+               std::string& error) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (host.empty() || host == "*") {
+    out.sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (::inet_pton(AF_INET, host.c_str(), &out.sin_addr) != 1) {
+    error = "bad IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+UdpSocket::~UdpSocket() { close(); }
+
+bool UdpSocket::fail(const std::string& what) {
+  error_ = what + ": " + std::strerror(errno);
+  close();
+  return false;
+}
+
+bool UdpSocket::open(const std::string& host, uint16_t port) {
+  close();
+  error_.clear();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return fail("socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return fail("fcntl O_NONBLOCK");
+  }
+  sockaddr_in addr;
+  if (!make_addr(host, port, addr, error_)) {
+    close();
+    return false;
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    return fail("bind");
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return fail("getsockname");
+  }
+  local_port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+bool UdpSocket::connect_peer(const std::string& host, uint16_t port) {
+  if (fd_ < 0) {
+    error_ = "connect_peer on a closed socket";
+    return false;
+  }
+  sockaddr_in addr;
+  if (!make_addr(host, port, addr, error_)) return false;
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    return fail("connect");
+  }
+  return true;
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  local_port_ = 0;
+}
+
+bool UdpSocket::send(const uint8_t* data, size_t len) {
+  const IoResult r = retry_send(fd_, data, len);
+  if (r.status == IoStatus::kWouldBlock) {
+    ++stats_.send_buffer_overflows;
+    return false;
+  }
+  if (r.status == IoStatus::kError) {
+    // Async errors (ICMP port unreachable surfacing as ECONNREFUSED) are
+    // expected while the peer is still starting; count, don't die.
+    ++stats_.send_errors;
+    return false;
+  }
+  if (static_cast<size_t>(r.bytes) != len) {
+    ++stats_.send_buffer_overflows;  // torn datagram: treat as dropped
+    return false;
+  }
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += static_cast<int64_t>(len);
+  return true;
+}
+
+int UdpSocket::recv(uint8_t* buf, size_t cap) {
+  const IoResult r = retry_recv(fd_, buf, cap);
+  if (r.status != IoStatus::kOk) return -1;
+  ++stats_.datagrams_received;
+  stats_.bytes_received += r.bytes;
+  return static_cast<int>(r.bytes);
+}
+
+}  // namespace proteus

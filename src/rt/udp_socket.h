@@ -1,0 +1,69 @@
+// Non-blocking UDP socket wrapper with EINTR/EAGAIN-safe send/recv and
+// send-buffer-overflow accounting.
+//
+// The rt driver treats the kernel send buffer like one more lossy hop: a
+// send that would block (EAGAIN/ENOBUFS) or that the kernel truncates is
+// *dropped and counted*, never retried inline — retrying would stall the
+// event loop and distort pacing, and the congestion controller will see
+// the loss through its normal ACK accounting anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/io_retry.h"
+
+namespace proteus {
+
+struct UdpSocketStats {
+  int64_t datagrams_sent = 0;
+  int64_t bytes_sent = 0;
+  int64_t datagrams_received = 0;
+  int64_t bytes_received = 0;
+  int64_t send_buffer_overflows = 0;  // EAGAIN/ENOBUFS/short-send drops
+  int64_t send_errors = 0;            // hard errno failures
+};
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  // Opens an IPv4 UDP socket bound to `host`:`port` (port 0 = ephemeral)
+  // in non-blocking mode. Returns false with error() set on failure.
+  bool open(const std::string& host, uint16_t port);
+  // Connects the socket to the peer so plain send()/recv() apply and
+  // stray datagrams from other sources are filtered by the kernel.
+  bool connect_peer(const std::string& host, uint16_t port);
+  void close();
+
+  bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  uint16_t local_port() const { return local_port_; }
+  const std::string& error() const { return error_; }
+
+  // Sends one datagram. Returns true when the kernel accepted every byte;
+  // false (with the overflow/error counter bumped) otherwise.
+  bool send(const uint8_t* data, size_t len);
+
+  // Receives one datagram into `buf`. Returns the length, 0 for a
+  // zero-length datagram, or -1 when no datagram is waiting (or on a
+  // transient error, e.g. an async ICMP ECONNREFUSED, which over UDP is
+  // not fatal — the handshake retry path owns giving up).
+  int recv(uint8_t* buf, size_t cap);
+
+  const UdpSocketStats& stats() const { return stats_; }
+
+ private:
+  bool fail(const std::string& what);
+
+  int fd_ = -1;
+  uint16_t local_port_ = 0;
+  std::string error_;
+  UdpSocketStats stats_;
+};
+
+}  // namespace proteus

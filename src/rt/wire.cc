@@ -1,0 +1,177 @@
+#include "rt/wire.h"
+
+#include <algorithm>
+
+namespace proteus {
+
+namespace {
+
+// Byte-level little-endian accessors. memcpy-free on purpose: the loads
+// build the value from individual bytes so alignment and aliasing are
+// non-issues on any input buffer.
+void put_u16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+void put_u32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+void put_u64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+uint16_t get_u16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+uint32_t get_u32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+size_t encode_header(uint8_t* buf, FrameType type, size_t payload_len) {
+  put_u16(buf, kWireMagic);
+  buf[2] = kWireVersion;
+  buf[3] = static_cast<uint8_t>(type);
+  put_u16(buf + 4, static_cast<uint16_t>(payload_len));
+  put_u16(buf + 6, 0);  // reserved
+  return kWireHeaderBytes;
+}
+
+}  // namespace
+
+const char* parse_error_name(ParseError e) {
+  switch (e) {
+    case ParseError::kNone: return "none";
+    case ParseError::kTooShort: return "too-short";
+    case ParseError::kTooLong: return "too-long";
+    case ParseError::kBadMagic: return "bad-magic";
+    case ParseError::kBadVersion: return "bad-version";
+    case ParseError::kBadType: return "bad-type";
+    case ParseError::kReservedBits: return "reserved-bits";
+    case ParseError::kLengthMismatch: return "length-mismatch";
+    case ParseError::kBadPayload: return "bad-payload";
+  }
+  return "unknown";
+}
+
+ParseError parse_frame(const uint8_t* data, size_t len, Frame& out) {
+  if (len < kWireHeaderBytes) return ParseError::kTooShort;
+  if (len > kMaxFrameBytes) return ParseError::kTooLong;
+  if (get_u16(data) != kWireMagic) return ParseError::kBadMagic;
+  if (data[2] != kWireVersion) return ParseError::kBadVersion;
+  const uint8_t raw_type = data[3];
+  if (raw_type < static_cast<uint8_t>(FrameType::kHello) ||
+      raw_type > static_cast<uint8_t>(FrameType::kBye)) {
+    return ParseError::kBadType;
+  }
+  const size_t declared = get_u16(data + 4);
+  if (get_u16(data + 6) != 0) return ParseError::kReservedBits;
+  // The length prefix must agree exactly with the datagram: shorter means
+  // truncation in flight, longer means trailing garbage. Both rejected.
+  if (declared != len - kWireHeaderBytes) return ParseError::kLengthMismatch;
+
+  const FrameType type = static_cast<FrameType>(raw_type);
+  const uint8_t* payload = data + kWireHeaderBytes;
+
+  out = Frame{};
+  out.type = type;
+  switch (type) {
+    case FrameType::kHello:
+    case FrameType::kHelloAck:
+      if (declared != 8) return ParseError::kBadPayload;
+      out.hello.token = get_u64(payload);
+      return ParseError::kNone;
+    case FrameType::kData:
+      if (declared < 12) return ParseError::kBadPayload;
+      out.data.seq = get_u32(payload);
+      out.data.send_ts_ns = get_u64(payload + 4);
+      out.data.wire_bytes = static_cast<int64_t>(len);
+      return ParseError::kNone;
+    case FrameType::kAck:
+      if (declared != 24) return ParseError::kBadPayload;
+      out.ack.acked_seq = get_u32(payload);
+      out.ack.send_ts_echo_ns = get_u64(payload + 4);
+      out.ack.receiver_ts_ns = get_u64(payload + 12);
+      out.ack.acked_bytes = get_u32(payload + 20);
+      return ParseError::kNone;
+    case FrameType::kHeartbeat:
+      if (declared != 8) return ParseError::kBadPayload;
+      out.heartbeat.ts_ns = get_u64(payload);
+      return ParseError::kNone;
+    case FrameType::kBye:
+      if (declared != 0) return ParseError::kBadPayload;
+      return ParseError::kNone;
+  }
+  return ParseError::kBadType;
+}
+
+size_t encode_hello(uint8_t* buf, uint64_t token) {
+  size_t n = encode_header(buf, FrameType::kHello, 8);
+  put_u64(buf + n, token);
+  return n + 8;
+}
+
+size_t encode_hello_ack(uint8_t* buf, uint64_t token) {
+  size_t n = encode_header(buf, FrameType::kHelloAck, 8);
+  put_u64(buf + n, token);
+  return n + 8;
+}
+
+size_t encode_data(uint8_t* buf, uint32_t seq, uint64_t send_ts_ns,
+                   int64_t wire_bytes) {
+  const size_t min_total = kWireHeaderBytes + 12;
+  size_t total = static_cast<size_t>(
+      std::clamp<int64_t>(wire_bytes, static_cast<int64_t>(min_total),
+                          static_cast<int64_t>(kMaxFrameBytes)));
+  const size_t payload = total - kWireHeaderBytes;
+  size_t n = encode_header(buf, FrameType::kData, payload);
+  put_u32(buf + n, seq);
+  put_u64(buf + n + 4, send_ts_ns);
+  // Padding bytes up to the emulated packet size. Zeroed: deterministic
+  // frames make captures diffable.
+  std::fill(buf + n + 12, buf + total, uint8_t{0});
+  return total;
+}
+
+size_t encode_ack(uint8_t* buf, const AckFrame& ack) {
+  size_t n = encode_header(buf, FrameType::kAck, 24);
+  put_u32(buf + n, ack.acked_seq);
+  put_u64(buf + n + 4, ack.send_ts_echo_ns);
+  put_u64(buf + n + 12, ack.receiver_ts_ns);
+  put_u32(buf + n + 20, ack.acked_bytes);
+  return n + 24;
+}
+
+size_t encode_heartbeat(uint8_t* buf, uint64_t ts_ns) {
+  size_t n = encode_header(buf, FrameType::kHeartbeat, 8);
+  put_u64(buf + n, ts_ns);
+  return n + 8;
+}
+
+size_t encode_bye(uint8_t* buf) { return encode_header(buf, FrameType::kBye, 0); }
+
+uint64_t expand_seq32(uint32_t wire, uint64_t next_expected) {
+  constexpr uint64_t kEpoch = uint64_t{1} << 32;
+  const uint64_t base = next_expected & ~(kEpoch - 1);
+  const uint64_t candidate = base | wire;
+  // Pick the representative of `wire`'s residue class nearest to
+  // next_expected: candidate, one epoch down, or one epoch up.
+  uint64_t best = candidate;
+  auto dist = [&](uint64_t v) {
+    return v > next_expected ? v - next_expected : next_expected - v;
+  };
+  if (candidate >= kEpoch && dist(candidate - kEpoch) < dist(best)) {
+    best = candidate - kEpoch;
+  }
+  if (candidate <= ~kEpoch && dist(candidate + kEpoch) < dist(best)) {
+    best = candidate + kEpoch;
+  }
+  return best;
+}
+
+}  // namespace proteus

@@ -1,0 +1,127 @@
+// Wire protocol for the live UDP backend: versioned, length-prefixed
+// frames carrying the same signals the simulator's Packet struct moves
+// (seq, send timestamp, one-way-delay echo).
+//
+// Layout (all integers little-endian, encoded byte-by-byte — frames are
+// never reinterpret_cast so the parser is safe on arbitrary input):
+//
+//   header (8 bytes, every frame)
+//     u16 magic    0x50C5
+//     u8  version  kWireVersion
+//     u8  type     FrameType
+//     u16 length   payload bytes after the header
+//     u16 reserved must be zero (room for flags; rejected when set so a
+//                  future version can use them without ambiguity)
+//
+//   HELLO / HELLO_ACK payload (8 bytes): u64 token — connection cookie,
+//     echoed verbatim so a sender can match the reply to its attempt.
+//   DATA payload (12 + pad bytes): u32 seq, u64 send_ts_ns, then `pad`
+//     opaque bytes so the datagram's wire size equals the emulated packet
+//     size (rate emulation charges real bytes).
+//   ACK payload (24 bytes): u32 acked_seq, u64 send_ts_echo_ns,
+//     u64 receiver_ts_ns, u32 acked_bytes.
+//   HEARTBEAT payload (8 bytes): u64 ts_ns.
+//   BYE payload (0 bytes).
+//
+// Sequence numbers travel as 32 bits and are expanded to 64 bits against
+// the receiver's window (expand_seq32), QUIC-packet-number style, so a
+// long transfer survives the 2^32 wrap without trusting the peer.
+//
+// The parser is strict: anything that is not an exactly-sized, current-
+// version frame of a known type is rejected with a reason — truncated
+// input, trailing bytes, bad magic, foreign version, nonzero reserved
+// bits. Rejection is the *only* failure mode; no input may reach
+// undefined behavior (pinned by the fuzz tests under ASan/UBSan).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/units.h"
+
+namespace proteus {
+
+inline constexpr uint16_t kWireMagic = 0x50C5;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kWireHeaderBytes = 8;
+// Largest frame we will emit or accept: one MTU of emulated packet plus
+// the header. Anything longer is rejected before parsing.
+inline constexpr size_t kMaxFrameBytes = kWireHeaderBytes + 12 + kMtuBytes;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kData = 3,
+  kAck = 4,
+  kHeartbeat = 5,
+  kBye = 6,
+};
+
+struct HelloFrame {
+  uint64_t token = 0;
+};
+
+struct DataFrame {
+  uint32_t seq = 0;
+  uint64_t send_ts_ns = 0;
+  // Wire size of the whole datagram (header + payload); the emulated
+  // packet size. Filled by the parser from the actual frame length.
+  int64_t wire_bytes = 0;
+};
+
+struct AckFrame {
+  uint32_t acked_seq = 0;
+  uint64_t send_ts_echo_ns = 0;
+  uint64_t receiver_ts_ns = 0;
+  uint32_t acked_bytes = 0;
+};
+
+struct HeartbeatFrame {
+  uint64_t ts_ns = 0;
+};
+
+// One parsed frame. `type` selects the active member; the others are
+// value-initialized.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  HelloFrame hello;
+  DataFrame data;
+  AckFrame ack;
+  HeartbeatFrame heartbeat;
+};
+
+enum class ParseError {
+  kNone = 0,
+  kTooShort,        // shorter than the fixed header
+  kTooLong,         // longer than kMaxFrameBytes
+  kBadMagic,
+  kBadVersion,      // foreign protocol version
+  kBadType,         // unknown FrameType
+  kReservedBits,    // nonzero reserved header field
+  kLengthMismatch,  // declared length != datagram bytes after the header
+  kBadPayload,      // payload shorter/longer than the type requires
+};
+
+const char* parse_error_name(ParseError e);
+
+// Strict parse of one datagram. Returns kNone and fills `out` on success.
+ParseError parse_frame(const uint8_t* data, size_t len, Frame& out);
+
+// Encoders: write one frame into `buf` (capacity >= kMaxFrameBytes) and
+// return its wire length. encode_data pads the payload so the datagram
+// totals `wire_bytes` (clamped to [header+12, kMaxFrameBytes]).
+size_t encode_hello(uint8_t* buf, uint64_t token);
+size_t encode_hello_ack(uint8_t* buf, uint64_t token);
+size_t encode_data(uint8_t* buf, uint32_t seq, uint64_t send_ts_ns,
+                   int64_t wire_bytes);
+size_t encode_ack(uint8_t* buf, const AckFrame& ack);
+size_t encode_heartbeat(uint8_t* buf, uint64_t ts_ns);
+size_t encode_bye(uint8_t* buf);
+
+// Expands a 32-bit wire sequence number to 64 bits, choosing the value
+// closest to `next_expected` (typically largest seen + 1) among the
+// candidates equal to `wire` mod 2^32. Never returns a negative-epoch
+// value: candidates below zero epoch clamp to the low epoch.
+uint64_t expand_seq32(uint32_t wire, uint64_t next_expected);
+
+}  // namespace proteus

@@ -218,6 +218,7 @@ bool write_mi_records_jsonl(const std::string& path,
   for (size_t i = 0; i < recorder.size(); ++i) {
     out << mi_record_to_json(flow_label, recorder.at(i)) << "\n";
   }
+  out.flush();  // surface ENOSPC here, not in the silent destructor
   return static_cast<bool>(out);
 }
 
@@ -260,6 +261,7 @@ bool write_mi_records_csv(const std::string& path,
         << r.packets_sent << "," << r.packets_acked << "," << r.packets_lost
         << "," << fmt_double(r.duration_sec) << "\n";
   }
+  out.flush();  // surface ENOSPC here, not in the silent destructor
   return static_cast<bool>(out);
 }
 
@@ -270,6 +272,7 @@ bool write_metrics_csv(const std::string& path, const MetricsRegistry& reg) {
   for (const auto& e : reg.entries()) {
     out << e.kind << "," << e.name << "," << fmt_double(e.value) << "\n";
   }
+  out.flush();  // surface ENOSPC here, not in the silent destructor
   return static_cast<bool>(out);
 }
 

@@ -1,0 +1,169 @@
+// Chaos-shim determinism and parsing. The determinism tests run in the
+// TSan tier of verify.sh: two shims with the same seed must produce the
+// identical verdict sequence even when one of them is driven from a
+// different thread at different wall times — the n-th verdict is a pure
+// function of (seed, n), not of any shared RNG stream or clock.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/fault_spec.h"
+#include "rt/chaos.h"
+
+namespace proteus {
+namespace {
+
+struct VerdictRecord {
+  bool drop;
+  bool duplicate;
+  TimeNs depart_delay;
+
+  bool operator==(const VerdictRecord& o) const {
+    return drop == o.drop && duplicate == o.duplicate &&
+           depart_delay == o.depart_delay;
+  }
+};
+
+std::vector<VerdictRecord> drive(ChaosShim& shim, int n) {
+  std::vector<VerdictRecord> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Fixed per-ordinal timestamps so the fluid-queue arithmetic sees
+    // the same `now` sequence in every replay.
+    const TimeNs now = from_ms(1) * i;
+    const ChaosShim::Verdict v = shim.admit(now, 1500, (i % 5) == 0);
+    out.push_back({v.drop, v.duplicate, v.depart_delay});
+  }
+  return out;
+}
+
+ChaosConfig test_config() {
+  ChaosConfig cfg;
+  cfg.rate_mbps = 20.0;
+  cfg.one_way_delay = from_ms(5);
+  cfg.drop = 0.2;
+  cfg.seed = 42;
+  const FaultParseResult faults =
+      parse_faults("reorder@0:p=0.1:delta=10ms,duplicate@0:p=0.05");
+  EXPECT_TRUE(faults.ok) << faults.error;
+  cfg.faults = faults.faults;
+  return cfg;
+}
+
+TEST(Chaos, SameSeedSameVerdicts) {
+  ChaosShim a{test_config()};
+  ChaosShim b{test_config()};
+  EXPECT_EQ(drive(a, 5000), drive(b, 5000));
+  EXPECT_GT(a.stats().dropped_random, 0);
+  EXPECT_GT(a.stats().admitted, 0);
+}
+
+TEST(Chaos, DifferentSeedDifferentVerdicts) {
+  ChaosConfig cfg = test_config();
+  ChaosShim a{cfg};
+  cfg.seed = 43;
+  ChaosShim b{cfg};
+  EXPECT_NE(drive(a, 5000), drive(b, 5000));
+}
+
+TEST(Chaos, VerdictsIndependentOfThreadAndTiming) {
+  // One shim driven inline, one on a separate thread (with scheduling
+  // noise between draws): identical sequences. This is the TSan-tier
+  // pin that determinism does not lean on wall-clock or a shared RNG.
+  ChaosShim inline_shim{test_config()};
+  const std::vector<VerdictRecord> expected = drive(inline_shim, 2000);
+
+  std::vector<VerdictRecord> threaded;
+  std::thread t([&] {
+    ChaosShim shim{test_config()};
+    for (int i = 0; i < 2000; ++i) {
+      if (i % 512 == 0) std::this_thread::yield();
+      const ChaosShim::Verdict v =
+          shim.admit(from_ms(1) * i, 1500, (i % 5) == 0);
+      threaded.push_back({v.drop, v.duplicate, v.depart_delay});
+    }
+  });
+  t.join();
+  EXPECT_EQ(expected, threaded);
+}
+
+TEST(Chaos, DropRateMatchesConfiguredProbability) {
+  ChaosConfig cfg;
+  cfg.drop = 0.2;
+  cfg.seed = 7;
+  ChaosShim shim{cfg};
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) shim.admit(0, 1500, false);
+  const double observed =
+      static_cast<double>(shim.stats().dropped_random) / kN;
+  EXPECT_NEAR(observed, 0.2, 0.02);
+}
+
+TEST(Chaos, BlackoutWindowDropsEverything) {
+  ChaosConfig cfg;
+  const FaultParseResult faults = parse_faults("blackout@1:1");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.faults = faults.faults;
+  ChaosShim shim{cfg};
+  EXPECT_FALSE(shim.admit(from_sec(0.5), 1500, false).drop);
+  EXPECT_TRUE(shim.admit(from_sec(1.5), 1500, false).drop);
+  EXPECT_FALSE(shim.admit(from_sec(2.5), 1500, false).drop);
+  EXPECT_EQ(shim.stats().dropped_blackout, 1);
+}
+
+TEST(Chaos, AckLossHitsOnlyAcks) {
+  ChaosConfig cfg;
+  const FaultParseResult faults = parse_faults("ackloss@0:p=1");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.faults = faults.faults;
+  ChaosShim shim{cfg};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(shim.admit(0, 1500, false).drop);
+    EXPECT_TRUE(shim.admit(0, 40, true).drop);
+  }
+  EXPECT_EQ(shim.stats().dropped_ackloss, 50);
+}
+
+TEST(Chaos, FluidQueueSerializesAndTailDrops) {
+  ChaosConfig cfg;
+  cfg.rate_mbps = 12.0;  // 1500B = 1ms serialization
+  cfg.queue_bytes = 15000;  // 10 packets
+  ChaosShim shim{cfg};
+  // Burst at t=0: departures space out at the serialization time, and
+  // the backlog beyond queue_bytes tail-drops.
+  TimeNs prev = -1;
+  int drops = 0;
+  for (int i = 0; i < 20; ++i) {
+    const ChaosShim::Verdict v = shim.admit(0, 1500, false);
+    if (v.drop) {
+      ++drops;
+      continue;
+    }
+    EXPECT_GT(v.depart_delay, prev);
+    prev = v.depart_delay;
+  }
+  EXPECT_GT(drops, 5);
+  EXPECT_EQ(shim.stats().dropped_queue, drops);
+}
+
+TEST(Chaos, ParseChaosGrammar) {
+  const ChaosParseResult r =
+      parse_chaos("rate=25,delay=10ms,queue=65536,drop=0.2,seed=9");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.config.rate_mbps, 25.0);
+  EXPECT_EQ(r.config.one_way_delay, from_ms(10));
+  EXPECT_EQ(r.config.queue_bytes, 65536);
+  EXPECT_DOUBLE_EQ(r.config.drop, 0.2);
+  EXPECT_EQ(r.config.seed, 9u);
+  EXPECT_TRUE(r.config.active());
+
+  EXPECT_TRUE(parse_chaos("").ok);
+  EXPECT_FALSE(parse_chaos("").config.active());
+  EXPECT_FALSE(parse_chaos("drop=1.5").ok);
+  EXPECT_FALSE(parse_chaos("bogus=1").ok);
+  EXPECT_FALSE(parse_chaos("rate").ok);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,136 @@
+// Short-write and disk-full pins for the I/O retry helpers and the
+// harness writers that were audited to use them. /dev/full is the test
+// vehicle: writes to it fail with ENOSPC, which buffered stdio/ofstream
+// would otherwise hide until the (error-discarding) destructor. Every
+// writer here must surface the loss as a return value or a health flag,
+// never as a silently truncated file.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "harness/checkpoint.h"
+#include "harness/trace_export.h"
+#include "rt/io_retry.h"
+#include "sim/link.h"
+#include "telemetry/telemetry.h"
+
+namespace proteus {
+namespace {
+
+bool dev_full_available() { return ::access("/dev/full", W_OK) == 0; }
+
+TEST(IoRetry, WriteAllCompletesAcrossShortWrites) {
+  // A pipe forces short writes once the kernel buffer fills; write_all on
+  // a blocking fd must still push every byte through while a reader
+  // drains the other end.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const size_t kTotal = 1 << 20;  // well past any default pipe buffer
+  std::string payload(kTotal, 'x');
+
+  ssize_t drained = 0;
+  std::thread reader([&] {
+    char buf[65536];
+    ssize_t n;
+    while ((n = ::read(fds[0], buf, sizeof buf)) > 0) drained += n;
+  });
+  const IoResult r = write_all(fds[1], payload.data(), payload.size());
+  ::close(fds[1]);
+  reader.join();
+  ::close(fds[0]);
+
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, static_cast<ssize_t>(kTotal));
+  EXPECT_EQ(drained, static_cast<ssize_t>(kTotal));
+}
+
+TEST(IoRetry, WriteAllReportsWouldBlockOnNonblockingPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::fcntl(fds[1], F_SETFL, O_NONBLOCK), 0);
+  std::string payload(1 << 20, 'x');
+  const IoResult r = write_all(fds[1], payload.data(), payload.size());
+  EXPECT_EQ(r.status, IoStatus::kWouldBlock);
+  EXPECT_GT(r.bytes, 0);  // partial progress reported, not lost
+  EXPECT_LT(r.bytes, static_cast<ssize_t>(payload.size()));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(IoRetry, CheckedFwriteDetectsEnospc) {
+  if (!dev_full_available()) GTEST_SKIP() << "/dev/full not available";
+  std::FILE* f = std::fopen("/dev/full", "w");
+  ASSERT_NE(f, nullptr);
+  const char msg[] = "doomed";
+  EXPECT_FALSE(checked_fwrite(f, msg, sizeof msg));
+  std::fclose(f);
+
+  std::FILE* ok = std::fopen("/dev/null", "w");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(checked_fwrite(ok, msg, sizeof msg));
+  std::fclose(ok);
+}
+
+TEST(IoShortWrite, CheckpointJournalSurfacesFullDisk) {
+  if (!dev_full_available()) GTEST_SKIP() << "/dev/full not available";
+  // open() writes the header line through checked_fwrite: on a full disk
+  // it must fail closed rather than hand back a journal that loses every
+  // entry.
+  CheckpointJournal j;
+  CheckpointHeader header;
+  header.sweep = "rt-io-pin";
+  header.points = 4;
+  EXPECT_FALSE(j.open("/dev/full", header, /*keep_existing=*/true));
+  EXPECT_FALSE(j.is_open());
+
+  // And a healthy open stays healthy through appends.
+  const std::string path = ::testing::TempDir() + "rt_io_journal.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(j.open(path, header, /*keep_existing=*/false));
+  CheckpointEntry e;
+  e.point = 0;
+  e.status = "ok";
+  e.attempts = 1;
+  j.append(e);
+  EXPECT_TRUE(j.healthy());
+  j.close();
+  std::remove(path.c_str());
+}
+
+TEST(IoShortWrite, TelemetryWritersSurfaceFullDisk) {
+  if (!dev_full_available()) GTEST_SKIP() << "/dev/full not available";
+  MetricsRegistry reg;
+  reg.counter("pin.counter", 1);
+  reg.gauge("pin.gauge", 2.5);
+  EXPECT_FALSE(write_metrics_csv("/dev/full", reg));
+
+  TelemetryRecorder recorder;
+  MiRecord rec;
+  recorder.push(rec);
+  EXPECT_FALSE(write_mi_records_jsonl("/dev/full", "pin", recorder));
+  EXPECT_FALSE(write_mi_records_csv("/dev/full", recorder));
+
+  const std::string path = ::testing::TempDir() + "rt_io_metrics.csv";
+  EXPECT_TRUE(write_metrics_csv(path, reg));
+  std::remove(path.c_str());
+}
+
+TEST(IoShortWrite, TraceExportersSurfaceFullDisk) {
+  if (!dev_full_available()) GTEST_SKIP() << "/dev/full not available";
+  LinkStats stats;
+  stats.offered_packets = 10;
+  stats.delivered_packets = 9;
+  EXPECT_FALSE(write_link_stats_csv("/dev/full", stats));
+
+  const std::string path = ::testing::TempDir() + "rt_io_link.csv";
+  EXPECT_TRUE(write_link_stats_csv(path, stats));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,213 @@
+// Live UDP backend, end to end over loopback (in-process, two RtLoop
+// threads): transfers complete for rate-, window-, and hybrid-paced
+// controllers under 20% seeded chaos drop; the handshake retries through
+// an initial blackout and fails cleanly with no peer; ACK starvation
+// engages the survival machinery (controller-owned for the PCC family,
+// driver park/probe for the rest) and recovers; a programmatic interrupt
+// (the SIGINT path) stops the run cleanly with telemetry flushed; and a
+// live run lands in the same ballpark as the equivalent simulated
+// scenario. Runs in verify.sh tier 7 under ASan/UBSan.
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "harness/fault_spec.h"
+#include "harness/scenario.h"
+#include "harness/supervisor.h"
+#include "rt/live_run.h"
+
+namespace proteus {
+namespace {
+
+ChaosConfig chaos_20mbps(double drop) {
+  ChaosConfig c;
+  c.rate_mbps = 20.0;
+  c.one_way_delay = from_ms(2);
+  c.drop = drop;
+  c.seed = 11;
+  return c;
+}
+
+LiveRunConfig base_config(const std::string& cc) {
+  LiveRunConfig cfg;
+  cfg.cc = cc;
+  cfg.seed = 5;
+  cfg.transfer_bytes = 150'000;
+  cfg.duration = from_sec(30);  // safety cap, not the expected path
+  cfg.stopper = [] { return false; };  // isolate from the global flag
+  return cfg;
+}
+
+class RtLiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_interrupt(); }
+  void TearDown() override { clear_interrupt(); }
+};
+
+TEST_F(RtLiveTest, TransferCompletesUnderChaosDrop) {
+  // The acceptance matrix: a rate-paced scavenger, a window-only loss
+  // controller, and a pacing+window controller, each through 20% drop.
+  for (const char* cc : {"proteus-s", "cubic", "bbr"}) {
+    LiveRunConfig cfg = base_config(cc);
+    cfg.chaos = chaos_20mbps(0.2);
+    const LiveRunResult r = run_live_loopback(cfg);
+    EXPECT_TRUE(r.ok) << cc << ": " << r.error;
+    EXPECT_EQ(r.sender_state, RtSenderState::kDone) << cc;
+    EXPECT_GE(r.sender.bytes_delivered, cfg.transfer_bytes) << cc;
+    EXPECT_GT(r.sender.packets_lost, 0) << cc;  // 20% drop must bite
+    EXPECT_GT(r.data_chaos.dropped_random, 0) << cc;
+    // 20% drop applies to the handshake too; retries are legitimate.
+    EXPECT_GE(r.sender.handshake_attempts, 1) << cc;
+    EXPECT_EQ(r.receiver.parse_rejects, 0) << cc;
+  }
+}
+
+TEST_F(RtLiveTest, HandshakeRetriesThroughInitialBlackout) {
+  LiveRunConfig cfg = base_config("proteus-s");
+  cfg.transfer_bytes = 60'000;
+  cfg.chaos = chaos_20mbps(0.0);
+  const FaultParseResult faults = parse_faults("blackout@0:0.3");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.chaos.faults = faults.faults;
+  const LiveRunResult r = run_live_loopback(cfg);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.sender.handshake_attempts, 1);
+  EXPECT_GE(r.sender.bytes_delivered, cfg.transfer_bytes);
+}
+
+TEST_F(RtLiveTest, HandshakeFailsCleanlyWithNoPeer) {
+  LiveRunConfig cfg = base_config("cubic");
+  cfg.sender.handshake_retries = 2;
+  cfg.sender.handshake_rto = from_ms(20);
+  cfg.sender.handshake_rto_max = from_ms(40);
+  // Nothing listens on this port (we bind it ourselves to reserve it,
+  // then point the sender at a different closed one). Simpler: a port in
+  // the dynamic range with no receiver running.
+  const LiveRunResult r = run_live_sender(cfg, "127.0.0.1", 9);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.sender_state, RtSenderState::kFailed);
+  EXPECT_NE(r.error.find("handshake"), std::string::npos) << r.error;
+  EXPECT_EQ(r.sender.handshake_attempts, 3);  // initial + 2 retries
+}
+
+TEST_F(RtLiveTest, SurvivalEngagesAndRecoversDuringBlackout) {
+  // proteus-s owns its survival response (survival_mode config); the
+  // driver defers and the controller's entry counter must tick during a
+  // mid-transfer blackout longer than its starvation timeout.
+  LiveRunConfig cfg = base_config("proteus-s");
+  cfg.transfer_bytes = 0;  // run for the duration
+  cfg.duration = from_sec(3);
+  cfg.chaos = chaos_20mbps(0.0);
+  const FaultParseResult faults = parse_faults("blackout@1:0.8");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.chaos.faults = faults.faults;
+  const LiveRunResult r = run_live_loopback(cfg);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.cc_owns_survival);
+  EXPECT_GE(r.survival_entries, 1u);
+  EXPECT_GT(r.data_chaos.dropped_blackout, 0);
+  // Recovery: deliveries continued after the blackout window [1s, 1.8s].
+  // 1s of pre-blackout traffic alone cannot account for the total if the
+  // post-blackout second kept delivering; require comfortably more than
+  // the blackout-era floor.
+  EXPECT_GT(r.sender.packets_acked, 100);
+}
+
+TEST_F(RtLiveTest, DriverParksAndProbesForWindowControllers) {
+  // cubic has no survival machinery: the driver's watchdog must park it
+  // and re-probe with backoff until the path returns.
+  LiveRunConfig cfg = base_config("cubic");
+  cfg.transfer_bytes = 0;
+  cfg.duration = from_sec(3);
+  cfg.chaos = chaos_20mbps(0.0);
+  const FaultParseResult faults = parse_faults("blackout@1:0.8");
+  ASSERT_TRUE(faults.ok) << faults.error;
+  cfg.chaos.faults = faults.faults;
+  const LiveRunResult r = run_live_loopback(cfg);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.cc_owns_survival);
+  EXPECT_GE(r.starvation_episodes, 1);
+  EXPECT_GE(r.probe_packets, 1);
+  EXPECT_GT(r.sender.packets_acked, 100);  // recovered after the window
+}
+
+TEST_F(RtLiveTest, InterruptStopsCleanlyAndFlushesTelemetry) {
+  // The SIGINT path, driven programmatically: request_interrupt() is
+  // exactly what the signal handler sets, and the default stopper (used
+  // when cfg.stopper is empty) polls it.
+  const std::string dir = ::testing::TempDir() + "rt_live_telemetry";
+  LiveRunConfig cfg;
+  cfg.cc = "proteus-s";
+  cfg.seed = 5;
+  cfg.transfer_bytes = 0;
+  cfg.duration = from_sec(30);
+  cfg.chaos = chaos_20mbps(0.0);
+  cfg.telemetry_dir = dir;
+  cfg.run_label = "interrupt";
+
+  LiveRunResult r;
+  std::thread runner{[&] { r = run_live_loopback(cfg); }};
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  request_interrupt();
+  runner.join();
+  clear_interrupt();
+
+  EXPECT_TRUE(r.interrupted);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.sender.packets_acked, 0);
+  // Telemetry flushed on the way out: a JSONL with at least one MI
+  // record and the metrics CSV.
+  ASSERT_FALSE(r.telemetry_jsonl.empty());
+  std::ifstream jsonl(r.telemetry_jsonl);
+  ASSERT_TRUE(jsonl.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(jsonl, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_GT(lines, 0);
+  ASSERT_FALSE(r.telemetry_metrics.empty());
+  EXPECT_TRUE(std::ifstream(r.telemetry_metrics).good());
+}
+
+TEST_F(RtLiveTest, CalibrationLiveMatchesSimBallpark) {
+  // Smoke, not a benchmark: the live loopback and the simulated dumbbell
+  // with the same rate/RTT/buffer must land in the same ballpark. The
+  // band is deliberately generous — real wall-clock jitter reads as RTT
+  // deviation to a scavenger utility, so live proteus-s sits well below
+  // its simulated self (and further below under sanitizers). The smoke
+  // catches catastrophic disagreement (zero rate, order-of-magnitude
+  // blowups), not emulation fidelity.
+  LiveRunConfig cfg = base_config("proteus-s");
+  cfg.transfer_bytes = 0;
+  cfg.duration = from_sec(6);
+  cfg.chaos.rate_mbps = 20.0;
+  cfg.chaos.one_way_delay = from_ms(5);
+  cfg.chaos.queue_bytes = 62'500;
+  const LiveRunResult live = run_live_loopback(cfg);
+  ASSERT_TRUE(live.ok) << live.error;
+
+  ScenarioConfig sim_cfg;
+  sim_cfg.bandwidth_mbps = 20.0;
+  sim_cfg.rtt_ms = 10.0;
+  sim_cfg.buffer_bytes = 62'500;
+  sim_cfg.seed = cfg.seed;
+  Scenario scenario{sim_cfg};
+  Flow& flow = scenario.add_flow("proteus-s", 0);
+  scenario.run_until(from_sec(6));
+  const double sim_mbps =
+      flow.mean_throughput_mbps(from_sec(1), from_sec(6));
+
+  ASSERT_GT(sim_mbps, 0.5);
+  ASSERT_GT(live.achieved_mbps, 0.25);
+  const double ratio = live.achieved_mbps / sim_mbps;
+  EXPECT_GT(ratio, 1.0 / 16.0) << "live=" << live.achieved_mbps
+                               << " sim=" << sim_mbps;
+  EXPECT_LT(ratio, 4.0) << "live=" << live.achieved_mbps
+                        << " sim=" << sim_mbps;
+}
+
+}  // namespace
+}  // namespace proteus

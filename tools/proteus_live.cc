@@ -1,0 +1,201 @@
+// proteus_live — drive real traffic through the unmodified controller
+// stack over UDP (src/rt).
+//
+//   proteus_live [--role=loopback|send|recv] [flags]
+//
+//   --role=loopback        sender + receiver threads in this process
+//                          over 127.0.0.1 (default; what CI runs)
+//   --role=send --peer=<host:port>
+//                          sender endpoint of a two-process transfer
+//   --role=recv [--bind=<host:port>]
+//                          receiver endpoint (default bind 0.0.0.0:9753)
+//
+//   --cc=<name>            controller (harness factory names; default
+//                          proteus-s)
+//   --seed=<n>             controller + chaos RNG seed (default 1)
+//   --bytes=<n>            transfer size; 0 = run for --duration
+//   --duration=<sec>       time cap (default 10)
+//   --chaos=<spec>         rate=<Mbps>,delay=<time>,queue=<bytes>,
+//                          drop=<p>,seed=<n> — emulated bottleneck +
+//                          seeded impairment (rt/chaos.h)
+//   --faults=<spec>        windowed events in the simulator's --faults=
+//                          grammar (blackout@2:0.5, ackloss@1:p=0.9:2, ...)
+//   --telemetry=<dir>      export per-MI JSONL + metrics CSV after the run
+//   --label=<name>         run label for telemetry file names
+//   --idle-timeout=<sec>   receiver idle stop (default 5)
+//
+// Exit codes match the sweep drivers: 0 ok, 3 failed, 130 interrupted.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/fault_spec.h"
+#include "harness/supervisor.h"
+#include "rt/live_run.h"
+
+namespace {
+
+using namespace proteus;
+
+struct LiveCli {
+  std::string role = "loopback";
+  std::string peer_host;
+  uint16_t peer_port = 0;
+  std::string bind_host = "";
+  uint16_t bind_port = 9753;
+  LiveRunConfig run;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: proteus_live [--role=loopback|send|recv] [--cc=<name>]\n"
+      "  [--seed=<n>] [--bytes=<n>] [--duration=<sec>] [--chaos=<spec>]\n"
+      "  [--faults=<spec>] [--peer=<host:port>] [--bind=<host:port>]\n"
+      "  [--telemetry=<dir>] [--label=<name>] [--idle-timeout=<sec>]\n"
+      "  %s\n"
+      "  %s\n",
+      chaos_usage().c_str(), fault_spec_usage().c_str());
+}
+
+bool parse_hostport(const std::string& value, std::string& host,
+                    uint16_t& port, std::string& error) {
+  const size_t colon = value.rfind(':');
+  if (colon == std::string::npos) {
+    error = "expected host:port, got: " + value;
+    return false;
+  }
+  host = value.substr(0, colon);
+  char* end = nullptr;
+  const std::string ports = value.substr(colon + 1);
+  const long p = std::strtol(ports.c_str(), &end, 10);
+  if (end != ports.c_str() + ports.size() || p <= 0 || p > 65535) {
+    error = "bad port: " + ports;
+    return false;
+  }
+  port = static_cast<uint16_t>(p);
+  return true;
+}
+
+bool parse_args(const std::vector<std::string>& args, LiveCli& cli,
+                std::string& error) {
+  for (const std::string& arg : args) {
+    auto value_of = [&](const char* flag, std::string& out) {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.compare(0, prefix.size(), prefix) != 0) return false;
+      out = arg.substr(prefix.size());
+      return true;
+    };
+    std::string value;
+    char* end = nullptr;
+    if (value_of("--role", value)) {
+      if (value != "loopback" && value != "send" && value != "recv") {
+        error = "bad --role (loopback|send|recv): " + value;
+        return false;
+      }
+      cli.role = value;
+    } else if (value_of("--cc", value)) {
+      cli.run.cc = value;
+    } else if (value_of("--seed", value)) {
+      cli.run.seed = std::strtoull(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size()) {
+        error = "bad --seed: " + value;
+        return false;
+      }
+    } else if (value_of("--bytes", value)) {
+      cli.run.transfer_bytes = std::strtoll(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size() || cli.run.transfer_bytes < 0) {
+        error = "bad --bytes: " + value;
+        return false;
+      }
+    } else if (value_of("--duration", value)) {
+      const double sec = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || sec <= 0) {
+        error = "bad --duration: " + value;
+        return false;
+      }
+      cli.run.duration = from_sec(sec);
+    } else if (value_of("--idle-timeout", value)) {
+      const double sec = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || sec <= 0) {
+        error = "bad --idle-timeout: " + value;
+        return false;
+      }
+      cli.run.recv_idle_timeout = from_sec(sec);
+    } else if (value_of("--chaos", value)) {
+      ChaosParseResult r = parse_chaos(value);
+      if (!r.ok) {
+        error = r.error;
+        return false;
+      }
+      // Preserve any faults already parsed from --faults=.
+      r.config.faults = cli.run.chaos.faults;
+      cli.run.chaos = r.config;
+    } else if (value_of("--faults", value)) {
+      FaultParseResult r = parse_faults(value);
+      if (!r.ok) {
+        error = r.error;
+        return false;
+      }
+      cli.run.chaos.faults = r.faults;
+    } else if (value_of("--peer", value)) {
+      if (!parse_hostport(value, cli.peer_host, cli.peer_port, error)) {
+        return false;
+      }
+    } else if (value_of("--bind", value)) {
+      if (!parse_hostport(value, cli.bind_host, cli.bind_port, error)) {
+        return false;
+      }
+    } else if (value_of("--telemetry", value)) {
+      cli.run.telemetry_dir = value;
+    } else if (value_of("--label", value)) {
+      cli.run.run_label = value;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      error = "unknown argument: " + arg;
+      return false;
+    }
+  }
+  if (cli.role == "send" && cli.peer_host.empty()) {
+    error = "--role=send requires --peer=<host:port>";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LiveCli cli;
+  std::string error;
+  if (!parse_args({argv + 1, argv + argc}, cli, error)) {
+    std::fprintf(stderr, "proteus_live: %s\n", error.c_str());
+    usage(stderr);
+    return 3;
+  }
+
+  install_interrupt_handler();
+
+  LiveRunResult result;
+  if (cli.role == "loopback") {
+    result = run_live_loopback(cli.run);
+  } else if (cli.role == "send") {
+    result = run_live_sender(cli.run, cli.peer_host, cli.peer_port);
+  } else {
+    result = run_live_receiver(cli.run, cli.bind_host, cli.bind_port);
+  }
+
+  std::printf("%s\n", summarize_live_run(result).c_str());
+  if (!result.telemetry_jsonl.empty()) {
+    std::printf("telemetry: %s\n", result.telemetry_jsonl.c_str());
+  }
+  if (!result.telemetry_metrics.empty()) {
+    std::printf("metrics: %s\n", result.telemetry_metrics.c_str());
+  }
+
+  if (result.interrupted) return 130;
+  return result.ok ? 0 : 3;
+}

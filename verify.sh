@@ -5,8 +5,10 @@
 # they execute), then an ASan+UBSan build running the fault-injection /
 # robustness tests plus the supervisor crash/hang self-test (throwing and
 # deliberately hanging workers driven through the watchdog/retry path),
-# then telemetry schema validation, the perf gate, and finally the
-# adversarial corpus replay + a smoke run of the scenario search driver.
+# then telemetry schema validation, the perf gate, the adversarial corpus
+# replay + a smoke run of the scenario search driver, and finally the live
+# UDP loopback tier: the hardened wire parser fuzzed and the real-time
+# driver run end-to-end (chaos, SIGINT, telemetry) under ASan+UBSan.
 set -eu
 
 cd "$(dirname "$0")"
@@ -18,10 +20,13 @@ ctest --test-dir build --output-on-failure -j
 
 echo "== tier 2: ThreadSanitizer (-DPROTEUS_SANITIZE=thread) =="
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test stats_test telemetry_test topology_test
+cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test stats_test telemetry_test topology_test rt_chaos_test
 ./build-tsan/tests/parallel_runner_test
 ./build-tsan/tests/supervisor_test
 ./build-tsan/tests/pcc_sender_test
+# Chaos-shim determinism across threads: the n-th verdict must be a pure
+# function of (seed, n) — no shared RNG stream, no wall-clock coupling.
+./build-tsan/tests/rt_chaos_test
 # Parking-lot runs under the parallel runner: per-worker topology graphs
 # must share nothing (serial/parallel byte-identity is asserted inside).
 ./build-tsan/tests/topology_test --gtest_filter='ParkingLotDeterminism.*'
@@ -77,5 +82,44 @@ echo "== tier 6: adversarial corpus replay + smoke search =="
 # baseline (exit 4 if not), proving the mutate/select/score loop works.
 ./build/tools/proteus_search --objective=planted:7 --budget=48 --seed=3 \
   --jobs=4 --assert-improves >/dev/null
+
+echo "== tier 7: live UDP loopback under ASan+UBSan =="
+# Static pin first: every wall-clock deadline in the live driver must be
+# steady_clock-derived. A system_clock deadline jumps with NTP steps and
+# breaks RTO/heartbeat/watchdog math; grep keeps it out at review time.
+if grep -rn "chrono::system_clock" src/ tools/; then
+  echo "tier 7: system_clock found in rt/harness wall-clock paths" >&2
+  exit 1
+fi
+# Hardened wire parser + live end-to-end suite under ASan+UBSan: frame
+# fuzzing must never reach UB, and the loopback transfers (chaos drops,
+# handshake retries, survival park/probe, interrupt path, sim-vs-live
+# calibration) must pass with sanitizers watching both threads.
+cmake --build build-asan -j --target rt_wire_test rt_io_test rt_live_test proteus_live
+./build-asan/tests/rt_wire_test
+./build-asan/tests/rt_io_test
+./build-asan/tests/rt_live_test
+# CLI end-to-end: a chaos-laden loopback transfer must complete, write
+# schema-valid telemetry, and a mid-transfer SIGINT must exit 130 with
+# the JSONL flushed.
+LIVEDIR="$TELDIR/live"
+./build-asan/tools/proteus_live --cc=proteus-s --bytes=500000 \
+  --chaos=rate=30,delay=2ms,drop=0.2,seed=7 --telemetry="$LIVEDIR" \
+  --label=tier7 >/dev/null
+./build/tools/telemetry_validate "$LIVEDIR"/*.jsonl
+./build-asan/tools/proteus_live --cc=proteus-s --bytes=0 --duration=30 \
+  --telemetry="$LIVEDIR" --label=tier7-sigint >/dev/null &
+LIVE_PID=$!
+sleep 2
+kill -INT "$LIVE_PID"
+set +e
+wait "$LIVE_PID"
+LIVE_RC=$?
+set -e
+if [ "$LIVE_RC" -ne 130 ]; then
+  echo "tier 7: SIGINT run exited $LIVE_RC, expected 130" >&2
+  exit 1
+fi
+./build/tools/telemetry_validate "$LIVEDIR"/*tier7-sigint*.jsonl
 
 echo "verify: OK"
