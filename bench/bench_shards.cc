@@ -1,0 +1,265 @@
+// Macro benchmark of sharded execution: the "CDN edge under load"
+// scenario (kCdnEdge star, Poisson churn ramping to a live-flow cap)
+// run serially and with --shards worker threads, emitted as JSON
+// (BENCH_shards.json schema).
+//
+// Two things are measured, one is checked:
+//  * aggregate events/sec at shards = 1, 2, 4 over the same scenario,
+//    plus the derived speedups;
+//  * peak RSS after the shards=1 run, divided by the peak concurrent
+//    flow count — the marginal memory cost of a live churn flow;
+//  * determinism: the three runs must execute EXACTLY the same number
+//    of events and spawn/complete the same number of flows. Sharding
+//    only changes which thread executes a part, never the event
+//    stream, so any drift is a bug and the bench exits nonzero.
+//
+// Speedup on a box with fewer hardware threads than shards is
+// physically impossible; the JSON records hardware_threads and the
+// >= 1.5x shards=4 gate only arms when at least 4 are available.
+// verify.sh runs a reduced configuration and hands the result to
+// tools/bench_compare with --keys=events_per_sec_shards1 against the
+// committed BENCH_shards.json.
+//
+// Usage: bench_shards [--flows=n] [--arms=n] [--rate=per-sec]
+//                     [--size=kb] [--duration=simsec] [--ramp=simsec]
+//                     [--seed=n] [--out=path.json]
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/churn.h"
+#include "harness/scenario.h"
+
+namespace proteus {
+namespace {
+
+struct BenchParams {
+  int64_t flows = 100'000;  // live-flow cap (aggregate)
+  int arms = 8;
+  double rate = 0;          // arrivals/sec; 0 = 2x the cap per second
+  double size_kb = 64;      // mean web-class flow size
+  double duration_sec = 2;  // measured window after the ramp
+  double ramp_sec = 0;      // 0 = cap/rate + 0.5
+  uint64_t seed = 7;
+};
+
+struct ShardResult {
+  int shards = 0;
+  uint64_t events_measured = 0;
+  uint64_t events_total = 0;
+  double wall_sec = 0;
+  double events_per_sec = 0;
+  long rss_kb = 0;
+  int parts = 0;
+  TimeNs window = 0;
+  ChurnStats churn;
+};
+
+long peak_rss_kb() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1;
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+ShardResult run_config(int shards, const BenchParams& p, double rate,
+                       double ramp_sec) {
+  ScenarioConfig cfg;
+  cfg.topology.kind = TopologyKind::kCdnEdge;
+  cfg.topology.arms = p.arms;
+  cfg.seed = p.seed;
+  cfg.shards = shards;
+  cfg.planned_flows = static_cast<FlowId>(p.flows) * 2;
+  Scenario sc(cfg);
+
+  ChurnConfig ch;
+  ch.arrivals_per_sec = rate;
+  ch.mean_size_kb = p.size_kb;
+  ch.max_concurrent = p.flows;
+  ch.window_slots = 8;
+  ChurnDriver churn(sc, ch);
+
+  sc.run_until(from_sec(ramp_sec));
+  const uint64_t warm = sc.events_processed();
+  const auto t0 = std::chrono::steady_clock::now();
+  sc.run_until(from_sec(ramp_sec + p.duration_sec));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ShardResult r;
+  r.shards = shards;
+  r.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  r.events_measured = sc.events_processed() - warm;
+  r.events_total = sc.events_processed();
+  r.events_per_sec = static_cast<double>(r.events_measured) / r.wall_sec;
+  r.rss_kb = peak_rss_kb();
+  const PartitionPlan plan = sc.partition_plan();
+  r.parts = plan.parts;
+  r.window = plan.window;
+  r.churn = churn.stats();
+  return r;
+}
+
+int run(int argc, char** argv) {
+  BenchParams p;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--flows=", 0) == 0) {
+      p.flows = std::atoll(arg.c_str() + 8);
+    } else if (arg.rfind("--arms=", 0) == 0) {
+      p.arms = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      p.rate = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--size=", 0) == 0) {
+      p.size_kb = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      p.duration_sec = std::atof(arg.c_str() + 11);
+    } else if (arg.rfind("--ramp=", 0) == 0) {
+      p.ramp_sec = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      p.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_shards [--flows=n] [--arms=n] "
+                   "[--rate=per-sec] [--size=kb] [--duration=simsec] "
+                   "[--ramp=simsec] [--seed=n] [--out=path.json]\n";
+      return 2;
+    }
+  }
+  if (p.flows < 1 || p.arms < 2 || p.duration_sec <= 0) {
+    std::cerr << "bench_shards: bad --flows/--arms/--duration\n";
+    return 2;
+  }
+  const double rate =
+      p.rate > 0 ? p.rate : 2.0 * static_cast<double>(p.flows);
+  const double ramp =
+      p.ramp_sec > 0 ? p.ramp_sec
+                     : static_cast<double>(p.flows) / rate + 0.5;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<ShardResult> results;
+  for (int shards : {1, 2, 4}) {
+    std::fprintf(stderr, "bench_shards: shards=%d ...\n", shards);
+    results.push_back(run_config(shards, p, rate, ramp));
+  }
+
+  // Determinism gate: identical event streams regardless of threads.
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].events_total != results[0].events_total ||
+        results[i].churn.spawned != results[0].churn.spawned ||
+        results[i].churn.completed != results[0].churn.completed) {
+      std::cerr << "bench_shards: DETERMINISM VIOLATION: shards="
+                << results[i].shards << " executed "
+                << results[i].events_total << " events / "
+                << results[i].churn.spawned << " spawned vs "
+                << results[0].events_total << " / "
+                << results[0].churn.spawned << " at shards=1\n";
+      return 1;
+    }
+  }
+
+  const ShardResult& s1 = results[0];
+  const double speedup2 = results[1].events_per_sec / s1.events_per_sec;
+  const double speedup4 = results[2].events_per_sec / s1.events_per_sec;
+  const double rss_per_flow =
+      s1.churn.peak_concurrent > 0
+          ? static_cast<double>(s1.rss_kb) * 1024.0 /
+                static_cast<double>(s1.churn.peak_concurrent)
+          : 0.0;
+
+  std::ostringstream json;
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"bench\": \"shards\",\n"
+      "  \"workload\": \"cdn-edge churn: %d arms, cap %lld flows, "
+      "%.0f arrivals/sec, mean %.0f KB\",\n"
+      "  \"flows_cap\": %lld,\n"
+      "  \"arms\": %d,\n"
+      "  \"parts\": %d,\n"
+      "  \"window_ns\": %lld,\n"
+      "  \"ramp_sim_sec\": %.3f,\n"
+      "  \"duration_sim_sec\": %.3f,\n"
+      "  \"hardware_threads\": %u,\n",
+      p.arms, static_cast<long long>(p.flows), rate, p.size_kb,
+      static_cast<long long>(p.flows), p.arms, s1.parts,
+      static_cast<long long>(s1.window), ramp, p.duration_sec, hw);
+  json << buf;
+  for (const ShardResult& r : results) {
+    std::snprintf(buf, sizeof(buf),
+                  "  \"shards%d\": {\n"
+                  "    \"events\": %llu,\n"
+                  "    \"wall_sec\": %.6f,\n"
+                  "    \"events_per_sec\": %.1f,\n"
+                  "    \"rss_kb\": %ld\n"
+                  "  },\n",
+                  r.shards,
+                  static_cast<unsigned long long>(r.events_measured),
+                  r.wall_sec, r.events_per_sec, r.rss_kb);
+    json << buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"events_per_sec_shards1\": %.1f,\n"
+      "  \"events_per_sec_shards2\": %.1f,\n"
+      "  \"events_per_sec_shards4\": %.1f,\n"
+      "  \"speedup_shards2\": %.3f,\n"
+      "  \"speedup_shards4\": %.3f,\n"
+      "  \"events_total\": %llu,\n"
+      "  \"flows_spawned\": %lld,\n"
+      "  \"flows_completed\": %lld,\n"
+      "  \"flows_skipped\": %lld,\n"
+      "  \"concurrent_peak\": %lld,\n"
+      "  \"peak_rss_kb\": %ld,\n"
+      "  \"peak_rss_per_flow_bytes\": %.1f\n"
+      "}\n",
+      s1.events_per_sec, results[1].events_per_sec,
+      results[2].events_per_sec, speedup2, speedup4,
+      static_cast<unsigned long long>(s1.events_total),
+      static_cast<long long>(s1.churn.spawned),
+      static_cast<long long>(s1.churn.completed),
+      static_cast<long long>(s1.churn.skipped),
+      static_cast<long long>(s1.churn.peak_concurrent), s1.rss_kb,
+      rss_per_flow);
+  json << buf;
+
+  std::cout << json.str();
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f.good()) {
+      std::cerr << "bench_shards: cannot write " << out_path << "\n";
+      return 2;
+    }
+    f << json.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  // The parallel-speedup gate only means something when the hardware
+  // can actually run 4 workers at once.
+  if (hw >= 4 && speedup4 < 1.5) {
+    std::cerr << "bench_shards: speedup_shards4 = " << speedup4
+              << " < 1.5 with " << hw << " hardware threads\n";
+    return 1;
+  }
+  if (hw < 4) {
+    std::cerr << "bench_shards: note: only " << hw
+              << " hardware thread(s); speedup gate skipped "
+                 "(determinism gate still enforced)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace proteus
+
+int main(int argc, char** argv) { return proteus::run(argc, argv); }

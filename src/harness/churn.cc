@@ -1,0 +1,147 @@
+#include "harness/churn.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace proteus {
+
+namespace {
+
+// Class order is the draw order: one uniform in [0,1) against the
+// cumulative mix picks web < video < bulk < scavenger.
+constexpr const char* kClassProtocol[] = {"cubic", "bbr", "proteus-p",
+                                          "proteus-s"};
+constexpr double kClassSizeScale[] = {1.0, 8.0, 32.0, 16.0};
+
+}  // namespace
+
+ChurnDriver::ChurnDriver(Scenario& scenario, ChurnConfig cfg)
+    : scenario_(&scenario), cfg_(cfg) {
+  if (cfg_.arrivals_per_sec <= 0.0) {
+    throw std::runtime_error("churn arrivals_per_sec must be > 0");
+  }
+  if (cfg_.mean_size_kb <= 0.0) {
+    throw std::runtime_error("churn mean_size_kb must be > 0");
+  }
+  const double total =
+      cfg_.mix_web + cfg_.mix_video + cfg_.mix_bulk + cfg_.mix_scavenger;
+  if (total <= 0.0) {
+    throw std::runtime_error("churn mix weights must sum to > 0");
+  }
+  norm_web_ = cfg_.mix_web / total;
+  norm_video_ = norm_web_ + cfg_.mix_video / total;
+  norm_bulk_ = norm_video_ + cfg_.mix_bulk / total;
+
+  const int n = std::max(1, scenario.arm_count());
+  const uint64_t seed_base = scenario.config().seed ^ 0xc4;
+  for (int a = 0; a < n; ++a) {
+    auto p = std::make_unique<ArmProc>(
+        a, &scenario.arm_sim(a),
+        seed_base + 0x9e3779b9ULL * static_cast<uint64_t>(a));
+    p->mean_gap_ns = 1e9 * n / cfg_.arrivals_per_sec;
+    p->cap = std::max<int64_t>(1, cfg_.max_concurrent / n);
+    arms_.push_back(std::move(p));
+  }
+  for (int a = 0; a < n; ++a) {
+    ArmProc& p = *arms_[a];
+    const LifeTag::Ref alive = p.alive.ref();
+    p.sim->schedule_at(std::max(cfg_.start, p.sim->now()),
+                       [this, a, alive] {
+                         if (alive.expired()) return;
+                         schedule_next(a);
+                       });
+  }
+}
+
+ChurnDriver::~ChurnDriver() = default;
+
+void ChurnDriver::schedule_next(int arm) {
+  ArmProc& p = *arms_[arm];
+  const TimeNs gap = std::max<TimeNs>(
+      1, static_cast<TimeNs>(p.rng.exponential(p.mean_gap_ns)));
+  const TimeNs when = p.sim->now() + gap;
+  if (when >= cfg_.stop) return;  // process ends; live flows drain out
+  const LifeTag::Ref alive = p.alive.ref();
+  p.sim->schedule_at(when, [this, arm, alive] {
+    if (alive.expired()) return;
+    arrive(arm);
+    schedule_next(arm);
+  });
+}
+
+void ChurnDriver::arrive(int arm) {
+  ArmProc& p = *arms_[arm];
+  // Draw class and size unconditionally (see header: the RNG stream must
+  // not depend on how many arrivals the cap sheds).
+  const double u = p.rng.uniform();
+  int cls = 3;
+  if (u < norm_web_) {
+    cls = 0;
+  } else if (u < norm_video_) {
+    cls = 1;
+  } else if (u < norm_bulk_) {
+    cls = 2;
+  }
+  const double mean_bytes = cfg_.mean_size_kb * 1024.0 * kClassSizeScale[cls];
+  const int64_t bytes = std::max<int64_t>(
+      kMtuBytes, static_cast<int64_t>(p.rng.exponential(mean_bytes)));
+
+  if (static_cast<int64_t>(p.live.size()) >= p.cap) {
+    ++p.stats.skipped;
+    return;
+  }
+
+  const FlowId id = scenario_->allocate_flow_id_on(arm);
+  FlowConfig fc;
+  fc.id = id;
+  fc.start_time = p.sim->now();
+  fc.unlimited = false;
+  fc.total_bytes = bytes;
+  fc.collect_rtt = false;
+  fc.initial_window_slots = cfg_.window_slots;
+  std::unique_ptr<Flow> flow =
+      scenario_->create_flow(arm, kClassProtocol[cls], fc);
+
+  // Completion fires inside the sender's own ACK processing; destroying
+  // the flow there would pull the stack out from under it. Defer the
+  // removal to a fresh event at the same timestamp.
+  const LifeTag::Ref alive = p.alive.ref();
+  flow->sender().set_on_all_delivered([this, arm, id, alive] {
+    if (alive.expired()) return;
+    ArmProc& q = *arms_[arm];
+    const LifeTag::Ref alive2 = q.alive.ref();
+    q.sim->schedule_at(q.sim->now(), [this, arm, id, alive2] {
+      if (alive2.expired()) return;
+      remove(arm, id);
+    });
+  });
+
+  p.live.emplace(id, std::move(flow));
+  ++p.stats.spawned;
+  p.stats.peak_concurrent = std::max(
+      p.stats.peak_concurrent, static_cast<int64_t>(p.live.size()));
+}
+
+void ChurnDriver::remove(int arm, FlowId id) {
+  ArmProc& p = *arms_[arm];
+  auto it = p.live.find(id);
+  if (it == p.live.end()) return;
+  p.live.erase(it);  // ~Flow detaches from the arm's network
+  scenario_->release_flow_id(id);
+  ++p.stats.completed;
+}
+
+ChurnStats ChurnDriver::stats() const {
+  ChurnStats total;
+  for (const auto& p : arms_) {
+    total.spawned += p->stats.spawned;
+    total.completed += p->stats.completed;
+    total.skipped += p->stats.skipped;
+    total.concurrent += static_cast<int64_t>(p->live.size());
+    total.peak_concurrent += p->stats.peak_concurrent;
+  }
+  return total;
+}
+
+}  // namespace proteus

@@ -1,0 +1,105 @@
+// ChurnDriver: seeded Poisson flow arrival/departure churn over a
+// Scenario — the "CDN edge under load" workload generator.
+//
+// Each arm of a kCdnEdge scenario runs its own independent arrival
+// process on its own simulator and RNG stream, so churn scales across
+// shard parts with zero cross-part coordination and the spawn/complete
+// sequence on every arm is a pure function of (seed, arm) — byte
+// identical for every --shards value. On single-part topologies the
+// driver degrades to one process on the scenario's simulator.
+//
+// Arrivals draw (gap, class, size) from the arm's RNG on EVERY arrival,
+// including arrivals rejected by the max_concurrent cap — capping load
+// must not desynchronize the RNG stream between runs that shed
+// different amounts of work (e.g. different cap settings under the same
+// seed share every accepted flow's size).
+//
+// Flow ids come from Scenario::allocate_flow_id_on and are released
+// back on completion, so long churn runs recycle a bounded id range and
+// stay on the dense flow-demux tables (sim/topology.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/scenario.h"
+#include "sim/life_tag.h"
+#include "stats/rng.h"
+
+namespace proteus {
+
+struct ChurnConfig {
+  // Aggregate arrival rate across the whole scenario; split evenly
+  // across arms (each arm's process runs at rate / arm_count).
+  double arrivals_per_sec = 1000.0;
+  // Mean flow size for the web class; other classes scale it (video 8x,
+  // bulk 32x, scavenger 16x). Sizes are exponential, floored at one MTU.
+  double mean_size_kb = 256.0;
+  // Aggregate live-flow cap; arrivals past it are counted as skipped
+  // (their RNG draws still happen). Split evenly across arms.
+  int64_t max_concurrent = 10'000;
+  // Workload mix weights (normalized internally):
+  // web -> cubic, video -> bbr, bulk -> proteus-p, scavenger -> proteus-s.
+  double mix_web = 0.4;
+  double mix_video = 0.3;
+  double mix_bulk = 0.2;
+  double mix_scavenger = 0.1;
+  TimeNs start = 0;
+  TimeNs stop = kTimeInfinite;  // no arrivals at or after this time
+  // Sender slot-ring hint for churn flows (storage only; see Sender).
+  int window_slots = 16;
+};
+
+struct ChurnStats {
+  int64_t spawned = 0;
+  int64_t completed = 0;
+  int64_t skipped = 0;  // arrivals rejected by max_concurrent
+  int64_t concurrent = 0;
+  int64_t peak_concurrent = 0;
+};
+
+class ChurnDriver {
+ public:
+  // The driver must be destroyed before `scenario` (it owns Flows bound
+  // to the scenario's simulators and networks).
+  ChurnDriver(Scenario& scenario, ChurnConfig cfg);
+  ~ChurnDriver();
+
+  ChurnDriver(const ChurnDriver&) = delete;
+  ChurnDriver& operator=(const ChurnDriver&) = delete;
+
+  // Aggregated across arms. Safe to call whenever no sharded run_until
+  // is in flight (between run_until chunks or after the run).
+  ChurnStats stats() const;
+
+ private:
+  struct ArmProc {
+    int arm = 0;
+    Simulator* sim = nullptr;
+    Rng rng;
+    double mean_gap_ns = 0.0;
+    int64_t cap = 0;
+    std::unordered_map<FlowId, std::unique_ptr<Flow>> live;
+    ChurnStats stats;
+    // Guards this arm's scheduled callbacks after dtor. Per-arm (not one
+    // driver-wide tag) because LifeTag's refcount is non-atomic: every
+    // Ref of this tag is only ever copied/dropped on the thread that
+    // owns this arm's shard part, so sharded runs stay race-free without
+    // paying for atomics on the serial hot path.
+    LifeTag alive;
+    ArmProc(int a, Simulator* s, uint64_t seed) : arm(a), sim(s), rng(seed) {}
+  };
+
+  void schedule_next(int arm);
+  void arrive(int arm);
+  void remove(int arm, FlowId id);
+
+  Scenario* scenario_;
+  ChurnConfig cfg_;
+  double norm_web_, norm_video_, norm_bulk_;  // cumulative mix thresholds
+  std::vector<std::unique_ptr<ArmProc>> arms_;
+};
+
+}  // namespace proteus

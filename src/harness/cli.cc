@@ -152,9 +152,12 @@ bool parse_topology_flag(const std::string& arg, TopologyParams& params,
     params.kind = TopologyKind::kFanIn;
   } else if (kind == "star") {
     params.kind = TopologyKind::kStar;
+  } else if (kind == "cdn") {
+    params.kind = TopologyKind::kCdnEdge;
   } else {
-    error = "bad --topology kind (want dumbbell|parkinglot|fanin|star): " +
-            kind;
+    error =
+        "bad --topology kind (want dumbbell|parkinglot|fanin|star|cdn): " +
+        kind;
     return false;
   }
 
@@ -196,6 +199,97 @@ bool parse_topology_flag(const std::string& arg, TopologyParams& params,
   return true;
 }
 
+bool parse_shards_flag(const std::string& arg, int& shards,
+                       std::string& error) {
+  constexpr const char kPrefix[] = "--shards";
+  if (arg.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  const size_t eq = arg.find('=');
+  if (arg.substr(0, eq) != kPrefix) return false;  // e.g. --shardsfoo
+  const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+  int64_t n = 0;
+  if (value.empty() || !parse_int64(value, n) || n < 1 || n > 256) {
+    error = "bad --shards (want 1..256): " + value;
+    return false;
+  }
+  shards = static_cast<int>(n);
+  return true;
+}
+
+bool parse_churn_flag(const std::string& arg,
+                      std::optional<ChurnConfig>& churn, std::string& error) {
+  constexpr const char kPrefix[] = "--churn=";
+  if (arg.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  const std::string spec = arg.substr(sizeof(kPrefix) - 1);
+
+  ChurnConfig cfg;
+  bool have_rate = false;
+  size_t pos = 0;
+  while (pos != std::string::npos && pos < spec.size()) {
+    size_t next = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    pos = next == std::string::npos ? next : next + 1;
+    const size_t eq = item.find('=');
+    const std::string key = item.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : item.substr(eq + 1);
+    if (key == "rate") {
+      if (value.empty() || !parse_double(value, cfg.arrivals_per_sec) ||
+          cfg.arrivals_per_sec <= 0) {
+        error = "bad --churn rate: " + value;
+        return false;
+      }
+      have_rate = true;
+    } else if (key == "size") {
+      if (value.empty() || !parse_double(value, cfg.mean_size_kb) ||
+          cfg.mean_size_kb <= 0) {
+        error = "bad --churn size (mean KB): " + value;
+        return false;
+      }
+    } else if (key == "max") {
+      if (value.empty() || !parse_int64(value, cfg.max_concurrent) ||
+          cfg.max_concurrent < 1) {
+        error = "bad --churn max: " + value;
+        return false;
+      }
+    } else if (key == "mix") {
+      // w:v:b:s weights (web, video, bulk, scavenger).
+      double w[4];
+      size_t p = 0;
+      bool ok = true;
+      for (int i = 0; i < 4 && ok; ++i) {
+        const size_t colon = value.find(':', p);
+        const bool last = i == 3;
+        if ((colon == std::string::npos) != last) {
+          ok = false;
+          break;
+        }
+        const std::string tok = value.substr(
+            p, colon == std::string::npos ? std::string::npos : colon - p);
+        ok = parse_double(tok, w[i]) && w[i] >= 0;
+        p = colon + 1;
+      }
+      if (!ok || w[0] + w[1] + w[2] + w[3] <= 0) {
+        error = "bad --churn mix (want w:v:b:s weights): " + value;
+        return false;
+      }
+      cfg.mix_web = w[0];
+      cfg.mix_video = w[1];
+      cfg.mix_bulk = w[2];
+      cfg.mix_scavenger = w[3];
+    } else {
+      error = "bad --churn option (want rate=|size=|max=|mix=): " + item;
+      return false;
+    }
+  }
+  if (!have_rate) {
+    error = "--churn needs rate=<arrivals per second>";
+    return false;
+  }
+  churn = cfg;
+  return true;
+}
+
 bool parse_jobs_flag(const std::string& arg, int& jobs, std::string& error) {
   constexpr const char kPrefix[] = "--jobs";
   if (arg.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
@@ -217,7 +311,8 @@ std::string cli_usage() {
          "[--loss=frac] [--duration=sec] [--warmup=sec] [--seed=n] "
          "[--jobs=n] [--wifi] [--trace=file.csv] [--rtt-trace=file.csv] "
          "[--link-stats=file.csv] [--faults=spec] "
-         "[--topology=kind[:arms=n][:edge-bw=Mbps][:spread=x]] [--retries=n] "
+         "[--topology=kind[:arms=n][:edge-bw=Mbps][:spread=x]] [--shards=n] "
+         "[--churn=rate=r[,size=kb][,max=n][,mix=w:v:b:s]] [--retries=n] "
          "[--run-timeout=sec] [--sim-timeout=sec] [--checkpoint=journal] "
          "[--resume=journal] [--bundle-dir=dir] [--telemetry=dir] "
          "[--telemetry-every=n] [--profile] [--engine=wheel|heap] "
@@ -342,6 +437,16 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
         if (r.error.empty()) r.error = "bad --topology: " + value;
         return r;
       }
+    } else if (key == "--shards") {
+      if (!parse_shards_flag(arg, opt.scenario.shards, r.error)) {
+        if (r.error.empty()) r.error = "bad --shards: " + value;
+        return r;
+      }
+    } else if (key == "--churn") {
+      if (!parse_churn_flag(arg, opt.churn, r.error)) {
+        if (r.error.empty()) r.error = "bad --churn: " + value;
+        return r;
+      }
     } else if (key == "--faults") {
       if (!need_value("--faults")) return r;
       FaultParseResult faults = parse_faults(value);
@@ -356,8 +461,8 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     }
   }
 
-  if (!have_flows) {
-    r.error = "missing --flows";
+  if (!have_flows && !opt.churn.has_value()) {
+    r.error = "missing --flows (or --churn)";
     return r;
   }
   if (opt.warmup_sec >= opt.duration_sec) {

@@ -11,7 +11,11 @@
 //   --link-stats=<path.csv> (bottleneck counters incl. fault counters)
 //   --faults=<spec>        (fault schedule; see harness/fault_spec.h)
 //   --topology=<kind>[:arms=N][:edge-bw=Mbps][:spread=X]
-//                          (network shape: dumbbell|parkinglot|fanin|star)
+//                          (network shape: dumbbell|parkinglot|fanin|star|cdn)
+//   --shards=<n>           (worker threads for the sharded cdn topology;
+//                           digests are identical for every value)
+//   --churn=rate=<per-sec>[,size=<KB>][,max=<n>][,mix=<w:v:b:s>]
+//                          (Poisson flow arrival/departure churn)
 //   --retries=<n>          (supervisor: extra attempts for a failed run)
 //   --run-timeout=<sec>    (supervisor: wall-clock watchdog per attempt)
 //   --sim-timeout=<sec>    (supervisor: simulated-time watchdog per attempt)
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/churn.h"
 #include "harness/scenario.h"
 #include "harness/supervisor.h"
 
@@ -56,6 +61,8 @@ struct CliOptions {
   // jobs field above is authoritative; supervisor.jobs mirrors it.
   // supervisor.telemetry carries the --telemetry/--telemetry-every flags.
   SupervisorConfig supervisor;
+  // Poisson arrival/departure churn (--churn=...); nullopt = none.
+  std::optional<ChurnConfig> churn;
 };
 
 struct CliParseResult {
@@ -94,6 +101,17 @@ bool parse_telemetry_flag(const std::string& arg, TelemetryConfig& cfg,
 // parse_jobs_flag. Shared by parse_cli and the bench binaries.
 bool parse_topology_flag(const std::string& arg, TopologyParams& params,
                          std::string& error);
+
+// Recognizes a `--shards=N` argument (worker threads for the sharded
+// window-barrier engine; kCdnEdge only changes speed, never results).
+// Same contract as parse_jobs_flag. Shared with the bench binaries.
+bool parse_shards_flag(const std::string& arg, int& shards,
+                       std::string& error);
+
+// Recognizes a `--churn=rate=R[,size=KB][,max=N][,mix=w:v:b:s]`
+// argument. Same contract as parse_jobs_flag.
+bool parse_churn_flag(const std::string& arg,
+                      std::optional<ChurnConfig>& churn, std::string& error);
 
 // One-line usage string for --help / errors.
 std::string cli_usage();

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/shard.h"
+
 namespace proteus {
 
 namespace {
@@ -44,6 +46,10 @@ std::unique_ptr<Topology> build_topology(Simulator* sim,
   switch (tp.kind) {
     case TopologyKind::kDumbbell:
       break;  // handled by the Dumbbell class itself; never reaches here
+
+    case TopologyKind::kCdnEdge:
+      // Built by Scenario::build_cdn (one graph per shard part).
+      throw std::logic_error("kCdnEdge never reaches build_topology");
 
     case TopologyKind::kParkingLot: {
       // Chain of `arms` bottleneck hops over nodes 0..arms. Path 0 runs
@@ -200,7 +206,213 @@ std::unique_ptr<Topology> build_topology(Simulator* sim,
 
 }  // namespace
 
+// The sharded CDN-edge fabric (TopologyKind::kCdnEdge). Part 0 owns the
+// shared core link; part 1+a owns arm a's leaf subgraph (its own
+// Topology, flow tables, links, and RNG streams). The only cross-part
+// traffic is data packets entering and leaving the core, both carried by
+// ShardSet::post with at least the barrier window of delay in hand:
+//
+//   arm -> core: the access-link propagation (rtt/8) is modeled as the
+//                post delay itself — no queueing on access links.
+//   core -> arm: the core's delivery hook fires at service time with the
+//                post-propagation arrival (rtt/8 later), so the core's
+//                full propagation delay is the lookahead.
+//
+// ACKs never cross parts: each arm's reverse delay edge runs from its
+// client straight back to its senders, all inside the arm's own part.
+// Every mutable structure is therefore owned by exactly one part, which
+// is what makes the N-thread run race-free and byte-identical to the
+// 1-thread run by construction.
+struct Scenario::CdnState {
+  struct Arm;
+  int arms = 0;
+  TimeNs window = 0;        // barrier window = min cross-part delay
+  TimeNs access_delay = 0;  // arm source -> core ingress
+  std::unique_ptr<ShardSet> shards;
+  std::unique_ptr<Link> core;  // shared core, lives on part 0
+  std::vector<std::unique_ptr<FaultTimeline>> core_faults;  // owned here
+  std::vector<std::unique_ptr<Arm>> arm;
+};
+
+struct Scenario::CdnState::Arm final : Network {
+  Arm(CdnState* st, int index, FlowId stride)
+      : state(st),
+        part(1 + index),
+        ids(static_cast<FlowId>(1 + index), stride) {
+    uplink.arm = this;
+  }
+
+  // Network seen by flows homed on this arm: data packets enter the
+  // shared core via a cross-part post; ACKs ride the arm-local reverse
+  // delay edge; attach/detach hit this arm's own flow tables.
+  PacketSink* forward_ingress(FlowId) override { return &uplink; }
+  void send_reverse(const Packet& ack) override { topo->send_reverse(ack); }
+  void attach_flow(FlowId id, PacketSink* receiver_side,
+                   PacketSink* sender_ack_side) override {
+    topo->attach_flow(id, receiver_side, sender_ack_side);
+  }
+  void detach_flow(FlowId id) override { topo->detach_flow(id); }
+
+  struct Uplink final : PacketSink {
+    void on_packet(const Packet& pkt) override {
+      CdnState* st = arm->state;
+      st->shards->post(
+          arm->part, /*dst=*/0,
+          st->shards->part(arm->part).now() + st->access_delay,
+          [core = st->core.get(), pkt] { core->on_packet(pkt); });
+    }
+    Arm* arm = nullptr;
+  } uplink;
+
+  CdnState* state;
+  int part;
+  IdAllocator ids;  // mints 1+index, 1+index+arms, ... (arm from id alone)
+  std::unique_ptr<Topology> topo;  // leaf link + ack edge on this part
+  Topology::EdgeId ack_edge = -1;
+};
+
+void Scenario::build_cdn() {
+  const TopologyParams& tp = cfg_.topology;
+  const int arms = std::max(2, tp.arms);
+  if (cfg_.wifi_noise || cfg_.markov_rate) {
+    throw std::runtime_error(
+        "cdn topology does not support wifi noise or the markov rate "
+        "process: both attach a shared stochastic process to the core, "
+        "whose draws would depend on cross-part execution order");
+  }
+  if (cfg_.ack_aggregation) {
+    throw std::runtime_error(
+        "cdn topology does not support ack aggregation yet (ACK paths "
+        "are arm-local; use star for aggregator experiments)");
+  }
+  const double edge_mbps = tp.edge_bandwidth_mbps > 0.0
+                               ? tp.edge_bandwidth_mbps
+                               : cfg_.bandwidth_mbps * 2.0;
+  const TimeNs fwd = from_ms(cfg_.rtt_ms / 2.0);
+  const TimeNs window = fwd / 4;
+  if (window <= 0) {
+    throw std::runtime_error(
+        "cdn topology needs rtt_ms >= a few ns to derive a positive "
+        "barrier window (rtt/8)");
+  }
+
+  cdn_ = std::make_unique<CdnState>();
+  cdn_->arms = arms;
+  cdn_->window = window;
+  cdn_->access_delay = fwd / 4;
+  cdn_->shards = std::make_unique<ShardSet>(arms + 1, window, cfg_.seed,
+                                            cfg_.engine);
+
+  // Shared core on part 0: the contended resource (2x the leaf rate by
+  // default, like the star core) and the target of "link 0" faults.
+  LinkConfig core = base_link(cfg_);
+  core.rate = Bandwidth::from_mbps(edge_mbps);
+  core.prop_delay = fwd / 4;
+  cdn_->core = std::make_unique<Link>(&cdn_->shards->part(0), core,
+                                      link_seed(cfg_, 0));
+
+  for (int a = 0; a < arms; ++a) {
+    auto arm = std::make_unique<CdnState::Arm>(cdn_.get(), a,
+                                               static_cast<FlowId>(arms));
+    arm->topo = std::make_unique<Topology>(&cdn_->shards->part(1 + a));
+    // Heterogeneous client RTTs, same spread law as the star: leaf a's
+    // one-way delay scales by 1 + rtt_spread * a / (arms - 1).
+    const double scale = 1.0 + tp.rtt_spread * a / std::max(1, arms - 1);
+    LinkConfig leaf = base_link(cfg_);
+    leaf.prop_delay =
+        static_cast<TimeNs>(static_cast<double>(fwd / 2) * scale);
+    const Topology::EdgeId leaf_id =
+        arm->topo->add_link(0, 1, leaf, link_seed(cfg_, 1 + a),
+                            "leaf" + std::to_string(a));
+    // Reverse delay covers the whole return trip (client -> sender), so
+    // arm a's base RTT is (rtt/2) * (1 + scale): rtt for arm 0, up to
+    // rtt * (1 + spread/2) for the farthest arm.
+    const TimeNs back =
+        fwd / 2 + static_cast<TimeNs>(static_cast<double>(fwd / 2) * scale);
+    arm->ack_edge =
+        arm->topo->add_delay_edge(1, 0, back, "ack" + std::to_string(a));
+    arm->topo->add_path({{leaf_id}, {arm->ack_edge}});
+    if (cfg_.planned_flows > 0) {
+      // Ids interleave across arms, so each arm's dense demux table must
+      // span the global id range, not planned/arms.
+      arm->topo->reserve_flows(cfg_.planned_flows +
+                               static_cast<FlowId>(arms) + 1);
+    }
+    cdn_->arm.push_back(std::move(arm));
+  }
+
+  // Core egress: re-home each served packet onto its flow's arm. The
+  // hook fires at service time with the post-propagation arrival, so the
+  // core's full propagation delay is in hand when the packet crosses.
+  CdnState* st = cdn_.get();
+  cdn_->core->set_delivery_scheduler([st](TimeNs arrival, const Packet& pkt) {
+    const int a = static_cast<int>((pkt.flow_id - 1) % st->arms);
+    Link* leaf = &st->arm[a]->topo->link(0);
+    st->shards->post(/*src=*/0, 1 + a, arrival,
+                     [leaf, pkt] { leaf->on_packet(pkt); });
+  });
+
+  if (cfg_.faults.empty()) return;
+  // Link indexing: 0 = the shared core, 1+a = arm a's leaf link. Core
+  // faults keep the historical link-0 seed; each targeted leaf group
+  // gets its own timeline owned by (and sampled only from) its arm.
+  std::vector<FaultSpec> primary;
+  std::vector<std::pair<int, std::vector<FaultSpec>>> targeted;
+  for (const FaultSpec& f : cfg_.faults) {
+    if (f.link == 0) {
+      primary.push_back(f);
+      continue;
+    }
+    if (f.link > arms) {
+      throw std::runtime_error(
+          "fault targets link " + std::to_string(f.link) +
+          " but the cdn topology has links 0 (core) .. " +
+          std::to_string(arms) + " (leaves)");
+    }
+    auto it = std::find_if(targeted.begin(), targeted.end(),
+                           [&](const auto& g) { return g.first == f.link; });
+    if (it == targeted.end()) {
+      targeted.push_back({f.link, {f}});
+    } else {
+      it->second.push_back(f);
+    }
+  }
+  if (!primary.empty()) {
+    for (const FaultSpec& f : primary) {
+      const bool service_side =
+          f.type == FaultType::kBlackout || f.type == FaultType::kCapacity ||
+          f.type == FaultType::kReorder || f.type == FaultType::kDuplicate;
+      if (!service_side) {
+        throw std::runtime_error(
+            "cdn core (link 0) only takes service-side faults "
+            "(blackout/capacity/reorder/duplicate): ACK faults live on "
+            "arm-local reverse paths (target a leaf link instead) and "
+            "route changes would shrink the barrier lookahead");
+      }
+    }
+    cdn_->core_faults.push_back(
+        std::make_unique<FaultTimeline>(primary, cfg_.seed ^ 0xfa));
+    cdn_->core->set_fault_timeline(cdn_->core_faults.back().get());
+  }
+  for (auto& [link, events] : targeted) {
+    CdnState::Arm& arm = *cdn_->arm[link - 1];
+    FaultTimeline* faults = arm.topo->add_fault_timeline(
+        events,
+        (cfg_.seed ^ 0xfa) + 0x9e3779b9ULL * static_cast<uint64_t>(link));
+    arm.topo->set_link_faults(arm.topo->link_edge(0), faults);
+    arm.topo->set_ack_faults(arm.ack_edge, faults, &arm.topo->link(0));
+    arm.topo->set_burst_release_spacing(arm.ack_edge,
+                                        cfg_.ack_agg.release_spacing);
+  }
+}
+
+Scenario::~Scenario() = default;
+
 Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed, cfg.engine) {
+  if (cfg_.topology.kind == TopologyKind::kCdnEdge) {
+    build_cdn();  // multi-part fabric; validates wifi/markov/agg itself
+    return;
+  }
   if (cfg_.topology.kind == TopologyKind::kDumbbell) {
     for (const FaultSpec& f : cfg_.faults) {
       if (f.link != 0) {
@@ -231,11 +443,105 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg), sim_(cfg.seed, cfg.engine) {
     bottleneck().set_rate_process(
         std::make_unique<MarkovRateProcess>(cfg_.markov));
   }
+  if (cfg_.planned_flows > 0) {
+    topology().reserve_flows(cfg_.planned_flows + 1);  // ids start at 1
+  }
+}
+
+Simulator& Scenario::sim() {
+  return cdn_ != nullptr ? cdn_->shards->part(0) : sim_;
+}
+
+Topology& Scenario::topology() {
+  if (cdn_ != nullptr) return *cdn_->arm[0]->topo;
+  return dumbbell_ != nullptr ? dumbbell_->topology() : *topo_;
+}
+
+const Topology& Scenario::topology() const {
+  return const_cast<Scenario*>(this)->topology();
+}
+
+Link& Scenario::bottleneck() {
+  return cdn_ != nullptr ? *cdn_->core : topology().link(0);
+}
+
+void Scenario::run_until(TimeNs t) {
+  if (cdn_ != nullptr) {
+    cdn_->shards->run_until(t, std::max(1, cfg_.shards));
+  } else {
+    sim_.run_until(t);
+  }
+}
+
+uint64_t Scenario::events_processed() const {
+  return cdn_ != nullptr ? cdn_->shards->events_processed()
+                         : sim_.events_processed();
+}
+
+PartitionPlan Scenario::partition_plan() const {
+  if (cdn_ != nullptr) {
+    return {cdn_->arms + 1, cdn_->window,
+            "cdn-edge: part 0 = shared core, parts 1.." +
+                std::to_string(cdn_->arms) +
+                " = arm subgraphs; window = min cross-part delay "
+                "(access = core propagation = rtt/8)"};
+  }
+  return {1, 0,
+          std::string(topology_kind_name(cfg_.topology.kind)) +
+              " is single-part: the whole graph shares one event queue, "
+              "so --shards only picks the thread count and one part "
+              "needs one thread"};
+}
+
+std::vector<std::pair<std::string, LinkStats>> Scenario::link_stats() const {
+  if (cdn_ == nullptr) return topology().link_stats();
+  std::vector<std::pair<std::string, LinkStats>> rows;
+  rows.emplace_back("core", cdn_->core->stats());
+  for (const auto& arm : cdn_->arm) {
+    for (auto& row : arm->topo->link_stats()) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+int Scenario::arm_count() const { return cdn_ != nullptr ? cdn_->arms : 0; }
+
+Simulator& Scenario::arm_sim(int arm) {
+  return cdn_ != nullptr ? cdn_->shards->part(1 + arm) : sim_;
+}
+
+Network& Scenario::arm_network(int arm) {
+  return cdn_ != nullptr ? static_cast<Network&>(*cdn_->arm[arm]) : *network_;
+}
+
+Topology& Scenario::arm_topology(int arm) {
+  return cdn_ != nullptr ? *cdn_->arm[arm]->topo : topology();
+}
+
+FlowId Scenario::allocate_flow_id() {
+  if (cdn_ != nullptr) {
+    throw std::logic_error(
+        "cdn topology homes flow ids per arm; use allocate_flow_id_on()");
+  }
+  return ids_.allocate();
+}
+
+FlowId Scenario::allocate_flow_id_on(int arm) {
+  if (cdn_ == nullptr) return ids_.allocate();
+  return cdn_->arm[arm]->ids.allocate();
+}
+
+void Scenario::release_flow_id(FlowId id) {
+  if (cdn_ == nullptr) {
+    ids_.release(id);
+    return;
+  }
+  cdn_->arm[static_cast<int>((id - 1) % cdn_->arms)]->ids.release(id);
 }
 
 Flow& Scenario::add_flow(const std::string& protocol, TimeNs start,
                          TimeNs stop) {
-  const FlowId id = allocate_flow_id();
+  const int arm = cdn_ != nullptr ? flows_attached_ % cdn_->arms : 0;
+  const FlowId id = allocate_flow_id_on(arm);
   return attach_flow(
       id, make_protocol(protocol, flow_seed(id), nullptr, &cfg_.tuning), start,
       stop);
@@ -243,24 +549,49 @@ Flow& Scenario::add_flow(const std::string& protocol, TimeNs start,
 
 Flow& Scenario::add_flow_with_cc(std::unique_ptr<CongestionController> cc,
                                  TimeNs start, TimeNs stop) {
-  return attach_flow(allocate_flow_id(), std::move(cc), start, stop);
+  const int arm = cdn_ != nullptr ? flows_attached_ % cdn_->arms : 0;
+  return attach_flow(allocate_flow_id_on(arm), std::move(cc), start, stop);
 }
 
 Flow& Scenario::attach_flow(FlowId id, std::unique_ptr<CongestionController> cc,
                             TimeNs start, TimeNs stop) {
-  if (topo_ != nullptr && topo_->path_count() > 1) {
-    topo_->set_flow_path(id, flows_attached_ % topo_->path_count());
-  }
-  ++flows_attached_;
   FlowConfig fc;
   fc.id = id;
   fc.start_time = start;
   fc.stop_time = stop;
   fc.unlimited = true;
-  flows_.push_back(std::make_unique<Flow>(&sim_, network_, fc, std::move(cc)));
+  if (cdn_ != nullptr) {
+    // The id names its home arm (ids interleave 1+a, 1+a+arms, ...).
+    const int arm = static_cast<int>((id - 1) % cdn_->arms);
+    ++flows_attached_;
+    flows_.push_back(std::make_unique<Flow>(&cdn_->shards->part(1 + arm),
+                                            cdn_->arm[arm].get(), fc,
+                                            std::move(cc)));
+  } else {
+    if (topo_ != nullptr && topo_->path_count() > 1) {
+      topo_->set_flow_path(id, flows_attached_ % topo_->path_count());
+    }
+    ++flows_attached_;
+    flows_.push_back(
+        std::make_unique<Flow>(&sim_, network_, fc, std::move(cc)));
+  }
   flows_.back()->sender().set_max_burst_packets(cfg_.max_burst_packets);
   flows_.back()->sender().set_pacing_jitter(cfg_.pacing_jitter);
   return *flows_.back();
+}
+
+std::unique_ptr<Flow> Scenario::create_flow(int arm,
+                                            const std::string& protocol,
+                                            FlowConfig fc) {
+  auto cc = make_protocol(protocol, flow_seed(fc.id), nullptr, &cfg_.tuning);
+  Simulator* sim = cdn_ != nullptr ? &cdn_->shards->part(1 + arm) : &sim_;
+  Network* net = cdn_ != nullptr
+                     ? static_cast<Network*>(cdn_->arm[arm].get())
+                     : network_;
+  auto flow = std::make_unique<Flow>(sim, net, fc, std::move(cc));
+  flow->sender().set_max_burst_packets(cfg_.max_burst_packets);
+  flow->sender().set_pacing_jitter(cfg_.pacing_jitter);
+  return flow;
 }
 
 }  // namespace proteus

@@ -9,8 +9,11 @@
 // long/primary path), later flows cycle through the cross/leaf paths.
 #pragma once
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/utility.h"
@@ -19,6 +22,55 @@
 #include "transport/flow.h"
 
 namespace proteus {
+
+// Deterministic flow-id source. Fresh ids advance base, base+stride,
+// base+2*stride, ...; release() returns an id to a free pool and
+// allocate() always hands the smallest freed id back out before minting a
+// fresh one. Recycling is therefore a pure function of the
+// allocate/release call sequence — the golden-digest pins in the churn
+// tests rely on ids (and the flow seeds derived from them) never
+// depending on container iteration order or timing.
+class IdAllocator {
+ public:
+  IdAllocator(FlowId base, FlowId stride) : next_(base), stride_(stride) {}
+
+  FlowId allocate() {
+    if (!free_.empty()) {
+      std::pop_heap(free_.begin(), free_.end(), std::greater<>{});
+      const FlowId id = free_.back();
+      free_.pop_back();
+      return id;
+    }
+    const FlowId id = next_;
+    next_ += stride_;
+    return id;
+  }
+
+  void release(FlowId id) {
+    free_.push_back(id);
+    std::push_heap(free_.begin(), free_.end(), std::greater<>{});
+  }
+
+  // The next fresh id that would be minted: an exclusive upper bound on
+  // every id ever handed out (recycled or not).
+  FlowId high_water() const { return next_; }
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  FlowId next_;
+  FlowId stride_;
+  std::vector<FlowId> free_;  // min-heap via std::greater
+};
+
+// How a scenario's topology partitions for sharded execution
+// (sim/shard.h). Derived from the topology alone — never from the
+// requested thread count — so the event streams are identical for every
+// --shards value.
+struct PartitionPlan {
+  int parts = 1;
+  TimeNs window = 0;  // conservative barrier window; 0 when parts == 1
+  std::string reason;
+};
 
 struct ScenarioConfig {
   double bandwidth_mbps = 50.0;
@@ -46,6 +98,17 @@ struct ScenarioConfig {
   bool ack_aggregation = false;
   AckAggregatorConfig ack_agg;
 
+  // Sharded execution (sim/shard.h): worker-thread count for the
+  // window-barrier engine. This never changes WHAT is simulated —
+  // partitioning is a property of the topology alone (kCdnEdge builds
+  // arms+1 parts; every other kind is single-part), so trace/telemetry
+  // digests are byte-identical for every value. 0 = one thread.
+  int shards = 0;
+  // Expected peak concurrent-flow count. Pre-sizes the dense flow-demux
+  // tables (Topology::reserve_flows) so a churn ramp never pays
+  // mid-window relocations. 0 = grow on demand.
+  FlowId planned_flows = 0;
+
   // Scripted adversarial events (sim/fault_timeline.h); empty = none.
   std::vector<FaultSpec> faults;
   // Let noisy/fault-delayed packets invert delivery order (Link FIFO
@@ -66,25 +129,50 @@ struct ScenarioConfig {
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig cfg);
+  ~Scenario();
 
-  Simulator& sim() { return sim_; }
+  // The driving clock: part 0's simulator for kCdnEdge, the single
+  // simulator otherwise. Scheduling ad-hoc work here is safe — part 0 is
+  // always executed by worker thread 0.
+  Simulator& sim();
   // The dumbbell instance; only valid for TopologyKind::kDumbbell (the
   // default). Shape-agnostic code should use topology()/bottleneck().
   Dumbbell& dumbbell() { return *dumbbell_; }
   const Dumbbell& dumbbell() const { return *dumbbell_; }
-  // The underlying graph, whatever the configured kind.
-  Topology& topology() {
-    return dumbbell_ != nullptr ? dumbbell_->topology() : *topo_;
+  // The underlying graph, whatever the configured kind. For kCdnEdge
+  // (one graph per arm) this is arm 0's graph; use link_stats() for the
+  // whole fabric and bottleneck() for the shared core.
+  Topology& topology();
+  const Topology& topology() const;
+  // The primary link: the dumbbell bottleneck, the first parking-lot
+  // hop, the fan-in core, the star core, the shared CDN-edge core.
+  Link& bottleneck();
+  const Link& bottleneck() const {
+    return const_cast<Scenario*>(this)->bottleneck();
   }
-  const Topology& topology() const {
-    return dumbbell_ != nullptr ? dumbbell_->topology() : *topo_;
-  }
-  // The primary link (link 0): the dumbbell bottleneck, the first
-  // parking-lot hop, the fan-in core, the star core.
-  Link& bottleneck() { return topology().link(0); }
-  const Link& bottleneck() const { return topology().link(0); }
   Network& network() { return *network_; }
   const ScenarioConfig& config() const { return cfg_; }
+
+  // ---- Sharded execution (sim/shard.h) --------------------------------
+  // kCdnEdge partitions into arms+1 parts (part 0 = shared core, part
+  // 1+a = arm a's leaf subgraph); every other kind is a single part.
+  PartitionPlan partition_plan() const;
+  // Total events executed across all parts.
+  uint64_t events_processed() const;
+  // Per-link counters for the whole fabric: the shared core plus every
+  // arm link for kCdnEdge, topology().link_stats() otherwise.
+  std::vector<std::pair<std::string, LinkStats>> link_stats() const;
+  // kCdnEdge: number of arm parts; 0 for single-part topologies.
+  int arm_count() const;
+  // The simulator/network a flow homed on `arm` lives on. For
+  // single-part topologies both ignore `arm` and return the scenario's
+  // own. Only the thread executing that arm's part may touch them while
+  // a sharded run_until is in flight.
+  Simulator& arm_sim(int arm);
+  Network& arm_network(int arm);
+  // The arm's underlying graph (demux tables, per-hop links). For
+  // single-part topologies this is topology() regardless of `arm`.
+  Topology& arm_topology(int arm);
 
   // Adds a bulk flow of the named protocol. Flows get sequential ids and
   // per-flow seeds derived from the scenario seed, and (on multi-path
@@ -96,33 +184,53 @@ class Scenario {
 
   const std::vector<std::unique_ptr<Flow>>& flows() const { return flows_; }
 
-  void run_until(TimeNs t) { sim_.run_until(t); }
+  // Advances the scenario to simulated time `t`. Single-part topologies
+  // run the plain serial event loop; kCdnEdge runs the window-barrier
+  // engine on max(1, config().shards) worker threads.
+  void run_until(TimeNs t);
 
   double capacity_mbps() const { return cfg_.bandwidth_mbps; }
   TimeNs base_rtt() const { return from_ms(cfg_.rtt_ms); }
   // The single flow-id source: every path into flow creation draws from
   // here exactly once, so ids and flow_seed(id) derivations can never
   // desynchronize however add_flow/add_flow_with_cc/allocate_flow_id
-  // calls are mixed.
-  FlowId allocate_flow_id() { return next_id_++; }
+  // calls are mixed. kCdnEdge homes ids per arm (arm a mints 1+a,
+  // 1+a+arms, ...), so an id alone determines its arm — routing off the
+  // shared core needs no cross-part table.
+  FlowId allocate_flow_id();
+  FlowId allocate_flow_id_on(int arm);
+  // Returns a finished flow's id for deterministic recycling (see
+  // IdAllocator). Call only after the flow is detached.
+  void release_flow_id(FlowId id);
   uint64_t flow_seed(FlowId id) const {
     return cfg_.seed * 0x9e3779b9ULL + id;
   }
 
+  // Builds a flow owned by the caller (churn drivers): the flow lives on
+  // `arm`'s simulator/network for kCdnEdge (must match fc.id's arm), the
+  // scenario's own otherwise. fc.id must come from allocate_flow_id[_on].
+  std::unique_ptr<Flow> create_flow(int arm, const std::string& protocol,
+                                    FlowConfig fc);
+
  private:
+  struct CdnState;  // sharded CDN-edge fabric (scenario.cc)
+
   // Builds and registers the flow for an id already drawn from
-  // allocate_flow_id(); never touches next_id_ itself.
+  // allocate_flow_id(); never mints ids itself.
   Flow& attach_flow(FlowId id, std::unique_ptr<CongestionController> cc,
                     TimeNs start, TimeNs stop);
+  void build_cdn();
 
   ScenarioConfig cfg_;
   Simulator sim_;
   std::unique_ptr<Dumbbell> dumbbell_;  // kDumbbell only
-  std::unique_ptr<Topology> topo_;      // every other kind
-  Network* network_ = nullptr;          // whichever of the two is live
+  std::unique_ptr<Topology> topo_;      // other single-part kinds
+  std::unique_ptr<CdnState> cdn_;       // kCdnEdge only
+  Network* network_ = nullptr;          // single-part fabric in use
+  // Declared after the fabrics: flows detach from them in ~Scenario.
   std::vector<std::unique_ptr<Flow>> flows_;
-  FlowId next_id_ = 1;
-  int flows_attached_ = 0;  // round-robin path assignment cursor
+  IdAllocator ids_{1, 1};   // single-part id source (cdn: per-arm, in cdn_)
+  int flows_attached_ = 0;  // round-robin path/arm assignment cursor
 };
 
 }  // namespace proteus

@@ -16,6 +16,7 @@ const char* topology_cli_name(TopologyKind kind) {
     case TopologyKind::kParkingLot: return "parkinglot";
     case TopologyKind::kFanIn: return "fanin";
     case TopologyKind::kStar: return "star";
+    case TopologyKind::kCdnEdge: return "cdn";
   }
   return "dumbbell";
 }
@@ -96,6 +97,7 @@ int genome_link_count(const ScenarioGenome& g) {
     case TopologyKind::kParkingLot: return arms;
     case TopologyKind::kFanIn: return arms + 1;
     case TopologyKind::kStar: return arms + 1;
+    case TopologyKind::kCdnEdge: return arms + 1;  // core + one leaf per arm
   }
   return 1;
 }

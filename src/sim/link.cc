@@ -143,9 +143,7 @@ void Link::service_head() {
 
     ++stats_.delivered_packets;
     stats_.delivered_bytes += pkt.size_bytes;
-    if (sink_ != nullptr) {
-      sim_->schedule_at(arrival, [this, pkt] { sink_->on_packet(pkt); });
-    }
+    deliver(arrival, pkt);
     if (faults_ != nullptr && faults_->sample_duplicate(now)) {
       // The duplicate is a delivery like any other: it runs through the
       // same FIFO/reorder bookkeeping as its original, so with
@@ -156,10 +154,7 @@ void Link::service_head() {
       ++stats_.duplicated;
       ++stats_.delivered_packets;
       stats_.delivered_bytes += pkt.size_bytes;
-      if (sink_ != nullptr) {
-        sim_->schedule_at(dup_arrival,
-                          [this, pkt] { sink_->on_packet(pkt); });
-      }
+      deliver(dup_arrival, pkt);
     }
 
     if (queue_.empty()) {
@@ -168,6 +163,16 @@ void Link::service_head() {
       service_head();
     }
   });
+}
+
+void Link::deliver(TimeNs arrival, const Packet& pkt) {
+  if (deliver_) {
+    deliver_(arrival, pkt);
+    return;
+  }
+  if (sink_ != nullptr) {
+    sim_->schedule_at(arrival, [this, pkt] { sink_->on_packet(pkt); });
+  }
 }
 
 TimeNs Link::clamp_delivery(TimeNs arrival, bool straggler) {

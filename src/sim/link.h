@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "sim/fault_timeline.h"
@@ -65,6 +66,14 @@ class Link final : public PacketSink {
   Link(Simulator* sim, LinkConfig cfg, uint64_t noise_seed = 0x11ec);
 
   void set_sink(PacketSink* sink) { sink_ = sink; }
+  // Cross-shard delivery reroute (sim/shard.h): when set, a serviced
+  // packet's delivery at `arrival` is handed to this scheduler instead of
+  // the local event queue, at *service* time — before the propagation
+  // delay elapses — so the destination shard can be given the full
+  // propagation as lookahead. Unset (the default) keeps the historical
+  // local schedule_at path byte-for-byte.
+  using DeliveryScheduler = std::function<void(TimeNs arrival, const Packet&)>;
+  void set_delivery_scheduler(DeliveryScheduler f) { deliver_ = std::move(f); }
   // Optional non-congestion impairments; may be null.
   void set_latency_noise(std::unique_ptr<LatencyNoise> noise);
   void set_rate_process(std::unique_ptr<RateProcess> process);
@@ -108,10 +117,14 @@ class Link final : public PacketSink {
   // fault-injected duplicates; returns the (possibly clamped) delivery
   // time. `straggler` deliveries bypass the floor on purpose.
   TimeNs clamp_delivery(TimeNs arrival, bool straggler);
+  // Schedules `pkt` into the sink at `arrival` — locally, or through the
+  // cross-shard scheduler when one is set.
+  void deliver(TimeNs arrival, const Packet& pkt);
 
   Simulator* sim_;
   LinkConfig cfg_;
   PacketSink* sink_ = nullptr;
+  DeliveryScheduler deliver_;
   std::unique_ptr<LatencyNoise> noise_;
   std::unique_ptr<RateProcess> rate_process_;
   FaultTimeline* faults_ = nullptr;

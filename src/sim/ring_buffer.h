@@ -6,8 +6,23 @@
 // RingBuffer reaches its high-water capacity during warm-up and then
 // cycles allocation-free forever. Used for the Link transmit queue and the
 // Sender's in-flight window.
+//
+// front()/pop_front()/at() on an empty (or too-short) buffer used to be
+// silent UB — head_ would read a default slot and pop_front would wrap
+// count_ to SIZE_MAX. Debug builds now assert the preconditions; release
+// builds keep the unchecked hot path. Call-site audit (all churn-exposed):
+//  * Link::service_head (sim/link.cc): front()/pop_front() only run while
+//    serving_ is set, which is only set when the queue is non-empty, and
+//    the sole pop site is the service callback itself — a churned flow
+//    can drain the queue but never below the packet being served.
+//  * Link blackout resume (sim/link.cc): rechecks queue_.empty() before
+//    re-entering service_head.
+// The Sender in-flight window is a power-of-two Slot vector (not a
+// RingBuffer); its bounds come from the [base_seq_, next_seq_) window
+// invariant checked in Sender::find_slot.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -24,11 +39,23 @@ class RingBuffer {
   size_t size() const { return count_; }
   size_t capacity() const { return slots_.size(); }
 
-  T& front() { return slots_[head_]; }
-  const T& front() const { return slots_[head_]; }
+  T& front() {
+    assert(count_ > 0 && "RingBuffer::front on empty buffer");
+    return slots_[head_];
+  }
+  const T& front() const {
+    assert(count_ > 0 && "RingBuffer::front on empty buffer");
+    return slots_[head_];
+  }
   // i-th element from the front (0 = front). Precondition: i < size().
-  T& at(size_t i) { return slots_[(head_ + i) & mask_]; }
-  const T& at(size_t i) const { return slots_[(head_ + i) & mask_]; }
+  T& at(size_t i) {
+    assert(i < count_ && "RingBuffer::at out of range");
+    return slots_[(head_ + i) & mask_];
+  }
+  const T& at(size_t i) const {
+    assert(i < count_ && "RingBuffer::at out of range");
+    return slots_[(head_ + i) & mask_];
+  }
 
   void push_back(T value) {
     if (count_ == slots_.size()) grow();
@@ -37,6 +64,7 @@ class RingBuffer {
   }
 
   void pop_front() {
+    assert(count_ > 0 && "RingBuffer::pop_front on empty buffer");
     slots_[head_] = T{};  // release any resources held by the slot
     head_ = (head_ + 1) & mask_;
     --count_;

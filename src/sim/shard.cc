@@ -1,0 +1,181 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace proteus {
+
+ShardSet::ShardSet(int parts, TimeNs window, uint64_t seed,
+                   EventEngine engine)
+    : window_(window) {
+  if (parts < 1) throw std::invalid_argument("ShardSet: parts < 1");
+  if (parts > 1 && window <= 0) {
+    throw std::invalid_argument(
+        "ShardSet: a multi-part set needs a positive lookahead window");
+  }
+  sims_.reserve(static_cast<size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    sims_.push_back(std::make_unique<Simulator>(
+        seed + 0x9e3779b9ULL * static_cast<uint64_t>(p), engine));
+  }
+  pairs_.resize(static_cast<size_t>(parts) * static_cast<size_t>(parts));
+  window_end_ = window_;
+}
+
+void ShardSet::post(int src, int dst, TimeNs when, EventQueue::Callback cb) {
+  if (src == dst) {
+    sims_[src]->schedule_at(when, std::move(cb));
+    return;
+  }
+  if (when < window_end_) {
+    throw std::logic_error(
+        "ShardSet::post lookahead violation: handoff " + std::to_string(src) +
+        "->" + std::to_string(dst) + " at t=" + std::to_string(when) +
+        " inside the executing window (end " + std::to_string(window_end_) +
+        "); the partition's cut has less lookahead than its window");
+  }
+  Pair& pr = pair(src, dst);
+  pr.pending.push_back(Handoff{when, pr.next_seq++, std::move(cb)});
+}
+
+void ShardSet::drain_into(int dst) {
+  const int p = parts();
+  // Typical fan-in is small; gather + one sort keeps the ordering rule in
+  // one obvious place. The scratch vector is per-call but boundary-rate,
+  // not event-rate.
+  std::vector<std::pair<int, size_t>> order;  // (src, index into pending)
+  size_t total = 0;
+  for (int src = 0; src < p; ++src) {
+    if (src != dst) total += pair(src, dst).pending.size();
+  }
+  if (total == 0) return;
+  order.reserve(total);
+  for (int src = 0; src < p; ++src) {
+    if (src == dst) continue;
+    const size_t n = pair(src, dst).pending.size();
+    for (size_t i = 0; i < n; ++i) order.emplace_back(src, i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](const std::pair<int, size_t>& a,
+                const std::pair<int, size_t>& b) {
+              const Handoff& ha = pair(a.first, dst).pending[a.second];
+              const Handoff& hb = pair(b.first, dst).pending[b.second];
+              if (ha.when != hb.when) return ha.when < hb.when;
+              if (a.first != b.first) return a.first < b.first;
+              return ha.seq < hb.seq;
+            });
+  Simulator& sim = *sims_[dst];
+  for (const auto& [src, i] : order) {
+    Handoff& h = pair(src, dst).pending[i];
+    sim.schedule_at(h.when, std::move(h.cb));
+  }
+  for (int src = 0; src < p; ++src) {
+    if (src != dst) pair(src, dst).pending.clear();
+  }
+}
+
+void ShardSet::run_until(TimeNs t, int threads) {
+  if (parts() == 1) {
+    // Degenerate partition: the historical serial engine, bit for bit.
+    sims_[0]->run_until(t);
+    return;
+  }
+  threads = std::max(1, std::min(threads, parts()));
+  if (threads == 1) {
+    run_windows_serial(t);
+  } else {
+    run_windows_threaded(t, threads);
+  }
+}
+
+void ShardSet::run_windows_serial(TimeNs t) {
+  for (;;) {
+    const TimeNs w_end = grid_ + window_;
+    window_end_ = w_end;
+    if (t < w_end) {
+      // Final sub-window: inclusive, matching run_until semantics. The
+      // grid cursor stays put so a later call resumes inside this window.
+      for (auto& sim : sims_) sim->run_until(t);
+      return;
+    }
+    for (auto& sim : sims_) sim->run_before(w_end);
+    grid_ = w_end;
+    for (int dst = 0; dst < parts(); ++dst) drain_into(dst);
+  }
+}
+
+void ShardSet::run_windows_threaded(TimeNs t, int threads) {
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::barrier<> sync(threads);
+  const int p = parts();
+
+  auto record_error = [&] {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!first_error) first_error = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  };
+
+  // Thread t exclusively owns parts {t, t+threads, ...}: it executes
+  // them in the exec phase and drains their incoming channels in the
+  // drain phase, so no Simulator is ever touched from two threads. The
+  // two barriers per window provide all cross-thread ordering. Every
+  // thread evaluates the identical loop condition, so they pass the same
+  // barrier sequence even when a phase failed.
+  auto worker = [&](int tid) {
+    TimeNs g = grid_;
+    for (;;) {
+      const TimeNs w_end = g + window_;
+      const bool last = t < w_end;
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          for (int i = tid; i < p; i += threads) {
+            if (last) {
+              sims_[i]->run_until(t);
+            } else {
+              sims_[i]->run_before(w_end);
+            }
+          }
+        } catch (...) {
+          record_error();
+        }
+      }
+      sync.arrive_and_wait();
+      if (last || failed.load(std::memory_order_acquire)) return;
+      if (tid == 0) {
+        grid_ = w_end;
+        window_end_ = w_end + window_;
+      }
+      try {
+        for (int i = tid; i < p; i += threads) drain_into(i);
+      } catch (...) {
+        record_error();
+      }
+      sync.arrive_and_wait();
+      g = w_end;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads) - 1);
+  for (int tid = 1; tid < threads; ++tid) pool.emplace_back(worker, tid);
+  worker(0);
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+uint64_t ShardSet::events_processed() const {
+  uint64_t total = 0;
+  for (const auto& sim : sims_) total += sim->events_processed();
+  return total;
+}
+
+}  // namespace proteus

@@ -1,0 +1,122 @@
+// ShardSet: conservative time-window parallel execution of a partitioned
+// simulation.
+//
+// A simulation is split into P *parts*, each owning a disjoint slice of
+// the mutable state (links, flows, per-part RNG streams) and running its
+// own Simulator (clock + zero-alloc wheel EventQueue). Parts exchange
+// packets only through post(): a cross-part handoff carrying an absolute
+// delivery time. Execution proceeds in lockstep windows of length W on
+// the absolute grid 0, W, 2W, ...: within a window every part executes
+// its local events with `when < window_end` (Simulator::run_before), and
+// at each boundary the pending handoffs are drained into their
+// destination queues before the next window starts.
+//
+// Correctness rests on the conservative-lookahead invariant: W is chosen
+// as the minimum propagation delay of any cross-part edge, so a packet
+// posted while executing window k arrives no earlier than the start of
+// window k+1 — by the time a part executes a window, every event that
+// can ever be injected into that window is already in its queue. post()
+// enforces this at runtime and throws on a violation (a topology whose
+// cut has zero lookahead must be merged into one part instead).
+//
+// Determinism rules (the "bit-identical for every --shards=N" contract):
+//  * The partition into parts and the window W are derived from the
+//    *topology only* — never from the worker-thread count. N merely maps
+//    parts onto threads (part p runs on thread p mod N), so each part's
+//    Simulator executes the identical event stream for every N.
+//  * Handoffs posted on one (src, dst) pair carry a per-pair monotone
+//    sequence number; at a boundary the destination drains all pending
+//    handoffs sorted by (when, src, pair-seq) — a total order independent
+//    of which threads produced them and when.
+//  * Same-time ties between a locally scheduled event and a drained
+//    handoff resolve local-first (the local push always has the smaller
+//    queue sequence), identically for every N.
+//  * Each part's Rng is seeded from (seed, part); no component may draw
+//    from another part's stream.
+//
+// A 1-part ShardSet degenerates to a plain Simulator run (no windows, no
+// drains), so shapes without a positive-lookahead cut — the dumbbell, the
+// parking lot, anything with a shared reverse fault timeline — execute
+// byte-identically to the historical serial engine under any --shards=N.
+//
+// Thread-safety: during a window's exec phase, thread t exclusively owns
+// every part p with p % threads == t — both the part's Simulator and the
+// pending vectors of pairs (p, *). During the drain phase (after a
+// barrier) the same thread drains pairs (*, p). All cross-thread
+// visibility is through the two std::barrier phases per window; no locks
+// or atomics appear on the event path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace proteus {
+
+class ShardSet {
+ public:
+  // `window` must be positive when parts > 1 (it is the cut lookahead).
+  // Part 0 is seeded with `seed` exactly as a serial Simulator would be;
+  // later parts derive their streams by the golden-ratio step.
+  ShardSet(int parts, TimeNs window, uint64_t seed,
+           EventEngine engine = EventEngine::kTimerWheel);
+
+  int parts() const { return static_cast<int>(sims_.size()); }
+  TimeNs window() const { return window_; }
+  Simulator& part(int p) { return *sims_[p]; }
+  const Simulator& part(int p) const { return *sims_[p]; }
+
+  // Cross-part handoff: run `cb` on part `dst` at absolute time `when`.
+  // Must be called from `src`'s execution context (an event callback or
+  // construction before the first run). src == dst is the local fast
+  // path — a plain schedule_at, no deferral, preserving the exact serial
+  // code path for intra-part traffic. Throws on a lookahead violation
+  // (`when` inside the currently executing window).
+  void post(int src, int dst, TimeNs when, EventQueue::Callback cb);
+
+  // Runs every part up to and including `t` (events at exactly `t`
+  // execute, matching Simulator::run_until) on `threads` workers.
+  // Callable repeatedly with increasing `t`; window alignment persists
+  // across calls, so chunked driving (harness/supervisor.h) produces the
+  // same streams as one big call.
+  void run_until(TimeNs t, int threads);
+
+  // Sum of events executed across all parts.
+  uint64_t events_processed() const;
+  // Part 0's clock: the canonical "scenario time" after run_until(t)
+  // returns (== t, exactly as the serial engine guarantees).
+  TimeNs now() const { return sims_[0]->now(); }
+
+ private:
+  struct Handoff {
+    TimeNs when = 0;
+    uint64_t seq = 0;  // per-(src,dst) monotone, assigned at post()
+    EventQueue::Callback cb;
+  };
+  // One directed (src, dst) channel. Written only by src's owner thread
+  // (exec phase), drained only by dst's owner thread (drain phase);
+  // the window barrier orders the two.
+  struct Pair {
+    std::vector<Handoff> pending;
+    uint64_t next_seq = 0;
+  };
+
+  Pair& pair(int src, int dst) { return pairs_[src * parts() + dst]; }
+  // Schedules every pending handoff destined for `dst`, sorted by
+  // (when, src, seq), then clears the channels (capacity retained).
+  void drain_into(int dst);
+  void run_windows_serial(TimeNs t);
+  void run_windows_threaded(TimeNs t, int threads);
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<Pair> pairs_;  // parts x parts, indexed src * P + dst
+  TimeNs window_ = 0;
+  TimeNs grid_ = 0;            // start of the currently executing window
+  TimeNs window_end_ = 0;      // lookahead floor enforced by post()
+};
+
+}  // namespace proteus

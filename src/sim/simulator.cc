@@ -20,6 +20,16 @@ void Simulator::run_until(TimeNs until) {
   if (now_ < until) now_ = until;
 }
 
+void Simulator::run_before(TimeNs until) {
+  while (!queue_.empty() && queue_.next_time() < until) {
+    auto [when, cb] = queue_.pop();
+    now_ = when;
+    ++events_processed_;
+    PROTEUS_PROFILE_SCOPE(ProfilePhase::kEventQueue);
+    cb();
+  }
+}
+
 void Simulator::run() {
   while (!queue_.empty()) {
     auto [when, cb] = queue_.pop();

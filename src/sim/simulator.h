@@ -44,6 +44,13 @@ class Simulator {
   // Runs events until the queue drains or the clock passes `until`.
   // Events scheduled exactly at `until` are executed.
   void run_until(TimeNs until);
+  // Runs events strictly before `until`; events at exactly `until` stay
+  // queued and `now()` is not advanced past the last executed event.
+  // This is the window-execution primitive of the sharded engine
+  // (sim/shard.h): events at a window boundary belong to the *next*
+  // window, after cross-shard handoffs for that boundary have been
+  // drained into the queue.
+  void run_before(TimeNs until);
   // Runs until the queue drains.
   void run();
 

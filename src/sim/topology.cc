@@ -51,6 +51,8 @@ const char* topology_kind_name(TopologyKind kind) {
       return "fanin";
     case TopologyKind::kStar:
       return "star";
+    case TopologyKind::kCdnEdge:
+      return "cdn";
   }
   return "unknown";
 }
@@ -144,9 +146,22 @@ void Topology::send_reverse(const Packet& ack) {
   enter_edge(paths_[p].reverse.front(), ack);
 }
 
+void Topology::reserve_flows(FlowId planned) {
+  if (planned == 0) return;
+  const FlowId want = std::min(planned, dense_ceiling_);
+  if (want <= dense_flows_.size()) return;
+  FlowId cap = dense_flows_.empty() ? 16 : dense_flows_.size();
+  while (cap < want) cap *= 2;
+  dense_flows_.resize(std::min(cap, dense_ceiling_));
+}
+
 Topology::FlowState& Topology::ensure_flow(FlowId id) {
-  if (id < kDenseFlows) {
-    if (id >= dense_flows_.size()) dense_flows_.resize(id + 1);
+  if (id < dense_ceiling_) {
+    // Grow geometrically so a churn run attaching ids one at a time pays
+    // O(log n) relocations, not O(n) — and stays on the flat-array demux
+    // all the way to the ceiling (the old hard 4096 cap silently dumped
+    // later scenario ids into the hash map on the per-packet path).
+    if (id >= dense_flows_.size()) reserve_flows(id + 1);
     FlowState& fs = dense_flows_[id];
     fs.present = true;
     return fs;
@@ -251,15 +266,24 @@ void Topology::edge_egress(const Edge& e, const Packet& pkt) {
       enter_edge(route.reverse[i + 1], pkt);
     } else if (fs.sender_ack_side != nullptr) {
       // ACKs terminating at a node with a bursty-MAC aggregator go
-      // through it; otherwise deliver directly.
+      // through it; otherwise deliver directly. The aggregator gets the
+      // demux shim, not the sender's sink: an ACK held across a block is
+      // re-demuxed at release time, so a flow detached mid-block drops
+      // its held ACKs instead of delivering into a destroyed sender.
       if (e.aggregator_at_to != nullptr) {
-        e.aggregator_at_to->deliver(pkt, fs.sender_ack_side);
+        e.aggregator_at_to->deliver(pkt, &sender_demux_);
       } else {
         fs.sender_ack_side->on_packet(pkt);
       }
     }
     return;
   }
+}
+
+void Topology::SenderAckDemux::on_packet(const Packet& pkt) {
+  const FlowState* fs = topo->find_flow(pkt.flow_id);
+  if (fs == nullptr || fs->sender_ack_side == nullptr) return;
+  fs->sender_ack_side->on_packet(pkt);
 }
 
 }  // namespace proteus

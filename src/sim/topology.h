@@ -68,6 +68,8 @@ enum class TopologyKind {
   kParkingLot,  // arms hops in a row; path 0 end-to-end, others cross 1 hop
   kFanIn,       // arms edge links converging on 1 shared core link
   kStar,        // shared core + arms leaf links with heterogeneous RTTs
+  kCdnEdge,     // sharded CDN edge: shared core + per-arm leaf subgraphs,
+                // partitioned for --shards=N execution (harness/scenario.h)
 };
 
 struct TopologyParams {
@@ -156,6 +158,20 @@ class Topology final : public Network {
   int64_t ack_drops(EdgeId edge) const { return edges_[edge]->ack_drops; }
   Simulator& sim() { return *sim_; }
 
+  // ---- Flow-table scale controls --------------------------------------
+  // Pre-sizes the dense demux for ids < `planned` (rounded up to a power
+  // of two, capped at the ceiling), so a scale run never pays growth
+  // relocations on the attach path.
+  void reserve_flows(FlowId planned);
+  // Ids at or above the ceiling spill into the sparse map; below it the
+  // dense array grows geometrically on demand. Lowering the ceiling never
+  // shrinks an already-grown table.
+  void set_dense_ceiling(FlowId ceiling) { dense_ceiling_ = ceiling; }
+  FlowId dense_ceiling() const { return dense_ceiling_; }
+  size_t dense_capacity() const { return dense_flows_.size(); }
+  // Regression hook: scenario-allocated ids must never land here.
+  size_t sparse_flow_count() const { return sparse_flows_.size(); }
+
  private:
   // One directed edge. Doubles as a PacketSink: for Link edges the sink
   // role is the link's *egress* (delivery demux); for delay edges it is
@@ -200,14 +216,26 @@ class Topology final : public Network {
   void edge_egress(const Edge& e, const Packet& pkt);
   PacketSink* edge_ingress(EdgeId id);
 
+  // ACKs that were queued behind an aggregator block must re-demux at
+  // release time: capturing the sender's sink pointer at enqueue time
+  // dangled when a churned flow detached during the block.
+  struct SenderAckDemux final : PacketSink {
+    explicit SenderAckDemux(Topology* t) : topo(t) {}
+    void on_packet(const Packet& pkt) override;
+    Topology* topo;
+  };
+
   // Flow ids are small dense integers (Scenario::allocate_flow_id counts
   // up from 1), so flow state lives in a flat array indexed by id and the
   // per-packet demux is a bounds check + load instead of a hash lookup —
   // the lookup runs twice per data packet and twice per ACK, and the hash
-  // version cost the simulator ~19% of its event rate. Hand-built
-  // topologies may use arbitrary ids; those spill into a map off the
-  // common path.
-  static constexpr FlowId kDenseFlows = 4096;
+  // version cost the simulator ~19% of its event rate. The array grows
+  // geometrically up to dense_ceiling_ (default 2M ids: million-flow
+  // churn stays on the flat path; the historical cap was a hard 4096
+  // after which scenario ids silently fell into the map). Hand-built
+  // topologies may use arbitrary ids; ids past the ceiling spill into a
+  // map off the common path.
+  static constexpr FlowId kDefaultDenseCeiling = 1ULL << 21;
   FlowState* find_flow(FlowId id) {
     if (id < dense_flows_.size()) {
       FlowState& fs = dense_flows_[id];
@@ -221,10 +249,12 @@ class Topology final : public Network {
   FlowState& ensure_flow(FlowId id);
 
   Simulator* sim_;
+  SenderAckDemux sender_demux_{this};
   std::vector<std::unique_ptr<Edge>> edges_;
   std::vector<EdgeId> links_;  // subset of edges_ that are queued Links
   std::vector<Route> paths_;
-  std::vector<FlowState> dense_flows_;               // ids < kDenseFlows
+  FlowId dense_ceiling_ = kDefaultDenseCeiling;
+  std::vector<FlowState> dense_flows_;               // ids < dense_ceiling_
   std::unordered_map<FlowId, FlowState> sparse_flows_;
   std::unordered_map<NodeId, std::unique_ptr<AckAggregator>> aggregators_;
   std::vector<std::unique_ptr<FaultTimeline>> fault_timelines_;

@@ -9,7 +9,8 @@ Flow::Flow(Simulator* sim, Network* network, FlowConfig cfg,
     : sim_(sim),
       network_(network),
       cfg_(cfg) {
-  sender_ = std::make_unique<Sender>(sim, network, cfg_.id, std::move(cc));
+  sender_ = std::make_unique<Sender>(sim, network, cfg_.id, std::move(cc),
+                                     kMtuBytes, cfg_.initial_window_slots);
   receiver_ = std::make_unique<Receiver>(sim, network, cfg_.id);
   network_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
 

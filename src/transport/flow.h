@@ -20,6 +20,9 @@ struct FlowConfig {
   bool unlimited = true;             // bulk flow
   int64_t total_bytes = 0;           // for finite flows (unlimited == false)
   bool collect_rtt = true;           // record per-ack RTT samples
+  // In-flight slot-ring size hint (see Sender). Storage only — never
+  // affects timing; shrink for massive-churn scenarios.
+  int initial_window_slots = 256;
 };
 
 class Flow {

@@ -15,13 +15,18 @@ constexpr TimeNs kInitialRttGuess = from_ms(100);
 }  // namespace
 
 Sender::Sender(Simulator* sim, Network* network, FlowId id,
-               std::unique_ptr<CongestionController> cc, int64_t packet_bytes)
+               std::unique_ptr<CongestionController> cc, int64_t packet_bytes,
+               int initial_slots)
     : sim_(sim),
       network_(network),
       id_(id),
       cc_(std::move(cc)),
       packet_bytes_(packet_bytes) {
-  slots_.resize(256);  // power of two; grows if the window ever spans more
+  // Power of two (grows if the window ever spans more); floor of 8 keeps
+  // the ring useful even when a scale scenario asks for the minimum.
+  size_t cap = 8;
+  while (cap < static_cast<size_t>(std::max(initial_slots, 1))) cap *= 2;
+  slots_.resize(cap);
   slot_mask_ = slots_.size() - 1;
 }
 

@@ -33,9 +33,13 @@ class Sender final : public PacketSink {
  public:
   // `network` routes data out and delivers ACKs back; the sender attaches
   // itself as flow `id`'s ACK sink. `receiver_ack_path` is wired by Flow.
+  // `initial_slots` sizes the in-flight slot ring (rounded up to a power
+  // of two; grows on demand). The default suits a full-rate bulk flow;
+  // churn scenarios holding 100k+ mostly-idle flows shrink it — slot
+  // capacity is pure storage and never affects packet timing.
   Sender(Simulator* sim, Network* network, FlowId id,
          std::unique_ptr<CongestionController> cc,
-         int64_t packet_bytes = kMtuBytes);
+         int64_t packet_bytes = kMtuBytes, int initial_slots = 256);
 
   // Pacing granularity: packets within one quantum leave back-to-back,
   // like a real user-space stack waking up and writing a sendmsg batch.

@@ -1,0 +1,696 @@
+// Sharded-execution + churn test suite.
+//
+// Covers, bottom-up:
+//   * ShardSet (sim/shard.h) unit behavior: window barriers, the
+//     canonical (when, src, seq) drain order, the conservative-lookahead
+//     runtime check, chunked driving, and thread-count independence;
+//   * Scenario::partition_plan — parts/window derive from the topology
+//     alone, never from --shards;
+//   * the tentpole determinism contract: the CDN-edge scenario produces
+//     byte-identical digests at --shards=1/2/4 for all 8 protocols,
+//     including a faulted+telemetry run, and legacy single-part shapes
+//     ignore --shards entirely;
+//   * ChurnDriver: shard-count invariance, cap-independent RNG streams,
+//     and deterministic flow-id recycling (IdAllocator golden order);
+//   * the churn-exposed satellite fixes: dense flow-table demux never
+//     spills scenario ids to the sparse map, detach leaves no state
+//     behind (re-attach of a recycled id is indistinguishable from a
+//     fresh one), detached-flow ACKs still consume their reverse-path
+//     events, and RingBuffer's empty-pop/front debug assertions fire.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/churn.h"
+#include "harness/factory.h"
+#include "harness/fault_spec.h"
+#include "harness/scenario.h"
+#include "harness/supervisor.h"
+#include "harness/telemetry_export.h"
+#include "harness/trace_export.h"
+#include "sim/ring_buffer.h"
+#include "sim/shard.h"
+#include "sim/topology.h"
+
+namespace proteus {
+namespace {
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<FaultSpec> faults_or_die(const std::string& spec) {
+  FaultParseResult r = parse_faults(spec);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.faults;
+}
+
+// ---------------------------------------------------------------------
+// ShardSet unit behavior
+// ---------------------------------------------------------------------
+
+TEST(ShardSetUnit, CrossPartHandoffExecutesAtPostedTime) {
+  ShardSet ss(2, from_ms(1), 7);
+  std::vector<TimeNs> fired;
+  // Posted before the first window: arrives in part 1's queue for t=2ms.
+  ss.post(0, 1, from_ms(2), [&] { fired.push_back(ss.part(1).now()); });
+  ss.run_until(from_ms(5), 1);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], from_ms(2));
+  EXPECT_EQ(ss.now(), from_ms(5));
+}
+
+TEST(ShardSetUnit, DrainOrderIsWhenThenSrcThenSeq) {
+  // Parts 1 and 2 both post to part 0 at the same absolute time; part 2
+  // posts first in wall order. The drain must still execute src-1
+  // handoffs first, and within a src, in post order.
+  ShardSet ss(3, from_ms(1), 7);
+  std::vector<std::string> order;
+  const TimeNs t = from_ms(3);  // two windows ahead of the posts below
+  ss.part(2).schedule_at(from_ms(1), [&] {
+    ss.post(2, 0, t, [&] { order.push_back("src2#0"); });
+    ss.post(2, 0, t, [&] { order.push_back("src2#1"); });
+  });
+  ss.part(1).schedule_at(from_ms(1), [&] {
+    ss.post(1, 0, t, [&] { order.push_back("src1#0"); });
+  });
+  // A local event at the same time always precedes drained handoffs.
+  ss.part(0).schedule_at(t, [&] { order.push_back("local"); });
+  ss.run_until(from_ms(5), 1);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "local");
+  EXPECT_EQ(order[1], "src1#0");
+  EXPECT_EQ(order[2], "src2#0");
+  EXPECT_EQ(order[3], "src2#1");
+}
+
+TEST(ShardSetUnit, LookaheadViolationThrows) {
+  ShardSet ss(2, from_ms(1), 7);
+  // From inside window [1, 2) ms, posting into the same window violates
+  // the conservative invariant and must throw rather than corrupt.
+  ss.part(0).schedule_at(from_ms(1), [&] {
+    ss.post(0, 1, from_ms(1) + from_us(500), [] {});
+  });
+  EXPECT_THROW(ss.run_until(from_ms(5), 1), std::logic_error);
+}
+
+TEST(ShardSetUnit, PostAtWindowBoundaryIsLegal) {
+  ShardSet ss(2, from_ms(1), 7);
+  std::vector<TimeNs> fired;
+  // The next window's start is exactly the lookahead floor: legal.
+  ss.part(0).schedule_at(from_ms(1), [&] {
+    ss.post(0, 1, from_ms(2), [&] { fired.push_back(ss.part(1).now()); });
+  });
+  ss.run_until(from_ms(5), 1);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], from_ms(2));
+}
+
+TEST(ShardSetUnit, BadConstructionThrows) {
+  EXPECT_THROW(ShardSet(0, from_ms(1), 7), std::invalid_argument);
+  EXPECT_THROW(ShardSet(2, 0, 7), std::invalid_argument);
+  // A single part needs no window (there is no cut to bound).
+  ShardSet ok(1, 0, 7);
+  EXPECT_EQ(ok.parts(), 1);
+}
+
+// Relay: parts ping-pong a token with +window timestamps. Records every
+// hop so runs are comparable event-for-event.
+std::vector<std::string> relay_run(int threads, TimeNs chunk) {
+  ShardSet ss(3, from_ms(1), 7);
+  // hops[p] is only written by part p's owner thread; merged after.
+  std::vector<std::vector<std::string>> hops(3);
+  std::function<void(int, int)> hop = [&](int from, int to) {
+    hops[to].push_back(std::to_string(from) + ">" + std::to_string(to) +
+                       "@" + std::to_string(ss.part(to).now()));
+    if (ss.part(to).now() >= from_ms(20)) return;
+    const int next = (to + 1) % 3;
+    ss.post(to, next, ss.part(to).now() + from_ms(1),
+            [&hop, to, next] { hop(to, next); });
+  };
+  ss.post(0, 1, from_ms(1), [&hop] { hop(0, 1); });
+  for (TimeNs t = chunk; t <= from_ms(25); t += chunk) {
+    ss.run_until(t, threads);
+  }
+  std::vector<std::string> merged;
+  for (const auto& h : hops) {
+    for (const auto& s : h) merged.push_back(s);
+  }
+  return merged;
+}
+
+TEST(ShardSetUnit, ThreadCountAndChunkingNeverChangeTheRun) {
+  const std::vector<std::string> base = relay_run(1, from_ms(25));
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(base, relay_run(1, from_ms(5)));   // chunked driving
+  EXPECT_EQ(base, relay_run(2, from_ms(25)));  // threaded
+  EXPECT_EQ(base, relay_run(4, from_ms(5)));   // threaded + chunked
+}
+
+// ---------------------------------------------------------------------
+// Partition plan
+// ---------------------------------------------------------------------
+
+TEST(PartitionPlan, DerivedFromTopologyNotShards) {
+  ScenarioConfig dumbbell;
+  dumbbell.shards = 4;
+  const PartitionPlan p1 = Scenario(dumbbell).partition_plan();
+  EXPECT_EQ(p1.parts, 1);
+  EXPECT_EQ(p1.window, 0);
+  EXPECT_FALSE(p1.reason.empty());
+
+  ScenarioConfig cdn;
+  cdn.topology.kind = TopologyKind::kCdnEdge;
+  cdn.topology.arms = 6;
+  for (int shards : {0, 1, 4}) {
+    cdn.shards = shards;
+    const PartitionPlan p = Scenario(cdn).partition_plan();
+    EXPECT_EQ(p.parts, 7);  // core + one part per arm
+    // Window = access delay = core propagation = rtt/8.
+    EXPECT_EQ(p.window, from_ms(cdn.rtt_ms / 8.0));
+  }
+}
+
+// ---------------------------------------------------------------------
+// CDN-edge shard-invariance goldens (the tentpole contract)
+// ---------------------------------------------------------------------
+
+// Digest of everything observable about a CDN run: per-flow transport
+// counters, per-hop fabric counters, total event count, and the
+// exported CSV bytes.
+std::string cdn_digest(const std::string& protocol, int shards,
+                       const std::string& tag) {
+  ScenarioConfig cfg;
+  cfg.topology.kind = TopologyKind::kCdnEdge;
+  cfg.topology.arms = 3;
+  cfg.seed = 7;
+  cfg.shards = shards;
+  Scenario sc(cfg);
+  Flow& a = sc.add_flow(protocol, 0);
+  Flow& b = sc.add_flow(protocol, from_sec(1));
+  Flow& c = sc.add_flow(protocol, from_sec(1));
+  sc.run_until(from_sec(4));
+
+  const std::string base = ::testing::TempDir() + "/shard_cdn_" + tag;
+  EXPECT_TRUE(
+      write_throughput_csv(base + ".csv", {&a, &b, &c}, from_sec(4)));
+  EXPECT_TRUE(write_rtt_csv(base + "_rtt.csv", a));
+
+  std::ostringstream os;
+  os << protocol;
+  for (const Flow* f : {&a, &b, &c}) {
+    const SenderStats& ss = f->sender().stats();
+    os << ' ' << ss.packets_sent << ' ' << ss.bytes_sent << ' '
+       << ss.packets_acked << ' ' << ss.packets_lost << ' '
+       << f->receiver().bytes_received();
+  }
+  for (const auto& [name, st] : sc.link_stats()) {
+    os << ' ' << name << ' ' << st.offered_packets << ' '
+       << st.delivered_packets << ' ' << st.tail_drops << ' '
+       << st.max_queue_bytes;
+  }
+  os << ' ' << sc.events_processed();
+  os << ' ' << std::hex << fnv1a(slurp(base + ".csv")) << ' '
+     << fnv1a(slurp(base + "_rtt.csv"));
+  return os.str();
+}
+
+TEST(ShardDeterminism, CdnByteIdenticalForAllProtocolsAndShardCounts) {
+  std::vector<std::string> protocols = all_protocol_names();
+  protocols.push_back("proteus-h");
+  ASSERT_EQ(protocols.size(), 8u);
+  for (const std::string& p : protocols) {
+    const std::string serial = cdn_digest(p, 1, p + "_s1");
+    EXPECT_EQ(serial, cdn_digest(p, 2, p + "_s2")) << p;
+    EXPECT_EQ(serial, cdn_digest(p, 4, p + "_s4")) << p;
+  }
+}
+
+// Faults on the shared core (blackout+reorder) and a leaf (capacity+
+// ackloss), with per-MI telemetry export: the sharded engine must keep
+// every fault RNG stream and telemetry byte identical across thread
+// counts.
+std::string cdn_faulted_digest(int shards, const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/shard_fault_" + tag;
+  TelemetryConfig tcfg;
+  tcfg.dir = dir;
+  tcfg.every = 1;
+  RunContext ctx(/*attempt=*/0, /*wall_timeout_sec=*/0,
+                 /*sim_timeout_sec=*/0, /*trace_capacity=*/64);
+  ctx.set_telemetry(&tcfg, "shard");
+
+  ScenarioConfig cfg;
+  cfg.topology.kind = TopologyKind::kCdnEdge;
+  cfg.topology.arms = 3;
+  cfg.seed = 42;
+  cfg.shards = shards;
+  cfg.faults = faults_or_die(
+      "blackout@1:1,reorder@2:p=0.1:delta=10ms:1,"
+      "link1:capacity@1:x=0.5:2,link2:ackloss@2:p=0.2:1");
+  Scenario sc(cfg);
+  Flow& f = sc.add_flow("proteus-p", 0);
+  Flow& g = sc.add_flow("cubic", from_ms(500));
+  {
+    FlowTelemetrySession session(&ctx, f, "flow0");
+    sc.run_until(from_sec(4));
+  }  // exports on destruction
+  std::ostringstream os;
+  for (const Flow* fl : {&f, &g}) {
+    const SenderStats& ss = fl->sender().stats();
+    os << ' ' << ss.packets_sent << ' ' << ss.packets_acked << ' '
+       << ss.packets_lost << ' ' << fl->receiver().bytes_received();
+  }
+  for (const auto& [name, st] : sc.link_stats()) {
+    os << ' ' << name << ' ' << st.offered_packets << ' '
+       << st.blackout_drops << ' ' << st.reordered << ' ' << st.ack_drops;
+  }
+  os << ' ' << sc.events_processed() << ' ' << std::hex
+     << fnv1a(slurp(dir + "/shard-flow0.jsonl"));
+  return os.str();
+}
+
+TEST(ShardDeterminism, CdnFaultedTelemetryByteIdentical) {
+  const std::string serial = cdn_faulted_digest(1, "s1");
+  EXPECT_EQ(serial, cdn_faulted_digest(2, "s2"));
+  EXPECT_EQ(serial, cdn_faulted_digest(4, "s4"));
+}
+
+TEST(ShardDeterminism, CoreRejectsReverseOnlyFaults) {
+  // The shared core has no reverse delay edge of its own; ACK-path
+  // faults must name a leaf link explicitly instead of silently doing
+  // nothing.
+  ScenarioConfig cfg;
+  cfg.topology.kind = TopologyKind::kCdnEdge;
+  cfg.faults = faults_or_die("ackloss@2:p=0.2:1");
+  EXPECT_THROW(Scenario sc(cfg), std::runtime_error);
+}
+
+// Legacy single-part shapes: --shards is a pure thread-count hint and
+// must not perturb a single byte.
+std::string legacy_digest(TopologyKind kind, int shards) {
+  ScenarioConfig cfg;
+  cfg.topology.kind = kind;
+  cfg.seed = 7;
+  cfg.shards = shards;
+  Scenario sc(cfg);
+  Flow& a = sc.add_flow("cubic", 0);
+  Flow& b = sc.add_flow("proteus-s", from_sec(1));
+  sc.run_until(from_sec(4));
+  std::ostringstream os;
+  for (const Flow* f : {&a, &b}) {
+    os << ' ' << f->sender().stats().packets_sent << ' '
+       << f->receiver().bytes_received();
+  }
+  os << ' ' << sc.events_processed();
+  return os.str();
+}
+
+TEST(ShardDeterminism, SinglePartShapesIgnoreShardsFlag) {
+  for (TopologyKind kind :
+       {TopologyKind::kDumbbell, TopologyKind::kParkingLot}) {
+    const std::string base = legacy_digest(kind, 0);
+    EXPECT_EQ(base, legacy_digest(kind, 2));
+    EXPECT_EQ(base, legacy_digest(kind, 4));
+  }
+}
+
+// All 8 protocols on the legacy shapes: one part means the serial code
+// path runs verbatim whatever --shards says, so this is cheap insurance
+// that the plan derivation never misfires for a registered protocol.
+std::string legacy_protocol_digest(TopologyKind kind,
+                                   const std::string& protocol, int shards) {
+  ScenarioConfig cfg;
+  cfg.topology.kind = kind;
+  cfg.seed = 7;
+  cfg.shards = shards;
+  Scenario sc(cfg);
+  Flow& a = sc.add_flow(protocol, 0);
+  sc.run_until(from_sec(3));
+  std::ostringstream os;
+  os << a.sender().stats().packets_sent << ' '
+     << a.sender().stats().packets_acked << ' '
+     << a.receiver().bytes_received() << ' ' << sc.events_processed();
+  return os.str();
+}
+
+TEST(ShardDeterminism, LegacyShapesAllProtocolsShardInvariant) {
+  std::vector<std::string> protocols = all_protocol_names();
+  protocols.push_back("proteus-h");
+  for (TopologyKind kind :
+       {TopologyKind::kDumbbell, TopologyKind::kParkingLot}) {
+    for (const std::string& p : protocols) {
+      const std::string base = legacy_protocol_digest(kind, p, 0);
+      EXPECT_EQ(base, legacy_protocol_digest(kind, p, 2)) << p;
+      EXPECT_EQ(base, legacy_protocol_digest(kind, p, 4)) << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Churn: shard invariance, cap-independent RNG, id recycling
+// ---------------------------------------------------------------------
+
+struct ChurnRun {
+  ChurnStats stats;
+  uint64_t events = 0;
+  std::string links;
+};
+
+ChurnRun churn_run(int shards, int64_t max_concurrent, uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.topology.kind = TopologyKind::kCdnEdge;
+  cfg.topology.arms = 3;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.planned_flows = 2 * max_concurrent;
+  Scenario sc(cfg);
+  ChurnConfig ch;
+  ch.arrivals_per_sec = 400;
+  ch.mean_size_kb = 48;
+  ch.max_concurrent = max_concurrent;
+  ChurnRun r;
+  {
+    ChurnDriver churn(sc, ch);
+    sc.run_until(from_sec(4));
+    r.stats = churn.stats();
+  }
+  r.events = sc.events_processed();
+  std::ostringstream os;
+  for (const auto& [name, st] : sc.link_stats()) {
+    os << ' ' << name << ' ' << st.offered_packets << ' '
+       << st.delivered_packets << ' ' << st.tail_drops;
+  }
+  r.links = os.str();
+  return r;
+}
+
+TEST(Churn, ByteIdenticalAcrossShardCounts) {
+  const ChurnRun serial = churn_run(1, 150, 11);
+  ASSERT_GT(serial.stats.spawned, 0);
+  ASSERT_GT(serial.stats.completed, 0);
+  for (int shards : {2, 4}) {
+    const ChurnRun sharded = churn_run(shards, 150, 11);
+    EXPECT_EQ(serial.stats.spawned, sharded.stats.spawned);
+    EXPECT_EQ(serial.stats.completed, sharded.stats.completed);
+    EXPECT_EQ(serial.stats.skipped, sharded.stats.skipped);
+    EXPECT_EQ(serial.stats.peak_concurrent, sharded.stats.peak_concurrent);
+    EXPECT_EQ(serial.events, sharded.events);
+    EXPECT_EQ(serial.links, sharded.links);
+  }
+}
+
+TEST(Churn, ArrivalStreamIndependentOfCap) {
+  // The cap sheds load but must never shift the RNG stream: total
+  // arrivals (spawned + skipped) are a function of (seed, duration)
+  // alone.
+  const ChurnRun tight = churn_run(1, 20, 11);
+  const ChurnRun loose = churn_run(1, 150, 11);
+  EXPECT_GT(tight.stats.skipped, loose.stats.skipped);
+  EXPECT_EQ(tight.stats.spawned + tight.stats.skipped,
+            loose.stats.spawned + loose.stats.skipped);
+}
+
+TEST(IdAllocator, RecyclesSmallestFreedIdFirst) {
+  IdAllocator ids(1, 1);
+  for (FlowId want = 1; want <= 5; ++want) {
+    EXPECT_EQ(ids.allocate(), want);
+  }
+  ids.release(4);
+  ids.release(2);
+  EXPECT_EQ(ids.free_count(), 2u);
+  EXPECT_EQ(ids.allocate(), 2);  // smallest freed id first
+  EXPECT_EQ(ids.allocate(), 4);
+  EXPECT_EQ(ids.allocate(), 6);  // pool empty: mint fresh
+  EXPECT_EQ(ids.high_water(), 7u);
+}
+
+TEST(IdAllocator, StridedArmsNeverCollide) {
+  // Arm 1 of a 4-arm CDN mints 2, 6, 10, ...; recycling stays inside
+  // the arm's residue class so (id - 1) % arms always recovers the arm.
+  IdAllocator ids(2, 4);
+  EXPECT_EQ(ids.allocate(), 2);
+  EXPECT_EQ(ids.allocate(), 6);
+  EXPECT_EQ(ids.allocate(), 10);
+  ids.release(6);
+  EXPECT_EQ(ids.allocate(), 6);
+  EXPECT_EQ(ids.allocate(), 14);
+}
+
+// Deterministic recycling end-to-end: complete a flow, release its id,
+// and the next allocation hands the same id back; the recycled flow's
+// run is byte-identical to a control scenario that used the id directly
+// (detach left no state behind, and flow_seed(id) is id-pure).
+TEST(Churn, RecycledIdRunsIdenticalToFreshId) {
+  auto run = [](bool recycle) {
+    ScenarioConfig cfg;
+    cfg.seed = 7;
+    Scenario sc(cfg);
+    if (recycle) {
+      // Short-lived predecessor: 30 KB, finishes well before 2 s.
+      const FlowId first = sc.allocate_flow_id();
+      EXPECT_EQ(first, 1u);
+      FlowConfig fc;
+      fc.id = first;
+      fc.unlimited = false;
+      fc.total_bytes = 30'000;
+      auto flow = sc.create_flow(0, "cubic", std::move(fc));
+      sc.run_until(from_sec(2));
+      EXPECT_EQ(flow->receiver().bytes_received(), 30'000);
+      flow.reset();  // detaches
+      sc.release_flow_id(first);
+    } else {
+      sc.run_until(from_sec(2));
+    }
+    const FlowId id = sc.allocate_flow_id();
+    EXPECT_EQ(id, 1u);  // recycled (or first-ever) id
+    FlowConfig fc;
+    fc.id = id;
+    fc.unlimited = false;
+    fc.total_bytes = 200'000;
+    auto flow = sc.create_flow(0, "cubic", std::move(fc));
+    sc.run_until(from_sec(5));
+    std::ostringstream os;
+    const SenderStats& ss = flow->sender().stats();
+    os << ss.packets_sent << ' ' << ss.bytes_sent << ' '
+       << ss.packets_acked << ' ' << ss.packets_lost << ' '
+       << flow->receiver().bytes_received();
+    return os.str();
+  };
+  EXPECT_EQ(run(/*recycle=*/true), run(/*recycle=*/false));
+}
+
+// ---------------------------------------------------------------------
+// Churn-exposed satellites: demux, detach hygiene, RingBuffer asserts
+// ---------------------------------------------------------------------
+
+struct NullSink final : PacketSink {
+  void on_packet(const Packet&) override {}
+};
+
+TEST(FlowTableDemux, DenseTableScalesPastLegacyLimitWithoutSpill) {
+  // The old fixed 4096-entry dense table silently spilled every higher
+  // id into the sparse hash map — per-packet hashing on the hot demux
+  // path for exactly the big-churn runs that mint high ids.
+  Simulator sim(1);
+  Topology topo(&sim);
+  topo.add_path({{topo.add_link(0, 1, LinkConfig{}, 1)},
+                 {topo.add_delay_edge(1, 0, from_ms(1))}});
+  NullSink sink;
+  for (FlowId id : {FlowId{1}, FlowId{5000}, FlowId{100'000}}) {
+    topo.attach_flow(id, &sink, &sink);
+  }
+  EXPECT_EQ(topo.sparse_flow_count(), 0u);
+  EXPECT_GE(topo.dense_capacity(), 100'001u);
+  for (FlowId id : {FlowId{1}, FlowId{5000}, FlowId{100'000}}) {
+    EXPECT_NE(topo.forward_ingress(id), nullptr);
+    topo.detach_flow(id);
+  }
+}
+
+TEST(FlowTableDemux, ReserveFlowsPresizesGeometrically) {
+  Simulator sim(1);
+  Topology topo(&sim);
+  topo.add_path({{topo.add_link(0, 1, LinkConfig{}, 1)},
+                 {topo.add_delay_edge(1, 0, from_ms(1))}});
+  topo.reserve_flows(70'000);
+  const size_t cap = topo.dense_capacity();
+  EXPECT_GE(cap, 70'000u);
+  // Power-of-two growth: attaching inside the reservation never grows.
+  NullSink sink;
+  topo.attach_flow(69'999, &sink, &sink);
+  EXPECT_EQ(topo.dense_capacity(), cap);
+  EXPECT_EQ(topo.sparse_flow_count(), 0u);
+}
+
+TEST(FlowTableDemux, CeilingRoutesOverflowToSparseAndBack) {
+  Simulator sim(1);
+  Topology topo(&sim);
+  topo.add_path({{topo.add_link(0, 1, LinkConfig{}, 1)},
+                 {topo.add_delay_edge(1, 0, from_ms(1))}});
+  topo.set_dense_ceiling(1024);
+  NullSink sink;
+  topo.attach_flow(500, &sink, &sink);    // dense
+  topo.attach_flow(5000, &sink, &sink);   // above ceiling: sparse
+  EXPECT_EQ(topo.sparse_flow_count(), 1u);
+  EXPECT_LE(topo.dense_capacity(), 1024u);
+  // Sparse flows still demux and detach cleanly.
+  EXPECT_NE(topo.forward_ingress(5000), nullptr);
+  topo.detach_flow(5000);
+  EXPECT_EQ(topo.sparse_flow_count(), 0u);
+}
+
+TEST(FlowTableDemux, ChurnStaysDenseOnEveryArm) {
+  ScenarioConfig cfg;
+  cfg.topology.kind = TopologyKind::kCdnEdge;
+  cfg.topology.arms = 3;
+  cfg.seed = 11;
+  cfg.planned_flows = 400;
+  Scenario sc(cfg);
+  ChurnConfig ch;
+  ch.arrivals_per_sec = 400;
+  ch.mean_size_kb = 48;
+  ch.max_concurrent = 200;
+  ChurnDriver churn(sc, ch);
+  sc.run_until(from_sec(3));
+  ASSERT_GT(churn.stats().completed, 0);
+  for (int a = 0; a < sc.arm_count(); ++a) {
+    EXPECT_EQ(sc.arm_topology(a).sparse_flow_count(), 0u) << "arm " << a;
+  }
+}
+
+TEST(ChurnDetach, InFlightAckOfDetachedFlowStillConsumesItsEvent) {
+  // Pin of the send_reverse event-count contract under churn: an ACK in
+  // flight when its flow detaches must consume exactly its scheduled
+  // reverse-path events (delay-edge hop, then silent egress drop) so a
+  // detach never perturbs event counts or RNG draws of the flows that
+  // remain.
+  Simulator sim(1);
+  Topology topo(&sim);
+  topo.add_path({{topo.add_link(0, 1, LinkConfig{}, 1)},
+                 {topo.add_delay_edge(1, 0, from_ms(5))}});
+  NullSink sink;
+  topo.attach_flow(1, &sink, &sink);
+  Packet ack;
+  ack.flow_id = 1;
+  ack.size_bytes = 40;
+  ack.is_ack = true;
+  topo.send_reverse(ack);
+  topo.detach_flow(1);
+  const uint64_t before = sim.events_processed();
+  sim.run_until(from_ms(100));
+  // Exactly one event: the delay-edge delivery, dropped at egress.
+  EXPECT_EQ(sim.events_processed() - before, 1u);
+}
+
+TEST(ChurnDetach, ReattachAfterDetachIsClean) {
+  // detach -> re-attach of the same id must behave like a first attach:
+  // fresh path assignment and packet delivery to the new sinks.
+  Simulator sim(1);
+  Topology topo(&sim);
+  topo.add_path({{topo.add_link(0, 1, LinkConfig{}, 1)},
+                 {topo.add_delay_edge(1, 0, from_ms(1))}});
+  struct Counter final : PacketSink {
+    int n = 0;
+    void on_packet(const Packet&) override { ++n; }
+  } old_recv, new_recv;
+  NullSink acks;
+  topo.attach_flow(1, &old_recv, &acks);
+  topo.detach_flow(1);
+  topo.attach_flow(1, &new_recv, &acks);
+  Packet p;
+  p.flow_id = 1;
+  p.size_bytes = 1500;
+  topo.forward_ingress(1)->on_packet(p);
+  sim.run_until(from_ms(100));
+  EXPECT_EQ(old_recv.n, 0);  // stale sink must never hear from the id
+  EXPECT_EQ(new_recv.n, 1);
+
+  // Sparse variant: the same hygiene must hold for an id living in the
+  // sparse spill map (above the dense ceiling).
+  topo.set_dense_ceiling(16);
+  struct Counter2 final : PacketSink {
+    int n = 0;
+    void on_packet(const Packet&) override { ++n; }
+  } sparse_old, sparse_new;
+  topo.attach_flow(5000, &sparse_old, &acks);
+  topo.detach_flow(5000);
+  topo.attach_flow(5000, &sparse_new, &acks);
+  Packet q;
+  q.flow_id = 5000;
+  q.size_bytes = 1500;
+  topo.forward_ingress(5000)->on_packet(q);
+  sim.run_until(sim.now() + from_ms(100));
+  EXPECT_EQ(sparse_old.n, 0);
+  EXPECT_EQ(sparse_new.n, 1);
+}
+
+TEST(SenderSlotRing, InitialSlotsIsStorageOnly) {
+  // The slot-ring size hint must never leak into timing: runs with a
+  // tiny (forcing growth) and a huge initial ring digest identically.
+  auto run = [](int slots) {
+    ScenarioConfig cfg;
+    cfg.seed = 7;
+    Scenario sc(cfg);
+    const FlowId id = sc.allocate_flow_id();
+    FlowConfig fc;
+    fc.id = id;
+    fc.initial_window_slots = slots;
+    auto flow = sc.create_flow(0, "cubic", std::move(fc));
+    sc.run_until(from_sec(3));
+    std::ostringstream os;
+    os << flow->sender().stats().packets_sent << ' '
+       << flow->sender().stats().packets_acked << ' '
+       << flow->receiver().bytes_received() << ' '
+       << sc.sim().events_processed();
+    return os.str();
+  };
+  const std::string tiny = run(1);     // rounds up to the floor of 8
+  EXPECT_EQ(tiny, run(256));
+  EXPECT_EQ(tiny, run(4096));
+}
+
+TEST(RingBufferGuard, BasicFifoCycling) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 100; ++i) {
+    rb.push_back(i);
+    rb.push_back(i + 1000);
+    ASSERT_EQ(rb.front(), i);
+    rb.pop_front();
+    ASSERT_EQ(rb.at(0), i + 1000);
+    rb.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(RingBufferGuardDeathTest, EmptyAccessAsserts) {
+  // pop_front on empty used to wrap count_ to SIZE_MAX and front() read
+  // a default slot — silent UB a churned-out Link queue could hit.
+  RingBuffer<int> rb;
+  EXPECT_DEATH(rb.front(), "front on empty");
+  EXPECT_DEATH(rb.pop_front(), "pop_front on empty");
+  rb.push_back(1);
+  EXPECT_DEATH(rb.at(1), "out of range");
+}
+#endif
+
+}  // namespace
+}  // namespace proteus

@@ -8,12 +8,17 @@
 // zero-allocation design, not noise).
 //
 // Usage: bench_compare BASELINE.json CURRENT.json [--tolerance=0.10]
+//                      [--keys=a,b,c]
+// --keys overrides the default throughput-key list (the historical
+// events_per_sec_wheel/heap pair), so other bench JSONs — e.g.
+// BENCH_shards.json with events_per_sec_shards1/2/4 — share the gate.
 // Exit: 0 ok, 1 regression, 2 usage/parse error.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -44,24 +49,41 @@ bool extract_number(const std::string& json, const std::string& key,
 int main(int argc, char** argv) {
   double tolerance = 0.10;
   std::string baseline_path, current_path;
+  std::vector<std::string> keys = {"events_per_sec_wheel",
+                                   "events_per_sec_heap"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tolerance=", 0) == 0) {
       tolerance = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--keys=", 0) == 0) {
+      keys.clear();
+      std::string list = arg.substr(7);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string key = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!key.empty()) keys.push_back(key);
+        pos = comma == std::string::npos ? list.size() : comma + 1;
+      }
+      if (keys.empty()) {
+        std::cerr << "bench_compare: --keys needs a comma-separated list\n";
+        return 2;
+      }
     } else if (baseline_path.empty()) {
       baseline_path = arg;
     } else if (current_path.empty()) {
       current_path = arg;
     } else {
       std::cerr << "usage: bench_compare BASELINE.json CURRENT.json "
-                   "[--tolerance=frac]\n";
+                   "[--tolerance=frac] [--keys=a,b,c]\n";
       return 2;
     }
   }
   if (baseline_path.empty() || current_path.empty() || tolerance < 0 ||
       tolerance >= 1) {
     std::cerr << "usage: bench_compare BASELINE.json CURRENT.json "
-                 "[--tolerance=frac]\n";
+                 "[--tolerance=frac] [--keys=a,b,c]\n";
     return 2;
   }
 
@@ -76,7 +98,7 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
-  for (const char* key : {"events_per_sec_wheel", "events_per_sec_heap"}) {
+  for (const std::string& key : keys) {
     double base = 0, cur = 0;
     if (!extract_number(baseline, key, base)) {
       std::cerr << "bench_compare: " << baseline_path << " lacks " << key

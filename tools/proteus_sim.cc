@@ -17,8 +17,10 @@
 // Simulation invariants (packet conservation, finite utilities, clamped
 // rates) are checked after every run; a violation is a simulator bug and
 // exits with code 2 (other failures exit 3).
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,12 +40,13 @@ namespace {
 void write_outputs(const CliOptions& opt, const Scenario& scenario,
                    const std::vector<Flow*>& flows, TimeNs duration) {
   if (!opt.link_stats_path.empty()) {
-    const Topology& topo = scenario.topology();
-    // Multi-bottleneck shapes get the per-hop table (leading link-name
-    // column); the dumbbell keeps its historical single-row format.
+    // Multi-bottleneck shapes (including the sharded cdn fabric) get the
+    // per-hop table (leading link-name column); the dumbbell keeps its
+    // historical single-row format.
+    const auto rows = scenario.link_stats();
     const bool ok =
-        topo.link_count() > 1
-            ? write_link_stats_csv(opt.link_stats_path, topo.link_stats())
+        rows.size() > 1
+            ? write_link_stats_csv(opt.link_stats_path, rows)
             : write_link_stats_csv(opt.link_stats_path,
                                    scenario.bottleneck().stats());
     if (ok) {
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
   // left behind by an interrupt or watchdog timeout.
   std::unique_ptr<Scenario> scenario;
   std::vector<Flow*> flows;
+  ChurnStats churn_stats;
   RunInfo info = run_info("proteus_sim", opt.scenario);
   info.cli = argv[0];
   for (const std::string& a : args) info.cli += " " + a;
@@ -118,6 +122,13 @@ int main(int argc, char** argv) {
       {[&](RunContext& ctx) {
          ScenarioConfig cfg = opt.scenario;
          cfg.seed = ctx.attempt_seed(opt.scenario.seed);
+         if (opt.churn.has_value() && cfg.planned_flows == 0) {
+           // Pre-size the flow-demux tables for the churn steady state
+           // (cap plus headroom for ids in flight between release and
+           // reuse).
+           cfg.planned_flows =
+               static_cast<FlowId>(opt.churn->max_concurrent) * 2;
+         }
          scenario = std::make_unique<Scenario>(cfg);
          flows.clear();
          // Sessions are scoped to the attempt: their destructors export
@@ -132,8 +143,14 @@ int main(int argc, char** argv) {
                "flow" + std::to_string(flows.size() - 1) + "-" +
                    spec.protocol));
          }
+         // The driver lives inside the attempt: it owns the churn flows
+         // and must release them before the next attempt rebuilds the
+         // scenario.
+         std::optional<ChurnDriver> churn;
+         if (opt.churn.has_value()) churn.emplace(*scenario, *opt.churn);
          supervised_run_until(*scenario, duration, &ctx);
          check_invariants_or_throw(*scenario);
+         if (churn.has_value()) churn_stats = churn->stats();
          return 0.0;
        },
        std::move(info)});
@@ -197,14 +214,34 @@ int main(int argc, char** argv) {
                fmt(f->rtt_samples().percentile(95), 1), fmt(loss, 2)});
   }
   t.print();
-  if (scenario->topology().link_count() > 1) {
+  const size_t fabric_links = scenario->link_stats().size();
+  if (fabric_links > 1) {
     // Flows sit on different bottlenecks here; a single-link utilization
     // ratio would be meaningless (and can exceed 100%).
     std::printf("\naggregate throughput: %.2f Mbps over %d bottleneck hops\n",
-                total, scenario->topology().link_count());
+                total, static_cast<int>(fabric_links));
   } else {
     std::printf("\nutilization: %.1f%%\n",
                 100.0 * total / opt.scenario.bandwidth_mbps);
+  }
+
+  if (opt.churn.has_value()) {
+    std::printf("churn: spawned=%lld completed=%lld skipped=%lld "
+                "live=%lld peak=%lld\n",
+                static_cast<long long>(churn_stats.spawned),
+                static_cast<long long>(churn_stats.completed),
+                static_cast<long long>(churn_stats.skipped),
+                static_cast<long long>(churn_stats.concurrent),
+                static_cast<long long>(churn_stats.peak_concurrent));
+  }
+  const PartitionPlan plan = scenario->partition_plan();
+  if (plan.parts > 1 || opt.scenario.shards > 0) {
+    std::printf("shards: %d part(s) on %d thread(s), window %.3f ms, "
+                "%llu events\n",
+                plan.parts, std::max(1, opt.scenario.shards),
+                to_ms(plan.window),
+                static_cast<unsigned long long>(
+                    scenario->events_processed()));
   }
 
   if (!opt.scenario.faults.empty()) {

@@ -20,10 +20,14 @@ ctest --test-dir build --output-on-failure -j
 
 echo "== tier 2: ThreadSanitizer (-DPROTEUS_SANITIZE=thread) =="
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test stats_test telemetry_test topology_test rt_chaos_test
+cmake --build build-tsan -j --target parallel_runner_test supervisor_test pcc_sender_test stats_test telemetry_test topology_test rt_chaos_test shard_test
 ./build-tsan/tests/parallel_runner_test
 ./build-tsan/tests/supervisor_test
 ./build-tsan/tests/pcc_sender_test
+# Window-barrier engine under TSan: the cross-part handoff channels and
+# the two-phase barrier are the only cross-thread edges; the shard/churn
+# determinism suite must run clean with 2- and 4-thread configs.
+./build-tsan/tests/shard_test
 # Chaos-shim determinism across threads: the n-th verdict must be a pure
 # function of (seed, n) — no shared RNG stream, no wall-clock coupling.
 ./build-tsan/tests/rt_chaos_test
@@ -71,6 +75,16 @@ echo "== tier 5: simulator perf gate (bench_simcore vs BENCH_simcore.json) =="
 # resolution; reps are best-of to shrug off container scheduling noise.
 ./build/bench/bench_simcore --duration=100 --reps=3 --out="$TELDIR/bench.json"
 ./build/tools/bench_compare BENCH_simcore.json "$TELDIR/bench.json"
+# Sharded-execution gate: a reduced CDN-edge churn run (the committed
+# baseline uses the full 100k-flow configuration; the shards1 throughput
+# key is the hardware-independent one, so only it is compared). The
+# bench itself exits nonzero if the three shard counts diverge by a
+# single event, and enforces the >=1.5x shards=4 speedup when the
+# machine actually has >=4 hardware threads.
+./build/bench/bench_shards --flows=10000 --arms=8 --duration=1 \
+  --out="$TELDIR/bench_shards.json"
+./build/tools/bench_compare BENCH_shards.json "$TELDIR/bench_shards.json" \
+  --keys=events_per_sec_shards1 --tolerance=0.25
 
 echo "== tier 6: adversarial corpus replay + smoke search =="
 # Every committed worst case must replay to its recorded score (within
