@@ -10,6 +10,8 @@
 #include "core/noise_filter.h"
 #include "core/utility.h"
 #include "harness/scenario.h"
+#include "sim/shard.h"
+#include "sim/topology.h"
 #include "stats/regression.h"
 #include "telemetry/telemetry.h"
 
@@ -153,6 +155,58 @@ BENCHMARK(BM_SimulatedSecondTelemetry)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// Cross-part SPSC handoff: one window's worth of posts from part 0
+// followed by the boundary drain (sort + re-schedule) and execution on
+// part 1. Steady state reuses the channel and drain-scratch capacity,
+// so this measures the per-handoff post/drain cost, not allocation.
+void BM_ShardHandoffPostDrain(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  ShardSet ss(2, from_ms(1), 7);
+  TimeNs t = 0;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    const TimeNs due = t + from_ms(1);
+    ss.part(0).schedule_at(t, [&ss, &sink, batch, due] {
+      for (int i = 0; i < batch; ++i) {
+        ss.post(0, 1, due + i, [&sink] { ++sink; });
+      }
+    });
+    t = due;
+    ss.run_until(t, 1);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ShardHandoffPostDrain)->Arg(64)->Arg(1024);
+
+// Per-packet flow demux: dense flat-array path (Arg 0) vs the sparse
+// hash fallback (Arg 1, forced by a tiny dense ceiling). The demux runs
+// twice per data packet and twice per ACK, so the gap between these two
+// is the per-packet cost the dense table buys back.
+struct DemuxNullSink : PacketSink {
+  void on_packet(const Packet&) override {}
+};
+
+void BM_FlowDemuxLookup(benchmark::State& state) {
+  const bool sparse = state.range(0) != 0;
+  Simulator sim(1);
+  Topology topo(&sim);
+  topo.add_path({{topo.add_link(0, 1, LinkConfig{}, 1)},
+                 {topo.add_delay_edge(1, 0, from_ms(1))}});
+  if (sparse) topo.set_dense_ceiling(1);
+  DemuxNullSink sink;
+  constexpr FlowId kFlows = 4096;
+  for (FlowId id = 1; id <= kFlows; ++id) topo.attach_flow(id, &sink, &sink);
+  uint64_t x = 88172645463325252ull;
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    benchmark::DoNotOptimize(topo.forward_ingress(1 + (x % kFlows)));
+  }
+}
+BENCHMARK(BM_FlowDemuxLookup)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace proteus

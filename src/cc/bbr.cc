@@ -13,8 +13,57 @@ constexpr double kDrainGain = 1.0 / 2.885;
 
 BbrSender::BbrSender(Config cfg) : cfg_(cfg) {
   pacing_gain_ = cfg_.startup_gain;
-  snapshots_.resize(256);
+  set_window_slots_hint(256);
+  // Capacity-only: the monotonic max-queue rarely exceeds a few dozen
+  // candidates, but letting it grow on demand means a pooled flow can
+  // still allocate mid-run the first time it sees a long decreasing
+  // bandwidth series. 2 KB up front keeps the steady state heap-silent.
+  bw_samples_.reserve(128);
+}
+
+void BbrSender::set_window_slots_hint(int slots) {
+  // Capacity-only: the ring grows on demand in store_snapshot() exactly as
+  // before, so a small hint can never change behavior — only the resident
+  // footprint of short flows (a churned CDN flow never nears 256 in
+  // flight). Ignored once packets are tracked: a mid-flow shrink would
+  // drop live snapshots.
+  if (snapshots_tracking_) return;
+  size_t cap = 8;
+  while (cap < static_cast<size_t>(std::max(slots, 1))) cap *= 2;
+  // Recycled flows re-apply the same hint every incarnation; skip the
+  // reallocation when the ring is already the requested size (its slots
+  // were wiped by reset_for_reuse).
+  if (cap == snapshots_.size()) return;
+  std::vector<SnapshotSlot>(cap).swap(snapshots_);
   snapshot_mask_ = snapshots_.size() - 1;
+}
+
+bool BbrSender::reset_for_reuse(uint64_t /*seed*/) {
+  // BBR is seedless; wipe state in place, keeping the snapshot ring and
+  // bandwidth-sample storage at their ratcheted capacities.
+  mode_ = Mode::kStartup;
+  pacing_gain_ = cfg_.startup_gain;
+  delivered_bytes_ = 0;
+  delivered_time_ = 0;
+  std::fill(snapshots_.begin(), snapshots_.end(), SnapshotSlot{});
+  snapshots_tracking_ = false;
+  bw_samples_.clear();
+  round_count_ = 0;
+  next_round_delivered_ = 0;
+  min_rtt_ = kTimeInfinite;
+  min_rtt_timestamp_ = 0;
+  probe_rtt_done_ = 0;
+  probe_rtt_min_ = kTimeInfinite;
+  full_bw_ = 0.0;
+  full_bw_rounds_ = 0;
+  full_bw_reached_ = false;
+  last_round_checked_ = -1;
+  cycle_index_ = 0;
+  cycle_start_ = 0;
+  bytes_in_flight_ = 0;
+  rtt_tracker_.reset();
+  last_rtt_tracker_update_ = 0;
+  return true;
 }
 
 const BbrSender::SendSnapshot* BbrSender::find_snapshot(uint64_t seq) const {
@@ -28,6 +77,7 @@ void BbrSender::erase_snapshot(uint64_t seq) {
 }
 
 void BbrSender::store_snapshot(uint64_t seq, const SendSnapshot& snap) {
+  snapshots_tracking_ = true;
   SnapshotSlot* slot = &snapshots_[seq & snapshot_mask_];
   while (slot->active && slot->seq != seq) {
     // The in-flight window outgrew the ring: double it and re-place the
@@ -120,7 +170,7 @@ void BbrSender::update_bandwidth(const AckInfo& info) {
   while (!bw_samples_.empty() && bw_samples_.back().second <= bw) {
     bw_samples_.pop_back();
   }
-  bw_samples_.emplace_back(round_count_, bw);
+  bw_samples_.push_back({round_count_, bw});
   while (!bw_samples_.empty() &&
          bw_samples_.front().first < round_count_ - cfg_.bw_window_rounds) {
     bw_samples_.pop_front();

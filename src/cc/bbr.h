@@ -11,9 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
+
+#include "sim/ring_buffer.h"
 
 #include "stats/ewma.h"
 #include "transport/cc_interface.h"
@@ -44,6 +45,8 @@ class BbrSender final : public CongestionController {
   BbrSender() : BbrSender(Config{}) {}
   explicit BbrSender(Config cfg);
 
+  void set_window_slots_hint(int slots) override;
+  bool reset_for_reuse(uint64_t seed) override;
   void on_start(TimeNs now) override;
   void on_packet_sent(const SentPacketInfo& info) override;
   void on_ack(const AckInfo& info) override;
@@ -97,10 +100,11 @@ class BbrSender final : public CongestionController {
   TimeNs delivered_time_ = 0;
   std::vector<SnapshotSlot> snapshots_;
   size_t snapshot_mask_ = 0;
+  bool snapshots_tracking_ = false;  // locks out late ring re-sizing
 
   // Windowed max-bandwidth filter: monotonically decreasing (round, bps)
   // candidates; front is the current max, back absorbs dominated samples.
-  std::deque<std::pair<int64_t, double>> bw_samples_;
+  RingBuffer<std::pair<int64_t, double>> bw_samples_;
   int64_t round_count_ = 0;
   int64_t next_round_delivered_ = 0;
 

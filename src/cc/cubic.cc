@@ -11,6 +11,22 @@ CubicSender::CubicSender(Config cfg) : cfg_(cfg) {
 
 void CubicSender::on_start(TimeNs /*now*/) {}
 
+bool CubicSender::reset_for_reuse(uint64_t /*seed*/) {
+  // CUBIC is seedless and heapless: restoring the constructor's state is
+  // the whole job.
+  cwnd_bytes_ = cfg_.initial_cwnd_packets * cfg_.mss;
+  ssthresh_bytes_ = kNoCwndLimit;
+  epoch_started_ = false;
+  epoch_start_ = 0;
+  w_max_packets_ = 0.0;
+  k_sec_ = 0.0;
+  last_decrease_time_ = kTimeLongAgo;
+  srtt_ = from_ms(100);
+  w_est_packets_ = 0.0;
+  acked_bytes_accum_ = 0;
+  return true;
+}
+
 double CubicSender::cubic_window_packets(double t_sec) const {
   const double dt = t_sec - k_sec_;
   return cfg_.c * dt * dt * dt + w_max_packets_;

@@ -27,6 +27,7 @@ class CubicSender final : public CongestionController {
   explicit CubicSender(Config cfg);
 
   void on_start(TimeNs now) override;
+  bool reset_for_reuse(uint64_t seed) override;
   void on_ack(const AckInfo& info) override;
   void on_loss(const LossInfo& info) override;
   Bandwidth pacing_rate() const override { return Bandwidth{0.0}; }

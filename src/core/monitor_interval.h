@@ -18,6 +18,9 @@ class MonitorInterval {
  public:
   MonitorInterval(uint64_t id, double target_rate_mbps, TimeNs start,
                   TimeNs duration);
+  // Empty placeholder (id 0, which no live MI ever has) so MIs can sit in
+  // recycled ring-buffer slots.
+  MonitorInterval() : MonitorInterval(0, 0.0, 0, 0) {}
 
   uint64_t id() const { return id_; }
   TimeNs start() const { return start_; }

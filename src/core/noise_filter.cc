@@ -86,15 +86,18 @@ TrendingTolerance::Decision TrendingTolerance::update(double mi_avg_rtt_sec,
 
   // trending_gradient: slope of a linear regression of stored MI average
   // RTTs against their index (sec per MI).
-  std::vector<double> xs(avg_rtts_.size());
-  std::vector<double> ys(avg_rtts_.begin(), avg_rtts_.end());
-  for (size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i + 1);
-  const RegressionResult reg = linear_regression(xs, ys);
+  xs_.resize(avg_rtts_.size());
+  ys_.resize(avg_rtts_.size());
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    xs_[i] = static_cast<double>(i + 1);
+    ys_[i] = avg_rtts_.at(i);
+  }
+  const RegressionResult reg = linear_regression(xs_, ys_);
   d.trending_gradient = reg.valid ? reg.slope : 0.0;
 
   // trending_deviation: standard deviation of the stored MI deviations.
   Welford w;
-  for (double v : devs_) w.add(v);
+  for (size_t i = 0; i < devs_.size(); ++i) w.add(devs_.at(i));
   d.trending_deviation = w.stddev();
 
   // Compare each new trending sample against its own moving average; a
@@ -139,7 +142,7 @@ double DeviationFloor::filter(double raw_dev_sec) {
   while (!min_window_.empty() && min_window_.back().second >= raw_dev_sec) {
     min_window_.pop_back();
   }
-  min_window_.emplace_back(index_, raw_dev_sec);
+  min_window_.push_back({index_, raw_dev_sec});
   ++index_;
 
   if (index_ <= 1) return 0.0;  // no history yet: nothing is competition

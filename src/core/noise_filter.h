@@ -10,9 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "core/metrics.h"
+#include "sim/ring_buffer.h"
 #include "sim/units.h"
 #include "stats/ewma.h"
 
@@ -81,10 +82,16 @@ class DeviationFloor {
   double filter(double raw_dev_sec);
   double current_floor() const;
 
+  // Pooled-flow support: forget all history, keep storage.
+  void reset() {
+    index_ = 0;
+    min_window_.clear();
+  }
+
  private:
   NoiseControlConfig cfg_;
   int64_t index_ = 0;
-  std::deque<std::pair<int64_t, double>> min_window_;  // (index, dev)
+  RingBuffer<std::pair<int64_t, double>> min_window_;  // (index, dev)
 };
 
 // Filters abnormal RTT samples caused by bursty ACK reception (irregular
@@ -134,10 +141,23 @@ class TrendingTolerance {
   // Feed one closed MI's raw latency summary; returns significance gates.
   Decision update(double mi_avg_rtt_sec, double mi_dev_sec);
 
+  // Pooled-flow support: forget all history, keep storage (including the
+  // regression scratch).
+  void reset() {
+    avg_rtts_.clear();
+    devs_.clear();
+    grad_tracker_.reset();
+    dev_tracker_.reset();
+  }
+
  private:
   NoiseControlConfig cfg_;
-  std::deque<double> avg_rtts_;
-  std::deque<double> devs_;
+  RingBuffer<double> avg_rtts_;
+  RingBuffer<double> devs_;
+  // Regression scratch, reused across updates so a sealed MI costs no
+  // allocation at steady state (capacity ratchets to history_mis).
+  std::vector<double> xs_;
+  std::vector<double> ys_;
   MeanDeviationTracker grad_tracker_;
   MeanDeviationTracker dev_tracker_;
 };

@@ -11,15 +11,59 @@ namespace proteus {
 
 PccSender::PccSender(std::shared_ptr<UtilityFunction> utility, Config cfg,
                      std::string display_name)
-    : cfg_(cfg),
+    : current_rate_mbps_(cfg.rate_control.initial_rate_mbps),
+      cfg_(cfg),
       utility_(std::move(utility)),
       controller_(cfg.rate_control, cfg.seed ^ 0x9c),
       ack_filter_(cfg.noise),
       trending_(cfg.noise),
       deviation_floor_(cfg.noise),
       rng_(cfg.seed ^ 0x3f),
-      display_name_(std::move(display_name)),
-      current_rate_mbps_(cfg.rate_control.initial_rate_mbps) {}
+      display_name_(std::move(display_name)) {}
+
+bool PccSender::reset_for_reuse(uint64_t seed) {
+  // Reproduce PccSender(utility_, {cfg_ with .seed = seed}, display_name_)
+  // exactly, including both RNG streams, while keeping ratcheted storage
+  // (MI ring, seq_owner_ ring, trending history rings). The utility object
+  // is stateless given its params and is shared across incarnations.
+  cfg_.seed = seed;
+  controller_.reset(seed ^ 0x9c);
+  ack_filter_ = AckIntervalFilter(cfg_.noise);  // heapless; plain assignment
+  trending_.reset();
+  deviation_floor_.reset();
+  rng_.reseed(seed ^ 0x3f);
+
+  mis_.clear();
+  next_mi_id_ = 1;
+  current_rate_mbps_ = cfg_.rate_control.initial_rate_mbps;
+  seq_owner_.clear();
+  seq_base_ = 0;
+  seq_tracking_started_ = false;
+  srtt_ms_.reset();
+
+  last_metrics_ = MiMetrics{};
+  last_utility_ = 0.0;
+  mis_completed_ = 0;
+  mis_abandoned_watchdog_ = 0;
+  mis_abandoned_useless_ = 0;
+  last_brake_mi_ = 0;
+  prev_mi_target_rate_ = 0.0;
+  telemetry_ = nullptr;
+
+  in_survival_ = false;
+  last_ack_at_ = 0;
+  last_send_at_ = 0;
+  wait_started_ = 0;
+  survival_next_check_ = kTimeInfinite;
+  survival_backoff_ = 0;
+  pre_fault_rate_mbps_ = 0.0;
+  recovery_started_ = 0;
+  last_recovery_ns_ = kTimeInfinite;
+  recovery_pending_ = false;
+  survival_entries_ = 0;
+  brakes_engaged_ = 0;
+  return true;
+}
 
 void PccSender::set_utility(std::shared_ptr<UtilityFunction> utility) {
   utility_ = std::move(utility);
@@ -91,7 +135,7 @@ void PccSender::track_seq(uint64_t seq, uint64_t mi_id) {
   // ever has as an id.
   while (seq_owner_.size() < offset) seq_owner_.push_back(0);
   if (offset < seq_owner_.size()) {
-    seq_owner_[offset] = mi_id;
+    seq_owner_.at(offset) = mi_id;
   } else {
     seq_owner_.push_back(mi_id);
   }
@@ -103,10 +147,10 @@ PccSender::PendingMi* PccSender::find_mi(uint64_t seq) {
   }
   const uint64_t offset = seq - seq_base_;
   if (offset >= seq_owner_.size()) return nullptr;
-  const uint64_t id = seq_owner_[offset];
+  const uint64_t id = seq_owner_.at(offset);
   const uint64_t front_id = mis_.front().mi.id();
   if (id < front_id || id > mis_.back().mi.id()) return nullptr;
-  PendingMi& p = mis_[static_cast<size_t>(id - front_id)];
+  PendingMi& p = mis_.at(static_cast<size_t>(id - front_id));
   return p.mi.contains_seq(seq) ? &p : nullptr;
 }
 

@@ -5,7 +5,6 @@
 // paper's "flexibility" goal — via set_utility(), a plain API call.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <string>
 
@@ -13,6 +12,7 @@
 #include "core/noise_filter.h"
 #include "core/rate_control.h"
 #include "core/utility.h"
+#include "sim/ring_buffer.h"
 #include "stats/ewma.h"
 #include "transport/cc_interface.h"
 
@@ -55,6 +55,7 @@ class PccSender final : public CongestionController {
   const UtilityFunction& utility() const { return *utility_; }
 
   // CongestionController interface.
+  bool reset_for_reuse(uint64_t seed) override;
   void on_start(TimeNs now) override;
   void on_packet_sent(const SentPacketInfo& info) override;
   void on_ack(const AckInfo& info) override;
@@ -121,6 +122,39 @@ class PccSender final : public CongestionController {
   PendingMi* find_mi(uint64_t seq);
   void track_seq(uint64_t seq, uint64_t mi_id);
 
+  // Member order is deliberate (same rationale as Sender): with thousands
+  // of concurrent flows the object is cold in cache when a pacer tick or
+  // ACK lands, and the per-tick reads — pacing_rate(), next_timer(),
+  // on_packet_sent()'s rotate/track path — should pull the leading lines
+  // only. Cold per-MI machinery (controller, filters, telemetry, config)
+  // sits behind the hot block.
+
+  // --- Hot: read on every sent packet / pacer tick ---------------------
+  double current_rate_mbps_;           // pacing_rate()
+  RingBuffer<PendingMi> mis_;          // creation order; front closes first
+  uint64_t next_mi_id_ = 1;
+  // Per-ACK/per-loss MI resolution index. seq_owner_[seq - seq_base_] is
+  // the id of the MI that sent `seq`; MI ids are consecutive and mis_ is
+  // ordered, so the owning PendingMi is mis_[id - front_id]. Entries roll
+  // off the front as their MIs drain, keeping the deque sized to the
+  // in-flight window. Replaces a linear contains_seq() scan over every
+  // pending MI on the two hottest callbacks in the sender.
+  RingBuffer<uint64_t> seq_owner_;
+  uint64_t seq_base_ = 0;
+  bool seq_tracking_started_ = false;
+  // Survival-watchdog clocks: read by next_timer() and on_packet_sent()
+  // every tick even when survival mode never engages.
+  bool in_survival_ = false;
+  TimeNs last_ack_at_ = 0;
+  TimeNs last_send_at_ = 0;
+  // When the current stretch of unacked data began. The drought clock runs
+  // from max(last_ack_at_, wait_started_), so a flow resuming after a long
+  // app-limited idle is not instantly judged starved against a stale ACK.
+  TimeNs wait_started_ = 0;
+  TimeNs survival_next_check_ = kTimeInfinite;
+  Ewma srtt_ms_{1.0 / 8.0};
+
+  // --- Cold: per-MI close path and configuration -----------------------
   Config cfg_;
   std::shared_ptr<UtilityFunction> utility_;
   GradientRateController controller_;
@@ -129,22 +163,6 @@ class PccSender final : public CongestionController {
   DeviationFloor deviation_floor_;
   Rng rng_;
   std::string display_name_;
-
-  std::deque<PendingMi> mis_;  // creation order; front closes first
-  uint64_t next_mi_id_ = 1;
-  double current_rate_mbps_;
-
-  // Per-ACK/per-loss MI resolution index. seq_owner_[seq - seq_base_] is
-  // the id of the MI that sent `seq`; MI ids are consecutive and mis_ is
-  // ordered, so the owning PendingMi is mis_[id - front_id]. Entries roll
-  // off the front as their MIs drain, keeping the deque sized to the
-  // in-flight window. Replaces a linear contains_seq() scan over every
-  // pending MI on the two hottest callbacks in the sender.
-  std::deque<uint64_t> seq_owner_;
-  uint64_t seq_base_ = 0;
-  bool seq_tracking_started_ = false;
-
-  Ewma srtt_ms_{1.0 / 8.0};
 
   MiMetrics last_metrics_;
   double last_utility_ = 0.0;
@@ -155,15 +173,7 @@ class PccSender final : public CongestionController {
   double prev_mi_target_rate_ = 0.0;
   TelemetryRecorder* telemetry_ = nullptr;
 
-  // Survival-mode state (ACK starvation watchdog).
-  bool in_survival_ = false;
-  TimeNs last_ack_at_ = 0;
-  TimeNs last_send_at_ = 0;
-  // When the current stretch of unacked data began. The drought clock runs
-  // from max(last_ack_at_, wait_started_), so a flow resuming after a long
-  // app-limited idle is not instantly judged starved against a stale ACK.
-  TimeNs wait_started_ = 0;
-  TimeNs survival_next_check_ = kTimeInfinite;
+  // Survival-mode state touched only while a fault is in progress.
   TimeNs survival_backoff_ = 0;
   double pre_fault_rate_mbps_ = 0.0;
   TimeNs recovery_started_ = 0;

@@ -10,6 +10,39 @@ GradientRateController::GradientRateController(RateControlConfig cfg,
     : cfg_(cfg), rng_(seed), base_rate_(cfg.initial_rate_mbps) {
   boundary_ = cfg_.boundary_init;
   base_rate_ = clamp(base_rate_);
+  plans_.reserve(16);
+}
+
+bool GradientRateController::take_plan(uint64_t tag, PlanInfo* out) {
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    if (plans_[i].first == tag) {
+      *out = plans_[i].second;
+      plans_[i] = plans_.back();
+      plans_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void GradientRateController::reset(uint64_t seed) {
+  rng_.reseed(seed);
+  state_ = State::kStarting;
+  base_rate_ = clamp(cfg_.initial_rate_mbps);
+  next_tag_ = 1;
+  plans_.clear();
+  start_has_prev_ = false;
+  start_prev_rate_ = 0.0;
+  start_prev_utility_ = 0.0;
+  probe_round_ = 0;
+  trials_.clear();
+  trials_issued_ = 0;
+  direction_ = 0;
+  amplifier_ = 1.0;
+  boundary_ = cfg_.boundary_init;
+  move_has_prev_ = false;
+  move_prev_rate_ = 0.0;
+  move_prev_utility_ = 0.0;
 }
 
 double GradientRateController::clamp(double r) const {
@@ -50,7 +83,7 @@ GradientRateController::MiPlan GradientRateController::plan_next_mi() {
       info = PlanInfo{Role::kMoving, base_rate_};
       break;
   }
-  plans_.emplace(tag, info);
+  plans_.emplace_back(tag, info);
   return MiPlan{info.rate, tag};
 }
 
@@ -145,10 +178,8 @@ void GradientRateController::yield_to(double rate_mbps) {
 }
 
 void GradientRateController::on_mi_abandoned(uint64_t tag) {
-  auto it = plans_.find(tag);
-  if (it == plans_.end()) return;
-  const PlanInfo info = it->second;
-  plans_.erase(it);
+  PlanInfo info;
+  if (!take_plan(tag, &info)) return;
   if (state_ == State::kProbing && info.role == Role::kProbe &&
       info.probe_round == probe_round_) {
     enter_probing();  // fresh round; stale trials are ignored by round id
@@ -156,10 +187,8 @@ void GradientRateController::on_mi_abandoned(uint64_t tag) {
 }
 
 void GradientRateController::on_mi_complete(uint64_t tag, double utility) {
-  auto it = plans_.find(tag);
-  if (it == plans_.end()) return;
-  const PlanInfo info = it->second;
-  plans_.erase(it);
+  PlanInfo info;
+  if (!take_plan(tag, &info)) return;
 
   switch (state_) {
     case State::kStarting: {

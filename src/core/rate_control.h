@@ -19,7 +19,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "stats/rng.h"
@@ -46,6 +46,11 @@ struct RateControlConfig {
 class GradientRateController {
  public:
   GradientRateController(RateControlConfig cfg, uint64_t seed);
+
+  // Pooled-flow support: restores the exact state of a fresh
+  // GradientRateController(cfg_, seed), reusing the trial vector's and
+  // plan map's storage.
+  void reset(uint64_t seed);
 
   struct MiPlan {
     double rate_mbps;
@@ -99,6 +104,8 @@ class GradientRateController {
   void process_probe_round();
   void enter_moving(int direction, double gradient_hint, double base_utility);
   double clamp(double r) const;
+  // Removes the plan tagged `tag` into *out; false if unknown (stale).
+  bool take_plan(uint64_t tag, PlanInfo* out);
 
   RateControlConfig cfg_;
   Rng rng_;
@@ -106,7 +113,12 @@ class GradientRateController {
   double base_rate_;
 
   uint64_t next_tag_ = 1;
-  std::unordered_map<uint64_t, PlanInfo> plans_;
+  // Pending plans keyed by tag. A flat vector beats a hash map here: only
+  // a handful of MIs are ever in flight per flow, nothing observes
+  // iteration order, and the map cost one node allocation per planned MI —
+  // a measurable slice of the churn-gate profile across thousands of
+  // concurrently probing flows.
+  std::vector<std::pair<uint64_t, PlanInfo>> plans_;
 
   // STARTING bookkeeping.
   bool start_has_prev_ = false;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "telemetry/profiler.h"
 
 namespace proteus {
 
@@ -43,6 +46,44 @@ ChurnDriver::ChurnDriver(Scenario& scenario, ChurnConfig cfg)
     p->cap = std::max<int64_t>(1, cfg_.max_concurrent / n);
     arms_.push_back(std::move(p));
   }
+  if (cfg_.prewarm_per_class > 0) {
+    // Fill the arenas up front so the recycle path never misses. Each
+    // prewarm flow is constructed, retired on the spot, and parked; its
+    // id is released immediately, so the ids (and with them the RNG
+    // seed derivation and slot layout) that live flows see are exactly
+    // the sequence an unwarmed run would produce.
+    const double share[kClasses] = {norm_web_, norm_video_ - norm_web_,
+                                    norm_bulk_ - norm_video_,
+                                    1.0 - norm_bulk_};
+    for (int a = 0; a < n; ++a) {
+      ArmProc& p = *arms_[a];
+      std::vector<FlowId> ids;
+      for (int cls = 0; cls < kClasses; ++cls) {
+        if (share[cls] <= 0.0) continue;
+        for (int i = 0; i < cfg_.prewarm_per_class; ++i) {
+          const FlowId id = scenario_->allocate_flow_id_on(a);
+          ids.push_back(id);
+          FlowConfig fc;
+          fc.id = id;
+          fc.start_time = p.sim->now();
+          fc.unlimited = false;
+          fc.total_bytes = kMtuBytes;
+          fc.collect_rtt = false;
+          fc.meter_throughput = false;
+          fc.initial_window_slots = cfg_.window_slots;
+          auto flow = scenario_->create_flow(a, kClassProtocol[cls], fc);
+          flow->retire();
+          p.pool[cls].push_back(std::move(flow));
+        }
+      }
+      // Release as a batch, not per-flow: the allocator's free heap
+      // ratchets to the whole prewarm population at once, above any
+      // free-id high-water the run itself can reach, and the min-heap
+      // keeps the id sequence arrivals see identical to an unwarmed
+      // run's (smallest id first == mint order).
+      for (const FlowId id : ids) scenario_->release_flow_id(id);
+    }
+  }
   for (int a = 0; a < n; ++a) {
     ArmProc& p = *arms_[a];
     const LifeTag::Ref alive = p.alive.ref();
@@ -71,6 +112,7 @@ void ChurnDriver::schedule_next(int arm) {
 }
 
 void ChurnDriver::arrive(int arm) {
+  PROTEUS_PROFILE_SCOPE(ProfilePhase::kChurnArrival);
   ArmProc& p = *arms_[arm];
   // Draw class and size unconditionally (see header: the RNG stream must
   // not depend on how many arrivals the cap sheds).
@@ -87,7 +129,7 @@ void ChurnDriver::arrive(int arm) {
   const int64_t bytes = std::max<int64_t>(
       kMtuBytes, static_cast<int64_t>(p.rng.exponential(mean_bytes)));
 
-  if (static_cast<int64_t>(p.live.size()) >= p.cap) {
+  if (p.live_count >= p.cap) {
     ++p.stats.skipped;
     return;
   }
@@ -99,35 +141,78 @@ void ChurnDriver::arrive(int arm) {
   fc.unlimited = false;
   fc.total_bytes = bytes;
   fc.collect_rtt = false;
+  fc.meter_throughput = false;  // nobody queries churn flows' meters
   fc.initial_window_slots = cfg_.window_slots;
-  std::unique_ptr<Flow> flow =
-      scenario_->create_flow(arm, kClassProtocol[cls], fc);
 
+  const int slot = slot_of(id, arm);
+  if (slot >= static_cast<int>(p.live.size())) {
+    p.live.resize(static_cast<size_t>(slot) + 1);
+    p.ctxs.resize(static_cast<size_t>(slot) + 1);
+  }
+  LiveEntry& entry = p.live[static_cast<size_t>(slot)];
+
+  // Arena path: re-arm a retired flow of the same class in place.
+  // recycle_flow reproduces create_flow byte-for-byte (same
+  // flow_seed(id) CC derivation), so the simulation cannot tell a pooled
+  // flow from a fresh one; at a steady cap this path allocates nothing.
+  auto& pool = p.pool[cls];
+  while (!pool.empty() && entry.flow == nullptr) {
+    std::unique_ptr<Flow> candidate = std::move(pool.back());
+    pool.pop_back();
+    if (scenario_->recycle_flow(*candidate, fc)) {
+      entry.flow = std::move(candidate);
+      ++p.stats.recycled;
+    }
+    // else: the protocol can't reset in place; drop the candidate (the
+    // pool never fills with them again) and construct below.
+  }
+  if (entry.flow == nullptr) {
+    entry.flow = scenario_->create_flow(arm, kClassProtocol[cls], fc);
+  }
+  entry.cls = static_cast<int8_t>(cls);
+
+  if (p.ctxs[static_cast<size_t>(slot)] == nullptr) {
+    p.ctxs[static_cast<size_t>(slot)] = std::make_unique<SlotCtx>(
+        SlotCtx{this, static_cast<int32_t>(arm), id});
+  }
   // Completion fires inside the sender's own ACK processing; destroying
-  // the flow there would pull the stack out from under it. Defer the
-  // removal to a fresh event at the same timestamp.
-  const LifeTag::Ref alive = p.alive.ref();
-  flow->sender().set_on_all_delivered([this, arm, id, alive] {
-    if (alive.expired()) return;
-    ArmProc& q = *arms_[arm];
-    const LifeTag::Ref alive2 = q.alive.ref();
-    q.sim->schedule_at(q.sim->now(), [this, arm, id, alive2] {
-      if (alive2.expired()) return;
-      remove(arm, id);
-    });
-  });
+  // or retiring the flow there would pull the stack out from under it.
+  // on_flow_complete defers the teardown to a fresh event at the same
+  // timestamp. Capturing only the stable SlotCtx* keeps the callback in
+  // std::function's small buffer (no allocation).
+  SlotCtx* ctx = p.ctxs[static_cast<size_t>(slot)].get();
+  entry.flow->sender().set_on_all_delivered(
+      [ctx] { ctx->driver->on_flow_complete(*ctx); });
 
-  p.live.emplace(id, std::move(flow));
+  ++p.live_count;
   ++p.stats.spawned;
-  p.stats.peak_concurrent = std::max(
-      p.stats.peak_concurrent, static_cast<int64_t>(p.live.size()));
+  p.stats.peak_concurrent = std::max(p.stats.peak_concurrent, p.live_count);
+}
+
+void ChurnDriver::on_flow_complete(SlotCtx& ctx) {
+  ArmProc& p = *arms_[ctx.arm];
+  const LifeTag::Ref alive = p.alive.ref();
+  SlotCtx* c = &ctx;
+  p.sim->schedule_at(p.sim->now(), [c, alive] {
+    if (alive.expired()) return;
+    c->driver->remove(c->arm, c->id);
+  });
 }
 
 void ChurnDriver::remove(int arm, FlowId id) {
+  PROTEUS_PROFILE_SCOPE(ProfilePhase::kChurnTeardown);
   ArmProc& p = *arms_[arm];
-  auto it = p.live.find(id);
-  if (it == p.live.end()) return;
-  p.live.erase(it);  // ~Flow detaches from the arm's network
+  const int slot = slot_of(id, arm);
+  if (slot >= static_cast<int>(p.live.size())) return;
+  LiveEntry& entry = p.live[static_cast<size_t>(slot)];
+  if (entry.cls < 0 || entry.flow == nullptr) return;
+  // Retire into the arena instead of destroying: detach from the network
+  // and expire the flow's scheduled events, then park it for the next
+  // arrival of the same class.
+  entry.flow->retire();
+  p.pool[entry.cls].push_back(std::move(entry.flow));
+  entry.cls = -1;
+  --p.live_count;
   scenario_->release_flow_id(id);
   ++p.stats.completed;
 }
@@ -138,8 +223,9 @@ ChurnStats ChurnDriver::stats() const {
     total.spawned += p->stats.spawned;
     total.completed += p->stats.completed;
     total.skipped += p->stats.skipped;
-    total.concurrent += static_cast<int64_t>(p->live.size());
+    total.concurrent += p->live_count;
     total.peak_concurrent += p->stats.peak_concurrent;
+    total.recycled += p->stats.recycled;
   }
   return total;
 }

@@ -17,11 +17,19 @@
 // Flow ids come from Scenario::allocate_flow_id_on and are released
 // back on completion, so long churn runs recycle a bounded id range and
 // stay on the dense flow-demux tables (sim/topology.h).
+//
+// Pooled flow arenas: a completed flow is not destroyed — it is retired
+// into a per-(arm, class) freelist and the next arrival of that class
+// recycles it in place (Scenario::recycle_flow), byte-identical to a
+// fresh construction. At a steady concurrency cap the churn path
+// therefore performs zero heap allocation per arrival/teardown for
+// protocols whose controllers support in-place reset (see
+// CongestionController::reset_for_reuse); others fall back to
+// destroy + construct transparently.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "harness/scenario.h"
@@ -50,6 +58,14 @@ struct ChurnConfig {
   TimeNs stop = kTimeInfinite;  // no arrivals at or after this time
   // Sender slot-ring hint for churn flows (storage only; see Sender).
   int window_slots = 16;
+  // Pre-construct this many retired flows per (arm, class) into the
+  // arenas at driver construction, so the recycle path never misses
+  // (a miss constructs a flow mid-run the first time a class's live
+  // count reaches a new high-water). Sized at cap / arm_count it makes
+  // steady-state churn strictly allocation-free. The prewarm flows'
+  // expired start events add a handful of no-op pops to the run, so the
+  // default (0) keeps existing event streams byte-identical.
+  int prewarm_per_class = 0;
 };
 
 struct ChurnStats {
@@ -58,6 +74,9 @@ struct ChurnStats {
   int64_t skipped = 0;  // arrivals rejected by max_concurrent
   int64_t concurrent = 0;
   int64_t peak_concurrent = 0;
+  // Arrivals served by re-arming a pooled flow instead of constructing
+  // one (subset of spawned).
+  int64_t recycled = 0;
 };
 
 class ChurnDriver {
@@ -75,13 +94,40 @@ class ChurnDriver {
   ChurnStats stats() const;
 
  private:
+  static constexpr int kClasses = 4;
+
+  // Per-live-slot completion context. The sender's on_all_delivered
+  // std::function captures a single SlotCtx* — 8 bytes, inside libstdc++'s
+  // 16-byte small-object buffer — so installing the completion hook never
+  // heap-allocates. Contexts live in a vector<unique_ptr> so their
+  // addresses survive live-table growth. An id maps to a fixed slot
+  // (ids are homed per arm with stride arm_count), so a context's id is
+  // set once and stays valid across every incarnation of its slot.
+  struct SlotCtx {
+    ChurnDriver* driver;
+    int32_t arm;
+    FlowId id;
+  };
+
+  // SoA live table, indexed by slot = (id - 1 - arm) / arm_count. The
+  // IdAllocator recycles the smallest free id first, so slots stay dense
+  // in [0, cap) and the table replaces the unordered_map's node chase
+  // with one vector index on both hot paths.
+  struct LiveEntry {
+    std::unique_ptr<Flow> flow;
+    int8_t cls = -1;  // < 0 when the slot is free
+  };
+
   struct ArmProc {
     int arm = 0;
     Simulator* sim = nullptr;
     Rng rng;
     double mean_gap_ns = 0.0;
     int64_t cap = 0;
-    std::unordered_map<FlowId, std::unique_ptr<Flow>> live;
+    std::vector<LiveEntry> live;                  // slot-indexed
+    std::vector<std::unique_ptr<SlotCtx>> ctxs;   // slot-indexed, stable
+    std::vector<std::unique_ptr<Flow>> pool[kClasses];  // retired flows
+    int64_t live_count = 0;
     ChurnStats stats;
     // Guards this arm's scheduled callbacks after dtor. Per-arm (not one
     // driver-wide tag) because LifeTag's refcount is non-atomic: every
@@ -92,8 +138,14 @@ class ChurnDriver {
     ArmProc(int a, Simulator* s, uint64_t seed) : arm(a), sim(s), rng(seed) {}
   };
 
+  int slot_of(FlowId id, int arm) const {
+    return static_cast<int>((id - 1 - static_cast<FlowId>(arm)) /
+                            static_cast<FlowId>(arms_.size()));
+  }
+
   void schedule_next(int arm);
   void arrive(int arm);
+  void on_flow_complete(SlotCtx& ctx);
   void remove(int arm, FlowId id);
 
   Scenario* scenario_;

@@ -493,6 +493,11 @@ PartitionPlan Scenario::partition_plan() const {
               "needs one thread"};
 }
 
+ShardSet::WindowStats Scenario::shard_window_stats() const {
+  return cdn_ != nullptr ? cdn_->shards->window_stats()
+                         : ShardSet::WindowStats{};
+}
+
 std::vector<std::pair<std::string, LinkStats>> Scenario::link_stats() const {
   if (cdn_ == nullptr) return topology().link_stats();
   std::vector<std::pair<std::string, LinkStats>> rows;
@@ -592,6 +597,15 @@ std::unique_ptr<Flow> Scenario::create_flow(int arm,
   flow->sender().set_max_burst_packets(cfg_.max_burst_packets);
   flow->sender().set_pacing_jitter(cfg_.pacing_jitter);
   return flow;
+}
+
+bool Scenario::recycle_flow(Flow& flow, FlowConfig fc) {
+  if (!flow.recycle(fc, flow_seed(fc.id))) return false;
+  // Re-apply the scenario pacing knobs exactly as create_flow does after
+  // construction (reset preserved them, but keep the two paths parallel).
+  flow.sender().set_max_burst_packets(cfg_.max_burst_packets);
+  flow.sender().set_pacing_jitter(cfg_.pacing_jitter);
+  return true;
 }
 
 }  // namespace proteus

@@ -19,6 +19,7 @@
 #include "core/utility.h"
 #include "harness/factory.h"
 #include "sim/dumbbell.h"
+#include "sim/shard.h"
 #include "transport/flow.h"
 
 namespace proteus {
@@ -159,6 +160,9 @@ class Scenario {
   PartitionPlan partition_plan() const;
   // Total events executed across all parts.
   uint64_t events_processed() const;
+  // Window-barrier loop counters (windows executed / fast-forwarded);
+  // zeros for single-part topologies. See ShardSet::WindowStats.
+  ShardSet::WindowStats shard_window_stats() const;
   // Per-link counters for the whole fabric: the shared core plus every
   // arm link for kCdnEdge, topology().link_stats() otherwise.
   std::vector<std::pair<std::string, LinkStats>> link_stats() const;
@@ -211,6 +215,14 @@ class Scenario {
   // scenario's own otherwise. fc.id must come from allocate_flow_id[_on].
   std::unique_ptr<Flow> create_flow(int arm, const std::string& protocol,
                                     FlowConfig fc);
+
+  // Re-arms a retired flow as flow fc.id, byte-identical to
+  // create_flow(arm, <same protocol>, fc) — same flow_seed(fc.id) CC
+  // derivation, same pacing knobs. The caller guarantees `flow` came from
+  // create_flow on the same arm with the same protocol. Returns false
+  // (flow left retired) when the protocol can't reset in place; destroy
+  // the flow and call create_flow instead.
+  bool recycle_flow(Flow& flow, FlowConfig fc);
 
  private:
   struct CdnState;  // sharded CDN-edge fabric (scenario.cc)

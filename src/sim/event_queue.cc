@@ -1,84 +1,66 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
+
+#include "telemetry/profiler.h"
 
 namespace proteus {
 
 int32_t EventQueue::alloc_node() {
   if (free_head_ != kNil) {
     const int32_t i = free_head_;
-    free_head_ = pool_[i].next;
+    free_head_ = pool_[static_cast<size_t>(i)].next;
     return i;
   }
   // Arena growth: only when total pending exceeds every previous peak,
   // so it stops for good once the workload's high-water mark is reached.
+  const size_t i = pool_.size();
+  if (i / kChunkSlots >= chunks_.size()) {
+    chunks_.emplace_back(new Slot[kChunkSlots]);
+  }
   pool_.emplace_back();
-  return static_cast<int32_t>(pool_.size() - 1);
+  return static_cast<int32_t>(i);
 }
 
-void EventQueue::park_in_bucket(Event e) {
-  const size_t b = static_cast<size_t>((e.when - wheel_base_) / kBucketNs);
-  const int32_t i = alloc_node();
-  pool_[i].e = std::move(e);
-  pool_[i].next = bucket_head_[b];
+void EventQueue::park_node(int32_t i) {
+  Node& n = pool_[static_cast<size_t>(i)];
+  const size_t b = static_cast<size_t>((n.when - wheel_base_) / kBucketNs);
+  n.next = bucket_head_[b];
   bucket_head_[b] = i;
+  set_bucket_bit(b);
   ++wheel_count_;
-}
-
-void EventQueue::push(TimeNs when, Callback&& cb) {
-  // The callback is written straight into its resting place (arena node
-  // or heap slot) instead of through an Event temporary: each extra move
-  // is a ~100-byte inline-capture relocation, and the hot path used to
-  // pay five of them per scheduled event.
-  const uint64_t seq = next_seq_++;
-  ++size_;
-  if (engine_ == EventEngine::kBinaryHeap) {
-    heap_.push_back(Event{when, seq, std::move(cb)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-    return;
-  }
-  if (when < active_end_) {
-    // At or before the watermark: compete directly in the active heap.
-    // This also absorbs pushes that land "behind" the wheel cursor (the
-    // clock trails the cursor after idle gaps), keeping order exact.
-    const int32_t i = alloc_node();
-    Node& n = pool_[i];
-    n.e.when = when;
-    n.e.seq = seq;
-    n.e.cb = std::move(cb);
-    active_.push_back(ActiveRef{when, seq, i});
-    std::push_heap(active_.begin(), active_.end(), LaterRef{});
-  } else if (when < horizon()) {
-    const size_t b = static_cast<size_t>((when - wheel_base_) / kBucketNs);
-    const int32_t i = alloc_node();
-    Node& n = pool_[i];
-    n.e.when = when;
-    n.e.seq = seq;
-    n.e.cb = std::move(cb);
-    n.next = bucket_head_[b];
-    bucket_head_[b] = i;
-    ++wheel_count_;
-  } else {
-    overflow_.push_back(Event{when, seq, std::move(cb)});
-    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
-  }
 }
 
 void EventQueue::refill_from_overflow() {
   // Overflow events are always at/after the wheel base (the base only
   // moves forward, and events entered overflow because they were beyond
   // the horizon at push time), so the bucket index never underflows.
+  // Migration relinks the meta node into its bucket; the capture never
+  // moves.
   while (!overflow_.empty() && overflow_.front().when < horizon()) {
-    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
-    park_in_bucket(std::move(overflow_.back()));
+    std::pop_heap(overflow_.begin(), overflow_.end(), LaterRef{});
+    park_node(overflow_.back().node);
     overflow_.pop_back();
   }
 }
 
+size_t EventQueue::next_occupied_bucket(size_t from) const {
+  size_t w = from >> 6;
+  const size_t words = bucket_bits_.size();
+  if (w >= words) return kNumBuckets;
+  uint64_t bits = bucket_bits_[w] & (~uint64_t{0} << (from & 63));
+  while (bits == 0) {
+    if (++w == words) return kNumBuckets;
+    bits = bucket_bits_[w];
+  }
+  return (w << 6) + static_cast<size_t>(std::countr_zero(bits));
+}
+
 void EventQueue::settle_slow() {
-  while (active_.empty() && size_ > 0) {
+  while (active_.empty() && young_.empty() && size_ > 0) {
     if (wheel_count_ == 0) {
       // Everything pending sits beyond the horizon: jump the wheel base
       // straight to the earliest overflow event instead of stepping
@@ -88,29 +70,39 @@ void EventQueue::settle_slow() {
       cursor_ = 0;
       refill_from_overflow();
     }
-    // Advance to the next non-empty bucket, rotating at the wheel edge.
-    // wheel_count_ > 0 here (the refill above moved at least the earliest
-    // overflow event inside the new horizon), so the scan terminates.
-    while (bucket_head_[cursor_] == kNil) {
-      ++cursor_;
-      if (cursor_ == kNumBuckets) {
-        wheel_base_ += kWheelSpanNs;
-        cursor_ = 0;
-        refill_from_overflow();
-      }
+    // Jump to the next non-empty bucket via the occupancy bitmap,
+    // rotating at the wheel edge. wheel_count_ > 0 here (the refill above
+    // moved at least the earliest overflow event inside the new horizon),
+    // so the scan terminates.
+    size_t b = next_occupied_bucket(cursor_);
+    while (b == kNumBuckets) {
+      wheel_base_ += kWheelSpanNs;
+      cursor_ = 0;
+      refill_from_overflow();
       if (wheel_count_ == 0) break;  // defensive; handled by outer loop
+      b = next_occupied_bucket(0);
     }
+    if (wheel_count_ == 0) continue;
+    cursor_ = b;
     active_end_ = wheel_base_ + static_cast<TimeNs>(cursor_ + 1) * kBucketNs;
-    // Activate the bucket: its events stay in their arena nodes; only
-    // refs enter the heap. Nodes are reclaimed at pop. active_'s capacity
-    // ratchets to the largest bucket ever seen, so steady state allocates
-    // nothing.
-    for (int32_t i = bucket_head_[cursor_]; i != kNil; i = pool_[i].next) {
-      active_.push_back(ActiveRef{pool_[i].e.when, pool_[i].e.seq, i});
+    // Activate the bucket: events stay in their slots; only 24-byte meta
+    // refs enter the run. active_'s capacity ratchets to the largest
+    // bucket ever seen, so steady state allocates nothing. LaterRef as a
+    // sort comparator yields descending (when, seq) — the run's minimum
+    // sits at the back, where consumption is a pop_back.
+    for (int32_t i = bucket_head_[cursor_]; i != kNil;
+         i = pool_[static_cast<size_t>(i)].next) {
+      const Node& n = pool_[static_cast<size_t>(i)];
+      // The bucket list hops through the arena in push order — a random
+      // walk once the freelist has churned — so pull the next node's line
+      // while this one is handled.
+      if (n.next != kNil) __builtin_prefetch(&pool_[static_cast<size_t>(n.next)]);
+      active_.push_back(ActiveRef{n.when, n.seq, i});
       --wheel_count_;
     }
     bucket_head_[cursor_] = kNil;
-    std::make_heap(active_.begin(), active_.end(), LaterRef{});
+    clear_bucket_bit(cursor_);
+    std::sort(active_.begin(), active_.end(), LaterRef{});
   }
 }
 
@@ -118,7 +110,7 @@ TimeNs EventQueue::next_time() {
   if (size_ == 0) return kTimeInfinite;
   if (engine_ == EventEngine::kBinaryHeap) return heap_.front().when;
   settle();
-  return active_.front().when;
+  return young_first() ? young_.front().when : active_.back().when;
 }
 
 std::pair<TimeNs, EventQueue::Callback> EventQueue::pop() {
@@ -133,14 +125,125 @@ std::pair<TimeNs, EventQueue::Callback> EventQueue::pop() {
   }
   settle();  // must run before --size_: it keys off size_ to find work
   --size_;
-  std::pop_heap(active_.begin(), active_.end(), LaterRef{});
-  const ActiveRef ref = active_.back();
-  active_.pop_back();
-  Node& n = pool_[ref.node];
-  std::pair<TimeNs, Callback> out{ref.when, std::move(n.e.cb)};
-  n.next = free_head_;
+  const ActiveRef ref = take_earliest();
+  Callback* c = slot(ref.node);
+  std::pair<TimeNs, Callback> out{ref.when, std::move(*c)};
+  c->~Callback();
+  pool_[static_cast<size_t>(ref.node)].next = free_head_;
   free_head_ = ref.node;
   return out;
+}
+
+void EventQueue::invoke_next() {
+  if (size_ == 0) {
+    throw std::logic_error("EventQueue::invoke_next on empty queue");
+  }
+  if (engine_ == EventEngine::kBinaryHeap) {
+    // The callback must leave the heap vector before running: it may push
+    // new events, reallocating heap_ under an in-place invocation.
+    --size_;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Callback cb = std::move(heap_.back().cb);
+    heap_.pop_back();
+    cb();
+    return;
+  }
+  settle();
+  --size_;
+  const int32_t node = take_earliest().node;
+  // Invoke in place: the chunk address is stable even if the callback
+  // pushes (growing pool_/chunks_), and the node is recycled only after
+  // the capture is destroyed, so a nested push can never claim the slot
+  // the running capture occupies. The guard keeps node accounting correct
+  // even if the callback throws.
+  struct Reclaim {
+    EventQueue* q;
+    int32_t node;
+    ~Reclaim() {
+      q->slot(node)->~Callback();
+      q->pool_[static_cast<size_t>(node)].next = q->free_head_;
+      q->free_head_ = node;
+    }
+  } reclaim{this, node};
+  (*slot(node))();
+}
+
+void EventQueue::run_span(TimeNs until, bool inclusive, TimeNs* now,
+                          uint64_t* events) {
+  // `last` folds the inclusive/exclusive bound into one comparison: times
+  // are non-negative, so `until - 1` cannot underflow into a sentinel.
+  const TimeNs last = inclusive ? until : until - 1;
+  if (engine_ == EventEngine::kBinaryHeap) {
+    while (size_ > 0) {
+      const TimeNs t = heap_.front().when;
+      if (t > last) return;
+      *now = t;
+      ++*events;
+      PROTEUS_PROFILE_SCOPE(ProfilePhase::kEventQueue);
+      --size_;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Callback cb = std::move(heap_.back().cb);
+      heap_.pop_back();
+      cb();
+    }
+    return;
+  }
+  for (;;) {
+    settle();
+    if (size_ == 0) return;
+    const bool young = young_first();
+    const TimeNs t = young ? young_.front().when : active_.back().when;
+    if (t > last) return;
+    *now = t;
+    ++*events;
+    PROTEUS_PROFILE_SCOPE(ProfilePhase::kEventQueue);
+    --size_;
+    int32_t node;
+    if (young) {
+      std::pop_heap(young_.begin(), young_.end(), LaterRef{});
+      node = young_.back().node;
+      young_.pop_back();
+    } else {
+      node = active_.back().node;
+      active_.pop_back();
+    }
+    struct Reclaim {
+      EventQueue* q;
+      int32_t node;
+      ~Reclaim() {
+        q->slot(node)->~Callback();
+        q->pool_[static_cast<size_t>(node)].next = q->free_head_;
+        q->free_head_ = node;
+      }
+    } reclaim{this, node};
+    // Overlap the next event's cold lines (its ~112-byte capture and its
+    // meta node, untouched since push) with this callback's execution.
+    // Pure latency hiding — no ordering effect.
+    if (!active_.empty()) {
+      const int32_t nx = active_.back().node;
+      unsigned char* cap = reinterpret_cast<unsigned char*>(slot(nx));
+      __builtin_prefetch(cap);
+      __builtin_prefetch(cap + 64);
+      __builtin_prefetch(&pool_[static_cast<size_t>(nx)], 1);
+    }
+    (*slot(node))();
+  }
+}
+
+void EventQueue::clear_wheel_slots() noexcept {
+  if (engine_ != EventEngine::kTimerWheel) return;
+  // Captures are stored in raw chunk slots, so pending events must be
+  // destroyed explicitly: walk everything still reachable from the active
+  // heap, the overflow heap and the wheel buckets.
+  for (const ActiveRef& r : active_) slot(r.node)->~Callback();
+  for (const ActiveRef& r : young_) slot(r.node)->~Callback();
+  for (const ActiveRef& r : overflow_) slot(r.node)->~Callback();
+  for (size_t b = 0; b < bucket_head_.size(); ++b) {
+    for (int32_t i = bucket_head_[b]; i != kNil;
+         i = pool_[static_cast<size_t>(i)].next) {
+      slot(i)->~Callback();
+    }
+  }
 }
 
 }  // namespace proteus

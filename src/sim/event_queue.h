@@ -9,13 +9,7 @@
 //    in a small overflow heap and migrate into the wheel as it rotates.
 //    Pushing into a future bucket is O(1); popping pays O(log b) on the
 //    handful of events sharing one 131 us bucket instead of O(log n) on
-//    the whole pending set. Buckets are intrusive singly-linked lists
-//    over one pooled node arena rather than 2048 little vectors: the
-//    arena's capacity ratchets to the peak TOTAL pending count (a
-//    stationary quantity reached during warm-up), whereas per-bucket
-//    vectors keep allocating every time one bucket sets a new personal
-//    occupancy record — which would break the zero-allocation steady
-//    state (tests/sim_alloc_test.cc).
+//    the whole pending set.
 //  * kBinaryHeap — the original single std::push_heap/pop_heap vector.
 //    Kept as the reference engine: the cross-engine golden suite runs
 //    every scenario under both and asserts byte-identical output.
@@ -23,12 +17,27 @@
 // Both engines pop the exact minimum under the (when, seq) strict total
 // order (seq is unique, assigned at push), so the event execution order —
 // and therefore every simulation trace — is bit-identical between them.
-// Callbacks are InlineCallback (inline capture storage, no heap fallback),
-// so steady-state scheduling performs zero heap allocations once the node
-// arena and heap vectors have reached their high-water capacities.
+//
+// Wheel storage is split struct-of-arrays: 24-byte meta nodes {when, seq,
+// next} live in one contiguous arena that every ordering operation (bucket
+// link, bitmap scan, heap sift) walks, while the ~112-byte callback
+// captures live in parallel *chunked* slots that are touched exactly twice
+// per event — constructed in place at push (the templated push forwards
+// the caller's lambda straight into the slot, no InlineCallback relocation)
+// and invoked in place at invoke_next(). Chunks never move, so a callback
+// that schedules new events (growing the meta arena) cannot invalidate the
+// capture currently executing. Profiling the 10k-flow churn gate showed
+// capture relocations plus fat-node cache misses were ~30% of the event
+// loop; this layout removes both. Capacities ratchet to the workload's
+// high-water mark, preserving the zero-allocation steady state
+// (tests/sim_alloc_test.cc).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -50,17 +59,54 @@ class EventQueue {
       : engine_(engine) {
     if (engine_ == EventEngine::kTimerWheel) {
       bucket_head_.assign(kNumBuckets, kNil);
-      pool_.reserve(1024);
+      bucket_bits_.assign(kNumBuckets / 64, 0);
+      pool_.reserve(kChunkSlots);
+      chunks_.emplace_back(new Slot[kChunkSlots]);
       active_.reserve(512);
+      young_.reserve(256);
       overflow_.reserve(256);
     }
   }
 
+  ~EventQueue() { clear_wheel_slots(); }
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   EventEngine engine() const { return engine_; }
 
-  // Schedules `cb` at absolute time `when`. Events at equal times fire in
-  // insertion order, which keeps runs deterministic.
-  void push(TimeNs when, Callback&& cb);
+  // Schedules `f` (anything convertible to Callback) at absolute time
+  // `when`. Events at equal times fire in insertion order, which keeps
+  // runs deterministic. Templated so a lambda is constructed directly in
+  // its resting slot — the wheel path performs zero capture relocations.
+  template <typename F>
+  void push(TimeNs when, F&& f) {
+    const uint64_t seq = next_seq_++;
+    ++size_;
+    if (engine_ == EventEngine::kBinaryHeap) {
+      heap_.push_back(Event{when, seq, Callback(std::forward<F>(f))});
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
+      return;
+    }
+    const int32_t i = alloc_node();
+    ::new (static_cast<void*>(slot(i))) Callback(std::forward<F>(f));
+    Node& n = pool_[static_cast<size_t>(i)];
+    n.when = when;
+    n.seq = seq;
+    if (when < active_end_) {
+      // At or before the watermark: compete directly with the active run
+      // via the small young heap (see its declaration). This also absorbs
+      // pushes that land "behind" the wheel cursor (the clock trails the
+      // cursor after idle gaps), keeping order exact.
+      young_.push_back(ActiveRef{when, seq, i});
+      std::push_heap(young_.begin(), young_.end(), LaterRef{});
+    } else if (when < horizon()) {
+      park_node(i);
+    } else {
+      overflow_.push_back(ActiveRef{when, seq, i});
+      std::push_heap(overflow_.begin(), overflow_.end(), LaterRef{});
+    }
+  }
 
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
@@ -71,6 +117,21 @@ class EventQueue {
 
   // Pops and returns the earliest event. Precondition: !empty().
   std::pair<TimeNs, Callback> pop();
+
+  // Pops the earliest event and invokes its callback *in place* — the
+  // simulation driver's fast path. On the wheel engine the capture never
+  // moves: it is destroyed in its slot after running, and the node is
+  // recycled only then, so a push from inside the callback can never
+  // overwrite the running capture. Precondition: !empty().
+  void invoke_next();
+
+  // Fused driver loop: invokes events in (when, seq) order while the
+  // earliest `when` is <= `until` (inclusive) or < `until` (exclusive),
+  // writing each event's time to *now and bumping *events before its
+  // callback runs (callbacks observe the clock through those locations).
+  // Equivalent to a next_time()/invoke_next() loop, but one call per span
+  // instead of three cross-TU calls per event.
+  void run_span(TimeNs until, bool inclusive, TimeNs* now, uint64_t* events);
 
  private:
   struct Event {
@@ -96,18 +157,22 @@ class EventQueue {
 
   TimeNs horizon() const { return wheel_base_ + kWheelSpanNs; }
 
-  // Ensures the active heap holds the global minimum whenever !empty().
-  // Invariant maintained by push/settle: every event outside the active
-  // heap has `when >= active_end_`, and the active heap is ordered by
-  // (when, seq) — so its top is the global minimum.
+  // Ensures active_/young_ hold the global minimum whenever !empty().
+  // Invariant maintained by push/settle: every event outside the two has
+  // `when >= active_end_`, active_ is sorted descending by (when, seq)
+  // and young_ is a min-heap — so the earlier of active_.back() and
+  // young_.front() is the global minimum.
   void settle() {
-    if (!active_.empty() || size_ == 0) return;
+    if (!active_.empty() || !young_.empty() || size_ == 0) return;
     settle_slow();
   }
   void settle_slow();
   void refill_from_overflow();
-  void park_in_bucket(Event e);
+  // Links meta node `i` (when/seq already in place) into the bucket its
+  // `when` selects. Precondition: when < horizon().
+  void park_node(int32_t i);
   int32_t alloc_node();
+  void clear_wheel_slots() noexcept;
 
   EventEngine engine_;
   size_t size_ = 0;
@@ -119,18 +184,28 @@ class EventQueue {
   // event to the back, where the callback can be moved out.
   std::vector<Event> heap_;
 
-  // kTimerWheel state. Every wheel-resident event lives in one pooled
-  // node arena; buckets are intrusive lists through it and the active
-  // heap holds 24-byte refs into it. Heap sift operations therefore move
-  // {when, seq, node} triples, never the ~136-byte Event (whose inline
-  // callback would pay a relocate per sift level) — profiling showed
-  // fat-Event pop_heap plus those relocates were over half the total
-  // event-loop cost.
+  // kTimerWheel state, struct-of-arrays. pool_ holds the hot 24-byte meta
+  // nodes (contiguous, may reallocate on growth); chunks_ holds the
+  // parallel capture slots in fixed 256-slot chunks whose addresses are
+  // stable for the queue's lifetime. Buckets are intrusive lists through
+  // pool_[i].next, and the active/overflow heaps hold 24-byte refs — no
+  // ordering operation ever touches a capture byte.
   static constexpr int32_t kNil = -1;
+  static constexpr size_t kChunkSlots = 256;  // power of two, see slot()
   struct Node {
-    Event e;
-    int32_t next = kNil;
+    TimeNs when;
+    uint64_t seq;
+    int32_t next;
   };
+  struct Slot {
+    alignas(std::max_align_t) unsigned char bytes[sizeof(Callback)];
+  };
+  Callback* slot(int32_t i) {
+    return reinterpret_cast<Callback*>(
+        chunks_[static_cast<size_t>(i) / kChunkSlots]
+            .get()[static_cast<size_t>(i) % kChunkSlots]
+            .bytes);
+  }
   struct ActiveRef {
     TimeNs when;
     uint64_t seq;
@@ -142,11 +217,57 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::vector<Node> pool_;            // node arena; capacity ratchets
+  // True when young_'s top precedes the sorted run's tail. Precondition:
+  // at least one of the two is non-empty.
+  bool young_first() const {
+    if (young_.empty()) return false;
+    if (active_.empty()) return true;
+    const ActiveRef& y = young_.front();
+    const ActiveRef& a = active_.back();
+    if (y.when != a.when) return y.when < a.when;
+    return y.seq < a.seq;
+  }
+  // Removes and returns the earliest pending ref. Precondition: settled
+  // and !empty().
+  ActiveRef take_earliest() {
+    if (young_first()) {
+      std::pop_heap(young_.begin(), young_.end(), LaterRef{});
+      const ActiveRef r = young_.back();
+      young_.pop_back();
+      return r;
+    }
+    const ActiveRef r = active_.back();
+    active_.pop_back();
+    return r;
+  }
+  // Finds the first non-empty bucket at or after `from` via the occupancy
+  // bitmap (one ctz per 64 buckets), or kNumBuckets when the rest of the
+  // wheel is empty. The linear bucket_head_ scan this replaces was ~19%
+  // of the event loop on sparse many-flow workloads, where consecutive
+  // events are typically many empty buckets apart.
+  size_t next_occupied_bucket(size_t from) const;
+  void set_bucket_bit(size_t b) { bucket_bits_[b >> 6] |= 1ULL << (b & 63); }
+  void clear_bucket_bit(size_t b) {
+    bucket_bits_[b >> 6] &= ~(1ULL << (b & 63));
+  }
+
+  std::vector<Node> pool_;            // meta arena; capacity ratchets
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  // capture slots, stable
   int32_t free_head_ = kNil;          // freelist through pool_[i].next
   std::vector<int32_t> bucket_head_;  // per-bucket list head, kNil = empty
-  std::vector<ActiveRef> active_;  // heapified refs below active_end_
-  std::vector<Event> overflow_;    // heap of events at/after horizon()
+  std::vector<uint64_t> bucket_bits_;  // occupancy bitmap over bucket_head_
+  // The activated bucket's refs, sorted descending by (when, seq) and
+  // consumed from the back: one O(k log k) sort at activation, then O(1)
+  // per pop — versus the former heap's O(log k) sift per pop. Pushes that
+  // land below the watermark after activation go to young_ instead (a
+  // small min-heap, usually near-empty), and every consumer takes the
+  // earlier of active_.back() and young_.front().
+  std::vector<ActiveRef> active_;
+  std::vector<ActiveRef> young_;
+  // Far-future events (at/after horizon()) wait in a min-heap of refs
+  // into the same arena; migration into the wheel is a pure meta-node
+  // relink with no capture motion at all.
+  std::vector<ActiveRef> overflow_;
   TimeNs wheel_base_ = 0;        // start time of bucket 0, multiple of kBucketNs
   size_t cursor_ = 0;            // bucket currently feeding active_
   TimeNs active_end_ = kBucketNs;  // watermark: pushes below it go active

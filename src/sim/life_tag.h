@@ -15,6 +15,15 @@
 // block frees itself when the owner and the last outstanding Ref are
 // both gone, so callbacks left in the queue after the owner died stay
 // safe to destroy in any order.
+//
+// Object pooling adds a third lifecycle event between "alive" and
+// "destroyed": renew(). A pooled object (a churned Flow/Sender being
+// recycled for a new logical flow) bumps the tag's generation; Refs taken
+// before the renew read as expired from then on, exactly as if the owner
+// had been destroyed, while Refs taken after it are live. The control
+// block is reused in place — renewing allocates nothing, which is what
+// lets a recycled flow's scheduled-callback guards stay inside the
+// zero-steady-state-allocation envelope.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,7 @@ namespace proteus {
 class LifeTag {
   struct Tag {
     uint32_t refs;
+    uint32_t gen;
     bool owner_alive;
   };
 
@@ -35,29 +45,40 @@ class LifeTag {
  public:
   class Ref {
    public:
-    explicit Ref(Tag* tag) noexcept : tag_(tag) { ++tag_->refs; }
-    Ref(const Ref& other) noexcept : tag_(other.tag_) { ++tag_->refs; }
-    Ref(Ref&& other) noexcept : tag_(std::exchange(other.tag_, nullptr)) {}
+    explicit Ref(Tag* tag) noexcept : tag_(tag), gen_(tag->gen) {
+      ++tag_->refs;
+    }
+    Ref(const Ref& other) noexcept : tag_(other.tag_), gen_(other.gen_) {
+      ++tag_->refs;
+    }
+    Ref(Ref&& other) noexcept
+        : tag_(std::exchange(other.tag_, nullptr)), gen_(other.gen_) {}
     Ref& operator=(const Ref& other) noexcept {
       Tag* old = std::exchange(tag_, other.tag_);
+      gen_ = other.gen_;
       ++tag_->refs;
       unref(old);
       return *this;
     }
     Ref& operator=(Ref&& other) noexcept {
       unref(std::exchange(tag_, std::exchange(other.tag_, nullptr)));
+      gen_ = other.gen_;
       return *this;
     }
     ~Ref() { unref(tag_); }
 
-    // True once the owning object has been destroyed.
-    bool expired() const noexcept { return !tag_->owner_alive; }
+    // True once the owning object has been destroyed or renewed since
+    // this Ref was taken.
+    bool expired() const noexcept {
+      return !tag_->owner_alive || tag_->gen != gen_;
+    }
 
    private:
     Tag* tag_;
+    uint32_t gen_;
   };
 
-  LifeTag() : tag_(new Tag{1, true}) {}
+  LifeTag() : tag_(new Tag{1, 0, true}) {}
   ~LifeTag() {
     tag_->owner_alive = false;
     unref(tag_);
@@ -66,6 +87,10 @@ class LifeTag {
   LifeTag& operator=(const LifeTag&) = delete;
 
   Ref ref() const { return Ref(tag_); }
+
+  // Expires every outstanding Ref without destroying the tag: the owner
+  // is being recycled for a new logical lifetime. Allocation-free.
+  void renew() { ++tag_->gen; }
 
  private:
   Tag* tag_;

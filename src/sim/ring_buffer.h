@@ -47,6 +47,14 @@ class RingBuffer {
     assert(count_ > 0 && "RingBuffer::front on empty buffer");
     return slots_[head_];
   }
+  T& back() {
+    assert(count_ > 0 && "RingBuffer::back on empty buffer");
+    return slots_[(head_ + count_ - 1) & mask_];
+  }
+  const T& back() const {
+    assert(count_ > 0 && "RingBuffer::back on empty buffer");
+    return slots_[(head_ + count_ - 1) & mask_];
+  }
   // i-th element from the front (0 = front). Precondition: i < size().
   T& at(size_t i) {
     assert(i < count_ && "RingBuffer::at out of range");
@@ -67,6 +75,12 @@ class RingBuffer {
     assert(count_ > 0 && "RingBuffer::pop_front on empty buffer");
     slots_[head_] = T{};  // release any resources held by the slot
     head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void pop_back() {
+    assert(count_ > 0 && "RingBuffer::pop_back on empty buffer");
+    slots_[(head_ + count_ - 1) & mask_] = T{};
     --count_;
   }
 

@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 
+#include "telemetry/profiler.h"
+
 namespace proteus {
 
 ShardSet::ShardSet(int parts, TimeNs window, uint64_t seed,
@@ -26,59 +28,108 @@ ShardSet::ShardSet(int parts, TimeNs window, uint64_t seed,
         seed + 0x9e3779b9ULL * static_cast<uint64_t>(p), engine));
   }
   pairs_.resize(static_cast<size_t>(parts) * static_cast<size_t>(parts));
-  window_end_ = window_;
+  drain_scratch_.resize(static_cast<size_t>(parts));
+  merge_scratch_.resize(static_cast<size_t>(parts));
+  window_end_.store(window_, std::memory_order_relaxed);
 }
 
-void ShardSet::post(int src, int dst, TimeNs when, EventQueue::Callback cb) {
-  if (src == dst) {
-    sims_[src]->schedule_at(when, std::move(cb));
-    return;
-  }
-  if (when < window_end_) {
-    throw std::logic_error(
-        "ShardSet::post lookahead violation: handoff " + std::to_string(src) +
-        "->" + std::to_string(dst) + " at t=" + std::to_string(when) +
-        " inside the executing window (end " + std::to_string(window_end_) +
-        "); the partition's cut has less lookahead than its window");
-  }
-  Pair& pr = pair(src, dst);
-  pr.pending.push_back(Handoff{when, pr.next_seq++, std::move(cb)});
+void ShardSet::throw_lookahead_violation(int src, int dst, TimeNs when,
+                                         TimeNs floor) {
+  throw std::logic_error(
+      "ShardSet::post lookahead violation: handoff " + std::to_string(src) +
+      "->" + std::to_string(dst) + " at t=" + std::to_string(when) +
+      " inside the executing window (end " + std::to_string(floor) +
+      "); the partition's cut has less lookahead than its window");
 }
 
 void ShardSet::drain_into(int dst) {
+  PROTEUS_PROFILE_SCOPE(ProfilePhase::kShardDrain);
   const int p = parts();
-  // Typical fan-in is small; gather + one sort keeps the ordering rule in
-  // one obvious place. The scratch vector is per-call but boundary-rate,
-  // not event-rate.
-  std::vector<std::pair<int, size_t>> order;  // (src, index into pending)
-  size_t total = 0;
-  for (int src = 0; src < p; ++src) {
-    if (src != dst) total += pair(src, dst).pending.size();
-  }
-  if (total == 0) return;
-  order.reserve(total);
+  Simulator& sim = *sims_[dst];
+
+  // Gather the non-empty channels in ascending src order (the comparator's
+  // tie-break), noting whether every run arrives presorted.
+  std::vector<MergeCursor>& cur = merge_scratch_[dst];
+  cur.clear();
+  bool all_sorted = true;
   for (int src = 0; src < p; ++src) {
     if (src == dst) continue;
-    const size_t n = pair(src, dst).pending.size();
-    for (size_t i = 0; i < n; ++i) order.emplace_back(src, i);
+    Pair& pr = pair(src, dst);
+    if (pr.pending.empty()) continue;
+    all_sorted = all_sorted && pr.sorted;
+    cur.push_back(
+        MergeCursor{pr.pending.data(), pr.pending.data() + pr.pending.size()});
   }
-  std::sort(order.begin(), order.end(),
-            [&](const std::pair<int, size_t>& a,
-                const std::pair<int, size_t>& b) {
-              const Handoff& ha = pair(a.first, dst).pending[a.second];
-              const Handoff& hb = pair(b.first, dst).pending[b.second];
-              if (ha.when != hb.when) return ha.when < hb.when;
-              if (a.first != b.first) return a.first < b.first;
-              return ha.seq < hb.seq;
-            });
-  Simulator& sim = *sims_[dst];
-  for (const auto& [src, i] : order) {
-    Handoff& h = pair(src, dst).pending[i];
-    sim.schedule_at(h.when, std::move(h.cb));
+  if (cur.empty()) return;
+
+  // The drain order (when, src, seq) is a strict total order over distinct
+  // handoffs, so any correct merge produces the identical schedule the
+  // comparison sort would. When every channel is already in (when, seq)
+  // order — the steady state for fixed-delay edges — merge the runs
+  // head-to-head: cursors sit in ascending src order, and a strict `<` on
+  // `when` keeps the earliest (smallest-src) head on ties.
+  if (all_sorted) {
+    if (cur.size() == 1) {
+      for (Handoff* h = cur[0].it; h != cur[0].end; ++h) {
+        sim.schedule_at(h->when, std::move(h->cb));
+      }
+    } else {
+      while (!cur.empty()) {
+        size_t best = 0;
+        TimeNs best_when = cur[0].it->when;
+        for (size_t i = 1; i < cur.size(); ++i) {
+          if (cur[i].it->when < best_when) {
+            best = i;
+            best_when = cur[i].it->when;
+          }
+        }
+        Handoff* h = cur[best].it++;
+        sim.schedule_at(h->when, std::move(h->cb));
+        if (cur[best].it == cur[best].end) {
+          // Erase preserving order: src-ascending is the tie-break.
+          cur.erase(cur.begin() + static_cast<ptrdiff_t>(best));
+        }
+      }
+    }
+  } else {
+    std::vector<DrainRef>& refs = drain_scratch_[dst];
+    refs.clear();
+    for (int src = 0; src < p; ++src) {
+      if (src == dst) continue;
+      for (Handoff& h : pair(src, dst).pending) {
+        refs.push_back(DrainRef{h.when, h.seq, src, &h});
+      }
+    }
+    std::sort(refs.begin(), refs.end(),
+              [](const DrainRef& a, const DrainRef& b) {
+                if (a.when != b.when) return a.when < b.when;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    for (const DrainRef& r : refs) sim.schedule_at(r.when, std::move(r.h->cb));
   }
+
   for (int src = 0; src < p; ++src) {
-    if (src != dst) pair(src, dst).pending.clear();
+    if (src == dst) continue;
+    Pair& pr = pair(src, dst);
+    pr.pending.clear();
+    pr.sorted = true;
   }
+}
+
+TimeNs ShardSet::advance_grid(TimeNs w_end, TimeNs min_next, TimeNs t) {
+  // Nothing can appear before min_next (all handoffs are drained, and
+  // posts from future windows land at or after their own floor), and the
+  // caller stops executing full windows once t falls inside one — so the
+  // jump target is capped by t's window as well. Times are non-negative,
+  // so integer division is the floor.
+  const TimeNs cap = std::min(min_next, t);
+  if (cap <= w_end) return w_end;
+  const TimeNs target = (cap / window_) * window_;
+  if (target <= w_end) return w_end;
+  stats_.windows_fast_forwarded +=
+      static_cast<uint64_t>((target - w_end) / window_);
+  return target;
 }
 
 void ShardSet::run_until(TimeNs t, int threads) {
@@ -98,16 +149,24 @@ void ShardSet::run_until(TimeNs t, int threads) {
 void ShardSet::run_windows_serial(TimeNs t) {
   for (;;) {
     const TimeNs w_end = grid_ + window_;
-    window_end_ = w_end;
+    window_end_.store(w_end, std::memory_order_relaxed);
     if (t < w_end) {
       // Final sub-window: inclusive, matching run_until semantics. The
       // grid cursor stays put so a later call resumes inside this window.
       for (auto& sim : sims_) sim->run_until(t);
       return;
     }
-    for (auto& sim : sims_) sim->run_before(w_end);
-    grid_ = w_end;
+    {
+      PROTEUS_PROFILE_SCOPE(ProfilePhase::kShardExec);
+      for (auto& sim : sims_) sim->run_before(w_end);
+    }
+    ++stats_.barrier_windows;
     for (int dst = 0; dst < parts(); ++dst) drain_into(dst);
+    TimeNs min_next = kTimeInfinite;
+    for (auto& sim : sims_) {
+      min_next = std::min(min_next, sim->next_event_time());
+    }
+    grid_ = advance_grid(w_end, min_next, t);
   }
 }
 
@@ -117,6 +176,9 @@ void ShardSet::run_windows_threaded(TimeNs t, int threads) {
   std::mutex error_mu;
   std::barrier<> sync(threads);
   const int p = parts();
+  // Per-thread earliest-pending-event slot, written in the drain phase
+  // and read by everyone after the second barrier (which orders them).
+  std::vector<TimeNs> mins(static_cast<size_t>(threads), kTimeInfinite);
 
   auto record_error = [&] {
     std::lock_guard<std::mutex> lock(error_mu);
@@ -128,8 +190,9 @@ void ShardSet::run_windows_threaded(TimeNs t, int threads) {
   // them in the exec phase and drains their incoming channels in the
   // drain phase, so no Simulator is ever touched from two threads. The
   // two barriers per window provide all cross-thread ordering. Every
-  // thread evaluates the identical loop condition, so they pass the same
-  // barrier sequence even when a phase failed.
+  // thread evaluates the identical loop condition — including the
+  // fast-forward target, computed from the same post-barrier inputs — so
+  // they pass the same barrier sequence even when a phase failed.
   auto worker = [&](int tid) {
     TimeNs g = grid_;
     for (;;) {
@@ -137,6 +200,7 @@ void ShardSet::run_windows_threaded(TimeNs t, int threads) {
       const bool last = t < w_end;
       if (!failed.load(std::memory_order_acquire)) {
         try {
+          PROTEUS_PROFILE_SCOPE(ProfilePhase::kShardExec);
           for (int i = tid; i < p; i += threads) {
             if (last) {
               sims_[i]->run_until(t);
@@ -148,19 +212,46 @@ void ShardSet::run_windows_threaded(TimeNs t, int threads) {
           record_error();
         }
       }
-      sync.arrive_and_wait();
-      if (last || failed.load(std::memory_order_acquire)) return;
-      if (tid == 0) {
-        grid_ = w_end;
-        window_end_ = w_end + window_;
+      {
+        PROTEUS_PROFILE_SCOPE(ProfilePhase::kShardBarrier);
+        sync.arrive_and_wait();
       }
+      if (last || failed.load(std::memory_order_acquire)) return;
+      TimeNs local_min = kTimeInfinite;
       try {
-        for (int i = tid; i < p; i += threads) drain_into(i);
+        for (int i = tid; i < p; i += threads) {
+          drain_into(i);
+          local_min = std::min(local_min, sims_[i]->next_event_time());
+        }
       } catch (...) {
         record_error();
       }
-      sync.arrive_and_wait();
-      g = w_end;
+      mins[static_cast<size_t>(tid)] = local_min;
+      {
+        PROTEUS_PROFILE_SCOPE(ProfilePhase::kShardBarrier);
+        sync.arrive_and_wait();
+      }
+      // Post-B2: every thread sees every mins[] slot and computes the
+      // identical next grid position; stats are tid 0's job so the
+      // counters aren't data-raced.
+      TimeNs min_next = kTimeInfinite;
+      for (TimeNs m : mins) min_next = std::min(min_next, m);
+      const TimeNs cap = std::min(min_next, t);
+      TimeNs target = w_end;
+      if (cap > w_end) {
+        const TimeNs aligned = (cap / window_) * window_;
+        if (aligned > w_end) target = aligned;
+      }
+      window_end_.store(target + window_, std::memory_order_relaxed);
+      if (tid == 0) {
+        grid_ = target;
+        ++stats_.barrier_windows;
+        if (target > w_end) {
+          stats_.windows_fast_forwarded +=
+              static_cast<uint64_t>((target - w_end) / window_);
+        }
+      }
+      g = target;
     }
   };
 

@@ -39,6 +39,17 @@
 // parking lot, anything with a shared reverse fault timeline — execute
 // byte-identically to the historical serial engine under any --shards=N.
 //
+// Idle-window fast-forward: after a boundary drain, every event that can
+// ever land in the skipped region is already in some part's queue (posts
+// only happen while a window executes, and the drain just moved all of
+// them). So when the earliest pending event across all parts lies beyond
+// the next window, the grid jumps straight to that event's window —
+// floor(min_next / W) * W — instead of grinding through empty windows.
+// Skipped windows execute no events and consume no queue sequence
+// numbers, so the event stream is byte-identical with and without the
+// jump; only the number of barrier crossings changes (counted in
+// WindowStats). See DESIGN.md §4g.
+//
 // Thread-safety: during a window's exec phase, thread t exclusively owns
 // every part p with p % threads == t — both the part's Simulator and the
 // pending vectors of pairs (p, *). During the drain phase (after a
@@ -47,6 +58,7 @@
 // or atomics appear on the event path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -70,13 +82,32 @@ class ShardSet {
   Simulator& part(int p) { return *sims_[p]; }
   const Simulator& part(int p) const { return *sims_[p]; }
 
-  // Cross-part handoff: run `cb` on part `dst` at absolute time `when`.
+  // Cross-part handoff: run `f` on part `dst` at absolute time `when`.
   // Must be called from `src`'s execution context (an event callback or
   // construction before the first run). src == dst is the local fast
   // path — a plain schedule_at, no deferral, preserving the exact serial
   // code path for intra-part traffic. Throws on a lookahead violation
   // (`when` inside the currently executing window).
-  void post(int src, int dst, TimeNs when, EventQueue::Callback cb);
+  //
+  // Templated like Simulator::schedule_at: the caller's lambda is
+  // constructed directly in the channel slot (or the local wheel slot),
+  // never routed through a Callback temporary, so a handoff relocates its
+  // capture exactly once — at the boundary drain into the destination
+  // wheel — instead of twice.
+  template <typename F>
+  void post(int src, int dst, TimeNs when, F&& f) {
+    if (src == dst) {
+      sims_[static_cast<size_t>(src)]->schedule_at(when, std::forward<F>(f));
+      return;
+    }
+    const TimeNs floor = window_end_.load(std::memory_order_relaxed);
+    if (when < floor) throw_lookahead_violation(src, dst, when, floor);
+    Pair& pr = pair(src, dst);
+    if (!pr.pending.empty() && when < pr.pending.back().when) {
+      pr.sorted = false;
+    }
+    pr.pending.emplace_back(when, pr.next_seq++, std::forward<F>(f));
+  }
 
   // Runs every part up to and including `t` (events at exactly `t`
   // execute, matching Simulator::run_until) on `threads` workers.
@@ -91,32 +122,95 @@ class ShardSet {
   // returns (== t, exactly as the serial engine guarantees).
   TimeNs now() const { return sims_[0]->now(); }
 
+  // Window-loop accounting. `barrier_windows` counts windows actually
+  // executed (one exec + one drain each); `windows_fast_forwarded` counts
+  // grid slots skipped by the idle fast-forward. Their sum is the number
+  // of windows a non-fast-forwarding loop would have run. Single-part
+  // sets report zeros (no window loop at all). Read after run_until
+  // returns; not synchronized against a concurrent run.
+  struct WindowStats {
+    uint64_t barrier_windows = 0;
+    uint64_t windows_fast_forwarded = 0;
+  };
+  WindowStats window_stats() const { return stats_; }
+
  private:
   struct Handoff {
     TimeNs when = 0;
     uint64_t seq = 0;  // per-(src,dst) monotone, assigned at post()
     EventQueue::Callback cb;
+    Handoff() = default;
+    template <typename F>
+    Handoff(TimeNs w, uint64_t s, F&& f)
+        : when(w), seq(s), cb(std::forward<F>(f)) {}
   };
   // One directed (src, dst) channel. Written only by src's owner thread
   // (exec phase), drained only by dst's owner thread (drain phase);
-  // the window barrier orders the two.
+  // the window barrier orders the two. `sorted` tracks whether the
+  // pending run is already in (when, seq) order — true for channels whose
+  // posts carry a single fixed propagation delay (every channel in the
+  // CDN topology), letting the drain merge runs head-to-head instead of
+  // sorting.
   struct Pair {
     std::vector<Handoff> pending;
     uint64_t next_seq = 0;
+    bool sorted = true;
   };
 
-  Pair& pair(int src, int dst) { return pairs_[src * parts() + dst]; }
+  Pair& pair(int src, int dst) {
+    return pairs_[static_cast<size_t>(src * parts() + dst)];
+  }
+  // Cold path of post(): assembles the diagnostic and throws, kept out of
+  // the inlined header body.
+  [[noreturn]] static void throw_lookahead_violation(int src, int dst,
+                                                     TimeNs when,
+                                                     TimeNs floor);
   // Schedules every pending handoff destined for `dst`, sorted by
   // (when, src, seq), then clears the channels (capacity retained).
   void drain_into(int dst);
+  // Given the just-finished window's end and the earliest pending event
+  // across the parts involved, returns the start of the next window to
+  // execute: w_end normally, or a later grid slot when everything up to
+  // it is provably empty. Also bumps the fast-forward counter.
+  TimeNs advance_grid(TimeNs w_end, TimeNs min_next, TimeNs t);
   void run_windows_serial(TimeNs t);
   void run_windows_threaded(TimeNs t, int threads);
 
+  // Sort key for one boundary drain: everything the ordering rule needs,
+  // copied out of the Handoff so the sort comparator never chases the
+  // pairs_ indirection. 24 bytes, cheap to shuffle.
+  struct DrainRef {
+    TimeNs when;
+    uint64_t seq;
+    int32_t src;
+    Handoff* h;  // stable during the drain: nothing posts at a boundary
+  };
+
+  // One source channel's remaining run during a boundary merge.
+  struct MergeCursor {
+    Handoff* it;
+    Handoff* end;
+  };
+
   std::vector<std::unique_ptr<Simulator>> sims_;
   std::vector<Pair> pairs_;  // parts x parts, indexed src * P + dst
+  // Per-destination drain scratch, reused every boundary so steady-state
+  // drains allocate nothing. Indexed by dst because in threaded mode
+  // different destinations drain concurrently on different threads.
+  std::vector<std::vector<DrainRef>> drain_scratch_;
+  std::vector<std::vector<MergeCursor>> merge_scratch_;  // indexed by dst
   TimeNs window_ = 0;
-  TimeNs grid_ = 0;            // start of the currently executing window
-  TimeNs window_end_ = 0;      // lookahead floor enforced by post()
+  TimeNs grid_ = 0;  // start of the currently executing window
+  // Lookahead floor enforced by post(). Atomic because in threaded mode
+  // the fast-forward target is computed on every thread after the second
+  // barrier, so the store can race with a peer that already started the
+  // next window. Every thread stores the identical value (same inputs),
+  // so relaxed ordering suffices; a momentarily stale read is the
+  // previous, smaller floor, which can never make a legal handoff throw.
+  // The check is a diagnostic — the invariant itself is guaranteed by W
+  // being the minimum cut lookahead.
+  std::atomic<TimeNs> window_end_{0};
+  WindowStats stats_;  // written by the serial loop or threaded tid 0 only
 };
 
 }  // namespace proteus

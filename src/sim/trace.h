@@ -40,6 +40,12 @@ class ThroughputMeter {
   void reserve_until(TimeNs t) {
     bins_.reserve(static_cast<size_t>(t / bin_) + 2);
   }
+  // Forgets all recorded traffic, keeping the bin array's capacity (a
+  // recycled flow's meter must not report its predecessor's bytes).
+  void reset() {
+    bins_.clear();
+    total_ = 0;
+  }
   // Mbps series, one value per bin from t = 0; trailing partial bin included.
   std::vector<double> mbps_series() const;
   // Mean Mbps over [from, to).

@@ -22,6 +22,12 @@ class Rng {
   // the same salt also differ.
   Rng fork(uint64_t salt);
 
+  // Re-seeds in place: the stream becomes exactly what Rng(seed) would
+  // produce (every distribution method constructs its std:: distribution
+  // per call, so no distribution state survives). Lets pooled objects
+  // restart their streams without reconstructing the 2.5 KB engine.
+  void reseed(uint64_t seed) { engine_.seed(seed); }
+
   // Uniform double in [0, 1).
   double uniform();
   // Uniform double in [lo, hi).

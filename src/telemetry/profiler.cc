@@ -12,6 +12,11 @@ const char* profile_phase_name(ProfilePhase p) {
     case ProfilePhase::kSealMi: return "seal_mi";
     case ProfilePhase::kRateControl: return "rate_control";
     case ProfilePhase::kEventQueue: return "event_queue";
+    case ProfilePhase::kShardExec: return "shard_exec";
+    case ProfilePhase::kShardBarrier: return "shard_barrier";
+    case ProfilePhase::kShardDrain: return "shard_drain";
+    case ProfilePhase::kChurnArrival: return "churn_arrival";
+    case ProfilePhase::kChurnTeardown: return "churn_teardown";
     case ProfilePhase::kCount: break;
   }
   return "?";

@@ -22,6 +22,11 @@ enum class ProfilePhase : int {
   kSealMi,         // core: MI sealing + noise control + utility
   kRateControl,    // core: gradient controller decision
   kEventQueue,     // sim: event dispatch (inclusive of handlers)
+  kShardExec,      // sim: one part's slice of a shard window (inclusive)
+  kShardBarrier,   // sim: waiting at a window barrier (threaded only)
+  kShardDrain,     // sim: sorting + scheduling cross-part handoffs
+  kChurnArrival,   // harness: spawning one churned flow
+  kChurnTeardown,  // harness: retiring one completed/abandoned flow
   kCount,
 };
 

@@ -70,6 +70,24 @@ class CongestionController {
 
   virtual std::string name() const = 0;
 
+  // Pooled-flow support: restore the controller to the state a freshly
+  // constructed instance (same protocol, same tuning) seeded with `seed`
+  // would have, reusing existing storage where possible. Returns false
+  // when the controller does not support reuse — the pool then destroys
+  // it and constructs a fresh one. Implementations must reproduce the
+  // fresh-instance state *exactly* (including RNG streams): flow
+  // recycling is required to be byte-identical to fresh construction,
+  // which the churn golden-digest suite pins.
+  virtual bool reset_for_reuse(uint64_t /*seed*/) { return false; }
+
+  // Storage-sizing hint from FlowConfig::initial_window_slots, forwarded
+  // by the Sender before on_start(). Purely a capacity hint: controllers
+  // that keep per-in-flight-packet state (BBR's delivery snapshots) size
+  // their rings from it instead of a worst-case constant, and grow on
+  // demand exactly as before — control decisions are unaffected. At CDN
+  // churn scale the difference is ~10 KB/flow of resident set.
+  virtual void set_window_slots_hint(int /*slots*/) {}
+
   // Telemetry attach point. Controllers that expose per-MI decision
   // records (the PCC family) override this; the default ignores it so
   // reference protocols (CUBIC, BBR, ...) need no changes. Passing null

@@ -1,5 +1,6 @@
 #include "transport/flow.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace proteus {
@@ -12,7 +13,13 @@ Flow::Flow(Simulator* sim, Network* network, FlowConfig cfg,
   sender_ = std::make_unique<Sender>(sim, network, cfg_.id, std::move(cc),
                                      kMtuBytes, cfg_.initial_window_slots);
   receiver_ = std::make_unique<Receiver>(sim, network, cfg_.id);
+  arm();
+}
+
+void Flow::arm() {
   network_->attach_flow(cfg_.id, receiver_.get(), sender_.get());
+  attached_ = true;
+  receiver_->set_metering(cfg_.meter_throughput);
 
   if (cfg_.collect_rtt) {
     sender_->set_on_ack(
@@ -45,8 +52,27 @@ Flow::Flow(Simulator* sim, Network* network, FlowConfig cfg,
   }
 }
 
+void Flow::retire() {
+  sender_->retire();
+  alive_.renew();  // expire the flow's own start/stop events
+  if (attached_) {
+    network_->detach_flow(cfg_.id);
+    attached_ = false;
+  }
+}
+
+bool Flow::recycle(FlowConfig cfg, uint64_t cc_seed) {
+  if (!sender_->reset_for_reuse(cfg.id, cc_seed)) return false;
+  cfg_ = cfg;
+  receiver_->reset_for_reuse(cfg_.id);
+  rtt_samples_.clear();
+  completion_time_ = kTimeInfinite;
+  arm();
+  return true;
+}
+
 Flow::~Flow() {
-  network_->detach_flow(cfg_.id);
+  if (attached_) network_->detach_flow(cfg_.id);
 }
 
 }  // namespace proteus

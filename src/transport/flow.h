@@ -20,6 +20,10 @@ struct FlowConfig {
   bool unlimited = true;             // bulk flow
   int64_t total_bytes = 0;           // for finite flows (unlimited == false)
   bool collect_rtt = true;           // record per-ack RTT samples
+  // Receiver throughput metering (see Receiver::set_metering). Off for
+  // massive-churn flows nobody queries: the bin array is indexed by
+  // absolute sim time, so pooled flows would otherwise grow it forever.
+  bool meter_throughput = true;
   // In-flight slot-ring size hint (see Sender). Storage only — never
   // affects timing; shrink for massive-churn scenarios.
   int initial_window_slots = 256;
@@ -33,6 +37,18 @@ class Flow {
 
   Flow(const Flow&) = delete;
   Flow& operator=(const Flow&) = delete;
+
+  // --- Pooled-flow lifecycle -------------------------------------------
+  // retire(): detach from the network and expire every scheduled event so
+  // the flow can sit in an arena untouched by the simulation. A retired
+  // flow holds only storage; recycle() brings it back to life.
+  void retire();
+  // recycle(): rebuild this retired flow as a brand-new flow `cfg.id`,
+  // byte-identical to Flow(sim, network, cfg, fresh-cc-with-cc_seed) —
+  // same hooks, same start/stop events, same CC RNG streams. Returns
+  // false (flow left retired) when the CC cannot reset in place; the
+  // caller then destroys the flow and constructs a new one.
+  bool recycle(FlowConfig cfg, uint64_t cc_seed);
 
   Sender& sender() { return *sender_; }
   const Sender& sender() const { return *sender_; }
@@ -53,6 +69,10 @@ class Flow {
   bool completed() const { return completion_time_ != kTimeInfinite; }
 
  private:
+  // Shared tail of construction and recycle(): attach to the network,
+  // install the measurement hooks, schedule start/stop.
+  void arm();
+
   Simulator* sim_;
   Network* network_;
   FlowConfig cfg_;
@@ -60,6 +80,7 @@ class Flow {
   std::unique_ptr<Receiver> receiver_;
   Samples rtt_samples_;
   TimeNs completion_time_ = kTimeInfinite;
+  bool attached_ = false;
   LifeTag alive_;
 };
 

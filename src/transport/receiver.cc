@@ -10,7 +10,7 @@ Receiver::Receiver(Simulator* sim, Network* network, FlowId id)
 void Receiver::on_packet(const Packet& pkt) {
   bytes_received_ += pkt.size_bytes;
   ++packets_received_;
-  meter_.on_bytes(sim_->now(), pkt.size_bytes);
+  if (meter_enabled_) meter_.on_bytes(sim_->now(), pkt.size_bytes);
 
   Packet ack;
   ack.flow_id = id_;

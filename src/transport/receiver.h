@@ -30,12 +30,30 @@ class Receiver final : public PacketSink {
     on_data_ = std::move(cb);
   }
 
+  // Throughput metering switch. The meter's bin array is indexed by
+  // absolute sim time, so a long-lived churn scenario would grow every
+  // pooled flow's bins forever; flows nobody queries (churn workload
+  // generators) turn it off. Pure observation — never affects packets.
+  void set_metering(bool enabled) { meter_enabled_ = enabled; }
+
+  // Pooled-flow support: restore freshly-constructed state for flow `id`
+  // (the receiver schedules nothing, so no event expiry is needed).
+  void reset_for_reuse(FlowId id) {
+    id_ = id;
+    bytes_received_ = 0;
+    packets_received_ = 0;
+    meter_.reset();
+    meter_enabled_ = true;
+    on_data_ = nullptr;
+  }
+
  private:
   Simulator* sim_;
   Network* network_;
   FlowId id_;
   int64_t bytes_received_ = 0;
   int64_t packets_received_ = 0;
+  bool meter_enabled_ = true;
   ThroughputMeter meter_;
   std::function<void(const Packet&, TimeNs)> on_data_;
 };

@@ -19,8 +19,8 @@ Sender::Sender(Simulator* sim, Network* network, FlowId id,
                int initial_slots)
     : sim_(sim),
       network_(network),
-      id_(id),
       cc_(std::move(cc)),
+      id_(id),
       packet_bytes_(packet_bytes) {
   // Power of two (grows if the window ever spans more); floor of 8 keeps
   // the ring useful even when a scale scenario asks for the minimum.
@@ -28,9 +28,49 @@ Sender::Sender(Simulator* sim, Network* network, FlowId id,
   while (cap < static_cast<size_t>(std::max(initial_slots, 1))) cap *= 2;
   slots_.resize(cap);
   slot_mask_ = slots_.size() - 1;
+  // Let the controller size its own per-packet rings (BBR snapshots) from
+  // the same hint instead of a worst-case constant.
+  cc_->set_window_slots_hint(initial_slots);
 }
 
 Sender::~Sender() = default;
+
+void Sender::retire() {
+  running_ = false;
+  // Expire outstanding pacer/timer/sweep events: they captured a Ref of
+  // the previous generation and now no-op when they fire.
+  alive_.renew();
+}
+
+bool Sender::reset_for_reuse(FlowId id, uint64_t cc_seed) {
+  if (!cc_->reset_for_reuse(cc_seed)) return false;
+  id_ = id;
+  running_ = false;
+  unlimited_ = false;
+  credit_ = 0;
+  next_seq_ = 0;
+  largest_acked_ = 0;
+  any_acked_ = false;
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  base_seq_ = 0;
+  in_flight_count_ = 0;
+  bytes_in_flight_ = 0;
+  srtt_ = 0;
+  rttvar_ = 0;
+  min_rtt_ = kTimeInfinite;
+  last_ack_time_ = 0;
+  pacer_scheduled_for_ = kTimeInfinite;
+  next_send_time_ = 0;
+  cc_timer_armed_for_ = kTimeInfinite;
+  loss_sweep_armed_ = false;
+  on_all_delivered_ = nullptr;
+  on_delivered_ = nullptr;
+  on_ack_ = nullptr;
+  all_delivered_fired_ = false;
+  stats_ = SenderStats{};
+  alive_.renew();
+  return true;
+}
 
 void Sender::start() {
   if (running_) return;
@@ -66,49 +106,53 @@ void Sender::set_on_ack(std::function<void(const AckInfo&)> cb) {
   on_ack_ = std::move(cb);
 }
 
-bool Sender::can_send_now() const {
-  if (!running_) return false;
-  if (!unlimited_ && credit_ <= 0) return false;
-  const int64_t next_bytes =
-      unlimited_ ? packet_bytes_ : std::min(packet_bytes_, credit_);
-  const int64_t cwnd = cc_->cwnd_bytes();
-  if (cwnd != kNoCwndLimit && bytes_in_flight_ + next_bytes > cwnd) {
-    return false;
-  }
-  return true;
-}
-
 void Sender::try_send(bool from_pacer) {
   if (from_pacer) pacer_scheduled_for_ = kTimeInfinite;
   const TimeNs now = sim_->now();
-  while (can_send_now()) {
-    const Bandwidth pace = cc_->pacing_rate();
-    if (pace.positive()) {
-      if (next_send_time_ > now) {
-        schedule_pacer(next_send_time_);
-        break;
+  if (running_) {
+    // cwnd is loop-invariant across one try_send: every controller
+    // adjusts its window on ack/loss/timer, never on on_packet_sent, so
+    // one virtual call covers the whole burst. The pacing rate is NOT
+    // invariant — a send can rotate the controller into a new monitor
+    // interval at a different rate — so it stays inside the loop.
+    const int64_t cwnd = cc_->cwnd_bytes();
+    const auto can_send = [&] {
+      if (!unlimited_ && credit_ <= 0) return false;
+      const int64_t next_bytes =
+          unlimited_ ? packet_bytes_ : std::min(packet_bytes_, credit_);
+      return cwnd == kNoCwndLimit || bytes_in_flight_ + next_bytes <= cwnd;
+    };
+    while (can_send()) {
+      const Bandwidth pace = cc_->pacing_rate();
+      if (pace.positive()) {
+        if (next_send_time_ > now) {
+          schedule_pacer(next_send_time_);
+          break;
+        }
+        // Burst pacing: emit up to one quantum's worth of packets
+        // back-to-back, then sleep until the quantum's budget elapses.
+        const TimeNs interval = pace.tx_time(packet_bytes_);
+        int burst = 1;
+        if (interval > 0 && pacing_quantum_ > interval) {
+          burst = static_cast<int>(pacing_quantum_ / interval);
+        }
+        burst = std::min(burst, max_burst_packets_);
+        // A long idle gap must not bank "catch-up" sends.
+        next_send_time_ = std::max(next_send_time_, now);
+        for (int i = 0; i < burst && can_send(); ++i) {
+          send_one();
+          // Real stacks never pace exactly: timer slack and scheduler
+          // jitter smear packet spacing. Uniform +/-30% keeps the mean
+          // rate while making queueing (and hence RTT deviation) grow
+          // continuously with utilization instead of cliff-jumping at
+          // burst boundaries.
+          next_send_time_ += static_cast<TimeNs>(
+              static_cast<double>(interval) *
+              sim_->rng().uniform(1.0 - pacing_jitter_, 1.0 + pacing_jitter_));
+        }
+      } else {
+        send_one();  // window-only: ACK clocking provides the spacing
       }
-      // Burst pacing: emit up to one quantum's worth of packets
-      // back-to-back, then sleep until the quantum's budget elapses.
-      const TimeNs interval = pace.tx_time(packet_bytes_);
-      int burst = 1;
-      if (interval > 0 && pacing_quantum_ > interval) {
-        burst = static_cast<int>(pacing_quantum_ / interval);
-      }
-      burst = std::min(burst, max_burst_packets_);
-      // A long idle gap must not bank "catch-up" sends.
-      next_send_time_ = std::max(next_send_time_, now);
-      for (int i = 0; i < burst && can_send_now(); ++i) {
-        send_one();
-        // Real stacks never pace exactly: timer slack and scheduler jitter
-        // smear packet spacing. Uniform +/-30% keeps the mean rate while
-        // making queueing (and hence RTT deviation) grow continuously with
-        // utilization instead of cliff-jumping at burst boundaries.
-        next_send_time_ += static_cast<TimeNs>(
-            static_cast<double>(interval) * sim_->rng().uniform(1.0 - pacing_jitter_, 1.0 + pacing_jitter_));
-      }
-    } else {
-      send_one();  // window-only: ACK clocking provides the spacing
     }
   }
   arm_cc_timer();

@@ -56,6 +56,21 @@ class Sender final : public PacketSink {
   Sender(const Sender&) = delete;
   Sender& operator=(const Sender&) = delete;
 
+  // --- Pooled-flow lifecycle -------------------------------------------
+  // retire(): park the sender in a pool. Stops transmission and expires
+  // every scheduled callback (pacer, CC timer, loss sweep) so nothing
+  // touches the sender while it waits for reuse.
+  void retire();
+  // reset_for_reuse(): restore the exact state of a freshly constructed
+  // Sender for flow `id` — indistinguishable to the simulation, including
+  // the CC's RNG streams. Storage (slot ring, CC rings) keeps its
+  // ratcheted capacity, which is invisible to behavior. Returns false
+  // (sender untouched) when the CC does not support in-place reset; the
+  // caller then falls back to destroy + construct. The externally
+  // configured pacing knobs (quantum/burst/jitter) are preserved; callers
+  // re-apply them as they would after construction.
+  bool reset_for_reuse(FlowId id, uint64_t cc_seed);
+
   // --- Application interface ------------------------------------------
   void start();
   void stop();  // stop sending new data (in-flight packets still resolve)
@@ -101,7 +116,6 @@ class Sender final : public PacketSink {
     bool active = false;
   };
 
-  bool can_send_now() const;
   void try_send(bool from_pacer);
   void send_one();
   void schedule_pacer(TimeNs when);
@@ -122,42 +136,48 @@ class Sender final : public PacketSink {
   void advance_base();
   void grow_slots();
 
+  // Member order is deliberate: with 10k+ concurrent flows every Sender
+  // is cold in cache when its pacer/sweep tick fires, so the fields those
+  // two paths touch are packed up front — the tick pulls one or two lines
+  // instead of scattering loads across the whole object. Cold state
+  // (callbacks, stats, introspection-only times) sits at the back.
   Simulator* sim_;
   Network* network_;
-  FlowId id_;
   std::unique_ptr<CongestionController> cc_;
-  int64_t packet_bytes_;
+  FlowId id_;
 
+  // --- Hot: read by every pacer tick (try_send fast path) --------------
   bool running_ = false;
   bool unlimited_ = false;
-  int64_t credit_ = 0;
-
-  uint64_t next_seq_ = 0;
-  uint64_t largest_acked_ = 0;
+  bool loss_sweep_armed_ = false;
   bool any_acked_ = false;
-  std::vector<Slot> slots_;
-  size_t slot_mask_ = 0;
-  uint64_t base_seq_ = 0;
-  int64_t in_flight_count_ = 0;
+  bool all_delivered_fired_ = false;
+  int max_burst_packets_ = 1;
+  int64_t credit_ = 0;
+  int64_t packet_bytes_;
   int64_t bytes_in_flight_ = 0;
+  int64_t in_flight_count_ = 0;
+  TimeNs next_send_time_ = 0;
+  TimeNs pacer_scheduled_for_ = kTimeInfinite;
+  TimeNs cc_timer_armed_for_ = kTimeInfinite;
+  TimeNs pacing_quantum_ = from_us(1500);
+  double pacing_jitter_ = 0.4;
 
+  // --- Hot: loss sweep / ACK bookkeeping -------------------------------
   TimeNs srtt_ = 0;
   TimeNs rttvar_ = 0;
+  uint64_t base_seq_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t slot_mask_ = 0;
+  std::vector<Slot> slots_;
+  uint64_t largest_acked_ = 0;
   TimeNs min_rtt_ = kTimeInfinite;
   TimeNs last_ack_time_ = 0;
 
-  TimeNs pacer_scheduled_for_ = kTimeInfinite;
-  TimeNs next_send_time_ = 0;
-  TimeNs pacing_quantum_ = from_us(1500);
-  int max_burst_packets_ = 1;
-  double pacing_jitter_ = 0.4;
-  TimeNs cc_timer_armed_for_ = kTimeInfinite;
-  bool loss_sweep_armed_ = false;
-
+  // --- Cold -------------------------------------------------------------
   std::function<void()> on_all_delivered_;
   std::function<void(int64_t, TimeNs)> on_delivered_;
   std::function<void(const AckInfo&)> on_ack_;
-  bool all_delivered_fired_ = false;
 
   SenderStats stats_;
   LifeTag alive_;  // guards scheduled callbacks after dtor

@@ -102,6 +102,50 @@ TEST(ShardSetUnit, DrainOrderIsWhenThenSrcThenSeq) {
   EXPECT_EQ(order[3], "src2#1");
 }
 
+TEST(ShardSetUnit, FastForwardSkipsIdleWindowsAndCountsThem) {
+  // Events at 0.5 ms and 20.5 ms with nothing between: the window loop
+  // must jump the 19 idle 1 ms windows instead of running 25 barriers.
+  // barrier_windows + windows_fast_forwarded always equals the window
+  // count a non-fast-forwarding loop would have executed.
+  auto run = [](int threads) {
+    ShardSet ss(2, from_ms(1), 7);
+    std::vector<TimeNs> fired;
+    ss.part(0).schedule_at(from_us(500), [&] { fired.push_back(ss.now()); });
+    ss.part(1).schedule_at(from_ms(20) + from_us(500), [&] {
+      fired.push_back(ss.part(1).now());
+    });
+    ss.run_until(from_ms(25), threads);
+    EXPECT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], from_us(500));
+    EXPECT_EQ(fired[1], from_ms(20) + from_us(500));
+    return ss.window_stats();
+  };
+  const ShardSet::WindowStats serial = run(1);
+  EXPECT_GT(serial.windows_fast_forwarded, 0u);
+  EXPECT_LT(serial.barrier_windows, 25u);
+  EXPECT_EQ(serial.barrier_windows + serial.windows_fast_forwarded, 25u);
+  // The threaded loop computes the identical schedule.
+  const ShardSet::WindowStats threaded = run(2);
+  EXPECT_EQ(threaded.barrier_windows, serial.barrier_windows);
+  EXPECT_EQ(threaded.windows_fast_forwarded, serial.windows_fast_forwarded);
+}
+
+TEST(ShardSetUnit, FastForwardPreservesHandoffTiming) {
+  // A handoff posted across a long idle gap must still execute exactly
+  // at its timestamp: the drain runs before the fast-forward decision,
+  // so every future event is in some part's queue when the jump target
+  // is computed.
+  ShardSet ss(2, from_ms(1), 7);
+  std::vector<TimeNs> fired;
+  ss.part(0).schedule_at(from_ms(1), [&] {
+    ss.post(0, 1, from_ms(15), [&] { fired.push_back(ss.part(1).now()); });
+  });
+  ss.run_until(from_ms(20), 1);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], from_ms(15));
+  EXPECT_GT(ss.window_stats().windows_fast_forwarded, 0u);
+}
+
 TEST(ShardSetUnit, LookaheadViolationThrows) {
   ShardSet ss(2, from_ms(1), 7);
   // From inside window [1, 2) ms, posting into the same window violates
@@ -426,6 +470,125 @@ TEST(Churn, ArrivalStreamIndependentOfCap) {
   EXPECT_GT(tight.stats.skipped, loose.stats.skipped);
   EXPECT_EQ(tight.stats.spawned + tight.stats.skipped,
             loose.stats.spawned + loose.stats.skipped);
+}
+
+// Full event-stream digest of a churn run: event count, churn counters,
+// and per-link packet accounting. Any timing or ordering drift in the
+// pooled-arena path shows up here.
+std::string churn_digest(int shards, EventEngine engine, double mix_w,
+                         double mix_v, double mix_b, double mix_s) {
+  ScenarioConfig cfg;
+  cfg.topology.kind = TopologyKind::kCdnEdge;
+  cfg.topology.arms = 3;
+  cfg.seed = 11;
+  cfg.shards = shards;
+  cfg.engine = engine;
+  cfg.planned_flows = 300;
+  Scenario sc(cfg);
+  ChurnConfig ch;
+  ch.arrivals_per_sec = 400;
+  ch.mean_size_kb = 48;
+  ch.max_concurrent = 150;
+  ch.mix_web = mix_w;
+  ch.mix_video = mix_v;
+  ch.mix_bulk = mix_b;
+  ch.mix_scavenger = mix_s;
+  ChurnStats st;
+  {
+    ChurnDriver churn(sc, ch);
+    sc.run_until(from_sec(4));
+    st = churn.stats();
+  }
+  std::ostringstream os;
+  os << sc.events_processed() << '/' << st.spawned << '/' << st.completed
+     << '/' << st.skipped << '/' << st.peak_concurrent;
+  for (const auto& [name, ls] : sc.link_stats()) {
+    os << '/' << ls.offered_packets << ':' << ls.delivered_packets << ':'
+       << ls.tail_drops;
+  }
+  return os.str();
+}
+
+// Digests captured from the tree immediately BEFORE the pooled-arena /
+// fast-forward optimizations landed (same config, same seed). Pinning
+// them proves flow recycling and window skipping are invisible to the
+// simulation — not merely self-consistent across shard counts.
+TEST(ChurnGolden, DefaultMixMatchesPreOptimizationDigest) {
+  const std::string kPin =
+      "283403/271/122/1398/150/56708:32982:23478/10776:10774:0/"
+      "12141:12140:0/10033:10032:0";
+  for (int shards : {1, 2, 4}) {
+    EXPECT_EQ(churn_digest(shards, EventEngine::kTimerWheel, 0.4, 0.3, 0.2,
+                           0.1),
+              kPin)
+        << "shards=" << shards;
+  }
+  EXPECT_EQ(churn_digest(1, EventEngine::kBinaryHeap, 0.4, 0.3, 0.2, 0.1),
+            kPin)
+      << "heap engine";
+}
+
+TEST(ChurnGolden, WebVideoMixMatchesPreOptimizationDigest) {
+  // cubic+bbr only: every completion goes through the recycle path
+  // (no PCC flows, which cannot reset in place without allocating).
+  const std::string kPin =
+      "264279/393/243/1276/150/53610:33099:20261/13047:13047:0/"
+      "9032:9031:0/10989:10986:0";
+  for (int shards : {1, 4}) {
+    EXPECT_EQ(churn_digest(shards, EventEngine::kTimerWheel, 0.6, 0.4, 0.0,
+                           0.0),
+              kPin)
+        << "shards=" << shards;
+  }
+  EXPECT_EQ(churn_digest(1, EventEngine::kBinaryHeap, 0.6, 0.4, 0.0, 0.0),
+            kPin)
+      << "heap engine";
+}
+
+TEST(Churn, ArenaRecyclesFlowsAtSteadyCap) {
+  // Once each class pool warms up, arrivals are served from the arena:
+  // in a 4 s run at 400/s the vast majority of admitted flows after the
+  // first completions must be recycled, not freshly constructed.
+  const ChurnRun r = churn_run(1, 150, 11);
+  ASSERT_GT(r.stats.completed, 0);
+  EXPECT_GT(r.stats.recycled, 0);
+  // Fresh constructions are bounded by pool warm-up: every spawn is
+  // either recycled or grew some class pool's population.
+  EXPECT_GE(r.stats.recycled, r.stats.spawned - r.stats.peak_concurrent * 4);
+}
+
+TEST(Churn, WindowStatsInvariantAcrossShardCounts) {
+  // The fast-forward decision depends only on event timestamps, which
+  // are shard-invariant — a CDN scenario always runs through the
+  // ShardSet window loop (--shards only picks the thread count), so the
+  // counters must be identical at every shard setting. A non-sharded
+  // topology reports zeros through the same Scenario accessor.
+  auto stats_of = [](int shards) {
+    ScenarioConfig cfg;
+    cfg.topology.kind = TopologyKind::kCdnEdge;
+    cfg.topology.arms = 3;
+    cfg.seed = 11;
+    cfg.shards = shards;
+    cfg.planned_flows = 300;
+    Scenario sc(cfg);
+    ChurnConfig ch;
+    ch.arrivals_per_sec = 400;
+    ch.mean_size_kb = 48;
+    ch.max_concurrent = 150;
+    ChurnDriver churn(sc, ch);
+    sc.run_until(from_sec(4));
+    return sc.shard_window_stats();
+  };
+  const auto one = stats_of(1);
+  EXPECT_GT(one.barrier_windows, 0u);
+  for (int shards : {2, 4}) {
+    const auto s = stats_of(shards);
+    EXPECT_EQ(s.barrier_windows, one.barrier_windows) << shards;
+    EXPECT_EQ(s.windows_fast_forwarded, one.windows_fast_forwarded) << shards;
+  }
+  Scenario dumbbell{ScenarioConfig{}};
+  EXPECT_EQ(dumbbell.shard_window_stats().barrier_windows, 0u);
+  EXPECT_EQ(dumbbell.shard_window_stats().windows_fast_forwarded, 0u);
 }
 
 TEST(IdAllocator, RecyclesSmallestFreedIdFirst) {

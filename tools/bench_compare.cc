@@ -8,10 +8,14 @@
 // zero-allocation design, not noise).
 //
 // Usage: bench_compare BASELINE.json CURRENT.json [--tolerance=0.10]
-//                      [--keys=a,b,c]
+//                      [--keys=a,b,c] [--rss-tolerance=0.10]
 // --keys overrides the default throughput-key list (the historical
 // events_per_sec_wheel/heap pair), so other bench JSONs — e.g.
 // BENCH_shards.json with events_per_sec_shards1/2/4 — share the gate.
+// When both JSONs carry peak_rss_per_flow_bytes the memory gate also
+// runs: growth beyond --rss-tolerance (default 10%; deliberately
+// separate from the wall-clock tolerance, since RSS is not subject to
+// scheduler noise) fails the compare.
 // Exit: 0 ok, 1 regression, 2 usage/parse error.
 #include <cstdlib>
 #include <fstream>
@@ -48,6 +52,7 @@ bool extract_number(const std::string& json, const std::string& key,
 
 int main(int argc, char** argv) {
   double tolerance = 0.10;
+  double rss_tolerance = 0.10;
   std::string baseline_path, current_path;
   std::vector<std::string> keys = {"events_per_sec_wheel",
                                    "events_per_sec_heap"};
@@ -55,6 +60,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--tolerance=", 0) == 0) {
       tolerance = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--rss-tolerance=", 0) == 0) {
+      rss_tolerance = std::atof(arg.c_str() + 16);
     } else if (arg.rfind("--keys=", 0) == 0) {
       keys.clear();
       std::string list = arg.substr(7);
@@ -127,6 +134,22 @@ int main(int argc, char** argv) {
     std::cout << "steady_allocs (wheel): baseline " << base_allocs
               << " current " << cur_allocs << (ok ? " OK" : " REGRESSION")
               << "\n";
+    if (!ok) ++failures;
+  }
+
+  // Per-flow resident memory: lower is better, so the gate inverts —
+  // fail when the current run grew past the baseline by more than the
+  // RSS tolerance. Applied automatically when both JSONs carry the key
+  // (BENCH_shards.json does; BENCH_simcore.json doesn't).
+  double base_rss = 0, cur_rss = 0;
+  if (extract_number(baseline, "peak_rss_per_flow_bytes", base_rss) &&
+      extract_number(current, "peak_rss_per_flow_bytes", cur_rss) &&
+      base_rss > 0) {
+    const double ratio = cur_rss / base_rss;
+    const bool ok = ratio <= 1.0 + rss_tolerance;
+    std::cout << "peak_rss_per_flow_bytes: baseline " << base_rss
+              << " current " << cur_rss << " ratio " << ratio
+              << (ok ? " OK" : " REGRESSION") << "\n";
     if (!ok) ++failures;
   }
 
